@@ -1,0 +1,241 @@
+package routeflow
+
+// Benchmark harness: one benchmark per evaluation artifact of the paper.
+//
+//	Fig. 3 (configuration time vs. ring size)
+//	    BenchmarkFig3AutoConfigure/ring-N  — automatic, measured end to end
+//	    BenchmarkFig3ManualModel           — the paper's manual model
+//	§3 demonstration (28-node pan-European topology, video within ~4 min)
+//	    BenchmarkDemoPanEuropeanVideo
+//	Ablations (design choices called out in DESIGN.md)
+//	    BenchmarkAblationFlowVisor vs BenchmarkAblationMergedController
+//	Micro benchmarks of the substrates
+//	    BenchmarkOpenFlow*, BenchmarkMatch*, BenchmarkRIB*, BenchmarkLLDP*,
+//	    BenchmarkManualModelEval
+//
+// The deployment benchmarks report protocol time per phase via custom
+// metrics (protocol-seconds, not wall time): with the default 50× scale a
+// ring-28 iteration takes ~1-2 s of wall time.
+
+import (
+	"fmt"
+	"net/netip"
+	"testing"
+	"time"
+
+	"routeflow/internal/openflow"
+	"routeflow/internal/pkt"
+	"routeflow/internal/rib"
+)
+
+func benchExperiment() ExperimentConfig {
+	return ExperimentConfig{TimeScale: 100}
+}
+
+// BenchmarkFig3AutoConfigure regenerates the "automatic" series of Fig. 3.
+func BenchmarkFig3AutoConfigure(b *testing.B) {
+	for _, n := range []int{4, 8, 12, 16, 20, 24, 28} {
+		b.Run(fmt.Sprintf("ring-%d", n), func(b *testing.B) {
+			var cfgTotal, routedTotal time.Duration
+			for i := 0; i < b.N; i++ {
+				row, err := RunFig3Point(n, benchExperiment())
+				if err != nil {
+					b.Fatal(err)
+				}
+				cfgTotal += row.Auto
+				routedTotal += row.AutoRouted
+			}
+			b.ReportMetric(cfgTotal.Seconds()/float64(b.N), "proto-s/config")
+			b.ReportMetric(routedTotal.Seconds()/float64(b.N), "proto-s/converged")
+		})
+	}
+}
+
+// BenchmarkFig3ManualModel regenerates the "manual" series of Fig. 3.
+func BenchmarkFig3ManualModel(b *testing.B) {
+	for _, n := range []int{4, 8, 12, 16, 20, 24, 28} {
+		b.Run(fmt.Sprintf("ring-%d", n), func(b *testing.B) {
+			var total time.Duration
+			m := DefaultManualModel()
+			for i := 0; i < b.N; i++ {
+				total = m.Total(n)
+			}
+			b.ReportMetric(total.Seconds(), "proto-s/manual")
+		})
+	}
+}
+
+// BenchmarkDemoPanEuropeanVideo regenerates the §3 demonstration metric:
+// cold start to video at the remote client on the 28-node topology.
+func BenchmarkDemoPanEuropeanVideo(b *testing.B) {
+	g := PanEuropean()
+	lisbon, _ := g.NodeByName("Lisbon")
+	stockholm, _ := g.NodeByName("Stockholm")
+	var video, configured time.Duration
+	for i := 0; i < b.N; i++ {
+		res, err := RunDemo(benchExperiment(), lisbon.ID, stockholm.ID)
+		if err != nil {
+			b.Fatal(err)
+		}
+		video += res.FirstVideo
+		configured += res.Configured
+	}
+	b.ReportMetric(configured.Seconds()/float64(b.N), "proto-s/configured")
+	b.ReportMetric(video.Seconds()/float64(b.N), "proto-s/video")
+}
+
+// BenchmarkAblationFlowVisor measures configuration time with the slicing
+// proxy in the control path (the paper's deployment).
+func BenchmarkAblationFlowVisor(b *testing.B) {
+	benchAblation(b, false)
+}
+
+// BenchmarkAblationMergedController removes FlowVisor and merges both
+// controller applications into one process (the design alternative §2
+// argues against for load sharing).
+func BenchmarkAblationMergedController(b *testing.B) {
+	benchAblation(b, true)
+}
+
+func benchAblation(b *testing.B, merged bool) {
+	cfg := benchExperiment()
+	cfg.NoFlowVisor = merged
+	var total time.Duration
+	for i := 0; i < b.N; i++ {
+		row, err := RunFig3Point(8, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += row.AutoRouted
+	}
+	b.ReportMetric(total.Seconds()/float64(b.N), "proto-s/converged")
+}
+
+// --- Micro benchmarks of the protocol substrates ---
+
+func benchFlowMod() *openflow.FlowMod {
+	m := openflow.MatchAll()
+	m.Wildcards &^= openflow.WildcardDlType
+	m.DlType = 0x0800
+	m.SetNwDstPrefix(netip.MustParsePrefix("10.1.2.0/24"))
+	return &openflow.FlowMod{
+		Match: m, Command: openflow.FlowModAdd, Priority: 124,
+		BufferID: openflow.NoBuffer, OutPort: openflow.PortNone,
+		Actions: []openflow.Action{
+			&openflow.ActionSetDlSrc{Addr: pkt.LocalMAC(1)},
+			&openflow.ActionSetDlDst{Addr: pkt.LocalMAC(2)},
+			&openflow.ActionOutput{Port: 3},
+		},
+	}
+}
+
+func BenchmarkOpenFlowMarshalFlowMod(b *testing.B) {
+	fm := benchFlowMod()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = openflow.Marshal(fm)
+	}
+}
+
+func BenchmarkOpenFlowUnmarshalFlowMod(b *testing.B) {
+	wire := openflow.Marshal(benchFlowMod())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := openflow.Unmarshal(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchUDPFrame() []byte {
+	src, dst := netip.MustParseAddr("10.0.0.1"), netip.MustParseAddr("10.9.0.100")
+	u := &pkt.UDP{SrcPort: 5004, DstPort: 5004, Payload: make([]byte, 1200)}
+	ip := &pkt.IPv4{TTL: 64, Proto: pkt.ProtoUDP, Src: src, Dst: dst,
+		Payload: u.Marshal(src, dst)}
+	f := &pkt.Frame{Dst: pkt.LocalMAC(2), Src: pkt.LocalMAC(1),
+		Type: pkt.EtherTypeIPv4, Payload: ip.Marshal()}
+	return f.Marshal()
+}
+
+// BenchmarkMatchExtractKey measures dataplane packet classification.
+func BenchmarkMatchExtractKey(b *testing.B) {
+	frame := benchUDPFrame()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := openflow.ExtractKey(1, frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMatchCovers measures one flow-table match evaluation.
+func BenchmarkMatchCovers(b *testing.B) {
+	key, _ := openflow.ExtractKey(1, benchUDPFrame())
+	m := openflow.MatchAll()
+	m.Wildcards &^= openflow.WildcardDlType
+	m.DlType = 0x0800
+	m.SetNwDstPrefix(netip.MustParsePrefix("10.9.0.0/24"))
+	for i := 0; i < b.N; i++ {
+		if !m.Covers(&key) {
+			b.Fatal("must match")
+		}
+	}
+}
+
+// BenchmarkRIBLookup measures longest-prefix match in a VM's RIB at the
+// scale of the 28-node demo (41 link subnets + host routes).
+func BenchmarkRIBLookup(b *testing.B) {
+	r := rib.New()
+	for i := 0; i < 64; i++ {
+		prefix := netip.PrefixFrom(netip.AddrFrom4([4]byte{172, 16, byte(i), 0}), 30)
+		r.Add(rib.Route{Prefix: prefix, NextHop: netip.MustParseAddr("172.16.0.2"),
+			Iface: "eth1", Source: rib.SourceOSPF, Metric: uint32(i)})
+	}
+	probe := netip.MustParseAddr("172.16.40.1")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := r.Lookup(probe); !ok {
+			b.Fatal("missing route")
+		}
+	}
+}
+
+// BenchmarkRIBReplaceSource measures one SPF→RIB synchronization.
+func BenchmarkRIBReplaceSource(b *testing.B) {
+	r := rib.New()
+	routes := make([]rib.Route, 41)
+	for i := range routes {
+		routes[i] = rib.Route{
+			Prefix:  netip.PrefixFrom(netip.AddrFrom4([4]byte{172, 16, byte(i), 0}), 30),
+			NextHop: netip.MustParseAddr("172.16.0.2"),
+			Iface:   "eth1", Metric: uint32(i),
+		}
+	}
+	for i := 0; i < b.N; i++ {
+		r.ReplaceSource(rib.SourceOSPF, routes)
+	}
+}
+
+// BenchmarkLLDPRoundTrip measures one discovery probe encode+decode.
+func BenchmarkLLDPRoundTrip(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l := pkt.NewLLDP(uint64(i), uint16(i%48+1), 60)
+		got, err := pkt.DecodeLLDP(l.Marshal())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := got.Origin(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkManualModelEval measures the (trivial) manual-model evaluation,
+// for completeness of the Fig. 3 pair.
+func BenchmarkManualModelEval(b *testing.B) {
+	m := DefaultManualModel()
+	for i := 0; i < b.N; i++ {
+		_ = m.Total(28)
+	}
+}

@@ -1,0 +1,74 @@
+// Command rfbench regenerates the paper's evaluation numbers.
+//
+//	rfbench -experiment fig3            # Fig. 3: auto vs manual config time
+//	rfbench -experiment demo            # §3: pan-European video demo
+//	rfbench -experiment fig3 -sizes 4,8,28 -scale 200
+//	rfbench -experiment demo -merged    # ablation: no FlowVisor
+//
+// Reported durations are protocol time (the -scale factor compresses wall
+// time without changing protocol behaviour).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"routeflow"
+)
+
+func main() {
+	experiment := flag.String("experiment", "fig3", "fig3 | demo")
+	sizes := flag.String("sizes", "4,8,12,16,20,24,28", "ring sizes for fig3")
+	scale := flag.Float64("scale", 100, "time compression factor")
+	merged := flag.Bool("merged", false, "merged-controller ablation (no FlowVisor)")
+	server := flag.String("server", "Lisbon", "demo video server city")
+	client := flag.String("client", "Stockholm", "demo video client city")
+	flag.Parse()
+
+	cfg := routeflow.ExperimentConfig{TimeScale: *scale, NoFlowVisor: *merged}
+
+	switch *experiment {
+	case "fig3":
+		var ns []int
+		for _, s := range strings.Split(*sizes, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n < 3 {
+				fatalf("bad ring size %q", s)
+			}
+			ns = append(ns, n)
+		}
+		fmt.Printf("Fig. 3 — RouteFlow configuration time, ring topologies (scale %gx)\n", *scale)
+		rows, err := routeflow.RunFig3(ns, cfg)
+		if err != nil {
+			fatalf("fig3: %v", err)
+		}
+		routeflow.PrintFig3(os.Stdout, rows)
+	case "demo":
+		g := routeflow.PanEuropean()
+		srv, ok := g.NodeByName(*server)
+		if !ok {
+			fatalf("unknown city %q", *server)
+		}
+		cli, ok := g.NodeByName(*client)
+		if !ok {
+			fatalf("unknown city %q", *client)
+		}
+		fmt.Printf("§3 demo — video %s → %s over the pan-European topology (scale %gx)\n",
+			*server, *client, *scale)
+		res, err := routeflow.RunDemo(cfg, srv.ID, cli.ID)
+		if err != nil {
+			fatalf("demo: %v", err)
+		}
+		routeflow.PrintDemo(os.Stdout, res)
+	default:
+		fatalf("unknown experiment %q", *experiment)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rfbench: "+format+"\n", args...)
+	os.Exit(1)
+}

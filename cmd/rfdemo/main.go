@@ -1,0 +1,124 @@
+// Command rfdemo runs the paper's demonstration interactively: the 28-node
+// pan-European topology boots cold, a video clip streams from a server city
+// to a client city, and the GUI shows each switch turning from red to green
+// as the RPC server configures it. Optional -http serves the dashboard to a
+// browser.
+//
+//	rfdemo                       # terminal dashboard, 50x compressed time
+//	rfdemo -scale 1              # real protocol time (~the paper's 4 min)
+//	rfdemo -http :8080           # also serve the GUI on http://localhost:8080
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"routeflow"
+	"routeflow/internal/core"
+	"routeflow/internal/stream"
+	"routeflow/internal/vnet"
+)
+
+func main() {
+	scale := flag.Float64("scale", 50, "time compression factor (1 = real time)")
+	server := flag.String("server", "Lisbon", "video server city")
+	client := flag.String("client", "Stockholm", "video client city")
+	httpAddr := flag.String("http", "", "also serve the dashboard on this address")
+	flag.Parse()
+
+	g := routeflow.PanEuropean()
+	srv, ok := g.NodeByName(*server)
+	if !ok {
+		fatalf("unknown city %q", *server)
+	}
+	cli, ok := g.NodeByName(*client)
+	if !ok {
+		fatalf("unknown city %q", *client)
+	}
+
+	dash := routeflow.NewDashboard(g)
+	if *httpAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*httpAddr, dash); err != nil {
+				fmt.Fprintf(os.Stderr, "rfdemo: http: %v\n", err)
+			}
+		}()
+		fmt.Printf("dashboard: http://%s/\n", *httpAddr)
+	}
+
+	clk := routeflow.ScaledClock(*scale)
+	d, err := core.NewDeployment(core.Options{
+		Topology:      g,
+		Clock:         clk,
+		HostNodes:     []int{srv.ID, cli.ID},
+		BootDelay:     2 * time.Second,
+		Timers:        routeflow.DefaultExperimentTimers(),
+		ProbeInterval: time.Second,
+		OnStatus:      func(dpid uint64, st vnet.State) { dash.Update(dpid, st) },
+	})
+	if err != nil {
+		fatalf("deployment: %v", err)
+	}
+	defer d.Close()
+
+	srvHost, _ := d.Host(srv.ID)
+	cliHost, _ := d.Host(cli.ID)
+	vClient, err := stream.NewClient(cliHost, 0, clk)
+	if err != nil {
+		fatalf("client: %v", err)
+	}
+	vServer, err := stream.NewServer(stream.ServerConfig{
+		Host: srvHost, Dst: cliHost.Addr(), Clock: clk})
+	if err != nil {
+		fatalf("server: %v", err)
+	}
+
+	fmt.Printf("streaming video %s → %s; starting cold network of %d switches...\n\n",
+		*server, *client, g.NumNodes())
+	vServer.Start()
+	defer vServer.Stop()
+	if err := d.Start(); err != nil {
+		fatalf("start: %v", err)
+	}
+
+	// Render the dashboard while the system configures itself.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := vClient.AwaitFirstFrame(time.Hour); err != nil {
+			fmt.Fprintf(os.Stderr, "rfdemo: %v\n", err)
+		}
+	}()
+	ticker := time.NewTicker(250 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			fmt.Print("\x1b[H\x1b[2J") // clear terminal
+			fmt.Print(dash.RenderANSI())
+			fmt.Printf("\nprotocol time elapsed: %v\n", d.Elapsed().Round(time.Second))
+			st := vClient.Stats()
+			if st.Frames > 0 {
+				fmt.Printf("video: %d frames received\n", st.Frames)
+			} else {
+				fmt.Println("video: waiting for first frame...")
+			}
+		case <-done:
+			fmt.Print("\x1b[H\x1b[2J")
+			fmt.Print(dash.RenderANSI())
+			fmt.Printf("\n*** video reached %s after %v of protocol time (paper: ~4 min) ***\n",
+				*client, d.Elapsed().Round(time.Second))
+			fmt.Printf("manual configuration would have taken %v\n",
+				routeflow.DefaultManualModel().Total(g.NumNodes()))
+			return
+		}
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rfdemo: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,70 @@
+// Command rftopo generates and inspects the topologies the experiments run
+// on.
+//
+//	rftopo -topo ring -n 28              # summary of a 28-switch ring
+//	rftopo -topo paneu -format dot       # pan-European topology as Graphviz
+//	rftopo -topo random -n 20 -m 35 -seed 7 -format json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"routeflow"
+)
+
+func main() {
+	kind := flag.String("topo", "paneu", "paneu | ring | line | star | grid | mesh | random")
+	n := flag.Int("n", 8, "node count (ring/line/star/random) or grid width")
+	h := flag.Int("h", 3, "grid height")
+	m := flag.Int("m", 0, "link count for random (default n+n/2)")
+	seed := flag.Int64("seed", 1, "random seed")
+	format := flag.String("format", "summary", "summary | dot | json")
+	flag.Parse()
+
+	var g *routeflow.Topology
+	switch *kind {
+	case "paneu":
+		g = routeflow.PanEuropean()
+	case "ring":
+		g = routeflow.Ring(*n)
+	case "line":
+		g = routeflow.Line(*n)
+	case "star":
+		g = routeflow.Star(*n)
+	case "grid":
+		g = routeflow.Grid(*n, *h)
+	case "mesh":
+		g = routeflow.Grid(*n, *n)
+	case "random":
+		links := *m
+		if links == 0 {
+			links = *n + *n/2
+		}
+		g = routeflow.Random(*n, links, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "rftopo: unknown topology %q\n", *kind)
+		os.Exit(1)
+	}
+
+	switch *format {
+	case "dot":
+		fmt.Print(g.DOT())
+	case "json":
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(g); err != nil {
+			fmt.Fprintf(os.Stderr, "rftopo: %v\n", err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Println(g.String())
+		fmt.Printf("connected: %v  min degree: %d  diameter: %d hops\n",
+			g.Connected(), g.MinDegree(), g.Diameter())
+		fmt.Printf("auto-configuration would allocate %d /30 link subnets\n", g.NumLinks())
+		fmt.Printf("manual configuration estimate: %v\n",
+			routeflow.DefaultManualModel().Total(g.NumNodes()))
+	}
+}

@@ -1,0 +1,20 @@
+// ring-scaling regenerates a compact version of the paper's Fig. 3: the
+// time to configure RouteFlow automatically versus manually as the ring
+// grows. Run cmd/rfbench for the full sweep.
+package main
+
+import (
+	"log"
+	"os"
+
+	"routeflow"
+)
+
+func main() {
+	rows, err := routeflow.RunFig3([]int{4, 8, 12},
+		routeflow.ExperimentConfig{TimeScale: 200})
+	if err != nil {
+		log.Fatal(err)
+	}
+	routeflow.PrintFig3(os.Stdout, rows)
+}

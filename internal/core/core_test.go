@@ -1,0 +1,288 @@
+package core
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"routeflow/internal/quagga"
+	"routeflow/internal/topo"
+	"routeflow/internal/vnet"
+)
+
+// fastOptions returns deployment options with compressed protocol timers so
+// an integration test runs in well under a second of wall time per phase.
+func fastOptions(g *topo.Graph, hostNodes ...int) Options {
+	return Options{
+		Topology:      g,
+		HostNodes:     hostNodes,
+		BootDelay:     50 * time.Millisecond,
+		ProbeInterval: 10 * time.Millisecond,
+		LinkTTL:       60 * time.Millisecond,
+		Timers: quagga.Timers{
+			Hello:    20 * time.Millisecond,
+			Dead:     100 * time.Millisecond,
+			SPFDelay: 5 * time.Millisecond,
+		},
+	}
+}
+
+func TestManualModel(t *testing.T) {
+	m := DefaultManualModel()
+	if m.PerSwitch() != 15*time.Minute {
+		t.Fatalf("per switch = %v", m.PerSwitch())
+	}
+	// The paper's headline: 7 hours for 28 switches.
+	if m.Total(28) != 7*time.Hour {
+		t.Fatalf("total(28) = %v, want 7h", m.Total(28))
+	}
+	// Zero-value model inherits defaults.
+	var z ManualModel
+	if z.Total(1) != 15*time.Minute {
+		t.Fatalf("zero-value total = %v", z.Total(1))
+	}
+	custom := ManualModel{VMCreation: time.Minute}
+	if custom.PerSwitch() != time.Minute+2*time.Minute+8*time.Minute {
+		t.Fatalf("custom = %v", custom.PerSwitch())
+	}
+}
+
+func TestDPIDAndSubnetHelpers(t *testing.T) {
+	if DPIDForNode(0) != 1 || DPIDForNode(27) != 28 {
+		t.Fatal("dpid mapping")
+	}
+	if HostSubnet(0) != netip.MustParsePrefix("10.1.0.0/24") {
+		t.Fatalf("host subnet = %v", HostSubnet(0))
+	}
+}
+
+func TestDeploymentValidation(t *testing.T) {
+	if _, err := NewDeployment(Options{}); err == nil {
+		t.Fatal("nil topology accepted")
+	}
+	if _, err := NewDeployment(Options{Topology: topo.Ring(3), HostNodes: []int{99}}); err == nil {
+		t.Fatal("bad host node accepted")
+	}
+}
+
+func TestRingAutoConfigurationEndToEnd(t *testing.T) {
+	g := topo.Ring(4)
+	d, err := NewDeployment(fastOptions(g, 0, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	statuses := make(chan vnet.State, 64)
+	d.opts.OnStatus = nil // set via Options normally; validated in another test
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	_ = statuses
+
+	// Phase 1: every switch gets its VM (green) — the Fig. 3 metric.
+	cfgTime, err := d.AwaitConfigured(10 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfgTime <= 0 {
+		t.Fatalf("configuration time = %v", cfgTime)
+	}
+	if d.Platform().NumVMs() != 4 {
+		t.Fatalf("VMs = %d", d.Platform().NumVMs())
+	}
+
+	// Phase 2: OSPF adjacencies on all ring links.
+	if _, err := d.AwaitConverged(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// The RPC server must have written config files for each VM.
+	files, ok := d.Platform().ConfigFiles(DPIDForNode(1))
+	if !ok {
+		t.Fatal("no config files for node 1")
+	}
+	for _, name := range []string{"zebra.conf", "ospfd.conf", "bgpd.conf"} {
+		if files[name] == "" {
+			t.Fatalf("%s missing", name)
+		}
+	}
+	if !strings.Contains(files["ospfd.conf"], "router ospf") {
+		t.Fatal("ospfd.conf lacks router stanza")
+	}
+
+	// Phase 3: actual dataplane connectivity — host 0 pings host 2 across
+	// two OSPF-routed hops.
+	h0, _ := d.Host(0)
+	h2, _ := d.Host(2)
+	deadline := time.Now().Add(15 * time.Second)
+	var lastErr error
+	for time.Now().Before(deadline) {
+		if _, lastErr = h0.Ping(h2.Addr(), 2*time.Second); lastErr == nil {
+			break
+		}
+	}
+	if lastErr != nil {
+		t.Fatalf("host0 could not reach host2: %v", lastErr)
+	}
+
+	// Fast-path flows must exist by now (host /32s and OSPF prefixes).
+	if d.Platform().FlowCount(DPIDForNode(0)) == 0 {
+		t.Fatal("no flows installed on switch 0")
+	}
+	// The FlowVisor carried both slices' traffic.
+	if c, ok := d.FlowVisor().Counters("topology"); !ok || c.PacketIns == 0 {
+		t.Fatalf("topology slice counters = %+v, %v", c, ok)
+	}
+	if c, ok := d.FlowVisor().Counters("rf"); !ok || c.ToSwitch == 0 {
+		t.Fatalf("rf slice counters = %+v, %v", c, ok)
+	}
+}
+
+func TestStatusCallbackLifecycle(t *testing.T) {
+	g := topo.Ring(3)
+	opts := fastOptions(g)
+	events := make(chan vnet.State, 32)
+	opts.OnStatus = func(dpid uint64, st vnet.State) { events <- st }
+	d, err := NewDeployment(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AwaitConfigured(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// We must have seen booting (red) before up (green).
+	sawBooting, sawUp := false, false
+	for {
+		select {
+		case st := <-events:
+			if st == vnet.StateBooting {
+				sawBooting = true
+			}
+			if st == vnet.StateUp {
+				sawUp = true
+			}
+			if sawBooting && sawUp {
+				return
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("status events incomplete: booting=%v up=%v", sawBooting, sawUp)
+		}
+	}
+}
+
+func TestMergedControllerAblation(t *testing.T) {
+	g := topo.Ring(3)
+	opts := fastOptions(g, 0, 1)
+	opts.NoFlowVisor = true
+	d, err := NewDeployment(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if d.FlowVisor() != nil {
+		t.Fatal("merged deployment created a FlowVisor")
+	}
+	if _, err := d.AwaitConfigured(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AwaitConverged(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	h0, _ := d.Host(0)
+	h1, _ := d.Host(1)
+	deadline := time.Now().Add(15 * time.Second)
+	var lastErr error
+	for time.Now().Before(deadline) {
+		if _, lastErr = h0.Ping(h1.Addr(), 2*time.Second); lastErr == nil {
+			return
+		}
+	}
+	t.Fatalf("merged ablation never carried traffic: %v", lastErr)
+}
+
+func TestLinkFailureReconvergence(t *testing.T) {
+	// Ring of 4: cut one link; OSPF must route around it.
+	g := topo.Ring(4)
+	d, err := NewDeployment(fastOptions(g, 0, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AwaitConverged(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	h0, _ := d.Host(0)
+	h2, _ := d.Host(2)
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, err := h0.Ping(h2.Addr(), 2*time.Second); err == nil {
+			break
+		}
+	}
+	// Cut the 0-1 link (index 0 in ring construction).
+	if err := d.SetLinkUp(0, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SetLinkUp(99, false); err == nil {
+		t.Fatal("bogus link index accepted")
+	}
+	// Traffic must recover via the other ring direction after OSPF
+	// reconverges (dead interval + SPF + flow reinstall).
+	deadline = time.Now().Add(20 * time.Second)
+	var lastErr error
+	recovered := false
+	for time.Now().Before(deadline) {
+		if _, lastErr = h0.Ping(h2.Addr(), 2*time.Second); lastErr == nil {
+			recovered = true
+			break
+		}
+	}
+	if !recovered {
+		t.Fatalf("no connectivity after link failure: %v", lastErr)
+	}
+}
+
+func TestTopologyControllerAllocatorExposed(t *testing.T) {
+	g := topo.Ring(3)
+	d, err := NewDeployment(fastOptions(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AwaitConverged(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Three ring links → three /30 allocations.
+	if got := len(d.TopologyController().Allocator().Allocated()); got != 3 {
+		t.Fatalf("allocated subnets = %d, want 3", got)
+	}
+	if d.Graph().NumNodes() != 3 {
+		t.Fatal("graph accessor")
+	}
+	if _, ok := d.Switch(0); !ok {
+		t.Fatal("switch accessor")
+	}
+	if _, ok := d.Host(0); ok {
+		t.Fatal("host accessor should be empty (none configured)")
+	}
+	if _, ok := d.HostGateway(0); ok {
+		t.Fatal("gateway accessor should be empty")
+	}
+	if err := d.Start(); err == nil {
+		t.Fatal("double start accepted")
+	}
+}

@@ -1,0 +1,271 @@
+package core
+
+import (
+	"fmt"
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+
+	"routeflow/internal/clock"
+	"routeflow/internal/ctlkit"
+	"routeflow/internal/discovery"
+	"routeflow/internal/flowvisor"
+	"routeflow/internal/netemu"
+	"routeflow/internal/ofswitch"
+	"routeflow/internal/pkt"
+	"routeflow/internal/quagga"
+	"routeflow/internal/rf"
+	"routeflow/internal/rpcconf"
+	"routeflow/internal/topo"
+	"routeflow/internal/vnet"
+)
+
+// Options configures a Deployment.
+type Options struct {
+	// Topology is the physical network to emulate (required).
+	Topology *topo.Graph
+	// Clock drives every timer; use clock.Scaled to compress protocol time.
+	Clock clock.Clock
+	// Pool is the administrator's IP range for the virtual environment.
+	// Default 172.16.0.0/16.
+	Pool netip.Prefix
+	// HostNodes lists graph nodes that get an attached end host. Host n
+	// receives 10.(n+1).0.100/24 with the VM gateway at 10.(n+1).0.1.
+	HostNodes []int
+	// BootDelay models VM creation (default rf.DefaultBootDelay).
+	BootDelay time.Duration
+	// Timers for the VM routing daemons (zero = RFC defaults).
+	Timers quagga.Timers
+	// ProbeInterval / LinkTTL tune discovery (zero = package defaults).
+	ProbeInterval time.Duration
+	LinkTTL       time.Duration
+	// NoFlowVisor connects every switch to both controllers through a
+	// merged controller instead of the slicing proxy (ablation A1/A2).
+	NoFlowVisor bool
+	// OnStatus observes per-switch configuration state (GUI).
+	OnStatus func(dpid uint64, state vnet.State)
+}
+
+// Deployment is a fully wired automatic-configuration system under test: the
+// paper's Fig. 2 plus the emulated data plane it manages.
+type Deployment struct {
+	opts  Options
+	clk   clock.Clock
+	graph *topo.Graph
+
+	net      *netemu.Network
+	switches map[uint64]*ofswitch.Switch
+	hosts    map[int]*netemu.Host
+	hostGWs  map[int]netip.Addr
+	hostEPs  map[int]*netemu.Endpoint
+	cables   map[int][2]*netemu.Endpoint // link index → endpoints
+
+	fv       *flowvisor.FlowVisor
+	topoCtl  *ctlkit.Controller
+	disc     *discovery.Discovery
+	tc       *TopologyController
+	platform *rf.Platform
+	rpcSrv   *rpcconf.Server
+	rpcCli   *rpcconf.Client
+
+	listeners []*ctlkit.MemListener
+
+	startedAt time.Time
+	mu        sync.Mutex
+	started   bool
+}
+
+// DPIDForNode maps a graph node to its datapath ID (node IDs are 0-based;
+// dpid 0 is avoided by convention).
+func DPIDForNode(node int) uint64 { return uint64(node) + 1 }
+
+// HostSubnet returns the conventional host subnet for a graph node.
+func HostSubnet(node int) netip.Prefix {
+	return netip.MustParsePrefix(fmt.Sprintf("10.%d.0.0/24", node+1))
+}
+
+// NewDeployment assembles (but does not start) a system.
+func NewDeployment(opts Options) (*Deployment, error) {
+	if opts.Topology == nil {
+		return nil, fmt.Errorf("core: Options.Topology is required")
+	}
+	if opts.Clock == nil {
+		opts.Clock = clock.System()
+	}
+	if !opts.Pool.IsValid() {
+		opts.Pool = netip.MustParsePrefix("172.16.0.0/16")
+	}
+	d := &Deployment{
+		opts:     opts,
+		clk:      opts.Clock,
+		graph:    opts.Topology,
+		net:      netemu.NewNetwork(opts.Clock),
+		switches: make(map[uint64]*ofswitch.Switch),
+		hosts:    make(map[int]*netemu.Host),
+		hostGWs:  make(map[int]netip.Addr),
+		hostEPs:  make(map[int]*netemu.Endpoint),
+		cables:   make(map[int][2]*netemu.Endpoint),
+	}
+	if err := d.build(); err != nil {
+		d.Close()
+		return nil, err
+	}
+	return d, nil
+}
+
+func (d *Deployment) build() error {
+	g := d.graph
+	// Switches.
+	for _, n := range g.Nodes() {
+		dpid := DPIDForNode(n.ID)
+		d.switches[dpid] = ofswitch.New(ofswitch.Config{
+			DPID: dpid, Name: fmt.Sprintf("s%d", n.ID), Clock: d.clk,
+		})
+	}
+	// Inter-switch cables.
+	for i, l := range g.Links() {
+		aDPID, bDPID := DPIDForNode(l.A), DPIDForNode(l.B)
+		epA, epB := d.net.NewCable(netemu.CableOpts{
+			NameA: fmt.Sprintf("s%d:%d", l.A, l.APort),
+			NameB: fmt.Sprintf("s%d:%d", l.B, l.BPort),
+			MACA:  pkt.LocalMAC(aDPID<<16 | uint64(l.APort)),
+			MACB:  pkt.LocalMAC(bDPID<<16 | uint64(l.BPort)),
+		})
+		if err := d.switches[aDPID].AttachPort(uint16(l.APort), epA); err != nil {
+			return err
+		}
+		if err := d.switches[bDPID].AttachPort(uint16(l.BPort), epB); err != nil {
+			return err
+		}
+		d.cables[i] = [2]*netemu.Endpoint{epA, epB}
+	}
+	// Hosts and their admin configuration.
+	var admin []HostAttachment
+	for _, node := range d.opts.HostNodes {
+		n, ok := g.Node(node)
+		if !ok {
+			return fmt.Errorf("core: host node %d not in topology", node)
+		}
+		port, err := g.SetHost(n.ID)
+		if err != nil {
+			return err
+		}
+		dpid := DPIDForNode(n.ID)
+		sub := HostSubnet(n.ID)
+		gw := netip.PrefixFrom(sub.Addr().Next(), sub.Bits()) // .1
+		hostIP := sub.Addr()
+		for i := 0; i < 100; i++ {
+			hostIP = hostIP.Next()
+		}
+		swEP, hostEP := d.net.NewCable(netemu.CableOpts{
+			NameA: fmt.Sprintf("s%d:%d", n.ID, port),
+			NameB: fmt.Sprintf("h%d", n.ID),
+			MACA:  pkt.LocalMAC(dpid<<16 | uint64(port)),
+			MACB:  pkt.LocalMAC(0x7f<<32 | dpid),
+		})
+		if err := d.switches[dpid].AttachPort(uint16(port), swEP); err != nil {
+			return err
+		}
+		host, err := netemu.NewHost(netemu.HostConfig{
+			Name:    fmt.Sprintf("h%d", n.ID),
+			Addr:    netip.PrefixFrom(hostIP, sub.Bits()),
+			Gateway: gw.Addr(),
+		}, hostEP, d.clk)
+		if err != nil {
+			return err
+		}
+		d.hosts[node] = host
+		d.hostGWs[node] = gw.Addr()
+		d.hostEPs[node] = hostEP
+		admin = append(admin, HostAttachment{
+			DPID: dpid, Port: uint16(port), Gateway: gw,
+		})
+	}
+
+	// RF-controller platform + embedded RPC server.
+	platform, err := rf.New(rf.Config{
+		Clock:     d.clk,
+		Pool:      d.opts.Pool,
+		BootDelay: d.opts.BootDelay,
+		Timers:    d.opts.Timers,
+		OnStatus:  d.opts.OnStatus,
+	})
+	if err != nil {
+		return err
+	}
+	d.platform = platform
+	d.rpcSrv = rpcconf.NewServer(platform.RPCHandler())
+	rpcL := ctlkit.NewMemListener("rpc-server")
+	d.listeners = append(d.listeners, rpcL)
+	go d.rpcSrv.Serve(rpcL)
+	d.rpcCli = rpcconf.NewClient(func() (net.Conn, error) { return rpcL.Dial() }, d.clk)
+
+	// Topology controller: discovery + RPC client.
+	var discOpts []discovery.Option
+	if d.opts.ProbeInterval > 0 {
+		discOpts = append(discOpts, discovery.WithProbeInterval(d.opts.ProbeInterval))
+	}
+	if d.opts.LinkTTL > 0 {
+		discOpts = append(discOpts, discovery.WithLinkTTL(d.opts.LinkTTL))
+	}
+	d.disc = discovery.New(d.clk, discOpts...)
+
+	if d.opts.NoFlowVisor {
+		// Merged ablation: one controller process hosts both applications.
+		merged := mergeCallbacks(d.disc.Callbacks(), platformCallbacks(platform))
+		d.topoCtl = ctlkit.New("merged-controller", d.clk, merged)
+		platform.UseController(d.topoCtl)
+	} else {
+		d.topoCtl = ctlkit.New("topology-controller", d.clk, d.disc.Callbacks())
+	}
+	d.tc, err = NewTopologyController(d.clk, d.disc, d.topoCtl, d.rpcCli,
+		d.opts.Pool, 30, admin)
+	return err
+}
+
+// Start connects everything and begins automatic configuration. It returns
+// immediately; use the Await helpers to observe progress.
+func (d *Deployment) Start() error {
+	d.mu.Lock()
+	if d.started {
+		d.mu.Unlock()
+		return fmt.Errorf("core: deployment already started")
+	}
+	d.started = true
+	d.startedAt = d.clk.Now()
+	d.mu.Unlock()
+
+	var swDial func() (net.Conn, error)
+	if d.opts.NoFlowVisor {
+		ctlL := ctlkit.NewMemListener("merged")
+		d.listeners = append(d.listeners, ctlL)
+		go d.topoCtl.Serve(ctlL)
+		swDial = ctlL.Dial
+	} else {
+		topoL := ctlkit.NewMemListener("topology-controller")
+		rfL := ctlkit.NewMemListener("rf-controller")
+		fvL := ctlkit.NewMemListener("flowvisor")
+		d.listeners = append(d.listeners, topoL, rfL, fvL)
+		go d.topoCtl.Serve(topoL)
+		go d.platform.Controller().Serve(rfL)
+		d.fv = flowvisor.New("fv", []flowvisor.Slice{
+			flowvisor.LLDPSlice("topology", topoL.Dial),
+			flowvisor.DefaultSlice("rf", rfL.Dial),
+		})
+		go d.fv.Serve(fvL)
+		swDial = fvL.Dial
+	}
+	d.tc.Run()
+
+	for _, sw := range d.switches {
+		conn, err := swDial()
+		if err != nil {
+			return err
+		}
+		if err := sw.Start(conn); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"routeflow/internal/openflow"
+
+	"routeflow/internal/ctlkit"
+	"routeflow/internal/discovery"
+	"routeflow/internal/flowvisor"
+	"routeflow/internal/netemu"
+	"routeflow/internal/ofswitch"
+	"routeflow/internal/rf"
+	"routeflow/internal/topo"
+)
+
+// mergeCallbacks composes two callback sets; both receive every event.
+func mergeCallbacks(a, b ctlkit.Callbacks) ctlkit.Callbacks {
+	return ctlkit.Callbacks{
+		SwitchUp: func(sc *ctlkit.SwitchConn) {
+			if a.SwitchUp != nil {
+				a.SwitchUp(sc)
+			}
+			if b.SwitchUp != nil {
+				b.SwitchUp(sc)
+			}
+		},
+		SwitchDown: func(sc *ctlkit.SwitchConn) {
+			if a.SwitchDown != nil {
+				a.SwitchDown(sc)
+			}
+			if b.SwitchDown != nil {
+				b.SwitchDown(sc)
+			}
+		},
+		PacketIn: func(sc *ctlkit.SwitchConn, pi *openflow.PacketIn) {
+			if a.PacketIn != nil {
+				a.PacketIn(sc, pi)
+			}
+			if b.PacketIn != nil {
+				b.PacketIn(sc, pi)
+			}
+		},
+		PortStatus: func(sc *ctlkit.SwitchConn, ps *openflow.PortStatus) {
+			if a.PortStatus != nil {
+				a.PortStatus(sc, ps)
+			}
+			if b.PortStatus != nil {
+				b.PortStatus(sc, ps)
+			}
+		},
+		FlowRemoved: func(sc *ctlkit.SwitchConn, fr *openflow.FlowRemoved) {
+			if a.FlowRemoved != nil {
+				a.FlowRemoved(sc, fr)
+			}
+			if b.FlowRemoved != nil {
+				b.FlowRemoved(sc, fr)
+			}
+		},
+		Error: func(sc *ctlkit.SwitchConn, em *openflow.ErrorMsg) {
+			if a.Error != nil {
+				a.Error(sc, em)
+			}
+			if b.Error != nil {
+				b.Error(sc, em)
+			}
+		},
+	}
+}
+
+// platformCallbacks adapts the RF platform for a merged controller.
+func platformCallbacks(p *rf.Platform) ctlkit.Callbacks { return p.Callbacks() }
+
+// Graph returns the deployment's topology.
+func (d *Deployment) Graph() *topo.Graph { return d.graph }
+
+// Platform returns the RF-controller platform.
+func (d *Deployment) Platform() *rf.Platform { return d.platform }
+
+// Discovery returns the topology controller's discovery module.
+func (d *Deployment) Discovery() *discovery.Discovery { return d.disc }
+
+// TopologyController returns the auto-configuration application.
+func (d *Deployment) TopologyController() *TopologyController { return d.tc }
+
+// FlowVisor returns the proxy, or nil in the merged ablation.
+func (d *Deployment) FlowVisor() *flowvisor.FlowVisor { return d.fv }
+
+// Switch returns the emulated switch for a graph node.
+func (d *Deployment) Switch(node int) (*ofswitch.Switch, bool) {
+	sw, ok := d.switches[DPIDForNode(node)]
+	return sw, ok
+}
+
+// Host returns the end host attached at a graph node (if configured).
+func (d *Deployment) Host(node int) (*netemu.Host, bool) {
+	h, ok := d.hosts[node]
+	return h, ok
+}
+
+// HostGateway returns the gateway address the VM serves for a host node.
+func (d *Deployment) HostGateway(node int) (netip.Addr, bool) {
+	g, ok := d.hostGWs[node]
+	return g, ok
+}
+
+// SetLinkUp raises or cuts an inter-switch link by its index in
+// Graph().Links() — the failure-injection hook.
+func (d *Deployment) SetLinkUp(linkIndex int, up bool) error {
+	eps, ok := d.cables[linkIndex]
+	if !ok {
+		return fmt.Errorf("core: no link %d", linkIndex)
+	}
+	eps[0].SetLinkUp(up)
+	return nil
+}
+
+// Elapsed returns protocol time since Start (on a scaled clock this is
+// already protocol time, not wall time).
+func (d *Deployment) Elapsed() time.Duration { return d.clk.Since(d.startedAt) }
+
+// pollUntil polls cond every millisecond of wall time until it holds or the
+// protocol-time budget is exhausted. It returns the protocol time elapsed
+// since Start.
+func (d *Deployment) pollUntil(timeout time.Duration, what string, cond func() bool) (time.Duration, error) {
+	deadline := d.clk.Now().Add(timeout)
+	for {
+		if cond() {
+			return d.Elapsed(), nil
+		}
+		if d.clk.Now().After(deadline) {
+			return d.Elapsed(), fmt.Errorf("core: timed out after %v waiting for %s", timeout, what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// AwaitConfigured blocks until every switch is green — it has a running VM
+// (the paper's configuration criterion) — and returns the protocol time
+// from Start to that moment (the Fig. 3 "automatic" measurement).
+func (d *Deployment) AwaitConfigured(timeout time.Duration) (time.Duration, error) {
+	return d.pollUntil(timeout, "all switches configured", func() bool {
+		for dpid := range d.switches {
+			if !d.platform.Configured(dpid) {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// AwaitConverged blocks until every VM's OSPF has a Full adjacency on every
+// inter-switch link (routing fully converged) and returns the protocol time
+// since Start.
+func (d *Deployment) AwaitConverged(timeout time.Duration) (time.Duration, error) {
+	return d.pollUntil(timeout, "OSPF convergence", func() bool {
+		for _, n := range d.graph.Nodes() {
+			vm, ok := d.platform.VM(DPIDForNode(n.ID))
+			if !ok {
+				return false
+			}
+			if vm.Router().OSPF().FullNeighbors() < d.graph.Degree(n.ID) {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// Close tears the whole system down.
+func (d *Deployment) Close() {
+	if d.tc != nil {
+		d.tc.Stop()
+	}
+	if d.fv != nil {
+		d.fv.Stop()
+	}
+	if d.topoCtl != nil {
+		d.topoCtl.Stop()
+	}
+	if d.platform != nil {
+		d.platform.Stop()
+	}
+	if d.rpcCli != nil {
+		d.rpcCli.Close()
+	}
+	if d.rpcSrv != nil {
+		d.rpcSrv.Stop()
+	}
+	for _, l := range d.listeners {
+		l.Close()
+	}
+	for _, sw := range d.switches {
+		sw.Stop()
+	}
+	for _, h := range d.hosts {
+		h.Close()
+	}
+	if d.net != nil {
+		d.net.Close()
+	}
+}

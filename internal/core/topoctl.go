@@ -1,0 +1,174 @@
+// Package core implements the paper's contribution: the framework that
+// configures RouteFlow automatically (Fig. 2). It contains
+//
+//   - the topology controller application: the LLDP discovery module plus
+//     the logic that turns discovery events into configuration messages —
+//     "on detection of a new switch" send {dpid, #ports}; "on detection of
+//     a new link" allocate unique IP addresses from the administrator's
+//     range and send them — dispatched through the RPC client;
+//   - the manual-configuration cost model the paper uses for Fig. 3's
+//     baseline (5 min VM creation + 2 min mapping + 8 min routing
+//     configuration per switch);
+//   - Deployment, the orchestration that assembles a full system — emulated
+//     switches, FlowVisor, both controllers, the RPC pair, end hosts — from
+//     a topology, and the experiment instrumentation (time to configured,
+//     time to converged) used to regenerate the paper's figures.
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+
+	"routeflow/internal/clock"
+	"routeflow/internal/ctlkit"
+	"routeflow/internal/discovery"
+	"routeflow/internal/ipam"
+	"routeflow/internal/rpcconf"
+)
+
+// HostAttachment is administrator input: a switch port facing an end host
+// and the gateway address its VM interface must carry.
+type HostAttachment struct {
+	DPID    uint64
+	Port    uint16
+	Gateway netip.Prefix
+}
+
+// TopologyController is the paper's topology controller: discovery + IP
+// computation + the RPC client feeding the RF-controller.
+type TopologyController struct {
+	clk    clock.Clock
+	disc   *discovery.Discovery
+	ctl    *ctlkit.Controller
+	client *rpcconf.Client
+	alloc  *ipam.Allocator
+
+	mu       sync.Mutex
+	linkNets map[discovery.Link]netip.Prefix
+	hosts    map[uint64][]HostAttachment
+	sent     map[uint64]bool // switch-up delivered
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	wg       sync.WaitGroup
+
+	// Errs receives RPC delivery failures (buffered; drops when full).
+	Errs chan error
+}
+
+// NewTopologyController builds the controller application. disc supplies
+// events (its Callbacks must be wired into ctl by the caller — Deployment
+// does this — so the same Discovery instance can also serve a merged
+// controller); client carries configuration messages to the RPC server.
+func NewTopologyController(clk clock.Clock, disc *discovery.Discovery, ctl *ctlkit.Controller,
+	client *rpcconf.Client, pool netip.Prefix, subnetBits int, hosts []HostAttachment) (*TopologyController, error) {
+	if clk == nil {
+		clk = clock.System()
+	}
+	if subnetBits == 0 {
+		subnetBits = 30
+	}
+	alloc, err := ipam.New(pool, subnetBits)
+	if err != nil {
+		return nil, err
+	}
+	tc := &TopologyController{
+		clk:      clk,
+		disc:     disc,
+		ctl:      ctl,
+		client:   client,
+		alloc:    alloc,
+		linkNets: make(map[discovery.Link]netip.Prefix),
+		hosts:    make(map[uint64][]HostAttachment),
+		sent:     make(map[uint64]bool),
+		stop:     make(chan struct{}),
+		Errs:     make(chan error, 64),
+	}
+	for _, h := range hosts {
+		tc.hosts[h.DPID] = append(tc.hosts[h.DPID], h)
+	}
+	return tc, nil
+}
+
+// Run consumes discovery events until Stop. Call in a goroutine or rely on
+// the internal one (Run returns immediately).
+func (tc *TopologyController) Run() {
+	tc.disc.Run()
+	tc.wg.Add(1)
+	go func() {
+		defer tc.wg.Done()
+		for {
+			select {
+			case ev := <-tc.disc.Events():
+				tc.handle(ev)
+			case <-tc.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop halts event processing.
+func (tc *TopologyController) Stop() {
+	tc.stopOnce.Do(func() { close(tc.stop) })
+	tc.disc.Stop()
+	tc.wg.Wait()
+}
+
+func (tc *TopologyController) report(err error) {
+	if err == nil {
+		return
+	}
+	select {
+	case tc.Errs <- err:
+	default:
+	}
+}
+
+func (tc *TopologyController) handle(ev discovery.Event) {
+	switch ev.Type {
+	case discovery.SwitchUp:
+		// The paper's switch configuration message: dpid + port count.
+		tc.report(tc.client.Send(rpcconf.SwitchUp(ev.DPID, len(ev.Ports))))
+		tc.mu.Lock()
+		first := !tc.sent[ev.DPID]
+		tc.sent[ev.DPID] = true
+		hosts := tc.hosts[ev.DPID]
+		tc.mu.Unlock()
+		if first {
+			for _, h := range hosts {
+				tc.report(tc.client.Send(rpcconf.HostUp(h.DPID, h.Port, h.Gateway)))
+			}
+		}
+	case discovery.SwitchDown:
+		tc.mu.Lock()
+		tc.sent[ev.DPID] = false
+		tc.mu.Unlock()
+		tc.report(tc.client.Send(rpcconf.SwitchDown(ev.DPID)))
+	case discovery.LinkUp:
+		aEnd, bEnd, err := tc.alloc.LinkAddrs()
+		if err != nil {
+			tc.report(fmt.Errorf("core: link %v: %w", ev.Link, err))
+			return
+		}
+		tc.mu.Lock()
+		tc.linkNets[ev.Link] = aEnd.Masked()
+		tc.mu.Unlock()
+		l := ev.Link
+		tc.report(tc.client.Send(rpcconf.LinkUp(l.ADPID, l.APort, l.BDPID, l.BPort, aEnd, bEnd)))
+	case discovery.LinkDown:
+		tc.mu.Lock()
+		sub, ok := tc.linkNets[ev.Link]
+		delete(tc.linkNets, ev.Link)
+		tc.mu.Unlock()
+		if ok {
+			tc.report(tc.alloc.Release(sub))
+		}
+		l := ev.Link
+		tc.report(tc.client.Send(rpcconf.LinkDown(l.ADPID, l.APort, l.BDPID, l.BPort)))
+	}
+}
+
+// Allocator exposes the IP allocator (tests, GUI).
+func (tc *TopologyController) Allocator() *ipam.Allocator { return tc.alloc }

@@ -1,0 +1,95 @@
+// Package ctlkit is the controller framework both controllers in the paper's
+// architecture are built on (the topology controller and the RF-controller),
+// and the substrate FlowVisor reuses for its listening side. It provides:
+//
+//   - a transport abstraction with an in-memory implementation (net.Pipe
+//     cables, the default for emulation) so deployments need no real TCP
+//     ports, while remaining compatible with net.Listener;
+//   - per-switch connection handling: OpenFlow 1.0 handshake (hello,
+//     features), echo keepalive, transaction-ID management and synchronous
+//     request/reply helpers;
+//   - an event callback surface (switch up/down, packet-in, port-status,
+//     flow-removed, error) that controller applications build on.
+package ctlkit
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// ErrListenerClosed is returned by Accept after Close.
+var ErrListenerClosed = errors.New("ctlkit: listener closed")
+
+// Listener accepts switch connections. *MemListener implements it in-process;
+// adaptTCP wraps a net.Listener.
+type Listener interface {
+	Accept() (net.Conn, error)
+	Close() error
+	Addr() string
+}
+
+// MemListener is an in-process Listener. Dial returns the client half of a
+// net.Pipe whose server half is handed to Accept — the emulation's
+// replacement for TCP between switches, FlowVisor and controllers.
+type MemListener struct {
+	name string
+	ch   chan net.Conn
+	once sync.Once
+	done chan struct{}
+}
+
+// NewMemListener creates a listener with the given display address.
+func NewMemListener(name string) *MemListener {
+	return &MemListener{name: name, ch: make(chan net.Conn, 16), done: make(chan struct{})}
+}
+
+// Accept returns the next dialed connection.
+func (l *MemListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.ch:
+		return c, nil
+	case <-l.done:
+		return nil, ErrListenerClosed
+	}
+}
+
+// Dial connects to the listener, returning the client side.
+func (l *MemListener) Dial() (net.Conn, error) {
+	select {
+	case <-l.done:
+		return nil, fmt.Errorf("ctlkit: dial %s: %w", l.name, ErrListenerClosed)
+	default:
+	}
+	client, server := net.Pipe()
+	select {
+	case l.ch <- server:
+		return client, nil
+	case <-l.done:
+		client.Close()
+		server.Close()
+		return nil, fmt.Errorf("ctlkit: dial %s: %w", l.name, ErrListenerClosed)
+	}
+}
+
+// Close stops the listener; blocked Accepts return ErrListenerClosed.
+func (l *MemListener) Close() error {
+	l.once.Do(func() { close(l.done) })
+	return nil
+}
+
+// Addr returns the display address.
+func (l *MemListener) Addr() string { return "mem://" + l.name }
+
+// NetListener adapts a net.Listener (e.g. TCP) to the Listener interface.
+type NetListener struct{ L net.Listener }
+
+// Accept implements Listener.
+func (n NetListener) Accept() (net.Conn, error) { return n.L.Accept() }
+
+// Close implements Listener.
+func (n NetListener) Close() error { return n.L.Close() }
+
+// Addr implements Listener.
+func (n NetListener) Addr() string { return n.L.Addr().String() }

@@ -1,0 +1,208 @@
+package discovery
+
+import (
+	"testing"
+	"time"
+
+	"routeflow/internal/clock"
+	"routeflow/internal/ctlkit"
+	"routeflow/internal/netemu"
+	"routeflow/internal/ofswitch"
+	"routeflow/internal/pkt"
+)
+
+// rig is a discovery controller plus a two-switch network:
+//
+//	s1(port1) <-> (port1)s2 ; each switch also has a free port 2.
+type rig struct {
+	t    *testing.T
+	d    *Discovery
+	ctl  *ctlkit.Controller
+	net  *netemu.Network
+	s1   *ofswitch.Switch
+	s2   *ofswitch.Switch
+	x12a *netemu.Endpoint // s1 side of the inter-switch cable
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	clk := clock.System()
+	d := New(clk, WithProbeInterval(20*time.Millisecond), WithLinkTTL(100*time.Millisecond))
+	ctl := ctlkit.New("topology", clk, d.Callbacks(), ctlkit.WithEchoInterval(0))
+	l := ctlkit.NewMemListener("topo")
+	t.Cleanup(func() { l.Close() })
+	go ctl.Serve(l)
+	t.Cleanup(ctl.Stop)
+	d.Run()
+	t.Cleanup(d.Stop)
+
+	n := netemu.NewNetwork(clk)
+	t.Cleanup(n.Close)
+
+	s1 := ofswitch.New(ofswitch.Config{DPID: 1, Name: "s1", Clock: clk})
+	s2 := ofswitch.New(ofswitch.Config{DPID: 2, Name: "s2", Clock: clk})
+	a, b := n.NewCable(netemu.CableOpts{NameA: "s1:1", NameB: "s2:1",
+		MACA: pkt.LocalMAC(0x0101), MACB: pkt.LocalMAC(0x0201)})
+	mustNoErr(t, s1.AttachPort(1, a))
+	mustNoErr(t, s2.AttachPort(1, b))
+	// A stub port on each switch (nothing on the far side).
+	c, _ := n.NewCable(netemu.CableOpts{NameA: "s1:2", NameB: "stub1", MACA: pkt.LocalMAC(0x0102)})
+	e, _ := n.NewCable(netemu.CableOpts{NameA: "s2:2", NameB: "stub2", MACA: pkt.LocalMAC(0x0202)})
+	mustNoErr(t, s1.AttachPort(2, c))
+	mustNoErr(t, s2.AttachPort(2, e))
+
+	for _, sw := range []*ofswitch.Switch{s1, s2} {
+		conn, err := l.Dial()
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustNoErr(t, sw.Start(conn))
+	}
+	t.Cleanup(s1.Stop)
+	t.Cleanup(s2.Stop)
+	return &rig{t: t, d: d, ctl: ctl, net: n, s1: s1, s2: s2, x12a: a}
+}
+
+func mustNoErr(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// waitEvent drains the stream until an event satisfies pred.
+func (r *rig) waitEvent(what string, pred func(Event) bool) Event {
+	r.t.Helper()
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case ev := <-r.d.Events():
+			if pred(ev) {
+				return ev
+			}
+		case <-deadline:
+			r.t.Fatalf("timed out waiting for %s", what)
+		}
+	}
+}
+
+func TestSwitchUpEvents(t *testing.T) {
+	r := newRig(t)
+	seen := map[uint64]bool{}
+	for len(seen) < 2 {
+		ev := r.waitEvent("switch-up", func(e Event) bool { return e.Type == SwitchUp })
+		seen[ev.DPID] = true
+		if len(ev.Ports) != 2 {
+			t.Fatalf("switch %x ports = %d", ev.DPID, len(ev.Ports))
+		}
+	}
+	if !seen[1] || !seen[2] {
+		t.Fatalf("seen = %v", seen)
+	}
+}
+
+func TestLinkDiscovered(t *testing.T) {
+	r := newRig(t)
+	ev := r.waitEvent("link-up", func(e Event) bool { return e.Type == LinkUp })
+	want := Link{ADPID: 1, APort: 1, BDPID: 2, BPort: 1}
+	if ev.Link != want {
+		t.Fatalf("link = %v, want %v", ev.Link, want)
+	}
+	// Exactly one canonical link; both probe directions collapse onto it.
+	deadline := time.Now().Add(200 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		if links := r.d.Links(); len(links) != 1 {
+			t.Fatalf("links = %v", links)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := len(r.d.Switches()); got != 2 {
+		t.Fatalf("switches = %d", got)
+	}
+}
+
+func TestLinkAgesOutAfterFailure(t *testing.T) {
+	r := newRig(t)
+	r.waitEvent("link-up", func(e Event) bool { return e.Type == LinkUp })
+	// Cut the cable: probes stop crossing; port-status also fires.
+	r.x12a.SetLinkUp(false)
+	ev := r.waitEvent("link-down", func(e Event) bool { return e.Type == LinkDown })
+	want := Link{ADPID: 1, APort: 1, BDPID: 2, BPort: 1}
+	if ev.Link != want {
+		t.Fatalf("down link = %v", ev.Link)
+	}
+	if len(r.d.Links()) != 0 {
+		t.Fatalf("links after down = %v", r.d.Links())
+	}
+}
+
+func TestLinkReappearsAfterRestore(t *testing.T) {
+	r := newRig(t)
+	r.waitEvent("link-up", func(e Event) bool { return e.Type == LinkUp })
+	r.x12a.SetLinkUp(false)
+	r.waitEvent("link-down", func(e Event) bool { return e.Type == LinkDown })
+	r.x12a.SetLinkUp(true)
+	r.waitEvent("link-up again", func(e Event) bool { return e.Type == LinkUp })
+}
+
+func TestSwitchDownRemovesLinks(t *testing.T) {
+	r := newRig(t)
+	r.waitEvent("link-up", func(e Event) bool { return e.Type == LinkUp })
+	r.s2.Stop()
+	sawLinkDown, sawSwitchDown := false, false
+	for !sawLinkDown || !sawSwitchDown {
+		ev := r.waitEvent("teardown events", func(e Event) bool {
+			return e.Type == LinkDown || e.Type == SwitchDown
+		})
+		switch ev.Type {
+		case LinkDown:
+			sawLinkDown = true
+		case SwitchDown:
+			if ev.DPID != 2 {
+				t.Fatalf("switch-down dpid = %x", ev.DPID)
+			}
+			sawSwitchDown = true
+		}
+	}
+	if len(r.d.Switches()) != 1 {
+		t.Fatalf("switches = %v", r.d.Switches())
+	}
+}
+
+func TestEventTypeString(t *testing.T) {
+	for ty, want := range map[EventType]string{
+		SwitchUp: "switch-up", SwitchDown: "switch-down",
+		LinkUp: "link-up", LinkDown: "link-down", EventType(9): "EventType(9)",
+	} {
+		if got := ty.String(); got != want {
+			t.Fatalf("%d: %s != %s", ty, got, want)
+		}
+	}
+}
+
+func TestLinkCanonical(t *testing.T) {
+	a := Link{ADPID: 5, APort: 2, BDPID: 3, BPort: 7}.canonical()
+	if a.ADPID != 3 || a.APort != 7 || a.BDPID != 5 || a.BPort != 2 {
+		t.Fatalf("canonical = %+v", a)
+	}
+	b := Link{ADPID: 3, APort: 9, BDPID: 3, BPort: 4}.canonical()
+	if b.APort != 4 || b.BPort != 9 {
+		t.Fatalf("same-dpid canonical = %+v", b)
+	}
+	if a.String() == "" {
+		t.Fatal("empty link string")
+	}
+}
+
+func TestEmitDropsOldestWhenFull(t *testing.T) {
+	d := New(clock.System())
+	// Fill the queue beyond capacity without a consumer.
+	for i := 0; i < eventQueueDepth+10; i++ {
+		d.emit(Event{Type: SwitchUp, DPID: uint64(i)})
+	}
+	// The oldest events must be gone; the newest survive.
+	first := <-d.Events()
+	if first.DPID == 0 {
+		t.Fatal("oldest event survived a full queue")
+	}
+}

@@ -1,0 +1,412 @@
+// Package flowvisor implements the FlowVisor component of the paper's
+// framework: a transparent OpenFlow 1.0 proxy that lets several controllers
+// share one physical switch by slicing the flowspace. In the paper's
+// deployment there are two slices — the topology controller owns LLDP
+// traffic, the RF-controller owns everything else — and FlowVisor sits
+// between every switch and both controllers.
+//
+// For each switch connection the proxy dials every slice's controller and
+// relays messages both ways, rewriting transaction IDs so concurrent
+// requests from different slices cannot collide, answering controller echo
+// keepalives locally (as the real FlowVisor does), routing packet-ins to the
+// slice whose flowspace claims them, broadcasting asynchronous status
+// messages, and enforcing per-slice write policies (a slice that may not
+// program flows gets an EPERM error back, per FlowVisor semantics).
+package flowvisor
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"routeflow/internal/ctlkit"
+	"routeflow/internal/openflow"
+	"routeflow/internal/pkt"
+)
+
+const writeQueueDepth = 1024
+
+// Slice is one controller's view of the network.
+type Slice struct {
+	// Name identifies the slice in counters and logs.
+	Name string
+	// Dial opens a connection to the slice's controller.
+	Dial func() (net.Conn, error)
+	// OwnsPacketIn claims packet-ins for this slice; slices are evaluated
+	// in order and the first claimant wins. nil claims everything.
+	OwnsPacketIn func(pi *openflow.PacketIn) bool
+	// AllowWrite filters controller→switch messages. nil allows everything.
+	// Denied messages are answered with an OpenFlow EPERM error.
+	AllowWrite func(m openflow.Message) bool
+}
+
+// LLDPSlice returns the topology-controller slice policy: it owns LLDP
+// packet-ins and may inject packets and read state, but may not modify the
+// flow tables.
+func LLDPSlice(name string, dial func() (net.Conn, error)) Slice {
+	return Slice{
+		Name: name,
+		Dial: dial,
+		OwnsPacketIn: func(pi *openflow.PacketIn) bool {
+			f, err := pkt.DecodeFrame(pi.Data)
+			return err == nil && f.Type == pkt.EtherTypeLLDP
+		},
+		AllowWrite: func(m openflow.Message) bool {
+			switch m.(type) {
+			case *openflow.FlowMod:
+				return false
+			default:
+				return true
+			}
+		},
+	}
+}
+
+// DefaultSlice returns the catch-all slice policy (the RF-controller): every
+// remaining packet-in, full write access.
+func DefaultSlice(name string, dial func() (net.Conn, error)) Slice {
+	return Slice{Name: name, Dial: dial}
+}
+
+// Counters reports per-slice forwarding statistics.
+type Counters struct {
+	ToController uint64 // messages relayed switch → this slice
+	ToSwitch     uint64 // messages relayed this slice → switch
+	Denied       uint64 // writes rejected by policy
+	PacketIns    uint64 // packet-ins routed to this slice
+}
+
+// FlowVisor is the proxy. One instance serves many switches.
+type FlowVisor struct {
+	name   string
+	slices []Slice
+
+	mu       sync.Mutex
+	sessions map[*session]struct{}
+	counters []countersAtomic
+	stopped  bool
+
+	wg sync.WaitGroup
+}
+
+type countersAtomic struct {
+	toController atomic.Uint64
+	toSwitch     atomic.Uint64
+	denied       atomic.Uint64
+	packetIns    atomic.Uint64
+}
+
+// New creates a FlowVisor with the given slices (order = packet-in priority).
+func New(name string, slices []Slice) *FlowVisor {
+	return &FlowVisor{
+		name:     name,
+		slices:   slices,
+		sessions: make(map[*session]struct{}),
+		counters: make([]countersAtomic, len(slices)),
+	}
+}
+
+// Counters returns a snapshot for the named slice.
+func (fv *FlowVisor) Counters(slice string) (Counters, bool) {
+	for i, s := range fv.slices {
+		if s.Name == slice {
+			c := &fv.counters[i]
+			return Counters{
+				ToController: c.toController.Load(),
+				ToSwitch:     c.toSwitch.Load(),
+				Denied:       c.denied.Load(),
+				PacketIns:    c.packetIns.Load(),
+			}, true
+		}
+	}
+	return Counters{}, false
+}
+
+// Serve accepts switch connections until the listener closes. Run in a
+// goroutine.
+func (fv *FlowVisor) Serve(l ctlkit.Listener) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		fv.mu.Lock()
+		if fv.stopped {
+			fv.mu.Unlock()
+			conn.Close()
+			return
+		}
+		fv.mu.Unlock()
+		fv.wg.Add(1)
+		go func() {
+			defer fv.wg.Done()
+			fv.runSession(conn)
+		}()
+	}
+}
+
+// Stop tears down all sessions.
+func (fv *FlowVisor) Stop() {
+	fv.mu.Lock()
+	fv.stopped = true
+	for s := range fv.sessions {
+		s.close()
+	}
+	fv.mu.Unlock()
+	fv.wg.Wait()
+}
+
+// session proxies one switch to all slices.
+type session struct {
+	fv     *FlowVisor
+	swConn net.Conn
+	swOut  chan openflow.Message
+
+	ctls []*sliceConn
+
+	xidMu   sync.Mutex
+	nextXID uint32
+	pending map[uint32]pendEntry
+
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+type sliceConn struct {
+	idx  int
+	conn net.Conn
+	out  chan openflow.Message
+}
+
+type pendEntry struct {
+	slice int
+	orig  uint32
+}
+
+func (fv *FlowVisor) runSession(swConn net.Conn) {
+	s := &session{
+		fv:      fv,
+		swConn:  swConn,
+		swOut:   make(chan openflow.Message, writeQueueDepth),
+		pending: make(map[uint32]pendEntry),
+		closed:  make(chan struct{}),
+	}
+	defer s.close()
+
+	// Dial every slice controller; a slice that cannot be reached aborts the
+	// session (the deployment is misconfigured without both controllers).
+	for i, sl := range fv.slices {
+		conn, err := sl.Dial()
+		if err != nil {
+			return
+		}
+		s.ctls = append(s.ctls, &sliceConn{idx: i, conn: conn,
+			out: make(chan openflow.Message, writeQueueDepth)})
+	}
+
+	fv.mu.Lock()
+	if fv.stopped {
+		fv.mu.Unlock()
+		return
+	}
+	fv.sessions[s] = struct{}{}
+	fv.mu.Unlock()
+	defer func() {
+		fv.mu.Lock()
+		delete(fv.sessions, s)
+		fv.mu.Unlock()
+	}()
+
+	var wg sync.WaitGroup
+	// Writers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.writeLoop(s.swConn, s.swOut)
+	}()
+	for _, sc := range s.ctls {
+		wg.Add(1)
+		go func(sc *sliceConn) {
+			defer wg.Done()
+			s.writeLoop(sc.conn, sc.out)
+		}(sc)
+	}
+	// Controller readers.
+	for _, sc := range s.ctls {
+		wg.Add(1)
+		go func(sc *sliceConn) {
+			defer wg.Done()
+			s.controllerReadLoop(sc)
+		}(sc)
+	}
+	// Switch reader (this goroutine).
+	s.switchReadLoop()
+	s.close()
+	wg.Wait()
+}
+
+func (s *session) close() {
+	s.closeOnce.Do(func() {
+		close(s.closed)
+		s.swConn.Close()
+		for _, sc := range s.ctls {
+			sc.conn.Close()
+		}
+	})
+}
+
+func (s *session) writeLoop(conn net.Conn, ch <-chan openflow.Message) {
+	for {
+		select {
+		case m := <-ch:
+			if err := openflow.WriteMessage(conn, m); err != nil {
+				s.close()
+				return
+			}
+		case <-s.closed:
+			return
+		}
+	}
+}
+
+func (s *session) enqueue(ch chan<- openflow.Message, m openflow.Message) {
+	select {
+	case ch <- m:
+	case <-s.closed:
+	}
+}
+
+// rewriteXID allocates a proxy transaction ID mapped back to (slice, orig).
+func (s *session) rewriteXID(slice int, orig uint32) uint32 {
+	s.xidMu.Lock()
+	defer s.xidMu.Unlock()
+	for {
+		s.nextXID++
+		if s.nextXID == 0 {
+			continue
+		}
+		if _, busy := s.pending[s.nextXID]; !busy {
+			s.pending[s.nextXID] = pendEntry{slice: slice, orig: orig}
+			return s.nextXID
+		}
+	}
+}
+
+// resolveXID maps a switch reply back to its requesting slice. keep retains
+// the mapping (multipart stats with the MORE flag).
+func (s *session) resolveXID(x uint32, keep bool) (pendEntry, bool) {
+	s.xidMu.Lock()
+	defer s.xidMu.Unlock()
+	pe, ok := s.pending[x]
+	if ok && !keep {
+		delete(s.pending, x)
+	}
+	return pe, ok
+}
+
+func (s *session) controllerReadLoop(sc *sliceConn) {
+	slice := s.fv.slices[sc.idx]
+	for {
+		m, err := openflow.ReadMessage(sc.conn)
+		if err != nil {
+			s.close()
+			return
+		}
+		switch msg := m.(type) {
+		case *openflow.Hello:
+			continue // consumed by the proxy; the switch already said hello
+		case *openflow.EchoRequest:
+			// Keepalives terminate at the proxy, like real FlowVisor.
+			rep := &openflow.EchoReply{Data: msg.Data}
+			rep.SetXID(msg.XID())
+			s.enqueue(sc.out, rep)
+			continue
+		}
+		if slice.AllowWrite != nil && !slice.AllowWrite(m) {
+			s.fv.counters[sc.idx].denied.Add(1)
+			em := &openflow.ErrorMsg{
+				ErrType: openflow.ErrTypeBadRequest,
+				Code:    openflow.ErrCodeBadRequestEperm,
+				Data:    truncate(openflow.Marshal(m), 64),
+			}
+			em.SetXID(m.XID())
+			s.enqueue(sc.out, em)
+			continue
+		}
+		m.SetXID(s.rewriteXID(sc.idx, m.XID()))
+		s.fv.counters[sc.idx].toSwitch.Add(1)
+		s.enqueue(s.swOut, m)
+	}
+}
+
+func (s *session) switchReadLoop() {
+	helloSent := make([]bool, len(s.ctls))
+	for {
+		m, err := openflow.ReadMessage(s.swConn)
+		if err != nil {
+			return
+		}
+		switch msg := m.(type) {
+		case *openflow.Hello:
+			// Relay the switch's hello once to every slice.
+			for i, sc := range s.ctls {
+				if !helloSent[i] {
+					helloSent[i] = true
+					h := &openflow.Hello{}
+					h.SetXID(msg.XID())
+					s.enqueue(sc.out, h)
+				}
+			}
+		case *openflow.EchoRequest:
+			rep := &openflow.EchoReply{Data: msg.Data}
+			rep.SetXID(msg.XID())
+			s.enqueue(s.swOut, rep)
+		case *openflow.PacketIn:
+			s.routePacketIn(msg)
+		case *openflow.PortStatus, *openflow.FlowRemoved:
+			for i, sc := range s.ctls {
+				s.fv.counters[i].toController.Add(1)
+				s.enqueue(sc.out, m)
+			}
+		default:
+			// Replies: route by transaction ID.
+			keep := false
+			if sr, ok := m.(*openflow.StatsReply); ok &&
+				sr.Flags&openflow.StatsReplyFlagMore != 0 {
+				keep = true
+			}
+			pe, ok := s.resolveXID(m.XID(), keep)
+			if !ok {
+				continue // unsolicited reply; drop
+			}
+			m.SetXID(pe.orig)
+			s.fv.counters[pe.slice].toController.Add(1)
+			s.enqueue(s.ctls[pe.slice].out, m)
+		}
+	}
+}
+
+func (s *session) routePacketIn(pi *openflow.PacketIn) {
+	for i, sl := range s.fv.slices {
+		if sl.OwnsPacketIn == nil || sl.OwnsPacketIn(pi) {
+			s.fv.counters[i].packetIns.Add(1)
+			s.fv.counters[i].toController.Add(1)
+			s.enqueue(s.ctls[i].out, pi)
+			return
+		}
+	}
+	// No slice claims it: dropped, mirroring FlowVisor's default-deny.
+}
+
+func truncate(b []byte, n int) []byte {
+	if len(b) > n {
+		return b[:n]
+	}
+	return b
+}
+
+// String describes the proxy.
+func (fv *FlowVisor) String() string {
+	return fmt.Sprintf("flowvisor(%s, %d slices)", fv.name, len(fv.slices))
+}

@@ -1,0 +1,201 @@
+// Package gui reproduces the paper's demonstration GUI (§3): switches are
+// shown red until the RPC server has configured them (created their VM) and
+// green afterwards. Two renderings are provided — an ANSI terminal view for
+// the demo binary and an HTTP/JSON endpoint (with a minimal HTML page) so
+// the state can be watched from a browser, substituting for the paper's
+// desktop GUI.
+package gui
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"routeflow/internal/topo"
+	"routeflow/internal/vnet"
+)
+
+// SwitchStatus is one switch's view-model.
+type SwitchStatus struct {
+	Node  int       `json:"node"`
+	Name  string    `json:"name"`
+	DPID  uint64    `json:"dpid"`
+	State string    `json:"state"` // "red" | "booting" | "green"
+	Since time.Time `json:"since"`
+}
+
+// Dashboard tracks per-switch configuration state.
+type Dashboard struct {
+	mu     sync.Mutex
+	graph  *topo.Graph
+	dpids  map[uint64]int // dpid → node
+	states map[uint64]vnet.State
+	since  map[uint64]time.Time
+	log    []string
+}
+
+// New creates a dashboard for a topology; dpidForNode maps nodes to
+// datapath IDs (core.DPIDForNode in deployments).
+func New(g *topo.Graph, dpidForNode func(int) uint64) *Dashboard {
+	d := &Dashboard{
+		graph:  g,
+		dpids:  make(map[uint64]int),
+		states: make(map[uint64]vnet.State),
+		since:  make(map[uint64]time.Time),
+	}
+	for _, n := range g.Nodes() {
+		d.dpids[dpidForNode(n.ID)] = n.ID
+	}
+	return d
+}
+
+// Update records a state transition; wire it to rf's OnStatus.
+func (d *Dashboard) Update(dpid uint64, st vnet.State) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.states[dpid] = st
+	d.since[dpid] = time.Now()
+	node := d.dpids[dpid]
+	name := fmt.Sprintf("n%d", node)
+	if n, ok := d.graph.Node(node); ok {
+		name = n.Name
+	}
+	d.log = append(d.log, fmt.Sprintf("%s: switch %s (dpid %x) -> %s",
+		time.Now().Format("15:04:05.000"), name, dpid, colour(st)))
+	if len(d.log) > 256 {
+		d.log = d.log[len(d.log)-256:]
+	}
+}
+
+func colour(st vnet.State) string {
+	switch st {
+	case vnet.StateUp:
+		return "green"
+	case vnet.StateBooting:
+		return "booting"
+	default:
+		return "red"
+	}
+}
+
+// Statuses returns all switches sorted by node ID.
+func (d *Dashboard) Statuses() []SwitchStatus {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]SwitchStatus, 0, len(d.dpids))
+	for dpid, node := range d.dpids {
+		name := fmt.Sprintf("n%d", node)
+		if n, ok := d.graph.Node(node); ok && n.Name != "" {
+			name = n.Name
+		}
+		st, ok := d.states[dpid]
+		state := "red"
+		if ok {
+			state = colour(st)
+		}
+		out = append(out, SwitchStatus{
+			Node: node, Name: name, DPID: dpid, State: state, Since: d.since[dpid],
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}
+
+// GreenCount returns how many switches are configured.
+func (d *Dashboard) GreenCount() int {
+	n := 0
+	for _, s := range d.Statuses() {
+		if s.State == "green" {
+			n++
+		}
+	}
+	return n
+}
+
+// ANSI terminal colours.
+const (
+	ansiRed    = "\x1b[31m"
+	ansiYellow = "\x1b[33m"
+	ansiGreen  = "\x1b[32m"
+	ansiReset  = "\x1b[0m"
+)
+
+// RenderANSI draws the switch grid with terminal colours (the demo's GUI).
+func (d *Dashboard) RenderANSI() string {
+	var b strings.Builder
+	statuses := d.Statuses()
+	green := 0
+	for _, s := range statuses {
+		if s.State == "green" {
+			green++
+		}
+	}
+	fmt.Fprintf(&b, "RouteFlow automatic configuration — %d/%d switches configured\n",
+		green, len(statuses))
+	for i, s := range statuses {
+		var tint, mark string
+		switch s.State {
+		case "green":
+			tint, mark = ansiGreen, "●"
+		case "booting":
+			tint, mark = ansiYellow, "◐"
+		default:
+			tint, mark = ansiRed, "○"
+		}
+		fmt.Fprintf(&b, "%s%s %-12s%s", tint, mark, s.Name, ansiReset)
+		if (i+1)%4 == 0 {
+			b.WriteByte('\n')
+		}
+	}
+	if len(statuses)%4 != 0 {
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Log returns the recent transition log.
+func (d *Dashboard) Log() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]string(nil), d.log...)
+}
+
+// ServeHTTP implements http.Handler: "/" renders HTML, "/status.json" the
+// JSON view-model, "/log.json" the transition log.
+func (d *Dashboard) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/status.json":
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(d.Statuses())
+	case "/log.json":
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(d.Log())
+	case "/":
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		d.renderHTML(w)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func (d *Dashboard) renderHTML(w http.ResponseWriter) {
+	fmt.Fprint(w, `<!doctype html><meta charset="utf-8">
+<title>RouteFlow auto-configuration</title>
+<style>
+body{font-family:sans-serif;background:#111;color:#eee}
+.sw{display:inline-block;margin:6px;padding:10px 14px;border-radius:6px;min-width:8em;text-align:center}
+.red{background:#a22}.booting{background:#a82}.green{background:#2a5}
+</style><h1>RouteFlow automatic configuration</h1><div id=grid></div>
+<script>
+async function tick(){
+ const r=await fetch('/status.json');const s=await r.json();
+ document.getElementById('grid').innerHTML =
+   s.map(x=>`+"`<span class=\"sw ${x.state}\">${x.name}<br><small>${x.state}</small></span>`"+`).join('');
+}
+setInterval(tick,500);tick();
+</script>`)
+}

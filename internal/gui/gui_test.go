@@ -1,0 +1,124 @@
+package gui
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"routeflow/internal/topo"
+	"routeflow/internal/vnet"
+)
+
+func dpidFor(node int) uint64 { return uint64(node) + 1 }
+
+func newDash() *Dashboard {
+	return New(topo.Ring(4), dpidFor)
+}
+
+func TestAllRedInitially(t *testing.T) {
+	d := newDash()
+	sts := d.Statuses()
+	if len(sts) != 4 {
+		t.Fatalf("statuses = %d", len(sts))
+	}
+	for _, s := range sts {
+		if s.State != "red" {
+			t.Fatalf("initial state = %s", s.State)
+		}
+	}
+	if d.GreenCount() != 0 {
+		t.Fatal("green count nonzero")
+	}
+}
+
+func TestTransitions(t *testing.T) {
+	d := newDash()
+	d.Update(dpidFor(1), vnet.StateBooting)
+	d.Update(dpidFor(2), vnet.StateUp)
+	sts := d.Statuses()
+	if sts[1].State != "booting" || sts[2].State != "green" || sts[0].State != "red" {
+		t.Fatalf("states = %+v", sts)
+	}
+	if d.GreenCount() != 1 {
+		t.Fatalf("green = %d", d.GreenCount())
+	}
+	if len(d.Log()) != 2 {
+		t.Fatalf("log = %v", d.Log())
+	}
+	d.Update(dpidFor(2), vnet.StateDestroyed)
+	if d.Statuses()[2].State != "red" {
+		t.Fatal("destroyed should render red")
+	}
+}
+
+func TestRenderANSI(t *testing.T) {
+	d := newDash()
+	d.Update(dpidFor(0), vnet.StateUp)
+	out := d.RenderANSI()
+	if !strings.Contains(out, "1/4 switches configured") {
+		t.Fatalf("banner missing:\n%s", out)
+	}
+	if !strings.Contains(out, ansiGreen) || !strings.Contains(out, ansiRed) {
+		t.Fatal("colours missing")
+	}
+}
+
+func TestHTTPStatusJSON(t *testing.T) {
+	d := newDash()
+	d.Update(dpidFor(3), vnet.StateUp)
+	rec := httptest.NewRecorder()
+	d.ServeHTTP(rec, httptest.NewRequest("GET", "/status.json", nil))
+	if rec.Code != 200 {
+		t.Fatalf("code = %d", rec.Code)
+	}
+	var sts []SwitchStatus
+	if err := json.Unmarshal(rec.Body.Bytes(), &sts); err != nil {
+		t.Fatal(err)
+	}
+	if len(sts) != 4 || sts[3].State != "green" {
+		t.Fatalf("json = %+v", sts)
+	}
+}
+
+func TestHTTPLogAndHTMLAndNotFound(t *testing.T) {
+	d := newDash()
+	d.Update(dpidFor(0), vnet.StateBooting)
+	rec := httptest.NewRecorder()
+	d.ServeHTTP(rec, httptest.NewRequest("GET", "/log.json", nil))
+	var lines []string
+	if err := json.Unmarshal(rec.Body.Bytes(), &lines); err != nil || len(lines) != 1 {
+		t.Fatalf("log = %v, %v", lines, err)
+	}
+	rec = httptest.NewRecorder()
+	d.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if !strings.Contains(rec.Body.String(), "RouteFlow") {
+		t.Fatal("html missing")
+	}
+	rec = httptest.NewRecorder()
+	d.ServeHTTP(rec, httptest.NewRequest("GET", "/nope", nil))
+	if rec.Code != 404 {
+		t.Fatalf("code = %d", rec.Code)
+	}
+}
+
+func TestNamedTopology(t *testing.T) {
+	d := New(topo.PanEuropean(), dpidFor)
+	sts := d.Statuses()
+	if sts[0].Name != "Amsterdam" {
+		t.Fatalf("name = %s", sts[0].Name)
+	}
+	if len(sts) != 28 {
+		t.Fatalf("switches = %d", len(sts))
+	}
+}
+
+func TestLogBounded(t *testing.T) {
+	d := newDash()
+	for i := 0; i < 600; i++ {
+		d.Update(dpidFor(i%4), vnet.StateUp)
+	}
+	if len(d.Log()) > 256 {
+		t.Fatalf("log grew to %d", len(d.Log()))
+	}
+}

@@ -1,0 +1,341 @@
+package netemu
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"sync"
+	"time"
+
+	"routeflow/internal/clock"
+	"routeflow/internal/pkt"
+)
+
+// Host errors.
+var (
+	ErrNoRoute    = errors.New("netemu: no route to host")
+	ErrARPTimeout = errors.New("netemu: arp resolution timed out")
+	ErrClosed     = errors.New("netemu: host closed")
+)
+
+// HostConfig configures a Host's network identity and protocol timers.
+type HostConfig struct {
+	Name    string
+	Addr    netip.Prefix // interface address with its subnet
+	Gateway netip.Addr   // default gateway (usually the attached VM interface)
+
+	ARPTimeout time.Duration // per-attempt wait, default 1s
+	ARPRetries int           // default 3
+}
+
+// UDPHandler consumes datagrams delivered to a bound port.
+type UDPHandler func(src netip.Addr, srcPort uint16, payload []byte)
+
+// Host is a minimal end-system IP stack attached to one endpoint: ARP
+// (request, reply, cache), ICMP echo, and UDP send/receive. It is the
+// traffic source and sink for the paper's video-streaming demo.
+type Host struct {
+	name string
+	mac  pkt.MAC
+	addr netip.Prefix
+	gw   netip.Addr
+	ep   *Endpoint
+	clk  clock.Clock
+
+	arpTimeout time.Duration
+	arpRetries int
+
+	mu       sync.Mutex
+	arpCache map[netip.Addr]pkt.MAC
+	arpWait  map[netip.Addr][]chan pkt.MAC
+	udpPorts map[uint16]UDPHandler
+	pings    map[uint32]chan time.Duration
+	pingSeq  uint16
+	ipID     uint16
+	closed   bool
+}
+
+// NewHost attaches a host stack to ep. The endpoint's receiver is taken over
+// by the host.
+func NewHost(cfg HostConfig, ep *Endpoint, clk clock.Clock) (*Host, error) {
+	if !cfg.Addr.Addr().Is4() {
+		return nil, fmt.Errorf("netemu: host %s address %v is not IPv4", cfg.Name, cfg.Addr)
+	}
+	if cfg.ARPTimeout <= 0 {
+		cfg.ARPTimeout = time.Second
+	}
+	if cfg.ARPRetries <= 0 {
+		cfg.ARPRetries = 3
+	}
+	if clk == nil {
+		clk = clock.System()
+	}
+	h := &Host{
+		name:       cfg.Name,
+		mac:        ep.MAC(),
+		addr:       cfg.Addr,
+		gw:         cfg.Gateway,
+		ep:         ep,
+		clk:        clk,
+		arpTimeout: cfg.ARPTimeout,
+		arpRetries: cfg.ARPRetries,
+		arpCache:   make(map[netip.Addr]pkt.MAC),
+		arpWait:    make(map[netip.Addr][]chan pkt.MAC),
+		udpPorts:   make(map[uint16]UDPHandler),
+		pings:      make(map[uint32]chan time.Duration),
+	}
+	ep.SetReceiver(h.receive)
+	return h, nil
+}
+
+// Name returns the host name.
+func (h *Host) Name() string { return h.name }
+
+// Addr returns the host's interface address.
+func (h *Host) Addr() netip.Addr { return h.addr.Addr() }
+
+// MAC returns the host's hardware address.
+func (h *Host) MAC() pkt.MAC { return h.mac }
+
+// Close detaches the host; subsequent sends fail.
+func (h *Host) Close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.closed = true
+	h.ep.SetReceiver(nil)
+}
+
+// BindUDP installs a handler for datagrams to the given port. A nil handler
+// unbinds.
+func (h *Host) BindUDP(port uint16, fn UDPHandler) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if fn == nil {
+		delete(h.udpPorts, port)
+		return
+	}
+	h.udpPorts[port] = fn
+}
+
+// nextHop picks the L2 destination for dst: on-link hosts directly, anything
+// else via the gateway.
+func (h *Host) nextHop(dst netip.Addr) (netip.Addr, error) {
+	if h.addr.Contains(dst) {
+		return dst, nil
+	}
+	if !h.gw.IsValid() {
+		return netip.Addr{}, fmt.Errorf("%w: %v is off-link and no gateway is set", ErrNoRoute, dst)
+	}
+	return h.gw, nil
+}
+
+// Resolve returns the MAC for an on-link IP, performing ARP with retries.
+func (h *Host) Resolve(ip netip.Addr) (pkt.MAC, error) {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return pkt.MAC{}, ErrClosed
+	}
+	if mac, ok := h.arpCache[ip]; ok {
+		h.mu.Unlock()
+		return mac, nil
+	}
+	ch := make(chan pkt.MAC, 1)
+	h.arpWait[ip] = append(h.arpWait[ip], ch)
+	h.mu.Unlock()
+
+	for attempt := 0; attempt < h.arpRetries; attempt++ {
+		h.sendARPRequest(ip)
+		select {
+		case mac := <-ch:
+			return mac, nil
+		case <-h.clk.After(h.arpTimeout):
+		}
+	}
+	h.mu.Lock()
+	waiters := h.arpWait[ip]
+	for i, w := range waiters {
+		if w == ch {
+			h.arpWait[ip] = append(waiters[:i], waiters[i+1:]...)
+			break
+		}
+	}
+	h.mu.Unlock()
+	// A reply may have raced the timeout; prefer it.
+	select {
+	case mac := <-ch:
+		return mac, nil
+	default:
+	}
+	return pkt.MAC{}, fmt.Errorf("%w: %v", ErrARPTimeout, ip)
+}
+
+func (h *Host) sendARPRequest(ip netip.Addr) {
+	req := pkt.NewARPRequest(h.mac, h.addr.Addr(), ip)
+	f := &pkt.Frame{Dst: pkt.BroadcastMAC, Src: h.mac, Type: pkt.EtherTypeARP,
+		Payload: req.Marshal()}
+	h.ep.Send(f.Marshal())
+}
+
+// SendUDP sends one datagram to dst:dstPort from srcPort, resolving the next
+// hop first. It blocks only for ARP resolution of uncached next hops.
+func (h *Host) SendUDP(dst netip.Addr, srcPort, dstPort uint16, payload []byte) error {
+	nh, err := h.nextHop(dst)
+	if err != nil {
+		return err
+	}
+	mac, err := h.Resolve(nh)
+	if err != nil {
+		return err
+	}
+	u := &pkt.UDP{SrcPort: srcPort, DstPort: dstPort, Payload: payload}
+	h.mu.Lock()
+	h.ipID++
+	id := h.ipID
+	h.mu.Unlock()
+	ip := &pkt.IPv4{ID: id, TTL: 64, Proto: pkt.ProtoUDP,
+		Src: h.addr.Addr(), Dst: dst, Payload: u.Marshal(h.addr.Addr(), dst)}
+	f := &pkt.Frame{Dst: mac, Src: h.mac, Type: pkt.EtherTypeIPv4, Payload: ip.Marshal()}
+	if !h.ep.Send(f.Marshal()) {
+		return fmt.Errorf("netemu: host %s: frame dropped at NIC", h.name)
+	}
+	return nil
+}
+
+// Ping sends an ICMP echo request and waits for the reply or the timeout.
+// The returned duration is measured on the host's clock.
+func (h *Host) Ping(dst netip.Addr, timeout time.Duration) (time.Duration, error) {
+	nh, err := h.nextHop(dst)
+	if err != nil {
+		return 0, err
+	}
+	mac, err := h.Resolve(nh)
+	if err != nil {
+		return 0, err
+	}
+	h.mu.Lock()
+	h.pingSeq++
+	seq := h.pingSeq
+	id := uint16(0xBEEF)
+	key := uint32(id)<<16 | uint32(seq)
+	ch := make(chan time.Duration, 1)
+	h.pings[key] = ch
+	h.mu.Unlock()
+	defer func() {
+		h.mu.Lock()
+		delete(h.pings, key)
+		h.mu.Unlock()
+	}()
+
+	start := h.clk.Now()
+	echo := &pkt.ICMP{Type: pkt.ICMPEchoRequest, ID: id, Seq: seq, Payload: []byte("routeflow-ping")}
+	ip := &pkt.IPv4{TTL: 64, Proto: pkt.ProtoICMP, Src: h.addr.Addr(), Dst: dst,
+		Payload: echo.Marshal()}
+	f := &pkt.Frame{Dst: mac, Src: h.mac, Type: pkt.EtherTypeIPv4, Payload: ip.Marshal()}
+	if !h.ep.Send(f.Marshal()) {
+		return 0, fmt.Errorf("netemu: host %s: ping frame dropped at NIC", h.name)
+	}
+	select {
+	case <-ch:
+		return h.clk.Since(start), nil
+	case <-h.clk.After(timeout):
+		return 0, fmt.Errorf("netemu: ping %v: timeout after %v", dst, timeout)
+	}
+}
+
+func (h *Host) receive(frame []byte) {
+	f, err := pkt.DecodeFrame(frame)
+	if err != nil {
+		return
+	}
+	if f.Dst != h.mac && !f.Dst.IsBroadcast() && !f.Dst.IsMulticast() {
+		return // not for us
+	}
+	switch f.Type {
+	case pkt.EtherTypeARP:
+		h.handleARP(f)
+	case pkt.EtherTypeIPv4:
+		h.handleIPv4(f)
+	}
+}
+
+func (h *Host) handleARP(f *pkt.Frame) {
+	a, err := pkt.DecodeARP(f.Payload)
+	if err != nil {
+		return
+	}
+	// Learn the sender either way.
+	h.mu.Lock()
+	h.arpCache[a.SenderIP] = a.SenderHW
+	waiters := h.arpWait[a.SenderIP]
+	delete(h.arpWait, a.SenderIP)
+	h.mu.Unlock()
+	for _, ch := range waiters {
+		select {
+		case ch <- a.SenderHW:
+		default:
+		}
+	}
+	if a.Op == pkt.ARPRequest && a.TargetIP == h.addr.Addr() {
+		rep := a.Reply(h.mac, h.addr.Addr())
+		out := &pkt.Frame{Dst: a.SenderHW, Src: h.mac, Type: pkt.EtherTypeARP,
+			Payload: rep.Marshal()}
+		h.ep.Send(out.Marshal())
+	}
+}
+
+func (h *Host) handleIPv4(f *pkt.Frame) {
+	ip, err := pkt.DecodeIPv4(f.Payload)
+	if err != nil || ip.Dst != h.addr.Addr() {
+		return
+	}
+	switch ip.Proto {
+	case pkt.ProtoUDP:
+		u, err := pkt.DecodeUDP(ip.Payload, ip.Src, ip.Dst)
+		if err != nil {
+			return
+		}
+		h.mu.Lock()
+		fn := h.udpPorts[u.DstPort]
+		h.mu.Unlock()
+		if fn != nil {
+			fn(ip.Src, u.SrcPort, u.Payload)
+		}
+	case pkt.ProtoICMP:
+		m, err := pkt.DecodeICMP(ip.Payload)
+		if err != nil {
+			return
+		}
+		switch m.Type {
+		case pkt.ICMPEchoRequest:
+			rep := m.EchoReply()
+			out := &pkt.IPv4{TTL: 64, Proto: pkt.ProtoICMP,
+				Src: h.addr.Addr(), Dst: ip.Src, Payload: rep.Marshal()}
+			fr := &pkt.Frame{Dst: f.Src, Src: h.mac, Type: pkt.EtherTypeIPv4,
+				Payload: out.Marshal()}
+			h.ep.Send(fr.Marshal())
+		case pkt.ICMPEchoReply:
+			key := uint32(m.ID)<<16 | uint32(m.Seq)
+			h.mu.Lock()
+			ch := h.pings[key]
+			h.mu.Unlock()
+			if ch != nil {
+				select {
+				case ch <- 0:
+				default:
+				}
+			}
+		}
+	}
+}
+
+// ARPCacheSnapshot returns a copy of the ARP cache (tests, GUI).
+func (h *Host) ARPCacheSnapshot() map[netip.Addr]pkt.MAC {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make(map[netip.Addr]pkt.MAC, len(h.arpCache))
+	for k, v := range h.arpCache {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,282 @@
+// Package netemu emulates the physical network the paper runs on: switches,
+// hosts and the cables between them. It replaces the OFELIA testbed's Linux
+// network namespaces with in-process endpoints exchanging byte-accurate
+// Ethernet frames over cables that can model latency, loss and failure.
+// Everything above this layer — OpenFlow switching, discovery, routing — is
+// real protocol code; only the physical medium is simulated.
+//
+// Delivery model: each endpoint has a bounded inbox drained by one goroutine,
+// so receivers run concurrently with senders and frames on one cable arrive
+// in order. A full inbox drops frames (like a real NIC ring), which keeps the
+// system deadlock-free by construction.
+package netemu
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"routeflow/internal/clock"
+	"routeflow/internal/pkt"
+)
+
+// DefaultInboxDepth is the per-endpoint receive queue length.
+const DefaultInboxDepth = 512
+
+// TraceEvent describes one frame movement for debugging and tests.
+type TraceEvent struct {
+	From, To string
+	Len      int
+	Dropped  bool // queue overflow, loss or link down
+}
+
+// Tracer receives a copy of every frame event. It must not block.
+type Tracer func(TraceEvent)
+
+// Network owns cables and endpoint delivery goroutines.
+type Network struct {
+	clk    clock.Clock
+	tracer atomic.Value // Tracer
+
+	mu     sync.Mutex
+	eps    []*Endpoint
+	closed bool
+}
+
+// NewNetwork returns an empty network using clk for latency modelling.
+func NewNetwork(clk clock.Clock) *Network {
+	if clk == nil {
+		clk = clock.System()
+	}
+	return &Network{clk: clk}
+}
+
+// SetTracer installs a frame tracer (nil clears it).
+func (n *Network) SetTracer(t Tracer) {
+	n.tracer.Store(t)
+}
+
+func (n *Network) trace(ev TraceEvent) {
+	if t, _ := n.tracer.Load().(Tracer); t != nil {
+		t(ev)
+	}
+}
+
+// CableOpts configures one cable.
+type CableOpts struct {
+	NameA, NameB string        // endpoint labels (for tracing)
+	MACA, MACB   pkt.MAC       // endpoint hardware addresses
+	Latency      time.Duration // one-way delay, applied per frame
+	LossRate     float64       // probability per frame, [0,1)
+	Seed         int64         // RNG seed for loss decisions
+	InboxDepth   int           // defaults to DefaultInboxDepth
+}
+
+// Endpoint is one side of a cable. Owners attach a receiver; Send transmits
+// toward the peer.
+type Endpoint struct {
+	net     *Network
+	name    string
+	mac     pkt.MAC
+	peer    *Endpoint
+	inbox   chan []byte
+	stop    chan struct{}
+	stopped sync.Once
+
+	latency time.Duration
+	loss    float64
+	rngMu   sync.Mutex
+	rng     *rand.Rand
+
+	recvMu  sync.RWMutex
+	recv    func([]byte)
+	onState func(bool)
+
+	up atomic.Bool // shared link state is the AND of both halves; we keep one flag per cable, see link
+
+	link *linkState
+
+	rxPackets, txPackets atomic.Uint64
+	rxBytes, txBytes     atomic.Uint64
+	drops                atomic.Uint64
+}
+
+// linkState is shared by the two endpoints of one cable.
+type linkState struct {
+	up atomic.Bool
+}
+
+// NewCable creates a cable and returns its two endpoints, initially up.
+func (n *Network) NewCable(opts CableOpts) (*Endpoint, *Endpoint) {
+	depth := opts.InboxDepth
+	if depth <= 0 {
+		depth = DefaultInboxDepth
+	}
+	ls := &linkState{}
+	ls.up.Store(true)
+	mk := func(name string, mac pkt.MAC, seedSalt int64) *Endpoint {
+		e := &Endpoint{
+			net:     n,
+			name:    name,
+			mac:     mac,
+			inbox:   make(chan []byte, depth),
+			stop:    make(chan struct{}),
+			latency: opts.Latency,
+			loss:    opts.LossRate,
+			rng:     rand.New(rand.NewSource(opts.Seed ^ seedSalt)),
+			link:    ls,
+		}
+		go e.deliverLoop()
+		return e
+	}
+	a := mk(opts.NameA, opts.MACA, 0x517e)
+	b := mk(opts.NameB, opts.MACB, 0x9e77)
+	a.peer, b.peer = b, a
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		a.close()
+		b.close()
+		panic("netemu: NewCable on closed network")
+	}
+	n.eps = append(n.eps, a, b)
+	return a, b
+}
+
+// Name returns the endpoint label.
+func (e *Endpoint) Name() string { return e.name }
+
+// MAC returns the endpoint hardware address.
+func (e *Endpoint) MAC() pkt.MAC { return e.mac }
+
+// LinkUp reports whether the cable is administratively up.
+func (e *Endpoint) LinkUp() bool { return e.link.up.Load() }
+
+// SetReceiver installs the inbound frame handler. Frames arriving with no
+// receiver installed are dropped.
+func (e *Endpoint) SetReceiver(f func(frame []byte)) {
+	e.recvMu.Lock()
+	e.recv = f
+	e.recvMu.Unlock()
+}
+
+// OnLinkState installs a callback fired on SetLinkUp transitions (both
+// endpoints of the cable are notified).
+func (e *Endpoint) OnLinkState(f func(up bool)) {
+	e.recvMu.Lock()
+	e.onState = f
+	e.recvMu.Unlock()
+}
+
+// SetLinkUp raises or cuts the cable; both endpoints observe the change.
+func (e *Endpoint) SetLinkUp(up bool) {
+	if e.link.up.Swap(up) == up {
+		return
+	}
+	for _, ep := range []*Endpoint{e, e.peer} {
+		ep.recvMu.RLock()
+		cb := ep.onState
+		ep.recvMu.RUnlock()
+		if cb != nil {
+			cb(up)
+		}
+	}
+}
+
+// Send transmits one frame toward the peer. It never blocks; it reports
+// false when the frame was dropped (link down, loss model, or full peer
+// inbox). The frame is copied, so callers may reuse the buffer.
+func (e *Endpoint) Send(frame []byte) bool {
+	if !e.link.up.Load() {
+		e.drops.Add(1)
+		e.net.trace(TraceEvent{From: e.name, To: e.peer.name, Len: len(frame), Dropped: true})
+		return false
+	}
+	if e.loss > 0 {
+		e.rngMu.Lock()
+		lost := e.rng.Float64() < e.loss
+		e.rngMu.Unlock()
+		if lost {
+			e.drops.Add(1)
+			e.net.trace(TraceEvent{From: e.name, To: e.peer.name, Len: len(frame), Dropped: true})
+			return false
+		}
+	}
+	cp := append([]byte(nil), frame...)
+	select {
+	case e.peer.inbox <- cp:
+		e.txPackets.Add(1)
+		e.txBytes.Add(uint64(len(frame)))
+		e.net.trace(TraceEvent{From: e.name, To: e.peer.name, Len: len(frame)})
+		return true
+	default:
+		e.drops.Add(1)
+		e.net.trace(TraceEvent{From: e.name, To: e.peer.name, Len: len(frame), Dropped: true})
+		return false
+	}
+}
+
+func (e *Endpoint) deliverLoop() {
+	for {
+		select {
+		case frame := <-e.inbox:
+			if e.latency > 0 {
+				e.net.clk.Sleep(e.latency)
+			}
+			e.recvMu.RLock()
+			recv := e.recv
+			e.recvMu.RUnlock()
+			if recv != nil && e.link.up.Load() {
+				e.rxPackets.Add(1)
+				e.rxBytes.Add(uint64(len(frame)))
+				recv(frame)
+			} else {
+				e.drops.Add(1)
+			}
+		case <-e.stop:
+			return
+		}
+	}
+}
+
+func (e *Endpoint) close() { e.stopped.Do(func() { close(e.stop) }) }
+
+// Stats is a snapshot of endpoint counters.
+type Stats struct {
+	RxPackets, TxPackets uint64
+	RxBytes, TxBytes     uint64
+	Drops                uint64
+}
+
+// Stats returns the endpoint counters.
+func (e *Endpoint) Stats() Stats {
+	return Stats{
+		RxPackets: e.rxPackets.Load(), TxPackets: e.txPackets.Load(),
+		RxBytes: e.rxBytes.Load(), TxBytes: e.txBytes.Load(),
+		Drops: e.drops.Load(),
+	}
+}
+
+// String describes the endpoint.
+func (e *Endpoint) String() string {
+	return fmt.Sprintf("ep(%s, %s)", e.name, e.mac)
+}
+
+// Clock returns the network's clock (components attached to endpoints share
+// it).
+func (n *Network) Clock() clock.Clock { return n.clk }
+
+// Close stops all delivery goroutines. Endpoints become inert.
+func (n *Network) Close() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return
+	}
+	n.closed = true
+	for _, e := range n.eps {
+		e.close()
+	}
+}

@@ -1,0 +1,572 @@
+package ofswitch
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"routeflow/internal/clock"
+	"routeflow/internal/netemu"
+	"routeflow/internal/openflow"
+)
+
+// Defaults.
+const (
+	DefaultNumBuffers  = 256
+	DefaultMissSendLen = 128
+	expireInterval     = time.Second
+)
+
+// Config configures a Switch.
+type Config struct {
+	DPID        uint64
+	Name        string // used in port names and desc stats
+	NumBuffers  int
+	MissSendLen uint16
+	Clock       clock.Clock
+}
+
+// Switch is a software OpenFlow 1.0 datapath.
+type Switch struct {
+	dpid        uint64
+	name        string
+	clk         clock.Clock
+	numBuffers  int
+	missSendLen uint16
+
+	table *flowTable
+
+	portMu sync.RWMutex
+	ports  map[uint16]*swPort
+
+	bufMu    sync.Mutex
+	buffers  map[uint32]bufferedPacket
+	bufOrder []uint32 // FIFO of live buffer IDs for eviction
+	nextBuf  uint32
+
+	connMu sync.Mutex
+	conn   io.ReadWriteCloser
+	out    chan openflow.Message
+
+	ctlDrops uint64 // messages dropped because the outbound queue was full
+
+	stopOnce sync.Once
+	stop     chan struct{}
+
+	wg sync.WaitGroup
+}
+
+// outQueueDepth bounds outbound control messages; a stalled controller
+// causes packet-in drops (as on a real switch) instead of blocking the
+// dataplane.
+const outQueueDepth = 1024
+
+type swPort struct {
+	no uint16
+	ep *netemu.Endpoint
+}
+
+type bufferedPacket struct {
+	inPort uint16
+	frame  []byte
+}
+
+// New creates a switch; attach ports with AttachPort, then Start it with a
+// controller connection.
+func New(cfg Config) *Switch {
+	if cfg.Clock == nil {
+		cfg.Clock = clock.System()
+	}
+	if cfg.NumBuffers <= 0 {
+		cfg.NumBuffers = DefaultNumBuffers
+	}
+	if cfg.MissSendLen == 0 {
+		cfg.MissSendLen = DefaultMissSendLen
+	}
+	if cfg.Name == "" {
+		cfg.Name = fmt.Sprintf("sw-%x", cfg.DPID)
+	}
+	return &Switch{
+		dpid:        cfg.DPID,
+		name:        cfg.Name,
+		clk:         cfg.Clock,
+		numBuffers:  cfg.NumBuffers,
+		missSendLen: cfg.MissSendLen,
+		table:       &flowTable{},
+		ports:       make(map[uint16]*swPort),
+		buffers:     make(map[uint32]bufferedPacket),
+		stop:        make(chan struct{}),
+	}
+}
+
+// DPID returns the datapath ID.
+func (s *Switch) DPID() uint64 { return s.dpid }
+
+// Name returns the switch name.
+func (s *Switch) Name() string { return s.name }
+
+// AttachPort binds a netemu endpoint as OpenFlow port portNo. The endpoint's
+// receiver is taken over by the switch, and link-state transitions become
+// port-status messages.
+func (s *Switch) AttachPort(portNo uint16, ep *netemu.Endpoint) error {
+	if portNo == 0 || portNo >= openflow.PortMax {
+		return fmt.Errorf("ofswitch %s: invalid port number %d", s.name, portNo)
+	}
+	s.portMu.Lock()
+	defer s.portMu.Unlock()
+	if _, dup := s.ports[portNo]; dup {
+		return fmt.Errorf("ofswitch %s: port %d already attached", s.name, portNo)
+	}
+	p := &swPort{no: portNo, ep: ep}
+	s.ports[portNo] = p
+	ep.SetReceiver(func(frame []byte) { s.handleFrame(portNo, frame) })
+	ep.OnLinkState(func(up bool) { s.portStateChanged(p, up) })
+	return nil
+}
+
+// Ports returns the attached port numbers in unspecified order.
+func (s *Switch) Ports() []uint16 {
+	s.portMu.RLock()
+	defer s.portMu.RUnlock()
+	out := make([]uint16, 0, len(s.ports))
+	for no := range s.ports {
+		out = append(out, no)
+	}
+	return out
+}
+
+// FlowTable returns a snapshot of installed flows.
+func (s *Switch) FlowTable() []FlowInfo { return s.table.snapshot(s.clk.Now()) }
+
+// NumFlows returns the number of installed flows.
+func (s *Switch) NumFlows() int { return s.table.len() }
+
+// Start attaches the controller connection (usually to FlowVisor) and runs
+// the control loop until Stop or connection error. It sends the initial
+// HELLO immediately, per the OpenFlow handshake.
+func (s *Switch) Start(conn io.ReadWriteCloser) error {
+	s.connMu.Lock()
+	if s.conn != nil {
+		s.connMu.Unlock()
+		return errors.New("ofswitch: already started")
+	}
+	s.conn = conn
+	s.out = make(chan openflow.Message, outQueueDepth)
+	s.connMu.Unlock()
+
+	if err := s.send(&openflow.Hello{}); err != nil {
+		return fmt.Errorf("ofswitch %s: hello: %w", s.name, err)
+	}
+	s.wg.Add(3)
+	go s.writeLoop(conn)
+	go s.controlLoop(conn)
+	go s.expireLoop()
+	return nil
+}
+
+func (s *Switch) writeLoop(conn io.ReadWriteCloser) {
+	defer s.wg.Done()
+	for {
+		select {
+		case m := <-s.out:
+			if err := openflow.WriteMessage(conn, m); err != nil {
+				return
+			}
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// Stop closes the controller connection and stops background work.
+func (s *Switch) Stop() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.connMu.Lock()
+	if s.conn != nil {
+		s.conn.Close()
+	}
+	s.connMu.Unlock()
+	s.wg.Wait()
+}
+
+func (s *Switch) send(m openflow.Message) error {
+	s.connMu.Lock()
+	out := s.out
+	s.connMu.Unlock()
+	if out == nil {
+		return errors.New("ofswitch: not connected")
+	}
+	select {
+	case out <- m:
+		return nil
+	default:
+		s.bufMu.Lock()
+		s.ctlDrops++
+		s.bufMu.Unlock()
+		return errors.New("ofswitch: controller queue full")
+	}
+}
+
+func (s *Switch) controlLoop(conn io.ReadWriteCloser) {
+	defer s.wg.Done()
+	for {
+		m, err := openflow.ReadMessage(conn)
+		if err != nil {
+			return
+		}
+		s.handleControl(m)
+	}
+}
+
+func (s *Switch) expireLoop() {
+	defer s.wg.Done()
+	tick := s.clk.NewTicker(expireInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C():
+			now := s.clk.Now()
+			for _, e := range s.table.expire(now) {
+				if e.flags&openflow.FlowModFlagSendFlowRem != 0 {
+					reason := openflow.FlowRemovedIdleTimeout
+					if e.hardTimeout > 0 && now.Sub(e.created) >= time.Duration(e.hardTimeout)*time.Second {
+						reason = openflow.FlowRemovedHardTimeout
+					}
+					s.sendFlowRemoved(e, reason, now)
+				}
+			}
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+func (s *Switch) sendFlowRemoved(e *flowEntry, reason uint8, now time.Time) {
+	dur := now.Sub(e.created)
+	_ = s.send(&openflow.FlowRemoved{
+		Match: e.match, Cookie: e.cookie, Priority: e.priority, Reason: reason,
+		DurationSec:  uint32(dur / time.Second),
+		DurationNsec: uint32(dur % time.Second),
+		IdleTimeout:  e.idleTimeout,
+		PacketCount:  e.packets, ByteCount: e.bytes,
+	})
+}
+
+func (s *Switch) handleControl(m openflow.Message) {
+	switch msg := m.(type) {
+	case *openflow.Hello:
+		// Nothing to do: version negotiation succeeded by construction.
+	case *openflow.EchoRequest:
+		rep := &openflow.EchoReply{Data: msg.Data}
+		rep.SetXID(msg.XID())
+		_ = s.send(rep)
+	case *openflow.FeaturesRequest:
+		rep := s.featuresReply()
+		rep.SetXID(msg.XID())
+		_ = s.send(rep)
+	case *openflow.GetConfigRequest:
+		rep := &openflow.GetConfigReply{MissSendLen: s.missSendLen}
+		rep.SetXID(msg.XID())
+		_ = s.send(rep)
+	case *openflow.SetConfig:
+		if msg.MissSendLen != 0 {
+			s.missSendLen = msg.MissSendLen
+		}
+	case *openflow.FlowMod:
+		s.handleFlowMod(msg)
+	case *openflow.PacketOut:
+		s.handlePacketOut(msg)
+	case *openflow.StatsRequest:
+		s.handleStats(msg)
+	case *openflow.BarrierRequest:
+		// All preceding messages were processed synchronously in this loop.
+		rep := &openflow.BarrierReply{}
+		rep.SetXID(msg.XID())
+		_ = s.send(rep)
+	case *openflow.Vendor:
+		s.sendError(msg, openflow.ErrTypeBadRequest, openflow.ErrCodeBadRequestBadType, msg)
+	case *openflow.Raw:
+		s.sendError(msg, openflow.ErrTypeBadRequest, openflow.ErrCodeBadRequestBadType, msg)
+	default:
+		// Replies (echo reply, stats reply, ...) are unexpected on a switch;
+		// OpenFlow says ignore what you can.
+	}
+}
+
+func (s *Switch) sendError(req openflow.Message, errType, code uint16, orig openflow.Message) {
+	data := openflow.Marshal(orig)
+	if len(data) > 64 {
+		data = data[:64]
+	}
+	e := &openflow.ErrorMsg{ErrType: errType, Code: code, Data: data}
+	e.SetXID(req.XID())
+	_ = s.send(e)
+}
+
+func (s *Switch) featuresReply() *openflow.FeaturesReply {
+	s.portMu.RLock()
+	defer s.portMu.RUnlock()
+	rep := &openflow.FeaturesReply{
+		DatapathID:   s.dpid,
+		NBuffers:     uint32(s.numBuffers),
+		NTables:      1,
+		Capabilities: openflow.CapFlowStats | openflow.CapTableStats | openflow.CapPortStats,
+		Actions:      0xfff, // all OF 1.0 standard actions
+	}
+	for no, p := range s.ports {
+		rep.Ports = append(rep.Ports, s.phyPort(no, p))
+	}
+	// Deterministic order helps tests and humans.
+	for i := 0; i < len(rep.Ports); i++ {
+		for j := i + 1; j < len(rep.Ports); j++ {
+			if rep.Ports[j].PortNo < rep.Ports[i].PortNo {
+				rep.Ports[i], rep.Ports[j] = rep.Ports[j], rep.Ports[i]
+			}
+		}
+	}
+	return rep
+}
+
+func (s *Switch) phyPort(no uint16, p *swPort) openflow.PhyPort {
+	var state uint32
+	if !p.ep.LinkUp() {
+		state = openflow.PortStateDown
+	}
+	return openflow.PhyPort{
+		PortNo: no,
+		HWAddr: p.ep.MAC(),
+		Name:   fmt.Sprintf("%s-eth%d", s.name, no),
+		State:  state,
+	}
+}
+
+func (s *Switch) portStateChanged(p *swPort, up bool) {
+	ps := &openflow.PortStatus{Reason: openflow.PortReasonModify, Desc: s.phyPort(p.no, p)}
+	_ = s.send(ps)
+}
+
+func (s *Switch) handleFlowMod(m *openflow.FlowMod) {
+	switch m.Command {
+	case openflow.FlowModAdd:
+		e := &flowEntry{
+			match: m.Match, priority: m.Priority, cookie: m.Cookie,
+			idleTimeout: m.IdleTimeout, hardTimeout: m.HardTimeout,
+			flags: m.Flags, actions: m.Actions, created: s.clk.Now(),
+		}
+		if errMsg := s.table.add(e, m.Flags&openflow.FlowModFlagCheckOverlap != 0); errMsg != nil {
+			errMsg.SetXID(m.XID())
+			errMsg.Data = openflow.Marshal(m)[:64]
+			_ = s.send(errMsg)
+			return
+		}
+	case openflow.FlowModModify, openflow.FlowModModifyStrict:
+		strict := m.Command == openflow.FlowModModifyStrict
+		if n := s.table.modify(&m.Match, m.Priority, m.Actions, strict); n == 0 {
+			// OF 1.0: a modify that matches nothing behaves like an add.
+			e := &flowEntry{
+				match: m.Match, priority: m.Priority, cookie: m.Cookie,
+				idleTimeout: m.IdleTimeout, hardTimeout: m.HardTimeout,
+				flags: m.Flags, actions: m.Actions, created: s.clk.Now(),
+			}
+			_ = s.table.add(e, false)
+		}
+	case openflow.FlowModDelete, openflow.FlowModDeleteStrict:
+		strict := m.Command == openflow.FlowModDeleteStrict
+		now := s.clk.Now()
+		for _, e := range s.table.deleteFlows(&m.Match, m.Priority, m.OutPort, strict) {
+			if e.flags&openflow.FlowModFlagSendFlowRem != 0 {
+				s.sendFlowRemoved(e, openflow.FlowRemovedDelete, now)
+			}
+		}
+	}
+	// Releasing a buffered packet through the new flow.
+	if m.BufferID != openflow.NoBuffer && m.Command == openflow.FlowModAdd {
+		if bp, ok := s.takeBuffer(m.BufferID); ok {
+			s.forward(bp.inPort, bp.frame, m.Actions)
+		}
+	}
+}
+
+func (s *Switch) handlePacketOut(m *openflow.PacketOut) {
+	frame := m.Data
+	if m.BufferID != openflow.NoBuffer {
+		bp, ok := s.takeBuffer(m.BufferID)
+		if !ok {
+			s.sendError(m, openflow.ErrTypeBadRequest, openflow.ErrCodeBadRequestBufUnknown, m)
+			return
+		}
+		frame = bp.frame
+	}
+	if len(frame) == 0 {
+		return
+	}
+	s.forward(m.InPort, frame, m.Actions)
+}
+
+func (s *Switch) handleStats(m *openflow.StatsRequest) {
+	rep := &openflow.StatsReply{StatsType: m.StatsType}
+	rep.SetXID(m.XID())
+	switch m.StatsType {
+	case openflow.StatsDesc:
+		rep.Desc = &openflow.DescStats{
+			Manufacturer: "routeflow-repro",
+			Hardware:     "netemu virtual datapath",
+			Software:     "ofswitch (OpenFlow 1.0)",
+			SerialNumber: fmt.Sprintf("%016x", s.dpid),
+			Datapath:     s.name,
+		}
+	case openflow.StatsFlow:
+		now := s.clk.Now()
+		req := m.Flow
+		for _, fi := range s.table.snapshot(now) {
+			if req != nil && !req.Match.Covers(&fi.Match) {
+				continue
+			}
+			rep.Flows = append(rep.Flows, openflow.FlowStats{
+				TableID: 0, Match: fi.Match,
+				DurationSec:  uint32(fi.Age / time.Second),
+				DurationNsec: uint32(fi.Age % time.Second),
+				Priority:     fi.Priority, IdleTimeout: fi.IdleTimeout,
+				HardTimeout: fi.HardTimeout, Cookie: fi.Cookie,
+				PacketCount: fi.Packets, ByteCount: fi.Bytes,
+				Actions: fi.Actions,
+			})
+		}
+	case openflow.StatsTable:
+		lookups, matched, active := s.table.stats()
+		rep.Tables = []openflow.TableStats{{
+			TableID: 0, Name: "classifier", Wildcards: openflow.WildcardAll,
+			MaxEntries: 1 << 20, ActiveCount: uint32(active),
+			LookupCount: lookups, MatchedCount: matched,
+		}}
+	case openflow.StatsPort:
+		s.portMu.RLock()
+		for no, p := range s.ports {
+			if m.Port != nil && m.Port.PortNo != openflow.PortNone && m.Port.PortNo != no {
+				continue
+			}
+			st := p.ep.Stats()
+			rep.Ports = append(rep.Ports, openflow.PortStats{
+				PortNo:    no,
+				RxPackets: st.RxPackets, TxPackets: st.TxPackets,
+				RxBytes: st.RxBytes, TxBytes: st.TxBytes,
+				TxDropped: st.Drops,
+			})
+		}
+		s.portMu.RUnlock()
+	default:
+		s.sendError(m, openflow.ErrTypeBadRequest, openflow.ErrCodeBadRequestBadStat, m)
+		return
+	}
+	_ = s.send(rep)
+}
+
+// handleFrame is the dataplane: classify, look up, forward or punt.
+func (s *Switch) handleFrame(inPort uint16, frame []byte) {
+	key, err := openflow.ExtractKey(inPort, frame)
+	if err != nil {
+		return // unparseable runt frame
+	}
+	if e := s.table.lookup(&key, len(frame), s.clk.Now()); e != nil {
+		s.forward(inPort, frame, e.actions)
+		return
+	}
+	s.punt(inPort, frame)
+}
+
+// punt buffers the frame and sends a packet-in to the controller.
+func (s *Switch) punt(inPort uint16, frame []byte) {
+	s.bufMu.Lock()
+	// Like a hardware ring, the oldest unclaimed buffer is recycled when the
+	// pool is exhausted (controllers that never release buffers — e.g. pure
+	// discovery probes — must not pin memory forever).
+	for len(s.buffers) >= s.numBuffers && len(s.bufOrder) > 0 {
+		victim := s.bufOrder[0]
+		s.bufOrder = s.bufOrder[1:]
+		delete(s.buffers, victim)
+	}
+	s.nextBuf++
+	bufID := s.nextBuf
+	s.buffers[bufID] = bufferedPacket{inPort: inPort, frame: append([]byte(nil), frame...)}
+	s.bufOrder = append(s.bufOrder, bufID)
+	s.bufMu.Unlock()
+
+	data := frame
+	if bufID != openflow.NoBuffer && len(data) > int(s.missSendLen) {
+		data = data[:s.missSendLen]
+	}
+	_ = s.send(&openflow.PacketIn{
+		BufferID: bufID,
+		TotalLen: uint16(len(frame)),
+		InPort:   inPort,
+		Reason:   openflow.PacketInReasonNoMatch,
+		Data:     append([]byte(nil), data...),
+	})
+}
+
+func (s *Switch) takeBuffer(id uint32) (bufferedPacket, bool) {
+	s.bufMu.Lock()
+	defer s.bufMu.Unlock()
+	bp, ok := s.buffers[id]
+	if ok {
+		delete(s.buffers, id)
+	}
+	return bp, ok
+}
+
+// forward applies rewrites then emits the frame on every output target.
+func (s *Switch) forward(inPort uint16, frame []byte, actions []openflow.Action) {
+	out := applyRewrites(frame, actions)
+	for _, a := range actions {
+		o, ok := a.(*openflow.ActionOutput)
+		if !ok {
+			continue
+		}
+		switch o.Port {
+		case openflow.PortInPort:
+			s.emit(inPort, out)
+		case openflow.PortFlood, openflow.PortAll:
+			s.flood(inPort, out)
+		case openflow.PortController:
+			data := out
+			if o.MaxLen > 0 && len(data) > int(o.MaxLen) {
+				data = data[:o.MaxLen]
+			}
+			_ = s.send(&openflow.PacketIn{
+				BufferID: openflow.NoBuffer,
+				TotalLen: uint16(len(out)),
+				InPort:   inPort,
+				Reason:   openflow.PacketInReasonAction,
+				Data:     append([]byte(nil), data...),
+			})
+		case openflow.PortTable:
+			// Re-inject through the flow table (packet-out only).
+			s.handleFrame(inPort, out)
+		case openflow.PortNormal, openflow.PortLocal, openflow.PortNone:
+			// Unsupported targets drop silently.
+		default:
+			s.emit(o.Port, out)
+		}
+	}
+}
+
+func (s *Switch) emit(portNo uint16, frame []byte) {
+	s.portMu.RLock()
+	p := s.ports[portNo]
+	s.portMu.RUnlock()
+	if p != nil {
+		p.ep.Send(frame)
+	}
+}
+
+func (s *Switch) flood(inPort uint16, frame []byte) {
+	s.portMu.RLock()
+	defer s.portMu.RUnlock()
+	for no, p := range s.ports {
+		if no != inPort {
+			p.ep.Send(frame)
+		}
+	}
+}

@@ -1,0 +1,247 @@
+// Package ofswitch implements a software OpenFlow 1.0 switch — the
+// reproduction's stand-in for the Open vSwitch instances the paper runs in
+// Linux network namespaces. A Switch owns netemu endpoints as its ports,
+// classifies arriving frames against a priority-ordered flow table, executes
+// the standard OpenFlow 1.0 actions (including L2/L3 rewrites with checksum
+// repair), punts table misses to its controller as packet-ins, and speaks
+// the full control protocol: handshake, flow-mods with idle/hard timeouts
+// and flow-removed notifications, packet-out, port-status, barrier, and
+// desc/flow/aggregate/table/port statistics.
+package ofswitch
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"routeflow/internal/openflow"
+)
+
+// flowEntry is one installed flow.
+type flowEntry struct {
+	match       openflow.Match
+	priority    uint16
+	cookie      uint64
+	idleTimeout uint16
+	hardTimeout uint16
+	flags       uint16
+	actions     []openflow.Action
+
+	created  time.Time
+	lastUsed time.Time
+	packets  uint64
+	bytes    uint64
+	seq      uint64 // insertion order tiebreak
+}
+
+// FlowInfo is a read-only snapshot of one flow entry, for tests and the GUI.
+type FlowInfo struct {
+	Match       openflow.Match
+	Priority    uint16
+	Cookie      uint64
+	IdleTimeout uint16
+	HardTimeout uint16
+	Actions     []openflow.Action
+	Packets     uint64
+	Bytes       uint64
+	Age         time.Duration
+}
+
+// flowTable is a single OpenFlow 1.0 table: entries ordered by priority
+// (descending), then insertion order.
+type flowTable struct {
+	mu      sync.RWMutex
+	entries []*flowEntry
+	seq     uint64
+	lookups uint64
+	matched uint64
+}
+
+// sortLocked restores the priority ordering after insertion.
+func (t *flowTable) sortLocked() {
+	sort.SliceStable(t.entries, func(i, j int) bool {
+		if t.entries[i].priority != t.entries[j].priority {
+			return t.entries[i].priority > t.entries[j].priority
+		}
+		return t.entries[i].seq < t.entries[j].seq
+	})
+}
+
+// lookup returns the highest-priority entry covering key, updating counters.
+func (t *flowTable) lookup(key *openflow.Match, frameLen int, now time.Time) *flowEntry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.lookups++
+	for _, e := range t.entries {
+		if e.match.Covers(key) {
+			t.matched++
+			e.packets++
+			e.bytes += uint64(frameLen)
+			e.lastUsed = now
+			return e
+		}
+	}
+	return nil
+}
+
+// sameStrict reports ofp "strict" identity: equal match and priority.
+func sameStrict(a *flowEntry, match *openflow.Match, priority uint16) bool {
+	return a.priority == priority && a.match == *match
+}
+
+// overlaps approximates the OFPFF_CHECK_OVERLAP test: two entries of equal
+// priority overlap when one's match covers a packet the other also covers.
+// Exact overlap computation needs field-by-field intersection; covering in
+// either direction is the common case and what this switch enforces.
+func overlaps(a, b *flowEntry) bool {
+	if a.priority != b.priority {
+		return false
+	}
+	return a.match.Covers(&b.match) || b.match.Covers(&a.match)
+}
+
+// add installs a flow per FlowModAdd semantics. It returns an *ErrorMsg
+// payload when the table must refuse (overlap check).
+func (t *flowTable) add(e *flowEntry, checkOverlap bool) *openflow.ErrorMsg {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if checkOverlap {
+		for _, ex := range t.entries {
+			if overlaps(ex, e) && !sameStrict(ex, &e.match, e.priority) {
+				return &openflow.ErrorMsg{ErrType: openflow.ErrTypeFlowModFailed,
+					Code: openflow.ErrCodeFlowModOverlap}
+			}
+		}
+	}
+	// Identical match+priority replaces the existing entry (counters reset).
+	for i, ex := range t.entries {
+		if sameStrict(ex, &e.match, e.priority) {
+			t.seq++
+			e.seq = ex.seq
+			t.entries[i] = e
+			return nil
+		}
+	}
+	t.seq++
+	e.seq = t.seq
+	t.entries = append(t.entries, e)
+	t.sortLocked()
+	return nil
+}
+
+// modify updates actions of matching flows; strict compares match+priority
+// exactly, loose updates every flow whose match is covered by m. Returns the
+// number updated; if none and the command is MODIFY, OF 1.0 says add it.
+func (t *flowTable) modify(m *openflow.Match, priority uint16, actions []openflow.Action, strict bool) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, e := range t.entries {
+		if strict {
+			if sameStrict(e, m, priority) {
+				e.actions = actions
+				n++
+			}
+		} else if m.Covers(&e.match) {
+			e.actions = actions
+			n++
+		}
+	}
+	return n
+}
+
+// deleteFlows removes flows per FlowModDelete semantics. outPort filters to
+// flows with an output action to that port (PortNone = no filter). Removed
+// entries are returned so the switch can emit flow-removed notifications.
+func (t *flowTable) deleteFlows(m *openflow.Match, priority uint16, outPort uint16, strict bool) []*flowEntry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var kept []*flowEntry
+	var removed []*flowEntry
+	for _, e := range t.entries {
+		match := false
+		if strict {
+			match = sameStrict(e, m, priority)
+		} else {
+			match = m.Covers(&e.match)
+		}
+		if match && outPort != openflow.PortNone {
+			match = false
+			for _, a := range e.actions {
+				if out, ok := a.(*openflow.ActionOutput); ok && out.Port == outPort {
+					match = true
+					break
+				}
+			}
+		}
+		if match {
+			removed = append(removed, e)
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	t.entries = kept
+	return removed
+}
+
+// expire removes entries past their idle or hard timeout.
+func (t *flowTable) expire(now time.Time) []*flowEntry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var kept, removed []*flowEntry
+	for _, e := range t.entries {
+		expired := false
+		if e.hardTimeout > 0 && now.Sub(e.created) >= time.Duration(e.hardTimeout)*time.Second {
+			expired = true
+		}
+		if !expired && e.idleTimeout > 0 {
+			ref := e.lastUsed
+			if ref.IsZero() {
+				ref = e.created
+			}
+			if now.Sub(ref) >= time.Duration(e.idleTimeout)*time.Second {
+				expired = true
+			}
+		}
+		if expired {
+			removed = append(removed, e)
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	t.entries = kept
+	return removed
+}
+
+// snapshot returns FlowInfo for all entries in table order.
+func (t *flowTable) snapshot(now time.Time) []FlowInfo {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]FlowInfo, 0, len(t.entries))
+	for _, e := range t.entries {
+		out = append(out, FlowInfo{
+			Match: e.match, Priority: e.priority, Cookie: e.cookie,
+			IdleTimeout: e.idleTimeout, HardTimeout: e.hardTimeout,
+			Actions: e.actions, Packets: e.packets, Bytes: e.bytes,
+			Age: now.Sub(e.created),
+		})
+	}
+	return out
+}
+
+func (t *flowTable) len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.entries)
+}
+
+func (t *flowTable) stats() (lookups, matched uint64, active int) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.lookups, t.matched, len(t.entries)
+}
+
+func (e *flowEntry) String() string {
+	return fmt.Sprintf("flow{prio=%d %v}", e.priority, &e.match)
+}

@@ -1,0 +1,289 @@
+package openflow
+
+import (
+	"fmt"
+
+	"routeflow/internal/pkt"
+)
+
+// Action type codes (ofp_action_type).
+const (
+	ActionTypeOutput     uint16 = 0
+	ActionTypeSetVlanVid uint16 = 1
+	ActionTypeSetVlanPcp uint16 = 2
+	ActionTypeStripVlan  uint16 = 3
+	ActionTypeSetDlSrc   uint16 = 4
+	ActionTypeSetDlDst   uint16 = 5
+	ActionTypeSetNwSrc   uint16 = 6
+	ActionTypeSetNwDst   uint16 = 7
+	ActionTypeSetNwTos   uint16 = 8
+	ActionTypeSetTpSrc   uint16 = 9
+	ActionTypeSetTpDst   uint16 = 10
+	ActionTypeEnqueue    uint16 = 11
+	ActionTypeVendor     uint16 = 0xffff
+)
+
+// Action is one entry of a flow-mod or packet-out action list.
+type Action interface {
+	ActionType() uint16
+	encode(w *wbuf)
+}
+
+// ActionOutput forwards the packet to a port; for PortController, MaxLen
+// bounds the bytes sent to the controller.
+type ActionOutput struct {
+	Port   uint16
+	MaxLen uint16
+}
+
+// ActionType implements Action.
+func (a *ActionOutput) ActionType() uint16 { return ActionTypeOutput }
+
+func (a *ActionOutput) encode(w *wbuf) {
+	w.u16(ActionTypeOutput)
+	w.u16(8)
+	w.u16(a.Port)
+	w.u16(a.MaxLen)
+}
+
+// ActionSetVlanVid rewrites the VLAN ID (adding a tag if absent).
+type ActionSetVlanVid struct{ VlanVid uint16 }
+
+// ActionType implements Action.
+func (a *ActionSetVlanVid) ActionType() uint16 { return ActionTypeSetVlanVid }
+
+func (a *ActionSetVlanVid) encode(w *wbuf) {
+	w.u16(ActionTypeSetVlanVid)
+	w.u16(8)
+	w.u16(a.VlanVid)
+	w.pad(2)
+}
+
+// ActionSetVlanPcp rewrites the VLAN priority.
+type ActionSetVlanPcp struct{ Pcp uint8 }
+
+// ActionType implements Action.
+func (a *ActionSetVlanPcp) ActionType() uint16 { return ActionTypeSetVlanPcp }
+
+func (a *ActionSetVlanPcp) encode(w *wbuf) {
+	w.u16(ActionTypeSetVlanPcp)
+	w.u16(8)
+	w.u8(a.Pcp)
+	w.pad(3)
+}
+
+// ActionStripVlan removes the 802.1Q tag.
+type ActionStripVlan struct{}
+
+// ActionType implements Action.
+func (a *ActionStripVlan) ActionType() uint16 { return ActionTypeStripVlan }
+
+func (a *ActionStripVlan) encode(w *wbuf) {
+	w.u16(ActionTypeStripVlan)
+	w.u16(8)
+	w.pad(4)
+}
+
+// ActionSetDlSrc rewrites the source MAC.
+type ActionSetDlSrc struct{ Addr pkt.MAC }
+
+// ActionType implements Action.
+func (a *ActionSetDlSrc) ActionType() uint16 { return ActionTypeSetDlSrc }
+
+func (a *ActionSetDlSrc) encode(w *wbuf) { encodeDlAddr(w, ActionTypeSetDlSrc, a.Addr) }
+
+// ActionSetDlDst rewrites the destination MAC.
+type ActionSetDlDst struct{ Addr pkt.MAC }
+
+// ActionType implements Action.
+func (a *ActionSetDlDst) ActionType() uint16 { return ActionTypeSetDlDst }
+
+func (a *ActionSetDlDst) encode(w *wbuf) { encodeDlAddr(w, ActionTypeSetDlDst, a.Addr) }
+
+func encodeDlAddr(w *wbuf, t uint16, addr pkt.MAC) {
+	w.u16(t)
+	w.u16(16)
+	w.bytes(addr[:])
+	w.pad(6)
+}
+
+// ActionSetNwSrc rewrites the IPv4 source address.
+type ActionSetNwSrc struct{ Addr [4]byte }
+
+// ActionType implements Action.
+func (a *ActionSetNwSrc) ActionType() uint16 { return ActionTypeSetNwSrc }
+
+func (a *ActionSetNwSrc) encode(w *wbuf) {
+	w.u16(ActionTypeSetNwSrc)
+	w.u16(8)
+	w.bytes(a.Addr[:])
+}
+
+// ActionSetNwDst rewrites the IPv4 destination address.
+type ActionSetNwDst struct{ Addr [4]byte }
+
+// ActionType implements Action.
+func (a *ActionSetNwDst) ActionType() uint16 { return ActionTypeSetNwDst }
+
+func (a *ActionSetNwDst) encode(w *wbuf) {
+	w.u16(ActionTypeSetNwDst)
+	w.u16(8)
+	w.bytes(a.Addr[:])
+}
+
+// ActionSetNwTos rewrites the IP TOS byte.
+type ActionSetNwTos struct{ Tos uint8 }
+
+// ActionType implements Action.
+func (a *ActionSetNwTos) ActionType() uint16 { return ActionTypeSetNwTos }
+
+func (a *ActionSetNwTos) encode(w *wbuf) {
+	w.u16(ActionTypeSetNwTos)
+	w.u16(8)
+	w.u8(a.Tos)
+	w.pad(3)
+}
+
+// ActionSetTpSrc rewrites the transport source port.
+type ActionSetTpSrc struct{ Port uint16 }
+
+// ActionType implements Action.
+func (a *ActionSetTpSrc) ActionType() uint16 { return ActionTypeSetTpSrc }
+
+func (a *ActionSetTpSrc) encode(w *wbuf) {
+	w.u16(ActionTypeSetTpSrc)
+	w.u16(8)
+	w.u16(a.Port)
+	w.pad(2)
+}
+
+// ActionSetTpDst rewrites the transport destination port.
+type ActionSetTpDst struct{ Port uint16 }
+
+// ActionType implements Action.
+func (a *ActionSetTpDst) ActionType() uint16 { return ActionTypeSetTpDst }
+
+func (a *ActionSetTpDst) encode(w *wbuf) {
+	w.u16(ActionTypeSetTpDst)
+	w.u16(8)
+	w.u16(a.Port)
+	w.pad(2)
+}
+
+// ActionEnqueue forwards through a port queue.
+type ActionEnqueue struct {
+	Port    uint16
+	QueueID uint32
+}
+
+// ActionType implements Action.
+func (a *ActionEnqueue) ActionType() uint16 { return ActionTypeEnqueue }
+
+func (a *ActionEnqueue) encode(w *wbuf) {
+	w.u16(ActionTypeEnqueue)
+	w.u16(16)
+	w.u16(a.Port)
+	w.pad(6)
+	w.u32(a.QueueID)
+}
+
+// ActionVendor is an opaque vendor action.
+type ActionVendor struct {
+	Vendor uint32
+	Data   []byte
+}
+
+// ActionType implements Action.
+func (a *ActionVendor) ActionType() uint16 { return ActionTypeVendor }
+
+func (a *ActionVendor) encode(w *wbuf) {
+	n := 8 + len(a.Data)
+	if pad := (8 - n%8) % 8; pad != 0 {
+		n += pad
+	}
+	w.u16(ActionTypeVendor)
+	w.u16(uint16(n))
+	w.u32(a.Vendor)
+	w.bytes(a.Data)
+	w.pad(n - 8 - len(a.Data))
+}
+
+func encodeActions(w *wbuf, actions []Action) {
+	for _, a := range actions {
+		a.encode(w)
+	}
+}
+
+func decodeActions(r *rbuf, length int) ([]Action, error) {
+	if length < 0 || length > r.remaining() {
+		return nil, fmt.Errorf("action list length %d of %d", length, r.remaining())
+	}
+	sub := &rbuf{b: r.take(length)}
+	var out []Action
+	for sub.remaining() > 0 {
+		if sub.remaining() < 4 {
+			return nil, fmt.Errorf("trailing %d bytes in action list", sub.remaining())
+		}
+		t := sub.u16()
+		alen := int(sub.u16())
+		if alen < 8 || alen%8 != 0 {
+			return nil, fmt.Errorf("action type %d has invalid length %d", t, alen)
+		}
+		body := &rbuf{b: sub.take(alen - 4)}
+		if sub.err != nil {
+			return nil, sub.err
+		}
+		a, err := decodeOneAction(t, body)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+func decodeOneAction(t uint16, r *rbuf) (Action, error) {
+	switch t {
+	case ActionTypeOutput:
+		return &ActionOutput{Port: r.u16(), MaxLen: r.u16()}, r.err
+	case ActionTypeSetVlanVid:
+		return &ActionSetVlanVid{VlanVid: r.u16()}, r.err
+	case ActionTypeSetVlanPcp:
+		return &ActionSetVlanPcp{Pcp: r.u8()}, r.err
+	case ActionTypeStripVlan:
+		return &ActionStripVlan{}, r.err
+	case ActionTypeSetDlSrc:
+		var a ActionSetDlSrc
+		copy(a.Addr[:], r.take(6))
+		return &a, r.err
+	case ActionTypeSetDlDst:
+		var a ActionSetDlDst
+		copy(a.Addr[:], r.take(6))
+		return &a, r.err
+	case ActionTypeSetNwSrc:
+		var a ActionSetNwSrc
+		copy(a.Addr[:], r.take(4))
+		return &a, r.err
+	case ActionTypeSetNwDst:
+		var a ActionSetNwDst
+		copy(a.Addr[:], r.take(4))
+		return &a, r.err
+	case ActionTypeSetNwTos:
+		return &ActionSetNwTos{Tos: r.u8()}, r.err
+	case ActionTypeSetTpSrc:
+		return &ActionSetTpSrc{Port: r.u16()}, r.err
+	case ActionTypeSetTpDst:
+		return &ActionSetTpDst{Port: r.u16()}, r.err
+	case ActionTypeEnqueue:
+		a := &ActionEnqueue{Port: r.u16()}
+		r.skip(6)
+		a.QueueID = r.u32()
+		return a, r.err
+	case ActionTypeVendor:
+		a := &ActionVendor{Vendor: r.u32()}
+		a.Data = append([]byte(nil), r.rest()...)
+		return a, r.err
+	default:
+		return nil, fmt.Errorf("unknown action type %d", t)
+	}
+}

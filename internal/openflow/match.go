@@ -1,0 +1,253 @@
+package openflow
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+
+	"routeflow/internal/pkt"
+)
+
+// Wildcard flag bits of ofp_match.wildcards (OpenFlow 1.0 §5.2.3).
+const (
+	WildcardInPort     uint32 = 1 << 0
+	WildcardDlVlan     uint32 = 1 << 1
+	WildcardDlSrc      uint32 = 1 << 2
+	WildcardDlDst      uint32 = 1 << 3
+	WildcardDlType     uint32 = 1 << 4
+	WildcardNwProto    uint32 = 1 << 5
+	WildcardTpSrc      uint32 = 1 << 6
+	WildcardTpDst      uint32 = 1 << 7
+	wildcardNwSrcShift        = 8
+	wildcardNwDstShift        = 14
+	WildcardNwSrcMask  uint32 = 0x3f << wildcardNwSrcShift
+	WildcardNwDstMask  uint32 = 0x3f << wildcardNwDstShift
+	WildcardDlVlanPcp  uint32 = 1 << 20
+	WildcardNwTos      uint32 = 1 << 21
+	// WildcardAll wildcards every field.
+	WildcardAll uint32 = (1 << 22) - 1
+)
+
+// MatchLen is the encoded size of ofp_match.
+const MatchLen = 40
+
+// Match is the OpenFlow 1.0 12-tuple flow match. NwSrc/NwDst prefix
+// wildcarding is encoded in Wildcards per the spec: the 6-bit subfields
+// give the number of low-order bits to ignore (>=32 wildcards the field).
+type Match struct {
+	Wildcards    uint32
+	InPort       uint16
+	DlSrc, DlDst pkt.MAC
+	DlVlan       uint16
+	DlVlanPcp    uint8
+	DlType       uint16
+	NwTos        uint8
+	NwProto      uint8
+	NwSrc, NwDst [4]byte
+	TpSrc, TpDst uint16
+}
+
+// MatchAll returns the fully wildcarded match.
+func MatchAll() Match { return Match{Wildcards: WildcardAll} }
+
+// NwSrcIgnoredBits returns how many low-order bits of NwSrc are ignored
+// (0 = exact, >=32 = fully wildcarded).
+func (m *Match) NwSrcIgnoredBits() int {
+	return int((m.Wildcards & WildcardNwSrcMask) >> wildcardNwSrcShift)
+}
+
+// NwDstIgnoredBits returns how many low-order bits of NwDst are ignored.
+func (m *Match) NwDstIgnoredBits() int {
+	return int((m.Wildcards & WildcardNwDstMask) >> wildcardNwDstShift)
+}
+
+// SetNwSrcPrefix sets NwSrc to match the given prefix.
+func (m *Match) SetNwSrcPrefix(p netip.Prefix) {
+	m.NwSrc = p.Addr().As4()
+	ignored := uint32(32 - p.Bits())
+	m.Wildcards = m.Wildcards&^WildcardNwSrcMask | ignored<<wildcardNwSrcShift
+}
+
+// SetNwDstPrefix sets NwDst to match the given prefix.
+func (m *Match) SetNwDstPrefix(p netip.Prefix) {
+	m.NwDst = p.Addr().As4()
+	ignored := uint32(32 - p.Bits())
+	m.Wildcards = m.Wildcards&^WildcardNwDstMask | ignored<<wildcardNwDstShift
+}
+
+// NwDstPrefix reports the destination prefix this match selects.
+func (m *Match) NwDstPrefix() netip.Prefix {
+	bits := 32 - m.NwDstIgnoredBits()
+	if bits < 0 {
+		bits = 0
+	}
+	return netip.PrefixFrom(netip.AddrFrom4(m.NwDst), bits).Masked()
+}
+
+func prefixMask(ignoredBits int) uint32 {
+	if ignoredBits >= 32 {
+		return 0
+	}
+	if ignoredBits <= 0 {
+		return ^uint32(0)
+	}
+	return ^uint32(0) << uint(ignoredBits)
+}
+
+func addr4ToU32(a [4]byte) uint32 {
+	return uint32(a[0])<<24 | uint32(a[1])<<16 | uint32(a[2])<<8 | uint32(a[3])
+}
+
+// Covers reports whether m matches the exact packet key k (a Match with no
+// wildcards, as produced by ExtractKey). Fields wildcarded in m are ignored;
+// all others must be equal, with prefix semantics for nw_src/nw_dst.
+func (m *Match) Covers(k *Match) bool {
+	w := m.Wildcards
+	if w&WildcardInPort == 0 && m.InPort != k.InPort {
+		return false
+	}
+	if w&WildcardDlSrc == 0 && m.DlSrc != k.DlSrc {
+		return false
+	}
+	if w&WildcardDlDst == 0 && m.DlDst != k.DlDst {
+		return false
+	}
+	if w&WildcardDlVlan == 0 && m.DlVlan != k.DlVlan {
+		return false
+	}
+	if w&WildcardDlVlanPcp == 0 && m.DlVlanPcp != k.DlVlanPcp {
+		return false
+	}
+	if w&WildcardDlType == 0 && m.DlType != k.DlType {
+		return false
+	}
+	if w&WildcardNwTos == 0 && m.NwTos != k.NwTos {
+		return false
+	}
+	if w&WildcardNwProto == 0 && m.NwProto != k.NwProto {
+		return false
+	}
+	if mask := prefixMask(m.NwSrcIgnoredBits()); addr4ToU32(m.NwSrc)&mask != addr4ToU32(k.NwSrc)&mask {
+		return false
+	}
+	if mask := prefixMask(m.NwDstIgnoredBits()); addr4ToU32(m.NwDst)&mask != addr4ToU32(k.NwDst)&mask {
+		return false
+	}
+	if w&WildcardTpSrc == 0 && m.TpSrc != k.TpSrc {
+		return false
+	}
+	if w&WildcardTpDst == 0 && m.TpDst != k.TpDst {
+		return false
+	}
+	return true
+}
+
+// ExtractKey classifies an Ethernet frame received on inPort into an exact
+// match key, following OpenFlow 1.0 header-parsing rules (fields beyond the
+// parsed protocol stay zero).
+func ExtractKey(inPort uint16, frame []byte) (Match, error) {
+	var k Match
+	k.InPort = inPort
+	f, err := pkt.DecodeFrame(frame)
+	if err != nil {
+		return k, err
+	}
+	k.DlSrc, k.DlDst = f.Src, f.Dst
+	k.DlType = uint16(f.Type)
+	if f.VLANID != 0 {
+		k.DlVlan = f.VLANID
+	} else {
+		k.DlVlan = 0xffff // OFP_VLAN_NONE
+	}
+	switch f.Type {
+	case pkt.EtherTypeIPv4:
+		ip, err := pkt.DecodeIPv4(f.Payload)
+		if err != nil {
+			return k, nil // not further classifiable; L2 fields still valid
+		}
+		k.NwTos = ip.TOS
+		k.NwProto = uint8(ip.Proto)
+		k.NwSrc = ip.Src.As4()
+		k.NwDst = ip.Dst.As4()
+		switch ip.Proto {
+		case pkt.ProtoUDP:
+			if u, err := pkt.DecodeUDP(ip.Payload, ip.Src, ip.Dst); err == nil {
+				k.TpSrc, k.TpDst = u.SrcPort, u.DstPort
+			}
+		case pkt.ProtoICMP:
+			if m, err := pkt.DecodeICMP(ip.Payload); err == nil {
+				k.TpSrc, k.TpDst = uint16(m.Type), uint16(m.Code)
+			}
+		}
+	case pkt.EtherTypeARP:
+		if a, err := pkt.DecodeARP(f.Payload); err == nil {
+			k.NwProto = uint8(a.Op) // OF1.0 carries the ARP opcode in nw_proto
+			k.NwSrc = a.SenderIP.As4()
+			k.NwDst = a.TargetIP.As4()
+		}
+	}
+	return k, nil
+}
+
+func (m *Match) encode(w *wbuf) {
+	w.u32(m.Wildcards)
+	w.u16(m.InPort)
+	w.bytes(m.DlSrc[:])
+	w.bytes(m.DlDst[:])
+	w.u16(m.DlVlan)
+	w.u8(m.DlVlanPcp)
+	w.pad(1)
+	w.u16(m.DlType)
+	w.u8(m.NwTos)
+	w.u8(m.NwProto)
+	w.pad(2)
+	w.bytes(m.NwSrc[:])
+	w.bytes(m.NwDst[:])
+	w.u16(m.TpSrc)
+	w.u16(m.TpDst)
+}
+
+func (m *Match) decode(r *rbuf) {
+	m.Wildcards = r.u32()
+	m.InPort = r.u16()
+	copy(m.DlSrc[:], r.take(6))
+	copy(m.DlDst[:], r.take(6))
+	m.DlVlan = r.u16()
+	m.DlVlanPcp = r.u8()
+	r.skip(1)
+	m.DlType = r.u16()
+	m.NwTos = r.u8()
+	m.NwProto = r.u8()
+	r.skip(2)
+	copy(m.NwSrc[:], r.take(4))
+	copy(m.NwDst[:], r.take(4))
+	m.TpSrc = r.u16()
+	m.TpDst = r.u16()
+}
+
+// String renders only the non-wildcarded fields.
+func (m *Match) String() string {
+	if m.Wildcards == WildcardAll {
+		return "match{*}"
+	}
+	var parts []string
+	add := func(bit uint32, f string, v any) {
+		if m.Wildcards&bit == 0 {
+			parts = append(parts, fmt.Sprintf("%s=%v", f, v))
+		}
+	}
+	add(WildcardInPort, "in_port", m.InPort)
+	add(WildcardDlSrc, "dl_src", m.DlSrc)
+	add(WildcardDlDst, "dl_dst", m.DlDst)
+	add(WildcardDlType, "dl_type", fmt.Sprintf("0x%04x", m.DlType))
+	add(WildcardNwProto, "nw_proto", m.NwProto)
+	if m.NwSrcIgnoredBits() < 32 {
+		parts = append(parts, fmt.Sprintf("nw_src=%v/%d", netip.AddrFrom4(m.NwSrc), 32-m.NwSrcIgnoredBits()))
+	}
+	if m.NwDstIgnoredBits() < 32 {
+		parts = append(parts, fmt.Sprintf("nw_dst=%v/%d", netip.AddrFrom4(m.NwDst), 32-m.NwDstIgnoredBits()))
+	}
+	add(WildcardTpSrc, "tp_src", m.TpSrc)
+	add(WildcardTpDst, "tp_dst", m.TpDst)
+	return "match{" + strings.Join(parts, ",") + "}"
+}

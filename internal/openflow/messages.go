@@ -1,0 +1,521 @@
+package openflow
+
+import (
+	"fmt"
+
+	"routeflow/internal/pkt"
+)
+
+// Hello opens version negotiation.
+type Hello struct{ MsgXID }
+
+// MsgType implements Message.
+func (*Hello) MsgType() Type            { return TypeHello }
+func (*Hello) encodeBody(*wbuf)         {}
+func (*Hello) decodeBody(r *rbuf) error { r.rest(); return nil }
+
+// Error type codes (ofp_error_type).
+const (
+	ErrTypeHelloFailed   uint16 = 0
+	ErrTypeBadRequest    uint16 = 1
+	ErrTypeBadAction     uint16 = 2
+	ErrTypeFlowModFailed uint16 = 3
+	ErrTypePortModFailed uint16 = 4
+	ErrTypeQueueOpFailed uint16 = 5
+)
+
+// Selected error codes.
+const (
+	ErrCodeBadRequestBadType    uint16 = 1 // OFPBRC_BAD_TYPE
+	ErrCodeBadRequestBadStat    uint16 = 2 // OFPBRC_BAD_STAT
+	ErrCodeBadRequestEperm      uint16 = 5 // OFPBRC_EPERM
+	ErrCodeBadRequestBufUnknown uint16 = 8 // OFPBRC_BUFFER_UNKNOWN
+	ErrCodeFlowModAllTablesFull uint16 = 0 // OFPFMFC_ALL_TABLES_FULL
+	ErrCodeFlowModOverlap       uint16 = 1 // OFPFMFC_OVERLAP
+	ErrCodeBadActionBadType     uint16 = 0 // OFPBAC_BAD_TYPE
+	ErrCodeBadActionBadOutPort  uint16 = 4 // OFPBAC_BAD_OUT_PORT
+)
+
+// ErrorMsg reports a failure; Data carries (a prefix of) the offending
+// request.
+type ErrorMsg struct {
+	MsgXID
+	ErrType uint16
+	Code    uint16
+	Data    []byte
+}
+
+// MsgType implements Message.
+func (*ErrorMsg) MsgType() Type { return TypeError }
+
+func (m *ErrorMsg) encodeBody(w *wbuf) {
+	w.u16(m.ErrType)
+	w.u16(m.Code)
+	w.bytes(m.Data)
+}
+
+func (m *ErrorMsg) decodeBody(r *rbuf) error {
+	m.ErrType = r.u16()
+	m.Code = r.u16()
+	m.Data = append([]byte(nil), r.rest()...)
+	return r.err
+}
+
+// Error lets an ErrorMsg be used as a Go error.
+func (m *ErrorMsg) Error() string {
+	return fmt.Sprintf("openflow error type=%d code=%d", m.ErrType, m.Code)
+}
+
+// EchoRequest is the liveness probe; Data is echoed back.
+type EchoRequest struct {
+	MsgXID
+	Data []byte
+}
+
+// MsgType implements Message.
+func (*EchoRequest) MsgType() Type { return TypeEchoRequest }
+
+func (m *EchoRequest) encodeBody(w *wbuf) { w.bytes(m.Data) }
+func (m *EchoRequest) decodeBody(r *rbuf) error {
+	m.Data = append([]byte(nil), r.rest()...)
+	return nil
+}
+
+// EchoReply answers an EchoRequest with the same data and XID.
+type EchoReply struct {
+	MsgXID
+	Data []byte
+}
+
+// MsgType implements Message.
+func (*EchoReply) MsgType() Type { return TypeEchoReply }
+
+func (m *EchoReply) encodeBody(w *wbuf) { w.bytes(m.Data) }
+func (m *EchoReply) decodeBody(r *rbuf) error {
+	m.Data = append([]byte(nil), r.rest()...)
+	return nil
+}
+
+// Vendor is an opaque vendor extension message.
+type Vendor struct {
+	MsgXID
+	VendorID uint32
+	Data     []byte
+}
+
+// MsgType implements Message.
+func (*Vendor) MsgType() Type { return TypeVendor }
+
+func (m *Vendor) encodeBody(w *wbuf) {
+	w.u32(m.VendorID)
+	w.bytes(m.Data)
+}
+
+func (m *Vendor) decodeBody(r *rbuf) error {
+	m.VendorID = r.u32()
+	m.Data = append([]byte(nil), r.rest()...)
+	return r.err
+}
+
+// FeaturesRequest asks the datapath for its identity and port list.
+type FeaturesRequest struct{ MsgXID }
+
+// MsgType implements Message.
+func (*FeaturesRequest) MsgType() Type            { return TypeFeaturesRequest }
+func (*FeaturesRequest) encodeBody(*wbuf)         {}
+func (*FeaturesRequest) decodeBody(r *rbuf) error { r.rest(); return nil }
+
+// Port config/state bits (subset).
+const (
+	PortConfigDown uint32 = 1 << 0 // OFPPC_PORT_DOWN
+	PortStateDown  uint32 = 1 << 0 // OFPPS_LINK_DOWN
+)
+
+// PhyPortLen is the encoded size of ofp_phy_port.
+const PhyPortLen = 48
+
+// PhyPort describes one switch port.
+type PhyPort struct {
+	PortNo     uint16
+	HWAddr     pkt.MAC
+	Name       string // up to 15 bytes on the wire
+	Config     uint32
+	State      uint32
+	Curr       uint32
+	Advertised uint32
+	Supported  uint32
+	Peer       uint32
+}
+
+func (p *PhyPort) encode(w *wbuf) {
+	w.u16(p.PortNo)
+	w.bytes(p.HWAddr[:])
+	w.str(p.Name, 16)
+	w.u32(p.Config)
+	w.u32(p.State)
+	w.u32(p.Curr)
+	w.u32(p.Advertised)
+	w.u32(p.Supported)
+	w.u32(p.Peer)
+}
+
+func (p *PhyPort) decode(r *rbuf) {
+	p.PortNo = r.u16()
+	copy(p.HWAddr[:], r.take(6))
+	p.Name = r.str(16)
+	p.Config = r.u32()
+	p.State = r.u32()
+	p.Curr = r.u32()
+	p.Advertised = r.u32()
+	p.Supported = r.u32()
+	p.Peer = r.u32()
+}
+
+// Capability bits (ofp_capabilities, subset).
+const (
+	CapFlowStats  uint32 = 1 << 0
+	CapTableStats uint32 = 1 << 1
+	CapPortStats  uint32 = 1 << 2
+)
+
+// FeaturesReply announces the datapath ID, resources and ports.
+type FeaturesReply struct {
+	MsgXID
+	DatapathID   uint64
+	NBuffers     uint32
+	NTables      uint8
+	Capabilities uint32
+	Actions      uint32
+	Ports        []PhyPort
+}
+
+// MsgType implements Message.
+func (*FeaturesReply) MsgType() Type { return TypeFeaturesReply }
+
+func (m *FeaturesReply) encodeBody(w *wbuf) {
+	w.u64(m.DatapathID)
+	w.u32(m.NBuffers)
+	w.u8(m.NTables)
+	w.pad(3)
+	w.u32(m.Capabilities)
+	w.u32(m.Actions)
+	for i := range m.Ports {
+		m.Ports[i].encode(w)
+	}
+}
+
+func (m *FeaturesReply) decodeBody(r *rbuf) error {
+	m.DatapathID = r.u64()
+	m.NBuffers = r.u32()
+	m.NTables = r.u8()
+	r.skip(3)
+	m.Capabilities = r.u32()
+	m.Actions = r.u32()
+	if r.err != nil {
+		return r.err
+	}
+	if r.remaining()%PhyPortLen != 0 {
+		return fmt.Errorf("features ports: %d trailing bytes", r.remaining()%PhyPortLen)
+	}
+	for r.remaining() >= PhyPortLen {
+		var p PhyPort
+		p.decode(r)
+		m.Ports = append(m.Ports, p)
+	}
+	return r.err
+}
+
+// GetConfigRequest asks for the switch configuration.
+type GetConfigRequest struct{ MsgXID }
+
+// MsgType implements Message.
+func (*GetConfigRequest) MsgType() Type            { return TypeGetConfigRequest }
+func (*GetConfigRequest) encodeBody(*wbuf)         {}
+func (*GetConfigRequest) decodeBody(r *rbuf) error { r.rest(); return nil }
+
+// GetConfigReply carries the switch configuration.
+type GetConfigReply struct {
+	MsgXID
+	Flags       uint16
+	MissSendLen uint16
+}
+
+// MsgType implements Message.
+func (*GetConfigReply) MsgType() Type { return TypeGetConfigReply }
+
+func (m *GetConfigReply) encodeBody(w *wbuf) {
+	w.u16(m.Flags)
+	w.u16(m.MissSendLen)
+}
+
+func (m *GetConfigReply) decodeBody(r *rbuf) error {
+	m.Flags = r.u16()
+	m.MissSendLen = r.u16()
+	return r.err
+}
+
+// SetConfig sets the switch configuration.
+type SetConfig struct {
+	MsgXID
+	Flags       uint16
+	MissSendLen uint16
+}
+
+// MsgType implements Message.
+func (*SetConfig) MsgType() Type { return TypeSetConfig }
+
+func (m *SetConfig) encodeBody(w *wbuf) {
+	w.u16(m.Flags)
+	w.u16(m.MissSendLen)
+}
+
+func (m *SetConfig) decodeBody(r *rbuf) error {
+	m.Flags = r.u16()
+	m.MissSendLen = r.u16()
+	return r.err
+}
+
+// Packet-in reasons.
+const (
+	PacketInReasonNoMatch uint8 = 0 // OFPR_NO_MATCH
+	PacketInReasonAction  uint8 = 1 // OFPR_ACTION
+)
+
+// PacketIn delivers a packet to the controller.
+type PacketIn struct {
+	MsgXID
+	BufferID uint32
+	TotalLen uint16
+	InPort   uint16
+	Reason   uint8
+	Data     []byte
+}
+
+// MsgType implements Message.
+func (*PacketIn) MsgType() Type { return TypePacketIn }
+
+func (m *PacketIn) encodeBody(w *wbuf) {
+	w.u32(m.BufferID)
+	w.u16(m.TotalLen)
+	w.u16(m.InPort)
+	w.u8(m.Reason)
+	w.pad(1)
+	w.bytes(m.Data)
+}
+
+func (m *PacketIn) decodeBody(r *rbuf) error {
+	m.BufferID = r.u32()
+	m.TotalLen = r.u16()
+	m.InPort = r.u16()
+	m.Reason = r.u8()
+	r.skip(1)
+	m.Data = append([]byte(nil), r.rest()...)
+	return r.err
+}
+
+// PacketOut injects a packet into the datapath.
+type PacketOut struct {
+	MsgXID
+	BufferID uint32
+	InPort   uint16
+	Actions  []Action
+	Data     []byte // ignored unless BufferID == NoBuffer
+}
+
+// MsgType implements Message.
+func (*PacketOut) MsgType() Type { return TypePacketOut }
+
+func (m *PacketOut) encodeBody(w *wbuf) {
+	w.u32(m.BufferID)
+	w.u16(m.InPort)
+	lenAt := len(w.b)
+	w.u16(0) // actions_len, patched
+	before := len(w.b)
+	encodeActions(w, m.Actions)
+	actionsLen := len(w.b) - before
+	w.b[lenAt] = byte(actionsLen >> 8)
+	w.b[lenAt+1] = byte(actionsLen)
+	w.bytes(m.Data)
+}
+
+func (m *PacketOut) decodeBody(r *rbuf) error {
+	m.BufferID = r.u32()
+	m.InPort = r.u16()
+	alen := int(r.u16())
+	if r.err != nil {
+		return r.err
+	}
+	actions, err := decodeActions(r, alen)
+	if err != nil {
+		return err
+	}
+	m.Actions = actions
+	m.Data = append([]byte(nil), r.rest()...)
+	return r.err
+}
+
+// Flow-removed reasons.
+const (
+	FlowRemovedIdleTimeout uint8 = 0
+	FlowRemovedHardTimeout uint8 = 1
+	FlowRemovedDelete      uint8 = 2
+)
+
+// FlowRemoved notifies the controller that a flow expired or was deleted.
+type FlowRemoved struct {
+	MsgXID
+	Match        Match
+	Cookie       uint64
+	Priority     uint16
+	Reason       uint8
+	DurationSec  uint32
+	DurationNsec uint32
+	IdleTimeout  uint16
+	PacketCount  uint64
+	ByteCount    uint64
+}
+
+// MsgType implements Message.
+func (*FlowRemoved) MsgType() Type { return TypeFlowRemoved }
+
+func (m *FlowRemoved) encodeBody(w *wbuf) {
+	m.Match.encode(w)
+	w.u64(m.Cookie)
+	w.u16(m.Priority)
+	w.u8(m.Reason)
+	w.pad(1)
+	w.u32(m.DurationSec)
+	w.u32(m.DurationNsec)
+	w.u16(m.IdleTimeout)
+	w.pad(2)
+	w.u64(m.PacketCount)
+	w.u64(m.ByteCount)
+}
+
+func (m *FlowRemoved) decodeBody(r *rbuf) error {
+	m.Match.decode(r)
+	m.Cookie = r.u64()
+	m.Priority = r.u16()
+	m.Reason = r.u8()
+	r.skip(1)
+	m.DurationSec = r.u32()
+	m.DurationNsec = r.u32()
+	m.IdleTimeout = r.u16()
+	r.skip(2)
+	m.PacketCount = r.u64()
+	m.ByteCount = r.u64()
+	return r.err
+}
+
+// Port-status reasons.
+const (
+	PortReasonAdd    uint8 = 0
+	PortReasonDelete uint8 = 1
+	PortReasonModify uint8 = 2
+)
+
+// PortStatus notifies the controller of a port change.
+type PortStatus struct {
+	MsgXID
+	Reason uint8
+	Desc   PhyPort
+}
+
+// MsgType implements Message.
+func (*PortStatus) MsgType() Type { return TypePortStatus }
+
+func (m *PortStatus) encodeBody(w *wbuf) {
+	w.u8(m.Reason)
+	w.pad(7)
+	m.Desc.encode(w)
+}
+
+func (m *PortStatus) decodeBody(r *rbuf) error {
+	m.Reason = r.u8()
+	r.skip(7)
+	m.Desc.decode(r)
+	return r.err
+}
+
+// BarrierRequest asks the switch to finish all preceding messages first.
+type BarrierRequest struct{ MsgXID }
+
+// MsgType implements Message.
+func (*BarrierRequest) MsgType() Type            { return TypeBarrierRequest }
+func (*BarrierRequest) encodeBody(*wbuf)         {}
+func (*BarrierRequest) decodeBody(r *rbuf) error { r.rest(); return nil }
+
+// BarrierReply confirms a BarrierRequest.
+type BarrierReply struct{ MsgXID }
+
+// MsgType implements Message.
+func (*BarrierReply) MsgType() Type            { return TypeBarrierReply }
+func (*BarrierReply) encodeBody(*wbuf)         {}
+func (*BarrierReply) decodeBody(r *rbuf) error { r.rest(); return nil }
+
+// FlowMod commands.
+const (
+	FlowModAdd          uint16 = 0
+	FlowModModify       uint16 = 1
+	FlowModModifyStrict uint16 = 2
+	FlowModDelete       uint16 = 3
+	FlowModDeleteStrict uint16 = 4
+)
+
+// FlowMod flags.
+const (
+	FlowModFlagSendFlowRem  uint16 = 1 << 0
+	FlowModFlagCheckOverlap uint16 = 1 << 1
+)
+
+// FlowMod adds, modifies or deletes flow-table entries.
+type FlowMod struct {
+	MsgXID
+	Match       Match
+	Cookie      uint64
+	Command     uint16
+	IdleTimeout uint16
+	HardTimeout uint16
+	Priority    uint16
+	BufferID    uint32
+	OutPort     uint16 // filter for DELETE*, PortNone = no filter
+	Flags       uint16
+	Actions     []Action
+}
+
+// MsgType implements Message.
+func (*FlowMod) MsgType() Type { return TypeFlowMod }
+
+func (m *FlowMod) encodeBody(w *wbuf) {
+	m.Match.encode(w)
+	w.u64(m.Cookie)
+	w.u16(m.Command)
+	w.u16(m.IdleTimeout)
+	w.u16(m.HardTimeout)
+	w.u16(m.Priority)
+	w.u32(m.BufferID)
+	w.u16(m.OutPort)
+	w.u16(m.Flags)
+	encodeActions(w, m.Actions)
+}
+
+func (m *FlowMod) decodeBody(r *rbuf) error {
+	m.Match.decode(r)
+	m.Cookie = r.u64()
+	m.Command = r.u16()
+	m.IdleTimeout = r.u16()
+	m.HardTimeout = r.u16()
+	m.Priority = r.u16()
+	m.BufferID = r.u32()
+	m.OutPort = r.u16()
+	m.Flags = r.u16()
+	if r.err != nil {
+		return r.err
+	}
+	actions, err := decodeActions(r, r.remaining())
+	if err != nil {
+		return err
+	}
+	m.Actions = actions
+	return r.err
+}

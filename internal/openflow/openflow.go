@@ -1,0 +1,369 @@
+// Package openflow implements the OpenFlow 1.0 wire protocol (wire version
+// 0x01) — the protocol spoken between the emulated switches, FlowVisor and
+// the two controllers in this reproduction. The full message set needed by a
+// RouteFlow deployment is covered: hello/error/echo, features, switch
+// config, packet-in/out, flow-mod, flow-removed, port-status, stats
+// (description, flow, table, port), barrier and vendor messages.
+//
+// Messages are plain structs; Marshal/Unmarshal convert to and from framed
+// wire bytes, and ReadMessage/WriteMessage do stream I/O over any
+// io.Reader/io.Writer. Unknown message types decode to *Raw so a proxy (the
+// FlowVisor substrate) can forward what it does not understand, byte for
+// byte.
+package openflow
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Version is the OpenFlow wire version this package implements (1.0).
+const Version = 0x01
+
+// HeaderLen is the length of the common ofp_header.
+const HeaderLen = 8
+
+// MaxMessageLen caps accepted message frames; the length field is 16-bit so
+// this is the protocol's own ceiling.
+const MaxMessageLen = 1<<16 - 1
+
+// Type is the ofp_type message discriminator.
+type Type uint8
+
+// OpenFlow 1.0 message types.
+const (
+	TypeHello              Type = 0
+	TypeError              Type = 1
+	TypeEchoRequest        Type = 2
+	TypeEchoReply          Type = 3
+	TypeVendor             Type = 4
+	TypeFeaturesRequest    Type = 5
+	TypeFeaturesReply      Type = 6
+	TypeGetConfigRequest   Type = 7
+	TypeGetConfigReply     Type = 8
+	TypeSetConfig          Type = 9
+	TypePacketIn           Type = 10
+	TypeFlowRemoved        Type = 11
+	TypePortStatus         Type = 12
+	TypePacketOut          Type = 13
+	TypeFlowMod            Type = 14
+	TypePortMod            Type = 15
+	TypeStatsRequest       Type = 16
+	TypeStatsReply         Type = 17
+	TypeBarrierRequest     Type = 18
+	TypeBarrierReply       Type = 19
+	TypeQueueGetConfigReq  Type = 20
+	TypeQueueGetConfigRepl Type = 21
+)
+
+var typeNames = map[Type]string{
+	TypeHello: "HELLO", TypeError: "ERROR", TypeEchoRequest: "ECHO_REQUEST",
+	TypeEchoReply: "ECHO_REPLY", TypeVendor: "VENDOR",
+	TypeFeaturesRequest: "FEATURES_REQUEST", TypeFeaturesReply: "FEATURES_REPLY",
+	TypeGetConfigRequest: "GET_CONFIG_REQUEST", TypeGetConfigReply: "GET_CONFIG_REPLY",
+	TypeSetConfig: "SET_CONFIG", TypePacketIn: "PACKET_IN",
+	TypeFlowRemoved: "FLOW_REMOVED", TypePortStatus: "PORT_STATUS",
+	TypePacketOut: "PACKET_OUT", TypeFlowMod: "FLOW_MOD", TypePortMod: "PORT_MOD",
+	TypeStatsRequest: "STATS_REQUEST", TypeStatsReply: "STATS_REPLY",
+	TypeBarrierRequest: "BARRIER_REQUEST", TypeBarrierReply: "BARRIER_REPLY",
+	TypeQueueGetConfigReq: "QUEUE_GET_CONFIG_REQUEST", TypeQueueGetConfigRepl: "QUEUE_GET_CONFIG_REPLY",
+}
+
+// String names the message type.
+func (t Type) String() string {
+	if s, ok := typeNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("Type(%d)", uint8(t))
+}
+
+// Special port numbers (ofp_port).
+const (
+	PortMax        uint16 = 0xff00
+	PortInPort     uint16 = 0xfff8
+	PortTable      uint16 = 0xfff9
+	PortNormal     uint16 = 0xfffa
+	PortFlood      uint16 = 0xfffb
+	PortAll        uint16 = 0xfffc
+	PortController uint16 = 0xfffd
+	PortLocal      uint16 = 0xfffe
+	PortNone       uint16 = 0xffff
+)
+
+// NoBuffer is the buffer_id meaning "packet carried inline, not buffered".
+const NoBuffer uint32 = 0xffffffff
+
+// Message is one OpenFlow message. All message structs embed MsgXID and so
+// carry their transaction ID; Marshal frames them with the common header.
+type Message interface {
+	MsgType() Type
+	XID() uint32
+	SetXID(uint32)
+	encodeBody(w *wbuf)
+	decodeBody(r *rbuf) error
+}
+
+// MsgXID provides the transaction-ID part of every message.
+type MsgXID struct {
+	Xid uint32
+}
+
+// XID returns the message transaction ID.
+func (m *MsgXID) XID() uint32 { return m.Xid }
+
+// SetXID sets the message transaction ID (used by proxies when rewriting).
+func (m *MsgXID) SetXID(x uint32) { m.Xid = x }
+
+// ErrBadMessage wraps all decode failures.
+var ErrBadMessage = errors.New("openflow: bad message")
+
+// Marshal frames m into wire bytes.
+func Marshal(m Message) []byte {
+	w := &wbuf{}
+	w.u8(Version)
+	w.u8(uint8(m.MsgType()))
+	w.u16(0) // length, patched below
+	w.u32(m.XID())
+	m.encodeBody(w)
+	if len(w.b) > MaxMessageLen {
+		panic(fmt.Sprintf("openflow: %v message of %d bytes exceeds 64KiB", m.MsgType(), len(w.b)))
+	}
+	binary.BigEndian.PutUint16(w.b[2:], uint16(len(w.b)))
+	return w.b
+}
+
+// newMessage returns the empty struct for a message type, or nil for types
+// decoded as Raw.
+func newMessage(t Type) Message {
+	switch t {
+	case TypeHello:
+		return &Hello{}
+	case TypeError:
+		return &ErrorMsg{}
+	case TypeEchoRequest:
+		return &EchoRequest{}
+	case TypeEchoReply:
+		return &EchoReply{}
+	case TypeVendor:
+		return &Vendor{}
+	case TypeFeaturesRequest:
+		return &FeaturesRequest{}
+	case TypeFeaturesReply:
+		return &FeaturesReply{}
+	case TypeGetConfigRequest:
+		return &GetConfigRequest{}
+	case TypeGetConfigReply:
+		return &GetConfigReply{}
+	case TypeSetConfig:
+		return &SetConfig{}
+	case TypePacketIn:
+		return &PacketIn{}
+	case TypeFlowRemoved:
+		return &FlowRemoved{}
+	case TypePortStatus:
+		return &PortStatus{}
+	case TypePacketOut:
+		return &PacketOut{}
+	case TypeFlowMod:
+		return &FlowMod{}
+	case TypeStatsRequest:
+		return &StatsRequest{}
+	case TypeStatsReply:
+		return &StatsReply{}
+	case TypeBarrierRequest:
+		return &BarrierRequest{}
+	case TypeBarrierReply:
+		return &BarrierReply{}
+	default:
+		return nil
+	}
+}
+
+// Unmarshal decodes one complete framed message from b, which must contain
+// exactly one message.
+func Unmarshal(b []byte) (Message, error) {
+	if len(b) < HeaderLen {
+		return nil, fmt.Errorf("%w: short header (%d bytes)", ErrBadMessage, len(b))
+	}
+	if b[0] != Version {
+		return nil, fmt.Errorf("%w: version 0x%02x, want 0x%02x", ErrBadMessage, b[0], Version)
+	}
+	t := Type(b[1])
+	length := int(binary.BigEndian.Uint16(b[2:]))
+	if length < HeaderLen || length > len(b) {
+		return nil, fmt.Errorf("%w: length field %d of %d", ErrBadMessage, length, len(b))
+	}
+	xid := binary.BigEndian.Uint32(b[4:])
+	m := newMessage(t)
+	if m == nil {
+		raw := &Raw{T: t}
+		raw.Body = append([]byte(nil), b[HeaderLen:length]...)
+		raw.SetXID(xid)
+		return raw, nil
+	}
+	m.SetXID(xid)
+	r := &rbuf{b: b[HeaderLen:length]}
+	if err := m.decodeBody(r); err != nil {
+		return nil, fmt.Errorf("%w: %v body: %v", ErrBadMessage, t, err)
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("%w: %v body: %v", ErrBadMessage, t, r.err)
+	}
+	return m, nil
+}
+
+// ReadMessage reads one framed message from r. It returns io.EOF unwrapped
+// on a clean end of stream before any header byte.
+func ReadMessage(r io.Reader) (Message, error) {
+	var hdr [HeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("openflow: reading header: %w", err)
+	}
+	length := int(binary.BigEndian.Uint16(hdr[2:]))
+	if length < HeaderLen {
+		return nil, fmt.Errorf("%w: header length %d", ErrBadMessage, length)
+	}
+	full := make([]byte, length)
+	copy(full, hdr[:])
+	if _, err := io.ReadFull(r, full[HeaderLen:]); err != nil {
+		return nil, fmt.Errorf("openflow: reading body: %w", err)
+	}
+	return Unmarshal(full)
+}
+
+// WriteMessage frames and writes m to w.
+func WriteMessage(w io.Writer, m Message) error {
+	_, err := w.Write(Marshal(m))
+	return err
+}
+
+// Raw is a message of a type this package does not model; Body is the frame
+// minus the header. It re-encodes byte for byte, so proxies can forward it.
+type Raw struct {
+	MsgXID
+	T    Type
+	Body []byte
+}
+
+// MsgType returns the original wire type.
+func (m *Raw) MsgType() Type      { return m.T }
+func (m *Raw) encodeBody(w *wbuf) { w.bytes(m.Body) }
+func (m *Raw) decodeBody(r *rbuf) error {
+	m.Body = append([]byte(nil), r.rest()...)
+	return nil
+}
+
+// wbuf is an append-only big-endian encoder.
+type wbuf struct{ b []byte }
+
+func (w *wbuf) u8(v uint8)     { w.b = append(w.b, v) }
+func (w *wbuf) u16(v uint16)   { w.b = binary.BigEndian.AppendUint16(w.b, v) }
+func (w *wbuf) u32(v uint32)   { w.b = binary.BigEndian.AppendUint32(w.b, v) }
+func (w *wbuf) u64(v uint64)   { w.b = binary.BigEndian.AppendUint64(w.b, v) }
+func (w *wbuf) bytes(p []byte) { w.b = append(w.b, p...) }
+func (w *wbuf) pad(n int) {
+	for i := 0; i < n; i++ {
+		w.b = append(w.b, 0)
+	}
+}
+
+// str writes s into a fixed-size NUL-padded field.
+func (w *wbuf) str(s string, size int) {
+	if len(s) > size {
+		s = s[:size]
+	}
+	w.bytes([]byte(s))
+	w.pad(size - len(s))
+}
+
+// rbuf is a cursor-based big-endian decoder with a sticky error.
+type rbuf struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *rbuf) fail(n int) bool {
+	if r.err != nil {
+		return true
+	}
+	if r.off+n > len(r.b) {
+		r.err = fmt.Errorf("truncated at offset %d (need %d of %d)", r.off, n, len(r.b))
+		return true
+	}
+	return false
+}
+
+func (r *rbuf) u8() uint8 {
+	if r.fail(1) {
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *rbuf) u16() uint16 {
+	if r.fail(2) {
+		return 0
+	}
+	v := binary.BigEndian.Uint16(r.b[r.off:])
+	r.off += 2
+	return v
+}
+
+func (r *rbuf) u32() uint32 {
+	if r.fail(4) {
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *rbuf) u64() uint64 {
+	if r.fail(8) {
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *rbuf) take(n int) []byte {
+	if n < 0 || r.fail(n) {
+		return nil
+	}
+	v := r.b[r.off : r.off+n]
+	r.off += n
+	return v
+}
+
+func (r *rbuf) skip(n int) { r.take(n) }
+
+func (r *rbuf) rest() []byte {
+	if r.err != nil {
+		return nil
+	}
+	v := r.b[r.off:]
+	r.off = len(r.b)
+	return v
+}
+
+func (r *rbuf) remaining() int { return len(r.b) - r.off }
+
+// str reads a fixed-size NUL-padded string field.
+func (r *rbuf) str(size int) string {
+	raw := r.take(size)
+	for i, c := range raw {
+		if c == 0 {
+			return string(raw[:i])
+		}
+	}
+	return string(raw)
+}

@@ -1,0 +1,296 @@
+package openflow
+
+import "fmt"
+
+// Stats types (ofp_stats_types).
+const (
+	StatsDesc      uint16 = 0
+	StatsFlow      uint16 = 1
+	StatsAggregate uint16 = 2
+	StatsTable     uint16 = 3
+	StatsPort      uint16 = 4
+	StatsQueue     uint16 = 5
+	StatsVendor    uint16 = 0xffff
+)
+
+// StatsReplyFlagMore marks a multipart reply with more parts following.
+const StatsReplyFlagMore uint16 = 1 << 0
+
+// StatsRequest asks for one statistics category. Exactly one of the typed
+// request fields is consulted, selected by StatsType; Desc and Table
+// requests have empty bodies.
+type StatsRequest struct {
+	MsgXID
+	StatsType uint16
+	Flags     uint16
+	Flow      *FlowStatsRequest // StatsFlow / StatsAggregate
+	Port      *PortStatsRequest // StatsPort
+}
+
+// FlowStatsRequest selects flows by match, table and output port.
+type FlowStatsRequest struct {
+	Match   Match
+	TableID uint8
+	OutPort uint16
+}
+
+// PortStatsRequest selects one port, or all with PortNone.
+type PortStatsRequest struct {
+	PortNo uint16
+}
+
+// MsgType implements Message.
+func (*StatsRequest) MsgType() Type { return TypeStatsRequest }
+
+func (m *StatsRequest) encodeBody(w *wbuf) {
+	w.u16(m.StatsType)
+	w.u16(m.Flags)
+	switch m.StatsType {
+	case StatsFlow, StatsAggregate:
+		fr := m.Flow
+		if fr == nil {
+			fr = &FlowStatsRequest{Match: MatchAll(), TableID: 0xff, OutPort: PortNone}
+		}
+		fr.Match.encode(w)
+		w.u8(fr.TableID)
+		w.pad(1)
+		w.u16(fr.OutPort)
+	case StatsPort:
+		pr := m.Port
+		if pr == nil {
+			pr = &PortStatsRequest{PortNo: PortNone}
+		}
+		w.u16(pr.PortNo)
+		w.pad(6)
+	}
+}
+
+func (m *StatsRequest) decodeBody(r *rbuf) error {
+	m.StatsType = r.u16()
+	m.Flags = r.u16()
+	switch m.StatsType {
+	case StatsFlow, StatsAggregate:
+		var fr FlowStatsRequest
+		fr.Match.decode(r)
+		fr.TableID = r.u8()
+		r.skip(1)
+		fr.OutPort = r.u16()
+		m.Flow = &fr
+	case StatsPort:
+		var pr PortStatsRequest
+		pr.PortNo = r.u16()
+		r.skip(6)
+		m.Port = &pr
+	default:
+		r.rest()
+	}
+	return r.err
+}
+
+// DescStats is the switch description (ofp_desc_stats).
+type DescStats struct {
+	Manufacturer string
+	Hardware     string
+	Software     string
+	SerialNumber string
+	Datapath     string
+}
+
+// FlowStats is one flow entry's statistics.
+type FlowStats struct {
+	TableID      uint8
+	Match        Match
+	DurationSec  uint32
+	DurationNsec uint32
+	Priority     uint16
+	IdleTimeout  uint16
+	HardTimeout  uint16
+	Cookie       uint64
+	PacketCount  uint64
+	ByteCount    uint64
+	Actions      []Action
+}
+
+// TableStats describes one flow table.
+type TableStats struct {
+	TableID      uint8
+	Name         string
+	Wildcards    uint32
+	MaxEntries   uint32
+	ActiveCount  uint32
+	LookupCount  uint64
+	MatchedCount uint64
+}
+
+// PortStats carries per-port counters.
+type PortStats struct {
+	PortNo                uint16
+	RxPackets, TxPackets  uint64
+	RxBytes, TxBytes      uint64
+	RxDropped, TxDropped  uint64
+	RxErrors, TxErrors    uint64
+	RxFrameErr, RxOverErr uint64
+	RxCRCErr, Collisions  uint64
+}
+
+// StatsReply answers a StatsRequest; the field matching StatsType is set.
+type StatsReply struct {
+	MsgXID
+	StatsType uint16
+	Flags     uint16
+	Desc      *DescStats
+	Flows     []FlowStats
+	Tables    []TableStats
+	Ports     []PortStats
+	Raw       []byte // body of unmodeled categories
+}
+
+// MsgType implements Message.
+func (*StatsReply) MsgType() Type { return TypeStatsReply }
+
+func (m *StatsReply) encodeBody(w *wbuf) {
+	w.u16(m.StatsType)
+	w.u16(m.Flags)
+	switch m.StatsType {
+	case StatsDesc:
+		d := m.Desc
+		if d == nil {
+			d = &DescStats{}
+		}
+		w.str(d.Manufacturer, 256)
+		w.str(d.Hardware, 256)
+		w.str(d.Software, 256)
+		w.str(d.SerialNumber, 32)
+		w.str(d.Datapath, 256)
+	case StatsFlow:
+		for i := range m.Flows {
+			encodeFlowStats(w, &m.Flows[i])
+		}
+	case StatsTable:
+		for _, t := range m.Tables {
+			w.u8(t.TableID)
+			w.pad(3)
+			w.str(t.Name, 32)
+			w.u32(t.Wildcards)
+			w.u32(t.MaxEntries)
+			w.u32(t.ActiveCount)
+			w.u64(t.LookupCount)
+			w.u64(t.MatchedCount)
+		}
+	case StatsPort:
+		for _, p := range m.Ports {
+			w.u16(p.PortNo)
+			w.pad(6)
+			for _, v := range []uint64{p.RxPackets, p.TxPackets, p.RxBytes, p.TxBytes,
+				p.RxDropped, p.TxDropped, p.RxErrors, p.TxErrors,
+				p.RxFrameErr, p.RxOverErr, p.RxCRCErr, p.Collisions} {
+				w.u64(v)
+			}
+		}
+	default:
+		w.bytes(m.Raw)
+	}
+}
+
+func encodeFlowStats(w *wbuf, f *FlowStats) {
+	lenAt := len(w.b)
+	w.u16(0) // length, patched
+	w.u8(f.TableID)
+	w.pad(1)
+	f.Match.encode(w)
+	w.u32(f.DurationSec)
+	w.u32(f.DurationNsec)
+	w.u16(f.Priority)
+	w.u16(f.IdleTimeout)
+	w.u16(f.HardTimeout)
+	w.pad(6)
+	w.u64(f.Cookie)
+	w.u64(f.PacketCount)
+	w.u64(f.ByteCount)
+	encodeActions(w, f.Actions)
+	entryLen := len(w.b) - lenAt
+	w.b[lenAt] = byte(entryLen >> 8)
+	w.b[lenAt+1] = byte(entryLen)
+}
+
+func (m *StatsReply) decodeBody(r *rbuf) error {
+	m.StatsType = r.u16()
+	m.Flags = r.u16()
+	switch m.StatsType {
+	case StatsDesc:
+		var d DescStats
+		d.Manufacturer = r.str(256)
+		d.Hardware = r.str(256)
+		d.Software = r.str(256)
+		d.SerialNumber = r.str(32)
+		d.Datapath = r.str(256)
+		m.Desc = &d
+	case StatsFlow:
+		for r.remaining() > 0 {
+			f, err := decodeFlowStats(r)
+			if err != nil {
+				return err
+			}
+			m.Flows = append(m.Flows, *f)
+		}
+	case StatsTable:
+		for r.remaining() >= 64 {
+			var t TableStats
+			t.TableID = r.u8()
+			r.skip(3)
+			t.Name = r.str(32)
+			t.Wildcards = r.u32()
+			t.MaxEntries = r.u32()
+			t.ActiveCount = r.u32()
+			t.LookupCount = r.u64()
+			t.MatchedCount = r.u64()
+			m.Tables = append(m.Tables, t)
+		}
+	case StatsPort:
+		for r.remaining() >= 104 {
+			var p PortStats
+			p.PortNo = r.u16()
+			r.skip(6)
+			dst := []*uint64{&p.RxPackets, &p.TxPackets, &p.RxBytes, &p.TxBytes,
+				&p.RxDropped, &p.TxDropped, &p.RxErrors, &p.TxErrors,
+				&p.RxFrameErr, &p.RxOverErr, &p.RxCRCErr, &p.Collisions}
+			for _, d := range dst {
+				*d = r.u64()
+			}
+			m.Ports = append(m.Ports, p)
+		}
+	default:
+		m.Raw = append([]byte(nil), r.rest()...)
+	}
+	return r.err
+}
+
+func decodeFlowStats(r *rbuf) (*FlowStats, error) {
+	start := r.off
+	length := int(r.u16())
+	if r.err != nil {
+		return nil, r.err
+	}
+	if length < 88 || start+length > len(r.b) {
+		return nil, fmt.Errorf("flow stats entry length %d", length)
+	}
+	var f FlowStats
+	f.TableID = r.u8()
+	r.skip(1)
+	f.Match.decode(r)
+	f.DurationSec = r.u32()
+	f.DurationNsec = r.u32()
+	f.Priority = r.u16()
+	f.IdleTimeout = r.u16()
+	f.HardTimeout = r.u16()
+	r.skip(6)
+	f.Cookie = r.u64()
+	f.PacketCount = r.u64()
+	f.ByteCount = r.u64()
+	actions, err := decodeActions(r, start+length-r.off)
+	if err != nil {
+		return nil, err
+	}
+	f.Actions = actions
+	return &f, r.err
+}

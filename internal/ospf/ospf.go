@@ -1,0 +1,550 @@
+package ospf
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"sync"
+	"time"
+
+	"routeflow/internal/clock"
+	"routeflow/internal/rib"
+)
+
+// Default protocol timers (RFC 2328 defaults; the paper's convergence time
+// is dominated by these).
+const (
+	DefaultHelloInterval = 10 * time.Second
+	DefaultDeadInterval  = 40 * time.Second
+	DefaultSPFDelay      = 200 * time.Millisecond
+)
+
+// NeighborState is the (reduced) neighbor FSM state.
+type NeighborState int
+
+// Neighbor states.
+const (
+	NeighborDown NeighborState = iota
+	NeighborInit
+	NeighborFull
+)
+
+// String names the state.
+func (s NeighborState) String() string {
+	switch s {
+	case NeighborDown:
+		return "Down"
+	case NeighborInit:
+		return "Init"
+	case NeighborFull:
+		return "Full"
+	default:
+		return fmt.Sprintf("NeighborState(%d)", int(s))
+	}
+}
+
+// Config configures an OSPF instance (one per VM).
+type Config struct {
+	RouterID netip.Addr
+	RIB      *rib.RIB
+	Clock    clock.Clock
+
+	HelloInterval time.Duration
+	DeadInterval  time.Duration
+	SPFDelay      time.Duration
+}
+
+// SendFunc transmits an OSPF payload (IP protocol 89 body) out an
+// interface; dst is AllSPFRouters or a neighbor address. The owner (the VM)
+// handles IP and Ethernet encapsulation.
+type SendFunc func(dst netip.Addr, payload []byte)
+
+// Interface is one OSPF-enabled point-to-point interface.
+type Interface struct {
+	inst *Instance
+	name string
+	addr netip.Prefix
+	cost uint16
+	send SendFunc
+
+	mu       sync.Mutex
+	neighbor *neighbor // p2p: at most one
+}
+
+type neighbor struct {
+	routerID uint32
+	addr     netip.Addr
+	state    NeighborState
+	lastSeen time.Time
+}
+
+// NeighborInfo is a snapshot for show commands and tests.
+type NeighborInfo struct {
+	RouterID  netip.Addr
+	Addr      netip.Addr
+	Interface string
+	State     NeighborState
+}
+
+// Instance is one OSPF router.
+type Instance struct {
+	cfg Config
+	clk clock.Clock
+
+	mu     sync.Mutex
+	ifaces map[string]*Interface
+	lsdb   map[uint32]*lsa
+	seq    uint32
+	spfAt  time.Time // zero = no SPF scheduled
+	spfRun uint64    // count of SPF executions
+
+	started  bool
+	stopOnce sync.Once
+	stop     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// New creates an OSPF instance.
+func New(cfg Config) (*Instance, error) {
+	if !cfg.RouterID.Is4() {
+		return nil, fmt.Errorf("ospf: router ID %v is not IPv4", cfg.RouterID)
+	}
+	if cfg.RIB == nil {
+		return nil, fmt.Errorf("ospf: RIB is required")
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.System()
+	}
+	if cfg.HelloInterval <= 0 {
+		cfg.HelloInterval = DefaultHelloInterval
+	}
+	if cfg.DeadInterval <= 0 {
+		cfg.DeadInterval = DefaultDeadInterval
+	}
+	if cfg.SPFDelay <= 0 {
+		cfg.SPFDelay = DefaultSPFDelay
+	}
+	return &Instance{
+		cfg:    cfg,
+		clk:    cfg.Clock,
+		ifaces: make(map[string]*Interface),
+		lsdb:   make(map[uint32]*lsa),
+		seq:    InitialSeq,
+		stop:   make(chan struct{}),
+	}, nil
+}
+
+// RouterID returns the configured router ID.
+func (i *Instance) RouterID() netip.Addr { return i.cfg.RouterID }
+
+// AddInterface enables OSPF on a p2p interface. Safe before or after Start.
+func (i *Instance) AddInterface(name string, addrPfx netip.Prefix, cost uint16, send SendFunc) (*Interface, error) {
+	if !addrPfx.Addr().Is4() {
+		return nil, fmt.Errorf("ospf: interface %s address %v is not IPv4", name, addrPfx)
+	}
+	if cost == 0 {
+		cost = 10
+	}
+	ifc := &Interface{inst: i, name: name, addr: addrPfx, cost: cost, send: send}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if _, dup := i.ifaces[name]; dup {
+		return nil, fmt.Errorf("ospf: interface %s already enabled", name)
+	}
+	i.ifaces[name] = ifc
+	i.originateLocked()
+	return ifc, nil
+}
+
+// RemoveInterface disables OSPF on an interface.
+func (i *Instance) RemoveInterface(name string) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if _, ok := i.ifaces[name]; !ok {
+		return
+	}
+	delete(i.ifaces, name)
+	i.originateLocked()
+	i.scheduleSPFLocked()
+}
+
+// Start launches the hello/dead/aging timers.
+func (i *Instance) Start() {
+	i.mu.Lock()
+	if i.started {
+		i.mu.Unlock()
+		return
+	}
+	i.started = true
+	i.mu.Unlock()
+	i.wg.Add(1)
+	go i.timerLoop()
+	// First hello goes out immediately; neighbors answer within their next
+	// hello, which is what makes cold-start convergence tractable.
+	i.sendHellos()
+}
+
+// Stop halts the instance.
+func (i *Instance) Stop() {
+	i.stopOnce.Do(func() { close(i.stop) })
+	i.wg.Wait()
+}
+
+// Neighbors returns a snapshot of all neighbors.
+func (i *Instance) Neighbors() []NeighborInfo {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	var out []NeighborInfo
+	for _, ifc := range i.ifaces {
+		ifc.mu.Lock()
+		if n := ifc.neighbor; n != nil {
+			out = append(out, NeighborInfo{
+				RouterID: addr(n.routerID), Addr: n.addr,
+				Interface: ifc.name, State: n.state,
+			})
+		}
+		ifc.mu.Unlock()
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Interface < out[b].Interface })
+	return out
+}
+
+// LSDBSize returns the number of LSAs held.
+func (i *Instance) LSDBSize() int {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return len(i.lsdb)
+}
+
+// SPFRuns returns how many times SPF has executed.
+func (i *Instance) SPFRuns() uint64 {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.spfRun
+}
+
+// FullNeighbors counts adjacencies in Full state.
+func (i *Instance) FullNeighbors() int {
+	n := 0
+	for _, nb := range i.Neighbors() {
+		if nb.State == NeighborFull {
+			n++
+		}
+	}
+	return n
+}
+
+func (i *Instance) timerLoop() {
+	defer i.wg.Done()
+	tick := i.clk.NewTicker(i.cfg.HelloInterval)
+	defer tick.Stop()
+	agingTick := i.clk.NewTicker(i.cfg.DeadInterval)
+	defer agingTick.Stop()
+	spfTick := i.clk.NewTicker(i.cfg.SPFDelay)
+	defer spfTick.Stop()
+	for {
+		select {
+		case <-tick.C():
+			i.sendHellos()
+			i.checkDeadNeighbors()
+		case <-spfTick.C():
+			i.maybeRunSPF()
+		case <-agingTick.C():
+			i.ageLSDB()
+		case <-i.stop:
+			return
+		}
+	}
+}
+
+// Deliver hands a received OSPF payload (IP proto 89 body) to the
+// interface. Called by the VM's network stack.
+func (ifc *Interface) Deliver(src netip.Addr, payload []byte) {
+	h, body, err := parsePacket(payload)
+	if err != nil || h.RouterID == u32(ifc.inst.cfg.RouterID) {
+		return // malformed or our own multicast echo
+	}
+	switch h.Type {
+	case typeHello:
+		ifc.handleHello(h, src, body)
+	case typeLSUpdate:
+		ifc.handleLSUpdate(h, body)
+	}
+}
+
+// Name returns the interface name.
+func (ifc *Interface) Name() string { return ifc.name }
+
+// Addr returns the interface address.
+func (ifc *Interface) Addr() netip.Prefix { return ifc.addr }
+
+func (ifc *Interface) handleHello(h header, src netip.Addr, body []byte) {
+	hl, err := parseHello(body)
+	if err != nil {
+		return
+	}
+	// Timer agreement check (RFC 2328 §10.5), on wire values: the packet
+	// carries whole seconds, so compare against what we ourselves advertise
+	// (sub-second test timers encode as the same truncated value).
+	if hl.HelloInterval != uint16(ifc.inst.cfg.HelloInterval/time.Second) ||
+		hl.DeadInterval != uint32(ifc.inst.cfg.DeadInterval/time.Second) {
+		return
+	}
+	inst := ifc.inst
+	me := u32(inst.cfg.RouterID)
+	seesMe := false
+	for _, n := range hl.Neighbors {
+		if n == me {
+			seesMe = true
+			break
+		}
+	}
+
+	ifc.mu.Lock()
+	nb := ifc.neighbor
+	if nb == nil || nb.routerID != h.RouterID {
+		nb = &neighbor{routerID: h.RouterID, addr: src, state: NeighborInit}
+		ifc.neighbor = nb
+	}
+	nb.lastSeen = inst.clk.Now()
+	nb.addr = src
+	wasFull := nb.state == NeighborFull
+	if seesMe {
+		nb.state = NeighborFull
+	} else if nb.state != NeighborFull {
+		nb.state = NeighborInit
+	}
+	becameFull := !wasFull && nb.state == NeighborFull
+	ifc.mu.Unlock()
+
+	if becameFull {
+		// Adjacency established: re-originate (the p2p link is now
+		// advertisable), send our full LSDB (database exchange stand-in),
+		// and answer immediately so the neighbor also reaches Full without
+		// waiting a full hello interval.
+		inst.mu.Lock()
+		inst.originateLocked()
+		all := make([]*lsa, 0, len(inst.lsdb))
+		for _, l := range inst.lsdb {
+			all = append(all, l)
+		}
+		inst.mu.Unlock()
+		if len(all) > 0 {
+			ifc.send(src, marshalPacket(header{Type: typeLSUpdate, RouterID: me},
+				marshalLSUpdate(all)))
+		}
+		ifc.sendHello()
+		inst.mu.Lock()
+		inst.scheduleSPFLocked()
+		inst.mu.Unlock()
+	}
+}
+
+func (ifc *Interface) handleLSUpdate(h header, body []byte) {
+	lsas, err := parseLSUpdate(body)
+	if err != nil {
+		return
+	}
+	inst := ifc.inst
+	me := u32(inst.cfg.RouterID)
+	var flood []*lsa
+	inst.mu.Lock()
+	for _, l := range lsas {
+		if l.Age >= MaxAge {
+			// Premature aging / flush.
+			if cur, ok := inst.lsdb[l.AdvRouter]; ok && cur.Seq <= l.Seq {
+				delete(inst.lsdb, l.AdvRouter)
+				flood = append(flood, l)
+				inst.scheduleSPFLocked()
+			}
+			continue
+		}
+		if l.AdvRouter == me {
+			// Someone holds an old copy of our LSA; if it is newer than
+			// ours, jump past it and re-originate.
+			if l.Seq >= inst.seq {
+				inst.seq = l.Seq + 1
+				inst.originateLocked()
+			}
+			continue
+		}
+		cur, ok := inst.lsdb[l.AdvRouter]
+		if ok && cur.Seq >= l.Seq {
+			continue // stale or duplicate
+		}
+		inst.lsdb[l.AdvRouter] = l
+		flood = append(flood, l)
+		inst.scheduleSPFLocked()
+	}
+	inst.mu.Unlock()
+	if len(flood) > 0 {
+		inst.floodExcept(ifc, flood)
+	}
+}
+
+// floodExcept sends LSAs to every Full neighbor except via the arrival
+// interface.
+func (i *Instance) floodExcept(skip *Interface, lsas []*lsa) {
+	me := u32(i.cfg.RouterID)
+	pktBytes := marshalPacket(header{Type: typeLSUpdate, RouterID: me}, marshalLSUpdate(lsas))
+	i.mu.Lock()
+	targets := make([]*Interface, 0, len(i.ifaces))
+	for _, ifc := range i.ifaces {
+		if ifc == skip {
+			continue
+		}
+		ifc.mu.Lock()
+		ok := ifc.neighbor != nil && ifc.neighbor.state == NeighborFull
+		ifc.mu.Unlock()
+		if ok {
+			targets = append(targets, ifc)
+		}
+	}
+	i.mu.Unlock()
+	mcast := netip.MustParseAddr(AllSPFRouters)
+	for _, ifc := range targets {
+		ifc.send(mcast, pktBytes)
+	}
+}
+
+// originateLocked rebuilds our Router-LSA, stores it, and floods it.
+// Callers hold i.mu.
+func (i *Instance) originateLocked() {
+	me := u32(i.cfg.RouterID)
+	l := &lsa{AdvRouter: me, Seq: i.seq}
+	i.seq++
+	names := make([]string, 0, len(i.ifaces))
+	for name := range i.ifaces {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ifc := i.ifaces[name]
+		ifc.mu.Lock()
+		nb := ifc.neighbor
+		if nb != nil && nb.state == NeighborFull {
+			l.Links = append(l.Links, rlaLink{
+				ID: nb.routerID, Data: u32(ifc.addr.Addr()),
+				Type: linkP2P, Metric: ifc.cost,
+			})
+		}
+		ifc.mu.Unlock()
+		net := ifc.addr.Masked()
+		mask := ^uint32(0) << uint(32-net.Bits())
+		l.Links = append(l.Links, rlaLink{
+			ID: u32(net.Addr()), Data: mask, Type: linkStub, Metric: ifc.cost,
+		})
+	}
+	i.lsdb[me] = l
+	i.scheduleSPFLocked()
+	// Flood outside the lock.
+	go i.floodExcept(nil, []*lsa{l})
+}
+
+func (i *Instance) sendHellos() {
+	i.mu.Lock()
+	ifaces := make([]*Interface, 0, len(i.ifaces))
+	for _, ifc := range i.ifaces {
+		ifaces = append(ifaces, ifc)
+	}
+	i.mu.Unlock()
+	for _, ifc := range ifaces {
+		ifc.sendHello()
+	}
+}
+
+func (ifc *Interface) sendHello() {
+	inst := ifc.inst
+	net := ifc.addr.Masked()
+	h := &hello{
+		NetMask:       ^uint32(0) << uint(32-net.Bits()),
+		HelloInterval: uint16(inst.cfg.HelloInterval / time.Second),
+		DeadInterval:  uint32(inst.cfg.DeadInterval / time.Second),
+	}
+	ifc.mu.Lock()
+	if ifc.neighbor != nil {
+		h.Neighbors = append(h.Neighbors, ifc.neighbor.routerID)
+	}
+	ifc.mu.Unlock()
+	payload := marshalPacket(header{Type: typeHello, RouterID: u32(inst.cfg.RouterID)}, h.marshal())
+	ifc.send(netip.MustParseAddr(AllSPFRouters), payload)
+}
+
+func (i *Instance) checkDeadNeighbors() {
+	now := i.clk.Now()
+	i.mu.Lock()
+	ifaces := make([]*Interface, 0, len(i.ifaces))
+	for _, ifc := range i.ifaces {
+		ifaces = append(ifaces, ifc)
+	}
+	i.mu.Unlock()
+	changed := false
+	for _, ifc := range ifaces {
+		ifc.mu.Lock()
+		if nb := ifc.neighbor; nb != nil && now.Sub(nb.lastSeen) >= i.cfg.DeadInterval {
+			ifc.neighbor = nil
+			changed = true
+		}
+		ifc.mu.Unlock()
+	}
+	if changed {
+		i.mu.Lock()
+		i.originateLocked()
+		i.scheduleSPFLocked()
+		i.mu.Unlock()
+	}
+}
+
+// ageLSDB advances LSA ages and flushes MaxAge LSAs.
+func (i *Instance) ageLSDB() {
+	step := uint16(i.cfg.DeadInterval / time.Second)
+	if step == 0 {
+		step = 1
+	}
+	i.mu.Lock()
+	me := u32(i.cfg.RouterID)
+	changed := false
+	for id, l := range i.lsdb {
+		if id == me {
+			continue // we refresh our own by re-origination
+		}
+		l.Age += step
+		if l.Age >= MaxAge {
+			delete(i.lsdb, id)
+			changed = true
+		}
+	}
+	if changed {
+		i.scheduleSPFLocked()
+	}
+	i.mu.Unlock()
+}
+
+// scheduleSPFLocked arms the SPF holddown timer. Callers hold i.mu.
+func (i *Instance) scheduleSPFLocked() {
+	if i.spfAt.IsZero() {
+		i.spfAt = i.clk.Now().Add(i.cfg.SPFDelay)
+	}
+}
+
+// maybeRunSPF runs SPF if the holddown expired. Also invoked on demand from
+// tests via RunSPFNow.
+func (i *Instance) maybeRunSPF() {
+	i.mu.Lock()
+	due := !i.spfAt.IsZero() && !i.clk.Now().Before(i.spfAt)
+	if due {
+		i.spfAt = time.Time{}
+	}
+	i.mu.Unlock()
+	if due {
+		i.runSPF()
+	}
+}
+
+// RunSPFNow forces an immediate SPF computation (tests, vtysh `clear`).
+func (i *Instance) RunSPFNow() {
+	i.mu.Lock()
+	i.spfAt = time.Time{}
+	i.mu.Unlock()
+	i.runSPF()
+}

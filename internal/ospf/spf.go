@@ -1,0 +1,142 @@
+package ospf
+
+import (
+	"net/netip"
+
+	"routeflow/internal/rib"
+)
+
+// runSPF computes shortest paths over the Router-LSA graph (Dijkstra,
+// RFC 2328 §16.1 restricted to p2p links) and installs the resulting routes
+// into the RIB, replacing the previous OSPF route set.
+func (i *Instance) runSPF() {
+	i.mu.Lock()
+	me := u32(i.cfg.RouterID)
+	// Build adjacency: router → (neighbor → cost), requiring both directions
+	// (the bidirectionality check of §16.1 step 2b).
+	adj := make(map[uint32]map[uint32]uint16, len(i.lsdb))
+	linkData := make(map[[2]uint32]uint32) // (from,to) → from's interface addr
+	stubs := make(map[uint32][]rlaLink)
+	for id, l := range i.lsdb {
+		for _, ln := range l.Links {
+			switch ln.Type {
+			case linkP2P:
+				if adj[id] == nil {
+					adj[id] = make(map[uint32]uint16)
+				}
+				adj[id][ln.ID] = ln.Metric
+				linkData[[2]uint32{id, ln.ID}] = ln.Data
+			case linkStub:
+				stubs[id] = append(stubs[id], ln)
+			}
+		}
+	}
+	// Local interface lookup: neighbor router ID → our interface.
+	nbIface := make(map[uint32]*Interface)
+	for _, ifc := range i.ifaces {
+		ifc.mu.Lock()
+		if nb := ifc.neighbor; nb != nil && nb.state == NeighborFull {
+			nbIface[nb.routerID] = ifc
+		}
+		ifc.mu.Unlock()
+	}
+	i.spfRun++
+	i.mu.Unlock()
+
+	// Dijkstra from me over bidirectional links.
+	const inf = int(^uint(0) >> 1)
+	dist := map[uint32]int{me: 0}
+	firstHop := map[uint32]uint32{} // destination router → first-hop router
+	visited := map[uint32]bool{}
+	for {
+		// Extract cheapest unvisited.
+		var u uint32
+		best := inf
+		found := false
+		for id, d := range dist {
+			if !visited[id] && d < best {
+				u, best, found = id, d, true
+			}
+		}
+		if !found {
+			break
+		}
+		visited[u] = true
+		for v, cost := range adj[u] {
+			back, ok := adj[v][u]
+			_ = back
+			if !ok {
+				continue // unidirectional: not yet usable
+			}
+			nd := best + int(cost)
+			if old, seen := dist[v]; !seen || nd < old {
+				dist[v] = nd
+				if u == me {
+					firstHop[v] = v
+				} else {
+					firstHop[v] = firstHop[u]
+				}
+			}
+		}
+	}
+
+	// Routes: for every reachable router's stub links, route the prefix via
+	// the first hop toward that router. Our own stubs are connected routes,
+	// not OSPF's business.
+	var routes []rib.Route
+	seen := map[netip.Prefix]int{}
+	for routerID, d := range dist {
+		if routerID == me {
+			continue
+		}
+		fh := firstHop[routerID]
+		ifc := nbIface[fh]
+		if ifc == nil {
+			continue
+		}
+		// Next hop address: the first-hop router's interface address on the
+		// link to us, from its LSA's p2p link data.
+		nhRaw, ok := linkData[[2]uint32{fh, me}]
+		if !ok {
+			continue
+		}
+		nh := addr(nhRaw)
+		for _, st := range stubs[routerID] {
+			bits := maskBits(st.Data)
+			prefix := netip.PrefixFrom(addr(st.ID), bits).Masked()
+			metric := uint32(d) + uint32(st.Metric)
+			if old, dup := seen[prefix]; dup && old <= int(metric) {
+				continue
+			}
+			seen[prefix] = int(metric)
+			routes = append(routes, rib.Route{
+				Prefix:  prefix,
+				NextHop: nh,
+				Iface:   ifc.name,
+				Source:  rib.SourceOSPF,
+				Metric:  metric,
+			})
+		}
+	}
+	// Dedup keeps the lowest metric per prefix: rebuild the final set.
+	final := make([]rib.Route, 0, len(routes))
+	chosen := map[netip.Prefix]bool{}
+	for k := len(routes) - 1; k >= 0; k-- { // later entries replaced earlier
+		r := routes[k]
+		if chosen[r.Prefix] || seen[r.Prefix] != int(r.Metric) {
+			continue
+		}
+		chosen[r.Prefix] = true
+		final = append(final, r)
+	}
+	i.cfg.RIB.ReplaceSource(rib.SourceOSPF, final)
+}
+
+func maskBits(mask uint32) int {
+	bits := 0
+	for mask&0x80000000 != 0 {
+		bits++
+		mask <<= 1
+	}
+	return bits
+}

@@ -1,0 +1,74 @@
+package pkt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+)
+
+// ARP operation codes.
+const (
+	ARPRequest uint16 = 1
+	ARPReply   uint16 = 2
+)
+
+// ARP is an IPv4-over-Ethernet ARP packet (HTYPE=1, PTYPE=0x0800).
+type ARP struct {
+	Op                 uint16
+	SenderHW, TargetHW MAC
+	SenderIP, TargetIP netip.Addr
+}
+
+const arpLen = 28
+
+// Marshal serializes the ARP packet.
+func (a *ARP) Marshal() []byte {
+	b := make([]byte, arpLen)
+	binary.BigEndian.PutUint16(b[0:], 1)                     // HTYPE ethernet
+	binary.BigEndian.PutUint16(b[2:], uint16(EtherTypeIPv4)) // PTYPE
+	b[4], b[5] = 6, 4                                        // HLEN, PLEN
+	binary.BigEndian.PutUint16(b[6:], a.Op)                  //
+	copy(b[8:14], a.SenderHW[:])                             //
+	sip, tip := mustAddr4(a.SenderIP), mustAddr4(a.TargetIP) //
+	copy(b[14:18], sip[:])                                   //
+	copy(b[18:24], a.TargetHW[:])                            //
+	copy(b[24:28], tip[:])                                   //
+	return b
+}
+
+// DecodeARP parses an IPv4-over-Ethernet ARP packet.
+func DecodeARP(b []byte) (*ARP, error) {
+	if len(b) < arpLen {
+		return nil, fmt.Errorf("%w: arp needs %d bytes, have %d", ErrTruncated, arpLen, len(b))
+	}
+	if ht := binary.BigEndian.Uint16(b[0:]); ht != 1 {
+		return nil, fmt.Errorf("pkt: unsupported ARP hardware type %d", ht)
+	}
+	if pt := EtherType(binary.BigEndian.Uint16(b[2:])); pt != EtherTypeIPv4 {
+		return nil, fmt.Errorf("pkt: unsupported ARP protocol type %v", pt)
+	}
+	if b[4] != 6 || b[5] != 4 {
+		return nil, fmt.Errorf("pkt: unsupported ARP address lengths %d/%d", b[4], b[5])
+	}
+	var a ARP
+	a.Op = binary.BigEndian.Uint16(b[6:])
+	copy(a.SenderHW[:], b[8:14])
+	a.SenderIP = netip.AddrFrom4([4]byte(b[14:18]))
+	copy(a.TargetHW[:], b[18:24])
+	a.TargetIP = netip.AddrFrom4([4]byte(b[24:28]))
+	return &a, nil
+}
+
+// NewARPRequest builds a who-has request for target sent from (hw, ip).
+func NewARPRequest(hw MAC, ip, target netip.Addr) *ARP {
+	return &ARP{Op: ARPRequest, SenderHW: hw, SenderIP: ip, TargetIP: target}
+}
+
+// Reply builds the matching is-at reply from the responder's address pair.
+func (a *ARP) Reply(hw MAC, ip netip.Addr) *ARP {
+	return &ARP{
+		Op:       ARPReply,
+		SenderHW: hw, SenderIP: ip,
+		TargetHW: a.SenderHW, TargetIP: a.SenderIP,
+	}
+}

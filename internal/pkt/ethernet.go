@@ -1,0 +1,154 @@
+// Package pkt implements the packet layers the system puts on the wire:
+// Ethernet II framing, ARP, IPv4 (with header checksums), UDP, ICMP echo and
+// LLDP (IEEE 802.1AB TLVs, as used by the NOX-style topology discovery
+// module). The design follows the gopacket layering conventions — every
+// layer decodes from bytes and serializes back to bytes, and round-tripping
+// is a tested invariant — but is dependency-free and limited to the
+// protocols this reproduction needs.
+package pkt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+)
+
+// MAC is a 48-bit Ethernet address. Being an array it is comparable and can
+// key maps, following the gopacket Endpoint rationale.
+type MAC [6]byte
+
+// Well-known addresses.
+var (
+	// BroadcastMAC is ff:ff:ff:ff:ff:ff.
+	BroadcastMAC = MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+	// LLDPMulticast is the 802.1AB nearest-bridge group address LLDP
+	// frames are sent to.
+	LLDPMulticast = MAC{0x01, 0x80, 0xc2, 0x00, 0x00, 0x0e}
+)
+
+// String renders the address in colon-separated hex.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// IsBroadcast reports whether m is the broadcast address.
+func (m MAC) IsBroadcast() bool { return m == BroadcastMAC }
+
+// IsMulticast reports whether the group bit is set.
+func (m MAC) IsMulticast() bool { return m[0]&1 == 1 }
+
+// IsZero reports whether m is all zeros (unset).
+func (m MAC) IsZero() bool { return m == MAC{} }
+
+// LocalMAC derives a deterministic locally-administered unicast MAC from a
+// 40-bit identifier; the system uses it to number switch ports and VM
+// interfaces ("02:" prefix = locally administered, unicast).
+func LocalMAC(id uint64) MAC {
+	var m MAC
+	m[0] = 0x02
+	m[1] = byte(id >> 32)
+	m[2] = byte(id >> 24)
+	m[3] = byte(id >> 16)
+	m[4] = byte(id >> 8)
+	m[5] = byte(id)
+	return m
+}
+
+// EtherType identifies the payload protocol of an Ethernet frame.
+type EtherType uint16
+
+// EtherTypes used by the system.
+const (
+	EtherTypeIPv4 EtherType = 0x0800
+	EtherTypeARP  EtherType = 0x0806
+	EtherTypeVLAN EtherType = 0x8100
+	EtherTypeLLDP EtherType = 0x88cc
+)
+
+// String names the well-known EtherTypes.
+func (t EtherType) String() string {
+	switch t {
+	case EtherTypeIPv4:
+		return "IPv4"
+	case EtherTypeARP:
+		return "ARP"
+	case EtherTypeVLAN:
+		return "VLAN"
+	case EtherTypeLLDP:
+		return "LLDP"
+	default:
+		return fmt.Sprintf("EtherType(0x%04x)", uint16(t))
+	}
+}
+
+// EthernetHeaderLen is the length of an untagged Ethernet II header.
+const EthernetHeaderLen = 14
+
+// Frame is an Ethernet II frame. VLANID is nonzero only when an 802.1Q tag
+// is present (VLANID 0 with a tag is not supported; the system never emits
+// priority-tagged frames).
+type Frame struct {
+	Dst, Src MAC
+	VLANID   uint16 // 0 = untagged
+	Type     EtherType
+	Payload  []byte
+}
+
+// Marshal serializes the frame (no FCS, like a kernel-space frame).
+func (f *Frame) Marshal() []byte {
+	n := EthernetHeaderLen + len(f.Payload)
+	if f.VLANID != 0 {
+		n += 4
+	}
+	b := make([]byte, n)
+	copy(b[0:6], f.Dst[:])
+	copy(b[6:12], f.Src[:])
+	off := 12
+	if f.VLANID != 0 {
+		binary.BigEndian.PutUint16(b[off:], uint16(EtherTypeVLAN))
+		binary.BigEndian.PutUint16(b[off+2:], f.VLANID&0x0fff)
+		off += 4
+	}
+	binary.BigEndian.PutUint16(b[off:], uint16(f.Type))
+	copy(b[off+2:], f.Payload)
+	return b
+}
+
+// ErrTruncated is returned when a buffer is too short for the layer being
+// decoded.
+var ErrTruncated = errors.New("pkt: truncated packet")
+
+// DecodeFrame parses an Ethernet II frame, unwrapping at most one 802.1Q
+// tag. The returned frame's Payload aliases b.
+func DecodeFrame(b []byte) (*Frame, error) {
+	if len(b) < EthernetHeaderLen {
+		return nil, fmt.Errorf("%w: ethernet header needs %d bytes, have %d",
+			ErrTruncated, EthernetHeaderLen, len(b))
+	}
+	var f Frame
+	copy(f.Dst[:], b[0:6])
+	copy(f.Src[:], b[6:12])
+	et := EtherType(binary.BigEndian.Uint16(b[12:14]))
+	off := 14
+	if et == EtherTypeVLAN {
+		if len(b) < 18 {
+			return nil, fmt.Errorf("%w: vlan tag", ErrTruncated)
+		}
+		f.VLANID = binary.BigEndian.Uint16(b[14:16]) & 0x0fff
+		et = EtherType(binary.BigEndian.Uint16(b[16:18]))
+		off = 18
+	}
+	f.Type = et
+	f.Payload = b[off:]
+	return &f, nil
+}
+
+// mustAddr4 converts a netip.Addr to its 4-byte form, panicking on non-IPv4;
+// callers validate first.
+func mustAddr4(a netip.Addr) [4]byte {
+	if !a.Is4() {
+		panic("pkt: address is not IPv4: " + a.String())
+	}
+	return a.As4()
+}

@@ -1,0 +1,57 @@
+package pkt
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// ICMP types the system understands.
+const (
+	ICMPEchoReply   uint8 = 0
+	ICMPUnreachable uint8 = 3
+	ICMPEchoRequest uint8 = 8
+	ICMPTimeExceed  uint8 = 11
+)
+
+// ICMP is an ICMPv4 message; for echo messages ID and Seq are meaningful,
+// for errors they carry the unused field.
+type ICMP struct {
+	Type, Code uint8
+	ID, Seq    uint16
+	Payload    []byte
+}
+
+const icmpHeaderLen = 8
+
+// Marshal serializes the message with its checksum.
+func (m *ICMP) Marshal() []byte {
+	b := make([]byte, icmpHeaderLen+len(m.Payload))
+	b[0], b[1] = m.Type, m.Code
+	binary.BigEndian.PutUint16(b[4:], m.ID)
+	binary.BigEndian.PutUint16(b[6:], m.Seq)
+	copy(b[icmpHeaderLen:], m.Payload)
+	binary.BigEndian.PutUint16(b[2:], Checksum(b))
+	return b
+}
+
+// DecodeICMP parses and checksum-verifies an ICMPv4 message.
+func DecodeICMP(b []byte) (*ICMP, error) {
+	if len(b) < icmpHeaderLen {
+		return nil, fmt.Errorf("%w: icmp header", ErrTruncated)
+	}
+	if Checksum(b) != 0 {
+		return nil, fmt.Errorf("pkt: icmp checksum mismatch")
+	}
+	return &ICMP{
+		Type: b[0], Code: b[1],
+		ID:      binary.BigEndian.Uint16(b[4:]),
+		Seq:     binary.BigEndian.Uint16(b[6:]),
+		Payload: b[icmpHeaderLen:],
+	}, nil
+}
+
+// EchoReply builds the reply to an echo request, mirroring ID, Seq and
+// payload.
+func (m *ICMP) EchoReply() *ICMP {
+	return &ICMP{Type: ICMPEchoReply, ID: m.ID, Seq: m.Seq, Payload: m.Payload}
+}

@@ -1,0 +1,135 @@
+package pkt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+)
+
+// IPProto identifies the transport protocol of an IPv4 packet.
+type IPProto uint8
+
+// Protocol numbers used by the system.
+const (
+	ProtoICMP IPProto = 1
+	ProtoTCP  IPProto = 6
+	ProtoUDP  IPProto = 17
+	ProtoOSPF IPProto = 89
+)
+
+// String names the known protocols.
+func (p IPProto) String() string {
+	switch p {
+	case ProtoICMP:
+		return "ICMP"
+	case ProtoTCP:
+		return "TCP"
+	case ProtoUDP:
+		return "UDP"
+	case ProtoOSPF:
+		return "OSPF"
+	default:
+		return fmt.Sprintf("IPProto(%d)", uint8(p))
+	}
+}
+
+// IPv4HeaderLen is the length of an option-less IPv4 header.
+const IPv4HeaderLen = 20
+
+// IPv4 is an IPv4 packet with an option-less header.
+type IPv4 struct {
+	TOS      uint8
+	ID       uint16
+	Flags    uint8 // 3 bits: reserved, DF, MF
+	FragOff  uint16
+	TTL      uint8
+	Proto    IPProto
+	Src, Dst netip.Addr
+	Payload  []byte
+}
+
+// Checksum computes the RFC 1071 internet checksum of b.
+func Checksum(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[i:]))
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}
+
+// Marshal serializes the packet, computing total length and header checksum.
+func (p *IPv4) Marshal() []byte {
+	b := make([]byte, IPv4HeaderLen+len(p.Payload))
+	b[0] = 0x45 // version 4, IHL 5
+	b[1] = p.TOS
+	binary.BigEndian.PutUint16(b[2:], uint16(len(b)))
+	binary.BigEndian.PutUint16(b[4:], p.ID)
+	binary.BigEndian.PutUint16(b[6:], uint16(p.Flags)<<13|p.FragOff&0x1fff)
+	b[8] = p.TTL
+	b[9] = uint8(p.Proto)
+	src, dst := mustAddr4(p.Src), mustAddr4(p.Dst)
+	copy(b[12:16], src[:])
+	copy(b[16:20], dst[:])
+	binary.BigEndian.PutUint16(b[10:], Checksum(b[:IPv4HeaderLen]))
+	copy(b[IPv4HeaderLen:], p.Payload)
+	return b
+}
+
+// DecodeIPv4 parses an IPv4 packet and verifies the header checksum. Options
+// are skipped; the returned Payload aliases b.
+func DecodeIPv4(b []byte) (*IPv4, error) {
+	if len(b) < IPv4HeaderLen {
+		return nil, fmt.Errorf("%w: ipv4 header", ErrTruncated)
+	}
+	if v := b[0] >> 4; v != 4 {
+		return nil, fmt.Errorf("pkt: IP version %d, want 4", v)
+	}
+	ihl := int(b[0]&0x0f) * 4
+	if ihl < IPv4HeaderLen || len(b) < ihl {
+		return nil, fmt.Errorf("%w: ipv4 IHL %d", ErrTruncated, ihl)
+	}
+	if Checksum(b[:ihl]) != 0 {
+		return nil, fmt.Errorf("pkt: ipv4 header checksum mismatch")
+	}
+	total := int(binary.BigEndian.Uint16(b[2:]))
+	if total < ihl || total > len(b) {
+		return nil, fmt.Errorf("%w: ipv4 total length %d of %d", ErrTruncated, total, len(b))
+	}
+	var p IPv4
+	p.TOS = b[1]
+	p.ID = binary.BigEndian.Uint16(b[4:])
+	ff := binary.BigEndian.Uint16(b[6:])
+	p.Flags = uint8(ff >> 13)
+	p.FragOff = ff & 0x1fff
+	p.TTL = b[8]
+	p.Proto = IPProto(b[9])
+	p.Src = netip.AddrFrom4([4]byte(b[12:16]))
+	p.Dst = netip.AddrFrom4([4]byte(b[16:20]))
+	p.Payload = b[ihl:total]
+	return &p, nil
+}
+
+// pseudoHeaderSum computes the one's-complement sum of the IPv4 pseudo
+// header used by UDP checksums.
+func pseudoHeaderSum(src, dst netip.Addr, proto IPProto, length int) uint32 {
+	s, d := mustAddr4(src), mustAddr4(dst)
+	var sum uint32
+	sum += uint32(binary.BigEndian.Uint16(s[0:2])) + uint32(binary.BigEndian.Uint16(s[2:4]))
+	sum += uint32(binary.BigEndian.Uint16(d[0:2])) + uint32(binary.BigEndian.Uint16(d[2:4]))
+	sum += uint32(proto)
+	sum += uint32(length)
+	return sum
+}
+
+func finishChecksum(sum uint32) uint16 {
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}

@@ -1,0 +1,145 @@
+package pkt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// LLDP TLV types (IEEE 802.1AB).
+const (
+	lldpTLVEnd       = 0
+	lldpTLVChassisID = 1
+	lldpTLVPortID    = 2
+	lldpTLVTTL       = 3
+	lldpTLVSysName   = 5
+)
+
+// LLDP chassis/port ID subtypes used here.
+const (
+	lldpChassisLocal = 7 // locally assigned string
+	lldpPortLocal    = 7 // locally assigned string
+)
+
+// LLDP is the discovery PDU the topology controller floods out of every
+// switch port, NOX-discovery style: the chassis ID carries the origin
+// datapath ID, the port ID the origin port number. When the frame comes back
+// in a packet-in from a different switch, the (chassis, port) pair plus the
+// ingress (dpid, port) identify one unidirectional link.
+type LLDP struct {
+	ChassisID string // "dpid:%016x" by convention
+	PortID    string // decimal port number by convention
+	TTL       uint16 // seconds the advertisement stays valid
+	SysName   string // optional
+}
+
+// NewLLDP builds the discovery PDU for (dpid, port).
+func NewLLDP(dpid uint64, port uint16, ttl uint16) *LLDP {
+	return &LLDP{
+		ChassisID: FormatDPID(dpid),
+		PortID:    strconv.Itoa(int(port)),
+		TTL:       ttl,
+	}
+}
+
+// FormatDPID renders a datapath ID the way the discovery module encodes it
+// into LLDP chassis IDs.
+func FormatDPID(dpid uint64) string { return fmt.Sprintf("dpid:%016x", dpid) }
+
+// ParseDPID reverses FormatDPID.
+func ParseDPID(s string) (uint64, error) {
+	rest, ok := strings.CutPrefix(s, "dpid:")
+	if !ok {
+		return 0, fmt.Errorf("pkt: chassis ID %q has no dpid prefix", s)
+	}
+	v, err := strconv.ParseUint(rest, 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("pkt: chassis ID %q: %v", s, err)
+	}
+	return v, nil
+}
+
+// Origin decodes the (dpid, port) pair the PDU advertises.
+func (l *LLDP) Origin() (dpid uint64, port uint16, err error) {
+	dpid, err = ParseDPID(l.ChassisID)
+	if err != nil {
+		return 0, 0, err
+	}
+	p, err := strconv.ParseUint(l.PortID, 10, 16)
+	if err != nil {
+		return 0, 0, fmt.Errorf("pkt: port ID %q: %v", l.PortID, err)
+	}
+	return dpid, uint16(p), nil
+}
+
+func appendTLV(b []byte, typ uint8, val []byte) []byte {
+	hdr := uint16(typ)<<9 | uint16(len(val))&0x1ff
+	var h [2]byte
+	binary.BigEndian.PutUint16(h[:], hdr)
+	b = append(b, h[:]...)
+	return append(b, val...)
+}
+
+// Marshal serializes the PDU as a TLV sequence terminated by End-of-LLDPDU.
+func (l *LLDP) Marshal() []byte {
+	var b []byte
+	b = appendTLV(b, lldpTLVChassisID, append([]byte{lldpChassisLocal}, l.ChassisID...))
+	b = appendTLV(b, lldpTLVPortID, append([]byte{lldpPortLocal}, l.PortID...))
+	var ttl [2]byte
+	binary.BigEndian.PutUint16(ttl[:], l.TTL)
+	b = appendTLV(b, lldpTLVTTL, ttl[:])
+	if l.SysName != "" {
+		b = appendTLV(b, lldpTLVSysName, []byte(l.SysName))
+	}
+	b = appendTLV(b, lldpTLVEnd, nil)
+	return b
+}
+
+// DecodeLLDP parses a TLV sequence. The mandatory chassis ID, port ID and
+// TTL TLVs must appear first and in order, per 802.1AB.
+func DecodeLLDP(b []byte) (*LLDP, error) {
+	var l LLDP
+	seen := 0
+	for len(b) >= 2 {
+		hdr := binary.BigEndian.Uint16(b)
+		typ := uint8(hdr >> 9)
+		length := int(hdr & 0x1ff)
+		b = b[2:]
+		if len(b) < length {
+			return nil, fmt.Errorf("%w: lldp TLV %d", ErrTruncated, typ)
+		}
+		val := b[:length]
+		b = b[length:]
+		switch typ {
+		case lldpTLVEnd:
+			if seen < 3 {
+				return nil, fmt.Errorf("pkt: lldp ended after %d mandatory TLVs", seen)
+			}
+			return &l, nil
+		case lldpTLVChassisID:
+			if seen != 0 || length < 1 {
+				return nil, fmt.Errorf("pkt: lldp chassis TLV out of order")
+			}
+			l.ChassisID = string(val[1:])
+			seen++
+		case lldpTLVPortID:
+			if seen != 1 || length < 1 {
+				return nil, fmt.Errorf("pkt: lldp port TLV out of order")
+			}
+			l.PortID = string(val[1:])
+			seen++
+		case lldpTLVTTL:
+			if seen != 2 || length < 2 {
+				return nil, fmt.Errorf("pkt: lldp TTL TLV out of order")
+			}
+			l.TTL = binary.BigEndian.Uint16(val)
+			seen++
+		case lldpTLVSysName:
+			l.SysName = string(val)
+		default:
+			// Unknown optional TLVs are skipped.
+		}
+	}
+	return nil, fmt.Errorf("%w: lldp without end TLV", ErrTruncated)
+}

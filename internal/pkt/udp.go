@@ -1,0 +1,70 @@
+package pkt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+)
+
+// UDPHeaderLen is the fixed UDP header length.
+const UDPHeaderLen = 8
+
+// UDP is a UDP datagram. The checksum covers the IPv4 pseudo header, so
+// marshalling needs the enclosing packet's addresses.
+type UDP struct {
+	SrcPort, DstPort uint16
+	Payload          []byte
+}
+
+// Marshal serializes the datagram with a checksum computed over the given
+// pseudo-header addresses.
+func (u *UDP) Marshal(src, dst netip.Addr) []byte {
+	b := make([]byte, UDPHeaderLen+len(u.Payload))
+	binary.BigEndian.PutUint16(b[0:], u.SrcPort)
+	binary.BigEndian.PutUint16(b[2:], u.DstPort)
+	binary.BigEndian.PutUint16(b[4:], uint16(len(b)))
+	copy(b[UDPHeaderLen:], u.Payload)
+	sum := pseudoHeaderSum(src, dst, ProtoUDP, len(b))
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[i:]))
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	ck := finishChecksum(sum)
+	if ck == 0 {
+		ck = 0xffff // RFC 768: transmitted as all ones
+	}
+	binary.BigEndian.PutUint16(b[6:], ck)
+	return b
+}
+
+// DecodeUDP parses a UDP datagram. If src and dst are valid IPv4 addresses
+// the checksum is verified (a zero checksum means "not computed" and is
+// accepted, per RFC 768).
+func DecodeUDP(b []byte, src, dst netip.Addr) (*UDP, error) {
+	if len(b) < UDPHeaderLen {
+		return nil, fmt.Errorf("%w: udp header", ErrTruncated)
+	}
+	length := int(binary.BigEndian.Uint16(b[4:]))
+	if length < UDPHeaderLen || length > len(b) {
+		return nil, fmt.Errorf("%w: udp length %d of %d", ErrTruncated, length, len(b))
+	}
+	if ck := binary.BigEndian.Uint16(b[6:]); ck != 0 && src.Is4() && dst.Is4() {
+		sum := pseudoHeaderSum(src, dst, ProtoUDP, length)
+		for i := 0; i+1 < length; i += 2 {
+			sum += uint32(binary.BigEndian.Uint16(b[i:]))
+		}
+		if length%2 == 1 {
+			sum += uint32(b[length-1]) << 8
+		}
+		if got := finishChecksum(sum); got != 0 {
+			return nil, fmt.Errorf("pkt: udp checksum mismatch")
+		}
+	}
+	return &UDP{
+		SrcPort: binary.BigEndian.Uint16(b[0:]),
+		DstPort: binary.BigEndian.Uint16(b[2:]),
+		Payload: b[UDPHeaderLen:length],
+	}, nil
+}

@@ -1,0 +1,313 @@
+package quagga
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"routeflow/internal/rib"
+)
+
+func sampleConfig() *Config {
+	return &Config{
+		Hostname: "vm-0000000000000001",
+		RouterID: netip.MustParseAddr("10.255.0.1"),
+		Interfaces: []InterfaceConfig{
+			{Name: "eth1", Address: netip.MustParsePrefix("172.16.0.1/30"), Cost: 10},
+			{Name: "eth2", Address: netip.MustParsePrefix("172.16.0.5/30"), Cost: 20},
+		},
+		Networks: []netip.Prefix{netip.MustParsePrefix("172.16.0.0/16")},
+		BGP: &BGPConfig{ASN: 65001, Neighbors: []BGPNeighbor{
+			{Addr: netip.MustParseAddr("172.16.0.2"), ASN: 65002},
+		}},
+	}
+}
+
+func TestZebraConfRendering(t *testing.T) {
+	z := sampleConfig().ZebraConf()
+	for _, want := range []string{
+		"hostname vm-0000000000000001",
+		"interface eth1",
+		"ip address 172.16.0.1/30",
+		"interface eth2",
+	} {
+		if !strings.Contains(z, want) {
+			t.Fatalf("zebra.conf missing %q:\n%s", want, z)
+		}
+	}
+}
+
+func TestOSPFConfRendering(t *testing.T) {
+	o := sampleConfig().OSPFConf()
+	for _, want := range []string{
+		"router ospf",
+		"ospf router-id 10.255.0.1",
+		"network 172.16.0.0/16 area 0.0.0.0",
+		"ip ospf cost 10",
+		"ip ospf cost 20",
+	} {
+		if !strings.Contains(o, want) {
+			t.Fatalf("ospfd.conf missing %q:\n%s", want, o)
+		}
+	}
+}
+
+func TestBGPConfRendering(t *testing.T) {
+	c := sampleConfig()
+	b := c.BGPConf()
+	for _, want := range []string{"router bgp 65001", "neighbor 172.16.0.2 remote-as 65002"} {
+		if !strings.Contains(b, want) {
+			t.Fatalf("bgpd.conf missing %q:\n%s", want, b)
+		}
+	}
+	c.BGP = nil
+	if !strings.Contains(c.BGPConf(), "bgp disabled") {
+		t.Fatal("disabled BGP placeholder missing")
+	}
+}
+
+func TestFilesMap(t *testing.T) {
+	files := sampleConfig().Files()
+	for _, name := range []string{"zebra.conf", "ospfd.conf", "bgpd.conf"} {
+		if files[name] == "" {
+			t.Fatalf("%s missing", name)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	orig := sampleConfig()
+	text := orig.ZebraConf() + orig.OSPFConf() + orig.BGPConf()
+	got, err := Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Hostname != orig.Hostname || got.RouterID != orig.RouterID {
+		t.Fatalf("identity = %s/%v", got.Hostname, got.RouterID)
+	}
+	if len(got.Interfaces) != 2 {
+		t.Fatalf("interfaces = %+v", got.Interfaces)
+	}
+	if got.Interfaces[0].Address != orig.Interfaces[0].Address ||
+		got.Interfaces[0].Cost != orig.Interfaces[0].Cost {
+		t.Fatalf("iface0 = %+v", got.Interfaces[0])
+	}
+	if len(got.Networks) != 1 || got.Networks[0] != orig.Networks[0] {
+		t.Fatalf("networks = %v", got.Networks)
+	}
+	if got.BGP == nil || got.BGP.ASN != 65001 || len(got.BGP.Neighbors) != 1 {
+		t.Fatalf("bgp = %+v", got.BGP)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"interface",             // missing name
+		"ip address 1.2.3.4/24", // ip outside interface stanza
+		"interface e0\nip address bogus",
+		"router rip",               // unsupported process
+		"network 1.0.0.0/8 area 0", // network outside router ospf
+		"router ospf\nnetwork nope area 0.0.0.0",
+		"flurble",
+		"router bgp abc",
+		"router bgp 1\nneighbor x remote-as 2",
+	}
+	for _, c := range cases {
+		if _, err := Parse(c); err == nil {
+			t.Fatalf("accepted %q", c)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	c := sampleConfig()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := *c
+	bad.Hostname = ""
+	if bad.Validate() == nil {
+		t.Fatal("missing hostname accepted")
+	}
+	bad = *c
+	bad.Networks = []netip.Prefix{netip.MustParsePrefix("192.0.2.0/24")}
+	if bad.Validate() == nil {
+		t.Fatal("uncovered network accepted")
+	}
+	bad = *c
+	bad.Interfaces = append([]InterfaceConfig{}, c.Interfaces...)
+	bad.Interfaces = append(bad.Interfaces, c.Interfaces[0])
+	if bad.Validate() == nil {
+		t.Fatal("duplicate interface accepted")
+	}
+	bad = *c
+	bad.Interfaces = []InterfaceConfig{{Name: "e0"}}
+	bad.Networks = nil
+	if bad.Validate() == nil {
+		t.Fatal("unaddressed interface accepted")
+	}
+}
+
+func fastTimers() Timers {
+	return Timers{Hello: 20 * time.Millisecond, Dead: 80 * time.Millisecond,
+		SPFDelay: 5 * time.Millisecond}
+}
+
+func TestRouterAttachInstallsConnected(t *testing.T) {
+	r, err := NewRouter(sampleConfig(), nil, fastTimers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+	ifc, err := r.Attach("eth1", func(netip.Addr, []byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ifc == nil {
+		t.Fatal("eth1 is inside the OSPF network statement; expected an OSPF interface")
+	}
+	rt, ok := r.RIB().Lookup(netip.MustParseAddr("172.16.0.2"))
+	if !ok || rt.Source != rib.SourceConnected || rt.Iface != "eth1" {
+		t.Fatalf("connected route = %v, %v", rt, ok)
+	}
+	if _, err := r.Attach("eth1", nil); err == nil {
+		t.Fatal("double attach accepted")
+	}
+	if _, err := r.Attach("ghost", nil); err == nil {
+		t.Fatal("unknown interface accepted")
+	}
+}
+
+func TestRouterOSPFScopedByNetworkStatement(t *testing.T) {
+	cfg := sampleConfig()
+	cfg.Interfaces = append(cfg.Interfaces, InterfaceConfig{
+		Name: "mgmt0", Address: netip.MustParsePrefix("192.168.50.1/24")})
+	r, err := NewRouter(cfg, nil, fastTimers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+	ifc, err := r.Attach("mgmt0", func(netip.Addr, []byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ifc != nil {
+		t.Fatal("mgmt0 outside network statements must not join OSPF")
+	}
+}
+
+func TestRouterDetach(t *testing.T) {
+	r, _ := NewRouter(sampleConfig(), nil, fastTimers())
+	defer r.Stop()
+	r.Attach("eth1", func(netip.Addr, []byte) {}) //nolint:errcheck
+	r.Detach("eth1")
+	if _, ok := r.RIB().Lookup(netip.MustParseAddr("172.16.0.1")); ok {
+		t.Fatal("connected route survived detach")
+	}
+	r.Detach("eth1") // idempotent
+}
+
+func TestRouterShowCommands(t *testing.T) {
+	r, _ := NewRouter(sampleConfig(), nil, fastTimers())
+	defer r.Stop()
+	r.Attach("eth1", func(netip.Addr, []byte) {}) //nolint:errcheck
+	routes := r.ShowIPRoute()
+	if !strings.Contains(routes, "C>*") || !strings.Contains(routes, "172.16.0.0/30") {
+		t.Fatalf("show ip route:\n%s", routes)
+	}
+	if !strings.Contains(r.ShowOSPFNeighbors(), "show ip ospf neighbor") {
+		t.Fatal("neighbor header missing")
+	}
+	if r.Hostname() != "vm-0000000000000001" {
+		t.Fatal("hostname accessor")
+	}
+	if _, ok := r.InterfaceAddr("eth1"); !ok {
+		t.Fatal("InterfaceAddr")
+	}
+	if _, ok := r.InterfaceAddr("nope"); ok {
+		t.Fatal("InterfaceAddr ghost")
+	}
+}
+
+func TestTwoRoutersConvergeFromGeneratedConfigs(t *testing.T) {
+	// End to end inside quagga: generate configs for two routers sharing a
+	// /30, parse them back, build routers, wire the OSPF interfaces
+	// directly, and expect OSPF routes.
+	mk := func(host, id, addr string, lan string) *Config {
+		return &Config{
+			Hostname: host,
+			RouterID: netip.MustParseAddr(id),
+			Interfaces: []InterfaceConfig{
+				{Name: "eth1", Address: netip.MustParsePrefix(addr), Cost: 10},
+				{Name: "lan0", Address: netip.MustParsePrefix(lan), Cost: 10},
+			},
+			Networks: []netip.Prefix{
+				netip.MustParsePrefix("172.16.0.0/16"),
+				netip.MustParsePrefix("10.0.0.0/8"),
+			},
+		}
+	}
+	cfgA, err := Parse(mk("vm-a", "10.255.0.1", "172.16.0.1/30", "10.1.0.1/24").ZebraConf() +
+		mk("vm-a", "10.255.0.1", "172.16.0.1/30", "10.1.0.1/24").OSPFConf())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgB := mk("vm-b", "10.255.0.2", "172.16.0.2/30", "10.2.0.1/24")
+
+	ra, err := NewRouter(cfgA, nil, fastTimers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := NewRouter(cfgB, nil, fastTimers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ra.Stop()
+	defer rb.Stop()
+
+	abCh := make(chan []byte, 256)
+	baCh := make(chan []byte, 256)
+	ifcA, err := ra.Attach("eth1", func(_ netip.Addr, p []byte) { abCh <- p })
+	if err != nil || ifcA == nil {
+		t.Fatalf("attach A: %v %v", ifcA, err)
+	}
+	ifcB, err := rb.Attach("eth1", func(_ netip.Addr, p []byte) { baCh <- p })
+	if err != nil || ifcB == nil {
+		t.Fatalf("attach B: %v %v", ifcB, err)
+	}
+	ra.Attach("lan0", func(netip.Addr, []byte) {}) //nolint:errcheck
+	rb.Attach("lan0", func(netip.Addr, []byte) {}) //nolint:errcheck
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		for {
+			select {
+			case p := <-abCh:
+				ifcB.Deliver(netip.MustParseAddr("172.16.0.1"), p)
+			case p := <-baCh:
+				ifcA.Deliver(netip.MustParseAddr("172.16.0.2"), p)
+			case <-done:
+				return
+			}
+		}
+	}()
+	ra.Start()
+	rb.Start()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if rt, ok := ra.RIB().Lookup(netip.MustParseAddr("10.2.0.5")); ok &&
+			rt.Source == rib.SourceOSPF {
+			if !strings.Contains(ra.ShowIPRoute(), "O>*") {
+				t.Fatal("show ip route missing OSPF code")
+			}
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("routers built from generated configs never exchanged routes")
+}

@@ -1,0 +1,228 @@
+package quagga
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"routeflow/internal/clock"
+	"routeflow/internal/ospf"
+	"routeflow/internal/rib"
+)
+
+// Timers collects the protocol timers a Router passes to its daemons.
+type Timers struct {
+	Hello    time.Duration
+	Dead     time.Duration
+	SPFDelay time.Duration
+}
+
+// Router is the assembled routing control platform of one VM: a RIB shared
+// by a zebra-like connected-route manager and an ospfd instance built from
+// the parsed configuration files.
+type Router struct {
+	cfg  *Config
+	clk  clock.Clock
+	rib  *rib.RIB
+	ospf *ospf.Instance
+
+	mu       sync.Mutex
+	attached map[string]InterfaceConfig
+	ospfIfcs map[string]*ospf.Interface
+}
+
+// NewRouter builds a router from configuration (parse + validate first).
+func NewRouter(cfg *Config, clk clock.Clock, timers Timers) (*Router, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if clk == nil {
+		clk = clock.System()
+	}
+	r := rib.New()
+	inst, err := ospf.New(ospf.Config{
+		RouterID:      cfg.RouterID,
+		RIB:           r,
+		Clock:         clk,
+		HelloInterval: timers.Hello,
+		DeadInterval:  timers.Dead,
+		SPFDelay:      timers.SPFDelay,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Router{cfg: cfg, clk: clk, rib: r, ospf: inst,
+		attached: make(map[string]InterfaceConfig),
+		ospfIfcs: make(map[string]*ospf.Interface)}, nil
+}
+
+// RIB returns the router's RIB (the VM's FIB view).
+func (r *Router) RIB() *rib.RIB { return r.rib }
+
+// OSPF returns the ospfd instance.
+func (r *Router) OSPF() *ospf.Instance { return r.ospf }
+
+// Config returns the router's configuration.
+func (r *Router) Config() *Config { return r.cfg }
+
+// Hostname returns the configured hostname.
+func (r *Router) Hostname() string { return r.cfg.Hostname }
+
+// ospfEnabled reports whether addr falls inside any `network ... area`
+// statement.
+func (r *Router) ospfEnabled(addr netip.Addr) bool {
+	for _, n := range r.cfg.Networks {
+		if n.Contains(addr) {
+			return true
+		}
+	}
+	return false
+}
+
+// Attach brings up a configured interface: the connected route is installed
+// and, if the address is covered by an OSPF network statement, the
+// interface joins the OSPF process using send as its transmit path. The
+// returned interface is nil when OSPF is not enabled on it.
+func (r *Router) Attach(name string, send ospf.SendFunc) (*ospf.Interface, error) {
+	var ic *InterfaceConfig
+	for i := range r.cfg.Interfaces {
+		if r.cfg.Interfaces[i].Name == name {
+			ic = &r.cfg.Interfaces[i]
+			break
+		}
+	}
+	if ic == nil {
+		return nil, fmt.Errorf("quagga: interface %s not in configuration", name)
+	}
+	r.mu.Lock()
+	if _, dup := r.attached[name]; dup {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("quagga: interface %s already attached", name)
+	}
+	r.attached[name] = *ic
+	r.mu.Unlock()
+
+	if err := r.rib.Add(rib.Route{
+		Prefix: ic.Address.Masked(),
+		Iface:  name,
+		Source: rib.SourceConnected,
+	}); err != nil {
+		return nil, err
+	}
+	if !r.ospfEnabled(ic.Address.Addr()) {
+		return nil, nil
+	}
+	ifc, err := r.ospf.AddInterface(name, ic.Address, ic.Cost, send)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	r.ospfIfcs[name] = ifc
+	r.mu.Unlock()
+	return ifc, nil
+}
+
+// Detach tears an interface down: OSPF leaves it and the connected route is
+// withdrawn.
+func (r *Router) Detach(name string) {
+	r.mu.Lock()
+	ic, ok := r.attached[name]
+	delete(r.attached, name)
+	r.mu.Unlock()
+	if !ok {
+		return
+	}
+	r.ospf.RemoveInterface(name)
+	r.mu.Lock()
+	delete(r.ospfIfcs, name)
+	r.mu.Unlock()
+	r.rib.Remove(ic.Address.Masked(), rib.SourceConnected, netip.Addr{})
+}
+
+// AddInterfaceConfig appends an interface stanza to the running
+// configuration (the RPC server reconfigures VMs dynamically as links are
+// discovered). Attach must still be called to bring it up.
+func (r *Router) AddInterfaceConfig(ic InterfaceConfig) error {
+	if !ic.Address.IsValid() || !ic.Address.Addr().Is4() {
+		return fmt.Errorf("quagga: interface %s needs an IPv4 address", ic.Name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, ex := range r.cfg.Interfaces {
+		if ex.Name == ic.Name {
+			return fmt.Errorf("quagga: interface %s already configured", ic.Name)
+		}
+	}
+	r.cfg.Interfaces = append(r.cfg.Interfaces, ic)
+	return nil
+}
+
+// AddNetwork appends an OSPF network statement at runtime.
+func (r *Router) AddNetwork(p netip.Prefix) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, ex := range r.cfg.Networks {
+		if ex == p {
+			return
+		}
+	}
+	r.cfg.Networks = append(r.cfg.Networks, p)
+}
+
+// InterfaceAddr returns the configured address of an interface.
+func (r *Router) InterfaceAddr(name string) (netip.Prefix, bool) {
+	for _, ic := range r.cfg.Interfaces {
+		if ic.Name == name {
+			return ic.Address, true
+		}
+	}
+	return netip.Prefix{}, false
+}
+
+// Start launches the daemons.
+func (r *Router) Start() { r.ospf.Start() }
+
+// Stop halts the daemons.
+func (r *Router) Stop() { r.ospf.Stop() }
+
+// ShowIPRoute renders the RIB in vtysh `show ip route` style.
+func (r *Router) ShowIPRoute() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s# show ip route\n", r.cfg.Hostname)
+	codes := map[rib.Source]string{
+		rib.SourceConnected: "C",
+		rib.SourceStatic:    "S",
+		rib.SourceOSPF:      "O",
+	}
+	for _, rt := range r.rib.Best() {
+		code := codes[rt.Source]
+		if code == "" {
+			code = "?"
+		}
+		fmt.Fprintf(&b, "%s>* %s\n", code, rt)
+	}
+	return b.String()
+}
+
+// ShowOSPFNeighbors renders `show ip ospf neighbor`.
+func (r *Router) ShowOSPFNeighbors() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s# show ip ospf neighbor\n", r.cfg.Hostname)
+	nbs := r.ospf.Neighbors()
+	sort.Slice(nbs, func(i, j int) bool { return nbs[i].Interface < nbs[j].Interface })
+	for _, n := range nbs {
+		fmt.Fprintf(&b, "%-15s %-6s %-15s %s\n", n.RouterID, n.State, n.Addr, n.Interface)
+	}
+	return b.String()
+}
+
+// OSPFInterface returns the attached OSPF interface with the given name, or
+// nil when the interface is not attached or not OSPF-enabled.
+func (r *Router) OSPFInterface(name string) *ospf.Interface {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ospfIfcs[name]
+}

@@ -1,0 +1,514 @@
+// Package rf implements the RouteFlow control platform of the paper's
+// RF-controller (Fig. 1): the rf-server that owns one virtual machine per
+// switch and the 1:1 mapping between VM interfaces and switch ports; the
+// rf-proxy data path that punts packet-ins into the mirrored VM interface
+// and packet-outs the VM's own frames; and the route translation that turns
+// every FIB change inside a VM into OpenFlow flow entries on its physical
+// switch (match on destination prefix, rewrite source/destination MACs, and
+// forward out the mapped port). The package also embeds the paper's RPC
+// server: configuration messages from the topology controller create VMs,
+// map them to switches, address their interfaces and write their routing
+// configuration files.
+package rf
+
+import (
+	"fmt"
+	"net/netip"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"routeflow/internal/clock"
+	"routeflow/internal/ctlkit"
+	"routeflow/internal/ipam"
+	"routeflow/internal/openflow"
+	"routeflow/internal/pkt"
+	"routeflow/internal/quagga"
+	"routeflow/internal/rib"
+	"routeflow/internal/rpcconf"
+	"routeflow/internal/vnet"
+)
+
+// Defaults.
+const (
+	DefaultBootDelay = 2 * time.Second // modeled LXC clone + daemon start
+	DefaultLinkCost  = 10
+	hostFlowPriority = 500 // above any prefix flow (100..132 + bits)
+)
+
+// Config configures the platform.
+type Config struct {
+	Clock clock.Clock
+	// Pool is the administrator's IP range for the virtual environment; it
+	// becomes the OSPF network statement of every VM.
+	Pool netip.Prefix
+	// RouterIDStart seeds VM router IDs.
+	RouterIDStart netip.Addr
+	// BootDelay models VM creation time.
+	BootDelay time.Duration
+	// Timers are the routing daemons' protocol timers (zero = RFC
+	// defaults).
+	Timers quagga.Timers
+	// OnStatus, if set, observes per-switch configuration state changes
+	// (the red/green GUI signal). May be called concurrently.
+	OnStatus func(dpid uint64, state vnet.State)
+}
+
+type addrOwner struct {
+	dpid uint64
+	port uint16
+}
+
+// Platform is the RF-controller application state.
+type Platform struct {
+	cfg Config
+	clk clock.Clock
+	ctl *ctlkit.Controller
+
+	rids *ipam.RouterIDs
+
+	mu        sync.Mutex
+	vms       map[uint64]*vnet.VM
+	addrIndex map[netip.Addr]addrOwner
+	flows     map[uint64]map[netip.Prefix]*openflow.FlowMod // desired state
+	files     map[uint64]map[string]string                  // generated config files
+}
+
+// New creates the platform and its embedded controller runtime.
+func New(cfg Config) (*Platform, error) {
+	if !cfg.Pool.Addr().Is4() {
+		return nil, fmt.Errorf("rf: pool %v is not IPv4", cfg.Pool)
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.System()
+	}
+	if !cfg.RouterIDStart.IsValid() {
+		cfg.RouterIDStart = netip.MustParseAddr("10.255.0.1")
+	}
+	if cfg.BootDelay <= 0 {
+		cfg.BootDelay = DefaultBootDelay
+	}
+	p := &Platform{
+		cfg:       cfg,
+		clk:       cfg.Clock,
+		rids:      ipam.NewRouterIDs(cfg.RouterIDStart),
+		vms:       make(map[uint64]*vnet.VM),
+		addrIndex: make(map[netip.Addr]addrOwner),
+		flows:     make(map[uint64]map[netip.Prefix]*openflow.FlowMod),
+		files:     make(map[uint64]map[string]string),
+	}
+	p.ctl = ctlkit.New("rf-controller", cfg.Clock, ctlkit.Callbacks{
+		SwitchUp: p.onSwitchUp,
+		PacketIn: p.onPacketIn,
+	})
+	return p, nil
+}
+
+// Controller returns the ctlkit runtime (serve it on the FlowVisor-facing
+// listener).
+func (p *Platform) Controller() *ctlkit.Controller { return p.ctl }
+
+// Stop halts the platform.
+func (p *Platform) Stop() {
+	p.ctl.Stop()
+	p.mu.Lock()
+	vms := make([]*vnet.VM, 0, len(p.vms))
+	for _, vm := range p.vms {
+		vms = append(vms, vm)
+	}
+	p.mu.Unlock()
+	for _, vm := range vms {
+		vm.Destroy()
+	}
+}
+
+// VM returns the VM mirroring dpid.
+func (p *Platform) VM(dpid uint64) (*vnet.VM, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	vm, ok := p.vms[dpid]
+	return vm, ok
+}
+
+// NumVMs returns how many VMs exist.
+func (p *Platform) NumVMs() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.vms)
+}
+
+// Configured reports the paper's green condition: the switch has a
+// corresponding VM and it is up.
+func (p *Platform) Configured(dpid uint64) bool {
+	vm, ok := p.VM(dpid)
+	return ok && vm.State() == vnet.StateUp
+}
+
+// ConfigFiles returns the generated routing configuration files of a VM
+// (zebra.conf, ospfd.conf, bgpd.conf), as written by the RPC server.
+func (p *Platform) ConfigFiles(dpid uint64) (map[string]string, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f, ok := p.files[dpid]
+	if !ok {
+		return nil, false
+	}
+	out := make(map[string]string, len(f))
+	for k, v := range f {
+		out[k] = v
+	}
+	return out, true
+}
+
+// RPCHandler returns the configuration-message handler for rpcconf.Server —
+// the paper's RPC server embedded in the RF-controller.
+func (p *Platform) RPCHandler() rpcconf.Handler {
+	return func(m *rpcconf.Message) error {
+		switch m.Kind {
+		case rpcconf.KindSwitchUp:
+			return p.handleSwitchUp(m)
+		case rpcconf.KindSwitchDown:
+			return p.handleSwitchDown(m)
+		case rpcconf.KindLinkUp:
+			return p.handleLinkUp(m)
+		case rpcconf.KindLinkDown:
+			return p.handleLinkDown(m)
+		case rpcconf.KindHostUp:
+			return p.handleHostUp(m)
+		case rpcconf.KindHostDown:
+			return p.handleHostDown(m)
+		default:
+			return fmt.Errorf("rf: unknown configuration message %q", m.Kind)
+		}
+	}
+}
+
+func (p *Platform) handleSwitchUp(m *rpcconf.Message) error {
+	p.mu.Lock()
+	if _, dup := p.vms[m.DPID]; dup {
+		p.mu.Unlock()
+		return nil // idempotent: re-announcements are harmless
+	}
+	p.mu.Unlock()
+
+	vm, err := vnet.New(vnet.Config{
+		DPID:      m.DPID,
+		Ports:     m.Ports,
+		RouterID:  p.rids.Next(),
+		Clock:     p.clk,
+		BootDelay: p.cfg.BootDelay,
+		Timers:    p.cfg.Timers,
+	})
+	if err != nil {
+		return fmt.Errorf("rf: creating VM for %016x: %w", m.DPID, err)
+	}
+	dpid := m.DPID
+	vm.OnTransmit(func(port uint16, frame []byte) {
+		_ = p.ctl.PacketOut(dpid, openflow.PortNone,
+			[]openflow.Action{&openflow.ActionOutput{Port: port}}, frame)
+	})
+	vm.OnFIB(func(ev rib.Event) { p.onFIBEvent(dpid, ev) })
+	vm.OnHostLearned(func(h vnet.HostLearned) { p.onHostLearned(dpid, h) })
+	if cb := p.cfg.OnStatus; cb != nil {
+		vm.OnReady(func() { cb(dpid, vnet.StateUp) })
+		cb(dpid, vnet.StateBooting)
+	}
+
+	p.mu.Lock()
+	p.vms[dpid] = vm
+	if p.flows[dpid] == nil {
+		p.flows[dpid] = make(map[netip.Prefix]*openflow.FlowMod)
+	}
+	p.regenFilesLocked(dpid, vm)
+	p.mu.Unlock()
+	return nil
+}
+
+func (p *Platform) handleSwitchDown(m *rpcconf.Message) error {
+	p.mu.Lock()
+	vm, ok := p.vms[m.DPID]
+	delete(p.vms, m.DPID)
+	delete(p.flows, m.DPID)
+	delete(p.files, m.DPID)
+	for a, o := range p.addrIndex {
+		if o.dpid == m.DPID {
+			delete(p.addrIndex, a)
+		}
+	}
+	p.mu.Unlock()
+	if ok {
+		vm.Destroy()
+		if cb := p.cfg.OnStatus; cb != nil {
+			cb(m.DPID, vnet.StateDestroyed)
+		}
+	}
+	return nil
+}
+
+func (p *Platform) handleLinkUp(m *rpcconf.Message) error {
+	aAddr, err := m.AAddrPrefix()
+	if err != nil {
+		return fmt.Errorf("rf: link-up aAddr: %w", err)
+	}
+	bAddr, err := m.BAddrPrefix()
+	if err != nil {
+		return fmt.Errorf("rf: link-up bAddr: %w", err)
+	}
+	p.mu.Lock()
+	vmA, okA := p.vms[m.ADPID]
+	vmB, okB := p.vms[m.BDPID]
+	p.mu.Unlock()
+	if !okA || !okB {
+		return fmt.Errorf("rf: link-up %016x-%016x references unknown VM", m.ADPID, m.BDPID)
+	}
+	if err := vmA.ConfigureInterface(m.APort, aAddr, DefaultLinkCost, p.cfg.Pool); err != nil {
+		return err
+	}
+	if err := vmB.ConfigureInterface(m.BPort, bAddr, DefaultLinkCost, p.cfg.Pool); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	p.addrIndex[aAddr.Addr()] = addrOwner{m.ADPID, m.APort}
+	p.addrIndex[bAddr.Addr()] = addrOwner{m.BDPID, m.BPort}
+	p.regenFilesLocked(m.ADPID, vmA)
+	p.regenFilesLocked(m.BDPID, vmB)
+	p.mu.Unlock()
+	return nil
+}
+
+func (p *Platform) handleLinkDown(m *rpcconf.Message) error {
+	p.mu.Lock()
+	vmA := p.vms[m.ADPID]
+	vmB := p.vms[m.BDPID]
+	p.mu.Unlock()
+	if vmA != nil {
+		if addr, ok := vmA.InterfaceAddr(m.APort); ok {
+			p.mu.Lock()
+			delete(p.addrIndex, addr.Addr())
+			p.mu.Unlock()
+		}
+		vmA.DeconfigureInterface(m.APort)
+	}
+	if vmB != nil {
+		if addr, ok := vmB.InterfaceAddr(m.BPort); ok {
+			p.mu.Lock()
+			delete(p.addrIndex, addr.Addr())
+			p.mu.Unlock()
+		}
+		vmB.DeconfigureInterface(m.BPort)
+	}
+	return nil
+}
+
+func (p *Platform) handleHostUp(m *rpcconf.Message) error {
+	gw, err := m.AAddrPrefix()
+	if err != nil {
+		return fmt.Errorf("rf: host-up gateway: %w", err)
+	}
+	p.mu.Lock()
+	vm, ok := p.vms[m.ADPID]
+	p.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("rf: host-up references unknown VM %016x", m.ADPID)
+	}
+	// The host subnet itself becomes an OSPF network so the stub is
+	// advertised to the rest of the domain.
+	if err := vm.ConfigureInterface(m.APort, gw, DefaultLinkCost, gw.Masked()); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	p.addrIndex[gw.Addr()] = addrOwner{m.ADPID, m.APort}
+	p.regenFilesLocked(m.ADPID, vm)
+	p.mu.Unlock()
+	return nil
+}
+
+func (p *Platform) handleHostDown(m *rpcconf.Message) error {
+	p.mu.Lock()
+	vm, ok := p.vms[m.ADPID]
+	p.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	if addr, ok := vm.InterfaceAddr(m.APort); ok {
+		p.mu.Lock()
+		delete(p.addrIndex, addr.Addr())
+		p.mu.Unlock()
+	}
+	vm.DeconfigureInterface(m.APort)
+	return nil
+}
+
+// regenFilesLocked refreshes the VM's generated configuration files (the
+// paper's "writes routing configuration files (e.g. ospf.conf, zebra.conf,
+// bgp.conf)"). Callers hold p.mu.
+func (p *Platform) regenFilesLocked(dpid uint64, vm *vnet.VM) {
+	p.files[dpid] = vm.Router().Config().Files()
+}
+
+// onSwitchUp raises the miss send length so punted frames arrive whole, and
+// replays the desired flow state after (re)connects.
+func (p *Platform) onSwitchUp(sc *ctlkit.SwitchConn) {
+	_ = sc.Send(&openflow.SetConfig{MissSendLen: 0xffff})
+	p.mu.Lock()
+	pending := make([]*openflow.FlowMod, 0, len(p.flows[sc.DPID()]))
+	for _, fm := range p.flows[sc.DPID()] {
+		cp := *fm
+		pending = append(pending, &cp)
+	}
+	p.mu.Unlock()
+	for _, fm := range pending {
+		fm.SetXID(0)
+		_ = sc.Send(fm)
+	}
+}
+
+// onPacketIn punts non-LLDP frames into the mirrored VM interface.
+func (p *Platform) onPacketIn(sc *ctlkit.SwitchConn, pi *openflow.PacketIn) {
+	f, err := pkt.DecodeFrame(pi.Data)
+	if err != nil || f.Type == pkt.EtherTypeLLDP {
+		return
+	}
+	vm, ok := p.VM(sc.DPID())
+	if !ok {
+		return
+	}
+	vm.Inject(pi.InPort, pi.Data)
+}
+
+// portOfIface parses "eth<N>".
+func portOfIface(name string) (uint16, bool) {
+	num, ok := strings.CutPrefix(name, "eth")
+	if !ok {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(num, 10, 16)
+	if err != nil {
+		return 0, false
+	}
+	return uint16(v), true
+}
+
+// onFIBEvent translates VM route changes into switch flow entries.
+func (p *Platform) onFIBEvent(dpid uint64, ev rib.Event) {
+	rt := ev.Route
+	if rt.Source == rib.SourceConnected {
+		// Connected subnets stay on the punt path until hosts are learned.
+		return
+	}
+	switch ev.Type {
+	case rib.RouteAdded, rib.RouteReplaced:
+		fm, ok := p.routeToFlow(dpid, rt)
+		if !ok {
+			return
+		}
+		p.installFlow(dpid, rt.Prefix, fm)
+	case rib.RouteRemoved:
+		p.removeFlow(dpid, rt.Prefix)
+	}
+}
+
+// routeToFlow builds the flow entry for one VM route.
+func (p *Platform) routeToFlow(dpid uint64, rt rib.Route) (*openflow.FlowMod, bool) {
+	port, ok := portOfIface(rt.Iface)
+	if !ok || !rt.NextHop.IsValid() {
+		return nil, false
+	}
+	p.mu.Lock()
+	owner, known := p.addrIndex[rt.NextHop]
+	p.mu.Unlock()
+	if !known {
+		return nil, false // next hop is not a VM interface we assigned
+	}
+	match := openflow.MatchAll()
+	match.Wildcards &^= openflow.WildcardDlType
+	match.DlType = uint16(pkt.EtherTypeIPv4)
+	match.SetNwDstPrefix(rt.Prefix)
+	return &openflow.FlowMod{
+		Match:    match,
+		Command:  openflow.FlowModAdd,
+		Priority: uint16(100 + rt.Prefix.Bits()),
+		BufferID: openflow.NoBuffer,
+		OutPort:  openflow.PortNone,
+		Actions: []openflow.Action{
+			&openflow.ActionSetDlSrc{Addr: vnet.MAC(dpid, port)},
+			&openflow.ActionSetDlDst{Addr: vnet.MAC(owner.dpid, owner.port)},
+			&openflow.ActionOutput{Port: port},
+		},
+	}, true
+}
+
+func (p *Platform) installFlow(dpid uint64, prefix netip.Prefix, fm *openflow.FlowMod) {
+	p.mu.Lock()
+	if p.flows[dpid] == nil {
+		p.flows[dpid] = make(map[netip.Prefix]*openflow.FlowMod)
+	}
+	p.flows[dpid][prefix] = fm
+	p.mu.Unlock()
+	if sc, ok := p.ctl.Switch(dpid); ok {
+		cp := *fm
+		_ = sc.Send(&cp)
+	}
+}
+
+func (p *Platform) removeFlow(dpid uint64, prefix netip.Prefix) {
+	p.mu.Lock()
+	fm := p.flows[dpid][prefix]
+	delete(p.flows[dpid], prefix)
+	p.mu.Unlock()
+	if fm == nil {
+		return
+	}
+	if sc, ok := p.ctl.Switch(dpid); ok {
+		del := &openflow.FlowMod{
+			Match:    fm.Match,
+			Command:  openflow.FlowModDeleteStrict,
+			Priority: fm.Priority,
+			BufferID: openflow.NoBuffer,
+			OutPort:  openflow.PortNone,
+		}
+		_ = sc.Send(del)
+	}
+}
+
+// onHostLearned installs the /32 fast-path flow toward a directly attached
+// host.
+func (p *Platform) onHostLearned(dpid uint64, h vnet.HostLearned) {
+	match := openflow.MatchAll()
+	match.Wildcards &^= openflow.WildcardDlType
+	match.DlType = uint16(pkt.EtherTypeIPv4)
+	prefix := netip.PrefixFrom(h.IP, 32)
+	match.SetNwDstPrefix(prefix)
+	fm := &openflow.FlowMod{
+		Match:    match,
+		Command:  openflow.FlowModAdd,
+		Priority: hostFlowPriority,
+		BufferID: openflow.NoBuffer,
+		OutPort:  openflow.PortNone,
+		Actions: []openflow.Action{
+			&openflow.ActionSetDlSrc{Addr: vnet.MAC(dpid, h.Port)},
+			&openflow.ActionSetDlDst{Addr: h.MAC},
+			&openflow.ActionOutput{Port: h.Port},
+		},
+	}
+	p.installFlow(dpid, prefix, fm)
+}
+
+// FlowCount reports the desired flow count for a switch (tests, GUI).
+func (p *Platform) FlowCount(dpid uint64) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.flows[dpid])
+}
+
+// Callbacks exposes the platform's controller event handlers so a merged
+// deployment (no FlowVisor) can host them on a shared controller runtime.
+func (p *Platform) Callbacks() ctlkit.Callbacks {
+	return ctlkit.Callbacks{SwitchUp: p.onSwitchUp, PacketIn: p.onPacketIn}
+}
+
+// UseController substitutes the controller runtime the platform sends
+// through; used by the merged-controller ablation. Call before any switch
+// connects.
+func (p *Platform) UseController(c *ctlkit.Controller) { p.ctl = c }

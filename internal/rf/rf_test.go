@@ -1,0 +1,216 @@
+package rf
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"routeflow/internal/quagga"
+	"routeflow/internal/rpcconf"
+	"routeflow/internal/vnet"
+)
+
+func newPlatform(t *testing.T) *Platform {
+	t.Helper()
+	p, err := New(Config{
+		Pool:      netip.MustParsePrefix("172.16.0.0/16"),
+		BootDelay: 5 * time.Millisecond,
+		Timers: quagga.Timers{Hello: 20 * time.Millisecond,
+			Dead: 80 * time.Millisecond, SPFDelay: 5 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Stop)
+	return p
+}
+
+func apply(t *testing.T, p *Platform, m *rpcconf.Message) {
+	t.Helper()
+	if err := p.RPCHandler()(m); err != nil {
+		t.Fatalf("%s: %v", m.Kind, err)
+	}
+}
+
+func waitConfigured(t *testing.T, p *Platform, dpid uint64) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if p.Configured(dpid) {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("switch %x never configured", dpid)
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Pool: netip.MustParsePrefix("fd00::/64")}); err == nil {
+		t.Fatal("IPv6 pool accepted")
+	}
+}
+
+func TestSwitchUpCreatesVM(t *testing.T) {
+	p := newPlatform(t)
+	apply(t, p, rpcconf.SwitchUp(0xA, 3))
+	vm, ok := p.VM(0xA)
+	if !ok || vm.Ports() != 3 {
+		t.Fatalf("vm = %v, %v", vm, ok)
+	}
+	waitConfigured(t, p, 0xA)
+	if p.NumVMs() != 1 {
+		t.Fatal("vm count")
+	}
+	// Idempotent re-announcement.
+	apply(t, p, rpcconf.SwitchUp(0xA, 3))
+	if p.NumVMs() != 1 {
+		t.Fatal("duplicate switch-up created a second VM")
+	}
+	files, ok := p.ConfigFiles(0xA)
+	if !ok || files["zebra.conf"] == "" {
+		t.Fatal("config files missing after switch-up")
+	}
+}
+
+func TestLinkUpConfiguresBothVMs(t *testing.T) {
+	p := newPlatform(t)
+	apply(t, p, rpcconf.SwitchUp(1, 2))
+	apply(t, p, rpcconf.SwitchUp(2, 2))
+	waitConfigured(t, p, 1)
+	waitConfigured(t, p, 2)
+	a := netip.MustParsePrefix("172.16.0.1/30")
+	b := netip.MustParsePrefix("172.16.0.2/30")
+	apply(t, p, rpcconf.LinkUp(1, 1, 2, 1, a, b))
+
+	vmA, _ := p.VM(1)
+	vmB, _ := p.VM(2)
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, okA := vmA.InterfaceAddr(1); okA {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	addrA, okA := vmA.InterfaceAddr(1)
+	addrB, okB := vmB.InterfaceAddr(1)
+	if !okA || !okB || addrA != a || addrB != b {
+		t.Fatalf("addrs = %v/%v %v/%v", addrA, okA, addrB, okB)
+	}
+	// The generated ospfd.conf must cover the pool.
+	files, _ := p.ConfigFiles(1)
+	if files["ospfd.conf"] == "" {
+		t.Fatal("ospfd.conf missing")
+	}
+	// Unknown VM in link-up is an error.
+	if err := p.RPCHandler()(rpcconf.LinkUp(1, 2, 99, 1, a, b)); err == nil {
+		t.Fatal("link-up with ghost VM accepted")
+	}
+}
+
+func TestHostUpConfiguresGateway(t *testing.T) {
+	p := newPlatform(t)
+	apply(t, p, rpcconf.SwitchUp(5, 2))
+	waitConfigured(t, p, 5)
+	gw := netip.MustParsePrefix("10.5.0.1/24")
+	apply(t, p, rpcconf.HostUp(5, 2, gw))
+	vm, _ := p.VM(5)
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, ok := vm.InterfaceAddr(2); ok {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if addr, ok := vm.InterfaceAddr(2); !ok || addr != gw {
+		t.Fatalf("gateway = %v, %v", addr, ok)
+	}
+	apply(t, p, rpcconf.HostDown(5, 2))
+	if _, ok := vm.InterfaceAddr(2); ok {
+		t.Fatal("gateway survived host-down")
+	}
+	// host-up for unknown VM errors; host-down is tolerant.
+	if err := p.RPCHandler()(rpcconf.HostUp(42, 1, gw)); err == nil {
+		t.Fatal("host-up for ghost VM accepted")
+	}
+	apply(t, p, rpcconf.HostDown(42, 1))
+}
+
+func TestSwitchDownDestroysVM(t *testing.T) {
+	p := newPlatform(t)
+	apply(t, p, rpcconf.SwitchUp(7, 1))
+	waitConfigured(t, p, 7)
+	vm, _ := p.VM(7)
+	apply(t, p, rpcconf.SwitchDown(7))
+	if p.NumVMs() != 0 || p.Configured(7) {
+		t.Fatal("vm survived switch-down")
+	}
+	if vm.State() != vnet.StateDestroyed {
+		t.Fatalf("vm state = %v", vm.State())
+	}
+	apply(t, p, rpcconf.SwitchDown(7)) // idempotent
+}
+
+func TestUnknownMessageKind(t *testing.T) {
+	p := newPlatform(t)
+	if err := p.RPCHandler()(&rpcconf.Message{Kind: "frobnicate"}); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestStatusCallbackSequence(t *testing.T) {
+	states := make(chan vnet.State, 8)
+	p, err := New(Config{
+		Pool:      netip.MustParsePrefix("172.16.0.0/16"),
+		BootDelay: 10 * time.Millisecond,
+		OnStatus:  func(dpid uint64, st vnet.State) { states <- st },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Stop()
+	if err := p.RPCHandler()(rpcconf.SwitchUp(3, 1)); err != nil {
+		t.Fatal(err)
+	}
+	want := []vnet.State{vnet.StateBooting, vnet.StateUp}
+	for _, w := range want {
+		select {
+		case got := <-states:
+			if got != w {
+				t.Fatalf("state = %v, want %v", got, w)
+			}
+		case <-time.After(3 * time.Second):
+			t.Fatalf("missing status %v", w)
+		}
+	}
+	if err := p.RPCHandler()(rpcconf.SwitchDown(3)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-states:
+		if got != vnet.StateDestroyed {
+			t.Fatalf("state = %v", got)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("missing destroyed status")
+	}
+}
+
+func TestPortOfIface(t *testing.T) {
+	if p, ok := portOfIface("eth7"); !ok || p != 7 {
+		t.Fatal("eth7")
+	}
+	if _, ok := portOfIface("lo"); ok {
+		t.Fatal("lo parsed")
+	}
+	if _, ok := portOfIface("ethx"); ok {
+		t.Fatal("ethx parsed")
+	}
+}
+
+func TestFlowCountStartsZero(t *testing.T) {
+	p := newPlatform(t)
+	apply(t, p, rpcconf.SwitchUp(9, 1))
+	if p.FlowCount(9) != 0 {
+		t.Fatal("flows before any routes")
+	}
+}

@@ -1,0 +1,363 @@
+// Package rib implements the routing information base each virtual machine's
+// routing stack maintains — the analogue of the zebra RIB plus kernel FIB in
+// a Quagga-based RouteFlow VM. Routes from several sources (connected,
+// static, OSPF) compete per prefix by administrative distance and metric;
+// the winning route set is queryable by longest-prefix match and every
+// best-route change is published to watchers, which is exactly the hook the
+// RF-server uses to translate VM routes into OpenFlow flow entries.
+package rib
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"sync"
+)
+
+// Source identifies where a route came from; the value is its
+// administrative distance (lower wins), mirroring Quagga's defaults.
+type Source int
+
+// Route sources.
+const (
+	SourceConnected Source = 0
+	SourceStatic    Source = 1
+	SourceOSPF      Source = 110
+)
+
+// String names the source.
+func (s Source) String() string {
+	switch s {
+	case SourceConnected:
+		return "connected"
+	case SourceStatic:
+		return "static"
+	case SourceOSPF:
+		return "ospf"
+	default:
+		return fmt.Sprintf("proto-%d", int(s))
+	}
+}
+
+// Route is one candidate path to a prefix.
+type Route struct {
+	Prefix  netip.Prefix
+	NextHop netip.Addr // invalid (zero) for connected routes
+	Iface   string     // outgoing interface name
+	Source  Source
+	Metric  uint32
+}
+
+// String renders the route in `show ip route` style.
+func (r Route) String() string {
+	via := "directly connected"
+	if r.NextHop.IsValid() {
+		via = "via " + r.NextHop.String()
+	}
+	return fmt.Sprintf("%v [%d/%d] %s, %s", r.Prefix, int(r.Source), r.Metric, via, r.Iface)
+}
+
+// EventType discriminates best-route changes.
+type EventType int
+
+// Event kinds.
+const (
+	RouteAdded EventType = iota
+	RouteRemoved
+	RouteReplaced
+)
+
+// Event is one best-route change.
+type Event struct {
+	Type EventType
+	// Route is the new best route (Added/Replaced) or the departed one
+	// (Removed).
+	Route Route
+	// Old is the previous best for Replaced events.
+	Old Route
+}
+
+// Watcher consumes best-route changes. Watchers run synchronously under the
+// RIB's lock: keep them fast and non-reentrant.
+type Watcher func(Event)
+
+// RIB is a concurrent routing table.
+type RIB struct {
+	mu         sync.RWMutex
+	candidates map[netip.Prefix][]Route
+	best       map[netip.Prefix]Route
+	trie       *trieNode
+	watchers   []Watcher
+}
+
+// New creates an empty RIB.
+func New() *RIB {
+	return &RIB{
+		candidates: make(map[netip.Prefix][]Route),
+		best:       make(map[netip.Prefix]Route),
+		trie:       &trieNode{},
+	}
+}
+
+// Watch registers a best-route watcher.
+func (r *RIB) Watch(w Watcher) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.watchers = append(r.watchers, w)
+}
+
+// Add inserts or updates a candidate route (keyed by prefix+source+nexthop).
+func (r *RIB) Add(rt Route) error {
+	if !rt.Prefix.Addr().Is4() {
+		return fmt.Errorf("rib: %v is not IPv4", rt.Prefix)
+	}
+	rt.Prefix = rt.Prefix.Masked()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	list := r.candidates[rt.Prefix]
+	replaced := false
+	for i := range list {
+		if list[i].Source == rt.Source && list[i].NextHop == rt.NextHop {
+			list[i] = rt
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		list = append(list, rt)
+	}
+	r.candidates[rt.Prefix] = list
+	r.reselectLocked(rt.Prefix)
+	return nil
+}
+
+// Remove deletes the candidate matching prefix+source+nexthop.
+func (r *RIB) Remove(prefix netip.Prefix, src Source, nextHop netip.Addr) {
+	prefix = prefix.Masked()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	list := r.candidates[prefix]
+	out := list[:0]
+	for _, c := range list {
+		if !(c.Source == src && c.NextHop == nextHop) {
+			out = append(out, c)
+		}
+	}
+	if len(out) == 0 {
+		delete(r.candidates, prefix)
+	} else {
+		r.candidates[prefix] = out
+	}
+	r.reselectLocked(prefix)
+}
+
+// PurgeSource removes every candidate from one source (e.g. when an OSPF
+// recomputation replaces the whole route set).
+func (r *RIB) PurgeSource(src Source) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for prefix, list := range r.candidates {
+		out := list[:0]
+		for _, c := range list {
+			if c.Source != src {
+				out = append(out, c)
+			}
+		}
+		if len(out) == 0 {
+			delete(r.candidates, prefix)
+		} else {
+			r.candidates[prefix] = out
+		}
+		r.reselectLocked(prefix)
+	}
+}
+
+// ReplaceSource atomically swaps the full route set of one source, emitting
+// only the net changes — the operation OSPF performs after each SPF run.
+func (r *RIB) ReplaceSource(src Source, routes []Route) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	seen := map[netip.Prefix]bool{}
+	for _, rt := range routes {
+		rt.Prefix = rt.Prefix.Masked()
+		rt.Source = src
+		seen[rt.Prefix] = true
+		list := r.candidates[rt.Prefix]
+		replaced := false
+		for i := range list {
+			if list[i].Source == src {
+				list[i] = rt
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			list = append(list, rt)
+		}
+		r.candidates[rt.Prefix] = list
+		r.reselectLocked(rt.Prefix)
+	}
+	for prefix, list := range r.candidates {
+		if seen[prefix] {
+			continue
+		}
+		out := list[:0]
+		changed := false
+		for _, c := range list {
+			if c.Source == src {
+				changed = true
+				continue
+			}
+			out = append(out, c)
+		}
+		if !changed {
+			continue
+		}
+		if len(out) == 0 {
+			delete(r.candidates, prefix)
+		} else {
+			r.candidates[prefix] = out
+		}
+		r.reselectLocked(prefix)
+	}
+}
+
+// better orders candidate routes (true = a preferred over b).
+func better(a, b Route) bool {
+	if a.Source != b.Source {
+		return a.Source < b.Source
+	}
+	if a.Metric != b.Metric {
+		return a.Metric < b.Metric
+	}
+	// Deterministic tiebreak so reselection is stable.
+	return a.NextHop.String() < b.NextHop.String()
+}
+
+// reselectLocked recomputes the best route for prefix and notifies watchers.
+func (r *RIB) reselectLocked(prefix netip.Prefix) {
+	list := r.candidates[prefix]
+	old, hadOld := r.best[prefix]
+	if len(list) == 0 {
+		if hadOld {
+			delete(r.best, prefix)
+			r.trie.remove(prefix)
+			r.notifyLocked(Event{Type: RouteRemoved, Route: old})
+		}
+		return
+	}
+	bestIdx := 0
+	for i := 1; i < len(list); i++ {
+		if better(list[i], list[bestIdx]) {
+			bestIdx = i
+		}
+	}
+	nb := list[bestIdx]
+	if hadOld && old == nb {
+		return
+	}
+	r.best[prefix] = nb
+	r.trie.insert(prefix, nb)
+	if hadOld {
+		r.notifyLocked(Event{Type: RouteReplaced, Route: nb, Old: old})
+	} else {
+		r.notifyLocked(Event{Type: RouteAdded, Route: nb})
+	}
+}
+
+func (r *RIB) notifyLocked(ev Event) {
+	for _, w := range r.watchers {
+		w(ev)
+	}
+}
+
+// Lookup returns the best route for ip by longest-prefix match.
+func (r *RIB) Lookup(ip netip.Addr) (Route, bool) {
+	if !ip.Is4() {
+		return Route{}, false
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.trie.lookup(ip)
+}
+
+// Best returns the current best routes sorted by prefix.
+func (r *RIB) Best() []Route {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Route, 0, len(r.best))
+	for _, rt := range r.best {
+		out = append(out, rt)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Prefix.Addr() != out[j].Prefix.Addr() {
+			return out[i].Prefix.Addr().Less(out[j].Prefix.Addr())
+		}
+		return out[i].Prefix.Bits() < out[j].Prefix.Bits()
+	})
+	return out
+}
+
+// Len returns the number of best routes.
+func (r *RIB) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.best)
+}
+
+// trieNode is a binary LPM trie over IPv4 prefixes.
+type trieNode struct {
+	child [2]*trieNode
+	route *Route
+}
+
+func addrBit(a netip.Addr, i int) int {
+	b := a.As4()
+	return int(b[i/8]>>(7-uint(i%8))) & 1
+}
+
+func (n *trieNode) insert(p netip.Prefix, rt Route) {
+	cur := n
+	for i := 0; i < p.Bits(); i++ {
+		bit := addrBit(p.Addr(), i)
+		if cur.child[bit] == nil {
+			cur.child[bit] = &trieNode{}
+		}
+		cur = cur.child[bit]
+	}
+	cur.route = &rt
+}
+
+func (n *trieNode) remove(p netip.Prefix) {
+	cur := n
+	for i := 0; i < p.Bits(); i++ {
+		bit := addrBit(p.Addr(), i)
+		if cur.child[bit] == nil {
+			return
+		}
+		cur = cur.child[bit]
+	}
+	cur.route = nil
+}
+
+func (n *trieNode) lookup(ip netip.Addr) (Route, bool) {
+	var best *Route
+	cur := n
+	for i := 0; ; i++ {
+		if cur.route != nil {
+			best = cur.route
+		}
+		if i >= 32 {
+			break
+		}
+		next := cur.child[addrBit(ip, i)]
+		if next == nil {
+			break
+		}
+		cur = next
+	}
+	if best == nil {
+		return Route{}, false
+	}
+	return *best, true
+}

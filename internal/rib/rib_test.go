@@ -1,0 +1,218 @@
+package rib
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func pfx(s string) netip.Prefix { return netip.MustParsePrefix(s) }
+func ip(s string) netip.Addr    { return netip.MustParseAddr(s) }
+
+func TestAddAndLookupLPM(t *testing.T) {
+	r := New()
+	r.Add(Route{Prefix: pfx("10.0.0.0/8"), NextHop: ip("1.1.1.1"), Iface: "eth0", Source: SourceOSPF, Metric: 20})
+	r.Add(Route{Prefix: pfx("10.1.0.0/16"), NextHop: ip("2.2.2.2"), Iface: "eth1", Source: SourceOSPF, Metric: 20})
+	r.Add(Route{Prefix: pfx("10.1.2.0/24"), NextHop: ip("3.3.3.3"), Iface: "eth2", Source: SourceOSPF, Metric: 20})
+
+	cases := map[string]string{
+		"10.1.2.3": "3.3.3.3", // /24 wins
+		"10.1.9.9": "2.2.2.2", // /16
+		"10.9.9.9": "1.1.1.1", // /8
+	}
+	for probe, want := range cases {
+		rt, ok := r.Lookup(ip(probe))
+		if !ok || rt.NextHop != ip(want) {
+			t.Fatalf("lookup(%s) = %v, %v; want via %s", probe, rt, ok, want)
+		}
+	}
+	if _, ok := r.Lookup(ip("192.168.1.1")); ok {
+		t.Fatal("lookup outside table succeeded")
+	}
+	if r.Len() != 3 {
+		t.Fatalf("len = %d", r.Len())
+	}
+}
+
+func TestDefaultRoute(t *testing.T) {
+	r := New()
+	r.Add(Route{Prefix: pfx("0.0.0.0/0"), NextHop: ip("9.9.9.9"), Source: SourceStatic})
+	rt, ok := r.Lookup(ip("203.0.113.77"))
+	if !ok || rt.NextHop != ip("9.9.9.9") {
+		t.Fatalf("default route lookup = %v, %v", rt, ok)
+	}
+}
+
+func TestAdminDistancePreference(t *testing.T) {
+	r := New()
+	r.Add(Route{Prefix: pfx("10.0.0.0/24"), NextHop: ip("5.5.5.5"), Source: SourceOSPF, Metric: 10})
+	r.Add(Route{Prefix: pfx("10.0.0.0/24"), Iface: "eth0", Source: SourceConnected})
+	rt, _ := r.Lookup(ip("10.0.0.1"))
+	if rt.Source != SourceConnected {
+		t.Fatalf("best = %v, want connected", rt)
+	}
+	// Removing the connected route falls back to OSPF.
+	r.Remove(pfx("10.0.0.0/24"), SourceConnected, netip.Addr{})
+	rt, _ = r.Lookup(ip("10.0.0.1"))
+	if rt.Source != SourceOSPF {
+		t.Fatalf("best after removal = %v", rt)
+	}
+}
+
+func TestMetricTiebreak(t *testing.T) {
+	r := New()
+	r.Add(Route{Prefix: pfx("10.2.0.0/16"), NextHop: ip("8.8.8.8"), Source: SourceOSPF, Metric: 30})
+	r.Add(Route{Prefix: pfx("10.2.0.0/16"), NextHop: ip("7.7.7.7"), Source: SourceOSPF, Metric: 10})
+	rt, _ := r.Lookup(ip("10.2.3.4"))
+	if rt.NextHop != ip("7.7.7.7") {
+		t.Fatalf("best = %v, want metric 10", rt)
+	}
+}
+
+func TestWatcherEvents(t *testing.T) {
+	r := New()
+	var events []Event
+	r.Watch(func(ev Event) { events = append(events, ev) })
+
+	r.Add(Route{Prefix: pfx("10.3.0.0/16"), NextHop: ip("1.1.1.1"), Source: SourceOSPF, Metric: 20})
+	r.Add(Route{Prefix: pfx("10.3.0.0/16"), NextHop: ip("2.2.2.2"), Source: SourceOSPF, Metric: 5})
+	r.Remove(pfx("10.3.0.0/16"), SourceOSPF, ip("2.2.2.2"))
+	r.Remove(pfx("10.3.0.0/16"), SourceOSPF, ip("1.1.1.1"))
+
+	want := []EventType{RouteAdded, RouteReplaced, RouteReplaced, RouteRemoved}
+	if len(events) != len(want) {
+		t.Fatalf("events = %+v", events)
+	}
+	for i, ty := range want {
+		if events[i].Type != ty {
+			t.Fatalf("event %d = %v, want %v", i, events[i].Type, ty)
+		}
+	}
+	if events[1].Old.NextHop != ip("1.1.1.1") {
+		t.Fatalf("replaced old = %v", events[1].Old)
+	}
+}
+
+func TestNoEventOnIdenticalReAdd(t *testing.T) {
+	r := New()
+	n := 0
+	r.Watch(func(Event) { n++ })
+	rt := Route{Prefix: pfx("10.4.0.0/16"), NextHop: ip("1.1.1.1"), Source: SourceOSPF, Metric: 7}
+	r.Add(rt)
+	r.Add(rt)
+	if n != 1 {
+		t.Fatalf("events = %d, want 1", n)
+	}
+}
+
+func TestReplaceSource(t *testing.T) {
+	r := New()
+	r.Add(Route{Prefix: pfx("10.5.0.0/16"), Iface: "eth0", Source: SourceConnected})
+	r.ReplaceSource(SourceOSPF, []Route{
+		{Prefix: pfx("10.6.0.0/16"), NextHop: ip("1.1.1.1"), Metric: 10},
+		{Prefix: pfx("10.7.0.0/16"), NextHop: ip("1.1.1.1"), Metric: 20},
+	})
+	if r.Len() != 3 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	// Second SPF run drops 10.7 and adds 10.8.
+	r.ReplaceSource(SourceOSPF, []Route{
+		{Prefix: pfx("10.6.0.0/16"), NextHop: ip("1.1.1.1"), Metric: 10},
+		{Prefix: pfx("10.8.0.0/16"), NextHop: ip("2.2.2.2"), Metric: 5},
+	})
+	if _, ok := r.Lookup(ip("10.7.1.1")); ok {
+		t.Fatal("stale OSPF route survived ReplaceSource")
+	}
+	if rt, ok := r.Lookup(ip("10.8.1.1")); !ok || rt.NextHop != ip("2.2.2.2") {
+		t.Fatalf("new route = %v, %v", rt, ok)
+	}
+	// The connected route must be untouched.
+	if rt, ok := r.Lookup(ip("10.5.1.1")); !ok || rt.Source != SourceConnected {
+		t.Fatalf("connected = %v, %v", rt, ok)
+	}
+}
+
+func TestPurgeSource(t *testing.T) {
+	r := New()
+	r.Add(Route{Prefix: pfx("10.5.0.0/16"), Iface: "eth0", Source: SourceConnected})
+	r.Add(Route{Prefix: pfx("10.6.0.0/16"), NextHop: ip("1.1.1.1"), Source: SourceOSPF, Metric: 1})
+	r.PurgeSource(SourceOSPF)
+	if r.Len() != 1 {
+		t.Fatalf("len = %d", r.Len())
+	}
+}
+
+func TestRejectIPv6(t *testing.T) {
+	r := New()
+	if err := r.Add(Route{Prefix: pfx("fd00::/64"), Source: SourceStatic}); err == nil {
+		t.Fatal("IPv6 route accepted")
+	}
+	if _, ok := r.Lookup(ip("::1")); ok {
+		t.Fatal("IPv6 lookup succeeded")
+	}
+}
+
+func TestBestSorted(t *testing.T) {
+	r := New()
+	r.Add(Route{Prefix: pfx("10.9.0.0/16"), NextHop: ip("1.1.1.1"), Source: SourceOSPF, Metric: 1})
+	r.Add(Route{Prefix: pfx("10.1.0.0/16"), NextHop: ip("1.1.1.1"), Source: SourceOSPF, Metric: 1})
+	best := r.Best()
+	if len(best) != 2 || best[0].Prefix != pfx("10.1.0.0/16") {
+		t.Fatalf("best = %v", best)
+	}
+}
+
+func TestRouteStringer(t *testing.T) {
+	rt := Route{Prefix: pfx("10.0.0.0/8"), NextHop: ip("1.2.3.4"), Iface: "eth1",
+		Source: SourceOSPF, Metric: 20}
+	if rt.String() == "" || SourceOSPF.String() != "ospf" || Source(42).String() != "proto-42" {
+		t.Fatal("stringers broken")
+	}
+	conn := Route{Prefix: pfx("10.0.0.0/8"), Iface: "eth0", Source: SourceConnected}
+	if conn.String() == "" || SourceConnected.String() != "connected" {
+		t.Fatal("connected stringer broken")
+	}
+	if SourceStatic.String() != "static" {
+		t.Fatal("static stringer")
+	}
+}
+
+// Property: the trie LPM result always equals a brute-force scan over the
+// best routes.
+func TestLPMMatchesBruteForceQuick(t *testing.T) {
+	prop := func(seeds []uint32, probeRaw uint32) bool {
+		r := New()
+		var routes []Route
+		for i, s := range seeds {
+			if i >= 24 {
+				break
+			}
+			bits := int(s % 33)
+			addr := netip.AddrFrom4([4]byte{byte(s >> 24), byte(s >> 16), byte(s >> 8), byte(s)})
+			p := netip.PrefixFrom(addr, bits).Masked()
+			rt := Route{Prefix: p, NextHop: ip("1.1.1.1"), Source: SourceOSPF, Metric: uint32(i)}
+			r.Add(rt)
+			routes = append(routes, rt)
+		}
+		probe := netip.AddrFrom4([4]byte{byte(probeRaw >> 24), byte(probeRaw >> 16), byte(probeRaw >> 8), byte(probeRaw)})
+		got, ok := r.Lookup(probe)
+
+		// Brute force over the RIB's own best set (dedup prefixes).
+		var want *Route
+		for _, rt := range r.Best() {
+			if rt.Prefix.Contains(probe) {
+				if want == nil || rt.Prefix.Bits() > want.Prefix.Bits() {
+					c := rt
+					want = &c
+				}
+			}
+		}
+		if want == nil {
+			return !ok
+		}
+		return ok && got.Prefix == want.Prefix
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,316 @@
+// Package rpcconf implements the configuration RPC of the paper's framework:
+// the channel between the RPC client (fed by the topology controller) and
+// the RPC server (embedded in the RF-controller). The paper's two message
+// kinds are modelled faithfully — switch detection carries the datapath ID
+// and port count; link detection carries the two (dpid, port) endpoints and
+// the VM interface addresses computed by the topology controller — plus the
+// teardown counterparts needed for dynamic networks.
+//
+// Wire format: length-prefixed JSON over any net.Conn (in-memory pipe or
+// TCP). The client queues and retries, so configuration messages survive a
+// briefly unavailable server, and every message is acknowledged so callers
+// can await application.
+package rpcconf
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+
+	"routeflow/internal/clock"
+)
+
+// Kind discriminates configuration messages.
+type Kind string
+
+// Message kinds.
+const (
+	KindSwitchUp   Kind = "switch-up"
+	KindSwitchDown Kind = "switch-down"
+	KindLinkUp     Kind = "link-up"
+	KindLinkDown   Kind = "link-down"
+	// Host attachment is the administrator-supplied part of the
+	// configuration (the paper's topology controller holds "a very small
+	// part of configurations from the administrator"): which switch ports
+	// face end hosts and the gateway address the VM interface should carry.
+	KindHostUp   Kind = "host-up"
+	KindHostDown Kind = "host-down"
+)
+
+// Message is one configuration command. Fields are populated per Kind.
+type Message struct {
+	Kind Kind   `json:"kind"`
+	Seq  uint64 `json:"seq"`
+
+	// Switch messages: the paper's "ID of the switch and the number of
+	// switch ports".
+	DPID  uint64 `json:"dpid,omitempty"`
+	Ports int    `json:"ports,omitempty"`
+
+	// Link messages: endpoints plus the addresses for both VM interfaces.
+	ADPID uint64 `json:"aDpid,omitempty"`
+	APort uint16 `json:"aPort,omitempty"`
+	BDPID uint64 `json:"bDpid,omitempty"`
+	BPort uint16 `json:"bPort,omitempty"`
+	AAddr string `json:"aAddr,omitempty"` // CIDR, e.g. "172.16.0.1/30"
+	BAddr string `json:"bAddr,omitempty"`
+}
+
+// AAddrPrefix parses AAddr.
+func (m *Message) AAddrPrefix() (netip.Prefix, error) { return netip.ParsePrefix(m.AAddr) }
+
+// BAddrPrefix parses BAddr.
+func (m *Message) BAddrPrefix() (netip.Prefix, error) { return netip.ParsePrefix(m.BAddr) }
+
+type ack struct {
+	Seq uint64 `json:"seq"`
+	Err string `json:"err,omitempty"`
+}
+
+const maxFrame = 1 << 20
+
+func writeFrame(w io.Writer, v any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+func readFrame(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return fmt.Errorf("rpcconf: frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return err
+	}
+	return json.Unmarshal(body, v)
+}
+
+// Handler applies one configuration message on the server side (the
+// RF-controller). Returning an error propagates to the client's Send.
+type Handler func(*Message) error
+
+// Server is the RPC server embedded in the RF-controller.
+type Server struct {
+	handler Handler
+	wg      sync.WaitGroup
+	mu      sync.Mutex
+	stopped bool
+	applied uint64
+}
+
+// NewServer creates a server applying messages with handler.
+func NewServer(handler Handler) *Server {
+	return &Server{handler: handler}
+}
+
+// Applied returns how many messages were applied successfully.
+func (s *Server) Applied() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.applied
+}
+
+// Serve accepts client connections until the listener closes. The Listener
+// interface matches ctlkit's (Accept/Close/Addr).
+func (s *Server) Serve(l interface {
+	Accept() (net.Conn, error)
+}) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.stopped {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			s.handleConn(conn)
+		}()
+	}
+}
+
+// Stop waits for connection handlers to finish (connections themselves are
+// closed by their clients or listeners).
+func (s *Server) Stop() {
+	s.mu.Lock()
+	s.stopped = true
+	s.mu.Unlock()
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	for {
+		var m Message
+		if err := readFrame(conn, &m); err != nil {
+			return
+		}
+		a := ack{Seq: m.Seq}
+		if err := s.handler(&m); err != nil {
+			a.Err = err.Error()
+		} else {
+			s.mu.Lock()
+			s.applied++
+			s.mu.Unlock()
+		}
+		if err := writeFrame(conn, a); err != nil {
+			return
+		}
+	}
+}
+
+// Client is the RPC client co-located with the topology controller. It owns
+// one connection, re-dialing on failure, and delivers messages in order.
+type Client struct {
+	dial    func() (net.Conn, error)
+	clk     clock.Clock
+	retry   time.Duration
+	retries int
+
+	mu   sync.Mutex
+	conn net.Conn
+	seq  uint64
+}
+
+// ClientOption tweaks the client.
+type ClientOption func(*Client)
+
+// WithRetry sets the redial pause and attempt count per message.
+func WithRetry(pause time.Duration, attempts int) ClientOption {
+	return func(c *Client) { c.retry, c.retries = pause, attempts }
+}
+
+// NewClient creates a client that connects lazily via dial.
+func NewClient(dial func() (net.Conn, error), clk clock.Clock, opts ...ClientOption) *Client {
+	if clk == nil {
+		clk = clock.System()
+	}
+	c := &Client{dial: dial, clk: clk, retry: 100 * time.Millisecond, retries: 5}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// ErrRemote wraps handler-side failures.
+var ErrRemote = errors.New("rpcconf: remote handler failed")
+
+// Send delivers one message and waits for its acknowledgement, redialing and
+// retrying on transport errors. It is safe for concurrent use; messages are
+// serialized in call order.
+func (c *Client) Send(m *Message) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq++
+	m.Seq = c.seq
+	var lastErr error
+	for attempt := 0; attempt < c.retries; attempt++ {
+		if attempt > 0 {
+			c.clk.Sleep(c.retry)
+		}
+		if c.conn == nil {
+			conn, err := c.dial()
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			c.conn = conn
+		}
+		if err := writeFrame(c.conn, m); err != nil {
+			c.resetConn()
+			lastErr = err
+			continue
+		}
+		var a ack
+		if err := readFrame(c.conn, &a); err != nil {
+			c.resetConn()
+			lastErr = err
+			continue
+		}
+		if a.Seq != m.Seq {
+			c.resetConn()
+			lastErr = fmt.Errorf("rpcconf: ack for %d, want %d", a.Seq, m.Seq)
+			continue
+		}
+		if a.Err != "" {
+			return fmt.Errorf("%w: %s", ErrRemote, a.Err)
+		}
+		return nil
+	}
+	return fmt.Errorf("rpcconf: giving up after %d attempts: %w", c.retries, lastErr)
+}
+
+func (c *Client) resetConn() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+}
+
+// Close drops the connection.
+func (c *Client) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.resetConn()
+}
+
+// Convenience constructors mirroring the paper's configuration triggers.
+
+// SwitchUp builds the "new switch detected" message.
+func SwitchUp(dpid uint64, ports int) *Message {
+	return &Message{Kind: KindSwitchUp, DPID: dpid, Ports: ports}
+}
+
+// SwitchDown builds the switch-removal message.
+func SwitchDown(dpid uint64) *Message {
+	return &Message{Kind: KindSwitchDown, DPID: dpid}
+}
+
+// LinkUp builds the "new link detected" message with the interface
+// addresses the topology controller computed.
+func LinkUp(aDPID uint64, aPort uint16, bDPID uint64, bPort uint16, aAddr, bAddr netip.Prefix) *Message {
+	return &Message{Kind: KindLinkUp,
+		ADPID: aDPID, APort: aPort, BDPID: bDPID, BPort: bPort,
+		AAddr: aAddr.String(), BAddr: bAddr.String()}
+}
+
+// LinkDown builds the link-removal message.
+func LinkDown(aDPID uint64, aPort uint16, bDPID uint64, bPort uint16) *Message {
+	return &Message{Kind: KindLinkDown, ADPID: aDPID, APort: aPort, BDPID: bDPID, BPort: bPort}
+}
+
+// HostUp builds the host-attachment message: the VM interface mirroring
+// (dpid, port) becomes the gateway gw for the host subnet.
+func HostUp(dpid uint64, port uint16, gw netip.Prefix) *Message {
+	return &Message{Kind: KindHostUp, ADPID: dpid, APort: port, AAddr: gw.String()}
+}
+
+// HostDown reverses HostUp.
+func HostDown(dpid uint64, port uint16) *Message {
+	return &Message{Kind: KindHostDown, ADPID: dpid, APort: port}
+}

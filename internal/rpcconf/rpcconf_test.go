@@ -1,0 +1,203 @@
+package rpcconf
+
+import (
+	"errors"
+	"net"
+	"net/netip"
+	"sync"
+	"testing"
+
+	"routeflow/internal/ctlkit"
+)
+
+func pipeRig(t *testing.T, h Handler) (*Client, *Server) {
+	t.Helper()
+	l := ctlkit.NewMemListener("rpc")
+	t.Cleanup(func() { l.Close() })
+	srv := NewServer(h)
+	go srv.Serve(l)
+	t.Cleanup(srv.Stop)
+	c := NewClient(func() (net.Conn, error) { return l.Dial() }, nil)
+	t.Cleanup(c.Close)
+	return c, srv
+}
+
+func TestSwitchUpDelivery(t *testing.T) {
+	var mu sync.Mutex
+	var got []*Message
+	c, srv := pipeRig(t, func(m *Message) error {
+		mu.Lock()
+		got = append(got, m)
+		mu.Unlock()
+		return nil
+	})
+	if err := c.Send(SwitchUp(0xA, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Send(SwitchDown(0xA)); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 2 {
+		t.Fatalf("messages = %d", len(got))
+	}
+	if got[0].Kind != KindSwitchUp || got[0].DPID != 0xA || got[0].Ports != 4 {
+		t.Fatalf("msg0 = %+v", got[0])
+	}
+	if got[1].Kind != KindSwitchDown {
+		t.Fatalf("msg1 = %+v", got[1])
+	}
+	if srv.Applied() != 2 {
+		t.Fatalf("applied = %d", srv.Applied())
+	}
+}
+
+func TestLinkUpCarriesAddresses(t *testing.T) {
+	var got *Message
+	c, _ := pipeRig(t, func(m *Message) error { got = m; return nil })
+	a := netip.MustParsePrefix("172.16.0.1/30")
+	b := netip.MustParsePrefix("172.16.0.2/30")
+	if err := c.Send(LinkUp(1, 2, 3, 4, a, b)); err != nil {
+		t.Fatal(err)
+	}
+	pa, err := got.AAddrPrefix()
+	if err != nil || pa != a {
+		t.Fatalf("aAddr = %v, %v", pa, err)
+	}
+	pb, err := got.BAddrPrefix()
+	if err != nil || pb != b {
+		t.Fatalf("bAddr = %v, %v", pb, err)
+	}
+	if got.ADPID != 1 || got.APort != 2 || got.BDPID != 3 || got.BPort != 4 {
+		t.Fatalf("endpoints = %+v", got)
+	}
+}
+
+func TestLinkDown(t *testing.T) {
+	var got *Message
+	c, _ := pipeRig(t, func(m *Message) error { got = m; return nil })
+	if err := c.Send(LinkDown(9, 1, 8, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != KindLinkDown || got.ADPID != 9 || got.BDPID != 8 {
+		t.Fatalf("msg = %+v", got)
+	}
+}
+
+func TestHandlerErrorPropagates(t *testing.T) {
+	c, srv := pipeRig(t, func(m *Message) error {
+		return errors.New("vm creation failed")
+	})
+	err := c.Send(SwitchUp(1, 1))
+	if !errors.Is(err, ErrRemote) {
+		t.Fatalf("err = %v", err)
+	}
+	if srv.Applied() != 0 {
+		t.Fatal("failed message counted as applied")
+	}
+}
+
+func TestClientRedialsAfterServerConnLoss(t *testing.T) {
+	l := ctlkit.NewMemListener("rpc")
+	defer l.Close()
+	var applied int
+	srv := NewServer(func(m *Message) error { applied++; return nil })
+	go srv.Serve(l)
+	defer srv.Stop()
+
+	var dialCount int
+	c := NewClient(func() (net.Conn, error) {
+		dialCount++
+		return l.Dial()
+	}, nil)
+	defer c.Close()
+
+	if err := c.Send(SwitchUp(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the client's connection under it; the next send must redial.
+	c.Close()
+	if err := c.Send(SwitchUp(2, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if dialCount < 2 {
+		t.Fatalf("dials = %d, want >= 2", dialCount)
+	}
+	if applied != 2 {
+		t.Fatalf("applied = %d", applied)
+	}
+}
+
+func TestClientGivesUpEventually(t *testing.T) {
+	c := NewClient(func() (net.Conn, error) {
+		return nil, errors.New("connection refused")
+	}, nil, WithRetry(0, 3))
+	if err := c.Send(SwitchUp(1, 1)); err == nil {
+		t.Fatal("send with unreachable server succeeded")
+	}
+}
+
+func TestSequenceNumbersIncrease(t *testing.T) {
+	var seqs []uint64
+	c, _ := pipeRig(t, func(m *Message) error {
+		seqs = append(seqs, m.Seq)
+		return nil
+	})
+	for i := 0; i < 5; i++ {
+		if err := c.Send(SwitchUp(uint64(i), 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i < len(seqs); i++ {
+		if seqs[i] != seqs[i-1]+1 {
+			t.Fatalf("seqs = %v", seqs)
+		}
+	}
+}
+
+func TestConcurrentSenders(t *testing.T) {
+	var mu sync.Mutex
+	seen := map[uint64]bool{}
+	c, _ := pipeRig(t, func(m *Message) error {
+		mu.Lock()
+		seen[m.Seq] = true
+		mu.Unlock()
+		return nil
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := c.Send(SwitchUp(uint64(i), 2)); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if len(seen) != 16 {
+		t.Fatalf("distinct seqs = %d", len(seen))
+	}
+}
+
+func TestBadFrameRejected(t *testing.T) {
+	l := ctlkit.NewMemListener("rpc")
+	defer l.Close()
+	srv := NewServer(func(m *Message) error { return nil })
+	go srv.Serve(l)
+	defer srv.Stop()
+	conn, err := l.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// A frame header announcing 2 MiB must close the connection.
+	if _, err := conn.Write([]byte{0x00, 0x20, 0x00, 0x00}); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("server kept oversized-frame connection open")
+	}
+}

@@ -1,0 +1,230 @@
+// Package stream reproduces the paper's demonstration workload: a video
+// clip streamed from a server to a remote client across the OpenFlow
+// network (§3). The server paces fixed-size numbered frames over UDP; the
+// client records when the first frame arrives — the paper's headline metric
+// ("the video clip reaches at the remote client within 4 minutes, including
+// the configuration time") — plus delivery ratio and sequence gaps.
+package stream
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+	"sync"
+	"time"
+
+	"routeflow/internal/clock"
+	"routeflow/internal/netemu"
+)
+
+// Defaults model a modest SD video stream.
+const (
+	DefaultPort      = 5004
+	DefaultFrameSize = 1200
+	DefaultFrameRate = 25         // frames per second
+	headerLen        = 12         // seq(8) + magic(4)
+	magic            = 0x52464c56 // "RFLV"
+)
+
+// ServerConfig configures a video source.
+type ServerConfig struct {
+	Host      *netemu.Host
+	Dst       netip.Addr
+	DstPort   uint16 // default DefaultPort
+	SrcPort   uint16 // default DefaultPort
+	FrameSize int    // default DefaultFrameSize
+	FrameRate int    // default DefaultFrameRate
+	Clock     clock.Clock
+}
+
+// Server streams frames until stopped. The paper starts the stream at t=0,
+// before any configuration exists, and lets it run while the framework
+// brings the network up — send errors are therefore expected and counted,
+// not fatal.
+type Server struct {
+	cfg ServerConfig
+	clk clock.Clock
+
+	mu       sync.Mutex
+	sent     uint64
+	failures uint64
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewServer creates a video source.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Host == nil {
+		return nil, fmt.Errorf("stream: server host is required")
+	}
+	if !cfg.Dst.Is4() {
+		return nil, fmt.Errorf("stream: destination %v is not IPv4", cfg.Dst)
+	}
+	if cfg.DstPort == 0 {
+		cfg.DstPort = DefaultPort
+	}
+	if cfg.SrcPort == 0 {
+		cfg.SrcPort = DefaultPort
+	}
+	if cfg.FrameSize < headerLen {
+		cfg.FrameSize = DefaultFrameSize
+	}
+	if cfg.FrameRate <= 0 {
+		cfg.FrameRate = DefaultFrameRate
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.System()
+	}
+	return &Server{cfg: cfg, clk: cfg.Clock,
+		stop: make(chan struct{}), done: make(chan struct{})}, nil
+}
+
+// Start begins pacing frames.
+func (s *Server) Start() {
+	go s.run()
+}
+
+func (s *Server) run() {
+	defer close(s.done)
+	interval := time.Second / time.Duration(s.cfg.FrameRate)
+	tick := s.clk.NewTicker(interval)
+	defer tick.Stop()
+	var seq uint64
+	for {
+		select {
+		case <-tick.C():
+			payload := make([]byte, s.cfg.FrameSize)
+			binary.BigEndian.PutUint64(payload[0:], seq)
+			binary.BigEndian.PutUint32(payload[8:], magic)
+			err := s.cfg.Host.SendUDP(s.cfg.Dst, s.cfg.SrcPort, s.cfg.DstPort, payload)
+			s.mu.Lock()
+			if err != nil {
+				s.failures++
+			} else {
+				s.sent++
+			}
+			s.mu.Unlock()
+			seq++
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// Stop halts the stream and waits for the sender to exit.
+func (s *Server) Stop() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	<-s.done
+}
+
+// Sent returns frames successfully handed to the network, and attempts that
+// failed locally (ARP not resolved yet, NIC drop).
+func (s *Server) Sent() (ok, failed uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sent, s.failures
+}
+
+// ClientStats summarize reception.
+type ClientStats struct {
+	Frames uint64
+	// FirstSeq is the sequence number of the first frame to arrive (frames
+	// sent before the network was up never arrive); MinSeq can be lower
+	// when slow-path frames queued behind ARP are delivered late.
+	FirstSeq   uint64
+	MinSeq     uint64
+	LastSeq    uint64
+	Gaps       uint64 // missing sequence numbers between first and last
+	FirstFrame time.Time
+	LastFrame  time.Time
+}
+
+// Client receives the stream on a host.
+type Client struct {
+	host *netemu.Host
+	clk  clock.Clock
+	port uint16
+
+	mu      sync.Mutex
+	stats   ClientStats
+	started bool
+	seen    map[uint64]bool
+	firstCh chan struct{}
+}
+
+// NewClient binds a receiver on the host.
+func NewClient(host *netemu.Host, port uint16, clk clock.Clock) (*Client, error) {
+	if host == nil {
+		return nil, fmt.Errorf("stream: client host is required")
+	}
+	if port == 0 {
+		port = DefaultPort
+	}
+	if clk == nil {
+		clk = clock.System()
+	}
+	c := &Client{host: host, clk: clk, port: port,
+		seen: make(map[uint64]bool), firstCh: make(chan struct{})}
+	host.BindUDP(port, c.onFrame)
+	return c, nil
+}
+
+func (c *Client) onFrame(src netip.Addr, srcPort uint16, payload []byte) {
+	if len(payload) < headerLen || binary.BigEndian.Uint32(payload[8:]) != magic {
+		return
+	}
+	seq := binary.BigEndian.Uint64(payload)
+	now := c.clk.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.seen[seq] {
+		return // duplicate
+	}
+	c.seen[seq] = true
+	c.stats.Frames++
+	c.stats.LastFrame = now
+	if !c.started {
+		c.started = true
+		c.stats.FirstSeq = seq
+		c.stats.MinSeq = seq
+		c.stats.FirstFrame = now
+		close(c.firstCh)
+	}
+	if seq > c.stats.LastSeq {
+		c.stats.LastSeq = seq
+	}
+	if seq < c.stats.MinSeq {
+		c.stats.MinSeq = seq
+	}
+}
+
+// FirstFrame returns a channel closed when the first frame arrives.
+func (c *Client) FirstFrame() <-chan struct{} { return c.firstCh }
+
+// AwaitFirstFrame blocks until the first frame or the timeout (measured on
+// the client's clock).
+func (c *Client) AwaitFirstFrame(timeout time.Duration) error {
+	select {
+	case <-c.firstCh:
+		return nil
+	case <-c.clk.After(timeout):
+		return fmt.Errorf("stream: no video after %v", timeout)
+	}
+}
+
+// Stats snapshots reception statistics, computing gaps.
+func (c *Client) Stats() ClientStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.stats
+	if st.Frames > 0 {
+		span := st.LastSeq - st.MinSeq + 1
+		st.Gaps = span - st.Frames
+	}
+	return st
+}
+
+// Close unbinds the receiver.
+func (c *Client) Close() { c.host.BindUDP(c.port, nil) }

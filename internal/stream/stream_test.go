@@ -1,0 +1,149 @@
+package stream
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"routeflow/internal/clock"
+	"routeflow/internal/netemu"
+	"routeflow/internal/pkt"
+)
+
+func hostPair(t *testing.T) (*netemu.Host, *netemu.Host) {
+	t.Helper()
+	n := netemu.NewNetwork(clock.System())
+	t.Cleanup(n.Close)
+	a, b := n.NewCable(netemu.CableOpts{NameA: "srv", NameB: "cli",
+		MACA: pkt.LocalMAC(1), MACB: pkt.LocalMAC(2)})
+	srv, err := netemu.NewHost(netemu.HostConfig{Name: "srv",
+		Addr: netip.MustParsePrefix("10.0.0.1/24")}, a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := netemu.NewHost(netemu.HostConfig{Name: "cli",
+		Addr: netip.MustParsePrefix("10.0.0.2/24")}, b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, cli
+}
+
+func TestStreamDelivery(t *testing.T) {
+	srv, cli := hostPair(t)
+	c, err := NewClient(cli, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	s, err := NewServer(ServerConfig{Host: srv, Dst: cli.Addr(),
+		FrameRate: 200, FrameSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	defer s.Stop()
+	if err := c.AwaitFirstFrame(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Collect a few frames.
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if c.Stats().Frames >= 10 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	st := c.Stats()
+	if st.Frames < 10 {
+		t.Fatalf("frames = %d", st.Frames)
+	}
+	if st.Gaps != 0 {
+		t.Fatalf("gaps on a lossless wire = %d", st.Gaps)
+	}
+	if st.FirstFrame.After(st.LastFrame) {
+		t.Fatal("timestamps inverted")
+	}
+	ok, _ := s.Sent()
+	if ok < st.Frames {
+		t.Fatalf("server sent %d < client received %d", ok, st.Frames)
+	}
+}
+
+func TestStreamSurvivesEarlyStart(t *testing.T) {
+	// The paper starts the stream before the network is configured: sends
+	// fail (no ARP for a ghost destination) but the server keeps running.
+	srv, cli := hostPair(t)
+	_ = cli
+	s, err := NewServer(ServerConfig{Host: srv,
+		Dst:       netip.MustParseAddr("10.0.0.250"), // nobody home
+		FrameRate: 100, FrameSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	time.Sleep(100 * time.Millisecond)
+	s.Stop()
+	ok, failed := s.Sent()
+	if ok != 0 {
+		t.Fatalf("sent = %d to a ghost", ok)
+	}
+	if failed == 0 {
+		t.Fatal("no failures recorded")
+	}
+}
+
+func TestClientIgnoresGarbageAndDuplicates(t *testing.T) {
+	srv, cli := hostPair(t)
+	c, err := NewClient(cli, 7000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Garbage: wrong magic.
+	if err := srv.SendUDP(cli.Addr(), 1, 7000, []byte("notvideo....")); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if c.Stats().Frames != 0 {
+		t.Fatal("garbage counted as a frame")
+	}
+	// A valid frame sent twice counts once.
+	payload := make([]byte, 64)
+	payload[8], payload[9], payload[10], payload[11] = 0x52, 0x46, 0x4c, 0x56
+	for i := 0; i < 2; i++ {
+		if err := srv.SendUDP(cli.Addr(), 1, 7000, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && c.Stats().Frames == 0 {
+		time.Sleep(2 * time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if got := c.Stats().Frames; got != 1 {
+		t.Fatalf("frames = %d, want 1 (dup suppressed)", got)
+	}
+}
+
+func TestServerValidation(t *testing.T) {
+	if _, err := NewServer(ServerConfig{}); err == nil {
+		t.Fatal("nil host accepted")
+	}
+	srv, _ := hostPair(t)
+	if _, err := NewServer(ServerConfig{Host: srv, Dst: netip.MustParseAddr("::1")}); err == nil {
+		t.Fatal("IPv6 dst accepted")
+	}
+	if _, err := NewClient(nil, 0, nil); err == nil {
+		t.Fatal("nil client host accepted")
+	}
+}
+
+func TestAwaitFirstFrameTimeout(t *testing.T) {
+	_, cli := hostPair(t)
+	c, _ := NewClient(cli, 0, nil)
+	defer c.Close()
+	if err := c.AwaitFirstFrame(30 * time.Millisecond); err == nil {
+		t.Fatal("timeout did not fire")
+	}
+}

@@ -1,0 +1,593 @@
+// Package topo models network topologies as undirected multigraphs with
+// per-endpoint port numbers, exactly the view an OpenFlow controller builds
+// from discovery: a set of datapaths and a set of (dpid, port)↔(dpid, port)
+// links. It provides the generators used by the paper's evaluation — ring
+// topologies of varying size for the Fig. 3 configuration-time sweep and the
+// 28-node pan-European reference network for the demo — plus generic
+// generators (line, star, grid, tree, mesh, random) and graph utilities
+// (connectivity, shortest paths, diameter, DOT/JSON export).
+package topo
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Node is a vertex of the topology: one OpenFlow switch.
+type Node struct {
+	ID   int     `json:"id"`             // dense index, 0-based
+	Name string  `json:"name"`           // human-readable label
+	X    float64 `json:"x,omitempty"`    // optional layout hint
+	Y    float64 `json:"y,omitempty"`    // optional layout hint
+	Host bool    `json:"host,omitempty"` // true if an end host should attach here
+}
+
+// Link is an undirected edge between two nodes. APort and BPort are the
+// 1-based switch port numbers at each end; port numbers are unique per node.
+type Link struct {
+	A      int     `json:"a"`
+	B      int     `json:"b"`
+	APort  int     `json:"aPort"`
+	BPort  int     `json:"bPort"`
+	Weight float64 `json:"weight,omitempty"` // metric (e.g. km); 1 if unset
+}
+
+// Graph is an undirected topology. The zero value is an empty graph ready
+// for AddNode/AddLink.
+type Graph struct {
+	name  string
+	nodes []Node
+	links []Link
+	// ports[n] is the next free port number on node n (ports are 1-based).
+	ports []int
+	// adj[n] lists link indices incident to node n.
+	adj [][]int
+}
+
+// New returns an empty named graph.
+func New(name string) *Graph { return &Graph{name: name} }
+
+// Name returns the graph's name.
+func (g *Graph) Name() string { return g.name }
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumLinks returns the number of links.
+func (g *Graph) NumLinks() int { return len(g.links) }
+
+// Nodes returns a copy of the node list.
+func (g *Graph) Nodes() []Node {
+	out := make([]Node, len(g.nodes))
+	copy(out, g.nodes)
+	return out
+}
+
+// Links returns a copy of the link list.
+func (g *Graph) Links() []Link {
+	out := make([]Link, len(g.links))
+	copy(out, g.links)
+	return out
+}
+
+// Node returns the node with the given ID.
+func (g *Graph) Node(id int) (Node, bool) {
+	if id < 0 || id >= len(g.nodes) {
+		return Node{}, false
+	}
+	return g.nodes[id], true
+}
+
+// NodeByName returns the first node whose Name matches.
+func (g *Graph) NodeByName(name string) (Node, bool) {
+	for _, n := range g.nodes {
+		if n.Name == name {
+			return n, true
+		}
+	}
+	return Node{}, false
+}
+
+// AddNode appends a node and returns its ID. An empty name is replaced by
+// "n<id>".
+func (g *Graph) AddNode(name string) int {
+	id := len(g.nodes)
+	if name == "" {
+		name = fmt.Sprintf("n%d", id)
+	}
+	g.nodes = append(g.nodes, Node{ID: id, Name: name})
+	g.ports = append(g.ports, 1)
+	g.adj = append(g.adj, nil)
+	return id
+}
+
+// SetHost marks a node as having an attached end host. The host consumes the
+// next free port number on the switch; that port is returned.
+func (g *Graph) SetHost(id int) (port int, err error) {
+	if id < 0 || id >= len(g.nodes) {
+		return 0, fmt.Errorf("topo: no node %d", id)
+	}
+	g.nodes[id].Host = true
+	port = g.ports[id]
+	g.ports[id]++
+	return port, nil
+}
+
+// SetXY places a node for GUI layout.
+func (g *Graph) SetXY(id int, x, y float64) {
+	if id >= 0 && id < len(g.nodes) {
+		g.nodes[id].X, g.nodes[id].Y = x, y
+	}
+}
+
+// AddLink connects nodes a and b, consuming the next free port on each, and
+// returns the link's index. Self-loops are rejected; parallel links are
+// allowed (they get distinct ports).
+func (g *Graph) AddLink(a, b int, weight float64) (int, error) {
+	if a == b {
+		return 0, fmt.Errorf("topo: self-loop on node %d", a)
+	}
+	if a < 0 || a >= len(g.nodes) || b < 0 || b >= len(g.nodes) {
+		return 0, fmt.Errorf("topo: link %d-%d references unknown node", a, b)
+	}
+	if weight <= 0 {
+		weight = 1
+	}
+	l := Link{A: a, B: b, APort: g.ports[a], BPort: g.ports[b], Weight: weight}
+	g.ports[a]++
+	g.ports[b]++
+	idx := len(g.links)
+	g.links = append(g.links, l)
+	g.adj[a] = append(g.adj[a], idx)
+	g.adj[b] = append(g.adj[b], idx)
+	return idx, nil
+}
+
+// Degree returns the number of links incident to node id (host attachments
+// not counted).
+func (g *Graph) Degree(id int) int {
+	if id < 0 || id >= len(g.adj) {
+		return 0
+	}
+	return len(g.adj[id])
+}
+
+// Ports returns the number of ports in use on node id, including any host
+// port. OpenFlow switches report this as their port count.
+func (g *Graph) Ports(id int) int {
+	if id < 0 || id >= len(g.ports) {
+		return 0
+	}
+	return g.ports[id] - 1
+}
+
+// Neighbors returns the IDs of nodes adjacent to id, in link order.
+func (g *Graph) Neighbors(id int) []int {
+	var out []int
+	for _, li := range g.adj[id] {
+		l := g.links[li]
+		if l.A == id {
+			out = append(out, l.B)
+		} else {
+			out = append(out, l.A)
+		}
+	}
+	return out
+}
+
+// IncidentLinks returns indices of links touching node id.
+func (g *Graph) IncidentLinks(id int) []int {
+	out := make([]int, len(g.adj[id]))
+	copy(out, g.adj[id])
+	return out
+}
+
+// Peer resolves the far end of a link from one endpoint: given (node, port)
+// it returns the remote node and port. ok is false if no link uses that
+// (node, port) pair.
+func (g *Graph) Peer(node, port int) (peerNode, peerPort int, ok bool) {
+	for _, li := range g.adj[node] {
+		l := g.links[li]
+		if l.A == node && l.APort == port {
+			return l.B, l.BPort, true
+		}
+		if l.B == node && l.BPort == port {
+			return l.A, l.APort, true
+		}
+	}
+	return 0, 0, false
+}
+
+// Connected reports whether every node is reachable from node 0 (an empty
+// graph is connected).
+func (g *Graph) Connected() bool {
+	if len(g.nodes) == 0 {
+		return true
+	}
+	seen := make([]bool, len(g.nodes))
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, nb := range g.Neighbors(n) {
+			if !seen[nb] {
+				seen[nb] = true
+				count++
+				stack = append(stack, nb)
+			}
+		}
+	}
+	return count == len(g.nodes)
+}
+
+// MinDegree returns the smallest node degree (0 for an empty graph).
+func (g *Graph) MinDegree() int {
+	if len(g.nodes) == 0 {
+		return 0
+	}
+	min := g.Degree(0)
+	for i := 1; i < len(g.nodes); i++ {
+		if d := g.Degree(i); d < min {
+			min = d
+		}
+	}
+	return min
+}
+
+// HopDistances returns the hop count from src to every node (-1 if
+// unreachable), by BFS.
+func (g *Graph) HopDistances(src int) []int {
+	dist := make([]int, len(g.nodes))
+	for i := range dist {
+		dist[i] = -1
+	}
+	if src < 0 || src >= len(g.nodes) {
+		return dist
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, nb := range g.Neighbors(n) {
+			if dist[nb] < 0 {
+				dist[nb] = dist[n] + 1
+				queue = append(queue, nb)
+			}
+		}
+	}
+	return dist
+}
+
+// Diameter returns the longest shortest-path hop count between any node
+// pair, or -1 if the graph is disconnected or empty.
+func (g *Graph) Diameter() int {
+	if len(g.nodes) == 0 {
+		return -1
+	}
+	max := 0
+	for i := range g.nodes {
+		for _, d := range g.HopDistances(i) {
+			if d < 0 {
+				return -1
+			}
+			if d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+// ShortestPath returns a minimum-weight node path from src to dst using
+// Dijkstra over link weights, or nil if unreachable.
+func (g *Graph) ShortestPath(src, dst int) []int {
+	n := len(g.nodes)
+	if src < 0 || src >= n || dst < 0 || dst >= n {
+		return nil
+	}
+	const inf = 1 << 62
+	dist := make([]float64, n)
+	prev := make([]int, n)
+	done := make([]bool, n)
+	for i := range dist {
+		dist[i] = inf
+		prev[i] = -1
+	}
+	dist[src] = 0
+	for {
+		u, best := -1, float64(inf)
+		for i := 0; i < n; i++ {
+			if !done[i] && dist[i] < best {
+				u, best = i, dist[i]
+			}
+		}
+		if u < 0 {
+			break
+		}
+		done[u] = true
+		if u == dst {
+			break
+		}
+		for _, li := range g.adj[u] {
+			l := g.links[li]
+			v := l.B
+			if v == u {
+				v = l.A
+			}
+			if nd := dist[u] + l.Weight; nd < dist[v] {
+				dist[v] = nd
+				prev[v] = u
+			}
+		}
+	}
+	if dist[dst] >= inf {
+		return nil
+	}
+	var path []int
+	for at := dst; at != -1; at = prev[at] {
+		path = append(path, at)
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}
+
+// Validate checks structural invariants: port uniqueness per node, index
+// bounds, adjacency consistency.
+func (g *Graph) Validate() error {
+	type np struct{ n, p int }
+	seen := make(map[np]bool)
+	for i, l := range g.links {
+		if l.A < 0 || l.A >= len(g.nodes) || l.B < 0 || l.B >= len(g.nodes) {
+			return fmt.Errorf("topo: link %d out of range", i)
+		}
+		if l.A == l.B {
+			return fmt.Errorf("topo: link %d is a self-loop", i)
+		}
+		for _, e := range []np{{l.A, l.APort}, {l.B, l.BPort}} {
+			if e.p < 1 {
+				return fmt.Errorf("topo: link %d has non-positive port", i)
+			}
+			if seen[e] {
+				return fmt.Errorf("topo: port %d on node %d used twice", e.p, e.n)
+			}
+			seen[e] = true
+		}
+	}
+	return nil
+}
+
+// DOT renders the graph in Graphviz format.
+func (g *Graph) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph %q {\n", g.name)
+	for _, n := range g.nodes {
+		fmt.Fprintf(&b, "  %d [label=%q];\n", n.ID, n.Name)
+	}
+	for _, l := range g.links {
+		fmt.Fprintf(&b, "  %d -- %d [taillabel=%q, headlabel=%q];\n",
+			l.A, l.B, fmt.Sprint(l.APort), fmt.Sprint(l.BPort))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+type graphJSON struct {
+	Name  string     `json:"name"`
+	Nodes []Node     `json:"nodes"`
+	Links []linkJSON `json:"links"`
+}
+
+type linkJSON struct {
+	A      int     `json:"a"`
+	B      int     `json:"b"`
+	APort  int     `json:"aPort"`
+	BPort  int     `json:"bPort"`
+	Weight float64 `json:"weight"`
+}
+
+// MarshalJSON encodes the graph (name, nodes, links with explicit ports).
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	gj := graphJSON{Name: g.name, Nodes: g.nodes}
+	for _, l := range g.links {
+		gj.Links = append(gj.Links, linkJSON{l.A, l.B, l.APort, l.BPort, l.Weight})
+	}
+	return json.Marshal(gj)
+}
+
+// UnmarshalJSON decodes a graph and re-derives adjacency and port counters.
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	var gj graphJSON
+	if err := json.Unmarshal(data, &gj); err != nil {
+		return err
+	}
+	ng := New(gj.Name)
+	for _, n := range gj.Nodes {
+		id := ng.AddNode(n.Name)
+		ng.nodes[id].X, ng.nodes[id].Y, ng.nodes[id].Host = n.X, n.Y, n.Host
+	}
+	for _, l := range gj.Links {
+		if l.A < 0 || l.A >= len(ng.nodes) || l.B < 0 || l.B >= len(ng.nodes) {
+			return errors.New("topo: link references unknown node")
+		}
+		idx := len(ng.links)
+		ng.links = append(ng.links, Link{l.A, l.B, l.APort, l.BPort, l.Weight})
+		ng.adj[l.A] = append(ng.adj[l.A], idx)
+		ng.adj[l.B] = append(ng.adj[l.B], idx)
+		if l.APort >= ng.ports[l.A] {
+			ng.ports[l.A] = l.APort + 1
+		}
+		if l.BPort >= ng.ports[l.B] {
+			ng.ports[l.B] = l.BPort + 1
+		}
+	}
+	// Host ports sit after link ports; re-reserve them.
+	for i, n := range ng.nodes {
+		if n.Host {
+			ng.ports[i]++
+		}
+	}
+	if err := ng.Validate(); err != nil {
+		return err
+	}
+	*g = *ng
+	return nil
+}
+
+// String summarises the graph.
+func (g *Graph) String() string {
+	return fmt.Sprintf("%s: %d nodes, %d links", g.name, len(g.nodes), len(g.links))
+}
+
+// SortedNodeNames returns all node names in lexical order (test helper).
+func (g *Graph) SortedNodeNames() []string {
+	names := make([]string, len(g.nodes))
+	for i, n := range g.nodes {
+		names[i] = n.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Ring returns the n-node ring used by the paper's Fig. 3 experiments.
+func Ring(n int) *Graph {
+	g := New(fmt.Sprintf("ring-%d", n))
+	for i := 0; i < n; i++ {
+		g.AddNode("")
+	}
+	for i := 0; i < n && n > 1; i++ {
+		next := (i + 1) % n
+		if n == 2 && i == 1 {
+			break // avoid a duplicate parallel link on the 2-ring
+		}
+		g.AddLink(i, next, 1) //nolint:errcheck // indices are in range by construction
+	}
+	return g
+}
+
+// Line returns a linear chain of n nodes.
+func Line(n int) *Graph {
+	g := New(fmt.Sprintf("line-%d", n))
+	for i := 0; i < n; i++ {
+		g.AddNode("")
+	}
+	for i := 0; i+1 < n; i++ {
+		g.AddLink(i, i+1, 1) //nolint:errcheck
+	}
+	return g
+}
+
+// Star returns a hub-and-spoke topology: node 0 is the hub of n-1 leaves.
+func Star(n int) *Graph {
+	g := New(fmt.Sprintf("star-%d", n))
+	for i := 0; i < n; i++ {
+		g.AddNode("")
+	}
+	for i := 1; i < n; i++ {
+		g.AddLink(0, i, 1) //nolint:errcheck
+	}
+	return g
+}
+
+// Grid returns a w×h mesh grid.
+func Grid(w, h int) *Graph {
+	g := New(fmt.Sprintf("grid-%dx%d", w, h))
+	for i := 0; i < w*h; i++ {
+		g.AddNode("")
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			id := y*w + x
+			if x+1 < w {
+				g.AddLink(id, id+1, 1) //nolint:errcheck
+			}
+			if y+1 < h {
+				g.AddLink(id, id+w, 1) //nolint:errcheck
+			}
+		}
+	}
+	return g
+}
+
+// Tree returns a complete k-ary tree of the given depth (depth 0 is a single
+// root).
+func Tree(fanout, depth int) *Graph {
+	g := New(fmt.Sprintf("tree-%d-%d", fanout, depth))
+	root := g.AddNode("")
+	var grow func(parent, d int)
+	grow = func(parent, d int) {
+		if d >= depth {
+			return
+		}
+		for i := 0; i < fanout; i++ {
+			c := g.AddNode("")
+			g.AddLink(parent, c, 1) //nolint:errcheck
+			grow(c, d+1)
+		}
+	}
+	grow(root, 0)
+	return g
+}
+
+// FullMesh returns the complete graph on n nodes.
+func FullMesh(n int) *Graph {
+	g := New(fmt.Sprintf("mesh-%d", n))
+	for i := 0; i < n; i++ {
+		g.AddNode("")
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddLink(i, j, 1) //nolint:errcheck
+		}
+	}
+	return g
+}
+
+// Random returns a connected random graph with n nodes and m links (m is
+// clamped to at least n-1 and at most n(n-1)/2), deterministic for a given
+// seed: a random spanning tree plus random extra edges.
+func Random(n, m int, seed int64) *Graph {
+	g := New(fmt.Sprintf("rand-%d-%d", n, m))
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		g.AddNode("")
+	}
+	if n <= 1 {
+		return g
+	}
+	if m < n-1 {
+		m = n - 1
+	}
+	if max := n * (n - 1) / 2; m > max {
+		m = max
+	}
+	// Random spanning tree: connect each node to a random earlier node.
+	order := rng.Perm(n)
+	have := map[[2]int]bool{}
+	addEdge := func(a, b int) bool {
+		if a > b {
+			a, b = b, a
+		}
+		if a == b || have[[2]int{a, b}] {
+			return false
+		}
+		have[[2]int{a, b}] = true
+		g.AddLink(a, b, 1) //nolint:errcheck
+		return true
+	}
+	for i := 1; i < n; i++ {
+		addEdge(order[i], order[rng.Intn(i)])
+	}
+	for g.NumLinks() < m {
+		addEdge(rng.Intn(n), rng.Intn(n))
+	}
+	return g
+}

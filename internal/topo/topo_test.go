@@ -1,0 +1,326 @@
+package topo
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRingStructure(t *testing.T) {
+	for _, n := range []int{3, 4, 8, 28} {
+		g := Ring(n)
+		if g.NumNodes() != n {
+			t.Fatalf("ring(%d): %d nodes", n, g.NumNodes())
+		}
+		if g.NumLinks() != n {
+			t.Fatalf("ring(%d): %d links, want %d", n, g.NumLinks(), n)
+		}
+		if !g.Connected() {
+			t.Fatalf("ring(%d) not connected", n)
+		}
+		for i := 0; i < n; i++ {
+			if g.Degree(i) != 2 {
+				t.Fatalf("ring(%d): node %d degree %d", n, i, g.Degree(i))
+			}
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("ring(%d): %v", n, err)
+		}
+	}
+}
+
+func TestRingDiameter(t *testing.T) {
+	if d := Ring(8).Diameter(); d != 4 {
+		t.Fatalf("ring(8) diameter = %d, want 4", d)
+	}
+	if d := Ring(7).Diameter(); d != 3 {
+		t.Fatalf("ring(7) diameter = %d, want 3", d)
+	}
+}
+
+func TestRingTwoNodes(t *testing.T) {
+	g := Ring(2)
+	if g.NumLinks() != 1 {
+		t.Fatalf("ring(2) should have a single link, got %d", g.NumLinks())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLine(t *testing.T) {
+	g := Line(5)
+	if g.NumLinks() != 4 || !g.Connected() || g.Diameter() != 4 {
+		t.Fatalf("line(5): links=%d connected=%v diameter=%d",
+			g.NumLinks(), g.Connected(), g.Diameter())
+	}
+}
+
+func TestStar(t *testing.T) {
+	g := Star(6)
+	if g.Degree(0) != 5 {
+		t.Fatalf("star hub degree = %d", g.Degree(0))
+	}
+	if g.Diameter() != 2 {
+		t.Fatalf("star diameter = %d", g.Diameter())
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g := Grid(3, 4)
+	if g.NumNodes() != 12 {
+		t.Fatalf("grid nodes = %d", g.NumNodes())
+	}
+	// links = (w-1)*h + w*(h-1) = 2*4 + 3*3 = 17
+	if g.NumLinks() != 17 {
+		t.Fatalf("grid links = %d, want 17", g.NumLinks())
+	}
+	if !g.Connected() {
+		t.Fatal("grid not connected")
+	}
+}
+
+func TestTree(t *testing.T) {
+	g := Tree(2, 3) // complete binary tree, depth 3: 15 nodes
+	if g.NumNodes() != 15 || g.NumLinks() != 14 {
+		t.Fatalf("tree(2,3): %d nodes %d links", g.NumNodes(), g.NumLinks())
+	}
+	if !g.Connected() {
+		t.Fatal("tree not connected")
+	}
+}
+
+func TestFullMesh(t *testing.T) {
+	g := FullMesh(5)
+	if g.NumLinks() != 10 {
+		t.Fatalf("mesh(5) links = %d", g.NumLinks())
+	}
+	if g.Diameter() != 1 {
+		t.Fatalf("mesh diameter = %d", g.Diameter())
+	}
+}
+
+func TestRandomConnectedQuick(t *testing.T) {
+	prop := func(n8, m8 uint8, seed int64) bool {
+		n := int(n8%20) + 2
+		m := int(m8 % 40)
+		g := Random(n, m, seed)
+		return g.Connected() && g.Validate() == nil && g.NumLinks() >= n-1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	a, b := Random(12, 20, 7), Random(12, 20, 7)
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if string(ja) != string(jb) {
+		t.Fatal("Random with same seed produced different graphs")
+	}
+}
+
+func TestPanEuropeanInvariants(t *testing.T) {
+	g := PanEuropean()
+	if g.NumNodes() != 28 {
+		t.Fatalf("pan-European nodes = %d, want 28", g.NumNodes())
+	}
+	if g.NumLinks() != 41 {
+		t.Fatalf("pan-European links = %d, want 41", g.NumLinks())
+	}
+	if !g.Connected() {
+		t.Fatal("pan-European not connected")
+	}
+	if g.MinDegree() < 2 {
+		t.Fatalf("pan-European min degree = %d, want >= 2", g.MinDegree())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := g.NodeByName("Lisbon"); !ok {
+		t.Fatal("Lisbon missing")
+	}
+	if d := g.Diameter(); d < 4 || d > 10 {
+		t.Fatalf("pan-European diameter = %d, outside plausible range", d)
+	}
+}
+
+func TestPeerLookup(t *testing.T) {
+	g := Ring(4)
+	// Node 0 port 1 connects to node 1 (its port 1); node 0 port 2 to node 3.
+	if n, p, ok := g.Peer(0, 1); !ok || n != 1 || p != 1 {
+		t.Fatalf("Peer(0,1) = (%d,%d,%v)", n, p, ok)
+	}
+	if n, _, ok := g.Peer(0, 2); !ok || n != 3 {
+		t.Fatalf("Peer(0,2) node = %d, want 3", n)
+	}
+	if _, _, ok := g.Peer(0, 99); ok {
+		t.Fatal("Peer on unused port should fail")
+	}
+}
+
+func TestHostPortAllocation(t *testing.T) {
+	g := Ring(3)
+	before := g.Ports(0)
+	port, err := g.SetHost(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if port != before+1 {
+		t.Fatalf("host port = %d, want %d", port, before+1)
+	}
+	if g.Ports(0) != before+1 {
+		t.Fatalf("Ports after host = %d", g.Ports(0))
+	}
+	if _, err := g.SetHost(99); err == nil {
+		t.Fatal("SetHost on unknown node should error")
+	}
+}
+
+func TestSelfLoopRejected(t *testing.T) {
+	g := New("x")
+	a := g.AddNode("a")
+	if _, err := g.AddLink(a, a, 1); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+	if _, err := g.AddLink(a, 42, 1); err == nil {
+		t.Fatal("out-of-range link accepted")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := PanEuropean()
+	g.SetHost(0) //nolint:errcheck
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Graph
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.NumNodes() != g.NumNodes() || back.NumLinks() != g.NumLinks() {
+		t.Fatalf("round trip: %v vs %v", back.String(), g.String())
+	}
+	if back.Name() != g.Name() {
+		t.Fatal("name lost")
+	}
+	// Peer relationships must survive.
+	for _, l := range g.Links() {
+		n, p, ok := back.Peer(l.A, l.APort)
+		if !ok || n != l.B || p != l.BPort {
+			t.Fatalf("peer lost for link %+v", l)
+		}
+	}
+	// Host flag and port accounting must survive.
+	n0, _ := back.Node(0)
+	if !n0.Host {
+		t.Fatal("host flag lost")
+	}
+	if back.Ports(0) != g.Ports(0) {
+		t.Fatalf("ports(0) = %d, want %d", back.Ports(0), g.Ports(0))
+	}
+}
+
+func TestJSONRoundTripQuick(t *testing.T) {
+	prop := func(n8, m8 uint8, seed int64) bool {
+		g := Random(int(n8%15)+2, int(m8%30), seed)
+		data, err := json.Marshal(g)
+		if err != nil {
+			return false
+		}
+		var back Graph
+		if err := json.Unmarshal(data, &back); err != nil {
+			return false
+		}
+		d2, _ := json.Marshal(&back)
+		return string(data) == string(d2)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	dot := Ring(3).DOT()
+	if !strings.Contains(dot, "graph \"ring-3\"") {
+		t.Fatalf("DOT missing header: %s", dot)
+	}
+	if !strings.Contains(dot, "--") {
+		t.Fatal("DOT missing edges")
+	}
+}
+
+func TestShortestPath(t *testing.T) {
+	g := Ring(6)
+	p := g.ShortestPath(0, 3)
+	if len(p) != 4 {
+		t.Fatalf("path 0->3 on ring(6) = %v, want 4 hops", p)
+	}
+	if p[0] != 0 || p[len(p)-1] != 3 {
+		t.Fatalf("path endpoints wrong: %v", p)
+	}
+	if got := g.ShortestPath(0, 0); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("trivial path = %v", got)
+	}
+	if g.ShortestPath(-1, 2) != nil {
+		t.Fatal("invalid src should give nil")
+	}
+}
+
+func TestShortestPathRespectsWeights(t *testing.T) {
+	g := New("w")
+	a, b, c := g.AddNode("a"), g.AddNode("b"), g.AddNode("c")
+	g.AddLink(a, c, 10) //nolint:errcheck
+	g.AddLink(a, b, 1)  //nolint:errcheck
+	g.AddLink(b, c, 1)  //nolint:errcheck
+	p := g.ShortestPath(a, c)
+	if len(p) != 3 || p[1] != b {
+		t.Fatalf("weighted path = %v, want a-b-c", p)
+	}
+}
+
+func TestHopDistancesUnreachable(t *testing.T) {
+	g := New("two-islands")
+	g.AddNode("a")
+	g.AddNode("b")
+	d := g.HopDistances(0)
+	if d[1] != -1 {
+		t.Fatalf("unreachable distance = %d, want -1", d[1])
+	}
+	if g.Connected() {
+		t.Fatal("disconnected graph reported connected")
+	}
+	if g.Diameter() != -1 {
+		t.Fatal("diameter of disconnected graph should be -1")
+	}
+}
+
+func TestNodeLookups(t *testing.T) {
+	g := Ring(3)
+	if _, ok := g.Node(5); ok {
+		t.Fatal("Node(5) should not exist")
+	}
+	if _, ok := g.Node(-1); ok {
+		t.Fatal("Node(-1) should not exist")
+	}
+	if _, ok := g.NodeByName("nope"); ok {
+		t.Fatal("NodeByName(nope) should not exist")
+	}
+	n, ok := g.Node(2)
+	if !ok || n.Name != "n2" {
+		t.Fatalf("Node(2) = %+v", n)
+	}
+}
+
+func TestSortedNodeNames(t *testing.T) {
+	g := New("names")
+	g.AddNode("zeta")
+	g.AddNode("alpha")
+	names := g.SortedNodeNames()
+	if names[0] != "alpha" || names[1] != "zeta" {
+		t.Fatalf("sorted names = %v", names)
+	}
+}

@@ -1,0 +1,198 @@
+package vnet
+
+import (
+	"net/netip"
+
+	"routeflow/internal/pkt"
+)
+
+// maxPendingPerHop bounds frames queued while ARP resolves one next hop.
+const maxPendingPerHop = 64
+
+// Inject delivers a frame punted from the physical switch into the VM
+// interface mirroring the ingress port — the rf-proxy's upward data path.
+func (vm *VM) Inject(port uint16, frame []byte) {
+	vm.mu.Lock()
+	ifc, ok := vm.ifaces[port]
+	up := vm.state == StateUp
+	vm.mu.Unlock()
+	if !ok || !up {
+		return
+	}
+	f, err := pkt.DecodeFrame(frame)
+	if err != nil {
+		return
+	}
+	switch f.Type {
+	case pkt.EtherTypeARP:
+		vm.handleARP(ifc, f)
+	case pkt.EtherTypeIPv4:
+		vm.handleIPv4(ifc, f)
+	}
+}
+
+func (vm *VM) handleARP(ifc *vmIface, f *pkt.Frame) {
+	a, err := pkt.DecodeARP(f.Payload)
+	if err != nil {
+		return
+	}
+	vm.learnARP(ifc, a.SenderIP, a.SenderHW)
+	vm.mu.Lock()
+	addr := ifc.addr
+	mac := ifc.mac
+	vm.mu.Unlock()
+	if !addr.IsValid() {
+		return
+	}
+	if a.Op == pkt.ARPRequest && a.TargetIP == addr.Addr() {
+		rep := a.Reply(mac, addr.Addr())
+		out := &pkt.Frame{Dst: a.SenderHW, Src: mac, Type: pkt.EtherTypeARP,
+			Payload: rep.Marshal()}
+		vm.transmit(ifc.port, out.Marshal())
+	}
+}
+
+// learnARP records a binding, flushes queued frames, and publishes the
+// host-learned event when the address is on the interface subnet.
+func (vm *VM) learnARP(ifc *vmIface, ip netip.Addr, mac pkt.MAC) {
+	if !ip.Is4() || mac.IsZero() {
+		return
+	}
+	vm.mu.Lock()
+	_, known := ifc.arp[ip]
+	ifc.arp[ip] = mac
+	queued := ifc.pending[ip]
+	delete(ifc.pending, ip)
+	onLink := ifc.addr.IsValid() && ifc.addr.Contains(ip)
+	hostCb := vm.onHost
+	vm.mu.Unlock()
+
+	for _, frame := range queued {
+		vm.forwardResolved(ifc, frame, mac)
+	}
+	if !known && onLink && hostCb != nil {
+		hostCb(HostLearned{Port: ifc.port, IP: ip, MAC: mac})
+	}
+}
+
+func (vm *VM) handleIPv4(ifc *vmIface, f *pkt.Frame) {
+	ip, err := pkt.DecodeIPv4(f.Payload)
+	if err != nil {
+		return
+	}
+	vm.mu.Lock()
+	addr := ifc.addr
+	vm.mu.Unlock()
+
+	// OSPF rides multicast or our own address.
+	if ip.Proto == pkt.ProtoOSPF {
+		vm.deliverOSPF(ifc, ip)
+		return
+	}
+	if addr.IsValid() && ip.Dst == addr.Addr() {
+		// For us: ICMP echo is the only local service.
+		if ip.Proto == pkt.ProtoICMP {
+			vm.answerEcho(ifc, f, ip)
+		}
+		return
+	}
+	// Transit: the VM routes it (the punted slow path a Quagga VM's kernel
+	// would take).
+	vm.route(f, ip)
+}
+
+func (vm *VM) deliverOSPF(ifc *vmIface, ip *pkt.IPv4) {
+	name := ifc.name
+	// Find the attached OSPF interface through the router.
+	ospfIfc := vm.router.OSPFInterface(name)
+	if ospfIfc != nil {
+		ospfIfc.Deliver(ip.Src, ip.Payload)
+	}
+}
+
+func (vm *VM) answerEcho(ifc *vmIface, f *pkt.Frame, ip *pkt.IPv4) {
+	m, err := pkt.DecodeICMP(ip.Payload)
+	if err != nil || m.Type != pkt.ICMPEchoRequest {
+		return
+	}
+	vm.mu.Lock()
+	mac := ifc.mac
+	src := ifc.addr.Addr()
+	vm.ipID++
+	id := vm.ipID
+	vm.mu.Unlock()
+	out := &pkt.IPv4{ID: id, TTL: 64, Proto: pkt.ProtoICMP, Src: src, Dst: ip.Src,
+		Payload: m.EchoReply().Marshal()}
+	frame := &pkt.Frame{Dst: f.Src, Src: mac, Type: pkt.EtherTypeIPv4,
+		Payload: out.Marshal()}
+	vm.transmit(ifc.port, frame.Marshal())
+}
+
+// route performs slow-path IP forwarding using the VM's RIB.
+func (vm *VM) route(f *pkt.Frame, ip *pkt.IPv4) {
+	if ip.TTL <= 1 {
+		return // expired; a full router would send ICMP time-exceeded
+	}
+	rt, ok := vm.RIB().Lookup(ip.Dst)
+	if !ok {
+		return
+	}
+	egress, ok := vm.ifaceByName(rt.Iface)
+	if !ok {
+		return
+	}
+	// Rebuild the packet with decremented TTL (checksum recomputed).
+	ip.TTL--
+	newFrame := &pkt.Frame{Src: egress.mac, Type: pkt.EtherTypeIPv4, Payload: ip.Marshal()}
+
+	hop := ip.Dst
+	if rt.NextHop.IsValid() {
+		hop = rt.NextHop
+	}
+	vm.mu.Lock()
+	mac, resolved := egress.arp[hop]
+	if !resolved {
+		q := egress.pending[hop]
+		if len(q) < maxPendingPerHop {
+			egress.pending[hop] = append(q, newFrame.Marshal())
+		}
+		srcAddr := egress.addr
+		srcMAC := egress.mac
+		vm.mu.Unlock()
+		if srcAddr.IsValid() {
+			req := pkt.NewARPRequest(srcMAC, srcAddr.Addr(), hop)
+			out := &pkt.Frame{Dst: pkt.BroadcastMAC, Src: srcMAC,
+				Type: pkt.EtherTypeARP, Payload: req.Marshal()}
+			vm.transmit(egress.port, out.Marshal())
+		}
+		return
+	}
+	vm.mu.Unlock()
+	newFrame.Dst = mac
+	vm.transmit(egress.port, newFrame.Marshal())
+}
+
+func (vm *VM) forwardResolved(ifc *vmIface, frame []byte, mac pkt.MAC) {
+	f, err := pkt.DecodeFrame(frame)
+	if err != nil {
+		return
+	}
+	f.Dst = mac
+	vm.transmit(ifc.port, f.Marshal())
+}
+
+func (vm *VM) ifaceByName(name string) (*vmIface, bool) {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	for _, ifc := range vm.ifaces {
+		if ifc.name == name {
+			return ifc, true
+		}
+	}
+	return nil, false
+}
+
+// NextHopMAC computes the deterministic MAC of a peer VM interface — the
+// RF-server uses this when translating routes whose next hop is another
+// VM's interface address.
+func NextHopMAC(dpid uint64, port uint16) pkt.MAC { return MAC(dpid, port) }

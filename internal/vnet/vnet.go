@@ -1,0 +1,386 @@
+// Package vnet is the virtual environment of the RF-controller: the virtual
+// machines that mirror the physical switches (Fig. 1 of the paper, VM-A …
+// VM-D). Each VM models what an LXC container running Quagga provides in
+// RouteFlow — a boot delay, one network interface per switch port, an IP
+// stack that answers ARP and ICMP, slow-path IP forwarding out of the VM's
+// RIB, and the routing control platform itself (package quagga: zebra +
+// ospfd built from generated configuration files).
+//
+// A VM is transport-agnostic: the RouteFlow proxy injects frames punted
+// from the physical switch with Inject and receives the VM's own frames via
+// the OnTransmit hook, exactly mirroring the rf-proxy data path.
+package vnet
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+	"time"
+
+	"routeflow/internal/clock"
+	"routeflow/internal/pkt"
+	"routeflow/internal/quagga"
+	"routeflow/internal/rib"
+)
+
+// State is the VM lifecycle state; the paper's GUI shows a switch red until
+// its VM exists and is configured, then green.
+type State int
+
+// VM states.
+const (
+	StateBooting State = iota
+	StateUp
+	StateDestroyed
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case StateBooting:
+		return "booting"
+	case StateUp:
+		return "up"
+	case StateDestroyed:
+		return "destroyed"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// MAC returns the deterministic MAC of a VM interface; the high bit of the
+// 40-bit local identifier separates the VM MAC space from emulated physical
+// ports.
+func MAC(dpid uint64, port uint16) pkt.MAC {
+	return pkt.LocalMAC(1<<39 | (dpid&0xffffff)<<16 | uint64(port))
+}
+
+// IfaceName returns the conventional interface name for a switch port.
+func IfaceName(port uint16) string { return fmt.Sprintf("eth%d", port) }
+
+// Config configures a VM.
+type Config struct {
+	DPID     uint64
+	Ports    int
+	RouterID netip.Addr
+	Clock    clock.Clock
+	// BootDelay models VM creation/boot (LXC clone + daemon start). The
+	// paper's automatic path pays seconds here instead of the manual path's
+	// minutes.
+	BootDelay time.Duration
+	// Timers are passed to the routing daemons.
+	Timers quagga.Timers
+}
+
+// HostLearned reports a (IP, MAC) binding learned by the VM's ARP on a
+// connected subnet — the trigger for the RF-server's host (/32) flows.
+type HostLearned struct {
+	Port uint16
+	IP   netip.Addr
+	MAC  pkt.MAC
+}
+
+// VM is one virtual machine.
+type VM struct {
+	dpid  uint64
+	name  string
+	clk   clock.Clock
+	ports int
+
+	mu         sync.Mutex
+	state      State
+	router     *quagga.Router
+	ifaces     map[uint16]*vmIface
+	pendingOps []func() // configuration arriving while booting
+	bootTimer  clock.Timer
+
+	onTransmit func(port uint16, frame []byte)
+	onFIB      func(rib.Event)
+	onHost     func(HostLearned)
+	onReady    func()
+
+	ipID uint16
+}
+
+type vmIface struct {
+	port uint16
+	name string
+	mac  pkt.MAC
+	addr netip.Prefix // zero until configured
+
+	arp     map[netip.Addr]pkt.MAC
+	pending map[netip.Addr][][]byte // frames awaiting ARP, keyed by next hop
+}
+
+// New creates a VM; it transitions to StateUp after BootDelay.
+func New(cfg Config) (*VM, error) {
+	if cfg.Ports <= 0 {
+		return nil, fmt.Errorf("vnet: VM for %016x needs at least one port", cfg.DPID)
+	}
+	if !cfg.RouterID.Is4() {
+		return nil, fmt.Errorf("vnet: VM for %016x needs an IPv4 router ID", cfg.DPID)
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.System()
+	}
+	name := fmt.Sprintf("vm-%016x", cfg.DPID)
+	router, err := quagga.NewRouter(&quagga.Config{
+		Hostname: name,
+		RouterID: cfg.RouterID,
+	}, cfg.Clock, cfg.Timers)
+	if err != nil {
+		return nil, err
+	}
+	vm := &VM{
+		dpid:   cfg.DPID,
+		name:   name,
+		clk:    cfg.Clock,
+		ports:  cfg.Ports,
+		state:  StateBooting,
+		router: router,
+		ifaces: make(map[uint16]*vmIface),
+	}
+	for p := 1; p <= cfg.Ports; p++ {
+		port := uint16(p)
+		vm.ifaces[port] = &vmIface{
+			port: port, name: IfaceName(port), mac: MAC(cfg.DPID, port),
+			arp:     make(map[netip.Addr]pkt.MAC),
+			pending: make(map[netip.Addr][][]byte),
+		}
+	}
+	vm.bootTimer = cfg.Clock.NewTimer(cfg.BootDelay)
+	go vm.bootWait()
+	return vm, nil
+}
+
+func (vm *VM) bootWait() {
+	<-vm.bootTimer.C()
+	vm.mu.Lock()
+	if vm.state != StateBooting {
+		vm.mu.Unlock()
+		return
+	}
+	vm.state = StateUp
+	ops := vm.pendingOps
+	vm.pendingOps = nil
+	ready := vm.onReady
+	vm.mu.Unlock()
+	vm.router.Start()
+	for _, op := range ops {
+		op()
+	}
+	if ready != nil {
+		ready()
+	}
+}
+
+// DPID returns the mirrored switch's datapath ID.
+func (vm *VM) DPID() uint64 { return vm.dpid }
+
+// Name returns the VM name.
+func (vm *VM) Name() string { return vm.name }
+
+// State returns the lifecycle state.
+func (vm *VM) State() State {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	return vm.state
+}
+
+// Ports returns the number of interfaces.
+func (vm *VM) Ports() int { return vm.ports }
+
+// Router exposes the VM's routing control platform.
+func (vm *VM) Router() *quagga.Router { return vm.router }
+
+// RIB exposes the VM's routing table.
+func (vm *VM) RIB() *rib.RIB { return vm.router.RIB() }
+
+// OnTransmit installs the frame sink (the rf-proxy's packet-out path).
+func (vm *VM) OnTransmit(f func(port uint16, frame []byte)) {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	vm.onTransmit = f
+}
+
+// OnFIB installs the FIB-change hook (the rf-server's flow translation).
+func (vm *VM) OnFIB(f func(rib.Event)) {
+	vm.router.RIB().Watch(func(ev rib.Event) { f(ev) })
+}
+
+// OnHostLearned installs the host-binding hook.
+func (vm *VM) OnHostLearned(f func(HostLearned)) {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	vm.onHost = f
+}
+
+// OnReady installs a callback fired when the VM finishes booting.
+func (vm *VM) OnReady(f func()) {
+	vm.mu.Lock()
+	if vm.state == StateUp {
+		vm.mu.Unlock()
+		f()
+		return
+	}
+	vm.onReady = f
+	vm.mu.Unlock()
+}
+
+// Destroy tears the VM down.
+func (vm *VM) Destroy() {
+	vm.mu.Lock()
+	if vm.state == StateDestroyed {
+		vm.mu.Unlock()
+		return
+	}
+	prev := vm.state
+	vm.state = StateDestroyed
+	vm.bootTimer.Stop()
+	vm.mu.Unlock()
+	if prev == StateUp {
+		vm.router.Stop()
+	}
+}
+
+// ConfigureInterface assigns an address to the interface mirroring a switch
+// port and enables OSPF on it (the link-up half of the RPC server's work).
+// Calls while booting are queued and applied when the VM comes up.
+func (vm *VM) ConfigureInterface(port uint16, addr netip.Prefix, cost uint16, ospfNetwork netip.Prefix) error {
+	vm.mu.Lock()
+	ifc, ok := vm.ifaces[port]
+	if !ok {
+		vm.mu.Unlock()
+		return fmt.Errorf("vnet: %s has no port %d", vm.name, port)
+	}
+	if ifc.addr.IsValid() {
+		vm.mu.Unlock()
+		return fmt.Errorf("vnet: %s %s already addressed", vm.name, ifc.name)
+	}
+	ifc.addr = addr
+	if vm.state == StateBooting {
+		vm.pendingOps = append(vm.pendingOps, func() {
+			vm.applyInterface(ifc, addr, cost, ospfNetwork)
+		})
+		vm.mu.Unlock()
+		return nil
+	}
+	if vm.state != StateUp {
+		vm.mu.Unlock()
+		return fmt.Errorf("vnet: %s is %v", vm.name, vm.state)
+	}
+	vm.mu.Unlock()
+	vm.applyInterface(ifc, addr, cost, ospfNetwork)
+	return nil
+}
+
+func (vm *VM) applyInterface(ifc *vmIface, addr netip.Prefix, cost uint16, ospfNetwork netip.Prefix) {
+	vm.router.AddNetwork(ospfNetwork)
+	if err := vm.router.AddInterfaceConfig(quagga.InterfaceConfig{
+		Name: ifc.name, Address: addr, Cost: cost,
+	}); err != nil {
+		return
+	}
+	port := ifc.port
+	_, _ = vm.router.Attach(ifc.name, func(dst netip.Addr, payload []byte) {
+		vm.sendOSPF(port, dst, payload)
+	})
+}
+
+// DeconfigureInterface reverses ConfigureInterface (link-down).
+func (vm *VM) DeconfigureInterface(port uint16) {
+	vm.mu.Lock()
+	ifc, ok := vm.ifaces[port]
+	if !ok || !ifc.addr.IsValid() {
+		vm.mu.Unlock()
+		return
+	}
+	name := ifc.name
+	ifc.addr = netip.Prefix{}
+	ifc.arp = make(map[netip.Addr]pkt.MAC)
+	ifc.pending = make(map[netip.Addr][][]byte)
+	vm.mu.Unlock()
+	vm.router.Detach(name)
+}
+
+// InterfaceAddr returns the address assigned to a port's interface.
+func (vm *VM) InterfaceAddr(port uint16) (netip.Prefix, bool) {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	ifc, ok := vm.ifaces[port]
+	if !ok || !ifc.addr.IsValid() {
+		return netip.Prefix{}, false
+	}
+	return ifc.addr, true
+}
+
+// InterfaceMAC returns the MAC of a port's interface.
+func (vm *VM) InterfaceMAC(port uint16) (pkt.MAC, bool) {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	ifc, ok := vm.ifaces[port]
+	if !ok {
+		return pkt.MAC{}, false
+	}
+	return ifc.mac, true
+}
+
+// ConfiguredPorts lists ports with addressed interfaces.
+func (vm *VM) ConfiguredPorts() []uint16 {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	var out []uint16
+	for p, ifc := range vm.ifaces {
+		if ifc.addr.IsValid() {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// LookupARP consults the interface ARP cache.
+func (vm *VM) LookupARP(port uint16, ip netip.Addr) (pkt.MAC, bool) {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	ifc, ok := vm.ifaces[port]
+	if !ok {
+		return pkt.MAC{}, false
+	}
+	mac, ok := ifc.arp[ip]
+	return mac, ok
+}
+
+// transmit hands a frame to the rf-proxy.
+func (vm *VM) transmit(port uint16, frame []byte) {
+	vm.mu.Lock()
+	f := vm.onTransmit
+	vm.mu.Unlock()
+	if f != nil {
+		f(port, frame)
+	}
+}
+
+// sendOSPF wraps an OSPF payload in IP and Ethernet. All OSPF traffic uses
+// the AllSPFRouters multicast MAC: the links are point-to-point, so the
+// single peer receives it either way.
+func (vm *VM) sendOSPF(port uint16, dst netip.Addr, payload []byte) {
+	vm.mu.Lock()
+	ifc, ok := vm.ifaces[port]
+	if !ok || !ifc.addr.IsValid() || vm.state != StateUp {
+		vm.mu.Unlock()
+		return
+	}
+	src := ifc.addr.Addr()
+	mac := ifc.mac
+	vm.ipID++
+	id := vm.ipID
+	vm.mu.Unlock()
+	ip := &pkt.IPv4{ID: id, TTL: 1, Proto: pkt.ProtoOSPF, Src: src, Dst: dst, Payload: payload}
+	frame := &pkt.Frame{
+		Dst:     pkt.MAC{0x01, 0x00, 0x5e, 0x00, 0x00, 0x05}, // 224.0.0.5
+		Src:     mac,
+		Type:    pkt.EtherTypeIPv4,
+		Payload: ip.Marshal(),
+	}
+	vm.transmit(port, frame.Marshal())
+}

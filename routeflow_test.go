@@ -1,0 +1,82 @@
+package routeflow
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fastExperiment compresses time hard so facade tests stay quick.
+func fastExperiment() ExperimentConfig {
+	return ExperimentConfig{TimeScale: 400}
+}
+
+func TestFacadeTopologies(t *testing.T) {
+	if Ring(8).NumNodes() != 8 || PanEuropean().NumNodes() != 28 {
+		t.Fatal("topology constructors broken")
+	}
+	if Line(3).NumLinks() != 2 || Star(4).NumLinks() != 3 || Grid(2, 2).NumLinks() != 4 {
+		t.Fatal("generators broken")
+	}
+	if !Random(10, 15, 1).Connected() {
+		t.Fatal("random disconnected")
+	}
+	if DPIDForNode(3) != 4 {
+		t.Fatal("dpid mapping")
+	}
+	if HostSubnet(1).String() != "10.2.0.0/24" {
+		t.Fatal("host subnet")
+	}
+}
+
+func TestManualModelFacade(t *testing.T) {
+	if DefaultManualModel().Total(28) != 7*time.Hour {
+		t.Fatal("manual model")
+	}
+}
+
+func TestRunFig3PointShape(t *testing.T) {
+	row, err := RunFig3Point(4, fastExperiment())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Switches != 4 {
+		t.Fatalf("row = %+v", row)
+	}
+	if row.Auto <= 0 || row.AutoRouted < row.Auto {
+		t.Fatalf("auto times inconsistent: %+v", row)
+	}
+	if row.Manual != 4*15*time.Minute {
+		t.Fatalf("manual = %v", row.Manual)
+	}
+	// The paper's central claim: automatic is dramatically faster.
+	if row.AutoRouted >= row.Manual {
+		t.Fatalf("automatic (%v) not faster than manual (%v)", row.AutoRouted, row.Manual)
+	}
+}
+
+func TestPrintFig3(t *testing.T) {
+	var buf bytes.Buffer
+	PrintFig3(&buf, []Fig3Row{{Switches: 4, Auto: 3 * time.Second,
+		AutoRouted: 20 * time.Second, Manual: time.Hour}})
+	out := buf.String()
+	if !strings.Contains(out, "switches") || !strings.Contains(out, "180x") {
+		t.Fatalf("fig3 output:\n%s", out)
+	}
+}
+
+func TestDashboardFacade(t *testing.T) {
+	dash := NewDashboard(Ring(3))
+	if dash.GreenCount() != 0 || len(dash.Statuses()) != 3 {
+		t.Fatal("dashboard facade broken")
+	}
+}
+
+func TestExperimentConfigDefaults(t *testing.T) {
+	c := ExperimentConfig{}.withDefaults()
+	if c.TimeScale != 50 || c.BootDelay != 2*time.Second ||
+		c.Timers.Hello != 10*time.Second || c.ProbeInterval != time.Second {
+		t.Fatalf("defaults = %+v", c)
+	}
+}
