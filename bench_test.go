@@ -19,6 +19,7 @@ package routeflow
 
 import (
 	"fmt"
+	"io"
 	"net/netip"
 	"testing"
 	"time"
@@ -129,7 +130,22 @@ func benchFlowMod() *openflow.FlowMod {
 	}
 }
 
+// BenchmarkOpenFlowMarshalFlowMod measures the control channel's hot encode
+// path: AppendTo into a reused buffer, as the batched write loops do. Zero
+// allocs/op is the contract (see TestAppendToFlowModAllocBudget).
 func BenchmarkOpenFlowMarshalFlowMod(b *testing.B) {
+	fm := benchFlowMod()
+	buf := fm.AppendTo(nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = fm.AppendTo(buf[:0])
+	}
+}
+
+// BenchmarkOpenFlowMarshalFlowModAlloc measures the allocating compatibility
+// wrapper (one fresh slice per message).
+func BenchmarkOpenFlowMarshalFlowModAlloc(b *testing.B) {
 	fm := benchFlowMod()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
@@ -145,6 +161,50 @@ func BenchmarkOpenFlowUnmarshalFlowMod(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkOpenFlowWriteBatch measures coalescing a 32-flow-mod burst into
+// one write, per message.
+func BenchmarkOpenFlowWriteBatch(b *testing.B) {
+	fm := benchFlowMod()
+	mw := openflow.NewMessageWriter(io.Discard)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 32; j++ {
+			mw.Append(fm)
+		}
+		if err := mw.Flush(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOpenFlowDecoder measures steady-state stream decode with the
+// per-connection scratch buffer.
+func BenchmarkOpenFlowDecoder(b *testing.B) {
+	wire := openflow.Marshal(benchFlowMod())
+	r := &repeatReader{frame: wire}
+	dec := openflow.NewDecoder(r)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dec.Decode(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// repeatReader serves the same frame forever.
+type repeatReader struct {
+	frame []byte
+	off   int
+}
+
+func (r *repeatReader) Read(p []byte) (int, error) {
+	n := copy(p, r.frame[r.off:])
+	r.off = (r.off + n) % len(r.frame)
+	return n, nil
 }
 
 func benchUDPFrame() []byte {

@@ -1,0 +1,3 @@
+module routeflow
+
+go 1.24

@@ -256,17 +256,13 @@ func (s *session) close() {
 	})
 }
 
+// writeLoop batches queued messages into single writes (see
+// openflow.PumpBatched). Forwarded messages the proxy does not model travel
+// as *Raw and re-encode byte for byte straight from their stored body, so
+// relaying costs no re-marshal.
 func (s *session) writeLoop(conn net.Conn, ch <-chan openflow.Message) {
-	for {
-		select {
-		case m := <-ch:
-			if err := openflow.WriteMessage(conn, m); err != nil {
-				s.close()
-				return
-			}
-		case <-s.closed:
-			return
-		}
+	if err := openflow.PumpBatched(conn, ch, s.closed); err != nil {
+		s.close()
 	}
 }
 
@@ -307,8 +303,9 @@ func (s *session) resolveXID(x uint32, keep bool) (pendEntry, bool) {
 
 func (s *session) controllerReadLoop(sc *sliceConn) {
 	slice := s.fv.slices[sc.idx]
+	dec := openflow.NewDecoder(sc.conn)
 	for {
-		m, err := openflow.ReadMessage(sc.conn)
+		m, err := dec.Decode()
 		if err != nil {
 			s.close()
 			return
@@ -342,8 +339,9 @@ func (s *session) controllerReadLoop(sc *sliceConn) {
 
 func (s *session) switchReadLoop() {
 	helloSent := make([]bool, len(s.ctls))
+	dec := openflow.NewDecoder(s.swConn)
 	for {
-		m, err := openflow.ReadMessage(s.swConn)
+		m, err := dec.Decode()
 		if err != nil {
 			return
 		}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"routeflow/internal/clock"
@@ -30,11 +31,13 @@ type Config struct {
 
 // Switch is a software OpenFlow 1.0 datapath.
 type Switch struct {
-	dpid        uint64
-	name        string
-	clk         clock.Clock
-	numBuffers  int
-	missSendLen uint16
+	dpid       uint64
+	name       string
+	clk        clock.Clock
+	numBuffers int
+	// missSendLen is atomic: the control loop rewrites it on SET_CONFIG
+	// while dataplane goroutines read it on every table-miss punt.
+	missSendLen atomic.Uint32
 
 	table *flowTable
 
@@ -88,17 +91,18 @@ func New(cfg Config) *Switch {
 	if cfg.Name == "" {
 		cfg.Name = fmt.Sprintf("sw-%x", cfg.DPID)
 	}
-	return &Switch{
-		dpid:        cfg.DPID,
-		name:        cfg.Name,
-		clk:         cfg.Clock,
-		numBuffers:  cfg.NumBuffers,
-		missSendLen: cfg.MissSendLen,
-		table:       &flowTable{},
-		ports:       make(map[uint16]*swPort),
-		buffers:     make(map[uint32]bufferedPacket),
-		stop:        make(chan struct{}),
+	s := &Switch{
+		dpid:       cfg.DPID,
+		name:       cfg.Name,
+		clk:        cfg.Clock,
+		numBuffers: cfg.NumBuffers,
+		table:      &flowTable{},
+		ports:      make(map[uint16]*swPort),
+		buffers:    make(map[uint32]bufferedPacket),
+		stop:       make(chan struct{}),
 	}
+	s.missSendLen.Store(uint32(cfg.MissSendLen))
+	return s
 }
 
 // DPID returns the datapath ID.
@@ -166,18 +170,12 @@ func (s *Switch) Start(conn io.ReadWriteCloser) error {
 	return nil
 }
 
+// writeLoop batches queued replies and packet-ins into single writes; a
+// burst of table-miss punts reaches the controller as one write instead of
+// one per packet.
 func (s *Switch) writeLoop(conn io.ReadWriteCloser) {
 	defer s.wg.Done()
-	for {
-		select {
-		case m := <-s.out:
-			if err := openflow.WriteMessage(conn, m); err != nil {
-				return
-			}
-		case <-s.stop:
-			return
-		}
-	}
+	_ = openflow.PumpBatched(conn, s.out, s.stop)
 }
 
 // Stop closes the controller connection and stops background work.
@@ -211,8 +209,9 @@ func (s *Switch) send(m openflow.Message) error {
 
 func (s *Switch) controlLoop(conn io.ReadWriteCloser) {
 	defer s.wg.Done()
+	dec := openflow.NewDecoder(conn)
 	for {
-		m, err := openflow.ReadMessage(conn)
+		m, err := dec.Decode()
 		if err != nil {
 			return
 		}
@@ -267,12 +266,12 @@ func (s *Switch) handleControl(m openflow.Message) {
 		rep.SetXID(msg.XID())
 		_ = s.send(rep)
 	case *openflow.GetConfigRequest:
-		rep := &openflow.GetConfigReply{MissSendLen: s.missSendLen}
+		rep := &openflow.GetConfigReply{MissSendLen: uint16(s.missSendLen.Load())}
 		rep.SetXID(msg.XID())
 		_ = s.send(rep)
 	case *openflow.SetConfig:
 		if msg.MissSendLen != 0 {
-			s.missSendLen = msg.MissSendLen
+			s.missSendLen.Store(uint32(msg.MissSendLen))
 		}
 	case *openflow.FlowMod:
 		s.handleFlowMod(msg)
@@ -494,8 +493,8 @@ func (s *Switch) punt(inPort uint16, frame []byte) {
 	s.bufMu.Unlock()
 
 	data := frame
-	if bufID != openflow.NoBuffer && len(data) > int(s.missSendLen) {
-		data = data[:s.missSendLen]
+	if msl := int(s.missSendLen.Load()); bufID != openflow.NoBuffer && len(data) > msl {
+		data = data[:msl]
 	}
 	_ = s.send(&openflow.PacketIn{
 		BufferID: bufID,

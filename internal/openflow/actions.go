@@ -1,6 +1,7 @@
 package openflow
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"routeflow/internal/pkt"
@@ -26,7 +27,13 @@ const (
 // Action is one entry of a flow-mod or packet-out action list.
 type Action interface {
 	ActionType() uint16
-	encode(w *wbuf)
+	appendTo(b []byte) []byte
+}
+
+// appendActionHeader appends the common ofp_action_header (type, length).
+func appendActionHeader(b []byte, t, length uint16) []byte {
+	b = binary.BigEndian.AppendUint16(b, t)
+	return binary.BigEndian.AppendUint16(b, length)
 }
 
 // ActionOutput forwards the packet to a port; for PortController, MaxLen
@@ -39,11 +46,10 @@ type ActionOutput struct {
 // ActionType implements Action.
 func (a *ActionOutput) ActionType() uint16 { return ActionTypeOutput }
 
-func (a *ActionOutput) encode(w *wbuf) {
-	w.u16(ActionTypeOutput)
-	w.u16(8)
-	w.u16(a.Port)
-	w.u16(a.MaxLen)
+func (a *ActionOutput) appendTo(b []byte) []byte {
+	b = appendActionHeader(b, ActionTypeOutput, 8)
+	b = binary.BigEndian.AppendUint16(b, a.Port)
+	return binary.BigEndian.AppendUint16(b, a.MaxLen)
 }
 
 // ActionSetVlanVid rewrites the VLAN ID (adding a tag if absent).
@@ -52,11 +58,10 @@ type ActionSetVlanVid struct{ VlanVid uint16 }
 // ActionType implements Action.
 func (a *ActionSetVlanVid) ActionType() uint16 { return ActionTypeSetVlanVid }
 
-func (a *ActionSetVlanVid) encode(w *wbuf) {
-	w.u16(ActionTypeSetVlanVid)
-	w.u16(8)
-	w.u16(a.VlanVid)
-	w.pad(2)
+func (a *ActionSetVlanVid) appendTo(b []byte) []byte {
+	b = appendActionHeader(b, ActionTypeSetVlanVid, 8)
+	b = binary.BigEndian.AppendUint16(b, a.VlanVid)
+	return append(b, 0, 0)
 }
 
 // ActionSetVlanPcp rewrites the VLAN priority.
@@ -65,11 +70,9 @@ type ActionSetVlanPcp struct{ Pcp uint8 }
 // ActionType implements Action.
 func (a *ActionSetVlanPcp) ActionType() uint16 { return ActionTypeSetVlanPcp }
 
-func (a *ActionSetVlanPcp) encode(w *wbuf) {
-	w.u16(ActionTypeSetVlanPcp)
-	w.u16(8)
-	w.u8(a.Pcp)
-	w.pad(3)
+func (a *ActionSetVlanPcp) appendTo(b []byte) []byte {
+	b = appendActionHeader(b, ActionTypeSetVlanPcp, 8)
+	return append(b, a.Pcp, 0, 0, 0)
 }
 
 // ActionStripVlan removes the 802.1Q tag.
@@ -78,10 +81,9 @@ type ActionStripVlan struct{}
 // ActionType implements Action.
 func (a *ActionStripVlan) ActionType() uint16 { return ActionTypeStripVlan }
 
-func (a *ActionStripVlan) encode(w *wbuf) {
-	w.u16(ActionTypeStripVlan)
-	w.u16(8)
-	w.pad(4)
+func (a *ActionStripVlan) appendTo(b []byte) []byte {
+	b = appendActionHeader(b, ActionTypeStripVlan, 8)
+	return append(b, 0, 0, 0, 0)
 }
 
 // ActionSetDlSrc rewrites the source MAC.
@@ -90,7 +92,9 @@ type ActionSetDlSrc struct{ Addr pkt.MAC }
 // ActionType implements Action.
 func (a *ActionSetDlSrc) ActionType() uint16 { return ActionTypeSetDlSrc }
 
-func (a *ActionSetDlSrc) encode(w *wbuf) { encodeDlAddr(w, ActionTypeSetDlSrc, a.Addr) }
+func (a *ActionSetDlSrc) appendTo(b []byte) []byte {
+	return appendDlAddr(b, ActionTypeSetDlSrc, a.Addr)
+}
 
 // ActionSetDlDst rewrites the destination MAC.
 type ActionSetDlDst struct{ Addr pkt.MAC }
@@ -98,13 +102,14 @@ type ActionSetDlDst struct{ Addr pkt.MAC }
 // ActionType implements Action.
 func (a *ActionSetDlDst) ActionType() uint16 { return ActionTypeSetDlDst }
 
-func (a *ActionSetDlDst) encode(w *wbuf) { encodeDlAddr(w, ActionTypeSetDlDst, a.Addr) }
+func (a *ActionSetDlDst) appendTo(b []byte) []byte {
+	return appendDlAddr(b, ActionTypeSetDlDst, a.Addr)
+}
 
-func encodeDlAddr(w *wbuf, t uint16, addr pkt.MAC) {
-	w.u16(t)
-	w.u16(16)
-	w.bytes(addr[:])
-	w.pad(6)
+func appendDlAddr(b []byte, t uint16, addr pkt.MAC) []byte {
+	b = appendActionHeader(b, t, 16)
+	b = append(b, addr[:]...)
+	return append(b, 0, 0, 0, 0, 0, 0)
 }
 
 // ActionSetNwSrc rewrites the IPv4 source address.
@@ -113,10 +118,9 @@ type ActionSetNwSrc struct{ Addr [4]byte }
 // ActionType implements Action.
 func (a *ActionSetNwSrc) ActionType() uint16 { return ActionTypeSetNwSrc }
 
-func (a *ActionSetNwSrc) encode(w *wbuf) {
-	w.u16(ActionTypeSetNwSrc)
-	w.u16(8)
-	w.bytes(a.Addr[:])
+func (a *ActionSetNwSrc) appendTo(b []byte) []byte {
+	b = appendActionHeader(b, ActionTypeSetNwSrc, 8)
+	return append(b, a.Addr[:]...)
 }
 
 // ActionSetNwDst rewrites the IPv4 destination address.
@@ -125,10 +129,9 @@ type ActionSetNwDst struct{ Addr [4]byte }
 // ActionType implements Action.
 func (a *ActionSetNwDst) ActionType() uint16 { return ActionTypeSetNwDst }
 
-func (a *ActionSetNwDst) encode(w *wbuf) {
-	w.u16(ActionTypeSetNwDst)
-	w.u16(8)
-	w.bytes(a.Addr[:])
+func (a *ActionSetNwDst) appendTo(b []byte) []byte {
+	b = appendActionHeader(b, ActionTypeSetNwDst, 8)
+	return append(b, a.Addr[:]...)
 }
 
 // ActionSetNwTos rewrites the IP TOS byte.
@@ -137,11 +140,9 @@ type ActionSetNwTos struct{ Tos uint8 }
 // ActionType implements Action.
 func (a *ActionSetNwTos) ActionType() uint16 { return ActionTypeSetNwTos }
 
-func (a *ActionSetNwTos) encode(w *wbuf) {
-	w.u16(ActionTypeSetNwTos)
-	w.u16(8)
-	w.u8(a.Tos)
-	w.pad(3)
+func (a *ActionSetNwTos) appendTo(b []byte) []byte {
+	b = appendActionHeader(b, ActionTypeSetNwTos, 8)
+	return append(b, a.Tos, 0, 0, 0)
 }
 
 // ActionSetTpSrc rewrites the transport source port.
@@ -150,11 +151,10 @@ type ActionSetTpSrc struct{ Port uint16 }
 // ActionType implements Action.
 func (a *ActionSetTpSrc) ActionType() uint16 { return ActionTypeSetTpSrc }
 
-func (a *ActionSetTpSrc) encode(w *wbuf) {
-	w.u16(ActionTypeSetTpSrc)
-	w.u16(8)
-	w.u16(a.Port)
-	w.pad(2)
+func (a *ActionSetTpSrc) appendTo(b []byte) []byte {
+	b = appendActionHeader(b, ActionTypeSetTpSrc, 8)
+	b = binary.BigEndian.AppendUint16(b, a.Port)
+	return append(b, 0, 0)
 }
 
 // ActionSetTpDst rewrites the transport destination port.
@@ -163,11 +163,10 @@ type ActionSetTpDst struct{ Port uint16 }
 // ActionType implements Action.
 func (a *ActionSetTpDst) ActionType() uint16 { return ActionTypeSetTpDst }
 
-func (a *ActionSetTpDst) encode(w *wbuf) {
-	w.u16(ActionTypeSetTpDst)
-	w.u16(8)
-	w.u16(a.Port)
-	w.pad(2)
+func (a *ActionSetTpDst) appendTo(b []byte) []byte {
+	b = appendActionHeader(b, ActionTypeSetTpDst, 8)
+	b = binary.BigEndian.AppendUint16(b, a.Port)
+	return append(b, 0, 0)
 }
 
 // ActionEnqueue forwards through a port queue.
@@ -179,12 +178,11 @@ type ActionEnqueue struct {
 // ActionType implements Action.
 func (a *ActionEnqueue) ActionType() uint16 { return ActionTypeEnqueue }
 
-func (a *ActionEnqueue) encode(w *wbuf) {
-	w.u16(ActionTypeEnqueue)
-	w.u16(16)
-	w.u16(a.Port)
-	w.pad(6)
-	w.u32(a.QueueID)
+func (a *ActionEnqueue) appendTo(b []byte) []byte {
+	b = appendActionHeader(b, ActionTypeEnqueue, 16)
+	b = binary.BigEndian.AppendUint16(b, a.Port)
+	b = append(b, 0, 0, 0, 0, 0, 0)
+	return binary.BigEndian.AppendUint32(b, a.QueueID)
 }
 
 // ActionVendor is an opaque vendor action.
@@ -196,29 +194,29 @@ type ActionVendor struct {
 // ActionType implements Action.
 func (a *ActionVendor) ActionType() uint16 { return ActionTypeVendor }
 
-func (a *ActionVendor) encode(w *wbuf) {
+func (a *ActionVendor) appendTo(b []byte) []byte {
 	n := 8 + len(a.Data)
-	if pad := (8 - n%8) % 8; pad != 0 {
-		n += pad
+	if p := (8 - n%8) % 8; p != 0 {
+		n += p
 	}
-	w.u16(ActionTypeVendor)
-	w.u16(uint16(n))
-	w.u32(a.Vendor)
-	w.bytes(a.Data)
-	w.pad(n - 8 - len(a.Data))
+	b = appendActionHeader(b, ActionTypeVendor, uint16(n))
+	b = binary.BigEndian.AppendUint32(b, a.Vendor)
+	b = append(b, a.Data...)
+	return pad(b, n-8-len(a.Data))
 }
 
-func encodeActions(w *wbuf, actions []Action) {
+func appendActions(b []byte, actions []Action) []byte {
 	for _, a := range actions {
-		a.encode(w)
+		b = a.appendTo(b)
 	}
+	return b
 }
 
 func decodeActions(r *rbuf, length int) ([]Action, error) {
 	if length < 0 || length > r.remaining() {
 		return nil, fmt.Errorf("action list length %d of %d", length, r.remaining())
 	}
-	sub := &rbuf{b: r.take(length)}
+	sub := rbuf{b: r.take(length)}
 	var out []Action
 	for sub.remaining() > 0 {
 		if sub.remaining() < 4 {
@@ -229,11 +227,11 @@ func decodeActions(r *rbuf, length int) ([]Action, error) {
 		if alen < 8 || alen%8 != 0 {
 			return nil, fmt.Errorf("action type %d has invalid length %d", t, alen)
 		}
-		body := &rbuf{b: sub.take(alen - 4)}
+		body := rbuf{b: sub.take(alen - 4)}
 		if sub.err != nil {
 			return nil, sub.err
 		}
-		a, err := decodeOneAction(t, body)
+		a, err := decodeOneAction(t, &body)
 		if err != nil {
 			return nil, err
 		}

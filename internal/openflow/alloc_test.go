@@ -1,0 +1,95 @@
+package openflow
+
+import (
+	"net/netip"
+	"testing"
+
+	"routeflow/internal/pkt"
+)
+
+// Allocation budgets for the two hottest codec operations. These are CI
+// gates, not benchmarks: a regression that re-introduces per-message garbage
+// fails the test suite instead of only drifting a benchmark number.
+
+func allocBudgetFlowMod() *FlowMod {
+	m := MatchAll()
+	m.Wildcards &^= WildcardDlType
+	m.DlType = 0x0800
+	m.SetNwDstPrefix(netip.MustParsePrefix("10.1.2.0/24"))
+	return &FlowMod{
+		Match: m, Command: FlowModAdd, Priority: 124,
+		BufferID: NoBuffer, OutPort: PortNone,
+		Actions: []Action{
+			&ActionSetDlSrc{Addr: pkt.LocalMAC(1)},
+			&ActionSetDlDst{Addr: pkt.LocalMAC(2)},
+			&ActionOutput{Port: 3},
+		},
+	}
+}
+
+// TestAppendToFlowModAllocBudget: encoding a representative flow-mod into a
+// reused buffer — the batched write path — must stay at <=1 alloc/op (it is
+// 0 once the buffer has grown).
+func TestAppendToFlowModAllocBudget(t *testing.T) {
+	fm := allocBudgetFlowMod()
+	buf := fm.AppendTo(nil) // warm the buffer to working-set capacity
+	if got := testing.AllocsPerRun(200, func() {
+		buf = fm.AppendTo(buf[:0])
+	}); got > 1 {
+		t.Fatalf("AppendTo(FlowMod) = %.1f allocs/op, budget 1", got)
+	}
+}
+
+// TestMarshalFlowModAllocBudget: the compatibility wrapper may allocate the
+// result slice — and nothing else.
+func TestMarshalFlowModAllocBudget(t *testing.T) {
+	fm := allocBudgetFlowMod()
+	if got := testing.AllocsPerRun(200, func() {
+		_ = Marshal(fm)
+	}); got > 1 {
+		t.Fatalf("Marshal(FlowMod) = %.1f allocs/op, budget 1", got)
+	}
+}
+
+// TestExtractKeyAllocBudget: dataplane classification of a UDP frame must
+// stay at <=1 alloc/op (it is 0: all packet layers decode into stack
+// values).
+func TestExtractKeyAllocBudget(t *testing.T) {
+	src, dst := netip.MustParseAddr("10.0.0.1"), netip.MustParseAddr("10.9.0.100")
+	u := &pkt.UDP{SrcPort: 5004, DstPort: 5004, Payload: make([]byte, 1200)}
+	ip := &pkt.IPv4{TTL: 64, Proto: pkt.ProtoUDP, Src: src, Dst: dst,
+		Payload: u.Marshal(src, dst)}
+	f := &pkt.Frame{Dst: pkt.LocalMAC(2), Src: pkt.LocalMAC(1),
+		Type: pkt.EtherTypeIPv4, Payload: ip.Marshal()}
+	frame := f.Marshal()
+
+	if got := testing.AllocsPerRun(200, func() {
+		if _, err := ExtractKey(1, frame); err != nil {
+			t.Fatal(err)
+		}
+	}); got > 1 {
+		t.Fatalf("ExtractKey = %.1f allocs/op, budget 1", got)
+	}
+}
+
+// TestMessageWriterSteadyStateAllocBudget: appending a burst to a warmed
+// MessageWriter must not allocate per message.
+func TestMessageWriterSteadyStateAllocBudget(t *testing.T) {
+	fm := allocBudgetFlowMod()
+	w := &countingWriter{}
+	mw := NewMessageWriter(w)
+	for i := 0; i < 64; i++ { // grow the batch buffer to working-set size
+		mw.Append(fm)
+	}
+	if err := mw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			mw.Append(fm)
+		}
+		mw.buf = mw.buf[:0] // discard instead of flushing; countingWriter would grow
+	}); got > 1 {
+		t.Fatalf("MessageWriter burst = %.1f allocs/op, budget 1", got)
+	}
+}

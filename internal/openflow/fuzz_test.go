@@ -1,0 +1,75 @@
+package openflow
+
+import (
+	"bytes"
+	"testing"
+
+	"routeflow/internal/pkt"
+)
+
+// FuzzUnmarshal throws arbitrary bytes at the decoder. The invariants:
+// Unmarshal never panics; when it accepts a frame, re-encoding the decoded
+// message and decoding that again must succeed and agree on type and XID
+// (a full fixed point is not required — e.g. vendor action padding is
+// canonicalized — but the canonical form must be stable).
+func FuzzUnmarshal(f *testing.F) {
+	// Seed corpus: one well-formed frame of every modeled message plus the
+	// malformed shapes the table tests cover.
+	seeds := []Message{
+		&Hello{},
+		&ErrorMsg{ErrType: ErrTypeBadRequest, Code: ErrCodeBadRequestEperm, Data: []byte{1, 2}},
+		&EchoRequest{Data: []byte("probe")},
+		&EchoReply{Data: []byte("probe")},
+		&Vendor{VendorID: 0x2320, Data: []byte("nicira")},
+		&FeaturesRequest{},
+		&FeaturesReply{DatapathID: 0xbeef, NBuffers: 256, NTables: 1,
+			Ports: []PhyPort{{PortNo: 1, HWAddr: pkt.LocalMAC(1), Name: "eth1"}}},
+		&GetConfigRequest{},
+		&GetConfigReply{MissSendLen: 128},
+		&SetConfig{MissSendLen: 0xffff},
+		&PacketIn{BufferID: NoBuffer, TotalLen: 64, InPort: 3, Data: []byte("frame")},
+		&PacketOut{BufferID: NoBuffer, InPort: PortNone,
+			Actions: []Action{&ActionOutput{Port: 2}}, Data: []byte("payload")},
+		&FlowRemoved{Match: MatchAll(), Cookie: 9, PacketCount: 1},
+		&PortStatus{Reason: PortReasonModify, Desc: PhyPort{PortNo: 7, Name: "p7"}},
+		&FlowMod{Match: MatchAll(), Command: FlowModAdd, BufferID: NoBuffer,
+			OutPort: PortNone, Actions: []Action{
+				&ActionSetDlSrc{Addr: pkt.LocalMAC(1)},
+				&ActionOutput{Port: 4},
+			}},
+		&StatsRequest{StatsType: StatsFlow,
+			Flow: &FlowStatsRequest{Match: MatchAll(), TableID: 0xff, OutPort: PortNone}},
+		&StatsReply{StatsType: StatsDesc, Desc: &DescStats{Manufacturer: "routeflow"}},
+		&BarrierRequest{},
+		&BarrierReply{},
+		&Raw{T: TypeQueueGetConfigReq, Body: []byte{0, 5, 0, 0}},
+	}
+	for i, m := range seeds {
+		m.SetXID(uint32(i + 1))
+		f.Add(Marshal(m))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{Version, 0, 0, 4})                           // length below header
+	f.Add(frame(Version, TypeFlowMod, 200, 1, nil))           // length beyond buffer
+	f.Add(validFrame(TypeFlowMod, 1, make([]byte, 45)))       // truncated flow-mod
+	f.Add(validFrame(TypeFeaturesReply, 1, make([]byte, 25))) // trailing port bytes
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Unmarshal(data)
+		if err != nil {
+			return // rejected is fine; panicking is the bug
+		}
+		wire := Marshal(m)
+		m2, err := Unmarshal(wire)
+		if err != nil {
+			t.Fatalf("re-decode of canonical form failed: %v\nwire: %x", err, wire)
+		}
+		if m2.MsgType() != m.MsgType() || m2.XID() != m.XID() {
+			t.Fatalf("type/xid changed across round trip: %v/%d vs %v/%d",
+				m.MsgType(), m.XID(), m2.MsgType(), m2.XID())
+		}
+		if !bytes.Equal(Marshal(m2), wire) {
+			t.Fatalf("canonical form is not stable:\n first %x\nsecond %x", wire, Marshal(m2))
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package openflow
 
 import (
+	"encoding/binary"
 	"fmt"
 	"net/netip"
 	"strings"
@@ -144,12 +145,13 @@ func (m *Match) Covers(k *Match) bool {
 
 // ExtractKey classifies an Ethernet frame received on inPort into an exact
 // match key, following OpenFlow 1.0 header-parsing rules (fields beyond the
-// parsed protocol stay zero).
+// parsed protocol stay zero). It runs on the dataplane's per-packet path and
+// does not allocate.
 func ExtractKey(inPort uint16, frame []byte) (Match, error) {
 	var k Match
 	k.InPort = inPort
-	f, err := pkt.DecodeFrame(frame)
-	if err != nil {
+	var f pkt.Frame
+	if err := pkt.DecodeFrameInto(&f, frame); err != nil {
 		return k, err
 	}
 	k.DlSrc, k.DlDst = f.Src, f.Dst
@@ -161,8 +163,8 @@ func ExtractKey(inPort uint16, frame []byte) (Match, error) {
 	}
 	switch f.Type {
 	case pkt.EtherTypeIPv4:
-		ip, err := pkt.DecodeIPv4(f.Payload)
-		if err != nil {
+		var ip pkt.IPv4
+		if err := pkt.DecodeIPv4Into(&ip, f.Payload); err != nil {
 			return k, nil // not further classifiable; L2 fields still valid
 		}
 		k.NwTos = ip.TOS
@@ -171,16 +173,19 @@ func ExtractKey(inPort uint16, frame []byte) (Match, error) {
 		k.NwDst = ip.Dst.As4()
 		switch ip.Proto {
 		case pkt.ProtoUDP:
-			if u, err := pkt.DecodeUDP(ip.Payload, ip.Src, ip.Dst); err == nil {
+			var u pkt.UDP
+			if err := pkt.DecodeUDPInto(&u, ip.Payload, ip.Src, ip.Dst); err == nil {
 				k.TpSrc, k.TpDst = u.SrcPort, u.DstPort
 			}
 		case pkt.ProtoICMP:
-			if m, err := pkt.DecodeICMP(ip.Payload); err == nil {
+			var m pkt.ICMP
+			if err := pkt.DecodeICMPInto(&m, ip.Payload); err == nil {
 				k.TpSrc, k.TpDst = uint16(m.Type), uint16(m.Code)
 			}
 		}
 	case pkt.EtherTypeARP:
-		if a, err := pkt.DecodeARP(f.Payload); err == nil {
+		var a pkt.ARP
+		if err := pkt.DecodeARPInto(&a, f.Payload); err == nil {
 			k.NwProto = uint8(a.Op) // OF1.0 carries the ARP opcode in nw_proto
 			k.NwSrc = a.SenderIP.As4()
 			k.NwDst = a.TargetIP.As4()
@@ -189,22 +194,20 @@ func ExtractKey(inPort uint16, frame []byte) (Match, error) {
 	return k, nil
 }
 
-func (m *Match) encode(w *wbuf) {
-	w.u32(m.Wildcards)
-	w.u16(m.InPort)
-	w.bytes(m.DlSrc[:])
-	w.bytes(m.DlDst[:])
-	w.u16(m.DlVlan)
-	w.u8(m.DlVlanPcp)
-	w.pad(1)
-	w.u16(m.DlType)
-	w.u8(m.NwTos)
-	w.u8(m.NwProto)
-	w.pad(2)
-	w.bytes(m.NwSrc[:])
-	w.bytes(m.NwDst[:])
-	w.u16(m.TpSrc)
-	w.u16(m.TpDst)
+func (m *Match) appendTo(b []byte) []byte {
+	b = binary.BigEndian.AppendUint32(b, m.Wildcards)
+	b = binary.BigEndian.AppendUint16(b, m.InPort)
+	b = append(b, m.DlSrc[:]...)
+	b = append(b, m.DlDst[:]...)
+	b = binary.BigEndian.AppendUint16(b, m.DlVlan)
+	b = append(b, m.DlVlanPcp, 0)
+	b = binary.BigEndian.AppendUint16(b, m.DlType)
+	b = append(b, m.NwTos, m.NwProto, 0, 0)
+	b = append(b, m.NwSrc[:]...)
+	b = append(b, m.NwDst[:]...)
+	b = binary.BigEndian.AppendUint16(b, m.TpSrc)
+	b = binary.BigEndian.AppendUint16(b, m.TpDst)
+	return b
 }
 
 func (m *Match) decode(r *rbuf) {

@@ -1,6 +1,7 @@
 package openflow
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"routeflow/internal/pkt"
@@ -10,9 +11,12 @@ import (
 type Hello struct{ MsgXID }
 
 // MsgType implements Message.
-func (*Hello) MsgType() Type            { return TypeHello }
-func (*Hello) encodeBody(*wbuf)         {}
-func (*Hello) decodeBody(r *rbuf) error { r.rest(); return nil }
+func (*Hello) MsgType() Type { return TypeHello }
+
+// AppendTo implements Message.
+func (m *Hello) AppendTo(b []byte) []byte { return appendMessage(b, m) }
+func (*Hello) appendBody(b []byte) []byte { return b }
+func (*Hello) decodeBody(r *rbuf) error   { r.rest(); return nil }
 
 // Error type codes (ofp_error_type).
 const (
@@ -48,10 +52,13 @@ type ErrorMsg struct {
 // MsgType implements Message.
 func (*ErrorMsg) MsgType() Type { return TypeError }
 
-func (m *ErrorMsg) encodeBody(w *wbuf) {
-	w.u16(m.ErrType)
-	w.u16(m.Code)
-	w.bytes(m.Data)
+// AppendTo implements Message.
+func (m *ErrorMsg) AppendTo(b []byte) []byte { return appendMessage(b, m) }
+
+func (m *ErrorMsg) appendBody(b []byte) []byte {
+	b = binary.BigEndian.AppendUint16(b, m.ErrType)
+	b = binary.BigEndian.AppendUint16(b, m.Code)
+	return append(b, m.Data...)
 }
 
 func (m *ErrorMsg) decodeBody(r *rbuf) error {
@@ -75,7 +82,9 @@ type EchoRequest struct {
 // MsgType implements Message.
 func (*EchoRequest) MsgType() Type { return TypeEchoRequest }
 
-func (m *EchoRequest) encodeBody(w *wbuf) { w.bytes(m.Data) }
+// AppendTo implements Message.
+func (m *EchoRequest) AppendTo(b []byte) []byte   { return appendMessage(b, m) }
+func (m *EchoRequest) appendBody(b []byte) []byte { return append(b, m.Data...) }
 func (m *EchoRequest) decodeBody(r *rbuf) error {
 	m.Data = append([]byte(nil), r.rest()...)
 	return nil
@@ -90,7 +99,9 @@ type EchoReply struct {
 // MsgType implements Message.
 func (*EchoReply) MsgType() Type { return TypeEchoReply }
 
-func (m *EchoReply) encodeBody(w *wbuf) { w.bytes(m.Data) }
+// AppendTo implements Message.
+func (m *EchoReply) AppendTo(b []byte) []byte   { return appendMessage(b, m) }
+func (m *EchoReply) appendBody(b []byte) []byte { return append(b, m.Data...) }
 func (m *EchoReply) decodeBody(r *rbuf) error {
 	m.Data = append([]byte(nil), r.rest()...)
 	return nil
@@ -106,9 +117,12 @@ type Vendor struct {
 // MsgType implements Message.
 func (*Vendor) MsgType() Type { return TypeVendor }
 
-func (m *Vendor) encodeBody(w *wbuf) {
-	w.u32(m.VendorID)
-	w.bytes(m.Data)
+// AppendTo implements Message.
+func (m *Vendor) AppendTo(b []byte) []byte { return appendMessage(b, m) }
+
+func (m *Vendor) appendBody(b []byte) []byte {
+	b = binary.BigEndian.AppendUint32(b, m.VendorID)
+	return append(b, m.Data...)
 }
 
 func (m *Vendor) decodeBody(r *rbuf) error {
@@ -121,9 +135,12 @@ func (m *Vendor) decodeBody(r *rbuf) error {
 type FeaturesRequest struct{ MsgXID }
 
 // MsgType implements Message.
-func (*FeaturesRequest) MsgType() Type            { return TypeFeaturesRequest }
-func (*FeaturesRequest) encodeBody(*wbuf)         {}
-func (*FeaturesRequest) decodeBody(r *rbuf) error { r.rest(); return nil }
+func (*FeaturesRequest) MsgType() Type { return TypeFeaturesRequest }
+
+// AppendTo implements Message.
+func (m *FeaturesRequest) AppendTo(b []byte) []byte { return appendMessage(b, m) }
+func (*FeaturesRequest) appendBody(b []byte) []byte { return b }
+func (*FeaturesRequest) decodeBody(r *rbuf) error   { r.rest(); return nil }
 
 // Port config/state bits (subset).
 const (
@@ -147,16 +164,16 @@ type PhyPort struct {
 	Peer       uint32
 }
 
-func (p *PhyPort) encode(w *wbuf) {
-	w.u16(p.PortNo)
-	w.bytes(p.HWAddr[:])
-	w.str(p.Name, 16)
-	w.u32(p.Config)
-	w.u32(p.State)
-	w.u32(p.Curr)
-	w.u32(p.Advertised)
-	w.u32(p.Supported)
-	w.u32(p.Peer)
+func (p *PhyPort) appendTo(b []byte) []byte {
+	b = binary.BigEndian.AppendUint16(b, p.PortNo)
+	b = append(b, p.HWAddr[:]...)
+	b = fixedStr(b, p.Name, 16)
+	b = binary.BigEndian.AppendUint32(b, p.Config)
+	b = binary.BigEndian.AppendUint32(b, p.State)
+	b = binary.BigEndian.AppendUint32(b, p.Curr)
+	b = binary.BigEndian.AppendUint32(b, p.Advertised)
+	b = binary.BigEndian.AppendUint32(b, p.Supported)
+	return binary.BigEndian.AppendUint32(b, p.Peer)
 }
 
 func (p *PhyPort) decode(r *rbuf) {
@@ -192,19 +209,23 @@ type FeaturesReply struct {
 // MsgType implements Message.
 func (*FeaturesReply) MsgType() Type { return TypeFeaturesReply }
 
-func (m *FeaturesReply) encodeBody(w *wbuf) {
-	w.u64(m.DatapathID)
-	w.u32(m.NBuffers)
-	w.u8(m.NTables)
-	w.pad(3)
-	w.u32(m.Capabilities)
-	w.u32(m.Actions)
+// AppendTo implements Message.
+func (m *FeaturesReply) AppendTo(b []byte) []byte { return appendMessage(b, m) }
+
+func (m *FeaturesReply) appendBody(b []byte) []byte {
+	b = binary.BigEndian.AppendUint64(b, m.DatapathID)
+	b = binary.BigEndian.AppendUint32(b, m.NBuffers)
+	b = append(b, m.NTables, 0, 0, 0)
+	b = binary.BigEndian.AppendUint32(b, m.Capabilities)
+	b = binary.BigEndian.AppendUint32(b, m.Actions)
 	for i := range m.Ports {
-		m.Ports[i].encode(w)
+		b = m.Ports[i].appendTo(b)
 	}
+	return b
 }
 
 func (m *FeaturesReply) decodeBody(r *rbuf) error {
+	m.Ports = m.Ports[:0] // overwrite, not accumulate, when m is reused
 	m.DatapathID = r.u64()
 	m.NBuffers = r.u32()
 	m.NTables = r.u8()
@@ -229,9 +250,12 @@ func (m *FeaturesReply) decodeBody(r *rbuf) error {
 type GetConfigRequest struct{ MsgXID }
 
 // MsgType implements Message.
-func (*GetConfigRequest) MsgType() Type            { return TypeGetConfigRequest }
-func (*GetConfigRequest) encodeBody(*wbuf)         {}
-func (*GetConfigRequest) decodeBody(r *rbuf) error { r.rest(); return nil }
+func (*GetConfigRequest) MsgType() Type { return TypeGetConfigRequest }
+
+// AppendTo implements Message.
+func (m *GetConfigRequest) AppendTo(b []byte) []byte { return appendMessage(b, m) }
+func (*GetConfigRequest) appendBody(b []byte) []byte { return b }
+func (*GetConfigRequest) decodeBody(r *rbuf) error   { r.rest(); return nil }
 
 // GetConfigReply carries the switch configuration.
 type GetConfigReply struct {
@@ -243,9 +267,12 @@ type GetConfigReply struct {
 // MsgType implements Message.
 func (*GetConfigReply) MsgType() Type { return TypeGetConfigReply }
 
-func (m *GetConfigReply) encodeBody(w *wbuf) {
-	w.u16(m.Flags)
-	w.u16(m.MissSendLen)
+// AppendTo implements Message.
+func (m *GetConfigReply) AppendTo(b []byte) []byte { return appendMessage(b, m) }
+
+func (m *GetConfigReply) appendBody(b []byte) []byte {
+	b = binary.BigEndian.AppendUint16(b, m.Flags)
+	return binary.BigEndian.AppendUint16(b, m.MissSendLen)
 }
 
 func (m *GetConfigReply) decodeBody(r *rbuf) error {
@@ -264,9 +291,12 @@ type SetConfig struct {
 // MsgType implements Message.
 func (*SetConfig) MsgType() Type { return TypeSetConfig }
 
-func (m *SetConfig) encodeBody(w *wbuf) {
-	w.u16(m.Flags)
-	w.u16(m.MissSendLen)
+// AppendTo implements Message.
+func (m *SetConfig) AppendTo(b []byte) []byte { return appendMessage(b, m) }
+
+func (m *SetConfig) appendBody(b []byte) []byte {
+	b = binary.BigEndian.AppendUint16(b, m.Flags)
+	return binary.BigEndian.AppendUint16(b, m.MissSendLen)
 }
 
 func (m *SetConfig) decodeBody(r *rbuf) error {
@@ -294,13 +324,15 @@ type PacketIn struct {
 // MsgType implements Message.
 func (*PacketIn) MsgType() Type { return TypePacketIn }
 
-func (m *PacketIn) encodeBody(w *wbuf) {
-	w.u32(m.BufferID)
-	w.u16(m.TotalLen)
-	w.u16(m.InPort)
-	w.u8(m.Reason)
-	w.pad(1)
-	w.bytes(m.Data)
+// AppendTo implements Message.
+func (m *PacketIn) AppendTo(b []byte) []byte { return appendMessage(b, m) }
+
+func (m *PacketIn) appendBody(b []byte) []byte {
+	b = binary.BigEndian.AppendUint32(b, m.BufferID)
+	b = binary.BigEndian.AppendUint16(b, m.TotalLen)
+	b = binary.BigEndian.AppendUint16(b, m.InPort)
+	b = append(b, m.Reason, 0)
+	return append(b, m.Data...)
 }
 
 func (m *PacketIn) decodeBody(r *rbuf) error {
@@ -325,17 +357,18 @@ type PacketOut struct {
 // MsgType implements Message.
 func (*PacketOut) MsgType() Type { return TypePacketOut }
 
-func (m *PacketOut) encodeBody(w *wbuf) {
-	w.u32(m.BufferID)
-	w.u16(m.InPort)
-	lenAt := len(w.b)
-	w.u16(0) // actions_len, patched
-	before := len(w.b)
-	encodeActions(w, m.Actions)
-	actionsLen := len(w.b) - before
-	w.b[lenAt] = byte(actionsLen >> 8)
-	w.b[lenAt+1] = byte(actionsLen)
-	w.bytes(m.Data)
+// AppendTo implements Message.
+func (m *PacketOut) AppendTo(b []byte) []byte { return appendMessage(b, m) }
+
+func (m *PacketOut) appendBody(b []byte) []byte {
+	b = binary.BigEndian.AppendUint32(b, m.BufferID)
+	b = binary.BigEndian.AppendUint16(b, m.InPort)
+	lenAt := len(b)
+	b = append(b, 0, 0) // actions_len, patched below
+	before := len(b)
+	b = appendActions(b, m.Actions)
+	binary.BigEndian.PutUint16(b[lenAt:], uint16(len(b)-before))
+	return append(b, m.Data...)
 }
 
 func (m *PacketOut) decodeBody(r *rbuf) error {
@@ -378,18 +411,20 @@ type FlowRemoved struct {
 // MsgType implements Message.
 func (*FlowRemoved) MsgType() Type { return TypeFlowRemoved }
 
-func (m *FlowRemoved) encodeBody(w *wbuf) {
-	m.Match.encode(w)
-	w.u64(m.Cookie)
-	w.u16(m.Priority)
-	w.u8(m.Reason)
-	w.pad(1)
-	w.u32(m.DurationSec)
-	w.u32(m.DurationNsec)
-	w.u16(m.IdleTimeout)
-	w.pad(2)
-	w.u64(m.PacketCount)
-	w.u64(m.ByteCount)
+// AppendTo implements Message.
+func (m *FlowRemoved) AppendTo(b []byte) []byte { return appendMessage(b, m) }
+
+func (m *FlowRemoved) appendBody(b []byte) []byte {
+	b = m.Match.appendTo(b)
+	b = binary.BigEndian.AppendUint64(b, m.Cookie)
+	b = binary.BigEndian.AppendUint16(b, m.Priority)
+	b = append(b, m.Reason, 0)
+	b = binary.BigEndian.AppendUint32(b, m.DurationSec)
+	b = binary.BigEndian.AppendUint32(b, m.DurationNsec)
+	b = binary.BigEndian.AppendUint16(b, m.IdleTimeout)
+	b = append(b, 0, 0)
+	b = binary.BigEndian.AppendUint64(b, m.PacketCount)
+	return binary.BigEndian.AppendUint64(b, m.ByteCount)
 }
 
 func (m *FlowRemoved) decodeBody(r *rbuf) error {
@@ -424,10 +459,12 @@ type PortStatus struct {
 // MsgType implements Message.
 func (*PortStatus) MsgType() Type { return TypePortStatus }
 
-func (m *PortStatus) encodeBody(w *wbuf) {
-	w.u8(m.Reason)
-	w.pad(7)
-	m.Desc.encode(w)
+// AppendTo implements Message.
+func (m *PortStatus) AppendTo(b []byte) []byte { return appendMessage(b, m) }
+
+func (m *PortStatus) appendBody(b []byte) []byte {
+	b = append(b, m.Reason, 0, 0, 0, 0, 0, 0, 0)
+	return m.Desc.appendTo(b)
 }
 
 func (m *PortStatus) decodeBody(r *rbuf) error {
@@ -441,17 +478,23 @@ func (m *PortStatus) decodeBody(r *rbuf) error {
 type BarrierRequest struct{ MsgXID }
 
 // MsgType implements Message.
-func (*BarrierRequest) MsgType() Type            { return TypeBarrierRequest }
-func (*BarrierRequest) encodeBody(*wbuf)         {}
-func (*BarrierRequest) decodeBody(r *rbuf) error { r.rest(); return nil }
+func (*BarrierRequest) MsgType() Type { return TypeBarrierRequest }
+
+// AppendTo implements Message.
+func (m *BarrierRequest) AppendTo(b []byte) []byte { return appendMessage(b, m) }
+func (*BarrierRequest) appendBody(b []byte) []byte { return b }
+func (*BarrierRequest) decodeBody(r *rbuf) error   { r.rest(); return nil }
 
 // BarrierReply confirms a BarrierRequest.
 type BarrierReply struct{ MsgXID }
 
 // MsgType implements Message.
-func (*BarrierReply) MsgType() Type            { return TypeBarrierReply }
-func (*BarrierReply) encodeBody(*wbuf)         {}
-func (*BarrierReply) decodeBody(r *rbuf) error { r.rest(); return nil }
+func (*BarrierReply) MsgType() Type { return TypeBarrierReply }
+
+// AppendTo implements Message.
+func (m *BarrierReply) AppendTo(b []byte) []byte { return appendMessage(b, m) }
+func (*BarrierReply) appendBody(b []byte) []byte { return b }
+func (*BarrierReply) decodeBody(r *rbuf) error   { r.rest(); return nil }
 
 // FlowMod commands.
 const (
@@ -486,17 +529,20 @@ type FlowMod struct {
 // MsgType implements Message.
 func (*FlowMod) MsgType() Type { return TypeFlowMod }
 
-func (m *FlowMod) encodeBody(w *wbuf) {
-	m.Match.encode(w)
-	w.u64(m.Cookie)
-	w.u16(m.Command)
-	w.u16(m.IdleTimeout)
-	w.u16(m.HardTimeout)
-	w.u16(m.Priority)
-	w.u32(m.BufferID)
-	w.u16(m.OutPort)
-	w.u16(m.Flags)
-	encodeActions(w, m.Actions)
+// AppendTo implements Message.
+func (m *FlowMod) AppendTo(b []byte) []byte { return appendMessage(b, m) }
+
+func (m *FlowMod) appendBody(b []byte) []byte {
+	b = m.Match.appendTo(b)
+	b = binary.BigEndian.AppendUint64(b, m.Cookie)
+	b = binary.BigEndian.AppendUint16(b, m.Command)
+	b = binary.BigEndian.AppendUint16(b, m.IdleTimeout)
+	b = binary.BigEndian.AppendUint16(b, m.HardTimeout)
+	b = binary.BigEndian.AppendUint16(b, m.Priority)
+	b = binary.BigEndian.AppendUint32(b, m.BufferID)
+	b = binary.BigEndian.AppendUint16(b, m.OutPort)
+	b = binary.BigEndian.AppendUint16(b, m.Flags)
+	return appendActions(b, m.Actions)
 }
 
 func (m *FlowMod) decodeBody(r *rbuf) error {

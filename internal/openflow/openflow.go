@@ -5,11 +5,22 @@
 // config, packet-in/out, flow-mod, flow-removed, port-status, stats
 // (description, flow, table, port), barrier and vendor messages.
 //
-// Messages are plain structs; Marshal/Unmarshal convert to and from framed
-// wire bytes, and ReadMessage/WriteMessage do stream I/O over any
-// io.Reader/io.Writer. Unknown message types decode to *Raw so a proxy (the
-// FlowVisor substrate) can forward what it does not understand, byte for
-// byte.
+// Messages are plain structs. The encoder is append-style: every message
+// implements AppendTo(buf) []byte, which appends the complete framed wire
+// encoding to buf (growing it as append does) and returns the extended
+// slice. Encoding into a reused buffer is allocation-free — this is the hot
+// path the control channel uses. Marshal is the compatibility wrapper that
+// allocates a fresh slice per call. On the decode side, Unmarshal decodes
+// one framed message from a byte slice, and Decoder wraps an io.Reader with
+// a per-connection scratch buffer so reading a message stream does not
+// allocate a frame buffer per message; decoded messages never alias the
+// input buffer. ReadMessage/WriteMessage remain as one-shot conveniences,
+// and MessageWriter/WriteBatch coalesce many messages into a single
+// underlying write for batched control-channel I/O.
+//
+// Unknown message types decode to *Raw so a proxy (the FlowVisor substrate)
+// can forward what it does not understand, byte for byte and without
+// re-encoding.
 package openflow
 
 import (
@@ -96,12 +107,16 @@ const (
 const NoBuffer uint32 = 0xffffffff
 
 // Message is one OpenFlow message. All message structs embed MsgXID and so
-// carry their transaction ID; Marshal frames them with the common header.
+// carry their transaction ID. AppendTo appends the complete framed wire
+// encoding (header included) to buf and returns the extended slice;
+// appending to a reused buffer of sufficient capacity performs no
+// allocation.
 type Message interface {
 	MsgType() Type
 	XID() uint32
 	SetXID(uint32)
-	encodeBody(w *wbuf)
+	AppendTo(buf []byte) []byte
+	appendBody(b []byte) []byte
 	decodeBody(r *rbuf) error
 }
 
@@ -119,19 +134,53 @@ func (m *MsgXID) SetXID(x uint32) { m.Xid = x }
 // ErrBadMessage wraps all decode failures.
 var ErrBadMessage = errors.New("openflow: bad message")
 
-// Marshal frames m into wire bytes.
-func Marshal(m Message) []byte {
-	w := &wbuf{}
-	w.u8(Version)
-	w.u8(uint8(m.MsgType()))
-	w.u16(0) // length, patched below
-	w.u32(m.XID())
-	m.encodeBody(w)
-	if len(w.b) > MaxMessageLen {
-		panic(fmt.Sprintf("openflow: %v message of %d bytes exceeds 64KiB", m.MsgType(), len(w.b)))
+// appendMessage frames m: common header, body, then the length field is
+// patched in place. Shared by every message's AppendTo.
+func appendMessage(buf []byte, m Message) []byte {
+	start := len(buf)
+	buf = append(buf, Version, uint8(m.MsgType()), 0, 0) // length patched below
+	buf = binary.BigEndian.AppendUint32(buf, m.XID())
+	buf = m.appendBody(buf)
+	n := len(buf) - start
+	if n > MaxMessageLen {
+		panic(fmt.Sprintf("openflow: %v message of %d bytes exceeds 64KiB", m.MsgType(), n))
 	}
-	binary.BigEndian.PutUint16(w.b[2:], uint16(len(w.b)))
-	return w.b
+	binary.BigEndian.PutUint16(buf[start+2:], uint16(n))
+	return buf
+}
+
+// marshalSizeHint is the initial capacity Marshal allocates; it covers every
+// message the deployment sends on its hot paths (a flow-mod with a few
+// actions is 80-120 bytes) in a single allocation.
+const marshalSizeHint = 128
+
+// Marshal frames m into freshly allocated wire bytes. Hot paths should
+// prefer m.AppendTo with a reused buffer, which does not allocate.
+func Marshal(m Message) []byte {
+	return m.AppendTo(make([]byte, 0, marshalSizeHint))
+}
+
+// zeroPad is the source for appending runs of zero padding (and NUL string
+// padding) without allocating. 256 covers the largest fixed-size field
+// (ofp_desc_stats strings).
+var zeroPad [256]byte
+
+// pad appends n zero bytes.
+func pad(b []byte, n int) []byte {
+	for n > len(zeroPad) {
+		b = append(b, zeroPad[:]...)
+		n -= len(zeroPad)
+	}
+	return append(b, zeroPad[:n]...)
+}
+
+// fixedStr appends s into a fixed-size NUL-padded field.
+func fixedStr(b []byte, s string, size int) []byte {
+	if len(s) > size {
+		s = s[:size]
+	}
+	b = append(b, s...)
+	return pad(b, size-len(s))
 }
 
 // newMessage returns the empty struct for a message type, or nil for types
@@ -181,21 +230,29 @@ func newMessage(t Type) Message {
 	}
 }
 
-// Unmarshal decodes one complete framed message from b, which must contain
-// exactly one message.
-func Unmarshal(b []byte) (Message, error) {
+// checkHeader validates the common header of b and returns the type, frame
+// length and transaction ID.
+func checkHeader(b []byte) (t Type, length int, xid uint32, err error) {
 	if len(b) < HeaderLen {
-		return nil, fmt.Errorf("%w: short header (%d bytes)", ErrBadMessage, len(b))
+		return 0, 0, 0, fmt.Errorf("%w: short header (%d bytes)", ErrBadMessage, len(b))
 	}
 	if b[0] != Version {
-		return nil, fmt.Errorf("%w: version 0x%02x, want 0x%02x", ErrBadMessage, b[0], Version)
+		return 0, 0, 0, fmt.Errorf("%w: version 0x%02x, want 0x%02x", ErrBadMessage, b[0], Version)
 	}
-	t := Type(b[1])
-	length := int(binary.BigEndian.Uint16(b[2:]))
+	length = int(binary.BigEndian.Uint16(b[2:]))
 	if length < HeaderLen || length > len(b) {
-		return nil, fmt.Errorf("%w: length field %d of %d", ErrBadMessage, length, len(b))
+		return 0, 0, 0, fmt.Errorf("%w: length field %d of %d", ErrBadMessage, length, len(b))
 	}
-	xid := binary.BigEndian.Uint32(b[4:])
+	return Type(b[1]), length, binary.BigEndian.Uint32(b[4:]), nil
+}
+
+// Unmarshal decodes one complete framed message from b, which must contain
+// exactly one message. The returned message does not alias b.
+func Unmarshal(b []byte) (Message, error) {
+	t, length, xid, err := checkHeader(b)
+	if err != nil {
+		return nil, err
+	}
 	m := newMessage(t)
 	if m == nil {
 		raw := &Raw{T: t}
@@ -204,18 +261,106 @@ func Unmarshal(b []byte) (Message, error) {
 		return raw, nil
 	}
 	m.SetXID(xid)
-	r := &rbuf{b: b[HeaderLen:length]}
-	if err := m.decodeBody(r); err != nil {
-		return nil, fmt.Errorf("%w: %v body: %v", ErrBadMessage, t, err)
-	}
-	if r.err != nil {
-		return nil, fmt.Errorf("%w: %v body: %v", ErrBadMessage, t, r.err)
+	if err := decodeBodyInto(m, t, b[HeaderLen:length]); err != nil {
+		return nil, err
 	}
 	return m, nil
 }
 
+// UnmarshalInto decodes one complete framed message from b into m, whose
+// concrete type must match the frame's type (a *Raw accepts any type this
+// package does not model). It lets a caller reuse one message struct across
+// decodes; slice fields of m are overwritten, not reused.
+func UnmarshalInto(b []byte, m Message) error {
+	t, length, xid, err := checkHeader(b)
+	if err != nil {
+		return err
+	}
+	if raw, ok := m.(*Raw); ok {
+		raw.T = t
+		raw.Body = append(raw.Body[:0], b[HeaderLen:length]...)
+		raw.SetXID(xid)
+		return nil
+	}
+	if m.MsgType() != t {
+		return fmt.Errorf("%w: frame is %v, target decodes %v", ErrBadMessage, t, m.MsgType())
+	}
+	m.SetXID(xid)
+	return decodeBodyInto(m, t, b[HeaderLen:length])
+}
+
+func decodeBodyInto(m Message, t Type, body []byte) error {
+	r := rbuf{b: body}
+	if err := m.decodeBody(&r); err != nil {
+		return fmt.Errorf("%w: %v body: %v", ErrBadMessage, t, err)
+	}
+	if r.err != nil {
+		return fmt.Errorf("%w: %v body: %v", ErrBadMessage, t, r.err)
+	}
+	return nil
+}
+
+// Decoder reads a stream of framed messages from an io.Reader, reusing one
+// scratch buffer per connection so steady-state reading allocates only the
+// decoded message values, never a frame buffer. Decoded messages copy what
+// they keep, so each message stays valid after the next Decode. Decoder is
+// not safe for concurrent use.
+type Decoder struct {
+	r   io.Reader
+	buf []byte
+}
+
+// NewDecoder returns a Decoder reading from r.
+func NewDecoder(r io.Reader) *Decoder {
+	return &Decoder{r: r, buf: make([]byte, 512)}
+}
+
+// Decode reads and decodes the next message. It returns io.EOF unwrapped on
+// a clean end of stream before any header byte.
+func (d *Decoder) Decode() (Message, error) {
+	n, err := d.readFrame()
+	if err != nil {
+		return nil, err
+	}
+	return Unmarshal(d.buf[:n])
+}
+
+// DecodeInto reads the next message into m (see UnmarshalInto for the type
+// contract).
+func (d *Decoder) DecodeInto(m Message) error {
+	n, err := d.readFrame()
+	if err != nil {
+		return err
+	}
+	return UnmarshalInto(d.buf[:n], m)
+}
+
+// readFrame reads one complete frame into d.buf and returns its length.
+func (d *Decoder) readFrame() (int, error) {
+	if _, err := io.ReadFull(d.r, d.buf[:HeaderLen]); err != nil {
+		if err == io.EOF {
+			return 0, io.EOF
+		}
+		return 0, fmt.Errorf("openflow: reading header: %w", err)
+	}
+	length := int(binary.BigEndian.Uint16(d.buf[2:]))
+	if length < HeaderLen {
+		return 0, fmt.Errorf("%w: header length %d", ErrBadMessage, length)
+	}
+	if length > len(d.buf) {
+		grown := make([]byte, length)
+		copy(grown, d.buf[:HeaderLen])
+		d.buf = grown
+	}
+	if _, err := io.ReadFull(d.r, d.buf[HeaderLen:length]); err != nil {
+		return 0, fmt.Errorf("openflow: reading body: %w", err)
+	}
+	return length, nil
+}
+
 // ReadMessage reads one framed message from r. It returns io.EOF unwrapped
-// on a clean end of stream before any header byte.
+// on a clean end of stream before any header byte. Connection loops should
+// prefer a per-connection Decoder, which reuses its frame buffer.
 func ReadMessage(r io.Reader) (Message, error) {
 	var hdr [HeaderLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -243,7 +388,8 @@ func WriteMessage(w io.Writer, m Message) error {
 }
 
 // Raw is a message of a type this package does not model; Body is the frame
-// minus the header. It re-encodes byte for byte, so proxies can forward it.
+// minus the header. It re-encodes byte for byte, so proxies can forward it
+// without understanding it.
 type Raw struct {
 	MsgXID
 	T    Type
@@ -251,34 +397,14 @@ type Raw struct {
 }
 
 // MsgType returns the original wire type.
-func (m *Raw) MsgType() Type      { return m.T }
-func (m *Raw) encodeBody(w *wbuf) { w.bytes(m.Body) }
+func (m *Raw) MsgType() Type { return m.T }
+
+// AppendTo implements Message.
+func (m *Raw) AppendTo(b []byte) []byte   { return appendMessage(b, m) }
+func (m *Raw) appendBody(b []byte) []byte { return append(b, m.Body...) }
 func (m *Raw) decodeBody(r *rbuf) error {
 	m.Body = append([]byte(nil), r.rest()...)
 	return nil
-}
-
-// wbuf is an append-only big-endian encoder.
-type wbuf struct{ b []byte }
-
-func (w *wbuf) u8(v uint8)     { w.b = append(w.b, v) }
-func (w *wbuf) u16(v uint16)   { w.b = binary.BigEndian.AppendUint16(w.b, v) }
-func (w *wbuf) u32(v uint32)   { w.b = binary.BigEndian.AppendUint32(w.b, v) }
-func (w *wbuf) u64(v uint64)   { w.b = binary.BigEndian.AppendUint64(w.b, v) }
-func (w *wbuf) bytes(p []byte) { w.b = append(w.b, p...) }
-func (w *wbuf) pad(n int) {
-	for i := 0; i < n; i++ {
-		w.b = append(w.b, 0)
-	}
-}
-
-// str writes s into a fixed-size NUL-padded field.
-func (w *wbuf) str(s string, size int) {
-	if len(s) > size {
-		s = s[:size]
-	}
-	w.bytes([]byte(s))
-	w.pad(size - len(s))
 }
 
 // rbuf is a cursor-based big-endian decoder with a sticky error.

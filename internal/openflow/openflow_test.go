@@ -271,14 +271,14 @@ func TestStatsTableAndPortRoundTrip(t *testing.T) {
 
 func TestRawPassThrough(t *testing.T) {
 	// QueueGetConfig is not modeled: it must survive as Raw, byte for byte.
-	w := &wbuf{}
-	w.u8(Version)
-	w.u8(uint8(TypeQueueGetConfigReq))
-	w.u16(12)
-	w.u32(99)
-	w.u16(5) // port
-	w.pad(2)
-	m, err := Unmarshal(w.b)
+	wire := []byte{
+		Version, uint8(TypeQueueGetConfigReq),
+		0, 12, // length
+		0, 0, 0, 99, // xid
+		0, 5, // port
+		0, 0, // pad
+	}
+	m, err := Unmarshal(wire)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -289,7 +289,7 @@ func TestRawPassThrough(t *testing.T) {
 	if raw.MsgType() != TypeQueueGetConfigReq || raw.XID() != 99 {
 		t.Fatalf("raw = %+v", raw)
 	}
-	if !bytes.Equal(Marshal(raw), w.b) {
+	if !bytes.Equal(Marshal(raw), wire) {
 		t.Fatal("raw re-encode differs")
 	}
 }

@@ -1,0 +1,442 @@
+package openflow
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// frame hand-builds a wire frame with the given header fields and body,
+// letting tests lie about the length field.
+func frame(version uint8, t Type, length uint16, xid uint32, body []byte) []byte {
+	b := []byte{version, uint8(t), 0, 0, 0, 0, 0, 0}
+	binary.BigEndian.PutUint16(b[2:], length)
+	binary.BigEndian.PutUint32(b[4:], xid)
+	return append(b, body...)
+}
+
+// validFrame frames body with a correct length field.
+func validFrame(t Type, xid uint32, body []byte) []byte {
+	return frame(Version, t, uint16(HeaderLen+len(body)), xid, body)
+}
+
+// TestUnmarshalMalformed is the table of truncated/oversized/corrupt frames;
+// each must fail with an error — never panic, never succeed.
+func TestUnmarshalMalformed(t *testing.T) {
+	goodFlowMod := Marshal(&FlowMod{Match: MatchAll(), Command: FlowModAdd,
+		BufferID: NoBuffer, OutPort: PortNone,
+		Actions: []Action{&ActionOutput{Port: 1}}})
+
+	corrupt := func(b []byte, off int, v byte) []byte {
+		c := append([]byte(nil), b...)
+		c[off] = v
+		return c
+	}
+
+	cases := []struct {
+		name string
+		in   []byte
+	}{
+		{"empty", nil},
+		{"short header", []byte{Version, 0}},
+		{"seven header bytes", []byte{Version, 0, 0, 8, 0, 0, 0}},
+		{"wrong version", frame(0x04, TypeHello, 8, 1, nil)},
+		{"length below header", frame(Version, TypeHello, 4, 1, nil)},
+		{"length beyond buffer", frame(Version, TypeHello, 200, 1, nil)},
+		{"truncated match in flow-mod", validFrame(TypeFlowMod, 1, make([]byte, MatchLen-1))},
+		{"flow-mod body ends inside fixed fields", validFrame(TypeFlowMod, 1, make([]byte, MatchLen+10))},
+		{"action length zero", corrupt(goodFlowMod, HeaderLen+MatchLen+24+3, 0)},
+		{"action length not multiple of 8", corrupt(goodFlowMod, HeaderLen+MatchLen+24+3, 5)},
+		{"action length beyond list", corrupt(goodFlowMod, HeaderLen+MatchLen+24+3, 64)},
+		{"unknown action type", corrupt(corrupt(goodFlowMod, HeaderLen+MatchLen+24, 0xee), HeaderLen+MatchLen+24+1, 0xee)},
+		{"truncated features port", validFrame(TypeFeaturesReply, 1, make([]byte, 24+PhyPortLen-1))},
+		{"truncated packet-in fixed fields", validFrame(TypePacketIn, 1, make([]byte, 5))},
+		{"packet-out actions_len beyond body", func() []byte {
+			body := make([]byte, 8)
+			binary.BigEndian.PutUint32(body[0:], NoBuffer)
+			binary.BigEndian.PutUint16(body[4:], PortNone)
+			binary.BigEndian.PutUint16(body[6:], 0xffff) // actions_len > remaining
+			return validFrame(TypePacketOut, 1, body)
+		}()},
+		{"truncated flow-removed", validFrame(TypeFlowRemoved, 1, make([]byte, MatchLen+10))},
+		{"truncated port-status", validFrame(TypePortStatus, 1, make([]byte, 8+PhyPortLen-4))},
+		{"flow stats entry length lies", func() []byte {
+			body := make([]byte, 4+4)
+			binary.BigEndian.PutUint16(body[0:], StatsFlow)
+			binary.BigEndian.PutUint16(body[4:], 200) // entry length > body
+			return validFrame(TypeStatsReply, 1, body)
+		}()},
+		{"flow stats entry length below minimum", func() []byte {
+			body := make([]byte, 4+88)
+			binary.BigEndian.PutUint16(body[0:], StatsFlow)
+			binary.BigEndian.PutUint16(body[4:], 8)
+			return validFrame(TypeStatsReply, 1, body)
+		}()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m, err := Unmarshal(tc.in)
+			if err == nil {
+				t.Fatalf("accepted malformed frame as %T", m)
+			}
+			if !errors.Is(err, ErrBadMessage) {
+				t.Fatalf("error %v does not wrap ErrBadMessage", err)
+			}
+		})
+	}
+}
+
+func TestUnmarshalInto(t *testing.T) {
+	want := &EchoRequest{Data: []byte("probe")}
+	want.SetXID(7)
+	wire := Marshal(want)
+
+	var got EchoRequest
+	if err := UnmarshalInto(wire, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.XID() != 7 || !bytes.Equal(got.Data, []byte("probe")) {
+		t.Fatalf("got %+v", got)
+	}
+
+	// Type mismatch must be rejected.
+	var wrong Hello
+	if err := UnmarshalInto(wire, &wrong); err == nil {
+		t.Fatal("echo frame decoded into Hello")
+	}
+
+	// A *Raw target accepts any type and keeps the body byte for byte.
+	var raw Raw
+	if err := UnmarshalInto(wire, &raw); err != nil {
+		t.Fatal(err)
+	}
+	if raw.MsgType() != TypeEchoRequest || raw.XID() != 7 {
+		t.Fatalf("raw = %+v", raw)
+	}
+	if !bytes.Equal(Marshal(&raw), wire) {
+		t.Fatal("raw re-encode differs")
+	}
+}
+
+// TestUnmarshalIntoOverwritesSlices pins the reuse contract: decoding into a
+// message that already holds slice data overwrites it rather than
+// accumulating across decodes.
+func TestUnmarshalIntoOverwritesSlices(t *testing.T) {
+	var fr FeaturesReply
+	for i := 1; i <= 3; i++ {
+		wire := Marshal(&FeaturesReply{DatapathID: uint64(i),
+			Ports: []PhyPort{{PortNo: uint16(i), Name: "eth"}}})
+		if err := UnmarshalInto(wire, &fr); err != nil {
+			t.Fatal(err)
+		}
+		if len(fr.Ports) != 1 || fr.Ports[0].PortNo != uint16(i) {
+			t.Fatalf("decode %d: ports accumulated: %+v", i, fr.Ports)
+		}
+	}
+
+	var sr StatsReply
+	if err := UnmarshalInto(Marshal(&StatsReply{StatsType: StatsFlow, Flows: []FlowStats{
+		{Match: MatchAll(), Priority: 1}, {Match: MatchAll(), Priority: 2},
+	}}), &sr); err != nil {
+		t.Fatal(err)
+	}
+	if err := UnmarshalInto(Marshal(&StatsReply{StatsType: StatsTable, Tables: []TableStats{
+		{TableID: 0, Name: "classifier"},
+	}}), &sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Flows) != 0 || len(sr.Tables) != 1 {
+		t.Fatalf("variant fields not overwritten: flows=%d tables=%d", len(sr.Flows), len(sr.Tables))
+	}
+}
+
+// TestAppendToMatchesMarshal pins the append-style contract: AppendTo onto a
+// non-empty prefix appends exactly the Marshal bytes.
+func TestAppendToMatchesMarshal(t *testing.T) {
+	msgs := []Message{
+		&Hello{},
+		&EchoRequest{Data: []byte("x")},
+		&ErrorMsg{ErrType: 1, Code: 2, Data: []byte{9}},
+		&FeaturesReply{DatapathID: 5, Ports: []PhyPort{{PortNo: 1, Name: "eth1"}}},
+		&PacketIn{BufferID: 3, InPort: 2, Data: []byte("frame")},
+		&PacketOut{BufferID: NoBuffer, InPort: PortNone,
+			Actions: []Action{&ActionOutput{Port: 2}}, Data: []byte("p")},
+		&FlowMod{Match: MatchAll(), Command: FlowModAdd, BufferID: NoBuffer,
+			OutPort: PortNone, Actions: []Action{&ActionOutput{Port: 1}}},
+		&StatsRequest{StatsType: StatsDesc},
+		&BarrierRequest{},
+		&Raw{T: TypeQueueGetConfigReq, Body: []byte{0, 5, 0, 0}},
+	}
+	for _, m := range msgs {
+		m.SetXID(42)
+		prefix := []byte("prefix")
+		out := m.AppendTo(append([]byte(nil), prefix...))
+		if !bytes.Equal(out[:len(prefix)], prefix) {
+			t.Fatalf("%v: AppendTo clobbered the prefix", m.MsgType())
+		}
+		if !bytes.Equal(out[len(prefix):], Marshal(m)) {
+			t.Fatalf("%v: AppendTo differs from Marshal", m.MsgType())
+		}
+	}
+}
+
+func TestDecoderStream(t *testing.T) {
+	var buf bytes.Buffer
+	var want []Message
+	for i := 1; i <= 50; i++ {
+		m := &EchoRequest{Data: bytes.Repeat([]byte{byte(i)}, i*20)}
+		m.SetXID(uint32(i))
+		want = append(want, m)
+		if err := WriteMessage(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dec := NewDecoder(&buf)
+	for i, w := range want {
+		got, err := dec.Decode()
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, w) {
+			t.Fatalf("message %d: got %+v want %+v", i, got, w)
+		}
+	}
+	if _, err := dec.Decode(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+// TestDecoderMessagesDoNotAliasScratch pins the reuse contract: a decoded
+// message must stay intact after later decodes overwrite the scratch buffer.
+func TestDecoderMessagesDoNotAliasScratch(t *testing.T) {
+	var buf bytes.Buffer
+	first := &PacketIn{BufferID: 1, InPort: 1, Data: bytes.Repeat([]byte{0xAA}, 100)}
+	second := &PacketIn{BufferID: 2, InPort: 2, Data: bytes.Repeat([]byte{0xBB}, 100)}
+	for _, m := range []Message{first, second} {
+		m.SetXID(1)
+		if err := WriteMessage(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dec := NewDecoder(&buf)
+	got1, err := dec.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dec.Decode(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got1.(*PacketIn).Data, first.Data) {
+		t.Fatal("first message corrupted by scratch reuse")
+	}
+}
+
+func TestDecoderTruncatedBody(t *testing.T) {
+	b := Marshal(&EchoRequest{Data: []byte("0123456789")})
+	dec := NewDecoder(bytes.NewReader(b[:12]))
+	if _, err := dec.Decode(); err == nil {
+		t.Fatal("truncated body accepted")
+	}
+}
+
+func TestWriteBatchSingleWrite(t *testing.T) {
+	var msgs []Message
+	for i := 1; i <= 20; i++ {
+		fm := &FlowMod{Match: MatchAll(), Command: FlowModAdd, BufferID: NoBuffer,
+			OutPort: PortNone, Actions: []Action{&ActionOutput{Port: uint16(i)}}}
+		fm.SetXID(uint32(i))
+		msgs = append(msgs, fm)
+	}
+	w := &countingWriter{}
+	if err := WriteBatch(w, msgs); err != nil {
+		t.Fatal(err)
+	}
+	if w.writes != 1 {
+		t.Fatalf("batch took %d writes, want 1", w.writes)
+	}
+	// The concatenated stream must decode back to the same messages.
+	dec := NewDecoder(bytes.NewReader(w.buf.Bytes()))
+	for i, want := range msgs {
+		got, err := dec.Decode()
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("message %d differs after batch round trip", i)
+		}
+	}
+	if _, err := dec.Decode(); err != io.EOF {
+		t.Fatalf("trailing bytes after batch: %v", err)
+	}
+}
+
+func TestMessageWriterStickyError(t *testing.T) {
+	w := &failingWriter{}
+	mw := NewMessageWriter(w)
+	mw.Append(&Hello{})
+	if err := mw.Flush(); err == nil {
+		t.Fatal("flush to failing writer succeeded")
+	}
+	mw.Append(&Hello{})
+	if err := mw.Flush(); err == nil {
+		t.Fatal("error not sticky")
+	}
+	if w.writes != 1 {
+		t.Fatalf("writer called %d times after error, want 1", w.writes)
+	}
+}
+
+func TestMessageWriterEmptyFlush(t *testing.T) {
+	w := &countingWriter{}
+	mw := NewMessageWriter(w)
+	if err := mw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.writes != 0 {
+		t.Fatal("empty flush wrote")
+	}
+}
+
+// TestPumpBatchedCoalesces drives the shared write loop with a pre-filled
+// queue and checks the burst reaches the wire in far fewer writes than
+// messages while preserving order.
+func TestPumpBatchedCoalesces(t *testing.T) {
+	const n = 64
+	ch := make(chan Message, n)
+	for i := 1; i <= n; i++ {
+		fm := &FlowMod{Match: MatchAll(), Command: FlowModAdd, BufferID: NoBuffer,
+			OutPort: PortNone, Actions: []Action{&ActionOutput{Port: uint16(i)}}}
+		fm.SetXID(uint32(i))
+		ch <- fm
+	}
+	stop := make(chan struct{})
+	w := &countingWriter{}
+	done := make(chan error, 1)
+	go func() { done <- PumpBatched(w, ch, stop) }()
+
+	// The queue was full before the pump started, so the first receive
+	// drains everything into one batch (the flow-mod burst is ~5KiB, well
+	// under the flush threshold).
+	deadline := 0
+	for len(ch) > 0 && deadline < 1000 {
+		deadline++
+		netSleep()
+	}
+	close(stop)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if w.writes >= n/4 {
+		t.Fatalf("burst of %d messages took %d writes; batching is not coalescing", n, w.writes)
+	}
+	dec := NewDecoder(bytes.NewReader(w.buf.Bytes()))
+	for i := 1; i <= n; i++ {
+		m, err := dec.Decode()
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		if m.XID() != uint32(i) {
+			t.Fatalf("message %d out of order: xid %d", i, m.XID())
+		}
+	}
+}
+
+// TestPumpBatchedFlushesAtBarrier checks a barrier ends its batch rather
+// than coalescing messages queued behind it into the same write.
+func TestPumpBatchedFlushesAtBarrier(t *testing.T) {
+	ch := make(chan Message, 8)
+	fm := &FlowMod{Match: MatchAll(), Command: FlowModAdd, BufferID: NoBuffer, OutPort: PortNone}
+	fm.SetXID(1)
+	br := &BarrierRequest{}
+	br.SetXID(2)
+	after := &Hello{}
+	after.SetXID(3)
+	ch <- fm
+	ch <- br
+	ch <- after
+
+	stop := make(chan struct{})
+	w := &countingWriter{}
+	done := make(chan error, 1)
+	go func() { done <- PumpBatched(w, ch, stop) }()
+	deadline := 0
+	for len(ch) > 0 && deadline < 1000 {
+		deadline++
+		netSleep()
+	}
+	close(stop)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if w.writes < 2 {
+		t.Fatalf("barrier did not delimit the batch: %d writes", w.writes)
+	}
+	dec := NewDecoder(bytes.NewReader(w.buf.Bytes()))
+	for want := uint32(1); want <= 3; want++ {
+		m, err := dec.Decode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.XID() != want {
+			t.Fatalf("xid %d, want %d", m.XID(), want)
+		}
+	}
+}
+
+// TestBatchedLoopsInterop runs the real thing end to end: a PumpBatched
+// writer on one side of a pipe, a Decoder on the other.
+func TestBatchedLoopsInterop(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+
+	const n = 100
+	ch := make(chan Message, n)
+	stop := make(chan struct{})
+	defer close(stop)
+	go PumpBatched(client, ch, stop) //nolint:errcheck
+
+	go func() {
+		for i := 1; i <= n; i++ {
+			m := &EchoRequest{Data: []byte{byte(i)}}
+			m.SetXID(uint32(i))
+			ch <- m
+		}
+	}()
+
+	dec := NewDecoder(server)
+	for i := 1; i <= n; i++ {
+		m, err := dec.Decode()
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		if m.XID() != uint32(i) {
+			t.Fatalf("message %d: xid %d", i, m.XID())
+		}
+	}
+}
+
+// netSleep is the polling interval of the drain-wait loops.
+func netSleep() { time.Sleep(time.Millisecond) }
+
+type countingWriter struct {
+	buf    bytes.Buffer
+	writes int
+}
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.writes++
+	return w.buf.Write(p)
+}
+
+type failingWriter struct{ writes int }
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	w.writes++
+	return 0, errors.New("wire down")
+}

@@ -1,6 +1,9 @@
 package openflow
 
-import "fmt"
+import (
+	"encoding/binary"
+	"fmt"
+)
 
 // Stats types (ofp_stats_types).
 const (
@@ -42,27 +45,30 @@ type PortStatsRequest struct {
 // MsgType implements Message.
 func (*StatsRequest) MsgType() Type { return TypeStatsRequest }
 
-func (m *StatsRequest) encodeBody(w *wbuf) {
-	w.u16(m.StatsType)
-	w.u16(m.Flags)
+// AppendTo implements Message.
+func (m *StatsRequest) AppendTo(b []byte) []byte { return appendMessage(b, m) }
+
+func (m *StatsRequest) appendBody(b []byte) []byte {
+	b = binary.BigEndian.AppendUint16(b, m.StatsType)
+	b = binary.BigEndian.AppendUint16(b, m.Flags)
 	switch m.StatsType {
 	case StatsFlow, StatsAggregate:
 		fr := m.Flow
 		if fr == nil {
 			fr = &FlowStatsRequest{Match: MatchAll(), TableID: 0xff, OutPort: PortNone}
 		}
-		fr.Match.encode(w)
-		w.u8(fr.TableID)
-		w.pad(1)
-		w.u16(fr.OutPort)
+		b = fr.Match.appendTo(b)
+		b = append(b, fr.TableID, 0)
+		b = binary.BigEndian.AppendUint16(b, fr.OutPort)
 	case StatsPort:
 		pr := m.Port
 		if pr == nil {
 			pr = &PortStatsRequest{PortNo: PortNone}
 		}
-		w.u16(pr.PortNo)
-		w.pad(6)
+		b = binary.BigEndian.AppendUint16(b, pr.PortNo)
+		b = append(b, 0, 0, 0, 0, 0, 0)
 	}
+	return b
 }
 
 func (m *StatsRequest) decodeBody(r *rbuf) error {
@@ -148,72 +154,81 @@ type StatsReply struct {
 // MsgType implements Message.
 func (*StatsReply) MsgType() Type { return TypeStatsReply }
 
-func (m *StatsReply) encodeBody(w *wbuf) {
-	w.u16(m.StatsType)
-	w.u16(m.Flags)
+// AppendTo implements Message.
+func (m *StatsReply) AppendTo(b []byte) []byte { return appendMessage(b, m) }
+
+func (m *StatsReply) appendBody(b []byte) []byte {
+	b = binary.BigEndian.AppendUint16(b, m.StatsType)
+	b = binary.BigEndian.AppendUint16(b, m.Flags)
 	switch m.StatsType {
 	case StatsDesc:
 		d := m.Desc
 		if d == nil {
 			d = &DescStats{}
 		}
-		w.str(d.Manufacturer, 256)
-		w.str(d.Hardware, 256)
-		w.str(d.Software, 256)
-		w.str(d.SerialNumber, 32)
-		w.str(d.Datapath, 256)
+		b = fixedStr(b, d.Manufacturer, 256)
+		b = fixedStr(b, d.Hardware, 256)
+		b = fixedStr(b, d.Software, 256)
+		b = fixedStr(b, d.SerialNumber, 32)
+		b = fixedStr(b, d.Datapath, 256)
 	case StatsFlow:
 		for i := range m.Flows {
-			encodeFlowStats(w, &m.Flows[i])
+			b = appendFlowStats(b, &m.Flows[i])
 		}
 	case StatsTable:
 		for _, t := range m.Tables {
-			w.u8(t.TableID)
-			w.pad(3)
-			w.str(t.Name, 32)
-			w.u32(t.Wildcards)
-			w.u32(t.MaxEntries)
-			w.u32(t.ActiveCount)
-			w.u64(t.LookupCount)
-			w.u64(t.MatchedCount)
+			b = append(b, t.TableID, 0, 0, 0)
+			b = fixedStr(b, t.Name, 32)
+			b = binary.BigEndian.AppendUint32(b, t.Wildcards)
+			b = binary.BigEndian.AppendUint32(b, t.MaxEntries)
+			b = binary.BigEndian.AppendUint32(b, t.ActiveCount)
+			b = binary.BigEndian.AppendUint64(b, t.LookupCount)
+			b = binary.BigEndian.AppendUint64(b, t.MatchedCount)
 		}
 	case StatsPort:
-		for _, p := range m.Ports {
-			w.u16(p.PortNo)
-			w.pad(6)
-			for _, v := range []uint64{p.RxPackets, p.TxPackets, p.RxBytes, p.TxBytes,
+		for i := range m.Ports {
+			p := &m.Ports[i]
+			b = binary.BigEndian.AppendUint16(b, p.PortNo)
+			b = append(b, 0, 0, 0, 0, 0, 0)
+			for _, v := range [...]uint64{p.RxPackets, p.TxPackets, p.RxBytes, p.TxBytes,
 				p.RxDropped, p.TxDropped, p.RxErrors, p.TxErrors,
 				p.RxFrameErr, p.RxOverErr, p.RxCRCErr, p.Collisions} {
-				w.u64(v)
+				b = binary.BigEndian.AppendUint64(b, v)
 			}
 		}
 	default:
-		w.bytes(m.Raw)
+		b = append(b, m.Raw...)
 	}
+	return b
 }
 
-func encodeFlowStats(w *wbuf, f *FlowStats) {
-	lenAt := len(w.b)
-	w.u16(0) // length, patched
-	w.u8(f.TableID)
-	w.pad(1)
-	f.Match.encode(w)
-	w.u32(f.DurationSec)
-	w.u32(f.DurationNsec)
-	w.u16(f.Priority)
-	w.u16(f.IdleTimeout)
-	w.u16(f.HardTimeout)
-	w.pad(6)
-	w.u64(f.Cookie)
-	w.u64(f.PacketCount)
-	w.u64(f.ByteCount)
-	encodeActions(w, f.Actions)
-	entryLen := len(w.b) - lenAt
-	w.b[lenAt] = byte(entryLen >> 8)
-	w.b[lenAt+1] = byte(entryLen)
+func appendFlowStats(b []byte, f *FlowStats) []byte {
+	lenAt := len(b)
+	b = append(b, 0, 0) // length, patched below
+	b = append(b, f.TableID, 0)
+	b = f.Match.appendTo(b)
+	b = binary.BigEndian.AppendUint32(b, f.DurationSec)
+	b = binary.BigEndian.AppendUint32(b, f.DurationNsec)
+	b = binary.BigEndian.AppendUint16(b, f.Priority)
+	b = binary.BigEndian.AppendUint16(b, f.IdleTimeout)
+	b = binary.BigEndian.AppendUint16(b, f.HardTimeout)
+	b = append(b, 0, 0, 0, 0, 0, 0)
+	b = binary.BigEndian.AppendUint64(b, f.Cookie)
+	b = binary.BigEndian.AppendUint64(b, f.PacketCount)
+	b = binary.BigEndian.AppendUint64(b, f.ByteCount)
+	b = appendActions(b, f.Actions)
+	binary.BigEndian.PutUint16(b[lenAt:], uint16(len(b)-lenAt))
+	return b
 }
 
 func (m *StatsReply) decodeBody(r *rbuf) error {
+	// Overwrite every variant field when m is reused across decodes; only
+	// the branch matching StatsType repopulates below.
+	m.Desc = nil
+	m.Flows = m.Flows[:0]
+	m.Tables = m.Tables[:0]
+	m.Ports = m.Ports[:0]
+	m.Raw = m.Raw[:0]
 	m.StatsType = r.u16()
 	m.Flags = r.u16()
 	switch m.StatsType {

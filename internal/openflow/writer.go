@@ -1,0 +1,119 @@
+package openflow
+
+import "io"
+
+// DefaultFlushThreshold is the buffered-byte level past which MessageWriter
+// callers should flush: large enough to coalesce a whole flow-mod burst
+// (dozens of ~100-byte messages), small enough to keep a batch inside one
+// socket write on any sane transport.
+const DefaultFlushThreshold = 32 * 1024
+
+// MessageWriter encodes messages into an internal buffer and writes the
+// whole batch to the underlying writer in a single Write call on Flush.
+// Encoding goes through each message's AppendTo, so appending allocates
+// nothing once the buffer has grown to the working-set size; forwarding a
+// *Raw message appends its stored body byte for byte without re-encoding.
+//
+// A write error is sticky: it is returned by the failing Flush and every
+// call after it. MessageWriter is not safe for concurrent use.
+type MessageWriter struct {
+	w   io.Writer
+	buf []byte
+	err error
+}
+
+// NewMessageWriter returns a MessageWriter writing batches to w.
+func NewMessageWriter(w io.Writer) *MessageWriter {
+	return &MessageWriter{w: w, buf: make([]byte, 0, 1024)}
+}
+
+// Append encodes m into the batch buffer. It never writes to the underlying
+// writer; call Flush to do so.
+func (mw *MessageWriter) Append(m Message) {
+	if mw.err != nil {
+		return
+	}
+	mw.buf = m.AppendTo(mw.buf)
+}
+
+// Buffered returns the number of encoded bytes awaiting Flush.
+func (mw *MessageWriter) Buffered() int { return len(mw.buf) }
+
+// Flush writes all buffered messages in one underlying Write and resets the
+// buffer, retaining its capacity.
+func (mw *MessageWriter) Flush() error {
+	if mw.err != nil {
+		return mw.err
+	}
+	if len(mw.buf) == 0 {
+		return nil
+	}
+	_, err := mw.w.Write(mw.buf)
+	mw.buf = mw.buf[:0]
+	if err != nil {
+		mw.err = err
+	}
+	return err
+}
+
+// WriteBatch frames every message in msgs into one buffer and writes it with
+// a single Write call. It is the one-shot form of MessageWriter for callers
+// that already hold a complete batch.
+func WriteBatch(w io.Writer, msgs []Message) error {
+	if len(msgs) == 0 {
+		return nil
+	}
+	buf := make([]byte, 0, len(msgs)*marshalSizeHint)
+	for _, m := range msgs {
+		buf = m.AppendTo(buf)
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// IsBarrier reports whether m delimits a batch: barrier request/reply mark
+// the points a peer synchronizes on, so batching write loops flush at them
+// instead of coalescing past them.
+func IsBarrier(m Message) bool {
+	switch m.MsgType() {
+	case TypeBarrierRequest, TypeBarrierReply:
+		return true
+	}
+	return false
+}
+
+// PumpBatched relays messages from ch to w until stop closes or a write
+// fails, coalescing bursts into single underlying writes: after receiving a
+// message it greedily drains whatever else is already queued (up to
+// DefaultFlushThreshold) into one MessageWriter batch and flushes once.
+// Barriers delimit batches — a barrier request or reply ends the batch it
+// rides in, since the peer synchronizes on it and coalescing past it would
+// only grow the batch without helping latency.
+//
+// All three message-pumping layers share this loop: the controller send path
+// (ctlkit), the FlowVisor proxy's per-connection writers, and the emulated
+// switch's reply path. It returns nil when stop closes and the write error
+// otherwise.
+func PumpBatched(w io.Writer, ch <-chan Message, stop <-chan struct{}) error {
+	mw := NewMessageWriter(w)
+	for {
+		select {
+		case m := <-ch:
+			mw.Append(m)
+		drain:
+			for !IsBarrier(m) && mw.Buffered() < DefaultFlushThreshold {
+				select {
+				case m = <-ch:
+					mw.Append(m)
+				default:
+					break drain
+				}
+			}
+			if err := mw.Flush(); err != nil {
+				return err
+			}
+		case <-stop:
+			return nil
+		}
+	}
+}

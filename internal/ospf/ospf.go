@@ -99,6 +99,7 @@ type Instance struct {
 	spfRun uint64    // count of SPF executions
 
 	started  bool
+	stopped  bool
 	stopOnce sync.Once
 	stop     chan struct{}
 	wg       sync.WaitGroup
@@ -168,25 +169,34 @@ func (i *Instance) RemoveInterface(name string) {
 	i.scheduleSPFLocked()
 }
 
-// Start launches the hello/dead/aging timers.
+// Start launches the hello/dead/aging timers. Starting after Stop is a
+// no-op (a VM may still be booting while its deployment is torn down).
 func (i *Instance) Start() {
 	i.mu.Lock()
-	if i.started {
+	if i.started || i.stopped {
 		i.mu.Unlock()
 		return
 	}
 	i.started = true
+	// Add under mu so a concurrent Stop either observes the counter or
+	// prevents the start entirely — never an Add racing the Wait. The
+	// initial hello burst below is fenced by the same WaitGroup: Stop may
+	// overlap it but never returns before it finishes.
+	i.wg.Add(2)
 	i.mu.Unlock()
-	i.wg.Add(1)
 	go i.timerLoop()
 	// First hello goes out immediately; neighbors answer within their next
 	// hello, which is what makes cold-start convergence tractable.
 	i.sendHellos()
+	i.wg.Done()
 }
 
 // Stop halts the instance.
 func (i *Instance) Stop() {
 	i.stopOnce.Do(func() { close(i.stop) })
+	i.mu.Lock()
+	i.stopped = true
+	i.mu.Unlock()
 	i.wg.Wait()
 }
 

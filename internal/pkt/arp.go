@@ -38,25 +38,34 @@ func (a *ARP) Marshal() []byte {
 
 // DecodeARP parses an IPv4-over-Ethernet ARP packet.
 func DecodeARP(b []byte) (*ARP, error) {
+	var a ARP
+	if err := DecodeARPInto(&a, b); err != nil {
+		return nil, err
+	}
+	return &a, nil
+}
+
+// DecodeARPInto is DecodeARP decoding into a caller-provided packet; with a
+// stack-allocated ARP it does not allocate.
+func DecodeARPInto(a *ARP, b []byte) error {
 	if len(b) < arpLen {
-		return nil, fmt.Errorf("%w: arp needs %d bytes, have %d", ErrTruncated, arpLen, len(b))
+		return fmt.Errorf("%w: arp needs %d bytes, have %d", ErrTruncated, arpLen, len(b))
 	}
 	if ht := binary.BigEndian.Uint16(b[0:]); ht != 1 {
-		return nil, fmt.Errorf("pkt: unsupported ARP hardware type %d", ht)
+		return fmt.Errorf("pkt: unsupported ARP hardware type %d", ht)
 	}
 	if pt := EtherType(binary.BigEndian.Uint16(b[2:])); pt != EtherTypeIPv4 {
-		return nil, fmt.Errorf("pkt: unsupported ARP protocol type %v", pt)
+		return fmt.Errorf("pkt: unsupported ARP protocol type %v", pt)
 	}
 	if b[4] != 6 || b[5] != 4 {
-		return nil, fmt.Errorf("pkt: unsupported ARP address lengths %d/%d", b[4], b[5])
+		return fmt.Errorf("pkt: unsupported ARP address lengths %d/%d", b[4], b[5])
 	}
-	var a ARP
 	a.Op = binary.BigEndian.Uint16(b[6:])
 	copy(a.SenderHW[:], b[8:14])
 	a.SenderIP = netip.AddrFrom4([4]byte(b[14:18]))
 	copy(a.TargetHW[:], b[18:24])
 	a.TargetIP = netip.AddrFrom4([4]byte(b[24:28]))
-	return &a, nil
+	return nil
 }
 
 // NewARPRequest builds a who-has request for target sent from (hw, ip).

@@ -122,18 +122,29 @@ var ErrTruncated = errors.New("pkt: truncated packet")
 // DecodeFrame parses an Ethernet II frame, unwrapping at most one 802.1Q
 // tag. The returned frame's Payload aliases b.
 func DecodeFrame(b []byte) (*Frame, error) {
+	var f Frame
+	if err := DecodeFrameInto(&f, b); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}
+
+// DecodeFrameInto is DecodeFrame decoding into a caller-provided Frame; with
+// a stack-allocated Frame it does not allocate, which matters on the
+// per-packet dataplane path. f.Payload aliases b.
+func DecodeFrameInto(f *Frame, b []byte) error {
 	if len(b) < EthernetHeaderLen {
-		return nil, fmt.Errorf("%w: ethernet header needs %d bytes, have %d",
+		return fmt.Errorf("%w: ethernet header needs %d bytes, have %d",
 			ErrTruncated, EthernetHeaderLen, len(b))
 	}
-	var f Frame
 	copy(f.Dst[:], b[0:6])
 	copy(f.Src[:], b[6:12])
 	et := EtherType(binary.BigEndian.Uint16(b[12:14]))
 	off := 14
+	f.VLANID = 0
 	if et == EtherTypeVLAN {
 		if len(b) < 18 {
-			return nil, fmt.Errorf("%w: vlan tag", ErrTruncated)
+			return fmt.Errorf("%w: vlan tag", ErrTruncated)
 		}
 		f.VLANID = binary.BigEndian.Uint16(b[14:16]) & 0x0fff
 		et = EtherType(binary.BigEndian.Uint16(b[16:18]))
@@ -141,7 +152,7 @@ func DecodeFrame(b []byte) (*Frame, error) {
 	}
 	f.Type = et
 	f.Payload = b[off:]
-	return &f, nil
+	return nil
 }
 
 // mustAddr4 converts a netip.Addr to its 4-byte form, panicking on non-IPv4;

@@ -36,18 +36,27 @@ func (m *ICMP) Marshal() []byte {
 
 // DecodeICMP parses and checksum-verifies an ICMPv4 message.
 func DecodeICMP(b []byte) (*ICMP, error) {
+	var m ICMP
+	if err := DecodeICMPInto(&m, b); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// DecodeICMPInto is DecodeICMP decoding into a caller-provided message; with
+// a stack-allocated ICMP it does not allocate. m.Payload aliases b.
+func DecodeICMPInto(m *ICMP, b []byte) error {
 	if len(b) < icmpHeaderLen {
-		return nil, fmt.Errorf("%w: icmp header", ErrTruncated)
+		return fmt.Errorf("%w: icmp header", ErrTruncated)
 	}
 	if Checksum(b) != 0 {
-		return nil, fmt.Errorf("pkt: icmp checksum mismatch")
+		return fmt.Errorf("pkt: icmp checksum mismatch")
 	}
-	return &ICMP{
-		Type: b[0], Code: b[1],
-		ID:      binary.BigEndian.Uint16(b[4:]),
-		Seq:     binary.BigEndian.Uint16(b[6:]),
-		Payload: b[icmpHeaderLen:],
-	}, nil
+	m.Type, m.Code = b[0], b[1]
+	m.ID = binary.BigEndian.Uint16(b[4:])
+	m.Seq = binary.BigEndian.Uint16(b[6:])
+	m.Payload = b[icmpHeaderLen:]
+	return nil
 }
 
 // EchoReply builds the reply to an echo request, mirroring ID, Seq and

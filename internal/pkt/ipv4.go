@@ -84,24 +84,33 @@ func (p *IPv4) Marshal() []byte {
 // DecodeIPv4 parses an IPv4 packet and verifies the header checksum. Options
 // are skipped; the returned Payload aliases b.
 func DecodeIPv4(b []byte) (*IPv4, error) {
+	var p IPv4
+	if err := DecodeIPv4Into(&p, b); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// DecodeIPv4Into is DecodeIPv4 decoding into a caller-provided packet; with
+// a stack-allocated IPv4 it does not allocate. p.Payload aliases b.
+func DecodeIPv4Into(p *IPv4, b []byte) error {
 	if len(b) < IPv4HeaderLen {
-		return nil, fmt.Errorf("%w: ipv4 header", ErrTruncated)
+		return fmt.Errorf("%w: ipv4 header", ErrTruncated)
 	}
 	if v := b[0] >> 4; v != 4 {
-		return nil, fmt.Errorf("pkt: IP version %d, want 4", v)
+		return fmt.Errorf("pkt: IP version %d, want 4", v)
 	}
 	ihl := int(b[0]&0x0f) * 4
 	if ihl < IPv4HeaderLen || len(b) < ihl {
-		return nil, fmt.Errorf("%w: ipv4 IHL %d", ErrTruncated, ihl)
+		return fmt.Errorf("%w: ipv4 IHL %d", ErrTruncated, ihl)
 	}
 	if Checksum(b[:ihl]) != 0 {
-		return nil, fmt.Errorf("pkt: ipv4 header checksum mismatch")
+		return fmt.Errorf("pkt: ipv4 header checksum mismatch")
 	}
 	total := int(binary.BigEndian.Uint16(b[2:]))
 	if total < ihl || total > len(b) {
-		return nil, fmt.Errorf("%w: ipv4 total length %d of %d", ErrTruncated, total, len(b))
+		return fmt.Errorf("%w: ipv4 total length %d of %d", ErrTruncated, total, len(b))
 	}
-	var p IPv4
 	p.TOS = b[1]
 	p.ID = binary.BigEndian.Uint16(b[4:])
 	ff := binary.BigEndian.Uint16(b[6:])
@@ -112,7 +121,7 @@ func DecodeIPv4(b []byte) (*IPv4, error) {
 	p.Src = netip.AddrFrom4([4]byte(b[12:16]))
 	p.Dst = netip.AddrFrom4([4]byte(b[16:20]))
 	p.Payload = b[ihl:total]
-	return &p, nil
+	return nil
 }
 
 // pseudoHeaderSum computes the one's-complement sum of the IPv4 pseudo

@@ -43,12 +43,22 @@ func (u *UDP) Marshal(src, dst netip.Addr) []byte {
 // the checksum is verified (a zero checksum means "not computed" and is
 // accepted, per RFC 768).
 func DecodeUDP(b []byte, src, dst netip.Addr) (*UDP, error) {
+	var u UDP
+	if err := DecodeUDPInto(&u, b, src, dst); err != nil {
+		return nil, err
+	}
+	return &u, nil
+}
+
+// DecodeUDPInto is DecodeUDP decoding into a caller-provided datagram; with
+// a stack-allocated UDP it does not allocate. u.Payload aliases b.
+func DecodeUDPInto(u *UDP, b []byte, src, dst netip.Addr) error {
 	if len(b) < UDPHeaderLen {
-		return nil, fmt.Errorf("%w: udp header", ErrTruncated)
+		return fmt.Errorf("%w: udp header", ErrTruncated)
 	}
 	length := int(binary.BigEndian.Uint16(b[4:]))
 	if length < UDPHeaderLen || length > len(b) {
-		return nil, fmt.Errorf("%w: udp length %d of %d", ErrTruncated, length, len(b))
+		return fmt.Errorf("%w: udp length %d of %d", ErrTruncated, length, len(b))
 	}
 	if ck := binary.BigEndian.Uint16(b[6:]); ck != 0 && src.Is4() && dst.Is4() {
 		sum := pseudoHeaderSum(src, dst, ProtoUDP, length)
@@ -59,12 +69,11 @@ func DecodeUDP(b []byte, src, dst netip.Addr) (*UDP, error) {
 			sum += uint32(b[length-1]) << 8
 		}
 		if got := finishChecksum(sum); got != 0 {
-			return nil, fmt.Errorf("pkt: udp checksum mismatch")
+			return fmt.Errorf("pkt: udp checksum mismatch")
 		}
 	}
-	return &UDP{
-		SrcPort: binary.BigEndian.Uint16(b[0:]),
-		DstPort: binary.BigEndian.Uint16(b[2:]),
-		Payload: b[UDPHeaderLen:length],
-	}, nil
+	u.SrcPort = binary.BigEndian.Uint16(b[0:])
+	u.DstPort = binary.BigEndian.Uint16(b[2:])
+	u.Payload = b[UDPHeaderLen:length]
+	return nil
 }

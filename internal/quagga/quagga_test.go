@@ -128,23 +128,25 @@ func TestValidate(t *testing.T) {
 	if err := c.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	bad := *c
+	// Config embeds a lock, so build each bad variant fresh instead of
+	// copying the sample by value.
+	bad := sampleConfig()
 	bad.Hostname = ""
 	if bad.Validate() == nil {
 		t.Fatal("missing hostname accepted")
 	}
-	bad = *c
+	bad = sampleConfig()
 	bad.Networks = []netip.Prefix{netip.MustParsePrefix("192.0.2.0/24")}
 	if bad.Validate() == nil {
 		t.Fatal("uncovered network accepted")
 	}
-	bad = *c
+	bad = sampleConfig()
 	bad.Interfaces = append([]InterfaceConfig{}, c.Interfaces...)
 	bad.Interfaces = append(bad.Interfaces, c.Interfaces[0])
 	if bad.Validate() == nil {
 		t.Fatal("duplicate interface accepted")
 	}
-	bad = *c
+	bad = sampleConfig()
 	bad.Interfaces = []InterfaceConfig{{Name: "e0"}}
 	bad.Networks = nil
 	if bad.Validate() == nil {

@@ -74,6 +74,8 @@ func (r *Router) Hostname() string { return r.cfg.Hostname }
 // ospfEnabled reports whether addr falls inside any `network ... area`
 // statement.
 func (r *Router) ospfEnabled(addr netip.Addr) bool {
+	r.cfg.mu.RLock()
+	defer r.cfg.mu.RUnlock()
 	for _, n := range r.cfg.Networks {
 		if n.Contains(addr) {
 			return true
@@ -88,12 +90,16 @@ func (r *Router) ospfEnabled(addr netip.Addr) bool {
 // returned interface is nil when OSPF is not enabled on it.
 func (r *Router) Attach(name string, send ospf.SendFunc) (*ospf.Interface, error) {
 	var ic *InterfaceConfig
+	r.cfg.mu.RLock()
 	for i := range r.cfg.Interfaces {
 		if r.cfg.Interfaces[i].Name == name {
-			ic = &r.cfg.Interfaces[i]
+			// Copy: a concurrent AddInterfaceConfig may regrow the slice.
+			cp := r.cfg.Interfaces[i]
+			ic = &cp
 			break
 		}
 	}
+	r.cfg.mu.RUnlock()
 	if ic == nil {
 		return nil, fmt.Errorf("quagga: interface %s not in configuration", name)
 	}
@@ -149,8 +155,8 @@ func (r *Router) AddInterfaceConfig(ic InterfaceConfig) error {
 	if !ic.Address.IsValid() || !ic.Address.Addr().Is4() {
 		return fmt.Errorf("quagga: interface %s needs an IPv4 address", ic.Name)
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.cfg.mu.Lock()
+	defer r.cfg.mu.Unlock()
 	for _, ex := range r.cfg.Interfaces {
 		if ex.Name == ic.Name {
 			return fmt.Errorf("quagga: interface %s already configured", ic.Name)
@@ -162,8 +168,8 @@ func (r *Router) AddInterfaceConfig(ic InterfaceConfig) error {
 
 // AddNetwork appends an OSPF network statement at runtime.
 func (r *Router) AddNetwork(p netip.Prefix) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.cfg.mu.Lock()
+	defer r.cfg.mu.Unlock()
 	for _, ex := range r.cfg.Networks {
 		if ex == p {
 			return
@@ -174,6 +180,8 @@ func (r *Router) AddNetwork(p netip.Prefix) {
 
 // InterfaceAddr returns the configured address of an interface.
 func (r *Router) InterfaceAddr(name string) (netip.Prefix, bool) {
+	r.cfg.mu.RLock()
+	defer r.cfg.mu.RUnlock()
 	for _, ic := range r.cfg.Interfaces {
 		if ic.Name == name {
 			return ic.Address, true

@@ -1,0 +1,51 @@
+#!/usr/bin/env sh
+# bench.sh — run the protocol-substrate micro benchmarks and emit a JSON
+# perf snapshot (benchmark name -> ns/op, B/op, allocs/op).
+#
+# Usage: scripts/bench.sh [output.json] [benchtime]
+#   output.json  defaults to BENCH.json
+#   benchtime    defaults to 10000x (pass e.g. 1s for a timed run)
+#
+# The macro benchmarks (Fig. 3 ring scaling, the pan-European demo) are not
+# run here — they take seconds per iteration; run them directly:
+#   go test -run='^$' -bench='BenchmarkFig3AutoConfigure|BenchmarkDemoPanEuropeanVideo' -benchtime=3x .
+set -eu
+
+out="${1:-BENCH.json}"
+benchtime="${2:-10000x}"
+cd "$(dirname "$0")/.."
+
+raw="$(go test -run='^$' \
+	-bench='BenchmarkOpenFlow|BenchmarkMatch|BenchmarkRIB|BenchmarkLLDP' \
+	-benchmem -benchtime="$benchtime" .)"
+
+printf '%s\n' "$raw" >&2
+
+printf '%s\n' "$raw" | awk '
+BEGIN { n = 0 }
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)   # strip GOMAXPROCS suffix
+	ns = ""; bytes = ""; allocs = ""
+	for (i = 2; i <= NF; i++) {
+		if ($i == "ns/op")     ns = $(i-1)
+		if ($i == "B/op")      bytes = $(i-1)
+		if ($i == "allocs/op") allocs = $(i-1)
+	}
+	if (ns != "") {
+		if (n++) printf ",\n"
+		printf "    \"%s\": {\"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s}", \
+			name, ns, (bytes == "" ? "null" : bytes), (allocs == "" ? "null" : allocs)
+	}
+}
+END { if (n == 0) exit 1 }
+' > /tmp/bench_body.$$
+
+{
+	printf '{\n  "benchmarks": {\n'
+	cat /tmp/bench_body.$$
+	printf '\n  }\n}\n'
+} > "$out"
+rm -f /tmp/bench_body.$$
+
+echo "wrote $out" >&2
