@@ -253,6 +253,138 @@ func TestLinkFailureReconvergence(t *testing.T) {
 	}
 }
 
+// TestPanEuropeanConvergesUnderRPCDrops is the acceptance scenario of the
+// reconciliation refactor: with 20% of RPC frames dropped on the control
+// channel (and the client's own retries cut to a single attempt so the
+// reconciler carries the load), a full pan-European deployment still
+// reaches configured *and* converged — including host gateway subnets.
+// Under the fire-and-forget design a single dropped HostUp wedged a host
+// gateway forever.
+func TestPanEuropeanConvergesUnderRPCDrops(t *testing.T) {
+	g := topo.PanEuropean()
+	opts := fastOptions(g, 0, 27)
+	// Gentler timers than the ring-4 tests: 28 switches × 41 links under
+	// the race detector's slowdown must not miss dead intervals.
+	opts.ProbeInterval = 50 * time.Millisecond
+	opts.LinkTTL = 300 * time.Millisecond
+	opts.Timers = quagga.Timers{
+		Hello:    60 * time.Millisecond,
+		Dead:     300 * time.Millisecond,
+		SPFDelay: 10 * time.Millisecond,
+	}
+	opts.RPCDropRate = 0.2
+	opts.RPCDropSeed = 7
+	opts.RPCAttempts = 1                           // no short-horizon retry: reconciler only
+	opts.ReconcilerBackoff = time.Millisecond * 20 // keep retry latency test-sized
+	d, err := NewDeployment(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AwaitConfigured(60 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AwaitConverged(120 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	st := d.TopologyController().Store().Statistics()
+	if st.Failures == 0 {
+		t.Fatalf("drop injection never exercised the reconciler: %+v", st)
+	}
+	// Bounded retries: convergence must come from backoff-paced repair, not
+	// a hot resend loop. 28 switches + 41 links + 2 hosts ≈ 71 items; at a
+	// 20% drop rate a generous ceiling is a few sends per item.
+	if st.Sends > 1000 {
+		t.Fatalf("unbounded retry storm: %+v", st)
+	}
+	// Converged now implies host gateways are routable: the demo's actual
+	// payload path must come up.
+	h0, _ := d.Host(0)
+	h27, _ := d.Host(27)
+	deadline := time.Now().Add(30 * time.Second)
+	var lastErr error
+	for time.Now().Before(deadline) {
+		if _, lastErr = h0.Ping(h27.Addr(), 2*time.Second); lastErr == nil {
+			return
+		}
+	}
+	t.Fatalf("hosts unreachable after converged under drops: %v", lastErr)
+}
+
+// TestLinkFlapStormReconverges flaps an inter-switch link repeatedly; the
+// declarative pipeline must settle back to a fully converged, routable
+// network every time the storm ends.
+func TestLinkFlapStormReconverges(t *testing.T) {
+	g := topo.Ring(4)
+	d, err := NewDeployment(fastOptions(g, 0, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AwaitConverged(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := d.SetLinkUp(0, false); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(80 * time.Millisecond) // past LinkTTL: discovery sees the loss
+		if err := d.SetLinkUp(0, true); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(30 * time.Millisecond)
+	}
+	if _, err := d.AwaitConverged(30 * time.Second); err != nil {
+		t.Fatalf("never reconverged after flap storm: %v", err)
+	}
+	h0, _ := d.Host(0)
+	h2, _ := d.Host(2)
+	deadline := time.Now().Add(20 * time.Second)
+	var lastErr error
+	for time.Now().Before(deadline) {
+		if _, lastErr = h0.Ping(h2.Addr(), 2*time.Second); lastErr == nil {
+			return
+		}
+	}
+	t.Fatalf("no connectivity after flap storm: %v", lastErr)
+}
+
+// TestConvergedImpliesHostGatewaysRouted pins the AwaitConverged contract:
+// once it returns, every VM holds a route to every host gateway and the
+// gateway interfaces carry their addresses.
+func TestConvergedImpliesHostGatewaysRouted(t *testing.T) {
+	g := topo.Ring(4)
+	d, err := NewDeployment(fastOptions(g, 1, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AwaitConverged(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for _, node := range []int{1, 3} {
+		gw, _ := d.HostGateway(node)
+		for _, n := range d.Graph().Nodes() {
+			vm, ok := d.Platform().VM(DPIDForNode(n.ID))
+			if !ok {
+				t.Fatalf("no VM for node %d", n.ID)
+			}
+			if _, ok := vm.RIB().Lookup(gw); !ok {
+				t.Fatalf("node %d has no route to gateway %v after converged", n.ID, gw)
+			}
+		}
+	}
+}
+
 func TestTopologyControllerAllocatorExposed(t *testing.T) {
 	g := topo.Ring(3)
 	d, err := NewDeployment(fastOptions(g))

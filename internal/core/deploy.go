@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"net"
 	"net/netip"
 	"sync"
@@ -11,6 +12,7 @@ import (
 	"routeflow/internal/ctlkit"
 	"routeflow/internal/discovery"
 	"routeflow/internal/flowvisor"
+	"routeflow/internal/intent"
 	"routeflow/internal/netemu"
 	"routeflow/internal/ofswitch"
 	"routeflow/internal/pkt"
@@ -45,6 +47,21 @@ type Options struct {
 	NoFlowVisor bool
 	// OnStatus observes per-switch configuration state (GUI).
 	OnStatus func(dpid uint64, state vnet.State)
+	// RPCDropRate injects control-channel loss: each frame written by the
+	// RPC client is dropped (and its connection cut) with this probability.
+	// The reconciler must converge regardless — the failure scenario the
+	// fire-and-forget design could not survive.
+	RPCDropRate float64
+	// RPCDropSeed makes injected loss reproducible (used when RPCDropRate
+	// is non-zero).
+	RPCDropSeed int64
+	// RPCAttempts bounds the RPC client's short-horizon retries per send
+	// (0 = package default). Long-horizon retry is the reconciler's job, so
+	// loss tests set this low to exercise it.
+	RPCAttempts int
+	// ReconcilerBackoff overrides the reconciler's first retry delay
+	// (0 = intent.DefaultBackoffBase). The ceiling stays proportional.
+	ReconcilerBackoff time.Duration
 }
 
 // Deployment is a fully wired automatic-configuration system under test: the
@@ -199,7 +216,15 @@ func (d *Deployment) build() error {
 	rpcL := ctlkit.NewMemListener("rpc-server")
 	d.listeners = append(d.listeners, rpcL)
 	go d.rpcSrv.Serve(rpcL)
-	d.rpcCli = rpcconf.NewClient(func() (net.Conn, error) { return rpcL.Dial() }, d.clk)
+	rpcDial := func() (net.Conn, error) { return rpcL.Dial() }
+	if d.opts.RPCDropRate > 0 {
+		rpcDial = rpcconf.FlakyDialer(rpcDial, d.opts.RPCDropRate, d.opts.RPCDropSeed)
+	}
+	var cliOpts []rpcconf.ClientOption
+	if d.opts.RPCAttempts > 0 {
+		cliOpts = append(cliOpts, rpcconf.WithRetry(100*time.Millisecond, d.opts.RPCAttempts))
+	}
+	d.rpcCli = rpcconf.NewClient(rpcDial, d.clk, cliOpts...)
 
 	// Topology controller: discovery + RPC client.
 	var discOpts []discovery.Option
@@ -219,8 +244,13 @@ func (d *Deployment) build() error {
 	} else {
 		d.topoCtl = ctlkit.New("topology-controller", d.clk, d.disc.Callbacks())
 	}
+	var recOpts []intent.Option
+	if d.opts.ReconcilerBackoff > 0 {
+		recOpts = append(recOpts,
+			intent.WithBackoff(d.opts.ReconcilerBackoff, 50*d.opts.ReconcilerBackoff))
+	}
 	d.tc, err = NewTopologyController(d.clk, d.disc, d.topoCtl, d.rpcCli,
-		d.opts.Pool, 30, admin)
+		d.opts.Pool, 30, admin, recOpts...)
 	return err
 }
 
@@ -259,11 +289,11 @@ func (d *Deployment) Start() error {
 	d.tc.Run()
 
 	for _, sw := range d.switches {
-		conn, err := swDial()
-		if err != nil {
-			return err
-		}
-		if err := sw.Start(conn); err != nil {
+		// StartDialer, not Start: a switch whose control session dies (echo
+		// keepalive cut under load, proxy restart) redials instead of
+		// leaving the node dark forever — the discovery/intent pipeline
+		// then re-declares it and the reconciler re-configures it.
+		if err := sw.StartDialer(func() (io.ReadWriteCloser, error) { return swDial() }); err != nil {
 			return err
 		}
 	}

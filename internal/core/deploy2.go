@@ -151,22 +151,68 @@ func (d *Deployment) AwaitConfigured(timeout time.Duration) (time.Duration, erro
 	})
 }
 
-// AwaitConverged blocks until every VM's OSPF has a Full adjacency on every
-// inter-switch link (routing fully converged) and returns the protocol time
-// since Start.
+// AwaitConverged blocks until the system is *actually* converged and
+// returns the protocol time since Start. Converged means:
+//
+//   - every declared configuration item has been acknowledged by the
+//     rf-server (the desired-state store drained);
+//   - every VM's OSPF has a Full adjacency on every inter-switch link;
+//   - every host gateway is configured on its VM and every VM has a route
+//     to every host subnet — so "converged" can no longer report success
+//     while a host is unreachable (the pre-refactor demo flake).
 func (d *Deployment) AwaitConverged(timeout time.Duration) (time.Duration, error) {
-	return d.pollUntil(timeout, "OSPF convergence", func() bool {
+	el, err := d.pollUntil(timeout, "OSPF convergence", func() bool {
+		return d.convergenceGap() == ""
+	})
+	if err != nil {
+		if gap := d.convergenceGap(); gap != "" {
+			err = fmt.Errorf("%w (%s)", err, gap)
+		}
+	}
+	return el, err
+}
+
+// convergenceGap names the first unmet convergence condition, or "" when
+// fully converged — the diagnostic behind AwaitConverged.
+func (d *Deployment) convergenceGap() string {
+	if !d.tc.Store().Converged() {
+		return fmt.Sprintf("intent store not drained: %+v pending=%v lastErrs=%v",
+			d.tc.Store().Statistics(), d.tc.Store().PendingItems(), d.tc.LastErrors())
+	}
+	for _, n := range d.graph.Nodes() {
+		vm, ok := d.platform.VM(DPIDForNode(n.ID))
+		if !ok {
+			return fmt.Sprintf("node %d has no VM", n.ID)
+		}
+		if full, deg := vm.Router().OSPF().FullNeighbors(), d.graph.Degree(n.ID); full < deg {
+			return fmt.Sprintf("node %d OSPF %d/%d adjacencies Full; ports=%v neighbors=%q",
+				n.ID, full, deg, vm.ConfiguredPorts(), vm.Router().ShowOSPFNeighbors())
+		}
+	}
+	for node, gw := range d.hostGWs {
+		vm, ok := d.platform.VM(DPIDForNode(node))
+		if !ok {
+			return fmt.Sprintf("host node %d has no VM", node)
+		}
+		hostPort, ok := d.graph.HostPort(node)
+		if !ok {
+			return fmt.Sprintf("host node %d has no host port in the graph", node)
+		}
+		addr, ok := vm.InterfaceAddr(uint16(hostPort))
+		if !ok || addr.Addr() != gw {
+			return fmt.Sprintf("host node %d gateway %v not configured (got %v)", node, gw, addr)
+		}
 		for _, n := range d.graph.Nodes() {
-			vm, ok := d.platform.VM(DPIDForNode(n.ID))
+			peer, ok := d.platform.VM(DPIDForNode(n.ID))
 			if !ok {
-				return false
+				return fmt.Sprintf("node %d has no VM", n.ID)
 			}
-			if vm.Router().OSPF().FullNeighbors() < d.graph.Degree(n.ID) {
-				return false
+			if _, ok := peer.RIB().Lookup(gw); !ok {
+				return fmt.Sprintf("node %d has no route to host gateway %v", n.ID, gw)
 			}
 		}
-		return true
-	})
+	}
+	return ""
 }
 
 // Close tears the whole system down.

@@ -2,10 +2,13 @@
 // configures RouteFlow automatically (Fig. 2). It contains
 //
 //   - the topology controller application: the LLDP discovery module plus
-//     the logic that turns discovery events into configuration messages —
-//     "on detection of a new switch" send {dpid, #ports}; "on detection of
-//     a new link" allocate unique IP addresses from the administrator's
-//     range and send them — dispatched through the RPC client;
+//     the logic that turns discovery events into *declared desired state* —
+//     "on detection of a new switch" declare {dpid, #ports}; "on detection
+//     of a new link" allocate unique IP addresses from the administrator's
+//     range and declare them. A reconciler (internal/intent) continuously
+//     diffs the declared state against what the rf-server has acknowledged
+//     and (re)issues configuration RPCs with exponential backoff, so a
+//     dropped message delays convergence instead of wedging it;
 //   - the manual-configuration cost model the paper uses for Fig. 3's
 //     baseline (5 min VM creation + 2 min mapping + 8 min routing
 //     configuration per switch);
@@ -23,6 +26,7 @@ import (
 	"routeflow/internal/clock"
 	"routeflow/internal/ctlkit"
 	"routeflow/internal/discovery"
+	"routeflow/internal/intent"
 	"routeflow/internal/ipam"
 	"routeflow/internal/rpcconf"
 )
@@ -35,25 +39,32 @@ type HostAttachment struct {
 	Gateway netip.Prefix
 }
 
-// TopologyController is the paper's topology controller: discovery + IP
-// computation + the RPC client feeding the RF-controller.
+// TopologyController is the paper's topology controller, refactored from
+// fire-and-forget RPCs to declarative configuration: discovery + IP
+// computation feed a desired-state store, and the embedded reconciler
+// drives the RF-controller to it.
 type TopologyController struct {
-	clk    clock.Clock
-	disc   *discovery.Discovery
-	ctl    *ctlkit.Controller
-	client *rpcconf.Client
-	alloc  *ipam.Allocator
+	clk   clock.Clock
+	disc  *discovery.Discovery
+	ctl   *ctlkit.Controller
+	alloc *ipam.Allocator
+	store *intent.Store
+	rec   *intent.Reconciler
 
 	mu       sync.Mutex
-	linkNets map[discovery.Link]netip.Prefix
+	linkNets map[discovery.Link][2]netip.Prefix // allocated link endpoint addrs
 	hosts    map[uint64][]HostAttachment
-	sent     map[uint64]bool // switch-up delivered
 
 	stopOnce sync.Once
 	stop     chan struct{}
 	wg       sync.WaitGroup
 
-	// Errs receives RPC delivery failures (buffered; drops when full).
+	errMu    sync.Mutex
+	lastErrs []string // ring of recent delivery failures (diagnostics)
+
+	// Errs observes RPC delivery failures (buffered; drops when full). With
+	// the reconciler in place these are retried, so entries here are
+	// telemetry, not lost configuration.
 	Errs chan error
 }
 
@@ -62,7 +73,8 @@ type TopologyController struct {
 // does this — so the same Discovery instance can also serve a merged
 // controller); client carries configuration messages to the RPC server.
 func NewTopologyController(clk clock.Clock, disc *discovery.Discovery, ctl *ctlkit.Controller,
-	client *rpcconf.Client, pool netip.Prefix, subnetBits int, hosts []HostAttachment) (*TopologyController, error) {
+	client *rpcconf.Client, pool netip.Prefix, subnetBits int, hosts []HostAttachment,
+	recOpts ...intent.Option) (*TopologyController, error) {
 	if clk == nil {
 		clk = clock.System()
 	}
@@ -77,24 +89,26 @@ func NewTopologyController(clk clock.Clock, disc *discovery.Discovery, ctl *ctlk
 		clk:      clk,
 		disc:     disc,
 		ctl:      ctl,
-		client:   client,
 		alloc:    alloc,
-		linkNets: make(map[discovery.Link]netip.Prefix),
+		store:    intent.NewStore(),
+		linkNets: make(map[discovery.Link][2]netip.Prefix),
 		hosts:    make(map[uint64][]HostAttachment),
-		sent:     make(map[uint64]bool),
 		stop:     make(chan struct{}),
 		Errs:     make(chan error, 64),
 	}
 	for _, h := range hosts {
 		tc.hosts[h.DPID] = append(tc.hosts[h.DPID], h)
 	}
+	opts := append([]intent.Option{intent.WithOnError(tc.report)}, recOpts...)
+	tc.rec = intent.NewReconciler(clk, tc.store, client, opts...)
 	return tc, nil
 }
 
-// Run consumes discovery events until Stop. Call in a goroutine or rely on
-// the internal one (Run returns immediately).
+// Run consumes discovery events and starts the reconciler until Stop. It
+// returns immediately.
 func (tc *TopologyController) Run() {
 	tc.disc.Run()
+	tc.rec.Run()
 	tc.wg.Add(1)
 	go func() {
 		defer tc.wg.Done()
@@ -109,66 +123,99 @@ func (tc *TopologyController) Run() {
 	}()
 }
 
-// Stop halts event processing.
+// Stop halts event processing and the reconciler.
 func (tc *TopologyController) Stop() {
 	tc.stopOnce.Do(func() { close(tc.stop) })
 	tc.disc.Stop()
 	tc.wg.Wait()
+	tc.rec.Stop()
 }
 
 func (tc *TopologyController) report(err error) {
 	if err == nil {
 		return
 	}
+	tc.errMu.Lock()
+	tc.lastErrs = append(tc.lastErrs, err.Error())
+	if len(tc.lastErrs) > 4 {
+		tc.lastErrs = tc.lastErrs[len(tc.lastErrs)-4:]
+	}
+	tc.errMu.Unlock()
 	select {
 	case tc.Errs <- err:
 	default:
 	}
 }
 
+// LastErrors returns the most recent delivery failures (diagnostics).
+func (tc *TopologyController) LastErrors() []string {
+	tc.errMu.Lock()
+	defer tc.errMu.Unlock()
+	return append([]string(nil), tc.lastErrs...)
+}
+
+// handle translates one discovery observation into desired-state changes.
+// Declarations are idempotent, so a re-announced switch or a flapping link
+// converges to its final state no matter how the events interleave.
 func (tc *TopologyController) handle(ev discovery.Event) {
 	switch ev.Type {
 	case discovery.SwitchUp:
+		dpid := ev.DPID
 		// The paper's switch configuration message: dpid + port count.
-		tc.report(tc.client.Send(rpcconf.SwitchUp(ev.DPID, len(ev.Ports))))
+		tc.store.Declare(intent.SwitchKey(dpid),
+			rpcconf.SwitchUp(dpid, len(ev.Ports)), rpcconf.SwitchDown(dpid))
 		tc.mu.Lock()
-		first := !tc.sent[ev.DPID]
-		tc.sent[ev.DPID] = true
-		hosts := tc.hosts[ev.DPID]
+		hosts := tc.hosts[dpid]
 		tc.mu.Unlock()
-		if first {
-			for _, h := range hosts {
-				tc.report(tc.client.Send(rpcconf.HostUp(h.DPID, h.Port, h.Gateway)))
-			}
+		for _, h := range hosts {
+			tc.store.Declare(intent.HostKey(h.DPID, h.Port),
+				rpcconf.HostUp(h.DPID, h.Port, h.Gateway),
+				rpcconf.HostDown(h.DPID, h.Port))
 		}
 	case discovery.SwitchDown:
 		tc.mu.Lock()
-		tc.sent[ev.DPID] = false
+		hosts := tc.hosts[ev.DPID]
 		tc.mu.Unlock()
-		tc.report(tc.client.Send(rpcconf.SwitchDown(ev.DPID)))
-	case discovery.LinkUp:
-		aEnd, bEnd, err := tc.alloc.LinkAddrs()
-		if err != nil {
-			tc.report(fmt.Errorf("core: link %v: %w", ev.Link, err))
-			return
+		for _, h := range hosts {
+			tc.store.Remove(intent.HostKey(h.DPID, h.Port))
 		}
-		tc.mu.Lock()
-		tc.linkNets[ev.Link] = aEnd.Masked()
-		tc.mu.Unlock()
+		tc.store.Remove(intent.SwitchKey(ev.DPID))
+	case discovery.LinkUp:
 		l := ev.Link
-		tc.report(tc.client.Send(rpcconf.LinkUp(l.ADPID, l.APort, l.BDPID, l.BPort, aEnd, bEnd)))
-	case discovery.LinkDown:
 		tc.mu.Lock()
-		sub, ok := tc.linkNets[ev.Link]
-		delete(tc.linkNets, ev.Link)
+		ends, ok := tc.linkNets[l]
+		if !ok {
+			aEnd, bEnd, err := tc.alloc.LinkAddrs()
+			if err != nil {
+				tc.mu.Unlock()
+				tc.report(fmt.Errorf("core: link %v: %w", l, err))
+				return
+			}
+			ends = [2]netip.Prefix{aEnd, bEnd}
+			tc.linkNets[l] = ends
+		}
+		tc.mu.Unlock()
+		tc.store.Declare(intent.LinkKey(l.ADPID, l.APort, l.BDPID, l.BPort),
+			rpcconf.LinkUp(l.ADPID, l.APort, l.BDPID, l.BPort, ends[0], ends[1]),
+			rpcconf.LinkDown(l.ADPID, l.APort, l.BDPID, l.BPort))
+	case discovery.LinkDown:
+		l := ev.Link
+		tc.mu.Lock()
+		ends, ok := tc.linkNets[l]
+		delete(tc.linkNets, l)
 		tc.mu.Unlock()
 		if ok {
-			tc.report(tc.alloc.Release(sub))
+			tc.report(tc.alloc.Release(ends[0].Masked()))
 		}
-		l := ev.Link
-		tc.report(tc.client.Send(rpcconf.LinkDown(l.ADPID, l.APort, l.BDPID, l.BPort)))
+		tc.store.Remove(intent.LinkKey(l.ADPID, l.APort, l.BDPID, l.BPort))
 	}
 }
 
 // Allocator exposes the IP allocator (tests, GUI).
 func (tc *TopologyController) Allocator() *ipam.Allocator { return tc.alloc }
+
+// Store exposes the desired-state store (convergence checks, tests, GUI).
+func (tc *TopologyController) Store() *intent.Store { return tc.store }
+
+// Reconciler exposes the reconciliation engine.
+func (tc *TopologyController) Reconciler() *intent.Reconciler { return tc.rec }

@@ -257,6 +257,28 @@ func (sc *SwitchConn) Send(m openflow.Message) error {
 	}
 }
 
+// ErrSendQueueFull reports a TrySend against a full outbound queue.
+var ErrSendQueueFull = errors.New("ctlkit: switch send queue full")
+
+// TrySend enqueues a message without ever blocking: a full queue (stalled
+// switch or proxy) returns ErrSendQueueFull instead of wedging the caller.
+// Control applications whose state is level-triggered (flow replay on
+// reconnect, periodic probes, routing protocol timers) must use this so a
+// single stuck switch cannot deadlock an apply path.
+func (sc *SwitchConn) TrySend(m openflow.Message) error {
+	if m.XID() == 0 {
+		m.SetXID(sc.nextXID())
+	}
+	select {
+	case sc.out <- m:
+		return nil
+	case <-sc.closed:
+		return fmt.Errorf("ctlkit: switch %016x disconnected", sc.dpid)
+	default:
+		return fmt.Errorf("%w: %016x", ErrSendQueueFull, sc.dpid)
+	}
+}
+
 // Request sends m and waits for the reply bearing the same transaction ID.
 func (sc *SwitchConn) Request(m openflow.Message) (openflow.Message, error) {
 	if m.XID() == 0 {
@@ -440,6 +462,9 @@ func (c *Controller) PacketOut(dpid uint64, inPort uint16, actions []openflow.Ac
 	if !ok {
 		return fmt.Errorf("%w: %016x", ErrNotConnected, dpid)
 	}
+	// Blocking send: packet-outs carry protocol traffic (OSPF hellos, ARP)
+	// whose loss triggers expensive reconvergence; blocking here is the
+	// backpressure that paces producers under congestion.
 	return sc.Send(&openflow.PacketOut{
 		BufferID: openflow.NoBuffer,
 		InPort:   inPort,

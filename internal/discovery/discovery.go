@@ -94,8 +94,12 @@ type Discovery struct {
 
 	mu       sync.Mutex
 	switches map[uint64]*swState
-	lastSeen map[Link]time.Time // canonical link → last probe arrival
-	events   chan Event
+	// missed counts probe rounds since the last LLDP arrival per canonical
+	// link. Aging is round-based, not wall-time-based: a starved prober
+	// (CPU stall, scheduling gap) stops the aging clock too, so links do
+	// not flap just because the emulation fell behind the wall clock.
+	missed map[Link]int
+	events chan Event
 
 	stopOnce sync.Once
 	stop     chan struct{}
@@ -130,7 +134,7 @@ func New(clk clock.Clock, opts ...Option) *Discovery {
 		probeInterval: DefaultProbeInterval,
 		linkTTL:       DefaultLinkTTL,
 		switches:      make(map[uint64]*swState),
-		lastSeen:      make(map[Link]time.Time),
+		missed:        make(map[Link]int),
 		events:        make(chan Event, eventQueueDepth),
 		stop:          make(chan struct{}),
 	}
@@ -194,8 +198,8 @@ func (d *Discovery) Switches() []uint64 {
 func (d *Discovery) Links() []Link {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	out := make([]Link, 0, len(d.lastSeen))
-	for l := range d.lastSeen {
+	out := make([]Link, 0, len(d.missed))
+	for l := range d.missed {
 		out = append(out, l)
 	}
 	return out
@@ -233,10 +237,10 @@ func (d *Discovery) onSwitchDown(sc *ctlkit.SwitchConn) {
 	d.mu.Lock()
 	delete(d.switches, dpid)
 	var dead []Link
-	for l := range d.lastSeen {
+	for l := range d.missed {
 		if l.ADPID == dpid || l.BDPID == dpid {
 			dead = append(dead, l)
-			delete(d.lastSeen, l)
+			delete(d.missed, l)
 		}
 	}
 	d.mu.Unlock()
@@ -253,10 +257,10 @@ func (d *Discovery) onPortStatus(sc *ctlkit.SwitchConn, ps *openflow.PortStatus)
 	dpid, port := sc.DPID(), ps.Desc.PortNo
 	d.mu.Lock()
 	var dead []Link
-	for l := range d.lastSeen {
+	for l := range d.missed {
 		if (l.ADPID == dpid && l.APort == port) || (l.BDPID == dpid && l.BPort == port) {
 			dead = append(dead, l)
-			delete(d.lastSeen, l)
+			delete(d.missed, l)
 		}
 	}
 	d.mu.Unlock()
@@ -279,10 +283,9 @@ func (d *Discovery) onPacketIn(sc *ctlkit.SwitchConn, pi *openflow.PacketIn) {
 		return
 	}
 	link := Link{ADPID: srcDPID, APort: srcPort, BDPID: sc.DPID(), BPort: pi.InPort}.canonical()
-	now := d.clk.Now()
 	d.mu.Lock()
-	_, known := d.lastSeen[link]
-	d.lastSeen[link] = now
+	_, known := d.missed[link]
+	d.missed[link] = 0
 	d.mu.Unlock()
 	if !known {
 		d.emit(Event{Type: LinkUp, Link: link})
@@ -317,6 +320,9 @@ func (d *Discovery) probeSwitch(sc *ctlkit.SwitchConn, ports []openflow.PhyPort)
 			Type:    pkt.EtherTypeLLDP,
 			Payload: lldp.Marshal(),
 		}
+		// Blocking send, deliberately: a congested control channel pauses
+		// the prober (and with it round-based aging) instead of dropping
+		// probes and mass-expiring live links.
 		_ = sc.Send(&openflow.PacketOut{
 			BufferID: openflow.NoBuffer,
 			InPort:   openflow.PortNone,
@@ -326,14 +332,22 @@ func (d *Discovery) probeSwitch(sc *ctlkit.SwitchConn, ports []openflow.PhyPort)
 	}
 }
 
+// ageLinks expires links that missed too many consecutive probe rounds.
+// It runs right after probeAll on the same tick, so the aging clock only
+// advances when probes were actually issued: an emulation stalled past
+// several probe intervals of wall time does not mass-expire its links.
 func (d *Discovery) ageLinks() {
-	now := d.clk.Now()
+	ttlRounds := int(d.linkTTL / d.probeInterval)
+	if ttlRounds < 1 {
+		ttlRounds = 1
+	}
 	d.mu.Lock()
 	var dead []Link
-	for l, seen := range d.lastSeen {
-		if now.Sub(seen) > d.linkTTL {
+	for l := range d.missed {
+		d.missed[l]++
+		if d.missed[l] > ttlRounds {
 			dead = append(dead, l)
-			delete(d.lastSeen, l)
+			delete(d.missed, l)
 		}
 	}
 	d.mu.Unlock()

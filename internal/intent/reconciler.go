@@ -1,0 +1,180 @@
+package intent
+
+import (
+	"sync"
+	"time"
+
+	"routeflow/internal/clock"
+	"routeflow/internal/rpcconf"
+)
+
+// Sender delivers one configuration message and exposes the server epoch
+// observed in acknowledgements. *rpcconf.Client implements it.
+type Sender interface {
+	Send(*rpcconf.Message) error
+	Epoch() uint64
+}
+
+// Reconciler defaults.
+const (
+	DefaultBackoffBase = 100 * time.Millisecond
+	DefaultBackoffMax  = 5 * time.Second
+	DefaultResyncProbe = 10 * time.Second
+)
+
+// Reconciler continuously drives acknowledged state toward desired state:
+// it drains the store's diff, retries failures with exponential backoff,
+// and probes the server while idle so a restart (epoch change) re-syncs the
+// full desired state.
+type Reconciler struct {
+	clk    clock.Clock
+	store  *Store
+	sender Sender
+
+	base    time.Duration // first retry delay
+	max     time.Duration // backoff ceiling
+	probe   time.Duration // idle re-sync probe period (0 disables)
+	onError func(error)
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+
+	mu      sync.Mutex
+	started bool
+}
+
+// Option tweaks the reconciler.
+type Option func(*Reconciler)
+
+// WithBackoff sets the retry schedule: first retry after base, doubling up
+// to max.
+func WithBackoff(base, max time.Duration) Option {
+	return func(r *Reconciler) { r.base, r.max = base, max }
+}
+
+// WithResyncProbe sets how often an idle reconciler probes the server for
+// epoch changes (restart detection). Zero disables probing.
+func WithResyncProbe(d time.Duration) Option {
+	return func(r *Reconciler) { r.probe = d }
+}
+
+// WithOnError installs a delivery-failure observer. Failures are expected
+// and retried; the observer exists for logging and tests.
+func WithOnError(f func(error)) Option {
+	return func(r *Reconciler) { r.onError = f }
+}
+
+// NewReconciler builds a reconciler over store, delivering through sender.
+func NewReconciler(clk clock.Clock, store *Store, sender Sender, opts ...Option) *Reconciler {
+	if clk == nil {
+		clk = clock.System()
+	}
+	r := &Reconciler{
+		clk:    clk,
+		store:  store,
+		sender: sender,
+		base:   DefaultBackoffBase,
+		max:    DefaultBackoffMax,
+		probe:  DefaultResyncProbe,
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(r)
+	}
+	return r
+}
+
+// Store returns the desired-state store this reconciler drains.
+func (r *Reconciler) Store() *Store { return r.store }
+
+// Run starts the reconciliation loop (returns immediately).
+func (r *Reconciler) Run() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.started {
+		return
+	}
+	r.started = true
+	go r.loop()
+}
+
+// Stop halts the loop and waits for it to exit. Safe to call more than once
+// and before Run.
+func (r *Reconciler) Stop() {
+	r.stopOnce.Do(func() { close(r.stop) })
+	r.mu.Lock()
+	started := r.started
+	r.mu.Unlock()
+	if started {
+		<-r.done
+	}
+}
+
+func (r *Reconciler) loop() {
+	defer close(r.done)
+	lastContact := r.clk.Now()
+	for {
+		select {
+		case <-r.stop:
+			return
+		default:
+		}
+		now := r.clk.Now()
+		batch, wait := r.store.due(now)
+		if len(batch) > 0 {
+			for _, w := range batch {
+				select {
+				case <-r.stop:
+					return
+				default:
+				}
+				err := r.sender.Send(w.msg)
+				r.store.complete(w, err, r.sender.Epoch(), r.clk.Now(), r.base, r.max)
+				if err == nil {
+					lastContact = r.clk.Now()
+				} else if r.onError != nil {
+					r.onError(err)
+				}
+			}
+			continue
+		}
+		// Idle: wake for the earliest backoff retry, the re-sync probe, or a
+		// store signal — whichever comes first.
+		sleep := wait
+		if r.probe > 0 {
+			probeIn := r.probe - now.Sub(lastContact)
+			if probeIn <= 0 {
+				if err := r.sender.Send(rpcconf.Probe()); err == nil {
+					r.store.observeEpoch(r.sender.Epoch())
+				}
+				// Successful or not, pace the probe: a dead server should be
+				// retried at the probe period, not in a hot loop.
+				lastContact = r.clk.Now()
+				continue
+			}
+			if sleep <= 0 || probeIn < sleep {
+				sleep = probeIn
+			}
+		}
+		var timer clock.Timer
+		var timerC <-chan time.Time
+		if sleep > 0 {
+			timer = r.clk.NewTimer(sleep)
+			timerC = timer.C()
+		}
+		select {
+		case <-r.store.signal:
+		case <-timerC:
+		case <-r.stop:
+			if timer != nil {
+				timer.Stop()
+			}
+			return
+		}
+		if timer != nil {
+			timer.Stop()
+		}
+	}
+}

@@ -18,6 +18,9 @@ const (
 	DefaultNumBuffers  = 256
 	DefaultMissSendLen = 128
 	expireInterval     = time.Second
+	// Reconnect backoff (protocol time) for StartDialer sessions.
+	reconnectDelayMin = 250 * time.Millisecond
+	reconnectDelayMax = 5 * time.Second
 )
 
 // Config configures a Switch.
@@ -49,9 +52,10 @@ type Switch struct {
 	bufOrder []uint32 // FIFO of live buffer IDs for eviction
 	nextBuf  uint32
 
-	connMu sync.Mutex
-	conn   io.ReadWriteCloser
-	out    chan openflow.Message
+	connMu  sync.Mutex
+	conn    io.ReadWriteCloser
+	out     chan openflow.Message
+	running bool
 
 	ctlDrops uint64 // messages dropped because the outbound queue was full
 
@@ -152,10 +156,11 @@ func (s *Switch) NumFlows() int { return s.table.len() }
 // HELLO immediately, per the OpenFlow handshake.
 func (s *Switch) Start(conn io.ReadWriteCloser) error {
 	s.connMu.Lock()
-	if s.conn != nil {
+	if s.running || s.conn != nil {
 		s.connMu.Unlock()
 		return errors.New("ofswitch: already started")
 	}
+	s.running = true
 	s.conn = conn
 	s.out = make(chan openflow.Message, outQueueDepth)
 	s.connMu.Unlock()
@@ -168,6 +173,104 @@ func (s *Switch) Start(conn io.ReadWriteCloser) error {
 	go s.controlLoop(conn)
 	go s.expireLoop()
 	return nil
+}
+
+// StartDialer runs the control channel with level-triggered liveness: it
+// dials the controller, serves the session until the connection dies
+// (transport error, keepalive cut by the controller, FlowVisor restart)
+// and then redials with exponential backoff instead of staying dark
+// forever — a real switch reconnects; so does this one. Stop ends it.
+func (s *Switch) StartDialer(dial func() (io.ReadWriteCloser, error)) error {
+	s.connMu.Lock()
+	if s.running {
+		s.connMu.Unlock()
+		return errors.New("ofswitch: already started")
+	}
+	s.running = true
+	s.connMu.Unlock()
+	s.wg.Add(2)
+	go s.expireLoop()
+	go s.supervise(dial)
+	return nil
+}
+
+func (s *Switch) supervise(dial func() (io.ReadWriteCloser, error)) {
+	defer s.wg.Done()
+	delay := reconnectDelayMin
+	for {
+		select {
+		case <-s.stop:
+			return
+		default:
+		}
+		if conn, err := dial(); err == nil {
+			start := s.clk.Now()
+			s.runSession(conn)
+			if s.clk.Since(start) >= reconnectDelayMax {
+				// A session that lived a while was healthy: restart the
+				// backoff schedule. Sessions cut immediately (crash-looping
+				// proxy, handshake rejection) keep backing off like failed
+				// dials: min, 2*min, ... max.
+				delay = reconnectDelayMin
+			}
+		}
+		wait := delay
+		if delay *= 2; delay > reconnectDelayMax {
+			delay = reconnectDelayMax
+		}
+		t := s.clk.NewTimer(wait)
+		select {
+		case <-s.stop:
+			t.Stop()
+			return
+		case <-t.C():
+		}
+	}
+}
+
+// runSession drives one controller connection from HELLO to disconnect.
+func (s *Switch) runSession(conn io.ReadWriteCloser) {
+	out := make(chan openflow.Message, outQueueDepth)
+	s.connMu.Lock()
+	s.conn = conn
+	s.out = out
+	s.connMu.Unlock()
+
+	sessEnd := make(chan struct{})
+	var endOnce sync.Once
+	endSession := func() { endOnce.Do(func() { close(sessEnd) }) }
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // a global Stop must also cut this session's connection
+		defer wg.Done()
+		select {
+		case <-s.stop:
+		case <-sessEnd:
+		}
+		conn.Close()
+	}()
+	go func() {
+		defer wg.Done()
+		_ = openflow.PumpBatched(conn, out, sessEnd)
+		endSession()
+	}()
+	if err := s.send(&openflow.Hello{}); err == nil {
+		dec := openflow.NewDecoder(conn)
+		for {
+			m, err := dec.Decode()
+			if err != nil {
+				break
+			}
+			s.handleControl(m)
+		}
+	}
+	endSession()
+	wg.Wait()
+	s.connMu.Lock()
+	if s.conn == conn {
+		s.conn, s.out = nil, nil
+	}
+	s.connMu.Unlock()
 }
 
 // writeLoop batches queued replies and packet-ins into single writes; a

@@ -336,7 +336,10 @@ func (ifc *Interface) handleHello(h header, src netip.Addr, body []byte) {
 		inst.originateLocked()
 		all := make([]*lsa, 0, len(inst.lsdb))
 		for _, l := range inst.lsdb {
-			all = append(all, l)
+			// Copy: the stored LSA's Age is mutated under inst.mu by
+			// ageLSDB, but marshalling happens outside the lock.
+			cp := *l
+			all = append(all, &cp)
 		}
 		inst.mu.Unlock()
 		if len(all) > 0 {
@@ -383,7 +386,10 @@ func (ifc *Interface) handleLSUpdate(h header, body []byte) {
 			continue // stale or duplicate
 		}
 		inst.lsdb[l.AdvRouter] = l
-		flood = append(flood, l)
+		// Flood a copy: the stored LSA ages in place under inst.mu while
+		// the flood marshals outside it.
+		cp := *l
+		flood = append(flood, &cp)
 		inst.scheduleSPFLocked()
 	}
 	inst.mu.Unlock()

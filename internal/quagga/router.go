@@ -148,18 +148,21 @@ func (r *Router) Detach(name string) {
 	r.rib.Remove(ic.Address.Masked(), rib.SourceConnected, netip.Addr{})
 }
 
-// AddInterfaceConfig appends an interface stanza to the running
+// AddInterfaceConfig upserts an interface stanza into the running
 // configuration (the RPC server reconfigures VMs dynamically as links are
-// discovered). Attach must still be called to bring it up.
+// discovered and re-applies configuration on reconciliation). An existing
+// stanza with the same name is replaced, so re-applies converge instead of
+// erroring. Attach must still be called to bring the interface up.
 func (r *Router) AddInterfaceConfig(ic InterfaceConfig) error {
 	if !ic.Address.IsValid() || !ic.Address.Addr().Is4() {
 		return fmt.Errorf("quagga: interface %s needs an IPv4 address", ic.Name)
 	}
 	r.cfg.mu.Lock()
 	defer r.cfg.mu.Unlock()
-	for _, ex := range r.cfg.Interfaces {
+	for i, ex := range r.cfg.Interfaces {
 		if ex.Name == ic.Name {
-			return fmt.Errorf("quagga: interface %s already configured", ic.Name)
+			r.cfg.Interfaces[i] = ic
+			return nil
 		}
 	}
 	r.cfg.Interfaces = append(r.cfg.Interfaces, ic)
@@ -176,6 +179,15 @@ func (r *Router) AddNetwork(p netip.Prefix) {
 		}
 	}
 	r.cfg.Networks = append(r.cfg.Networks, p)
+}
+
+// Attached reports whether the named interface is currently up (brought up
+// by Attach and not since Detach-ed).
+func (r *Router) Attached(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.attached[name]
+	return ok
 }
 
 // InterfaceAddr returns the configured address of an interface.

@@ -35,6 +35,9 @@ const (
 	DefaultBootDelay = 2 * time.Second // modeled LXC clone + daemon start
 	DefaultLinkCost  = 10
 	hostFlowPriority = 500 // above any prefix flow (100..132 + bits)
+	// flowRepairInterval paces the flow-table resync of switches whose
+	// non-blocking sends dropped messages (protocol time).
+	flowRepairInterval = 500 * time.Millisecond
 )
 
 // Config configures the platform.
@@ -73,6 +76,16 @@ type Platform struct {
 	addrIndex map[netip.Addr]addrOwner
 	flows     map[uint64]map[netip.Prefix]*openflow.FlowMod // desired state
 	files     map[uint64]map[string]string                  // generated config files
+	// dirty marks switches whose flow state may have diverged from desired
+	// (a non-blocking send was dropped); the repair loop resyncs them.
+	dirty map[uint64]bool
+	// flowGen counts desired-flow mutations per switch so a resync can
+	// detect a concurrent install/remove racing its snapshot.
+	flowGen map[uint64]uint64
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	wg       sync.WaitGroup
 }
 
 // New creates the platform and its embedded controller runtime.
@@ -97,11 +110,16 @@ func New(cfg Config) (*Platform, error) {
 		addrIndex: make(map[netip.Addr]addrOwner),
 		flows:     make(map[uint64]map[netip.Prefix]*openflow.FlowMod),
 		files:     make(map[uint64]map[string]string),
+		dirty:     make(map[uint64]bool),
+		flowGen:   make(map[uint64]uint64),
+		stop:      make(chan struct{}),
 	}
 	p.ctl = ctlkit.New("rf-controller", cfg.Clock, ctlkit.Callbacks{
 		SwitchUp: p.onSwitchUp,
 		PacketIn: p.onPacketIn,
 	})
+	p.wg.Add(1)
+	go p.flowRepairLoop()
 	return p, nil
 }
 
@@ -111,6 +129,8 @@ func (p *Platform) Controller() *ctlkit.Controller { return p.ctl }
 
 // Stop halts the platform.
 func (p *Platform) Stop() {
+	p.stopOnce.Do(func() { close(p.stop) })
+	p.wg.Wait()
 	p.ctl.Stop()
 	p.mu.Lock()
 	vms := make([]*vnet.VM, 0, len(p.vms))
@@ -178,6 +198,8 @@ func (p *Platform) RPCHandler() rpcconf.Handler {
 			return p.handleHostUp(m)
 		case rpcconf.KindHostDown:
 			return p.handleHostDown(m)
+		case rpcconf.KindProbe:
+			return nil // epoch probe: the ack itself is the answer
 		default:
 			return fmt.Errorf("rf: unknown configuration message %q", m.Kind)
 		}
@@ -230,6 +252,7 @@ func (p *Platform) handleSwitchDown(m *rpcconf.Message) error {
 	vm, ok := p.vms[m.DPID]
 	delete(p.vms, m.DPID)
 	delete(p.flows, m.DPID)
+	p.flowGen[m.DPID]++
 	delete(p.files, m.DPID)
 	for a, o := range p.addrIndex {
 		if o.dpid == m.DPID {
@@ -284,21 +307,29 @@ func (p *Platform) handleLinkDown(m *rpcconf.Message) error {
 	p.mu.Unlock()
 	if vmA != nil {
 		if addr, ok := vmA.InterfaceAddr(m.APort); ok {
-			p.mu.Lock()
-			delete(p.addrIndex, addr.Addr())
-			p.mu.Unlock()
+			p.unindexAddr(addr.Addr(), m.ADPID, m.APort)
 		}
 		vmA.DeconfigureInterface(m.APort)
 	}
 	if vmB != nil {
 		if addr, ok := vmB.InterfaceAddr(m.BPort); ok {
-			p.mu.Lock()
-			delete(p.addrIndex, addr.Addr())
-			p.mu.Unlock()
+			p.unindexAddr(addr.Addr(), m.BDPID, m.BPort)
 		}
 		vmB.DeconfigureInterface(m.BPort)
 	}
 	return nil
+}
+
+// unindexAddr removes an address→interface mapping only when it still
+// belongs to the interface being torn down. A teardown is reconciled
+// asynchronously, so by the time it applies the subnet may have been
+// recycled onto another link — whose index entry must survive.
+func (p *Platform) unindexAddr(addr netip.Addr, dpid uint64, port uint16) {
+	p.mu.Lock()
+	if p.addrIndex[addr] == (addrOwner{dpid, port}) {
+		delete(p.addrIndex, addr)
+	}
+	p.mu.Unlock()
 }
 
 func (p *Platform) handleHostUp(m *rpcconf.Message) error {
@@ -332,9 +363,7 @@ func (p *Platform) handleHostDown(m *rpcconf.Message) error {
 		return nil
 	}
 	if addr, ok := vm.InterfaceAddr(m.APort); ok {
-		p.mu.Lock()
-		delete(p.addrIndex, addr.Addr())
-		p.mu.Unlock()
+		p.unindexAddr(addr.Addr(), m.ADPID, m.APort)
 	}
 	vm.DeconfigureInterface(m.APort)
 	return nil
@@ -348,9 +377,13 @@ func (p *Platform) regenFilesLocked(dpid uint64, vm *vnet.VM) {
 }
 
 // onSwitchUp raises the miss send length so punted frames arrive whole, and
-// replays the desired flow state after (re)connects.
+// replays the desired flow state after (re)connects. Sends are non-blocking
+// (a congested connection must not wedge the controller); anything dropped
+// is repaired by the flow-repair loop.
 func (p *Platform) onSwitchUp(sc *ctlkit.SwitchConn) {
-	_ = sc.Send(&openflow.SetConfig{MissSendLen: 0xffff})
+	if err := sc.TrySend(&openflow.SetConfig{MissSendLen: 0xffff}); err != nil {
+		p.markDirty(sc.DPID())
+	}
 	p.mu.Lock()
 	pending := make([]*openflow.FlowMod, 0, len(p.flows[sc.DPID()]))
 	for _, fm := range p.flows[sc.DPID()] {
@@ -360,8 +393,95 @@ func (p *Platform) onSwitchUp(sc *ctlkit.SwitchConn) {
 	p.mu.Unlock()
 	for _, fm := range pending {
 		fm.SetXID(0)
-		_ = sc.Send(fm)
+		if err := sc.TrySend(fm); err != nil {
+			p.markDirty(sc.DPID())
+		}
 	}
+}
+
+// markDirty schedules a flow-table resync for dpid.
+func (p *Platform) markDirty(dpid uint64) {
+	p.mu.Lock()
+	p.dirty[dpid] = true
+	p.mu.Unlock()
+}
+
+// flowRepairLoop is the level-triggered safety net under the non-blocking
+// switch sends: whenever a FlowMod or SetConfig was dropped on a congested
+// connection, the switch is marked dirty and periodically resynced from
+// desired state (delete-all + full replay) until a resync goes through
+// cleanly. Disconnected switches are skipped — the reconnect replay in
+// onSwitchUp covers them.
+func (p *Platform) flowRepairLoop() {
+	defer p.wg.Done()
+	tick := p.clk.NewTicker(flowRepairInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-tick.C():
+		}
+		p.mu.Lock()
+		dirty := make([]uint64, 0, len(p.dirty))
+		for dpid := range p.dirty {
+			dirty = append(dirty, dpid)
+			delete(p.dirty, dpid)
+		}
+		p.mu.Unlock()
+		for _, dpid := range dirty {
+			if !p.resyncFlows(dpid) {
+				p.markDirty(dpid) // try again next tick
+			}
+		}
+	}
+}
+
+// resyncFlows rewrites one switch's flow table from desired state. It
+// reports false when any send was dropped (the caller re-marks the switch).
+func (p *Platform) resyncFlows(dpid uint64) bool {
+	sc, ok := p.ctl.Switch(dpid)
+	if !ok {
+		return true // reconnect replay will resync
+	}
+	if err := sc.TrySend(&openflow.SetConfig{MissSendLen: 0xffff}); err != nil {
+		return false
+	}
+	// Delete everything, then replay desired state: stale entries from
+	// dropped removeFlow deletions cannot survive a resync.
+	if err := sc.TrySend(&openflow.FlowMod{
+		Match:    openflow.MatchAll(),
+		Command:  openflow.FlowModDelete,
+		BufferID: openflow.NoBuffer,
+		OutPort:  openflow.PortNone,
+	}); err != nil {
+		return false
+	}
+	p.mu.Lock()
+	gen := p.flowGen[dpid]
+	pending := make([]*openflow.FlowMod, 0, len(p.flows[dpid]))
+	for _, fm := range p.flows[dpid] {
+		cp := *fm
+		pending = append(pending, &cp)
+	}
+	p.mu.Unlock()
+	ok = true
+	for _, fm := range pending {
+		fm.SetXID(0)
+		if err := sc.TrySend(fm); err != nil {
+			ok = false
+		}
+	}
+	// A desired-state mutation racing this resync may have interleaved its
+	// own send with our replay (e.g. a withdrawal deleted on the switch,
+	// then resurrected by our stale snapshot). Declare the resync dirty so
+	// the next tick replays from the newer state.
+	p.mu.Lock()
+	if p.flowGen[dpid] != gen {
+		ok = false
+	}
+	p.mu.Unlock()
+	return ok
 }
 
 // onPacketIn punts non-LLDP frames into the mirrored VM interface.
@@ -445,10 +565,15 @@ func (p *Platform) installFlow(dpid uint64, prefix netip.Prefix, fm *openflow.Fl
 		p.flows[dpid] = make(map[netip.Prefix]*openflow.FlowMod)
 	}
 	p.flows[dpid][prefix] = fm
+	p.flowGen[dpid]++
 	p.mu.Unlock()
 	if sc, ok := p.ctl.Switch(dpid); ok {
+		// TrySend: the RPC apply path and FIB hooks must never block on a
+		// stalled switch; a drop marks the switch for flow repair.
 		cp := *fm
-		_ = sc.Send(&cp)
+		if err := sc.TrySend(&cp); err != nil {
+			p.markDirty(dpid)
+		}
 	}
 }
 
@@ -456,6 +581,7 @@ func (p *Platform) removeFlow(dpid uint64, prefix netip.Prefix) {
 	p.mu.Lock()
 	fm := p.flows[dpid][prefix]
 	delete(p.flows[dpid], prefix)
+	p.flowGen[dpid]++
 	p.mu.Unlock()
 	if fm == nil {
 		return
@@ -468,7 +594,9 @@ func (p *Platform) removeFlow(dpid uint64, prefix netip.Prefix) {
 			BufferID: openflow.NoBuffer,
 			OutPort:  openflow.PortNone,
 		}
-		_ = sc.Send(del)
+		if err := sc.TrySend(del); err != nil {
+			p.markDirty(dpid)
+		}
 	}
 }
 

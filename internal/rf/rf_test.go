@@ -155,6 +155,52 @@ func TestUnknownMessageKind(t *testing.T) {
 	if err := p.RPCHandler()(&rpcconf.Message{Kind: "frobnicate"}); err == nil {
 		t.Fatal("unknown kind accepted")
 	}
+	// The reconciler's epoch probe is a no-op, never an error.
+	apply(t, p, rpcconf.Probe())
+}
+
+// TestReApplyConverges exercises the reconciler's contract with the apply
+// side: re-delivering SwitchUp, LinkUp and HostUp (duplicate acks lost,
+// server re-synced after restart, …) must converge, not error.
+func TestReApplyConverges(t *testing.T) {
+	p := newPlatform(t)
+	apply(t, p, rpcconf.SwitchUp(1, 2))
+	apply(t, p, rpcconf.SwitchUp(2, 2))
+	waitConfigured(t, p, 1)
+	waitConfigured(t, p, 2)
+	a := netip.MustParsePrefix("172.16.0.1/30")
+	b := netip.MustParsePrefix("172.16.0.2/30")
+	gw := netip.MustParsePrefix("10.1.0.1/24")
+	for i := 0; i < 3; i++ {
+		apply(t, p, rpcconf.SwitchUp(1, 2))
+		apply(t, p, rpcconf.LinkUp(1, 1, 2, 1, a, b))
+		apply(t, p, rpcconf.HostUp(1, 2, gw))
+	}
+	vmA, _ := p.VM(1)
+	if addr, ok := vmA.InterfaceAddr(1); !ok || addr != a {
+		t.Fatalf("link addr after re-applies = %v, %v", addr, ok)
+	}
+	if addr, ok := vmA.InterfaceAddr(2); !ok || addr != gw {
+		t.Fatalf("gateway after re-applies = %v, %v", addr, ok)
+	}
+	if p.NumVMs() != 2 {
+		t.Fatalf("VMs after re-applies = %d", p.NumVMs())
+	}
+}
+
+// TestHostUpBeyondAnnouncedPorts is the rf-level regression for the ROADMAP
+// flake: a HostUp naming a port number past the announced port count must
+// grow the interface instead of wedging the gateway forever.
+func TestHostUpBeyondAnnouncedPorts(t *testing.T) {
+	p := newPlatform(t)
+	apply(t, p, rpcconf.SwitchUp(3, 1)) // announces a single port
+	waitConfigured(t, p, 3)
+	gw := netip.MustParsePrefix("10.3.0.1/24")
+	apply(t, p, rpcconf.HostUp(3, 5, gw)) // host hangs off port 5
+	vm, _ := p.VM(3)
+	if addr, ok := vm.InterfaceAddr(5); !ok || addr != gw {
+		t.Fatalf("gateway on grown port = %v, %v", addr, ok)
+	}
 }
 
 func TestStatusCallbackSequence(t *testing.T) {

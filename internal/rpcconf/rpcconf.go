@@ -18,9 +18,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"net/netip"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"routeflow/internal/clock"
@@ -41,6 +43,10 @@ const (
 	// face end hosts and the gateway address the VM interface should carry.
 	KindHostUp   Kind = "host-up"
 	KindHostDown Kind = "host-down"
+	// Probe carries no configuration; it exists so a reconciler can read the
+	// server's epoch while idle and detect restarts (state loss) that would
+	// otherwise go unnoticed until the next real change.
+	KindProbe Kind = "probe"
 )
 
 // Message is one configuration command. Fields are populated per Kind.
@@ -68,9 +74,14 @@ func (m *Message) AAddrPrefix() (netip.Prefix, error) { return netip.ParsePrefix
 // BAddrPrefix parses BAddr.
 func (m *Message) BAddrPrefix() (netip.Prefix, error) { return netip.ParsePrefix(m.BAddr) }
 
+// ack confirms application of one message. Epoch identifies the server
+// incarnation: a change between two acks means the server restarted (and
+// lost its applied state) in between, so previously acknowledged
+// configuration must be re-synced.
 type ack struct {
-	Seq uint64 `json:"seq"`
-	Err string `json:"err,omitempty"`
+	Seq   uint64 `json:"seq"`
+	Epoch uint64 `json:"epoch,omitempty"`
+	Err   string `json:"err,omitempty"`
 }
 
 const maxFrame = 1 << 20
@@ -80,12 +91,12 @@ func writeFrame(w io.Writer, v any) error {
 	if err != nil {
 		return err
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err = w.Write(body)
+	// Single Write: header and body leave in one frame, so injected
+	// per-write loss (Flaky) drops whole messages, never half a frame.
+	buf := make([]byte, 4+len(body))
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(body)))
+	copy(buf[4:], body)
+	_, err = w.Write(buf)
 	return err
 }
 
@@ -109,19 +120,38 @@ func readFrame(r io.Reader, v any) error {
 // RF-controller). Returning an error propagates to the client's Send.
 type Handler func(*Message) error
 
+// epochCounter hands every Server a distinct incarnation number, so a
+// restarted server (a fresh Server on the same listener) is distinguishable
+// from the one that acknowledged earlier configuration.
+var epochCounter atomic.Uint64
+
 // Server is the RPC server embedded in the RF-controller.
 type Server struct {
 	handler Handler
+	epoch   uint64
 	wg      sync.WaitGroup
 	mu      sync.Mutex
 	stopped bool
 	applied uint64
+	conns   map[net.Conn]struct{}
+
+	// applyMu serializes message application across connections and
+	// lastSeq drops stale re-deliveries: a client that redials after a
+	// transport error can leave a zombie handler goroutine holding an old
+	// message on the abandoned connection; without total ordering that
+	// stale apply could overwrite newer configuration.
+	applyMu sync.Mutex
+	lastSeq uint64
 }
 
 // NewServer creates a server applying messages with handler.
 func NewServer(handler Handler) *Server {
-	return &Server{handler: handler}
+	return &Server{handler: handler, epoch: epochCounter.Add(1),
+		conns: make(map[net.Conn]struct{})}
 }
+
+// Epoch returns this server incarnation's identifier (stamped on every ack).
+func (s *Server) Epoch() uint64 { return s.epoch }
 
 // Applied returns how many messages were applied successfully.
 func (s *Server) Applied() uint64 {
@@ -146,22 +176,37 @@ func (s *Server) Serve(l interface {
 			conn.Close()
 			return
 		}
+		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			defer conn.Close()
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+				conn.Close()
+			}()
 			s.handleConn(conn)
 		}()
 	}
 }
 
-// Stop waits for connection handlers to finish (connections themselves are
-// closed by their clients or listeners).
+// Stop closes every active connection and waits for the handlers to finish
+// — a stopped (or restarted) server must not keep acknowledging with a
+// stale incarnation.
 func (s *Server) Stop() {
 	s.mu.Lock()
 	s.stopped = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
 	s.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
 }
 
 func (s *Server) handleConn(conn net.Conn) {
@@ -170,10 +215,22 @@ func (s *Server) handleConn(conn net.Conn) {
 		if err := readFrame(conn, &m); err != nil {
 			return
 		}
-		a := ack{Seq: m.Seq}
-		if err := s.handler(&m); err != nil {
+		a := ack{Seq: m.Seq, Epoch: s.epoch}
+		s.applyMu.Lock()
+		stale := m.Seq != 0 && m.Seq <= s.lastSeq
+		var err error
+		if !stale {
+			if err = s.handler(&m); err == nil {
+				// Only successful applies advance the dedup horizon: a
+				// retried message whose first attempt failed must be
+				// re-applied, not deduplicated into a phantom success.
+				s.lastSeq = m.Seq
+			}
+		}
+		s.applyMu.Unlock()
+		if err != nil {
 			a.Err = err.Error()
-		} else {
+		} else if !stale {
 			s.mu.Lock()
 			s.applied++
 			s.mu.Unlock()
@@ -184,17 +241,25 @@ func (s *Server) handleConn(conn net.Conn) {
 	}
 }
 
+// DefaultAckTimeout bounds one request/ack exchange (wall time). A wedged
+// server-side apply must surface as a retryable transport error, never
+// block the sender forever. It is a last-resort liveness bound, set well
+// above any legitimate apply latency so it fires only on true wedges.
+const DefaultAckTimeout = 10 * time.Second
+
 // Client is the RPC client co-located with the topology controller. It owns
 // one connection, re-dialing on failure, and delivers messages in order.
 type Client struct {
-	dial    func() (net.Conn, error)
-	clk     clock.Clock
-	retry   time.Duration
-	retries int
+	dial       func() (net.Conn, error)
+	clk        clock.Clock
+	retry      time.Duration
+	retries    int
+	ackTimeout time.Duration
 
-	mu   sync.Mutex
-	conn net.Conn
-	seq  uint64
+	mu    sync.Mutex
+	conn  net.Conn
+	seq   uint64
+	epoch uint64 // last server epoch observed in an ack
 }
 
 // ClientOption tweaks the client.
@@ -205,12 +270,18 @@ func WithRetry(pause time.Duration, attempts int) ClientOption {
 	return func(c *Client) { c.retry, c.retries = pause, attempts }
 }
 
+// WithAckTimeout bounds one write+ack exchange in wall time (0 disables).
+func WithAckTimeout(d time.Duration) ClientOption {
+	return func(c *Client) { c.ackTimeout = d }
+}
+
 // NewClient creates a client that connects lazily via dial.
 func NewClient(dial func() (net.Conn, error), clk clock.Clock, opts ...ClientOption) *Client {
 	if clk == nil {
 		clk = clock.System()
 	}
-	c := &Client{dial: dial, clk: clk, retry: 100 * time.Millisecond, retries: 5}
+	c := &Client{dial: dial, clk: clk, retry: 100 * time.Millisecond, retries: 5,
+		ackTimeout: DefaultAckTimeout}
 	for _, o := range opts {
 		o(c)
 	}
@@ -241,6 +312,9 @@ func (c *Client) Send(m *Message) error {
 			}
 			c.conn = conn
 		}
+		if c.ackTimeout > 0 {
+			_ = c.conn.SetDeadline(time.Now().Add(c.ackTimeout))
+		}
 		if err := writeFrame(c.conn, m); err != nil {
 			c.resetConn()
 			lastErr = err
@@ -252,10 +326,16 @@ func (c *Client) Send(m *Message) error {
 			lastErr = err
 			continue
 		}
+		if c.ackTimeout > 0 {
+			_ = c.conn.SetDeadline(time.Time{})
+		}
 		if a.Seq != m.Seq {
 			c.resetConn()
 			lastErr = fmt.Errorf("rpcconf: ack for %d, want %d", a.Seq, m.Seq)
 			continue
+		}
+		if a.Epoch != 0 {
+			c.epoch = a.Epoch
 		}
 		if a.Err != "" {
 			return fmt.Errorf("%w: %s", ErrRemote, a.Err)
@@ -277,6 +357,15 @@ func (c *Client) Close() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.resetConn()
+}
+
+// Epoch returns the server incarnation observed in the most recent ack (zero
+// before any ack). A change between two observations means the server
+// restarted and lost its applied state.
+func (c *Client) Epoch() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epoch
 }
 
 // Convenience constructors mirroring the paper's configuration triggers.
@@ -313,4 +402,45 @@ func HostUp(dpid uint64, port uint16, gw netip.Prefix) *Message {
 // HostDown reverses HostUp.
 func HostDown(dpid uint64, port uint16) *Message {
 	return &Message{Kind: KindHostDown, ADPID: dpid, APort: port}
+}
+
+// Probe builds the no-op epoch probe.
+func Probe() *Message { return &Message{Kind: KindProbe} }
+
+// FlakyDialer wraps dial so every connection it hands out drops each written
+// frame with probability rate and then closes itself — the loss model of a
+// failing control channel. The rng is seeded deterministically so failure
+// scenarios are reproducible.
+func FlakyDialer(dial func() (net.Conn, error), rate float64, seed int64) func() (net.Conn, error) {
+	var mu sync.Mutex
+	rng := rand.New(rand.NewSource(seed))
+	return func() (net.Conn, error) {
+		conn, err := dial()
+		if err != nil {
+			return nil, err
+		}
+		return &flakyConn{Conn: conn, mu: &mu, rng: rng, rate: rate}, nil
+	}
+}
+
+type flakyConn struct {
+	net.Conn
+	mu   *sync.Mutex
+	rng  *rand.Rand
+	rate float64
+}
+
+var errInjectedDrop = errors.New("rpcconf: injected frame drop")
+
+func (f *flakyConn) Write(p []byte) (int, error) {
+	f.mu.Lock()
+	drop := f.rng.Float64() < f.rate
+	f.mu.Unlock()
+	if drop {
+		// Close so the peer observes the loss instead of blocking forever on
+		// a frame that will never arrive.
+		f.Conn.Close()
+		return 0, errInjectedDrop
+	}
+	return f.Conn.Write(p)
 }

@@ -181,6 +181,157 @@ func TestConcurrentSenders(t *testing.T) {
 	}
 }
 
+func TestEpochSurvivesInAcksAndChangesOnRestart(t *testing.T) {
+	l1 := ctlkit.NewMemListener("rpc1")
+	defer l1.Close()
+	srv1 := NewServer(func(m *Message) error { return nil })
+	go srv1.Serve(l1)
+
+	l2 := ctlkit.NewMemListener("rpc2")
+	defer l2.Close()
+	srv2 := NewServer(func(m *Message) error { return nil })
+	go srv2.Serve(l2)
+	defer srv2.Stop()
+
+	var mu sync.Mutex
+	target := l1
+	c := NewClient(func() (net.Conn, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return target.Dial()
+	}, nil)
+	defer c.Close()
+
+	if c.Epoch() != 0 {
+		t.Fatal("epoch before first ack")
+	}
+	if err := c.Send(Probe()); err != nil {
+		t.Fatal(err)
+	}
+	e1 := c.Epoch()
+	if e1 != srv1.Epoch() || e1 == 0 {
+		t.Fatalf("epoch = %d, want server's %d", e1, srv1.Epoch())
+	}
+	// "Restart": the first incarnation dies, a fresh one takes over.
+	mu.Lock()
+	target = l2
+	mu.Unlock()
+	srv1.Stop()
+	if err := c.Send(Probe()); err != nil {
+		t.Fatal(err)
+	}
+	if e2 := c.Epoch(); e2 == e1 || e2 != srv2.Epoch() {
+		t.Fatalf("epoch after restart = %d, want %d (was %d)", e2, srv2.Epoch(), e1)
+	}
+}
+
+func TestFlakyDialerDropsButClientConverges(t *testing.T) {
+	l := ctlkit.NewMemListener("rpc")
+	defer l.Close()
+	var mu sync.Mutex
+	applied := 0
+	srv := NewServer(func(m *Message) error {
+		mu.Lock()
+		applied++
+		mu.Unlock()
+		return nil
+	})
+	go srv.Serve(l)
+	defer srv.Stop()
+
+	dial := FlakyDialer(func() (net.Conn, error) { return l.Dial() }, 0.4, 42)
+	c := NewClient(dial, nil, WithRetry(0, 50))
+	defer c.Close()
+	for i := 0; i < 20; i++ {
+		if err := c.Send(SwitchUp(uint64(i+1), 1)); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if applied != 20 {
+		t.Fatalf("applied = %d, want 20 (each message exactly once despite drops)", applied)
+	}
+}
+
+// TestStaleAndDuplicateSeqHandling pins the server's total-order contract:
+// a duplicate of an applied message is acked without re-applying, an
+// out-of-order stale message (zombie handler after a redial) is skipped,
+// and a retry of a *failed* apply is re-applied, not deduplicated.
+func TestStaleAndDuplicateSeqHandling(t *testing.T) {
+	l := ctlkit.NewMemListener("rpc")
+	defer l.Close()
+	var mu sync.Mutex
+	var applied []uint64
+	failNext := false
+	srv := NewServer(func(m *Message) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if failNext {
+			failNext = false
+			return errors.New("transient apply failure")
+		}
+		applied = append(applied, m.DPID)
+		return nil
+	})
+	go srv.Serve(l)
+	defer srv.Stop()
+
+	conn, err := l.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	exchange := func(seq, dpid uint64) ack {
+		m := SwitchUp(dpid, 1)
+		m.Seq = seq
+		if err := writeFrame(conn, m); err != nil {
+			t.Fatal(err)
+		}
+		var a ack
+		if err := readFrame(conn, &a); err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+
+	if a := exchange(1, 0xA); a.Err != "" {
+		t.Fatalf("seq 1: %v", a.Err)
+	}
+	if a := exchange(1, 0xA); a.Err != "" { // duplicate retry: ack, no re-apply
+		t.Fatalf("dup seq 1: %v", a.Err)
+	}
+	if a := exchange(3, 0xC); a.Err != "" {
+		t.Fatalf("seq 3: %v", a.Err)
+	}
+	if a := exchange(2, 0xB); a.Err != "" { // zombie: skipped silently
+		t.Fatalf("stale seq 2: %v", a.Err)
+	}
+	mu.Lock()
+	failNext = true
+	mu.Unlock()
+	if a := exchange(4, 0xD); a.Err == "" { // first attempt fails...
+		t.Fatal("expected transient failure")
+	}
+	if a := exchange(4, 0xD); a.Err != "" { // ...retry must re-apply
+		t.Fatalf("retry of failed seq 4: %v", a.Err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	want := []uint64{0xA, 0xC, 0xD}
+	if len(applied) != len(want) {
+		t.Fatalf("applied = %x, want %x", applied, want)
+	}
+	for i := range want {
+		if applied[i] != want[i] {
+			t.Fatalf("applied = %x, want %x", applied, want)
+		}
+	}
+	if srv.Applied() != 3 {
+		t.Fatalf("Applied() = %d, want 3", srv.Applied())
+	}
+}
+
 func TestBadFrameRejected(t *testing.T) {
 	l := ctlkit.NewMemListener("rpc")
 	defer l.Close()

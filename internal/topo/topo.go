@@ -44,6 +44,9 @@ type Graph struct {
 	links []Link
 	// ports[n] is the next free port number on node n (ports are 1-based).
 	ports []int
+	// hostPorts[n] is the port consumed by node n's host attachment
+	// (0 = none), making SetHost idempotent.
+	hostPorts []int
 	// adj[n] lists link indices incident to node n.
 	adj [][]int
 }
@@ -101,20 +104,38 @@ func (g *Graph) AddNode(name string) int {
 	}
 	g.nodes = append(g.nodes, Node{ID: id, Name: name})
 	g.ports = append(g.ports, 1)
+	g.hostPorts = append(g.hostPorts, 0)
 	g.adj = append(g.adj, nil)
 	return id
 }
 
 // SetHost marks a node as having an attached end host. The host consumes the
-// next free port number on the switch; that port is returned.
+// next free port number on the switch; that port is returned. SetHost is
+// idempotent: re-announcing the same attachment returns the port already
+// assigned instead of consuming another one (re-announcement used to corrupt
+// the graph's port accounting — the root-cause family of the pan-European
+// demo flake).
 func (g *Graph) SetHost(id int) (port int, err error) {
 	if id < 0 || id >= len(g.nodes) {
 		return 0, fmt.Errorf("topo: no node %d", id)
 	}
+	if g.nodes[id].Host {
+		return g.hostPorts[id], nil
+	}
 	g.nodes[id].Host = true
 	port = g.ports[id]
 	g.ports[id]++
+	g.hostPorts[id] = port
 	return port, nil
+}
+
+// HostPort returns the port consumed by a node's host attachment (ok=false
+// when the node has no host).
+func (g *Graph) HostPort(id int) (port int, ok bool) {
+	if id < 0 || id >= len(g.hostPorts) || g.hostPorts[id] == 0 {
+		return 0, false
+	}
+	return g.hostPorts[id], true
 }
 
 // SetXY places a node for GUI layout.
@@ -432,6 +453,7 @@ func (g *Graph) UnmarshalJSON(data []byte) error {
 	// Host ports sit after link ports; re-reserve them.
 	for i, n := range ng.nodes {
 		if n.Host {
+			ng.hostPorts[i] = ng.ports[i]
 			ng.ports[i]++
 		}
 	}

@@ -179,6 +179,40 @@ func TestHostPortAllocation(t *testing.T) {
 	}
 }
 
+// TestSetHostIdempotent is the regression test for the graph-corruption
+// half of the ROADMAP flake: re-announcing a host attachment must return
+// the already-assigned port, not burn a fresh one.
+func TestSetHostIdempotent(t *testing.T) {
+	g := Ring(3)
+	first, err := g.SetHost(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := g.SetHost(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != first {
+		t.Fatalf("re-announced host port = %d, want %d", again, first)
+	}
+	if g.Ports(0) != 3 { // two ring links + one host port, not two
+		t.Fatalf("ports = %d, want 3", g.Ports(0))
+	}
+	if hp, ok := g.HostPort(0); !ok || hp != first {
+		t.Fatalf("HostPort = %d, %v", hp, ok)
+	}
+	if _, ok := g.HostPort(1); ok {
+		t.Fatal("HostPort on hostless node")
+	}
+	// Links added after the host attachment must not collide with its port.
+	if _, err := g.AddLink(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestSelfLoopRejected(t *testing.T) {
 	g := New("x")
 	a := g.AddNode("a")

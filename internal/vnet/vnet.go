@@ -82,10 +82,9 @@ type HostLearned struct {
 
 // VM is one virtual machine.
 type VM struct {
-	dpid  uint64
-	name  string
-	clk   clock.Clock
-	ports int
+	dpid uint64
+	name string
+	clk  clock.Clock
 
 	mu         sync.Mutex
 	state      State
@@ -93,6 +92,13 @@ type VM struct {
 	ifaces     map[uint16]*vmIface
 	pendingOps []func() // configuration arriving while booting
 	bootTimer  clock.Timer
+
+	// cfgMu serializes router (re)configuration: boot-time pending ops run
+	// in the boot goroutine while the RPC server applies new configuration
+	// concurrently; interleaved Detach/Attach on one interface would leave
+	// the routing daemons silently inconsistent (an attached interface
+	// missing from OSPF — a dead adjacency forever).
+	cfgMu sync.Mutex
 
 	onTransmit func(port uint16, frame []byte)
 	onFIB      func(rib.Event)
@@ -135,7 +141,6 @@ func New(cfg Config) (*VM, error) {
 		dpid:   cfg.DPID,
 		name:   name,
 		clk:    cfg.Clock,
-		ports:  cfg.Ports,
 		state:  StateBooting,
 		router: router,
 		ifaces: make(map[uint16]*vmIface),
@@ -187,8 +192,15 @@ func (vm *VM) State() State {
 	return vm.state
 }
 
-// Ports returns the number of interfaces.
-func (vm *VM) Ports() int { return vm.ports }
+// Ports returns the number of interfaces. It starts at the announced port
+// count and grows when configuration names a port beyond it (interfaces are
+// created on demand, so the SwitchUp port *count* is a sizing hint, not a
+// contract on port *numbers*).
+func (vm *VM) Ports() int {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	return len(vm.ifaces)
+}
 
 // Router exposes the VM's routing control platform.
 func (vm *VM) Router() *quagga.Router { return vm.router }
@@ -246,28 +258,53 @@ func (vm *VM) Destroy() {
 // ConfigureInterface assigns an address to the interface mirroring a switch
 // port and enables OSPF on it (the link-up half of the RPC server's work).
 // Calls while booting are queued and applied when the VM comes up.
+//
+// The call is idempotent and convergent, as a reconciled apply path must
+// be: re-announcing the current address is a no-op, announcing a different
+// address reconfigures the interface, and naming a port the VM does not
+// have yet grows a fresh interface on demand (the announced port count is a
+// hint, not a bound on port numbers).
 func (vm *VM) ConfigureInterface(port uint16, addr netip.Prefix, cost uint16, ospfNetwork netip.Prefix) error {
+	if port == 0 {
+		return fmt.Errorf("vnet: %s: port numbers are 1-based", vm.name)
+	}
 	vm.mu.Lock()
+	if vm.state == StateDestroyed {
+		vm.mu.Unlock()
+		return fmt.Errorf("vnet: %s is %v", vm.name, StateDestroyed)
+	}
 	ifc, ok := vm.ifaces[port]
 	if !ok {
+		ifc = &vmIface{
+			port: port, name: IfaceName(port), mac: MAC(vm.dpid, port),
+			arp:     make(map[netip.Addr]pkt.MAC),
+			pending: make(map[netip.Addr][][]byte),
+		}
+		vm.ifaces[port] = ifc
+	}
+	if ifc.addr == addr && (vm.state == StateBooting || vm.router.Attached(ifc.name)) {
 		vm.mu.Unlock()
-		return fmt.Errorf("vnet: %s has no port %d", vm.name, port)
+		return nil // level-triggered re-apply: already converged (or queued)
 	}
 	if ifc.addr.IsValid() {
-		vm.mu.Unlock()
-		return fmt.Errorf("vnet: %s %s already addressed", vm.name, ifc.name)
+		// Readdressing: stale neighbour state dies with the old subnet.
+		ifc.arp = make(map[netip.Addr]pkt.MAC)
+		ifc.pending = make(map[netip.Addr][][]byte)
 	}
 	ifc.addr = addr
 	if vm.state == StateBooting {
 		vm.pendingOps = append(vm.pendingOps, func() {
-			vm.applyInterface(ifc, addr, cost, ospfNetwork)
+			// Self-cancel if a later declaration superseded this one while
+			// the VM was still booting: only the current address applies.
+			vm.mu.Lock()
+			cur := ifc.addr
+			vm.mu.Unlock()
+			if cur == addr {
+				vm.applyInterface(ifc, addr, cost, ospfNetwork)
+			}
 		})
 		vm.mu.Unlock()
 		return nil
-	}
-	if vm.state != StateUp {
-		vm.mu.Unlock()
-		return fmt.Errorf("vnet: %s is %v", vm.name, vm.state)
 	}
 	vm.mu.Unlock()
 	vm.applyInterface(ifc, addr, cost, ospfNetwork)
@@ -275,6 +312,12 @@ func (vm *VM) ConfigureInterface(port uint16, addr netip.Prefix, cost uint16, os
 }
 
 func (vm *VM) applyInterface(ifc *vmIface, addr netip.Prefix, cost uint16, ospfNetwork netip.Prefix) {
+	vm.cfgMu.Lock()
+	defer vm.cfgMu.Unlock()
+	// Detach any previous incarnation so a re-apply converges to the new
+	// address instead of erroring on the old attachment (no-op when the
+	// interface was never attached).
+	vm.router.Detach(ifc.name)
 	vm.router.AddNetwork(ospfNetwork)
 	if err := vm.router.AddInterfaceConfig(quagga.InterfaceConfig{
 		Name: ifc.name, Address: addr, Cost: cost,
@@ -300,7 +343,9 @@ func (vm *VM) DeconfigureInterface(port uint16) {
 	ifc.arp = make(map[netip.Addr]pkt.MAC)
 	ifc.pending = make(map[netip.Addr][][]byte)
 	vm.mu.Unlock()
+	vm.cfgMu.Lock()
 	vm.router.Detach(name)
+	vm.cfgMu.Unlock()
 }
 
 // InterfaceAddr returns the address assigned to a port's interface.

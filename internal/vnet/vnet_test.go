@@ -107,18 +107,120 @@ func TestConfigureWhileBootingIsQueued(t *testing.T) {
 	}
 }
 
-func TestConfigureErrors(t *testing.T) {
+func TestConfigureConverges(t *testing.T) {
 	vm := newVM(t, 0xC, 1, time.Millisecond)
 	waitState(t, vm, StateUp)
 	pool := netip.MustParsePrefix("172.16.0.0/16")
-	if err := vm.ConfigureInterface(9, netip.MustParsePrefix("172.16.0.1/30"), 1, pool); err == nil {
-		t.Fatal("ghost port accepted")
-	}
-	if err := vm.ConfigureInterface(1, netip.MustParsePrefix("172.16.0.1/30"), 1, pool); err != nil {
+	addr := netip.MustParsePrefix("172.16.0.1/30")
+	if err := vm.ConfigureInterface(1, addr, 1, pool); err != nil {
 		t.Fatal(err)
 	}
-	if err := vm.ConfigureInterface(1, netip.MustParsePrefix("172.16.0.5/30"), 1, pool); err == nil {
-		t.Fatal("double configure accepted")
+	// Level-triggered re-apply of the same address is a no-op.
+	if err := vm.ConfigureInterface(1, addr, 1, pool); err != nil {
+		t.Fatalf("idempotent re-apply errored: %v", err)
+	}
+	if got, _ := vm.InterfaceAddr(1); got != addr {
+		t.Fatalf("addr after re-apply = %v", got)
+	}
+	// A different address reconfigures instead of erroring.
+	next := netip.MustParsePrefix("172.16.0.5/30")
+	if err := vm.ConfigureInterface(1, next, 1, pool); err != nil {
+		t.Fatalf("reconfigure errored: %v", err)
+	}
+	if got, _ := vm.InterfaceAddr(1); got != next {
+		t.Fatalf("addr after reconfigure = %v", got)
+	}
+	if _, ok := vm.RIB().Lookup(addr.Addr()); ok {
+		t.Fatal("old connected route survived reconfigure")
+	}
+	if _, ok := vm.RIB().Lookup(next.Addr().Next()); !ok {
+		t.Fatal("new connected route missing after reconfigure")
+	}
+	// Port 0 is invalid; destroyed VMs refuse configuration.
+	if err := vm.ConfigureInterface(0, addr, 1, pool); err == nil {
+		t.Fatal("port 0 accepted")
+	}
+	vm.Destroy()
+	if err := vm.ConfigureInterface(1, addr, 1, pool); err == nil {
+		t.Fatal("destroyed VM accepted configuration")
+	}
+}
+
+// TestGrowInterfaceOnDemand is the regression test for the port-count vs.
+// port-number contract mismatch behind the pan-European demo flake: a
+// switch announcing 2 ports whose host attachment names port 7 (numbers
+// need not be contiguous) must still get a working gateway interface.
+func TestGrowInterfaceOnDemand(t *testing.T) {
+	vm := newVM(t, 0x11, 2, time.Millisecond)
+	waitState(t, vm, StateUp)
+	gw := netip.MustParsePrefix("10.7.0.1/24")
+	if err := vm.ConfigureInterface(7, gw, 10, gw.Masked()); err != nil {
+		t.Fatalf("non-contiguous port rejected: %v", err)
+	}
+	if vm.Ports() != 3 {
+		t.Fatalf("ports = %d, want 3 (2 announced + 1 grown)", vm.Ports())
+	}
+	if addr, ok := vm.InterfaceAddr(7); !ok || addr != gw {
+		t.Fatalf("grown iface addr = %v, %v", addr, ok)
+	}
+	if mac, ok := vm.InterfaceMAC(7); !ok || mac != MAC(0x11, 7) {
+		t.Fatalf("grown iface mac = %v, %v", mac, ok)
+	}
+	// The grown interface answers ARP for its gateway address — the exact
+	// behaviour whose absence wedged the host forever.
+	var mu sync.Mutex
+	var sent [][]byte
+	vm.OnTransmit(func(port uint16, frame []byte) {
+		if port == 7 {
+			mu.Lock()
+			sent = append(sent, frame)
+			mu.Unlock()
+		}
+	})
+	hostMAC := pkt.LocalMAC(0x70)
+	req := pkt.NewARPRequest(hostMAC, netip.MustParseAddr("10.7.0.100"), gw.Addr())
+	frame := &pkt.Frame{Dst: pkt.BroadcastMAC, Src: hostMAC,
+		Type: pkt.EtherTypeARP, Payload: req.Marshal()}
+	vm.Inject(7, frame.Marshal())
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		n := len(sent)
+		mu.Unlock()
+		if n > 0 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("grown interface never answered ARP for the gateway")
+}
+
+// TestConfigureWhileBootingConvergesToLast checks that re-declarations
+// queued during boot settle on the final declared address.
+func TestConfigureWhileBootingConvergesToLast(t *testing.T) {
+	vm := newVM(t, 0x12, 1, 50*time.Millisecond)
+	pool := netip.MustParsePrefix("172.16.0.0/16")
+	first := netip.MustParsePrefix("172.16.0.1/30")
+	second := netip.MustParsePrefix("172.16.0.9/30")
+	if err := vm.ConfigureInterface(1, first, 1, pool); err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.ConfigureInterface(1, second, 1, pool); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, vm, StateUp)
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, ok := vm.RIB().Lookup(second.Addr().Next()); ok {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if addr, _ := vm.InterfaceAddr(1); addr != second {
+		t.Fatalf("addr = %v, want %v", addr, second)
+	}
+	if _, ok := vm.RIB().Lookup(first.Addr()); ok {
+		t.Fatal("superseded boot-time address survived")
 	}
 }
 
