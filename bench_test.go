@@ -89,6 +89,48 @@ func BenchmarkDemoPanEuropeanVideo(b *testing.B) {
 	b.ReportMetric(video.Seconds()/float64(b.N), "proto-s/video")
 }
 
+// BenchmarkDemoPanEuropeanVideoMultiStream runs the §3 demonstration with
+// four concurrent video streams crossing the 28-node core from t=0 — the
+// scenario the two-tier dataplane exists for: every hop is a cached
+// exact-match lookup instead of a mutex-guarded classifier scan. It reports
+// the protocol time until all four clients have video plus aggregate
+// delivery quality.
+func BenchmarkDemoPanEuropeanVideoMultiStream(b *testing.B) {
+	g := PanEuropean()
+	pairs := make([][2]int, 0, 4)
+	for _, sc := range [][2]string{
+		{"Lisbon", "Stockholm"},
+		{"Dublin", "Athens"},
+		{"Oslo", "Rome"},
+		{"Glasgow", "Budapest"},
+	} {
+		srv, ok1 := g.NodeByName(sc[0])
+		cli, ok2 := g.NodeByName(sc[1])
+		if !ok1 || !ok2 {
+			b.Fatalf("unknown city pair %v", sc)
+		}
+		pairs = append(pairs, [2]int{srv.ID, cli.ID})
+	}
+	var allVideo, configured time.Duration
+	var frames, gaps uint64
+	for i := 0; i < b.N; i++ {
+		res, err := RunDemoMultiStream(benchExperiment(), pairs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		allVideo += res.AllVideo
+		configured += res.Configured
+		for _, st := range res.Streams {
+			frames += st.VideoStats.Frames
+			gaps += st.VideoStats.Gaps
+		}
+	}
+	b.ReportMetric(configured.Seconds()/float64(b.N), "proto-s/configured")
+	b.ReportMetric(allVideo.Seconds()/float64(b.N), "proto-s/video-all")
+	b.ReportMetric(float64(frames)/float64(b.N), "frames")
+	b.ReportMetric(float64(gaps)/float64(b.N), "gaps")
+}
+
 // BenchmarkAblationFlowVisor measures configuration time with the slicing
 // proxy in the control path (the paper's deployment).
 func BenchmarkAblationFlowVisor(b *testing.B) {

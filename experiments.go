@@ -127,15 +127,73 @@ type DemoResult struct {
 
 // RunDemo reproduces the demonstration: a cold pan-European network, a video
 // stream started immediately, and the time until it reaches the remote
-// client — configuration included.
+// client — configuration included. It is the single-stream special case of
+// RunDemoMultiStream.
 func RunDemo(cfg ExperimentConfig, serverNode, clientNode int) (DemoResult, error) {
+	ms, err := RunDemoMultiStream(cfg, [][2]int{{serverNode, clientNode}})
+	res := DemoResult{
+		Switches: ms.Switches, Links: ms.Links,
+		Configured: ms.Configured, Converged: ms.Converged,
+		FirstVideo:  ms.AllVideo,
+		ManualEquiv: DefaultManualModel().Total(ms.Switches),
+	}
+	if len(ms.Streams) == 1 {
+		res.VideoStats = ms.Streams[0].VideoStats
+	}
+	return res, err
+}
+
+func waitProtocol(clk interface {
+	After(time.Duration) <-chan time.Time
+}, d time.Duration) {
+	<-clk.After(d)
+}
+
+// StreamResult is one stream of a multi-stream demonstration.
+type StreamResult struct {
+	ServerNode, ClientNode int
+	FirstVideo             time.Duration // cold start → first frame at this client
+	VideoStats             VideoStats
+}
+
+// MultiStreamResult is the outcome of RunDemoMultiStream.
+type MultiStreamResult struct {
+	Switches   int
+	Links      int
+	Configured time.Duration
+	Converged  time.Duration
+	// AllVideo is the cold start → the moment every stream has delivered
+	// its first frame (the slowest stream bounds it).
+	AllVideo time.Duration
+	Streams  []StreamResult
+}
+
+// RunDemoMultiStream is the §3 demonstration under concurrent load: one
+// video stream per (server, client) pair, all started at t=0 against the
+// cold network. It exercises the dataplane the way the paper's testbed
+// audience did — several flows crossing the 28-switch core at once — where
+// per-switch forwarding cost, not configuration time, sets the ceiling.
+func RunDemoMultiStream(cfg ExperimentConfig, pairs [][2]int) (MultiStreamResult, error) {
 	cfg = cfg.withDefaults()
+	if len(pairs) == 0 {
+		return MultiStreamResult{}, fmt.Errorf("routeflow: multi-stream demo needs at least one (server, client) pair")
+	}
 	g := PanEuropean()
 	clk := ScaledClock(cfg.TimeScale)
+	hostSet := map[int]bool{}
+	var hostNodes []int
+	for _, p := range pairs {
+		for _, n := range []int{p[0], p[1]} {
+			if !hostSet[n] {
+				hostSet[n] = true
+				hostNodes = append(hostNodes, n)
+			}
+		}
+	}
 	d, err := core.NewDeployment(core.Options{
 		Topology:      g,
 		Clock:         clk,
-		HostNodes:     []int{serverNode, clientNode},
+		HostNodes:     hostNodes,
 		BootDelay:     cfg.BootDelay,
 		Timers:        cfg.Timers,
 		ProbeInterval: cfg.ProbeInterval,
@@ -143,54 +201,67 @@ func RunDemo(cfg ExperimentConfig, serverNode, clientNode int) (DemoResult, erro
 		NoFlowVisor:   cfg.NoFlowVisor,
 	})
 	if err != nil {
-		return DemoResult{}, err
+		return MultiStreamResult{}, err
 	}
 	defer d.Close()
 
-	srvHost, _ := d.Host(serverNode)
-	cliHost, _ := d.Host(clientNode)
-	client, err := stream.NewClient(cliHost, 0, clk)
-	if err != nil {
-		return DemoResult{}, err
-	}
-	defer client.Close()
-	server, err := stream.NewServer(stream.ServerConfig{
-		Host: srvHost, Dst: cliHost.Addr(), Clock: clk,
-	})
-	if err != nil {
-		return DemoResult{}, err
+	clients := make([]*stream.Client, len(pairs))
+	for i, p := range pairs {
+		srvHost, ok := d.Host(p[0])
+		if !ok {
+			return MultiStreamResult{}, fmt.Errorf("routeflow: no host at server node %d", p[0])
+		}
+		cliHost, ok := d.Host(p[1])
+		if !ok {
+			return MultiStreamResult{}, fmt.Errorf("routeflow: no host at client node %d", p[1])
+		}
+		client, err := stream.NewClient(cliHost, 0, clk)
+		if err != nil {
+			return MultiStreamResult{}, err
+		}
+		defer client.Close()
+		clients[i] = client
+		server, err := stream.NewServer(stream.ServerConfig{
+			Host: srvHost, Dst: cliHost.Addr(), Clock: clk,
+		})
+		if err != nil {
+			return MultiStreamResult{}, err
+		}
+		// Cold start: stream first, then bring the network up — the paper's
+		// ordering ("At the start of the experiment, we stream a video
+		// clip").
+		server.Start()
+		defer server.Stop()
 	}
 
-	// Cold start: stream first, then bring the network up — the paper's
-	// ordering ("At the start of the experiment, we stream a video clip").
-	server.Start()
-	defer server.Stop()
+	startAt := clk.Now()
 	if err := d.Start(); err != nil {
-		return DemoResult{}, err
+		return MultiStreamResult{}, err
 	}
-
-	res := DemoResult{Switches: g.NumNodes(), Links: g.NumLinks(),
-		ManualEquiv: DefaultManualModel().Total(g.NumNodes())}
+	res := MultiStreamResult{Switches: g.NumNodes(), Links: g.NumLinks(),
+		Streams: make([]StreamResult, len(pairs))}
 	if res.Configured, err = d.AwaitConfigured(time.Hour); err != nil {
 		return res, err
 	}
 	if res.Converged, err = d.AwaitConverged(time.Hour); err != nil {
 		return res, err
 	}
-	if err := client.AwaitFirstFrame(time.Hour); err != nil {
-		return res, err
+	for i, c := range clients {
+		if err := c.AwaitFirstFrame(time.Hour); err != nil {
+			return res, fmt.Errorf("stream %d→%d: %w", pairs[i][0], pairs[i][1], err)
+		}
 	}
-	res.FirstVideo = d.Elapsed()
+	res.AllVideo = d.Elapsed()
 	// Let a little video accumulate for the delivery statistics.
 	waitProtocol(clk, 5*time.Second)
-	res.VideoStats = client.Stats()
+	for i, c := range clients {
+		st := c.Stats()
+		res.Streams[i] = StreamResult{
+			ServerNode: pairs[i][0], ClientNode: pairs[i][1],
+			FirstVideo: st.FirstFrame.Sub(startAt), VideoStats: st,
+		}
+	}
 	return res, nil
-}
-
-func waitProtocol(clk interface {
-	After(time.Duration) <-chan time.Time
-}, d time.Duration) {
-	<-clk.After(d)
 }
 
 // PrintDemo renders the demonstration outcome.

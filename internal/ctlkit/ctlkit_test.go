@@ -190,7 +190,7 @@ func TestPacketInCallbackAndPacketOut(t *testing.T) {
 	waitFor(t, "switch up", func() bool { return ctl.NumSwitches() == 1 })
 
 	rx := make(chan []byte, 1)
-	far[1].SetReceiver(func(f []byte) { rx <- f })
+	far[1].SetReceiver(func(f []byte) { rx <- append([]byte(nil), f...) })
 
 	// Inject a frame on far side of port 1: no flows → packet-in.
 	f := &pkt.Frame{Dst: pkt.BroadcastMAC, Src: pkt.LocalMAC(0xF1),

@@ -28,7 +28,9 @@ type HostConfig struct {
 	ARPRetries int           // default 3
 }
 
-// UDPHandler consumes datagrams delivered to a bound port.
+// UDPHandler consumes datagrams delivered to a bound port. The payload is
+// valid only for the duration of the call (it aliases the endpoint's pooled
+// receive buffer); handlers that retain it must copy.
 type UDPHandler func(src netip.Addr, srcPort uint16, payload []byte)
 
 // Host is a minimal end-system IP stack attached to one endpoint: ARP

@@ -74,6 +74,14 @@ type CableOpts struct {
 	InboxDepth   int           // defaults to DefaultInboxDepth
 }
 
+// frameBuf is a pooled in-flight frame copy. Send fills one from the pool,
+// the peer's deliverLoop hands its bytes to the receiver and recycles it —
+// steady-state frame delivery allocates nothing (the emulated analogue of a
+// NIC ring reusing descriptors).
+type frameBuf struct{ b []byte }
+
+var framePool = sync.Pool{New: func() any { return new(frameBuf) }}
+
 // Endpoint is one side of a cable. Owners attach a receiver; Send transmits
 // toward the peer.
 type Endpoint struct {
@@ -81,7 +89,7 @@ type Endpoint struct {
 	name    string
 	mac     pkt.MAC
 	peer    *Endpoint
-	inbox   chan []byte
+	inbox   chan *frameBuf
 	stop    chan struct{}
 	stopped sync.Once
 
@@ -121,7 +129,7 @@ func (n *Network) NewCable(opts CableOpts) (*Endpoint, *Endpoint) {
 			net:     n,
 			name:    name,
 			mac:     mac,
-			inbox:   make(chan []byte, depth),
+			inbox:   make(chan *frameBuf, depth),
 			stop:    make(chan struct{}),
 			latency: opts.Latency,
 			loss:    opts.LossRate,
@@ -156,6 +164,11 @@ func (e *Endpoint) LinkUp() bool { return e.link.up.Load() }
 
 // SetReceiver installs the inbound frame handler. Frames arriving with no
 // receiver installed are dropped.
+//
+// Ownership contract (like a kernel packet ring): the frame slice is valid
+// only for the duration of the callback and may be mutated by it; it is
+// recycled as soon as the callback returns. Receivers that retain the frame
+// past the callback must copy it.
 func (e *Endpoint) SetReceiver(f func(frame []byte)) {
 	e.recvMu.Lock()
 	e.recv = f
@@ -187,7 +200,8 @@ func (e *Endpoint) SetLinkUp(up bool) {
 
 // Send transmits one frame toward the peer. It never blocks; it reports
 // false when the frame was dropped (link down, loss model, or full peer
-// inbox). The frame is copied, so callers may reuse the buffer.
+// inbox). The frame is copied into a pooled buffer, so callers may reuse
+// (or have been mutating) their slice.
 func (e *Endpoint) Send(frame []byte) bool {
 	if !e.link.up.Load() {
 		e.drops.Add(1)
@@ -204,14 +218,16 @@ func (e *Endpoint) Send(frame []byte) bool {
 			return false
 		}
 	}
-	cp := append([]byte(nil), frame...)
+	fb := framePool.Get().(*frameBuf)
+	fb.b = append(fb.b[:0], frame...)
 	select {
-	case e.peer.inbox <- cp:
+	case e.peer.inbox <- fb:
 		e.txPackets.Add(1)
 		e.txBytes.Add(uint64(len(frame)))
 		e.net.trace(TraceEvent{From: e.name, To: e.peer.name, Len: len(frame)})
 		return true
 	default:
+		framePool.Put(fb)
 		e.drops.Add(1)
 		e.net.trace(TraceEvent{From: e.name, To: e.peer.name, Len: len(frame), Dropped: true})
 		return false
@@ -221,7 +237,7 @@ func (e *Endpoint) Send(frame []byte) bool {
 func (e *Endpoint) deliverLoop() {
 	for {
 		select {
-		case frame := <-e.inbox:
+		case fb := <-e.inbox:
 			if e.latency > 0 {
 				e.net.clk.Sleep(e.latency)
 			}
@@ -230,11 +246,12 @@ func (e *Endpoint) deliverLoop() {
 			e.recvMu.RUnlock()
 			if recv != nil && e.link.up.Load() {
 				e.rxPackets.Add(1)
-				e.rxBytes.Add(uint64(len(frame)))
-				recv(frame)
+				e.rxBytes.Add(uint64(len(fb.b)))
+				recv(fb.b)
 			} else {
 				e.drops.Add(1)
 			}
+			framePool.Put(fb)
 		case <-e.stop:
 			return
 		}

@@ -23,7 +23,7 @@ func newPair(t *testing.T) (*Network, *Endpoint, *Endpoint) {
 func TestCableDelivers(t *testing.T) {
 	_, a, b := newPair(t)
 	got := make(chan []byte, 1)
-	b.SetReceiver(func(f []byte) { got <- f })
+	b.SetReceiver(func(f []byte) { got <- append([]byte(nil), f...) })
 	if !a.Send([]byte("frame")) {
 		t.Fatal("send failed")
 	}
@@ -70,7 +70,7 @@ func TestCableInOrderDelivery(t *testing.T) {
 func TestCableSendCopiesBuffer(t *testing.T) {
 	_, a, b := newPair(t)
 	got := make(chan []byte, 1)
-	b.SetReceiver(func(f []byte) { got <- f })
+	b.SetReceiver(func(f []byte) { got <- append([]byte(nil), f...) })
 	buf := []byte("orig")
 	a.Send(buf)
 	buf[0] = 'X' // mutate after send
@@ -94,7 +94,7 @@ func TestLinkDownDropsAndNotifies(t *testing.T) {
 		}
 	})
 	rx := make(chan []byte, 1)
-	b.SetReceiver(func(f []byte) { rx <- f })
+	b.SetReceiver(func(f []byte) { rx <- append([]byte(nil), f...) })
 
 	a.SetLinkUp(false)
 	if a.LinkUp() || b.LinkUp() {

@@ -352,7 +352,7 @@ func (s *Switch) sendFlowRemoved(e *flowEntry, reason uint8, now time.Time) {
 		DurationSec:  uint32(dur / time.Second),
 		DurationNsec: uint32(dur % time.Second),
 		IdleTimeout:  e.idleTimeout,
-		PacketCount:  e.packets, ByteCount: e.bytes,
+		PacketCount:  e.packets.Load(), ByteCount: e.bytes.Load(),
 	})
 }
 
@@ -565,14 +565,16 @@ func (s *Switch) handleStats(m *openflow.StatsRequest) {
 	_ = s.send(rep)
 }
 
-// handleFrame is the dataplane: classify, look up, forward or punt.
+// handleFrame is the dataplane: classify, look up, forward or punt. It runs
+// on the delivering port's goroutine; ports of one switch forward
+// concurrently, serialized only by a cache-miss's read lock.
 func (s *Switch) handleFrame(inPort uint16, frame []byte) {
 	key, err := openflow.ExtractKey(inPort, frame)
 	if err != nil {
 		return // unparseable runt frame
 	}
-	if e := s.table.lookup(&key, len(frame), s.clk.Now()); e != nil {
-		s.forward(inPort, frame, e.actions)
+	if actions, ok := s.table.lookup(&key, len(frame), s.clk.Now().UnixNano()); ok {
+		s.forward(inPort, frame, actions)
 		return
 	}
 	s.punt(inPort, frame)
@@ -618,7 +620,10 @@ func (s *Switch) takeBuffer(id uint32) (bufferedPacket, bool) {
 	return bp, ok
 }
 
-// forward applies rewrites then emits the frame on every output target.
+// forward applies rewrites then emits the frame on every output target. The
+// switch owns frame: rewrite actions may patch it in place (dataplane frames
+// are per-delivery copies owned until handleFrame returns; buffered and
+// packet-out frames are owned by the releasing message).
 func (s *Switch) forward(inPort uint16, frame []byte, actions []openflow.Action) {
 	out := applyRewrites(frame, actions)
 	for _, a := range actions {

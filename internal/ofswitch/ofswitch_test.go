@@ -107,7 +107,7 @@ func expectFrame(t *testing.T, ch <-chan []byte, what string) []byte {
 
 func capture(ep *netemu.Endpoint) <-chan []byte {
 	ch := make(chan []byte, 64)
-	ep.SetReceiver(func(f []byte) { ch <- f })
+	ep.SetReceiver(func(f []byte) { ch <- append([]byte(nil), f...) })
 	return ch
 }
 

@@ -9,9 +9,38 @@ import (
 
 // applyRewrites returns frame with all non-output actions applied: L2
 // address and VLAN rewrites, and L3/L4 rewrites with checksum repair. Output
-// actions are collected separately by the caller. The input slice is never
-// modified.
+// actions are collected separately by the caller. The caller must own frame:
+// the hot path (pure MAC rewrites, which is what every routed hop executes)
+// patches the Ethernet header in place instead of decoding and
+// re-marshalling the whole packet; only VLAN/L3/L4 rewrites take the
+// rebuild path.
 func applyRewrites(frame []byte, actions []openflow.Action) []byte {
+	l2Only := true
+	rewrites := false
+	for _, a := range actions {
+		switch a.(type) {
+		case *openflow.ActionSetDlSrc, *openflow.ActionSetDlDst:
+			rewrites = true
+		case *openflow.ActionOutput, *openflow.ActionEnqueue, *openflow.ActionVendor:
+			// Not rewrites; handled (or ignored) by the caller.
+		default:
+			rewrites, l2Only = true, false
+		}
+	}
+	if !rewrites {
+		return frame
+	}
+	if l2Only && len(frame) >= pkt.EthernetHeaderLen {
+		for _, a := range actions {
+			switch act := a.(type) {
+			case *openflow.ActionSetDlSrc:
+				copy(frame[6:12], act.Addr[:])
+			case *openflow.ActionSetDlDst:
+				copy(frame[0:6], act.Addr[:])
+			}
+		}
+		return frame
+	}
 	f, err := pkt.DecodeFrame(frame)
 	if err != nil {
 		return frame

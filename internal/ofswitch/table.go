@@ -13,12 +13,15 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"routeflow/internal/openflow"
 )
 
-// flowEntry is one installed flow.
+// flowEntry is one installed flow. The immutable identity fields are written
+// once under the table write lock; the hot-path counters are per-entry
+// atomics so cached lookups never take a lock.
 type flowEntry struct {
 	match       openflow.Match
 	priority    uint16
@@ -26,16 +29,29 @@ type flowEntry struct {
 	idleTimeout uint16
 	hardTimeout uint16
 	flags       uint16
-	actions     []openflow.Action
+	// actions is replaced wholesale (never mutated in place) under the
+	// table write lock; readers capture the slice under the read lock or
+	// from a microflow cache entry published after the capture.
+	actions []openflow.Action
 
 	created  time.Time
-	lastUsed time.Time
-	packets  uint64
-	bytes    uint64
+	lastUsed atomic.Int64 // UnixNano of the last matched packet; 0 = never
+	packets  atomic.Uint64
+	bytes    atomic.Uint64
 	seq      uint64 // insertion order tiebreak
 }
 
+// hit records one matched packet. Lock-free: it runs on the dataplane for
+// every forwarded frame, concurrently across all ports of the switch.
+func (e *flowEntry) hit(frameLen int, nowNanos int64) {
+	e.packets.Add(1)
+	e.bytes.Add(uint64(frameLen))
+	e.lastUsed.Store(nowNanos)
+}
+
 // FlowInfo is a read-only snapshot of one flow entry, for tests and the GUI.
+// Actions is a deep copy: holders may inspect it at leisure while flow-mods
+// keep rewriting the live entry.
 type FlowInfo struct {
 	Match       openflow.Match
 	Priority    uint16
@@ -48,14 +64,67 @@ type FlowInfo struct {
 	Age         time.Duration
 }
 
-// flowTable is a single OpenFlow 1.0 table: entries ordered by priority
-// (descending), then insertion order.
+// Microflow cache geometry: a fixed, power-of-two direct-mapped array so the
+// fast path is one masked hash and one atomic pointer load.
+const (
+	mfCacheBits = 10
+	mfCacheSize = 1 << mfCacheBits
+	mfCacheMask = mfCacheSize - 1
+)
+
+// mfEntry is one microflow cache line: an exact packet key resolved to its
+// matching flow and that flow's action list, valid for one table generation.
+// Entries are immutable after publication; invalidation is wholesale via the
+// table generation counter, so flow-mod semantics never depend on finding
+// and scrubbing individual lines.
+type mfEntry struct {
+	key     openflow.Match
+	gen     uint64
+	flow    *flowEntry
+	actions []openflow.Action
+}
+
+// tableCounters is one shard of the table-level counters, padded to a cache
+// line. Every forwarded packet bumps lookups/matched; a single shared
+// counter would make all ports of a switch bounce one cache line per packet
+// — the very contention the lock-free hit path exists to avoid — so shards
+// are picked by ingress port and summed on demand.
+type tableCounters struct {
+	lookups   atomic.Uint64
+	matched   atomic.Uint64
+	cacheHits atomic.Uint64
+	_         [40]byte
+}
+
+// counterShards must be a power of two.
+const counterShards = 8
+
+// flowTable is a single OpenFlow 1.0 table with a two-tier lookup pipeline.
+//
+// Tier 1 is an exact-match microflow cache (the Open vSwitch idea): a
+// direct-mapped array indexed by a hash of the packet's exact header key,
+// consulted with only atomic loads. A hit yields the pre-resolved action
+// list and bumps per-entry atomic counters — the steady-state forwarding
+// path takes zero locks and is O(1) in the number of installed flows.
+//
+// Tier 2 is the priority-ordered linear classifier, demoted to a cache-fill
+// slow path behind the read half of an RWMutex. Flow-mods, expiry and other
+// mutations take the write lock and bump gen, which atomically invalidates
+// every cache line; the next packet of each microflow re-classifies and
+// refills. This keeps OF 1.0 semantics exact: a barrier'd flow-mod is
+// observed by the very next lookup.
 type flowTable struct {
 	mu      sync.RWMutex
 	entries []*flowEntry
 	seq     uint64
-	lookups uint64
-	matched uint64
+
+	gen      atomic.Uint64 // bumped by add/modify/delete/expire
+	cache    [mfCacheSize]atomic.Pointer[mfEntry]
+	counters [counterShards]tableCounters
+
+	// disableCache forces every lookup through the tier-2 classifier; a
+	// benchmark/test knob to measure the cache against its slow path.
+	disableCache bool
 }
 
 // sortLocked restores the priority ordering after insertion.
@@ -68,21 +137,78 @@ func (t *flowTable) sortLocked() {
 	})
 }
 
-// lookup returns the highest-priority entry covering key, updating counters.
-func (t *flowTable) lookup(key *openflow.Match, frameLen int, now time.Time) *flowEntry {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.lookups++
-	for _, e := range t.entries {
-		if e.match.Covers(key) {
-			t.matched++
-			e.packets++
-			e.bytes += uint64(frameLen)
-			e.lastUsed = now
-			return e
+// invalidateLocked marks every microflow cache line stale. Callers hold the
+// write lock; the bump publishes after the mutation it covers because gen is
+// re-read under the read lock (or re-checked against a line's recorded
+// generation) by every consumer.
+func (t *flowTable) invalidateLocked() { t.gen.Add(1) }
+
+// lookup resolves key to the action list of the highest-priority covering
+// flow, updating that flow's counters, or reports ok=false for a table miss
+// (the punt path — misses are never cached, so a controller installing a
+// flow takes effect on the next packet). The returned slice must not be
+// mutated.
+func (t *flowTable) lookup(key *openflow.Match, frameLen int, nowNanos int64) ([]openflow.Action, bool) {
+	c := &t.counters[key.InPort&(counterShards-1)]
+	c.lookups.Add(1)
+	var slot *atomic.Pointer[mfEntry]
+	if !t.disableCache {
+		slot = &t.cache[uint32(key.KeyHash())&mfCacheMask]
+		if ce := slot.Load(); ce != nil && ce.gen == t.gen.Load() && ce.key == *key {
+			c.matched.Add(1)
+			c.cacheHits.Add(1)
+			ce.flow.hit(frameLen, nowNanos)
+			return ce.actions, true
 		}
 	}
-	return nil
+	return t.classify(key, frameLen, nowNanos, slot, c)
+}
+
+// classify is the tier-2 slow path: scan the priority-ordered entries under
+// the read lock, then publish the resolution into the caller's cache slot.
+// The generation is captured under the read lock, so a mutation racing the
+// publication leaves a line that is already stale — never a wrong hit. The
+// counter update also happens under the read lock, so on this path a
+// concurrent delete/expiry cannot snapshot flow-removed totals until the
+// packet is counted. (The tier-1 hit path counts lock-free after its
+// generation check; a packet racing the removal there may miss the
+// notification totals — indistinguishable from the packet arriving just
+// after removal, which OpenFlow permits.)
+func (t *flowTable) classify(key *openflow.Match, frameLen int, nowNanos int64, slot *atomic.Pointer[mfEntry], c *tableCounters) ([]openflow.Action, bool) {
+	t.mu.RLock()
+	gen := t.gen.Load()
+	for _, e := range t.entries {
+		if e.match.Covers(key) {
+			actions := e.actions
+			c.matched.Add(1)
+			e.hit(frameLen, nowNanos)
+			if slot != nil {
+				slot.Store(&mfEntry{key: *key, gen: gen, flow: e, actions: actions})
+			}
+			t.mu.RUnlock()
+			return actions, true
+		}
+	}
+	t.mu.RUnlock()
+	return nil, false
+}
+
+// cacheHitCount sums the per-shard cache-hit counters (tests).
+func (t *flowTable) cacheHitCount() uint64 {
+	var n uint64
+	for i := range t.counters {
+		n += t.counters[i].cacheHits.Load()
+	}
+	return n
+}
+
+// cachedEntry reports the live cache line for key, if any (tests).
+func (t *flowTable) cachedEntry(key *openflow.Match) *mfEntry {
+	ce := t.cache[uint32(key.KeyHash())&mfCacheMask].Load()
+	if ce == nil || ce.gen != t.gen.Load() || ce.key != *key {
+		return nil
+	}
+	return ce
 }
 
 // sameStrict reports ofp "strict" identity: equal match and priority.
@@ -114,6 +240,7 @@ func (t *flowTable) add(e *flowEntry, checkOverlap bool) *openflow.ErrorMsg {
 			}
 		}
 	}
+	defer t.invalidateLocked()
 	// Identical match+priority replaces the existing entry (counters reset).
 	for i, ex := range t.entries {
 		if sameStrict(ex, &e.match, e.priority) {
@@ -148,6 +275,9 @@ func (t *flowTable) modify(m *openflow.Match, priority uint16, actions []openflo
 			n++
 		}
 	}
+	if n > 0 {
+		t.invalidateLocked()
+	}
 	return n
 }
 
@@ -181,11 +311,17 @@ func (t *flowTable) deleteFlows(m *openflow.Match, priority uint16, outPort uint
 			kept = append(kept, e)
 		}
 	}
-	t.entries = kept
+	if len(removed) > 0 {
+		t.entries = kept
+		t.invalidateLocked()
+	}
 	return removed
 }
 
-// expire removes entries past their idle or hard timeout.
+// expire removes entries past their idle or hard timeout. Idle accounting
+// reads the per-entry atomic lastUsed stamp, which cached hits keep fresh —
+// a flow carrying steady traffic through the microflow cache never idles
+// out.
 func (t *flowTable) expire(now time.Time) []*flowEntry {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -196,9 +332,9 @@ func (t *flowTable) expire(now time.Time) []*flowEntry {
 			expired = true
 		}
 		if !expired && e.idleTimeout > 0 {
-			ref := e.lastUsed
-			if ref.IsZero() {
-				ref = e.created
+			ref := e.created
+			if n := e.lastUsed.Load(); n != 0 {
+				ref = time.Unix(0, n)
 			}
 			if now.Sub(ref) >= time.Duration(e.idleTimeout)*time.Second {
 				expired = true
@@ -210,11 +346,16 @@ func (t *flowTable) expire(now time.Time) []*flowEntry {
 			kept = append(kept, e)
 		}
 	}
-	t.entries = kept
+	if len(removed) > 0 {
+		t.entries = kept
+		t.invalidateLocked()
+	}
 	return removed
 }
 
-// snapshot returns FlowInfo for all entries in table order.
+// snapshot returns FlowInfo for all entries in table order. Actions are
+// deep-copied: the live slices keep being replaced by concurrent flow-mods
+// while the snapshot holder (GUI, stats) reads its copy.
 func (t *flowTable) snapshot(now time.Time) []FlowInfo {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
@@ -223,7 +364,8 @@ func (t *flowTable) snapshot(now time.Time) []FlowInfo {
 		out = append(out, FlowInfo{
 			Match: e.match, Priority: e.priority, Cookie: e.cookie,
 			IdleTimeout: e.idleTimeout, HardTimeout: e.hardTimeout,
-			Actions: e.actions, Packets: e.packets, Bytes: e.bytes,
+			Actions: openflow.CloneActions(e.actions),
+			Packets: e.packets.Load(), Bytes: e.bytes.Load(),
 			Age: now.Sub(e.created),
 		})
 	}
@@ -238,8 +380,13 @@ func (t *flowTable) len() int {
 
 func (t *flowTable) stats() (lookups, matched uint64, active int) {
 	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.lookups, t.matched, len(t.entries)
+	active = len(t.entries)
+	t.mu.RUnlock()
+	for i := range t.counters {
+		lookups += t.counters[i].lookups.Load()
+		matched += t.counters[i].matched.Load()
+	}
+	return lookups, matched, active
 }
 
 func (e *flowEntry) String() string {

@@ -205,6 +205,64 @@ func (a *ActionVendor) appendTo(b []byte) []byte {
 	return pad(b, n-8-len(a.Data))
 }
 
+// CloneActions deep-copies an action list. Snapshot consumers (stats
+// replies, the GUI) hold their copy while the live list keeps being
+// replaced by flow-mods; sharing the underlying Action values would let a
+// reader observe a concurrent mutation.
+func CloneActions(actions []Action) []Action {
+	if actions == nil {
+		return nil
+	}
+	out := make([]Action, len(actions))
+	for i, a := range actions {
+		switch act := a.(type) {
+		case *ActionOutput:
+			cp := *act
+			out[i] = &cp
+		case *ActionSetVlanVid:
+			cp := *act
+			out[i] = &cp
+		case *ActionSetVlanPcp:
+			cp := *act
+			out[i] = &cp
+		case *ActionStripVlan:
+			cp := *act
+			out[i] = &cp
+		case *ActionSetDlSrc:
+			cp := *act
+			out[i] = &cp
+		case *ActionSetDlDst:
+			cp := *act
+			out[i] = &cp
+		case *ActionSetNwSrc:
+			cp := *act
+			out[i] = &cp
+		case *ActionSetNwDst:
+			cp := *act
+			out[i] = &cp
+		case *ActionSetNwTos:
+			cp := *act
+			out[i] = &cp
+		case *ActionSetTpSrc:
+			cp := *act
+			out[i] = &cp
+		case *ActionSetTpDst:
+			cp := *act
+			out[i] = &cp
+		case *ActionEnqueue:
+			cp := *act
+			out[i] = &cp
+		case *ActionVendor:
+			cp := *act
+			cp.Data = append([]byte(nil), act.Data...)
+			out[i] = &cp
+		default:
+			out[i] = a
+		}
+	}
+	return out
+}
+
 func appendActions(b []byte, actions []Action) []byte {
 	for _, a := range actions {
 		b = a.appendTo(b)

@@ -85,6 +85,45 @@ func (m *Match) NwDstPrefix() netip.Prefix {
 	return netip.PrefixFrom(netip.AddrFrom4(m.NwDst), bits).Masked()
 }
 
+// FNV-1a 64-bit parameters (hash/fnv, inlined so the hot path stays
+// alloc-free and inlinable).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// KeyHash hashes the exact-match key form of m — the canonical identity of
+// one microflow, as produced by ExtractKey — into 64 bits suitable for
+// indexing a fixed-size exact-match cache. It is alloc-free and runs on the
+// dataplane's per-packet path. Wildcards participate in the hash, so a key
+// and a wildcarded match never alias unless they are structurally equal;
+// Match is comparable, so cache consumers verify candidates with ==.
+func (m *Match) KeyHash() uint64 {
+	h := uint64(fnvOffset64)
+	h = (h ^ (uint64(m.InPort) | uint64(m.DlVlan)<<16 | uint64(m.DlType)<<32 |
+		uint64(m.DlVlanPcp)<<48 | uint64(m.NwTos)<<56)) * fnvPrime64
+	h = (h ^ (macBits(m.DlSrc) | uint64(m.NwProto)<<48 | uint64(m.Wildcards&0xff)<<56)) * fnvPrime64
+	h = (h ^ (macBits(m.DlDst) | uint64(m.TpSrc)<<48)) * fnvPrime64
+	h = (h ^ (uint64(addr4ToU32(m.NwSrc)) | uint64(addr4ToU32(m.NwDst))<<32)) * fnvPrime64
+	h = (h ^ (uint64(m.TpDst) | uint64(m.Wildcards)<<16)) * fnvPrime64
+	// Avalanche finalizer (murmur3 fmix64): FNV's multiply only carries
+	// entropy upward, so without this, key fields mixed into high bits
+	// would never influence the low bits a power-of-two cache indexes by —
+	// same-port microflows differing only in address/port octets would
+	// pile into a handful of slots.
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+func macBits(m pkt.MAC) uint64 {
+	return uint64(m[0])<<40 | uint64(m[1])<<32 | uint64(m[2])<<24 |
+		uint64(m[3])<<16 | uint64(m[4])<<8 | uint64(m[5])
+}
+
 func prefixMask(ignoredBits int) uint32 {
 	if ignoredBits >= 32 {
 		return 0

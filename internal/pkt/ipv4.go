@@ -124,6 +124,28 @@ func DecodeIPv4Into(p *IPv4, b []byte) error {
 	return nil
 }
 
+// DecrementTTL decrements the TTL of the IPv4 header at the start of b in
+// place and repairs the header checksum incrementally per RFC 1624 Eqn. 3
+// (HC' = ~(~HC + ~m + m')), avoiding the full header re-checksum — and the
+// packet re-marshal it used to force — on the per-hop forwarding path. It
+// reports false, leaving b untouched, when b does not start with an IPv4
+// header or the TTL is already zero.
+func DecrementTTL(b []byte) bool {
+	if len(b) < IPv4HeaderLen || b[0]>>4 != 4 || b[8] == 0 {
+		return false
+	}
+	// m is the 16-bit header word holding TTL (high byte) and protocol.
+	m := uint32(binary.BigEndian.Uint16(b[8:10]))
+	b[8]--
+	m1 := uint32(binary.BigEndian.Uint16(b[8:10]))
+	hc := uint32(binary.BigEndian.Uint16(b[10:12]))
+	sum := ^hc&0xffff + ^m&0xffff + m1
+	sum = (sum & 0xffff) + (sum >> 16)
+	sum = (sum & 0xffff) + (sum >> 16)
+	binary.BigEndian.PutUint16(b[10:12], ^uint16(sum))
+	return true
+}
+
 // pseudoHeaderSum computes the one's-complement sum of the IPv4 pseudo
 // header used by UDP checksums.
 func pseudoHeaderSum(src, dst netip.Addr, proto IPProto, length int) uint32 {

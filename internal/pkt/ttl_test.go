@@ -1,0 +1,82 @@
+package pkt
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"net/netip"
+	"testing"
+)
+
+// TestDecrementTTLMatchesFullRecompute drives the RFC 1624 incremental
+// checksum update across random headers and cross-checks every result
+// against a from-scratch RFC 1071 recompute. One's-complement arithmetic
+// has classic edge cases (the two zero representations, carry folding), so
+// the corpus is random rather than hand-picked.
+func TestDecrementTTLMatchesFullRecompute(t *testing.T) {
+	rng := rand.New(rand.NewSource(1624))
+	for i := 0; i < 10000; i++ {
+		p := &IPv4{
+			TOS:     uint8(rng.Intn(256)),
+			ID:      uint16(rng.Intn(1 << 16)),
+			Flags:   uint8(rng.Intn(8)),
+			FragOff: uint16(rng.Intn(1 << 13)),
+			TTL:     uint8(1 + rng.Intn(255)),
+			Proto:   IPProto(rng.Intn(256)),
+			Src:     netip.AddrFrom4([4]byte{byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))}),
+			Dst:     netip.AddrFrom4([4]byte{byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))}),
+			Payload: make([]byte, rng.Intn(64)),
+		}
+		b := p.Marshal()
+		if !DecrementTTL(b) {
+			t.Fatalf("DecrementTTL refused a valid header: %+v", p)
+		}
+		if b[8] != p.TTL-1 {
+			t.Fatalf("TTL = %d, want %d", b[8], p.TTL-1)
+		}
+		// The incremental checksum must verify like any other header...
+		if Checksum(b[:IPv4HeaderLen]) != 0 {
+			t.Fatalf("incremental checksum does not verify (TTL %d→%d, header %x)",
+				p.TTL, b[8], b[:IPv4HeaderLen])
+		}
+		// ...and equal the full recompute bit for bit.
+		got := binary.BigEndian.Uint16(b[10:12])
+		binary.BigEndian.PutUint16(b[10:12], 0)
+		want := Checksum(b[:IPv4HeaderLen])
+		if got != want {
+			t.Fatalf("incremental checksum %04x, full recompute %04x (TTL %d→%d)",
+				got, want, p.TTL, b[8])
+		}
+		binary.BigEndian.PutUint16(b[10:12], got)
+		// The packet must still decode (checksum verified inside).
+		q, err := DecodeIPv4(b)
+		if err != nil {
+			t.Fatalf("decode after decrement: %v", err)
+		}
+		if q.TTL != p.TTL-1 || q.Src != p.Src || q.Dst != p.Dst || q.Proto != p.Proto {
+			t.Fatalf("decode mismatch: got %+v want %+v", q, p)
+		}
+	}
+}
+
+func TestDecrementTTLRefusals(t *testing.T) {
+	// Too short.
+	if DecrementTTL(make([]byte, IPv4HeaderLen-1)) {
+		t.Fatal("accepted truncated header")
+	}
+	// Wrong version.
+	b := (&IPv4{TTL: 5, Proto: ProtoUDP,
+		Src: netip.MustParseAddr("10.0.0.1"), Dst: netip.MustParseAddr("10.0.0.2")}).Marshal()
+	b[0] = 0x65
+	if DecrementTTL(b) {
+		t.Fatal("accepted IPv6 version nibble")
+	}
+	// TTL already zero must not wrap.
+	b = (&IPv4{TTL: 0, Proto: ProtoUDP,
+		Src: netip.MustParseAddr("10.0.0.1"), Dst: netip.MustParseAddr("10.0.0.2")}).Marshal()
+	if DecrementTTL(b) {
+		t.Fatal("decremented TTL 0")
+	}
+	if b[8] != 0 {
+		t.Fatalf("TTL mutated on refusal: %d", b[8])
+	}
+}

@@ -11,6 +11,11 @@ const maxPendingPerHop = 64
 
 // Inject delivers a frame punted from the physical switch into the VM
 // interface mirroring the ingress port — the rf-proxy's upward data path.
+// Inject takes ownership of frame permanently: the routed slow path
+// decrements TTL and rewrites the Ethernet addresses in place instead of
+// re-marshalling the packet, and the mutated slice may be retained past
+// the call (forwarded by reference into the control channel's send queue).
+// Callers must not reuse or recycle the buffer after Inject returns.
 func (vm *VM) Inject(port uint16, frame []byte) {
 	vm.mu.Lock()
 	ifc, ok := vm.ifaces[port]
@@ -19,15 +24,15 @@ func (vm *VM) Inject(port uint16, frame []byte) {
 	if !ok || !up {
 		return
 	}
-	f, err := pkt.DecodeFrame(frame)
-	if err != nil {
+	var f pkt.Frame
+	if err := pkt.DecodeFrameInto(&f, frame); err != nil {
 		return
 	}
 	switch f.Type {
 	case pkt.EtherTypeARP:
-		vm.handleARP(ifc, f)
+		vm.handleARP(ifc, &f)
 	case pkt.EtherTypeIPv4:
-		vm.handleIPv4(ifc, f)
+		vm.handleIPv4(ifc, &f, frame)
 	}
 }
 
@@ -75,7 +80,7 @@ func (vm *VM) learnARP(ifc *vmIface, ip netip.Addr, mac pkt.MAC) {
 	}
 }
 
-func (vm *VM) handleIPv4(ifc *vmIface, f *pkt.Frame) {
+func (vm *VM) handleIPv4(ifc *vmIface, f *pkt.Frame, frame []byte) {
 	ip, err := pkt.DecodeIPv4(f.Payload)
 	if err != nil {
 		return
@@ -98,7 +103,7 @@ func (vm *VM) handleIPv4(ifc *vmIface, f *pkt.Frame) {
 	}
 	// Transit: the VM routes it (the punted slow path a Quagga VM's kernel
 	// would take).
-	vm.route(f, ip)
+	vm.route(f, ip, frame)
 }
 
 func (vm *VM) deliverOSPF(ifc *vmIface, ip *pkt.IPv4) {
@@ -128,8 +133,11 @@ func (vm *VM) answerEcho(ifc *vmIface, f *pkt.Frame, ip *pkt.IPv4) {
 	vm.transmit(ifc.port, frame.Marshal())
 }
 
-// route performs slow-path IP forwarding using the VM's RIB.
-func (vm *VM) route(f *pkt.Frame, ip *pkt.IPv4) {
+// route performs slow-path IP forwarding using the VM's RIB. The hop is
+// executed in place on frame: TTL decremented with an RFC 1624 incremental
+// checksum update and the Ethernet addresses overwritten, instead of the
+// decode → re-marshal round trip per hop this path used to pay.
+func (vm *VM) route(f *pkt.Frame, ip *pkt.IPv4, frame []byte) {
 	if ip.TTL <= 1 {
 		return // expired; a full router would send ICMP time-exceeded
 	}
@@ -141,9 +149,11 @@ func (vm *VM) route(f *pkt.Frame, ip *pkt.IPv4) {
 	if !ok {
 		return
 	}
-	// Rebuild the packet with decremented TTL (checksum recomputed).
-	ip.TTL--
-	newFrame := &pkt.Frame{Src: egress.mac, Type: pkt.EtherTypeIPv4, Payload: ip.Marshal()}
+	// f.Payload aliases frame, so this patches the frame bytes directly.
+	if !pkt.DecrementTTL(f.Payload) {
+		return
+	}
+	copy(frame[6:12], egress.mac[:])
 
 	hop := ip.Dst
 	if rt.NextHop.IsValid() {
@@ -154,7 +164,9 @@ func (vm *VM) route(f *pkt.Frame, ip *pkt.IPv4) {
 	if !resolved {
 		q := egress.pending[hop]
 		if len(q) < maxPendingPerHop {
-			egress.pending[hop] = append(q, newFrame.Marshal())
+			// The queued copy outlives this call; its dst is patched by
+			// forwardResolved when ARP answers.
+			egress.pending[hop] = append(q, append([]byte(nil), frame...))
 		}
 		srcAddr := egress.addr
 		srcMAC := egress.mac
@@ -168,28 +180,23 @@ func (vm *VM) route(f *pkt.Frame, ip *pkt.IPv4) {
 		return
 	}
 	vm.mu.Unlock()
-	newFrame.Dst = mac
-	vm.transmit(egress.port, newFrame.Marshal())
+	copy(frame[0:6], mac[:])
+	vm.transmit(egress.port, frame)
 }
 
 func (vm *VM) forwardResolved(ifc *vmIface, frame []byte, mac pkt.MAC) {
-	f, err := pkt.DecodeFrame(frame)
-	if err != nil {
+	if len(frame) < pkt.EthernetHeaderLen {
 		return
 	}
-	f.Dst = mac
-	vm.transmit(ifc.port, f.Marshal())
+	copy(frame[0:6], mac[:])
+	vm.transmit(ifc.port, frame)
 }
 
 func (vm *VM) ifaceByName(name string) (*vmIface, bool) {
 	vm.mu.Lock()
 	defer vm.mu.Unlock()
-	for _, ifc := range vm.ifaces {
-		if ifc.name == name {
-			return ifc, true
-		}
-	}
-	return nil, false
+	ifc, ok := vm.byName[name]
+	return ifc, ok
 }
 
 // NextHopMAC computes the deterministic MAC of a peer VM interface — the

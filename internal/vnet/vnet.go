@@ -90,7 +90,8 @@ type VM struct {
 	state      State
 	router     *quagga.Router
 	ifaces     map[uint16]*vmIface
-	pendingOps []func() // configuration arriving while booting
+	byName     map[string]*vmIface // name → iface index for the per-packet route path
+	pendingOps []func()            // configuration arriving while booting
 	bootTimer  clock.Timer
 
 	// cfgMu serializes router (re)configuration: boot-time pending ops run
@@ -144,14 +145,17 @@ func New(cfg Config) (*VM, error) {
 		state:  StateBooting,
 		router: router,
 		ifaces: make(map[uint16]*vmIface),
+		byName: make(map[string]*vmIface),
 	}
 	for p := 1; p <= cfg.Ports; p++ {
 		port := uint16(p)
-		vm.ifaces[port] = &vmIface{
+		ifc := &vmIface{
 			port: port, name: IfaceName(port), mac: MAC(cfg.DPID, port),
 			arp:     make(map[netip.Addr]pkt.MAC),
 			pending: make(map[netip.Addr][][]byte),
 		}
+		vm.ifaces[port] = ifc
+		vm.byName[ifc.name] = ifc
 	}
 	vm.bootTimer = cfg.Clock.NewTimer(cfg.BootDelay)
 	go vm.bootWait()
@@ -281,6 +285,7 @@ func (vm *VM) ConfigureInterface(port uint16, addr netip.Prefix, cost uint16, os
 			pending: make(map[netip.Addr][][]byte),
 		}
 		vm.ifaces[port] = ifc
+		vm.byName[ifc.name] = ifc
 	}
 	if ifc.addr == addr && (vm.state == StateBooting || vm.router.Attached(ifc.name)) {
 		vm.mu.Unlock()

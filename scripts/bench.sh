@@ -1,6 +1,6 @@
 #!/usr/bin/env sh
-# bench.sh — run the protocol-substrate micro benchmarks and emit a JSON
-# perf snapshot (benchmark name -> ns/op, B/op, allocs/op).
+# bench.sh — run the protocol-substrate and dataplane micro benchmarks and
+# emit a JSON perf snapshot (benchmark name -> ns/op, B/op, allocs/op).
 #
 # Usage: scripts/bench.sh [output.json] [benchtime]
 #   output.json  defaults to BENCH.json
@@ -16,8 +16,8 @@ benchtime="${2:-10000x}"
 cd "$(dirname "$0")/.."
 
 raw="$(go test -run='^$' \
-	-bench='BenchmarkOpenFlow|BenchmarkMatch|BenchmarkRIB|BenchmarkLLDP' \
-	-benchmem -benchtime="$benchtime" .)"
+	-bench='BenchmarkOpenFlow|BenchmarkMatch|BenchmarkRIB|BenchmarkLLDP|BenchmarkSwitchForward' \
+	-benchmem -benchtime="$benchtime" . ./internal/ofswitch/)"
 
 printf '%s\n' "$raw" >&2
 
