@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"routeflow/internal/core"
+	"routeflow/internal/scenario"
 	"routeflow/internal/stream"
 )
 
@@ -262,6 +263,86 @@ func RunDemoMultiStream(cfg ExperimentConfig, pairs [][2]int) (MultiStreamResult
 		}
 	}
 	return res, nil
+}
+
+// Chaos / scenario harness (internal/scenario re-exported).
+
+type (
+	// ScenarioSpec describes one chaos scenario: a topology, a scripted or
+	// seed-derived fault schedule, and the invariants evaluated at every
+	// quiesce point.
+	ScenarioSpec = scenario.Spec
+	// ScenarioFault is one scheduled fault of a scenario.
+	ScenarioFault = scenario.Fault
+	// ScenarioResult is the structured outcome of a scenario run, including
+	// the deterministic event log.
+	ScenarioResult = scenario.Result
+	// ScenarioPhase is the outcome of one quiesce point.
+	ScenarioPhase = scenario.Phase
+	// ScenarioCheck is one invariant verdict.
+	ScenarioCheck = scenario.Check
+)
+
+// Scenario fault kinds.
+const (
+	FaultLinkDown      = scenario.FaultLinkDown
+	FaultLinkUp        = scenario.FaultLinkUp
+	FaultLinkFlap      = scenario.FaultLinkFlap
+	FaultSwitchCrash   = scenario.FaultSwitchCrash
+	FaultServerRestart = scenario.FaultServerRestart
+	FaultRPCLoss       = scenario.FaultRPCLoss
+)
+
+// RunScenario executes one chaos scenario: build the deployment, inject the
+// fault schedule, converge at every quiesce point and evaluate the invariant
+// battery (no-blackhole, no-loop, flow-table consistency, stream
+// continuity). The returned error covers harness failures only; invariant
+// violations are reported in the result. The same spec (same seed) produces
+// a byte-identical event log.
+func RunScenario(spec ScenarioSpec) (*ScenarioResult, error) { return scenario.Run(spec) }
+
+// CuratedScenarios returns the named scenario suite CI gates on.
+func CuratedScenarios() []ScenarioSpec { return scenario.Curated() }
+
+// CuratedScenarioNames lists the curated scenario names in suite order.
+func CuratedScenarioNames() []string { return scenario.Names() }
+
+// ScenarioByName returns a fresh spec for one curated scenario.
+func ScenarioByName(name string) (ScenarioSpec, bool) { return scenario.ByName(name) }
+
+// RandomFaultSchedule derives a deterministic fault schedule from a seed —
+// the generator behind ScenarioSpec.RandomFaults, exposed for tools.
+func RandomFaultSchedule(g *Topology, n int, seed int64) []ScenarioFault {
+	return scenario.RandomSchedule(g, n, seed)
+}
+
+// PrintScenario renders a scenario result: the event log, then per-phase
+// convergence times (protocol time) and failed checks.
+func PrintScenario(w io.Writer, r *ScenarioResult) {
+	fmt.Fprintf(w, "=== scenario %s (seed %d) ===\n", r.Name, r.Seed)
+	for _, line := range r.Events {
+		fmt.Fprintf(w, "  %s\n", line)
+	}
+	fmt.Fprintf(w, "phases (protocol time since start):\n")
+	for _, ph := range r.Phases {
+		status := "converged"
+		if ph.Converged == 0 {
+			status = "DID NOT CONVERGE"
+		}
+		fmt.Fprintf(w, "  %-40s %-18s t=%v partitioned=%v\n",
+			ph.Fault, status, round(ph.Converged), ph.Partitioned)
+	}
+	for i, st := range r.Streams {
+		fmt.Fprintf(w, "stream %d: frames=%d gaps=%d\n", i, st.Frames, st.Gaps)
+	}
+	if failed := r.FailedChecks(); len(failed) > 0 {
+		fmt.Fprintf(w, "FAILED checks:\n")
+		for _, f := range failed {
+			fmt.Fprintf(w, "  %s\n", f)
+		}
+	} else {
+		fmt.Fprintf(w, "all invariants held\n")
+	}
 }
 
 // PrintDemo renders the demonstration outcome.

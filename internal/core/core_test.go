@@ -418,3 +418,148 @@ func TestTopologyControllerAllocatorExposed(t *testing.T) {
 		t.Fatal("double start accepted")
 	}
 }
+
+// TestPartitionedConvergenceIsHonest is the regression test for the
+// last-path-dies audit: when link failures split the topology,
+// AwaitConverged must neither spin until its timeout nor pretend the network
+// fully converged. It returns once every component has quiesced,
+// Partitioned() reports the split, cross-partition traffic honestly fails,
+// and healing the links restores full convergence and connectivity.
+func TestPartitionedConvergenceIsHonest(t *testing.T) {
+	g := topo.Ring(4) // links: 0:(0-1) 1:(1-2) 2:(2-3) 3:(3-0)
+	d, err := NewDeployment(fastOptions(g, 0, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AwaitConverged(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if d.Partitioned() {
+		t.Fatal("intact ring reported partitioned")
+	}
+
+	// Cut links 0 and 2: components {0,3} and {1,2} — host 0 and host 2 land
+	// on opposite sides, so the last path between them is gone.
+	for _, li := range []int{0, 2} {
+		if err := d.SetLinkUp(li, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	start := time.Now()
+	if _, err := d.AwaitConverged(30 * time.Second); err != nil {
+		t.Fatalf("partitioned-but-quiesced network never converged (wedge-indistinguishable): %v", err)
+	}
+	if time.Since(start) > 25*time.Second {
+		t.Fatal("convergence on partition consumed nearly the whole timeout — it spun, not settled")
+	}
+	if !d.Partitioned() {
+		t.Fatal("partition not reported after cutting the last path")
+	}
+	if comps := d.LiveComponents(); len(comps) != 2 {
+		t.Fatalf("live components = %v, want 2", comps)
+	}
+	if d.SameLiveComponent(0, 2) || !d.SameLiveComponent(0, 3) || !d.SameLiveComponent(1, 2) {
+		t.Fatalf("component labeling wrong: %v", d.LiveComponents())
+	}
+	h0, _ := d.Host(0)
+	h2, _ := d.Host(2)
+	if _, err := h0.Ping(h2.Addr(), 2*time.Second); err == nil {
+		t.Fatal("ping crossed a partition after convergence reported the split")
+	}
+
+	// Heal and require full convergence plus connectivity again.
+	for _, li := range []int{0, 2} {
+		if err := d.SetLinkUp(li, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := d.AwaitConverged(30 * time.Second); err != nil {
+		t.Fatalf("never reconverged after healing: %v", err)
+	}
+	if d.Partitioned() {
+		t.Fatal("healed ring still reported partitioned")
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	var lastErr error
+	for time.Now().Before(deadline) {
+		if _, lastErr = h0.Ping(h2.Addr(), 2*time.Second); lastErr == nil {
+			return
+		}
+	}
+	t.Fatalf("no connectivity after heal: %v", lastErr)
+}
+
+// TestCrashSwitchRecovers reboots a transit switch: flow table and control
+// session are lost, the dialer reconnects, and the deployment reconverges
+// with traffic restored.
+func TestCrashSwitchRecovers(t *testing.T) {
+	g := topo.Ring(4)
+	d, err := NewDeployment(fastOptions(g, 0, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AwaitConverged(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CrashSwitch(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CrashSwitch(99); err == nil {
+		t.Fatal("bogus node accepted")
+	}
+	if _, err := d.AwaitConverged(40 * time.Second); err != nil {
+		t.Fatalf("never reconverged after switch crash: %v", err)
+	}
+	h0, _ := d.Host(0)
+	h2, _ := d.Host(2)
+	deadline := time.Now().Add(20 * time.Second)
+	var lastErr error
+	for time.Now().Before(deadline) {
+		if _, lastErr = h0.Ping(h2.Addr(), 2*time.Second); lastErr == nil {
+			return
+		}
+	}
+	t.Fatalf("no connectivity after switch crash recovery: %v", lastErr)
+}
+
+// TestRFServerRestartResyncs crash-restarts the rf-server RPC endpoint at
+// steady state; the reconciler's idle probe detects the epoch change and
+// re-syncs, so the deployment reconverges without any topology change.
+func TestRFServerRestartResyncs(t *testing.T) {
+	g := topo.Ring(3)
+	opts := fastOptions(g, 0)
+	opts.ResyncProbe = 100 * time.Millisecond
+	d, err := NewDeployment(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AwaitConverged(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	d.RestartRFServer()
+	// The restart cut every RPC connection and zeroed the new incarnation's
+	// applied counter; the reconciler's idle probe observes the fresh epoch
+	// and must replay the full desired state (3 switches + 3 links + 1 host).
+	deadline := time.Now().Add(20 * time.Second)
+	for d.RPCServerApplied() < 7 {
+		if time.Now().After(deadline) {
+			t.Fatalf("re-sync never replayed desired state: applied=%d", d.RPCServerApplied())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, err := d.AwaitConverged(30 * time.Second); err != nil {
+		t.Fatalf("never reconverged after rf-server restart: %v", err)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"net"
 	"net/netip"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"routeflow/internal/clock"
@@ -62,6 +63,10 @@ type Options struct {
 	// ReconcilerBackoff overrides the reconciler's first retry delay
 	// (0 = intent.DefaultBackoffBase). The ceiling stays proportional.
 	ReconcilerBackoff time.Duration
+	// ResyncProbe overrides the reconciler's idle epoch-probe period — how
+	// quickly an rf-server restart is detected when no configuration is in
+	// flight (0 = intent.DefaultResyncProbe).
+	ResyncProbe time.Duration
 }
 
 // Deployment is a fully wired automatic-configuration system under test: the
@@ -83,8 +88,15 @@ type Deployment struct {
 	disc     *discovery.Discovery
 	tc       *TopologyController
 	platform *rf.Platform
-	rpcSrv   *rpcconf.Server
 	rpcCli   *rpcconf.Client
+	loss     *rpcconf.LossInjector
+
+	// The RPC server can be crash-restarted mid-run (the rf-server failure
+	// scenario): rpcMu guards the current incarnation, rpcLn the listener the
+	// client's dialer reads on every dial.
+	rpcMu  sync.Mutex
+	rpcSrv *rpcconf.Server
+	rpcLn  atomic.Pointer[ctlkit.MemListener]
 
 	listeners []*ctlkit.MemListener
 
@@ -214,12 +226,15 @@ func (d *Deployment) build() error {
 	d.platform = platform
 	d.rpcSrv = rpcconf.NewServer(platform.RPCHandler())
 	rpcL := ctlkit.NewMemListener("rpc-server")
-	d.listeners = append(d.listeners, rpcL)
+	d.rpcLn.Store(rpcL)
 	go d.rpcSrv.Serve(rpcL)
-	rpcDial := func() (net.Conn, error) { return rpcL.Dial() }
-	if d.opts.RPCDropRate > 0 {
-		rpcDial = rpcconf.FlakyDialer(rpcDial, d.opts.RPCDropRate, d.opts.RPCDropSeed)
-	}
+	// The dialer reads the listener through the atomic pointer so an
+	// rf-server restart (RestartRFServer) transparently redirects redials to
+	// the new incarnation. Loss is always injected through a LossInjector so
+	// scenarios can raise and clear the drop rate mid-run; rate zero costs
+	// one atomic load per write.
+	d.loss = rpcconf.NewLossInjector(d.opts.RPCDropRate, d.opts.RPCDropSeed)
+	rpcDial := d.loss.Dialer(func() (net.Conn, error) { return d.rpcLn.Load().Dial() })
 	var cliOpts []rpcconf.ClientOption
 	if d.opts.RPCAttempts > 0 {
 		cliOpts = append(cliOpts, rpcconf.WithRetry(100*time.Millisecond, d.opts.RPCAttempts))
@@ -248,6 +263,9 @@ func (d *Deployment) build() error {
 	if d.opts.ReconcilerBackoff > 0 {
 		recOpts = append(recOpts,
 			intent.WithBackoff(d.opts.ReconcilerBackoff, 50*d.opts.ReconcilerBackoff))
+	}
+	if d.opts.ResyncProbe > 0 {
+		recOpts = append(recOpts, intent.WithResyncProbe(d.opts.ResyncProbe))
 	}
 	d.tc, err = NewTopologyController(d.clk, d.disc, d.topoCtl, d.rpcCli,
 		d.opts.Pool, 30, admin, recOpts...)

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"net/netip"
+	"sort"
 	"time"
 
 	"routeflow/internal/openflow"
@@ -13,6 +14,7 @@ import (
 	"routeflow/internal/netemu"
 	"routeflow/internal/ofswitch"
 	"routeflow/internal/rf"
+	"routeflow/internal/rpcconf"
 	"routeflow/internal/topo"
 )
 
@@ -117,6 +119,138 @@ func (d *Deployment) SetLinkUp(linkIndex int, up bool) error {
 	return nil
 }
 
+// LinkIsUp reports whether inter-switch link linkIndex is administratively
+// up (false also for unknown indices).
+func (d *Deployment) LinkIsUp(linkIndex int) bool {
+	eps, ok := d.cables[linkIndex]
+	return ok && eps[0].LinkUp()
+}
+
+// HostNodes returns the graph nodes carrying an end host, ascending.
+func (d *Deployment) HostNodes() []int {
+	out := make([]int, 0, len(d.hosts))
+	for n := range d.hosts {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// liveComponentIDs labels every graph node with the connected component it
+// belongs to when only administratively-up links are considered.
+func (d *Deployment) liveComponentIDs() []int {
+	n := d.graph.NumNodes()
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	adj := make([][]int, n)
+	for i, l := range d.graph.Links() {
+		if d.LinkIsUp(i) {
+			adj[l.A] = append(adj[l.A], l.B)
+			adj[l.B] = append(adj[l.B], l.A)
+		}
+	}
+	next := 0
+	for start := 0; start < n; start++ {
+		if comp[start] >= 0 {
+			continue
+		}
+		comp[start] = next
+		queue := []int{start}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range adj[u] {
+				if comp[v] < 0 {
+					comp[v] = next
+					queue = append(queue, v)
+				}
+			}
+		}
+		next++
+	}
+	return comp
+}
+
+// LiveComponents returns the connected components of the live topology
+// (administratively-up links only), each sorted, in first-node order.
+func (d *Deployment) LiveComponents() [][]int {
+	comp := d.liveComponentIDs()
+	var out [][]int
+	for node, c := range comp {
+		for c >= len(out) {
+			out = append(out, nil)
+		}
+		out[c] = append(out[c], node)
+	}
+	return out
+}
+
+// Partitioned reports whether administrative link failures have split the
+// topology into more than one component. AwaitConverged succeeds on a
+// partitioned-but-quiesced network; this is how callers tell that case apart
+// from full convergence.
+func (d *Deployment) Partitioned() bool { return len(d.LiveComponents()) > 1 }
+
+// SameLiveComponent reports whether two graph nodes are connected in the
+// live topology.
+func (d *Deployment) SameLiveComponent(a, b int) bool {
+	comp := d.liveComponentIDs()
+	if a < 0 || b < 0 || a >= len(comp) || b >= len(comp) {
+		return false
+	}
+	return comp[a] == comp[b]
+}
+
+// CrashSwitch reboots the emulated switch at a graph node: flow table and
+// buffered packets are lost, the control session is cut, and the switch
+// redials. Discovery observes the loss, the reconciler tears down and then
+// rebuilds the switch's configuration, and AwaitConverged reports when the
+// network has healed.
+func (d *Deployment) CrashSwitch(node int) error {
+	sw, ok := d.switches[DPIDForNode(node)]
+	if !ok {
+		return fmt.Errorf("core: no switch at node %d", node)
+	}
+	sw.Reboot()
+	return nil
+}
+
+// RestartRFServer crash-restarts the rf-server's RPC endpoint: the current
+// incarnation stops (live connections cut, dedup horizon and epoch lost) and
+// a fresh one starts. The reconciler notices the epoch change on its next
+// ack or idle probe and re-syncs the full desired state; the rf apply paths
+// are idempotent, so the system reconverges.
+func (d *Deployment) RestartRFServer() {
+	d.rpcMu.Lock()
+	defer d.rpcMu.Unlock()
+	if old := d.rpcLn.Load(); old != nil {
+		old.Close()
+	}
+	if d.rpcSrv != nil {
+		d.rpcSrv.Stop()
+	}
+	nl := ctlkit.NewMemListener("rpc-server")
+	d.rpcSrv = rpcconf.NewServer(d.platform.RPCHandler())
+	d.rpcLn.Store(nl)
+	go d.rpcSrv.Serve(nl)
+}
+
+// SetRPCLossRate changes the control-channel frame-drop probability while
+// the system runs — the RPC loss *burst* fault. The drop decisions stay
+// seeded by Options.RPCDropSeed.
+func (d *Deployment) SetRPCLossRate(rate float64) { d.loss.SetRate(rate) }
+
+// RPCServerApplied returns how many configuration messages the *current*
+// rf-server incarnation has applied (a RestartRFServer resets it) — the
+// observable that proves a post-restart re-sync actually replayed state.
+func (d *Deployment) RPCServerApplied() uint64 {
+	d.rpcMu.Lock()
+	defer d.rpcMu.Unlock()
+	return d.rpcSrv.Applied()
+}
+
 // Elapsed returns protocol time since Start (on a scaled clock this is
 // already protocol time, not wall time).
 func (d *Deployment) Elapsed() time.Duration { return d.clk.Since(d.startedAt) }
@@ -151,15 +285,27 @@ func (d *Deployment) AwaitConfigured(timeout time.Duration) (time.Duration, erro
 	})
 }
 
-// AwaitConverged blocks until the system is *actually* converged and
-// returns the protocol time since Start. Converged means:
+// AwaitConverged blocks until the system is *actually* converged on its
+// current live topology and returns the protocol time since Start.
+// Converged means:
 //
 //   - every declared configuration item has been acknowledged by the
 //     rf-server (the desired-state store drained);
-//   - every VM's OSPF has a Full adjacency on every inter-switch link;
-//   - every host gateway is configured on its VM and every VM has a route
-//     to every host subnet — so "converged" can no longer report success
-//     while a host is unreachable (the pre-refactor demo flake).
+//   - discovery's link view agrees with the administrative state of every
+//     cable — a freshly cut (or restored) link the control plane has not yet
+//     processed blocks convergence instead of slipping past it;
+//   - every VM's OSPF has exactly one Full adjacency per *live* inter-switch
+//     link — neither missing adjacencies nor stale ones on dead links;
+//   - every host gateway is configured on its VM and every VM *in the same
+//     live component* has a route to the host subnet — so "converged" can no
+//     longer report success while a reachable host is unreachable (the
+//     pre-refactor demo flake).
+//
+// A partitioned network therefore converges honestly: AwaitConverged returns
+// once every component has quiesced, and Partitioned() distinguishes that
+// state from full convergence. Unreachability across a partition is the
+// correct outcome, not a wedge — and a wedge (a component that never
+// quiesces) still times out with a diagnostic.
 func (d *Deployment) AwaitConverged(timeout time.Duration) (time.Duration, error) {
 	el, err := d.pollUntil(timeout, "OSPF convergence", func() bool {
 		return d.convergenceGap() == ""
@@ -172,23 +318,49 @@ func (d *Deployment) AwaitConverged(timeout time.Duration) (time.Duration, error
 	return el, err
 }
 
-// convergenceGap names the first unmet convergence condition, or "" when
-// fully converged — the diagnostic behind AwaitConverged.
+// ConvergenceGap names the first unmet convergence condition, or "" when
+// converged on the live topology — the diagnostic behind AwaitConverged.
+func (d *Deployment) ConvergenceGap() string { return d.convergenceGap() }
+
 func (d *Deployment) convergenceGap() string {
 	if !d.tc.Store().Converged() {
 		return fmt.Sprintf("intent store not drained: %+v pending=%v lastErrs=%v",
 			d.tc.Store().Statistics(), d.tc.Store().PendingItems(), d.tc.LastErrors())
+	}
+	// Discovery must have caught up with the administrative link state:
+	// otherwise a just-cut link still has its intent acked and its routes
+	// installed, and we would declare a stale view "converged".
+	discovered := make(map[discovery.Link]bool)
+	for _, l := range d.disc.Links() {
+		discovered[l] = true
+	}
+	liveDeg := make([]int, d.graph.NumNodes())
+	for i, l := range d.graph.Links() {
+		key := discovery.Link{
+			ADPID: DPIDForNode(l.A), APort: uint16(l.APort),
+			BDPID: DPIDForNode(l.B), BPort: uint16(l.BPort),
+		}.Canonical()
+		up := d.LinkIsUp(i)
+		if up != discovered[key] {
+			return fmt.Sprintf("discovery lags link %d (%v): administratively up=%v, discovered=%v",
+				i, key, up, discovered[key])
+		}
+		if up {
+			liveDeg[l.A]++
+			liveDeg[l.B]++
+		}
 	}
 	for _, n := range d.graph.Nodes() {
 		vm, ok := d.platform.VM(DPIDForNode(n.ID))
 		if !ok {
 			return fmt.Sprintf("node %d has no VM", n.ID)
 		}
-		if full, deg := vm.Router().OSPF().FullNeighbors(), d.graph.Degree(n.ID); full < deg {
-			return fmt.Sprintf("node %d OSPF %d/%d adjacencies Full; ports=%v neighbors=%q",
-				n.ID, full, deg, vm.ConfiguredPorts(), vm.Router().ShowOSPFNeighbors())
+		if full := vm.Router().OSPF().FullNeighbors(); full != liveDeg[n.ID] {
+			return fmt.Sprintf("node %d OSPF %d/%d live adjacencies Full; ports=%v neighbors=%q",
+				n.ID, full, liveDeg[n.ID], vm.ConfiguredPorts(), vm.Router().ShowOSPFNeighbors())
 		}
 	}
+	comp := d.liveComponentIDs()
 	for node, gw := range d.hostGWs {
 		vm, ok := d.platform.VM(DPIDForNode(node))
 		if !ok {
@@ -203,6 +375,9 @@ func (d *Deployment) convergenceGap() string {
 			return fmt.Sprintf("host node %d gateway %v not configured (got %v)", node, gw, addr)
 		}
 		for _, n := range d.graph.Nodes() {
+			if comp[n.ID] != comp[node] {
+				continue // honestly unreachable across the partition
+			}
 			peer, ok := d.platform.VM(DPIDForNode(n.ID))
 			if !ok {
 				return fmt.Sprintf("node %d has no VM", n.ID)
@@ -232,9 +407,14 @@ func (d *Deployment) Close() {
 	if d.rpcCli != nil {
 		d.rpcCli.Close()
 	}
+	d.rpcMu.Lock()
+	if ln := d.rpcLn.Load(); ln != nil {
+		ln.Close()
+	}
 	if d.rpcSrv != nil {
 		d.rpcSrv.Stop()
 	}
+	d.rpcMu.Unlock()
 	for _, l := range d.listeners {
 		l.Close()
 	}

@@ -64,6 +64,10 @@ type Link struct {
 	BPort uint16
 }
 
+// Canonical returns l with endpoints ordered — the form links take in the
+// discovery view, so external callers can compare against Links().
+func (l Link) Canonical() Link { return l.canonical() }
+
 // canonical returns l with endpoints ordered.
 func (l Link) canonical() Link {
 	if l.ADPID > l.BDPID || (l.ADPID == l.BDPID && l.APort > l.BPort) {

@@ -281,6 +281,26 @@ func (s *Switch) writeLoop(conn io.ReadWriteCloser) {
 	_ = openflow.PumpBatched(conn, s.out, s.stop)
 }
 
+// Reboot models a switch crash and cold restart: the flow table and the
+// packet-buffer pool are lost (no flow-removed notifications — nobody is
+// there to send them) and the control session is cut. A StartDialer-managed
+// switch redials with backoff; the controllers observe switch-down then
+// switch-up and replay desired state, which is exactly the recovery path a
+// failure scenario wants to exercise. Ports and their cables are untouched.
+func (s *Switch) Reboot() {
+	all := openflow.MatchAll()
+	s.table.deleteFlows(&all, 0, openflow.PortNone, false)
+	s.bufMu.Lock()
+	s.buffers = make(map[uint32]bufferedPacket)
+	s.bufOrder = nil
+	s.bufMu.Unlock()
+	s.connMu.Lock()
+	if s.conn != nil {
+		s.conn.Close()
+	}
+	s.connMu.Unlock()
+}
+
 // Stop closes the controller connection and stops background work.
 func (s *Switch) Stop() {
 	s.stopOnce.Do(func() { close(s.stop) })

@@ -572,3 +572,65 @@ func TestDoubleStartFails(t *testing.T) {
 		t.Fatal("second start succeeded")
 	}
 }
+
+// TestRebootWipesDataplaneState pins crash semantics: Reboot drops every
+// installed flow (no flow-removed notifications — a crashed switch sends
+// nothing) and forgets buffered packets, so a buffer release after the
+// crash is an error, not a stale transmission.
+func TestRebootWipesDataplaneState(t *testing.T) {
+	h := newHarness(t, nil)
+	h.send(&openflow.FlowMod{
+		Match: openflow.MatchAll(), Command: openflow.FlowModAdd,
+		Flags:    openflow.FlowModFlagSendFlowRem,
+		BufferID: openflow.NoBuffer, OutPort: openflow.PortNone,
+		Actions: []openflow.Action{&openflow.ActionOutput{Port: 2}},
+	})
+	h.send(&openflow.BarrierRequest{})
+	h.expect(openflow.TypeBarrierReply)
+	if h.sw.NumFlows() != 1 {
+		t.Fatalf("flows = %d, want 1", h.sw.NumFlows())
+	}
+	// Park a packet in the buffer pool via a table miss... the flow above
+	// matches everything, so delete it first to force the punt.
+	h.send(&openflow.FlowMod{
+		Match: openflow.MatchAll(), Command: openflow.FlowModDelete,
+		BufferID: openflow.NoBuffer, OutPort: openflow.PortNone,
+	})
+	h.send(&openflow.BarrierRequest{})
+	h.expect(openflow.TypeBarrierReply)
+	h.h1.Send(udpFrame(pkt.LocalMAC(0xA1), pkt.LocalMAC(0xA2),
+		"10.0.0.1", "10.0.0.2", 1000, 2000, "buffered"))
+	pi := h.expect(openflow.TypePacketIn).(*openflow.PacketIn)
+
+	// Reinstall a flow so Reboot has both a table and a buffer to wipe.
+	h.send(&openflow.FlowMod{
+		Match: openflow.MatchAll(), Command: openflow.FlowModAdd,
+		Flags:    openflow.FlowModFlagSendFlowRem,
+		BufferID: openflow.NoBuffer, OutPort: openflow.PortNone,
+		Actions: []openflow.Action{&openflow.ActionOutput{Port: 2}},
+	})
+	h.send(&openflow.BarrierRequest{})
+	h.expect(openflow.TypeBarrierReply)
+
+	h.sw.Reboot()
+	if h.sw.NumFlows() != 0 {
+		t.Fatalf("flows after reboot = %d, want 0", h.sw.NumFlows())
+	}
+	// The control session died with the crash.
+	if _, ok := <-h.msgs; ok {
+		// Drain anything queued before the close; the channel must close.
+		for range h.msgs {
+		}
+	}
+	// A Start-managed switch stays down after Reboot (only StartDialer
+	// reconnects); releasing the pre-crash buffer must go nowhere.
+	out := capture(h.h2)
+	if got, ok := h.sw.takeBuffer(pi.BufferID); ok {
+		t.Fatalf("buffer %d survived the reboot: %+v", pi.BufferID, got)
+	}
+	select {
+	case f := <-out:
+		t.Fatalf("unexpected frame after reboot: %d bytes", len(f))
+	case <-time.After(50 * time.Millisecond):
+	}
+}

@@ -630,6 +630,22 @@ func (p *Platform) FlowCount(dpid uint64) int {
 	return len(p.flows[dpid])
 }
 
+// DesiredFlows snapshots the desired flow entries for a switch — the state
+// the platform is driving the physical flow table toward. Invariant checkers
+// diff this against the switch's installed table. Actions are deep-copied so
+// holders may inspect them while FIB events keep mutating the live set.
+func (p *Platform) DesiredFlows(dpid uint64) []*openflow.FlowMod {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]*openflow.FlowMod, 0, len(p.flows[dpid]))
+	for _, fm := range p.flows[dpid] {
+		cp := *fm
+		cp.Actions = openflow.CloneActions(fm.Actions)
+		out = append(out, &cp)
+	}
+	return out
+}
+
 // Callbacks exposes the platform's controller event handlers so a merged
 // deployment (no FlowVisor) can host them on a shared controller runtime.
 func (p *Platform) Callbacks() ctlkit.Callbacks {

@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"net"
 	"net/netip"
@@ -412,31 +413,68 @@ func Probe() *Message { return &Message{Kind: KindProbe} }
 // failing control channel. The rng is seeded deterministically so failure
 // scenarios are reproducible.
 func FlakyDialer(dial func() (net.Conn, error), rate float64, seed int64) func() (net.Conn, error) {
-	var mu sync.Mutex
-	rng := rand.New(rand.NewSource(seed))
+	return NewLossInjector(rate, seed).Dialer(dial)
+}
+
+// LossInjector is a FlakyDialer whose drop probability can be changed while
+// connections are live — the knob behind RPC loss *bursts* in failure
+// scenarios (lossless steady state, a lossy window, lossless again). The rng
+// is shared by every connection the injector wraps and seeded
+// deterministically.
+type LossInjector struct {
+	mu   sync.Mutex
+	rng  *rand.Rand
+	rate atomic.Uint64 // math.Float64bits of the drop probability
+}
+
+// NewLossInjector creates an injector dropping frames with probability rate.
+func NewLossInjector(rate float64, seed int64) *LossInjector {
+	li := &LossInjector{rng: rand.New(rand.NewSource(seed))}
+	li.SetRate(rate)
+	return li
+}
+
+// SetRate changes the drop probability; connections already handed out
+// observe the new rate on their next write.
+func (li *LossInjector) SetRate(rate float64) { li.rate.Store(math.Float64bits(rate)) }
+
+// Rate returns the current drop probability.
+func (li *LossInjector) Rate() float64 { return math.Float64frombits(li.rate.Load()) }
+
+// drop decides one frame's fate. Rate zero consumes no randomness, so a
+// scenario that never enables loss stays byte-for-byte deterministic.
+func (li *LossInjector) drop() bool {
+	rate := li.Rate()
+	if rate <= 0 {
+		return false
+	}
+	li.mu.Lock()
+	d := li.rng.Float64() < rate
+	li.mu.Unlock()
+	return d
+}
+
+// Dialer wraps dial so every handed-out connection is subject to this
+// injector's (variable) loss rate.
+func (li *LossInjector) Dialer(dial func() (net.Conn, error)) func() (net.Conn, error) {
 	return func() (net.Conn, error) {
 		conn, err := dial()
 		if err != nil {
 			return nil, err
 		}
-		return &flakyConn{Conn: conn, mu: &mu, rng: rng, rate: rate}, nil
+		return &flakyConn{Conn: conn, li: li}, nil
 	}
 }
 
 type flakyConn struct {
 	net.Conn
-	mu   *sync.Mutex
-	rng  *rand.Rand
-	rate float64
+	li *LossInjector
 }
 
 var errInjectedDrop = errors.New("rpcconf: injected frame drop")
 
 func (f *flakyConn) Write(p []byte) (int, error) {
-	f.mu.Lock()
-	drop := f.rng.Float64() < f.rate
-	f.mu.Unlock()
-	if drop {
+	if f.li.drop() {
 		// Close so the peer observes the loss instead of blocking forever on
 		// a frame that will never arrive.
 		f.Conn.Close()

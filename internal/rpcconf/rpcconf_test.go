@@ -352,3 +352,36 @@ func TestBadFrameRejected(t *testing.T) {
 		t.Fatal("server kept oversized-frame connection open")
 	}
 }
+
+// TestLossInjectorRateChange pins the variable-rate loss contract behind RPC
+// loss bursts: rate 1 drops every write on an already-handed-out
+// connection, dropping the rate to 0 makes redials lossless again, and a
+// zero rate consumes no randomness (so lossless scenarios stay
+// deterministic regardless of write counts).
+func TestLossInjectorRateChange(t *testing.T) {
+	l := ctlkit.NewMemListener("rpc")
+	defer l.Close()
+	srv := NewServer(func(m *Message) error { return nil })
+	go srv.Serve(l)
+	defer srv.Stop()
+
+	li := NewLossInjector(0, 7)
+	dial := li.Dialer(func() (net.Conn, error) { return l.Dial() })
+	c := NewClient(dial, nil, WithRetry(0, 3))
+	defer c.Close()
+	if err := c.Send(Probe()); err != nil {
+		t.Fatalf("lossless send: %v", err)
+	}
+	if li.Rate() != 0 {
+		t.Fatalf("rate = %v, want 0", li.Rate())
+	}
+
+	li.SetRate(1.0) // total loss: every attempt must fail
+	if err := c.Send(Probe()); err == nil {
+		t.Fatal("send succeeded under 100% loss")
+	}
+	li.SetRate(0)
+	if err := c.Send(Probe()); err != nil {
+		t.Fatalf("send after clearing the burst: %v", err)
+	}
+}

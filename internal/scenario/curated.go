@@ -1,0 +1,169 @@
+package scenario
+
+import (
+	"time"
+
+	"routeflow/internal/quagga"
+	"routeflow/internal/topo"
+)
+
+// gentle widens a spec's timers for larger fabrics: at grid/fat-tree scale
+// under the race detector, 20ms hellos would miss dead intervals on a loaded
+// single-core runner and read scheduler noise as link loss.
+func gentle(s Spec) Spec {
+	s.ProbeInterval = 50 * time.Millisecond
+	s.LinkTTL = 300 * time.Millisecond
+	s.Timers = quagga.Timers{
+		Hello:    60 * time.Millisecond,
+		Dead:     300 * time.Millisecond,
+		SPFDelay: 10 * time.Millisecond,
+	}
+	s.ConvergeTimeout = 120 * time.Second
+	return s
+}
+
+// Curated returns the named scenario suite CI gates on: ≥10 scenarios
+// spanning link failure and flap storms, partitions, switch crashes,
+// rf-server restarts (steady-state and mid-convergence), RPC loss bursts
+// and stream continuity. Specs are rebuilt on every call, so runs never
+// share topology state.
+func Curated() []Spec {
+	return []Spec{
+		{
+			// The plain failover: one ring link dies, traffic reroutes the
+			// long way, the link returns, the network re-optimizes.
+			Name:     "ring4-link-down-up",
+			Topology: topo.Ring(4), HostNodes: []int{0, 2}, Seed: 1,
+			Faults: []Fault{
+				{Kind: FaultLinkDown, Link: 0},
+				{Kind: FaultLinkUp, Link: 0},
+			},
+		},
+		{
+			// A flap storm: five down/up cycles paced past LinkTTL, settling
+			// once at the end — the declarative pipeline must converge to the
+			// final state no matter how the churn interleaved.
+			Name:     "ring4-link-flap-storm",
+			Topology: topo.Ring(4), HostNodes: []int{0, 2}, Seed: 2,
+			Faults: []Fault{
+				{Kind: FaultLinkFlap, Link: 0, Count: 5},
+			},
+		},
+		{
+			// The last path between the host pair dies: the network must
+			// converge *as a partition* (quiesced, honestly unreachable
+			// across the cut — the PR's bugfix regression), then heal.
+			Name:     "ring4-partition-heal",
+			Topology: topo.Ring(4), HostNodes: []int{0, 2}, Seed: 3,
+			Faults: []Fault{
+				{Kind: FaultLinkDown, Link: 0, NoSettle: true},
+				{Kind: FaultLinkDown, Link: 2},
+				{Kind: FaultLinkUp, Link: 0, NoSettle: true},
+				{Kind: FaultLinkUp, Link: 2},
+			},
+		},
+		{
+			// A transit switch crashes: flow table gone, control session cut.
+			// The dialer reconnects, discovery re-learns it, the reconciler
+			// rebuilds its VM and flows.
+			Name:     "ring5-switch-crash",
+			Topology: topo.Ring(5), HostNodes: []int{0, 3}, Seed: 4,
+			Faults: []Fault{
+				{Kind: FaultSwitchCrash, Node: 2},
+			},
+		},
+		{
+			// rf-server restart at steady state: only the idle epoch probe
+			// can notice; the full desired state must be re-synced.
+			Name:     "ring6-server-restart",
+			Topology: topo.Ring(6), HostNodes: []int{0, 3}, Seed: 5,
+			Faults: []Fault{
+				{Kind: FaultServerRestart},
+			},
+		},
+		{
+			// rf-server restart *mid-convergence*: the restart races the
+			// initial configuration push; acked-then-lost state must be
+			// replayed before the first quiesce.
+			Name:     "ring6-server-restart-midconverge",
+			Topology: topo.Ring(6), HostNodes: []int{0, 3}, Seed: 6,
+			Faults: []Fault{
+				{Kind: FaultServerRestart, PreConverge: true},
+				{Kind: FaultLinkFlap, Link: 1, Count: 1},
+			},
+		},
+		{
+			// An RPC loss burst (25% of control-channel frames dropped)
+			// while a link flaps, then the burst clears: the reconciler
+			// carries convergence through the loss and the clean settle
+			// confirms nothing stayed wedged.
+			Name:     "ring4-rpc-loss-burst",
+			Topology: topo.Ring(4), HostNodes: []int{0, 2}, Seed: 7,
+			Faults: []Fault{
+				{Kind: FaultRPCLoss, Rate: 0.25, NoSettle: true},
+				{Kind: FaultLinkFlap, Link: 1, Count: 2},
+				{Kind: FaultRPCLoss, Rate: 0},
+			},
+		},
+		gentle(Spec{
+			// A seed-derived random storm on a 3×3 grid: the schedule is a
+			// pure function of the seed, so this leg is as reproducible as
+			// the scripted ones.
+			Name:     "grid9-random-storm",
+			Topology: topo.Grid(3, 3), HostNodes: []int{0, 8}, Seed: 1007,
+			RandomFaults: 3,
+		}),
+		gentle(Spec{
+			// Crash the grid's center switch — the highest-degree node —
+			// and require full recovery.
+			Name:     "grid9-switch-crash",
+			Topology: topo.Grid(3, 3), HostNodes: []int{0, 8}, Seed: 9,
+			Faults: []Fault{
+				{Kind: FaultSwitchCrash, Node: 4},
+			},
+		}),
+		gentle(Spec{
+			// Data-center fabric: kill a pod-0 aggregation→core uplink in a
+			// k=4 fat-tree. The fabric is single-link redundant, so the
+			// settle must report *no* partition and cross-pod hosts stay
+			// reachable throughout.
+			Name:     "fattree4-core-link-down",
+			Topology: topo.FatTree(4), HostNodes: []int{6, 18}, Seed: 10,
+			Faults: []Fault{
+				{Kind: FaultLinkDown, Link: 0},
+				{Kind: FaultLinkUp, Link: 0},
+			},
+		}),
+		{
+			// The paper's workload under churn: a video stream crosses the
+			// ring from cold start while an off-path-or-not link flaps twice;
+			// the client's sequence gaps must stay inside the budget.
+			Name:     "ring4-video-continuity",
+			Topology: topo.Ring(4), HostNodes: []int{0, 2}, Seed: 11,
+			Streams: [][2]int{{0, 2}}, GapBudget: 400,
+			Faults: []Fault{
+				{Kind: FaultLinkFlap, Link: 1, Count: 2},
+			},
+		},
+	}
+}
+
+// Names lists the curated scenario names in suite order (the CI matrix).
+func Names() []string {
+	specs := Curated()
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// ByName returns a fresh spec for one curated scenario.
+func ByName(name string) (Spec, bool) {
+	for _, s := range Curated() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}

@@ -1,0 +1,484 @@
+// Package scenario is the deterministic chaos harness of the reproduction:
+// it composes a topology, a scripted or seed-derived fault schedule (link
+// failures and flap storms, switch crashes with control-channel reconnect,
+// rf-server restarts, RPC loss bursts) and a library of invariant checkers
+// evaluated at quiesce points — convergence on the live topology,
+// no-blackhole (every reachable host pair routed, every partitioned pair
+// honestly unreachable), no-loop (a TTL-bounded walk of the installed flow
+// tables), flow-table/desired-state consistency, and video-stream
+// continuity within a gap budget.
+//
+// Runs are reproducible: the same Spec (same seed) produces a byte-identical
+// event log. The log therefore records the *logical* schedule and outcomes —
+// faults injected, convergence and partition state, invariant verdicts —
+// never measured durations, which live in the Result alongside it.
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"routeflow/internal/clock"
+	"routeflow/internal/core"
+	"routeflow/internal/quagga"
+	"routeflow/internal/stream"
+	"routeflow/internal/topo"
+)
+
+// FaultKind names a fault class.
+type FaultKind string
+
+// The fault classes the harness can inject.
+const (
+	FaultLinkDown      FaultKind = "link-down"      // cut one inter-switch link
+	FaultLinkUp        FaultKind = "link-up"        // restore one inter-switch link
+	FaultLinkFlap      FaultKind = "link-flap"      // Count down/up cycles, paced past LinkTTL
+	FaultSwitchCrash   FaultKind = "switch-crash"   // reboot a switch: table + control session lost
+	FaultServerRestart FaultKind = "server-restart" // crash-restart the rf-server RPC endpoint
+	FaultRPCLoss       FaultKind = "rpc-loss"       // set the control-channel drop rate to Rate
+)
+
+// Fault is one scheduled fault.
+type Fault struct {
+	Kind  FaultKind
+	Link  int     // link index in Topology.Links() (link faults)
+	Node  int     // graph node (switch-crash)
+	Count int     // flap cycles (link-flap; 0 = 3)
+	Rate  float64 // drop probability (rpc-loss)
+	// PreConverge injects the fault right after Start, before the initial
+	// convergence — e.g. an rf-server restart mid-configuration.
+	PreConverge bool
+	// NoSettle skips the quiesce + invariant pass after this fault, so
+	// compound faults (a partition needs two cuts) settle once.
+	NoSettle bool
+}
+
+// String renders the fault for the deterministic event log.
+func (f Fault) String() string {
+	switch f.Kind {
+	case FaultLinkDown, FaultLinkUp:
+		return fmt.Sprintf("%s link=%d", f.Kind, f.Link)
+	case FaultLinkFlap:
+		return fmt.Sprintf("%s link=%d count=%d", f.Kind, f.Link, f.flapCount())
+	case FaultSwitchCrash:
+		return fmt.Sprintf("%s node=%d", f.Kind, f.Node)
+	case FaultRPCLoss:
+		return fmt.Sprintf("%s rate=%.2f", f.Kind, f.Rate)
+	default:
+		return string(f.Kind)
+	}
+}
+
+func (f Fault) flapCount() int {
+	if f.Count <= 0 {
+		return 3
+	}
+	return f.Count
+}
+
+// Spec describes one scenario. The zero durations and timers default to the
+// compressed test-grade values the curated suite runs at.
+type Spec struct {
+	Name      string
+	Topology  *topo.Graph
+	HostNodes []int
+	// Seed drives every random choice: the fault schedule (when RandomFaults
+	// is used) and injected RPC loss decisions.
+	Seed int64
+	// Faults is the scripted schedule; when empty and RandomFaults > 0, a
+	// schedule is derived deterministically from Seed.
+	Faults       []Fault
+	RandomFaults int
+
+	// TimeScale > 1 runs the deployment on a scaled clock (protocol time
+	// compressed); the default 1 uses the system clock with the compressed
+	// timers below, like the integration tests.
+	TimeScale     float64
+	BootDelay     time.Duration
+	ProbeInterval time.Duration
+	LinkTTL       time.Duration
+	Timers        quagga.Timers
+	RPCDropRate   float64       // steady-state drop rate (bursts via FaultRPCLoss)
+	ResyncProbe   time.Duration // reconciler idle epoch probe (restart detection)
+
+	// Streams runs one video stream per (server, client) host-node pair from
+	// cold start; GapBudget bounds tolerated sequence gaps per stream
+	// (0 = DefaultGapBudget).
+	Streams   [][2]int
+	GapBudget uint64
+
+	ConvergeTimeout time.Duration // per quiesce point, wall time
+	PingTimeout     time.Duration // per ping attempt, wall time
+	PingBudget      time.Duration // total per host pair, wall time
+}
+
+// DefaultGapBudget is the per-stream sequence-gap tolerance when the spec
+// does not set one: faults on or near the path inevitably drop frames.
+const DefaultGapBudget = 250
+
+func (s Spec) withDefaults() (Spec, error) {
+	if s.Topology == nil {
+		return s, fmt.Errorf("scenario %s: Topology is required", s.Name)
+	}
+	if s.Name == "" {
+		s.Name = s.Topology.Name()
+	}
+	if s.BootDelay <= 0 {
+		s.BootDelay = 50 * time.Millisecond
+	}
+	if s.ProbeInterval <= 0 {
+		s.ProbeInterval = 10 * time.Millisecond
+	}
+	if s.LinkTTL <= 0 {
+		s.LinkTTL = 6 * s.ProbeInterval
+	}
+	if s.Timers == (quagga.Timers{}) {
+		s.Timers = quagga.Timers{
+			Hello:    20 * time.Millisecond,
+			Dead:     100 * time.Millisecond,
+			SPFDelay: 5 * time.Millisecond,
+		}
+	}
+	if s.ResyncProbe <= 0 {
+		s.ResyncProbe = 150 * time.Millisecond
+	}
+	if s.ConvergeTimeout <= 0 {
+		s.ConvergeTimeout = 60 * time.Second
+	}
+	if s.PingTimeout <= 0 {
+		s.PingTimeout = 2 * time.Second
+	}
+	if s.PingBudget <= 0 {
+		s.PingBudget = 30 * time.Second
+	}
+	if s.GapBudget == 0 {
+		s.GapBudget = DefaultGapBudget
+	}
+	nLinks, nNodes := s.Topology.NumLinks(), s.Topology.NumNodes()
+	for _, f := range s.Faults {
+		switch f.Kind {
+		case FaultLinkDown, FaultLinkUp, FaultLinkFlap:
+			if f.Link < 0 || f.Link >= nLinks {
+				return s, fmt.Errorf("scenario %s: fault %v references unknown link", s.Name, f)
+			}
+		case FaultSwitchCrash:
+			if f.Node < 0 || f.Node >= nNodes {
+				return s, fmt.Errorf("scenario %s: fault %v references unknown node", s.Name, f)
+			}
+		case FaultServerRestart, FaultRPCLoss:
+		default:
+			return s, fmt.Errorf("scenario %s: unknown fault kind %q", s.Name, f.Kind)
+		}
+	}
+	hostSet := map[int]bool{}
+	for _, h := range s.HostNodes {
+		hostSet[h] = true
+	}
+	for _, p := range s.Streams {
+		if !hostSet[p[0]] || !hostSet[p[1]] {
+			return s, fmt.Errorf("scenario %s: stream %v endpoints must be host nodes", s.Name, p)
+		}
+	}
+	return s, nil
+}
+
+// RandomSchedule derives a deterministic fault schedule from seed. Every
+// generated fault returns the topology to full health (downs are paired with
+// ups, crashes reconnect, restarts re-sync), so arbitrarily long schedules
+// compose.
+func RandomSchedule(g *topo.Graph, n int, seed int64) []Fault {
+	rng := rand.New(rand.NewSource(seed))
+	var out []Fault
+	for i := 0; i < n; i++ {
+		kind := rng.Intn(4)
+		if g.NumLinks() == 0 && kind < 2 {
+			kind = 2 + rng.Intn(2)
+		}
+		switch kind {
+		case 0:
+			out = append(out, Fault{Kind: FaultLinkFlap, Link: rng.Intn(g.NumLinks()),
+				Count: 1 + rng.Intn(3)})
+		case 1:
+			l := rng.Intn(g.NumLinks())
+			out = append(out,
+				Fault{Kind: FaultLinkDown, Link: l},
+				Fault{Kind: FaultLinkUp, Link: l})
+		case 2:
+			out = append(out, Fault{Kind: FaultSwitchCrash, Node: rng.Intn(g.NumNodes())})
+		case 3:
+			out = append(out, Fault{Kind: FaultServerRestart})
+		}
+	}
+	return out
+}
+
+// Check is one invariant verdict.
+type Check struct {
+	Name   string
+	OK     bool
+	Detail string // empty when OK; diagnostics otherwise (not in the event log)
+}
+
+// Phase is the outcome of one quiesce point.
+type Phase struct {
+	Fault       string        // the fault that preceded it ("initial", "final")
+	Converged   time.Duration // protocol time since scenario start (0 on timeout)
+	Partitioned bool
+	Checks      []Check
+}
+
+// Result is the structured outcome of one scenario run.
+type Result struct {
+	Name            string
+	Seed            int64
+	InitialConverge time.Duration // protocol time to the first quiesce
+	Phases          []Phase
+	Streams         []stream.ClientStats
+	// Events is the deterministic event log: same Spec → byte-identical.
+	Events []string
+}
+
+// FailedChecks lists every failed invariant as "phase/check: detail".
+func (r *Result) FailedChecks() []string {
+	var out []string
+	for _, ph := range r.Phases {
+		for _, c := range ph.Checks {
+			if !c.OK {
+				out = append(out, fmt.Sprintf("%s/%s: %s", ph.Fault, c.Name, c.Detail))
+			}
+		}
+	}
+	return out
+}
+
+// AllOK reports whether every invariant at every quiesce point held.
+func (r *Result) AllOK() bool { return len(r.FailedChecks()) == 0 }
+
+// EventLog returns the event log as one newline-joined string.
+func (r *Result) EventLog() string { return strings.Join(r.Events, "\n") }
+
+// runner carries one run's state.
+type runner struct {
+	spec    Spec
+	clk     clock.Clock
+	d       *core.Deployment
+	res     *Result
+	clients []*stream.Client
+	// linkAt maps (node, port) to the link index, for the flow-table walk.
+	linkAt map[[2]int]int
+}
+
+func (r *runner) logf(format string, args ...any) {
+	r.res.Events = append(r.res.Events, fmt.Sprintf(format, args...))
+}
+
+// Run executes one scenario. The returned error covers harness failures
+// (invalid spec, deployment refused to assemble); invariant violations and
+// convergence timeouts are reported in the Result, never as an error.
+func Run(spec Spec) (*Result, error) {
+	spec, err := spec.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	faults := spec.Faults
+	if len(faults) == 0 && spec.RandomFaults > 0 {
+		faults = RandomSchedule(spec.Topology, spec.RandomFaults, spec.Seed)
+	}
+	var clk clock.Clock = clock.System()
+	if spec.TimeScale > 1 {
+		clk = clock.Scaled(spec.TimeScale)
+	}
+	d, err := core.NewDeployment(core.Options{
+		Topology:      spec.Topology,
+		Clock:         clk,
+		HostNodes:     spec.HostNodes,
+		BootDelay:     spec.BootDelay,
+		Timers:        spec.Timers,
+		ProbeInterval: spec.ProbeInterval,
+		LinkTTL:       spec.LinkTTL,
+		RPCDropRate:   spec.RPCDropRate,
+		RPCDropSeed:   spec.Seed,
+		ResyncProbe:   spec.ResyncProbe,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer d.Close()
+
+	r := &runner{
+		spec:   spec,
+		clk:    clk,
+		d:      d,
+		res:    &Result{Name: spec.Name, Seed: spec.Seed},
+		linkAt: make(map[[2]int]int),
+	}
+	for i, l := range spec.Topology.Links() {
+		r.linkAt[[2]int{l.A, l.APort}] = i
+		r.linkAt[[2]int{l.B, l.BPort}] = i
+	}
+	r.logf("scenario %s seed=%d topology=%s hosts=%v streams=%d faults=%d",
+		spec.Name, spec.Seed, spec.Topology, spec.HostNodes, len(spec.Streams), len(faults))
+
+	// Streams start cold, before the network exists — the paper's ordering.
+	for _, p := range spec.Streams {
+		srv, ok := d.Host(p[0])
+		if !ok {
+			return nil, fmt.Errorf("scenario %s: no host at stream server node %d", spec.Name, p[0])
+		}
+		cli, ok := d.Host(p[1])
+		if !ok {
+			return nil, fmt.Errorf("scenario %s: no host at stream client node %d", spec.Name, p[1])
+		}
+		client, err := stream.NewClient(cli, 0, clk)
+		if err != nil {
+			return nil, err
+		}
+		defer client.Close()
+		r.clients = append(r.clients, client)
+		server, err := stream.NewServer(stream.ServerConfig{Host: srv, Dst: cli.Addr(), Clock: clk})
+		if err != nil {
+			return nil, err
+		}
+		server.Start()
+		defer server.Stop()
+	}
+
+	if err := d.Start(); err != nil {
+		return nil, err
+	}
+	for _, f := range faults {
+		if f.PreConverge {
+			r.logf("fault (pre-converge) %s", f)
+			if err := r.inject(f); err != nil {
+				return r.res, err
+			}
+		}
+	}
+
+	conv, err := d.AwaitConverged(spec.ConvergeTimeout)
+	r.res.InitialConverge = conv
+	if err != nil {
+		r.logf("initial convergence TIMEOUT")
+		r.res.Phases = append(r.res.Phases, Phase{Fault: "initial",
+			Checks: []Check{{Name: "converge", OK: false, Detail: err.Error()}}})
+		return r.res, nil
+	}
+	r.logf("initial convergence ok partitioned=%v", d.Partitioned())
+	initial := Phase{Fault: "initial", Converged: conv, Partitioned: d.Partitioned()}
+	initial.Checks = r.runChecks()
+	if len(r.clients) > 0 {
+		initial.Checks = append(initial.Checks, r.checkStreamStart())
+	}
+	r.logChecks(initial.Checks)
+	r.res.Phases = append(r.res.Phases, initial)
+
+	for _, f := range faults {
+		if f.PreConverge {
+			continue
+		}
+		r.logf("fault %s", f)
+		if err := r.inject(f); err != nil {
+			return r.res, err
+		}
+		if f.NoSettle {
+			continue
+		}
+		r.settle(f.String())
+	}
+
+	if len(r.clients) > 0 {
+		// Let some post-fault video accumulate before judging continuity.
+		r.clk.Sleep(3 * time.Second)
+		final := Phase{Fault: "final", Converged: d.Elapsed(), Partitioned: d.Partitioned(),
+			Checks: []Check{r.checkStreams()}}
+		r.logChecks(final.Checks)
+		r.res.Phases = append(r.res.Phases, final)
+	}
+	r.logf("done: %d failed checks", len(r.res.FailedChecks()))
+	return r.res, nil
+}
+
+// awaitDisruption waits — bounded — for the convergence gap to open after a
+// fault. The control plane needs a moment to *observe* some faults: a
+// crashed switch's session teardown rides on goroutine scheduling, and a
+// restarted rf-server is only noticed at the next epoch probe. Polling
+// convergence immediately could sample that blind window and "converge" on
+// the pre-fault state, running the invariants against a system that has not
+// reacted yet. A fault that never opens the gap within the budget (an
+// rpc-loss rate change, say) has no quiesce of its own to wait for.
+func (r *runner) awaitDisruption() {
+	budget := 2*r.spec.ResyncProbe + 20*r.spec.ProbeInterval
+	if budget < 500*time.Millisecond {
+		budget = 500 * time.Millisecond
+	}
+	deadline := time.Now().Add(budget)
+	for time.Now().Before(deadline) {
+		if r.d.ConvergenceGap() != "" {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// settle awaits convergence after a fault and runs the invariant battery.
+func (r *runner) settle(faultLabel string) {
+	r.awaitDisruption()
+	conv, err := r.d.AwaitConverged(r.spec.ConvergeTimeout)
+	ph := Phase{Fault: faultLabel, Partitioned: r.d.Partitioned()}
+	if err != nil {
+		ph.Checks = []Check{{Name: "converge", OK: false, Detail: err.Error()}}
+		r.logf("settle after %s: convergence TIMEOUT", faultLabel)
+	} else {
+		ph.Converged = conv
+		r.logf("settle after %s: converged partitioned=%v", faultLabel, ph.Partitioned)
+		ph.Checks = r.runChecks()
+		r.logChecks(ph.Checks)
+	}
+	r.res.Phases = append(r.res.Phases, ph)
+}
+
+func (r *runner) logChecks(checks []Check) {
+	for _, c := range checks {
+		verdict := "ok"
+		if !c.OK {
+			verdict = "FAIL"
+		}
+		r.logf("invariant %s: %s", c.Name, verdict)
+	}
+}
+
+// inject applies one fault to the running deployment.
+func (r *runner) inject(f Fault) error {
+	switch f.Kind {
+	case FaultLinkDown:
+		return r.d.SetLinkUp(f.Link, false)
+	case FaultLinkUp:
+		return r.d.SetLinkUp(f.Link, true)
+	case FaultLinkFlap:
+		for i := 0; i < f.flapCount(); i++ {
+			if err := r.d.SetLinkUp(f.Link, false); err != nil {
+				return err
+			}
+			// Hold the link down past LinkTTL so discovery notices the loss,
+			// then restore and let a couple of probe rounds re-learn it.
+			r.clk.Sleep(r.spec.LinkTTL + 2*r.spec.ProbeInterval)
+			if err := r.d.SetLinkUp(f.Link, true); err != nil {
+				return err
+			}
+			r.clk.Sleep(2 * r.spec.ProbeInterval)
+		}
+		return nil
+	case FaultSwitchCrash:
+		return r.d.CrashSwitch(f.Node)
+	case FaultServerRestart:
+		r.d.RestartRFServer()
+		return nil
+	case FaultRPCLoss:
+		r.d.SetRPCLossRate(f.Rate)
+		return nil
+	default:
+		return fmt.Errorf("scenario: unknown fault kind %q", f.Kind)
+	}
+}

@@ -1,0 +1,160 @@
+package scenario
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"routeflow/internal/topo"
+)
+
+func TestRandomScheduleDeterministic(t *testing.T) {
+	g := topo.Ring(6)
+	a := RandomSchedule(g, 8, 42)
+	b := RandomSchedule(g, 8, 42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different schedules:\n%v\n%v", a, b)
+	}
+	c := RandomSchedule(g, 8, 43)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	// Every fault must reference valid topology elements and every down must
+	// be paired with an up on the same link.
+	downs := map[int]int{}
+	for _, f := range a {
+		switch f.Kind {
+		case FaultLinkDown:
+			downs[f.Link]++
+		case FaultLinkUp:
+			downs[f.Link]--
+		case FaultLinkFlap:
+			if f.Link < 0 || f.Link >= g.NumLinks() {
+				t.Fatalf("flap references unknown link: %v", f)
+			}
+		case FaultSwitchCrash:
+			if f.Node < 0 || f.Node >= g.NumNodes() {
+				t.Fatalf("crash references unknown node: %v", f)
+			}
+		}
+	}
+	for link, n := range downs {
+		if n != 0 {
+			t.Fatalf("link %d left with unbalanced down/up (%d)", link, n)
+		}
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	if _, err := Run(Spec{Name: "no-topo"}); err == nil {
+		t.Fatal("nil topology accepted")
+	}
+	bad := Spec{Name: "bad-link", Topology: topo.Ring(3),
+		Faults: []Fault{{Kind: FaultLinkDown, Link: 99}}}
+	if _, err := Run(bad); err == nil {
+		t.Fatal("out-of-range link accepted")
+	}
+	badNode := Spec{Name: "bad-node", Topology: topo.Ring(3),
+		Faults: []Fault{{Kind: FaultSwitchCrash, Node: -1}}}
+	if _, err := Run(badNode); err == nil {
+		t.Fatal("out-of-range node accepted")
+	}
+	badKind := Spec{Name: "bad-kind", Topology: topo.Ring(3),
+		Faults: []Fault{{Kind: "meteor-strike"}}}
+	if _, err := Run(badKind); err == nil {
+		t.Fatal("unknown fault kind accepted")
+	}
+	badStream := Spec{Name: "bad-stream", Topology: topo.Ring(3),
+		HostNodes: []int{0}, Streams: [][2]int{{0, 2}}}
+	if _, err := Run(badStream); err == nil {
+		t.Fatal("stream to a non-host node accepted")
+	}
+}
+
+func TestFaultString(t *testing.T) {
+	cases := map[string]Fault{
+		"link-down link=3":         {Kind: FaultLinkDown, Link: 3},
+		"link-up link=0":           {Kind: FaultLinkUp},
+		"link-flap link=1 count=3": {Kind: FaultLinkFlap, Link: 1},
+		"link-flap link=1 count=5": {Kind: FaultLinkFlap, Link: 1, Count: 5},
+		"switch-crash node=7":      {Kind: FaultSwitchCrash, Node: 7},
+		"server-restart":           {Kind: FaultServerRestart},
+		"rpc-loss rate=0.25":       {Kind: FaultRPCLoss, Rate: 0.25},
+	}
+	for want, f := range cases {
+		if got := f.String(); got != want {
+			t.Fatalf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestCuratedSuiteShape(t *testing.T) {
+	specs := Curated()
+	if len(specs) < 10 {
+		t.Fatalf("curated suite has %d scenarios, want >= 10", len(specs))
+	}
+	seen := map[string]bool{}
+	classes := map[FaultKind]bool{}
+	for _, s := range specs {
+		if s.Name == "" || seen[s.Name] {
+			t.Fatalf("curated scenario with empty or duplicate name: %q", s.Name)
+		}
+		seen[s.Name] = true
+		if _, err := s.withDefaults(); err != nil {
+			t.Fatalf("curated scenario %s invalid: %v", s.Name, err)
+		}
+		for _, f := range s.Faults {
+			classes[f.Kind] = true
+		}
+		if s.RandomFaults > 0 {
+			classes["random"] = true
+		}
+	}
+	for _, required := range []FaultKind{FaultLinkDown, FaultLinkFlap,
+		FaultSwitchCrash, FaultServerRestart, FaultRPCLoss} {
+		if !classes[required] {
+			t.Fatalf("curated suite exercises no %s fault", required)
+		}
+	}
+	// The partition regression scenario must exist and cut more than one link
+	// before settling.
+	part, ok := ByName("ring4-partition-heal")
+	if !ok {
+		t.Fatal("partition scenario missing")
+	}
+	cuts := 0
+	for _, f := range part.Faults {
+		if f.Kind == FaultLinkDown {
+			cuts++
+		}
+	}
+	if cuts < 2 {
+		t.Fatalf("partition scenario cuts %d links; cannot partition a ring", cuts)
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("ByName invented a scenario")
+	}
+	if names := Names(); len(names) != len(specs) || names[0] != specs[0].Name {
+		t.Fatalf("Names() inconsistent with Curated(): %v", names)
+	}
+}
+
+func TestResultAggregation(t *testing.T) {
+	r := &Result{Phases: []Phase{
+		{Fault: "initial", Checks: []Check{{Name: "no-blackhole", OK: true}}},
+		{Fault: "link-down link=0", Checks: []Check{
+			{Name: "no-loop", OK: false, Detail: "loop at 3"},
+		}},
+	}}
+	if r.AllOK() {
+		t.Fatal("failed check not detected")
+	}
+	failed := r.FailedChecks()
+	if len(failed) != 1 || !strings.Contains(failed[0], "no-loop") {
+		t.Fatalf("FailedChecks = %v", failed)
+	}
+	r.Events = []string{"a", "b"}
+	if r.EventLog() != "a\nb" {
+		t.Fatalf("EventLog = %q", r.EventLog())
+	}
+}

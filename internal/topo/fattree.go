@@ -1,0 +1,68 @@
+package topo
+
+import "fmt"
+
+// FatTree returns the classic k-ary fat-tree of data-center networking
+// (Al-Fares et al.): k pods, each with k/2 aggregation and k/2 edge switches,
+// interconnected through (k/2)² core switches. Every edge switch reaches
+// every core through k/2 disjoint aggregation paths, which is what makes the
+// topology interesting for failure scenarios — any single inter-switch link
+// can die without partitioning the fabric.
+//
+// k must be even and at least 2; odd values are rounded up. Node IDs are
+// assigned cores first (0 .. (k/2)²-1), then per pod: aggregation switches,
+// then edge switches.
+func FatTree(k int) *Graph {
+	if k < 2 {
+		k = 2
+	}
+	if k%2 != 0 {
+		k++
+	}
+	half := k / 2
+	g := New(fmt.Sprintf("fattree-%d", k))
+
+	cores := make([]int, half*half)
+	for i := range cores {
+		cores[i] = g.AddNode(fmt.Sprintf("core%d", i))
+	}
+	for p := 0; p < k; p++ {
+		aggs := make([]int, half)
+		for a := range aggs {
+			aggs[a] = g.AddNode(fmt.Sprintf("p%d-agg%d", p, a))
+			// Aggregation switch a of every pod connects to the a-th group of
+			// k/2 core switches.
+			for c := 0; c < half; c++ {
+				g.AddLink(aggs[a], cores[a*half+c], 1) //nolint:errcheck // indices in range by construction
+			}
+		}
+		for e := 0; e < half; e++ {
+			edge := g.AddNode(fmt.Sprintf("p%d-edge%d", p, e))
+			for _, agg := range aggs {
+				g.AddLink(edge, agg, 1) //nolint:errcheck
+			}
+		}
+	}
+	return g
+}
+
+// FatTreeEdges returns the node IDs of the edge switches of a fat-tree built
+// by FatTree(k), in pod order — the natural attachment points for end hosts.
+func FatTreeEdges(k int) []int {
+	if k < 2 {
+		k = 2
+	}
+	if k%2 != 0 {
+		k++
+	}
+	half := k / 2
+	out := make([]int, 0, k*half)
+	base := half * half // cores come first
+	podSize := k        // k/2 agg + k/2 edge per pod
+	for p := 0; p < k; p++ {
+		for e := 0; e < half; e++ {
+			out = append(out, base+p*podSize+half+e)
+		}
+	}
+	return out
+}

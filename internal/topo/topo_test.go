@@ -358,3 +358,76 @@ func TestSortedNodeNames(t *testing.T) {
 		t.Fatalf("sorted names = %v", names)
 	}
 }
+
+func TestFatTreeStructure(t *testing.T) {
+	for _, k := range []int{2, 4, 6} {
+		g := FatTree(k)
+		half := k / 2
+		wantNodes := half*half + k*k // (k/2)² cores + k pods × (agg+edge)
+		wantLinks := k * half * half * 2
+		if g.NumNodes() != wantNodes {
+			t.Fatalf("FatTree(%d): %d nodes, want %d", k, g.NumNodes(), wantNodes)
+		}
+		if g.NumLinks() != wantLinks {
+			t.Fatalf("FatTree(%d): %d links, want %d", k, g.NumLinks(), wantLinks)
+		}
+		if !g.Connected() {
+			t.Fatalf("FatTree(%d) disconnected", k)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("FatTree(%d) invalid: %v", k, err)
+		}
+		// Cores and aggs have degree k; edges uplink to their pod's k/2 aggs.
+		for _, n := range g.Nodes() {
+			want := k
+			if n.ID >= half*half && (n.ID-half*half)%k >= half {
+				want = half // edge switch
+			}
+			if d := g.Degree(n.ID); d != want {
+				t.Fatalf("FatTree(%d) node %s degree %d, want %d", k, n.Name, d, want)
+			}
+		}
+		edges := FatTreeEdges(k)
+		if len(edges) != k*half {
+			t.Fatalf("FatTreeEdges(%d) = %d entries, want %d", k, len(edges), k*half)
+		}
+		for _, id := range edges {
+			n, ok := g.Node(id)
+			if !ok || len(n.Name) < 4 || n.Name[len(n.Name)-5:len(n.Name)-1] != "edge" {
+				t.Fatalf("FatTreeEdges(%d): node %d = %+v is not an edge switch", k, id, n)
+			}
+		}
+	}
+}
+
+func TestFatTreeOddKRoundsUp(t *testing.T) {
+	if g := FatTree(3); g.NumNodes() != FatTree(4).NumNodes() {
+		t.Fatalf("FatTree(3) = %v, want the k=4 fabric", g)
+	}
+	if g := FatTree(0); g.NumNodes() != FatTree(2).NumNodes() {
+		t.Fatalf("FatTree(0) = %v, want the k=2 fabric", g)
+	}
+}
+
+func TestFatTreeSurvivesAnySingleLink(t *testing.T) {
+	// The redundancy claim the chaos scenarios rely on, checked structurally
+	// for k=4: removing any one link leaves the fabric connected.
+	base := FatTree(4)
+	for skip := 0; skip < base.NumLinks(); skip++ {
+		g := New("probe")
+		for range base.Nodes() {
+			g.AddNode("")
+		}
+		for i, l := range base.Links() {
+			if i == skip {
+				continue
+			}
+			if _, err := g.AddLink(l.A, l.B, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !g.Connected() {
+			t.Fatalf("removing link %d partitions the k=4 fat-tree", skip)
+		}
+	}
+}

@@ -99,6 +99,14 @@ func Star(n int) *Topology { return topo.Star(n) }
 // Grid returns a w×h mesh.
 func Grid(w, h int) *Topology { return topo.Grid(w, h) }
 
+// FatTree returns the k-ary fat-tree data-center fabric (k even; (k/2)²
+// cores, k pods of k/2 aggregation + k/2 edge switches).
+func FatTree(k int) *Topology { return topo.FatTree(k) }
+
+// FatTreeEdges lists the edge-switch node IDs of FatTree(k) — the natural
+// host attachment points.
+func FatTreeEdges(k int) []int { return topo.FatTreeEdges(k) }
+
 // Random returns a connected random topology (deterministic per seed).
 func Random(n, m int, seed int64) *Topology { return topo.Random(n, m, seed) }
 

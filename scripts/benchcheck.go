@@ -1,0 +1,135 @@
+// Command benchcheck is the CI bench-regression gate: it compares a fresh
+// scripts/bench.sh snapshot against the checked-in baseline and fails when
+// the dataplane hot path got slower or an allocation budget was broken.
+//
+//	go run scripts/benchcheck.go BENCH_BASELINE.json BENCH_CI.json
+//
+// Gates:
+//   - every benchmark at 0 allocs/op in the baseline must stay at 0 — the
+//     zero-allocation contracts of the codec and the forwarding path are
+//     machine-independent, so this check is exact;
+//   - BenchmarkSwitchForwardCached ns/op may not regress more than the
+//     threshold (-threshold, default 20%) against the baseline, which was
+//     recorded on the same runner class CI uses;
+//   - a gated benchmark missing from the current snapshot fails (a renamed
+//     or deleted benchmark must update the baseline deliberately).
+//
+// The comparison table goes to stdout; CI uploads it as an artifact.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+type entry struct {
+	NsOp     float64  `json:"ns_op"`
+	BOp      *float64 `json:"b_op"`
+	AllocsOp *float64 `json:"allocs_op"`
+}
+
+type snapshot struct {
+	Benchmarks map[string]entry `json:"benchmarks"`
+}
+
+func load(path string) (snapshot, error) {
+	var s snapshot
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return s, err
+	}
+	if err := json.Unmarshal(data, &s); err != nil {
+		return s, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(s.Benchmarks) == 0 {
+		return s, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return s, nil
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 0.20, "allowed ns/op regression for gated benchmarks (fraction)")
+	nsGate := flag.String("ns-gate", "BenchmarkSwitchForwardCached", "substring selecting ns/op-gated benchmarks")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchcheck [-threshold 0.20] [-ns-gate substr] baseline.json current.json")
+		os.Exit(2)
+	}
+	base, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(2)
+	}
+	cur, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var failures []string
+	fmt.Printf("%-50s %12s %12s %8s  %s\n", "benchmark", "base ns/op", "now ns/op", "delta", "verdict")
+	for _, name := range names {
+		b := base.Benchmarks[name]
+		c, ok := cur.Benchmarks[name]
+		gated := strings.Contains(name, *nsGate)
+		zeroAlloc := b.AllocsOp != nil && *b.AllocsOp == 0
+		if !ok {
+			verdict := "missing (not gated)"
+			if gated || zeroAlloc {
+				verdict = "MISSING"
+				failures = append(failures, fmt.Sprintf("%s: gated benchmark missing from current run", name))
+			}
+			fmt.Printf("%-50s %12.1f %12s %8s  %s\n", name, b.NsOp, "-", "-", verdict)
+			continue
+		}
+		delta := 0.0
+		if b.NsOp > 0 {
+			delta = (c.NsOp - b.NsOp) / b.NsOp
+		}
+		var verdicts []string
+		if zeroAlloc {
+			if c.AllocsOp == nil || *c.AllocsOp > 0 {
+				got := "?"
+				if c.AllocsOp != nil {
+					got = fmt.Sprintf("%g", *c.AllocsOp)
+				}
+				failures = append(failures, fmt.Sprintf("%s: allocs/op budget broken (0 -> %s)", name, got))
+				verdicts = append(verdicts, "ALLOC REGRESSION")
+			} else {
+				verdicts = append(verdicts, "0 allocs ok")
+			}
+		}
+		if gated {
+			if delta > *threshold {
+				failures = append(failures, fmt.Sprintf("%s: ns/op regressed %.1f%% (%.1f -> %.1f, limit %.0f%%)",
+					name, delta*100, b.NsOp, c.NsOp, *threshold*100))
+				verdicts = append(verdicts, "NS REGRESSION")
+			} else {
+				verdicts = append(verdicts, "ns/op ok")
+			}
+		}
+		if len(verdicts) == 0 {
+			verdicts = append(verdicts, "informational")
+		}
+		fmt.Printf("%-50s %12.1f %12.1f %+7.1f%%  %s\n",
+			name, b.NsOp, c.NsOp, delta*100, strings.Join(verdicts, ", "))
+	}
+	if len(failures) > 0 {
+		fmt.Printf("\nFAIL: %d regression(s):\n", len(failures))
+		for _, f := range failures {
+			fmt.Println("  -", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("\nbenchcheck: all gates passed")
+}
