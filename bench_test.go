@@ -345,3 +345,24 @@ func BenchmarkManualModelEval(b *testing.B) {
 		_ = m.Total(28)
 	}
 }
+
+// BenchmarkMultiASAutoConfigure regenerates the inter-domain scaling series:
+// cold start to full inter-domain convergence on a ring of ring-shaped ASes
+// (the Fig. 3 methodology lifted to eBGP-joined domains).
+func BenchmarkMultiASAutoConfigure(b *testing.B) {
+	for _, ases := range []int{2, 3, 4} {
+		b.Run(fmt.Sprintf("ases-%d", ases), func(b *testing.B) {
+			var cfgTotal, convTotal time.Duration
+			for i := 0; i < b.N; i++ {
+				row, err := RunMultiASPoint(ases, 3, benchExperiment())
+				if err != nil {
+					b.Fatal(err)
+				}
+				cfgTotal += row.Configured
+				convTotal += row.Converged
+			}
+			b.ReportMetric(cfgTotal.Seconds()/float64(b.N), "proto-s/config")
+			b.ReportMetric(convTotal.Seconds()/float64(b.N), "proto-s/converged")
+		})
+	}
+}

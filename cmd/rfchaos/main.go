@@ -23,9 +23,9 @@ func main() {
 	list := flag.Bool("list", false, "list curated scenarios and exit")
 	run := flag.String("run", "", "run one curated scenario by name")
 	all := flag.Bool("all", false, "run the whole curated suite")
-	kind := flag.String("topo", "ring", "ring | grid | fattree | paneu | random (ad-hoc storm)")
-	n := flag.Int("n", 4, "node count (ring/random), grid width, or fat-tree k")
-	h := flag.Int("h", 3, "grid height")
+	kind := flag.String("topo", "ring", "ring | grid | fattree | paneu | random | asring (ad-hoc storm)")
+	n := flag.Int("n", 4, "node count (ring/random), grid width, fat-tree k, or AS count (asring)")
+	h := flag.Int("h", 3, "grid height, or switches per AS (asring)")
 	m := flag.Int("m", 0, "link count for random (default n+n/2)")
 	faults := flag.Int("faults", 3, "random fault count for the ad-hoc storm")
 	seed := flag.Int64("seed", 1, "seed for the ad-hoc storm")
@@ -33,8 +33,12 @@ func main() {
 
 	switch {
 	case *list:
-		for _, name := range routeflow.CuratedScenarioNames() {
-			fmt.Println(name)
+		for _, spec := range routeflow.CuratedScenarios() {
+			if spec.Description != "" {
+				fmt.Printf("%-36s %s\n", spec.Name, spec.Description)
+			} else {
+				fmt.Println(spec.Name)
+			}
 		}
 	case *run != "":
 		spec, ok := routeflow.ScenarioByName(*run)
@@ -80,6 +84,18 @@ func adhocSpec(kind string, n, h, m, faults int, seed int64) routeflow.ScenarioS
 		}
 		g = routeflow.Random(n, links, seed)
 		hosts = []int{0, n - 1}
+	case "asring":
+		// n ASes of h switches each (clamped like ASRing itself clamps);
+		// hosts in the first and second AS so the storm exercises
+		// inter-domain paths.
+		if n < 2 {
+			n = 2
+		}
+		if h < 1 {
+			h = 1
+		}
+		g = routeflow.ASRing(n, h)
+		hosts = []int{1 % h, h + h/2}
 	default:
 		fmt.Fprintf(os.Stderr, "rfchaos: unknown topology %q\n", kind)
 		os.Exit(1)

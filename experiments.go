@@ -115,6 +115,86 @@ func PrintFig3(w io.Writer, rows []Fig3Row) {
 
 func round(d time.Duration) time.Duration { return d.Round(10 * time.Millisecond) }
 
+// MultiASRow is one point of the inter-domain scaling experiment: the time
+// for a ring of ring-shaped ASes to cold-boot to full inter-domain
+// convergence — the Fig. 3 methodology lifted from one flat OSPF domain to
+// eBGP-joined autonomous systems.
+type MultiASRow struct {
+	ASes        int
+	SwitchesPer int
+	Switches    int
+	Configured  time.Duration // every switch green (VM up)
+	Converged   time.Duration // OSPF Full + BGP Established + routes everywhere
+	ManualEquiv time.Duration // the administrator model for the same fabric
+}
+
+// RunMultiASPoint measures one AS count: an ASRing(asCount, asSize) deploys
+// cold and the row records protocol time to configured and to full
+// inter-domain convergence (every VM holding routes to every reachable host
+// subnet, BGP sessions Established on every border and iBGP mesh).
+func RunMultiASPoint(asCount, asSize int, cfg ExperimentConfig) (MultiASRow, error) {
+	cfg = cfg.withDefaults()
+	g := ASRing(asCount, asSize)
+	var hosts []int
+	for i := 0; i < asCount; i++ {
+		// One host per AS, on its last switch: ASRing's border routers sit
+		// at nodes 0 and asSize/2 of each ring, so asSize-1 is interior
+		// whenever the AS has three or more switches.
+		hosts = append(hosts, i*asSize+asSize-1)
+	}
+	d, err := core.NewDeployment(core.Options{
+		Topology:      g,
+		Clock:         ScaledClock(cfg.TimeScale),
+		HostNodes:     hosts,
+		BootDelay:     cfg.BootDelay,
+		Timers:        cfg.Timers,
+		ProbeInterval: cfg.ProbeInterval,
+		LinkTTL:       3 * cfg.ProbeInterval,
+		NoFlowVisor:   cfg.NoFlowVisor,
+	})
+	if err != nil {
+		return MultiASRow{}, err
+	}
+	defer d.Close()
+	if err := d.Start(); err != nil {
+		return MultiASRow{}, err
+	}
+	row := MultiASRow{ASes: asCount, SwitchesPer: asSize, Switches: g.NumNodes(),
+		ManualEquiv: DefaultManualModel().Total(g.NumNodes())}
+	if row.Configured, err = d.AwaitConfigured(30 * time.Minute); err != nil {
+		return row, fmt.Errorf("asring-%dx%d: %w", asCount, asSize, err)
+	}
+	if row.Converged, err = d.AwaitConverged(30 * time.Minute); err != nil {
+		return row, fmt.Errorf("asring-%dx%d convergence: %w", asCount, asSize, err)
+	}
+	return row, nil
+}
+
+// RunMultiASScaling sweeps AS counts at a fixed per-AS size — convergence
+// time vs. AS count, the inter-domain analogue of the Fig. 3 sweep.
+func RunMultiASScaling(asCounts []int, asSize int, cfg ExperimentConfig) ([]MultiASRow, error) {
+	rows := make([]MultiASRow, 0, len(asCounts))
+	for _, n := range asCounts {
+		row, err := RunMultiASPoint(n, asSize, cfg)
+		if err != nil {
+			return rows, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintMultiAS renders the inter-domain scaling series.
+func PrintMultiAS(w io.Writer, rows []MultiASRow) {
+	fmt.Fprintf(w, "%-6s %-10s %-16s %-18s %-16s %s\n",
+		"ASes", "switches", "auto(config)", "auto(converged)", "manual", "speedup")
+	for _, r := range rows {
+		speedup := float64(r.ManualEquiv) / float64(r.Converged)
+		fmt.Fprintf(w, "%-6d %-10d %-16s %-18s %-16s %.0fx\n",
+			r.ASes, r.Switches, round(r.Configured), round(r.Converged), r.ManualEquiv, speedup)
+	}
+}
+
 // DemoResult is the outcome of the paper's §3 demonstration.
 type DemoResult struct {
 	Switches    int

@@ -1,0 +1,101 @@
+package bgp
+
+import (
+	"fmt"
+	"net/netip"
+	"testing"
+
+	"routeflow/internal/clock"
+	"routeflow/internal/rib"
+)
+
+// benchSpeaker builds an unstarted speaker with nPeers Established eBGP
+// sessions, each advertising nPrefixes routes, driving decideLocked
+// synchronously (white-box: the decision process is the hot path, not the
+// goroutine plumbing).
+func benchSpeaker(b *testing.B, nPeers, nPrefixes int) *Speaker {
+	b.Helper()
+	r := rib.New()
+	s, err := New(Config{
+		ASN: 10, RouterID: netip.MustParseAddr("10.255.0.1"), RIB: r,
+		Clock:        clock.NewFake(),
+		Send:         func(src, dst netip.Addr, payload []byte) {},
+		Redistribute: []rib.Source{rib.SourceConnected},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for pi := 0; pi < nPeers; pi++ {
+		peerAddr := netip.AddrFrom4([4]byte{172, 16, byte(pi), 2})
+		local := netip.PrefixFrom(netip.AddrFrom4([4]byte{172, 16, byte(pi), 1}), 30)
+		if err := r.Add(rib.Route{Prefix: local, Iface: fmt.Sprintf("eth%d", pi+1),
+			Source: rib.SourceConnected}); err != nil {
+			b.Fatal(err)
+		}
+		p := &peer{
+			addr: peerAddr, remoteASN: uint32(20 + pi), state: StateEstablished,
+			localAddr: local.Addr(),
+			adjIn:     make(map[netip.Prefix]PathAttrs, nPrefixes),
+		}
+		for i := 0; i < nPrefixes; i++ {
+			prefix := netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(i >> 8), byte(i), 0}), 24)
+			p.adjIn[prefix] = PathAttrs{
+				Origin:  OriginIGP,
+				ASPath:  []uint16{uint16(20 + pi), uint16(100 + (pi+i)%7)},
+				NextHop: peerAddr,
+			}
+		}
+		s.peers[peerAddr] = p
+	}
+	return s
+}
+
+// BenchmarkBGPBestPath measures one full decision-process run — candidate
+// collection across all peers, best-path selection per prefix, recursive
+// next-hop resolution, RIB install and Adj-RIB-Out synchronization — at the
+// scale of a border router in a mid-size internetwork.
+func BenchmarkBGPBestPath(b *testing.B) {
+	for _, size := range []struct{ peers, prefixes int }{
+		{4, 64}, {8, 256},
+	} {
+		b.Run(fmt.Sprintf("peers=%d,prefixes=%d", size.peers, size.prefixes), func(b *testing.B) {
+			s := benchSpeaker(b, size.peers, size.prefixes)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.mu.Lock()
+				s.decideLocked()
+				s.mu.Unlock()
+			}
+		})
+	}
+}
+
+// BenchmarkBGPRIBChurnRedistribute measures redistribution under IGP churn:
+// every iteration swaps the OSPF route set (as an SPF run would) and runs
+// the decision process that re-derives the locally originated prefixes and
+// diffs every peer's Adj-RIB-Out.
+func BenchmarkBGPRIBChurnRedistribute(b *testing.B) {
+	s := benchSpeaker(b, 2, 16)
+	s.cfg.Redistribute = append(s.cfg.Redistribute, rib.SourceOSPF)
+	mkRoutes := func(gen int) []rib.Route {
+		routes := make([]rib.Route, 41)
+		for i := range routes {
+			routes[i] = rib.Route{
+				Prefix:  netip.PrefixFrom(netip.AddrFrom4([4]byte{172, 17, byte(i), 0}), 30),
+				NextHop: netip.AddrFrom4([4]byte{172, 16, 0, 2}),
+				Iface:   "eth1", Metric: uint32(10 + gen),
+			}
+		}
+		return routes
+	}
+	sets := [2][]rib.Route{mkRoutes(0), mkRoutes(1)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.cfg.RIB.ReplaceSource(rib.SourceOSPF, sets[i%2])
+		s.mu.Lock()
+		s.decideLocked()
+		s.mu.Unlock()
+	}
+}

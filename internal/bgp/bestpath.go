@@ -1,0 +1,297 @@
+package bgp
+
+import (
+	"net/netip"
+	"sort"
+
+	"routeflow/internal/rib"
+)
+
+// candidate is one path to a prefix during the decision process; peer is nil
+// for locally originated prefixes (networks and redistributed IGP routes).
+// hop/iface carry the recursive next-hop resolution computed at eligibility
+// time, so the install step never resolves twice.
+type candidate struct {
+	attrs PathAttrs
+	peer  *peer
+	hop   netip.Addr
+	iface string
+}
+
+func (c candidate) localPref() uint32 {
+	if c.peer == nil || !c.attrs.HasLP {
+		return defaultLocalPref
+	}
+	return c.attrs.LocalPref
+}
+
+// sourceRank orders local < eBGP < iBGP for the decision tie-break.
+func (c candidate) sourceRank() int {
+	switch {
+	case c.peer == nil:
+		return 0
+	case !c.peer.ibgp:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// neighborAS is the AS the path was received from (its first AS-path
+// element); 0 for locally originated paths. MED is only comparable between
+// paths from the same neighboring AS (RFC 4271 §9.1.2.2).
+func (c candidate) neighborAS() uint16 {
+	if len(c.attrs.ASPath) == 0 {
+		return 0
+	}
+	return c.attrs.ASPath[0]
+}
+
+// better implements the standard decision process: highest LOCAL_PREF,
+// shortest AS path, lowest origin, lowest MED (same neighboring AS only),
+// eBGP over iBGP, lowest peer address (deterministic stand-in for lowest
+// router ID).
+func (a candidate) better(b candidate) bool {
+	if la, lb := a.localPref(), b.localPref(); la != lb {
+		return la > lb
+	}
+	if la, lb := len(a.attrs.ASPath), len(b.attrs.ASPath); la != lb {
+		return la < lb
+	}
+	if a.attrs.Origin != b.attrs.Origin {
+		return a.attrs.Origin < b.attrs.Origin
+	}
+	if a.neighborAS() == b.neighborAS() && a.attrs.MED != b.attrs.MED {
+		return a.attrs.MED < b.attrs.MED
+	}
+	if ra, rb := a.sourceRank(), b.sourceRank(); ra != rb {
+		return ra < rb
+	}
+	if a.peer != nil && b.peer != nil && a.peer.addr != b.peer.addr {
+		return a.peer.addr.Less(b.peer.addr)
+	}
+	return false
+}
+
+// localOrigins collects the locally originated prefixes: explicit network
+// statements plus redistribution of the configured RIB sources. The RIB's
+// best-route set is the redistribution source, so a prefix whose best route
+// is itself BGP-learned is never re-originated.
+func (s *Speaker) localOrigins() map[netip.Prefix]PathAttrs {
+	out := make(map[netip.Prefix]PathAttrs)
+	for _, n := range s.cfg.Networks {
+		out[n.Masked()] = PathAttrs{Origin: OriginIGP}
+	}
+	if len(s.cfg.Redistribute) == 0 {
+		return out
+	}
+	redist := make(map[rib.Source]bool, len(s.cfg.Redistribute))
+	for _, src := range s.cfg.Redistribute {
+		redist[src] = true
+	}
+	for _, rt := range s.cfg.RIB.Best() {
+		if !redist[rt.Source] {
+			continue
+		}
+		if _, ok := out[rt.Prefix]; ok {
+			continue // explicit network statement wins
+		}
+		origin := OriginIncomplete
+		if rt.Source == rib.SourceConnected {
+			origin = OriginIGP
+		}
+		out[rt.Prefix] = PathAttrs{Origin: origin, MED: rt.Metric}
+	}
+	return out
+}
+
+// resolve recursively resolves a BGP next hop through the RIB to the
+// immediate (connected) next hop and egress interface — what a FIB install
+// needs. Routes already in the RIB always carry immediate next hops, so one
+// lookup terminates the recursion.
+func (s *Speaker) resolve(nh netip.Addr) (hop netip.Addr, iface string, ok bool) {
+	rt, ok := s.cfg.RIB.Lookup(nh)
+	if !ok {
+		return netip.Addr{}, "", false
+	}
+	if rt.NextHop.IsValid() {
+		return rt.NextHop, rt.Iface, true
+	}
+	return nh, rt.Iface, true // connected: the peer itself is the hop
+}
+
+// decideLocked runs the decision process and propagates its outcome: the
+// Loc-RIB is installed into the shared RIB under the eBGP/iBGP distances and
+// every Established peer's Adj-RIB-Out is diffed and synchronized with
+// UPDATE / withdraw messages. Callers hold s.mu.
+func (s *Speaker) decideLocked() {
+	s.stats.DecisionRuns++
+
+	local := s.localOrigins()
+	best := make(map[netip.Prefix]candidate, len(local))
+	for p, attrs := range local {
+		best[p] = candidate{attrs: attrs}
+	}
+	peers := s.sortedPeersLocked()
+	for _, p := range peers {
+		if p.state != StateEstablished || p.suppressed {
+			continue
+		}
+		for prefix, attrs := range p.adjIn {
+			hop, iface, ok := s.resolve(attrs.NextHop)
+			if !ok {
+				continue // unreachable next hop: not eligible
+			}
+			c := candidate{attrs: attrs, peer: p, hop: hop, iface: iface}
+			if cur, ok := best[prefix]; !ok || c.better(cur) {
+				best[prefix] = c
+			}
+		}
+	}
+
+	// Install learned best paths (locally originated prefixes already live
+	// in the RIB under their own source).
+	var ebgp, ibgp []rib.Route
+	for prefix, c := range best {
+		if c.peer == nil {
+			continue
+		}
+		rt := rib.Route{Prefix: prefix, NextHop: c.hop, Iface: c.iface, Metric: c.attrs.MED}
+		if c.peer.ibgp {
+			rt.Source = rib.SourceIBGP
+			ibgp = append(ibgp, rt)
+		} else {
+			rt.Source = rib.SourceEBGP
+			ebgp = append(ebgp, rt)
+		}
+	}
+	s.cfg.RIB.ReplaceSource(rib.SourceEBGP, ebgp)
+	s.cfg.RIB.ReplaceSource(rib.SourceIBGP, ibgp)
+
+	// Synchronize every Established peer's Adj-RIB-Out.
+	for _, p := range peers {
+		if p.state != StateEstablished {
+			continue
+		}
+		s.syncAdjOutLocked(p, best)
+	}
+}
+
+// exportTo computes the attributes of one best path as advertised to peer,
+// or ok=false when export policy withholds it: never back to the peer it
+// came from, never iBGP→iBGP (the full mesh carries it), and never to an
+// eBGP peer whose AS is already on the path.
+func (s *Speaker) exportTo(p *peer, c candidate) (PathAttrs, bool) {
+	if c.peer == p {
+		return PathAttrs{}, false
+	}
+	if c.peer != nil && c.peer.ibgp && p.ibgp {
+		return PathAttrs{}, false
+	}
+	attrs := c.attrs
+	if p.ibgp {
+		// iBGP export: LOCAL_PREF attached, next-hop-self (the loopback or
+		// border address this session runs from) so interior routers resolve
+		// the hop through the IGP without knowing foreign border subnets.
+		attrs.LocalPref = c.localPref()
+		attrs.HasLP = true
+		attrs.NextHop = p.localAddr
+		if !attrs.NextHop.IsValid() {
+			attrs.NextHop = s.localAddrFor(p.addr)
+		}
+		return attrs, true
+	}
+	out := attrs.Prepend(s.asn16())
+	if out.HasLoop(uint16(p.remoteASN)) {
+		return PathAttrs{}, false
+	}
+	out.NextHop = p.localAddr
+	if !out.NextHop.IsValid() {
+		out.NextHop = s.localAddrFor(p.addr)
+	}
+	out.HasLP = false
+	out.LocalPref = 0
+	if c.peer != nil {
+		// MED is non-transitive: it only crosses the boundary of the AS
+		// that set it (our locally originated IGP metric), never a further
+		// eBGP hop.
+		out.MED = 0
+	}
+	return out, true
+}
+
+func attrsEqual(a, b PathAttrs) bool {
+	if a.Origin != b.Origin || a.NextHop != b.NextHop || a.MED != b.MED ||
+		a.HasLP != b.HasLP || (a.HasLP && a.LocalPref != b.LocalPref) ||
+		len(a.ASPath) != len(b.ASPath) {
+		return false
+	}
+	for i := range a.ASPath {
+		if a.ASPath[i] != b.ASPath[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// syncAdjOutLocked diffs the desired Adj-RIB-Out against what the peer has
+// been sent and emits the delta in sorted prefix order (deterministic wire
+// traffic). Callers hold s.mu.
+func (s *Speaker) syncAdjOutLocked(p *peer, best map[netip.Prefix]candidate) {
+	desired := make(map[netip.Prefix]PathAttrs, len(best))
+	for prefix, c := range best {
+		if attrs, ok := s.exportTo(p, c); ok {
+			desired[prefix] = attrs
+		}
+	}
+	if p.advertised == nil {
+		p.advertised = make(map[netip.Prefix]PathAttrs)
+	}
+
+	var withdraw, announce []netip.Prefix
+	for prefix := range p.advertised {
+		if _, ok := desired[prefix]; !ok {
+			withdraw = append(withdraw, prefix)
+		}
+	}
+	for prefix, attrs := range desired {
+		if cur, ok := p.advertised[prefix]; !ok || !attrsEqual(cur, attrs) {
+			announce = append(announce, prefix)
+		}
+	}
+	sortPrefixes(withdraw)
+	sortPrefixes(announce)
+
+	// Withdrawals are chunked so a mass withdrawal (session loss upstream)
+	// can never overflow the maximum message size — an oversized UPDATE
+	// would be dropped whole by the receiver, which would then keep
+	// forwarding to dead routes forever.
+	const maxWithdrawPerUpdate = 128
+	for len(withdraw) > 0 {
+		chunk := withdraw
+		if len(chunk) > maxWithdrawPerUpdate {
+			chunk = chunk[:maxWithdrawPerUpdate]
+		}
+		withdraw = withdraw[len(chunk):]
+		s.send(p, MarshalUpdate(Update{Withdrawn: chunk}))
+		s.stats.UpdatesSent++
+		for _, prefix := range chunk {
+			delete(p.advertised, prefix)
+		}
+	}
+	for _, prefix := range announce {
+		attrs := desired[prefix]
+		s.send(p, MarshalUpdate(Update{Attrs: attrs, NLRI: []netip.Prefix{prefix}}))
+		s.stats.UpdatesSent++
+		p.advertised[prefix] = attrs
+	}
+}
+
+func sortPrefixes(ps []netip.Prefix) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].Addr() != ps[j].Addr() {
+			return ps[i].Addr().Less(ps[j].Addr())
+		}
+		return ps[i].Bits() < ps[j].Bits()
+	})
+}

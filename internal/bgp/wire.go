@@ -1,0 +1,394 @@
+// Package bgp implements the slice of BGP-4 (RFC 4271) that a RouteFlow
+// VM's bgpd runs: the session FSM (Idle → Connect → OpenSent → OpenConfirm
+// → Established) over the vnet's TCP-like channels, keepalive and hold
+// timers on the injected clock, UPDATE generation with AS-path / next-hop /
+// local-pref / MED attributes, the standard decision process feeding the
+// shared RIB under the eBGP/iBGP administrative distances, IGP→BGP
+// redistribution, withdraw-on-session-loss, and per-peer flap damping.
+//
+// The speaker is transport-agnostic and deterministic: every timer runs on
+// an injected clock, messages leave in sorted prefix order, and all protocol
+// state is mutated by a single goroutine consuming a mailbox — the same
+// discipline the OSPF engine follows, which is what lets the chaos harness
+// replay inter-domain scenarios byte-for-byte.
+package bgp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+)
+
+// Port is the well-known BGP port of the TCP-like channel.
+const Port = 179
+
+// Version is the only protocol version spoken.
+const Version = 4
+
+// Message header: 16-byte all-ones marker, 2-byte length, 1-byte type.
+const (
+	markerLen    = 16
+	headerLen    = markerLen + 3
+	maxMessage   = 4096
+	asPathSeqSeg = 2 // AS_SEQUENCE segment type
+)
+
+// Message types.
+const (
+	MsgOpen         uint8 = 1
+	MsgUpdate       uint8 = 2
+	MsgNotification uint8 = 3
+	MsgKeepalive    uint8 = 4
+)
+
+// Path-attribute type codes (RFC 4271 §5).
+const (
+	attrOrigin    uint8 = 1
+	attrASPath    uint8 = 2
+	attrNextHop   uint8 = 3
+	attrMED       uint8 = 4
+	attrLocalPref uint8 = 5
+)
+
+// Attribute flag bits.
+const (
+	flagOptional   uint8 = 0x80
+	flagTransitive uint8 = 0x40
+)
+
+// Origin codes.
+const (
+	OriginIGP        uint8 = 0
+	OriginEGP        uint8 = 1
+	OriginIncomplete uint8 = 2
+)
+
+// Notification error codes (the subset the speaker emits).
+const (
+	NotifOpenError    uint8 = 2
+	NotifHoldExpired  uint8 = 4
+	NotifCease        uint8 = 6
+	notifBadPeerAS    uint8 = 2 // OPEN error: bad peer AS
+	notifPeerDeconfig uint8 = 3 // cease: peer de-configured
+)
+
+// Open is the OPEN message body.
+type Open struct {
+	ASN      uint16
+	HoldTime uint16 // whole seconds on the wire; informational here
+	RouterID uint32
+}
+
+// PathAttrs carries the path attributes of one route.
+type PathAttrs struct {
+	Origin    uint8
+	ASPath    []uint16 // one AS_SEQUENCE segment
+	NextHop   netip.Addr
+	MED       uint32
+	LocalPref uint32
+	HasLP     bool // LOCAL_PREF present (iBGP sessions)
+}
+
+// HasLoop reports whether asn already appears in the AS path — the receive-
+// side loop check that makes rings of ASes converge instead of counting to
+// infinity.
+func (a PathAttrs) HasLoop(asn uint16) bool {
+	for _, as := range a.ASPath {
+		if as == asn {
+			return true
+		}
+	}
+	return false
+}
+
+// Prepend returns a copy of the attrs with asn prepended to the AS path —
+// the eBGP export action.
+func (a PathAttrs) Prepend(asn uint16) PathAttrs {
+	path := make([]uint16, 0, len(a.ASPath)+1)
+	path = append(path, asn)
+	path = append(path, a.ASPath...)
+	a.ASPath = path
+	return a
+}
+
+// Update is the UPDATE message body.
+type Update struct {
+	Withdrawn []netip.Prefix
+	Attrs     PathAttrs
+	NLRI      []netip.Prefix
+}
+
+// Notification is the NOTIFICATION message body.
+type Notification struct {
+	Code, Subcode uint8
+}
+
+func appendHeader(b []byte, msgType uint8) []byte {
+	for i := 0; i < markerLen; i++ {
+		b = append(b, 0xff)
+	}
+	b = append(b, 0, 0, msgType) // length patched by finish
+	return b
+}
+
+func finish(b []byte) []byte {
+	binary.BigEndian.PutUint16(b[markerLen:], uint16(len(b)))
+	return b
+}
+
+// MarshalOpen encodes an OPEN message.
+func MarshalOpen(o Open) []byte {
+	b := appendHeader(make([]byte, 0, headerLen+10), MsgOpen)
+	b = append(b, Version)
+	b = binary.BigEndian.AppendUint16(b, o.ASN)
+	b = binary.BigEndian.AppendUint16(b, o.HoldTime)
+	b = binary.BigEndian.AppendUint32(b, o.RouterID)
+	b = append(b, 0) // no optional parameters
+	return finish(b)
+}
+
+// MarshalKeepalive encodes a KEEPALIVE message (header only).
+func MarshalKeepalive() []byte {
+	return finish(appendHeader(make([]byte, 0, headerLen), MsgKeepalive))
+}
+
+// MarshalNotification encodes a NOTIFICATION message.
+func MarshalNotification(n Notification) []byte {
+	b := appendHeader(make([]byte, 0, headerLen+2), MsgNotification)
+	b = append(b, n.Code, n.Subcode)
+	return finish(b)
+}
+
+// appendPrefix encodes one NLRI/withdrawn prefix: length bit count, then the
+// minimal number of address bytes.
+func appendPrefix(b []byte, p netip.Prefix) []byte {
+	bits := p.Bits()
+	b = append(b, uint8(bits))
+	a := p.Addr().As4()
+	return append(b, a[:(bits+7)/8]...)
+}
+
+func readPrefix(b []byte) (netip.Prefix, int, error) {
+	if len(b) < 1 {
+		return netip.Prefix{}, 0, fmt.Errorf("bgp: truncated prefix length")
+	}
+	bits := int(b[0])
+	if bits > 32 {
+		return netip.Prefix{}, 0, fmt.Errorf("bgp: prefix length %d", bits)
+	}
+	n := (bits + 7) / 8
+	if len(b) < 1+n {
+		return netip.Prefix{}, 0, fmt.Errorf("bgp: truncated prefix body")
+	}
+	var a [4]byte
+	copy(a[:], b[1:1+n])
+	p := netip.PrefixFrom(netip.AddrFrom4(a), bits).Masked()
+	return p, 1 + n, nil
+}
+
+// MarshalUpdate encodes an UPDATE message. Withdrawn-only updates omit the
+// path attributes entirely, per the RFC.
+func MarshalUpdate(u Update) []byte {
+	b := appendHeader(make([]byte, 0, headerLen+64), MsgUpdate)
+
+	withdrawnAt := len(b)
+	b = append(b, 0, 0)
+	for _, p := range u.Withdrawn {
+		b = appendPrefix(b, p)
+	}
+	binary.BigEndian.PutUint16(b[withdrawnAt:], uint16(len(b)-withdrawnAt-2))
+
+	attrsAt := len(b)
+	b = append(b, 0, 0)
+	if len(u.NLRI) > 0 {
+		b = append(b, flagTransitive, attrOrigin, 1, u.Attrs.Origin)
+
+		// AS_SEQUENCE segments hold at most 255 ASes each; a path from a
+		// composite of hundreds of ASes spans several segments, and past 255
+		// value bytes the attribute switches to its extended-length form
+		// (flag 0x10) — both of which ParseUpdate already understands.
+		const maxSegASes = 255
+		segments := (len(u.Attrs.ASPath) + maxSegASes - 1) / maxSegASes
+		pathLen := 2*segments + 2*len(u.Attrs.ASPath)
+		if pathLen > 0xff {
+			b = append(b, flagTransitive|0x10, attrASPath)
+			b = binary.BigEndian.AppendUint16(b, uint16(pathLen))
+		} else {
+			b = append(b, flagTransitive, attrASPath, uint8(pathLen))
+		}
+		for path := u.Attrs.ASPath; len(path) > 0; {
+			seg := path
+			if len(seg) > maxSegASes {
+				seg = seg[:maxSegASes]
+			}
+			path = path[len(seg):]
+			b = append(b, asPathSeqSeg, uint8(len(seg)))
+			for _, as := range seg {
+				b = binary.BigEndian.AppendUint16(b, as)
+			}
+		}
+
+		if u.Attrs.NextHop.IsValid() {
+			nh := u.Attrs.NextHop.As4()
+			b = append(b, flagTransitive, attrNextHop, 4)
+			b = append(b, nh[:]...)
+		}
+
+		b = append(b, flagOptional, attrMED, 4)
+		b = binary.BigEndian.AppendUint32(b, u.Attrs.MED)
+
+		if u.Attrs.HasLP {
+			b = append(b, flagTransitive, attrLocalPref, 4)
+			b = binary.BigEndian.AppendUint32(b, u.Attrs.LocalPref)
+		}
+	}
+	binary.BigEndian.PutUint16(b[attrsAt:], uint16(len(b)-attrsAt-2))
+
+	for _, p := range u.NLRI {
+		b = appendPrefix(b, p)
+	}
+	return finish(b)
+}
+
+// ParseMessage validates the header and returns the message type and body.
+func ParseMessage(b []byte) (msgType uint8, body []byte, err error) {
+	if len(b) < headerLen {
+		return 0, nil, fmt.Errorf("bgp: message of %d bytes", len(b))
+	}
+	for _, m := range b[:markerLen] {
+		if m != 0xff {
+			return 0, nil, fmt.Errorf("bgp: bad marker")
+		}
+	}
+	length := int(binary.BigEndian.Uint16(b[markerLen:]))
+	if length < headerLen || length > maxMessage || length > len(b) {
+		return 0, nil, fmt.Errorf("bgp: bad length %d of %d", length, len(b))
+	}
+	return b[markerLen+2], b[headerLen:length], nil
+}
+
+// ParseOpen decodes an OPEN body.
+func ParseOpen(b []byte) (Open, error) {
+	if len(b) < 10 {
+		return Open{}, fmt.Errorf("bgp: open of %d bytes", len(b))
+	}
+	if b[0] != Version {
+		return Open{}, fmt.Errorf("bgp: version %d", b[0])
+	}
+	return Open{
+		ASN:      binary.BigEndian.Uint16(b[1:]),
+		HoldTime: binary.BigEndian.Uint16(b[3:]),
+		RouterID: binary.BigEndian.Uint32(b[5:]),
+	}, nil
+}
+
+// ParseNotification decodes a NOTIFICATION body.
+func ParseNotification(b []byte) (Notification, error) {
+	if len(b) < 2 {
+		return Notification{}, fmt.Errorf("bgp: notification of %d bytes", len(b))
+	}
+	return Notification{Code: b[0], Subcode: b[1]}, nil
+}
+
+// ParseUpdate decodes an UPDATE body.
+func ParseUpdate(b []byte) (Update, error) {
+	var u Update
+	if len(b) < 2 {
+		return u, fmt.Errorf("bgp: update of %d bytes", len(b))
+	}
+	wLen := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	if wLen > len(b) {
+		return u, fmt.Errorf("bgp: withdrawn length %d of %d", wLen, len(b))
+	}
+	w := b[:wLen]
+	for len(w) > 0 {
+		p, n, err := readPrefix(w)
+		if err != nil {
+			return u, err
+		}
+		u.Withdrawn = append(u.Withdrawn, p)
+		w = w[n:]
+	}
+	b = b[wLen:]
+	if len(b) < 2 {
+		return u, fmt.Errorf("bgp: update missing attribute length")
+	}
+	aLen := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	if aLen > len(b) {
+		return u, fmt.Errorf("bgp: attribute length %d of %d", aLen, len(b))
+	}
+	attrs := b[:aLen]
+	nlri := b[aLen:]
+	for len(attrs) > 0 {
+		if len(attrs) < 3 {
+			return u, fmt.Errorf("bgp: truncated attribute header")
+		}
+		flags, code := attrs[0], attrs[1]
+		var vLen, off int
+		if flags&0x10 != 0 { // extended length
+			if len(attrs) < 4 {
+				return u, fmt.Errorf("bgp: truncated extended attribute")
+			}
+			vLen, off = int(binary.BigEndian.Uint16(attrs[2:])), 4
+		} else {
+			vLen, off = int(attrs[2]), 3
+		}
+		if len(attrs) < off+vLen {
+			return u, fmt.Errorf("bgp: attribute %d of %d bytes", vLen, len(attrs)-off)
+		}
+		v := attrs[off : off+vLen]
+		switch code {
+		case attrOrigin:
+			if vLen != 1 {
+				return u, fmt.Errorf("bgp: origin of %d bytes", vLen)
+			}
+			u.Attrs.Origin = v[0]
+		case attrASPath:
+			for len(v) > 0 {
+				if len(v) < 2 {
+					return u, fmt.Errorf("bgp: truncated as-path segment")
+				}
+				segLen := int(v[1])
+				if len(v) < 2+2*segLen {
+					return u, fmt.Errorf("bgp: as-path segment of %d ases", segLen)
+				}
+				for i := 0; i < segLen; i++ {
+					u.Attrs.ASPath = append(u.Attrs.ASPath,
+						binary.BigEndian.Uint16(v[2+2*i:]))
+				}
+				v = v[2+2*segLen:]
+			}
+		case attrNextHop:
+			if vLen != 4 {
+				return u, fmt.Errorf("bgp: next-hop of %d bytes", vLen)
+			}
+			u.Attrs.NextHop = netip.AddrFrom4([4]byte(v))
+		case attrMED:
+			if vLen != 4 {
+				return u, fmt.Errorf("bgp: med of %d bytes", vLen)
+			}
+			u.Attrs.MED = binary.BigEndian.Uint32(v)
+		case attrLocalPref:
+			if vLen != 4 {
+				return u, fmt.Errorf("bgp: local-pref of %d bytes", vLen)
+			}
+			u.Attrs.LocalPref = binary.BigEndian.Uint32(v)
+			u.Attrs.HasLP = true
+		}
+		attrs = attrs[off+vLen:]
+	}
+	for len(nlri) > 0 {
+		p, n, err := readPrefix(nlri)
+		if err != nil {
+			return u, err
+		}
+		u.NLRI = append(u.NLRI, p)
+		nlri = nlri[n:]
+	}
+	if len(u.NLRI) > 0 && !u.Attrs.NextHop.IsValid() {
+		return u, fmt.Errorf("bgp: nlri without next-hop")
+	}
+	return u, nil
+}

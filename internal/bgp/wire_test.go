@@ -1,0 +1,178 @@
+package bgp
+
+import (
+	"net/netip"
+	"reflect"
+	"testing"
+)
+
+func pfx(s string) netip.Prefix { return netip.MustParsePrefix(s) }
+func ip(s string) netip.Addr    { return netip.MustParseAddr(s) }
+
+func TestOpenRoundTrip(t *testing.T) {
+	in := Open{ASN: 65001, HoldTime: 180, RouterID: 0x0aff0001}
+	msgType, body, err := ParseMessage(MarshalOpen(in))
+	if err != nil || msgType != MsgOpen {
+		t.Fatalf("ParseMessage: type=%d err=%v", msgType, err)
+	}
+	out, err := ParseOpen(body)
+	if err != nil || out != in {
+		t.Fatalf("open round trip: %+v err=%v", out, err)
+	}
+}
+
+func TestKeepaliveRoundTrip(t *testing.T) {
+	msgType, body, err := ParseMessage(MarshalKeepalive())
+	if err != nil || msgType != MsgKeepalive || len(body) != 0 {
+		t.Fatalf("keepalive: type=%d body=%d err=%v", msgType, len(body), err)
+	}
+}
+
+func TestNotificationRoundTrip(t *testing.T) {
+	in := Notification{Code: NotifHoldExpired, Subcode: 0}
+	msgType, body, err := ParseMessage(MarshalNotification(in))
+	if err != nil || msgType != MsgNotification {
+		t.Fatalf("ParseMessage: type=%d err=%v", msgType, err)
+	}
+	out, err := ParseNotification(body)
+	if err != nil || out != in {
+		t.Fatalf("notification round trip: %+v err=%v", out, err)
+	}
+}
+
+func TestUpdateRoundTrip(t *testing.T) {
+	in := Update{
+		Withdrawn: []netip.Prefix{pfx("10.3.0.0/24"), pfx("10.4.0.0/16")},
+		Attrs: PathAttrs{
+			Origin:  OriginIncomplete,
+			ASPath:  []uint16{64512, 64513},
+			NextHop: ip("172.16.0.1"),
+			MED:     20,
+		},
+		NLRI: []netip.Prefix{pfx("10.1.0.0/24"), pfx("10.2.128.0/17")},
+	}
+	msgType, body, err := ParseMessage(MarshalUpdate(in))
+	if err != nil || msgType != MsgUpdate {
+		t.Fatalf("ParseMessage: type=%d err=%v", msgType, err)
+	}
+	out, err := ParseUpdate(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out, in) {
+		t.Fatalf("update round trip:\n got %+v\nwant %+v", out, in)
+	}
+}
+
+func TestUpdateLocalPrefRoundTrip(t *testing.T) {
+	in := Update{
+		Attrs: PathAttrs{Origin: OriginIGP, NextHop: ip("10.255.0.1"),
+			LocalPref: 200, HasLP: true},
+		NLRI: []netip.Prefix{pfx("10.9.0.0/24")},
+	}
+	_, body, err := ParseMessage(MarshalUpdate(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ParseUpdate(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Attrs.HasLP || out.Attrs.LocalPref != 200 {
+		t.Fatalf("local-pref lost: %+v", out.Attrs)
+	}
+	if len(out.Attrs.ASPath) != 0 {
+		t.Fatalf("empty AS path decoded as %v", out.Attrs.ASPath)
+	}
+}
+
+func TestUpdateWithdrawOnly(t *testing.T) {
+	in := Update{Withdrawn: []netip.Prefix{pfx("10.1.0.0/24")}}
+	_, body, err := ParseMessage(MarshalUpdate(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ParseUpdate(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.NLRI) != 0 || len(out.Withdrawn) != 1 || out.Withdrawn[0] != pfx("10.1.0.0/24") {
+		t.Fatalf("withdraw-only round trip: %+v", out)
+	}
+}
+
+func TestParseMessageRejects(t *testing.T) {
+	if _, _, err := ParseMessage(make([]byte, headerLen-1)); err == nil {
+		t.Fatal("short message accepted")
+	}
+	b := MarshalKeepalive()
+	b[0] = 0 // corrupt marker
+	if _, _, err := ParseMessage(b); err == nil {
+		t.Fatal("bad marker accepted")
+	}
+	b = MarshalKeepalive()
+	b[markerLen] = 0xff // absurd length
+	if _, _, err := ParseMessage(b); err == nil {
+		t.Fatal("bad length accepted")
+	}
+	if _, err := ParseOpen([]byte{3, 0, 0, 0, 0, 0, 0, 0, 0, 0}); err == nil {
+		t.Fatal("version 3 accepted")
+	}
+	// NLRI without a NEXT_HOP attribute must be rejected.
+	raw := MarshalUpdate(Update{NLRI: []netip.Prefix{pfx("10.0.0.0/8")}})
+	_, body, err := ParseMessage(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := append([]byte(nil), body...)
+	// Zero out the next-hop attribute type so the parser never sees one.
+	for i := 0; i+2 < len(mut); i++ {
+		if mut[i] == flagTransitive && mut[i+1] == attrNextHop && mut[i+2] == 4 {
+			mut[i+1] = 200 // unknown attribute
+		}
+	}
+	if _, err := ParseUpdate(mut); err == nil {
+		t.Fatal("nlri without next-hop accepted")
+	}
+}
+
+func TestASPathHelpers(t *testing.T) {
+	a := PathAttrs{ASPath: []uint16{10, 20}}
+	if !a.HasLoop(10) || a.HasLoop(30) {
+		t.Fatalf("HasLoop wrong on %v", a.ASPath)
+	}
+	b := a.Prepend(5)
+	if !reflect.DeepEqual(b.ASPath, []uint16{5, 10, 20}) {
+		t.Fatalf("Prepend = %v", b.ASPath)
+	}
+	if !reflect.DeepEqual(a.ASPath, []uint16{10, 20}) {
+		t.Fatalf("Prepend mutated receiver: %v", a.ASPath)
+	}
+}
+
+// TestUpdateLongASPathSegmentation: paths beyond 255 ASes span several
+// AS_SEQUENCE segments and the attribute uses its extended-length form; the
+// round trip must be lossless (a composite of hundreds of ASes depends on
+// this).
+func TestUpdateLongASPathSegmentation(t *testing.T) {
+	path := make([]uint16, 300)
+	for i := range path {
+		path[i] = uint16(i + 1)
+	}
+	in := Update{
+		Attrs: PathAttrs{Origin: OriginIGP, ASPath: path, NextHop: ip("172.16.0.1")},
+		NLRI:  []netip.Prefix{pfx("10.1.0.0/24")},
+	}
+	_, body, err := ParseMessage(MarshalUpdate(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ParseUpdate(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out.Attrs.ASPath, path) {
+		t.Fatalf("as path of %d lost in segmentation: got %d entries",
+			len(path), len(out.Attrs.ASPath))
+	}
+}

@@ -24,6 +24,10 @@ func fastOptions(g *topo.Graph, hostNodes ...int) Options {
 			Hello:    20 * time.Millisecond,
 			Dead:     100 * time.Millisecond,
 			SPFDelay: 5 * time.Millisecond,
+			// BGP timers only matter on AS-annotated topologies; compressed
+			// to the same scale as the OSPF timers.
+			BGPHold:         300 * time.Millisecond,
+			BGPConnectRetry: 50 * time.Millisecond,
 		},
 	}
 }
@@ -561,5 +565,153 @@ func TestRFServerRestartResyncs(t *testing.T) {
 	}
 	if _, err := d.AwaitConverged(30 * time.Second); err != nil {
 		t.Fatalf("never reconverged after rf-server restart: %v", err)
+	}
+}
+
+// TestMultiASInterDomainColdBoot is the inter-domain acceptance bar: a ring
+// of three ring-shaped ASes cold-boots — zero manual configuration beyond
+// the AS annotation and host list — to full inter-domain reachability.
+// Every VM runs bgpd next to ospfd, border links come up OSPF-passive with
+// eBGP sessions, same-AS VMs mesh over iBGP loopbacks, and every host pair
+// across AS boundaries exchanges traffic.
+func TestMultiASInterDomainColdBoot(t *testing.T) {
+	g := topo.ASRing(3, 3)  // 9 switches, ASes 64512..64514, 3 border links
+	hosts := []int{1, 4, 7} // one host per AS
+	d, err := NewDeployment(fastOptions(g, hosts...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AwaitConverged(120 * time.Second); err != nil {
+		t.Fatalf("inter-domain convergence: %v", err)
+	}
+	if d.Partitioned() {
+		t.Fatal("healthy multi-AS network reports a partition")
+	}
+
+	// Every VM in an AS runs a bgpd speaker; border routers hold an
+	// Established eBGP session and the generated bgpd.conf names it.
+	for _, n := range g.Nodes() {
+		vm, ok := d.platform.VM(DPIDForNode(n.ID))
+		if !ok || vm.Router().BGP() == nil {
+			t.Fatalf("node %d: no bgpd", n.ID)
+		}
+	}
+	files, ok := d.Platform().ConfigFiles(DPIDForNode(0))
+	if !ok || !strings.Contains(files["bgpd.conf"], "router bgp 64512") {
+		t.Fatalf("border router bgpd.conf not generated:\n%s", files["bgpd.conf"])
+	}
+	if !strings.Contains(files["bgpd.conf"], "redistribute ospf") {
+		t.Fatalf("bgpd.conf missing redistribution:\n%s", files["bgpd.conf"])
+	}
+	if !strings.Contains(files["ospfd.conf"], "passive-interface") {
+		t.Fatalf("border ospfd.conf missing passive-interface:\n%s", files["ospfd.conf"])
+	}
+
+	// Cross-AS host reachability, every directed pair.
+	for _, a := range hosts {
+		for _, b := range hosts {
+			if a == b {
+				continue
+			}
+			ha, _ := d.Host(a)
+			hb, _ := d.Host(b)
+			deadline := time.Now().Add(20 * time.Second)
+			var lastErr error
+			for {
+				if _, lastErr = ha.Ping(hb.Addr(), 2*time.Second); lastErr == nil {
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("host %d cannot reach host %d across AS boundary: %v", a, b, lastErr)
+				}
+			}
+		}
+	}
+
+	// The learned inter-domain routes carry the BGP administrative
+	// distances: an interior VM (node 2, AS 64512) reaches a remote AS's
+	// host subnet via iBGP.
+	vm2, _ := d.platform.VM(DPIDForNode(2))
+	rt, ok := vm2.RIB().Lookup(netip.MustParseAddr("10.5.0.100"))
+	if !ok {
+		t.Fatal("interior VM has no route to the remote AS host subnet")
+	}
+	if rt.Source.String() != "ibgp" && rt.Source.String() != "ebgp" {
+		t.Fatalf("remote host subnet learned via %v, want BGP", rt.Source)
+	}
+}
+
+// TestMultiASBorderFailureReroutesViaBackupAS cuts the AS0–AS1 border of a
+// 3-AS ring: traffic between the two domains must re-select the path through
+// the backup AS, then re-optimize when the border heals.
+func TestMultiASBorderFailureReroutesViaBackupAS(t *testing.T) {
+	g := topo.ASRing(3, 3)
+	border01 := -1
+	for i, l := range g.Links() {
+		if g.IsBorderLink(i) && g.AS(l.A) == 64512 && g.AS(l.B) == 64513 {
+			border01 = i
+		}
+	}
+	if border01 < 0 {
+		t.Fatal("no AS0-AS1 border link found")
+	}
+	hosts := []int{1, 4}
+	d, err := NewDeployment(fastOptions(g, hosts...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AwaitConverged(120 * time.Second); err != nil {
+		t.Fatalf("initial convergence: %v", err)
+	}
+
+	if err := d.SetLinkUp(border01, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AwaitConverged(120 * time.Second); err != nil {
+		t.Fatalf("convergence after border cut: %v", err)
+	}
+	if d.Partitioned() {
+		t.Fatal("border cut must not partition the AS ring (backup AS exists)")
+	}
+	h1, _ := d.Host(1)
+	h4, _ := d.Host(4)
+	deadline := time.Now().Add(20 * time.Second)
+	var lastErr error
+	for {
+		if _, lastErr = h1.Ping(h4.Addr(), 2*time.Second); lastErr == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no path via backup AS after border cut: %v", lastErr)
+		}
+	}
+
+	if err := d.SetLinkUp(border01, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AwaitConverged(120 * time.Second); err != nil {
+		t.Fatalf("convergence after border heal: %v", err)
+	}
+
+	// The border session loss must have charged flap damping, and that
+	// state must have survived the discovery pipeline's neighbor
+	// remove/re-add cycle (the Downs counter is restored with the peer).
+	vm0, _ := d.platform.VM(DPIDForNode(0))
+	sawDown := false
+	for _, sess := range vm0.Router().BGP().Sessions() {
+		if !sess.IBGP && sess.Downs >= 1 {
+			sawDown = true
+		}
+	}
+	if !sawDown {
+		t.Fatal("border session loss left no damping trace — the penalty died with the deconfigured neighbor")
 	}
 }

@@ -269,7 +269,25 @@ func (d *Deployment) build() error {
 	}
 	d.tc, err = NewTopologyController(d.clk, d.disc, d.topoCtl, d.rpcCli,
 		d.opts.Pool, 30, admin, recOpts...)
-	return err
+	if err != nil {
+		return err
+	}
+	// AS annotations from the topology become administrator input to the
+	// controller: switch and link declarations carry them, and the
+	// RF-controller derives every VM's BGP configuration from there.
+	asns := make(map[uint64]uint32)
+	for _, n := range g.Nodes() {
+		if n.AS > 0xffff {
+			// Reject here, not deep in the VM boot path, where the error
+			// would put the reconciler into a permanent retry loop.
+			return fmt.Errorf("core: node %d AS %d exceeds 16 bits (the BGP engine speaks classic 2-byte ASNs)", n.ID, n.AS)
+		}
+		if n.AS != 0 {
+			asns[DPIDForNode(n.ID)] = n.AS
+		}
+	}
+	d.tc.SetASNs(asns)
+	return nil
 }
 
 // Start connects everything and begins automatic configuration. It returns

@@ -334,7 +334,11 @@ func (d *Deployment) convergenceGap() string {
 	for _, l := range d.disc.Links() {
 		discovered[l] = true
 	}
-	liveDeg := make([]int, d.graph.NumNodes())
+	// Live degrees split by domain role: OSPF owns intra-AS adjacencies,
+	// BGP owns border sessions. On a flat (unannotated) topology every link
+	// is intra-AS and the border side vanishes.
+	liveIntra := make([]int, d.graph.NumNodes())
+	liveBorder := make([]int, d.graph.NumNodes())
 	for i, l := range d.graph.Links() {
 		key := discovery.Link{
 			ADPID: DPIDForNode(l.A), APort: uint16(l.APort),
@@ -346,21 +350,47 @@ func (d *Deployment) convergenceGap() string {
 				i, key, up, discovered[key])
 		}
 		if up {
-			liveDeg[l.A]++
-			liveDeg[l.B]++
+			if d.graph.IsBorderLink(i) {
+				liveBorder[l.A]++
+				liveBorder[l.B]++
+			} else {
+				liveIntra[l.A]++
+				liveIntra[l.B]++
+			}
 		}
 	}
+	comp := d.liveComponentIDs()
 	for _, n := range d.graph.Nodes() {
 		vm, ok := d.platform.VM(DPIDForNode(n.ID))
 		if !ok {
 			return fmt.Sprintf("node %d has no VM", n.ID)
 		}
-		if full := vm.Router().OSPF().FullNeighbors(); full != liveDeg[n.ID] {
+		if full := vm.Router().OSPF().FullNeighbors(); full != liveIntra[n.ID] {
 			return fmt.Sprintf("node %d OSPF %d/%d live adjacencies Full; ports=%v neighbors=%q",
-				n.ID, full, liveDeg[n.ID], vm.ConfiguredPorts(), vm.Router().ShowOSPFNeighbors())
+				n.ID, full, liveIntra[n.ID], vm.ConfiguredPorts(), vm.Router().ShowOSPFNeighbors())
+		}
+		if n.AS != 0 {
+			speaker := vm.Router().BGP()
+			if speaker == nil {
+				return fmt.Sprintf("node %d (AS %d) has no bgpd", n.ID, n.AS)
+			}
+			// Exactly one Established session per live border link plus one
+			// per same-AS peer in the same live component (the iBGP mesh).
+			// Sessions across a partition or a dead border must have dropped
+			// (hold expiry) — stale Established sessions block convergence,
+			// mirroring the stale-adjacency rule above.
+			want := liveBorder[n.ID]
+			for _, m := range d.graph.Nodes() {
+				if m.ID != n.ID && m.AS == n.AS && comp[m.ID] == comp[n.ID] {
+					want++
+				}
+			}
+			if got := speaker.EstablishedCount(); got != want {
+				return fmt.Sprintf("node %d (AS %d) BGP %d/%d sessions Established: %+v",
+					n.ID, n.AS, got, want, speaker.Sessions())
+			}
 		}
 	}
-	comp := d.liveComponentIDs()
 	for node, gw := range d.hostGWs {
 		vm, ok := d.platform.VM(DPIDForNode(node))
 		if !ok {

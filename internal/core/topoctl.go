@@ -54,6 +54,10 @@ type TopologyController struct {
 	mu       sync.Mutex
 	linkNets map[discovery.Link][2]netip.Prefix // allocated link endpoint addrs
 	hosts    map[uint64][]HostAttachment
+	// asns annotates datapaths with their autonomous system (empty = flat
+	// single-domain). Declared switch and link messages carry it so the
+	// RF-controller can derive per-VM BGP configuration.
+	asns map[uint64]uint32
 
 	stopOnce sync.Once
 	stop     chan struct{}
@@ -93,6 +97,7 @@ func NewTopologyController(clk clock.Clock, disc *discovery.Discovery, ctl *ctlk
 		store:    intent.NewStore(),
 		linkNets: make(map[discovery.Link][2]netip.Prefix),
 		hosts:    make(map[uint64][]HostAttachment),
+		asns:     make(map[uint64]uint32),
 		stop:     make(chan struct{}),
 		Errs:     make(chan error, 64),
 	}
@@ -102,6 +107,24 @@ func NewTopologyController(clk clock.Clock, disc *discovery.Discovery, ctl *ctlk
 	opts := append([]intent.Option{intent.WithOnError(tc.report)}, recOpts...)
 	tc.rec = intent.NewReconciler(clk, tc.store, client, opts...)
 	return tc, nil
+}
+
+// SetASNs installs the administrator's AS annotation (dpid → AS number).
+// Call before Run; an empty or nil map keeps the flat single-domain
+// behaviour. Like the host attachments, this is part of the "very small part
+// of configurations from the administrator" — everything else is derived.
+func (tc *TopologyController) SetASNs(asns map[uint64]uint32) {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	for dpid, asn := range asns {
+		tc.asns[dpid] = asn
+	}
+}
+
+func (tc *TopologyController) asnOf(dpid uint64) uint32 {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	return tc.asns[dpid]
 }
 
 // Run consumes discovery events and starts the reconciler until Stop. It
@@ -163,7 +186,7 @@ func (tc *TopologyController) handle(ev discovery.Event) {
 		dpid := ev.DPID
 		// The paper's switch configuration message: dpid + port count.
 		tc.store.Declare(intent.SwitchKey(dpid),
-			rpcconf.SwitchUp(dpid, len(ev.Ports)), rpcconf.SwitchDown(dpid))
+			rpcconf.SwitchUpAS(dpid, len(ev.Ports), tc.asnOf(dpid)), rpcconf.SwitchDown(dpid))
 		tc.mu.Lock()
 		hosts := tc.hosts[dpid]
 		tc.mu.Unlock()
@@ -196,7 +219,8 @@ func (tc *TopologyController) handle(ev discovery.Event) {
 		}
 		tc.mu.Unlock()
 		tc.store.Declare(intent.LinkKey(l.ADPID, l.APort, l.BDPID, l.BPort),
-			rpcconf.LinkUp(l.ADPID, l.APort, l.BDPID, l.BPort, ends[0], ends[1]),
+			rpcconf.LinkUpAS(l.ADPID, l.APort, l.BDPID, l.BPort, ends[0], ends[1],
+				tc.asnOf(l.ADPID), tc.asnOf(l.BDPID)),
 			rpcconf.LinkDown(l.ADPID, l.APort, l.BDPID, l.BPort))
 	case discovery.LinkDown:
 		l := ev.Link

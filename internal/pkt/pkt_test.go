@@ -392,3 +392,41 @@ func TestLLDPRoundTripQuick(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestTCPRoundTrip(t *testing.T) {
+	seg := &TCP{SrcPort: 179, DstPort: 179, Seq: 42, Ack: 7,
+		Flags: TCPPsh | TCPAck, Window: 512, Payload: []byte("bgp message")}
+	got, err := DecodeTCP(seg.Marshal(ipA, ipB), ipA, ipB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SrcPort != 179 || got.DstPort != 179 || got.Seq != 42 || got.Ack != 7 ||
+		got.Flags != (TCPPsh|TCPAck) || got.Window != 512 ||
+		string(got.Payload) != "bgp message" {
+		t.Fatalf("tcp mismatch: %+v", got)
+	}
+}
+
+func TestTCPChecksumDetectsCorruption(t *testing.T) {
+	b := (&TCP{SrcPort: 179, DstPort: 179, Payload: []byte("x")}).Marshal(ipA, ipB)
+	b[4]++ // corrupt seq after checksum computed
+	if _, err := DecodeTCP(b, ipA, ipB); err == nil {
+		t.Fatal("corrupted segment accepted")
+	}
+	// Wrong pseudo-header addresses must also fail.
+	other := netip.MustParseAddr("198.51.100.7")
+	if _, err := DecodeTCP((&TCP{Payload: []byte("y")}).Marshal(ipA, ipB), ipA, other); err == nil {
+		t.Fatal("segment accepted under wrong pseudo-header")
+	}
+}
+
+func TestTCPRejectsTruncation(t *testing.T) {
+	if _, err := DecodeTCP(make([]byte, TCPHeaderLen-1), ipA, ipB); err == nil {
+		t.Fatal("short segment accepted")
+	}
+	b := (&TCP{Payload: []byte("z")}).Marshal(ipA, ipB)
+	b[12] = 0xf0 // data offset past the segment end
+	if _, err := DecodeTCP(b, netip.Addr{}, netip.Addr{}); err == nil {
+		t.Fatal("bad data offset accepted")
+	}
+}

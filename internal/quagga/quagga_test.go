@@ -1,13 +1,18 @@
 package quagga
 
 import (
+	"flag"
 	"net/netip"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
 	"routeflow/internal/rib"
 )
+
+var updateGolden = flag.Bool("update", false, "rewrite golden configuration files")
 
 func sampleConfig() *Config {
 	return &Config{
@@ -64,6 +69,88 @@ func TestBGPConfRendering(t *testing.T) {
 	c.BGP = nil
 	if !strings.Contains(c.BGPConf(), "bgp disabled") {
 		t.Fatal("disabled BGP placeholder missing")
+	}
+}
+
+// goldenConfig is a border router's full configuration: OSPF-active and
+// passive interfaces, BGP networks, neighbors and redistribution — every
+// directive the three renderers can emit.
+func goldenConfig() *Config {
+	return &Config{
+		Hostname: "vm-000000000000000a",
+		RouterID: netip.MustParseAddr("10.255.0.7"),
+		Interfaces: []InterfaceConfig{
+			{Name: "eth1", Address: netip.MustParsePrefix("172.16.0.1/30"), Cost: 10},
+			{Name: "eth2", Address: netip.MustParsePrefix("172.16.0.5/30"), Cost: 20, Passive: true},
+			{Name: "eth3", Address: netip.MustParsePrefix("10.7.0.1/24"), Cost: 10},
+		},
+		Networks: []netip.Prefix{
+			netip.MustParsePrefix("172.16.0.0/16"),
+			netip.MustParsePrefix("10.7.0.0/24"),
+		},
+		BGP: &BGPConfig{
+			ASN: 64512,
+			Neighbors: []BGPNeighbor{
+				{Addr: netip.MustParseAddr("172.16.0.6"), ASN: 64513},
+				{Addr: netip.MustParseAddr("10.255.0.9"), ASN: 64512},
+			},
+			Networks:     []netip.Prefix{netip.MustParsePrefix("10.255.0.7/32")},
+			Redistribute: []string{"ospf", "connected"},
+		},
+	}
+}
+
+// TestGoldenConfRendering pins the byte-exact output of all three
+// configuration renderers against checked-in golden files (refresh
+// deliberately with `go test ./internal/quagga -run Golden -update`).
+func TestGoldenConfRendering(t *testing.T) {
+	c := goldenConfig()
+	renders := map[string]string{
+		"zebra.conf.golden": c.ZebraConf(),
+		"ospfd.conf.golden": c.OSPFConf(),
+		"bgpd.conf.golden":  c.BGPConf(),
+	}
+	for name, got := range renders {
+		path := filepath.Join("testdata", name)
+		if *updateGolden {
+			if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v (run with -update to create)", name, err)
+		}
+		if got != string(want) {
+			t.Errorf("%s drifted from golden file:\n--- got ---\n%s--- want ---\n%s",
+				name, got, want)
+		}
+	}
+	// The golden configuration must round-trip through the parser.
+	parsed, err := Parse(renders["zebra.conf.golden"] + renders["ospfd.conf.golden"] + renders["bgpd.conf.golden"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := parsed.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if parsed.BGP == nil || parsed.BGP.ASN != 64512 ||
+		len(parsed.BGP.Neighbors) != 2 || len(parsed.BGP.Networks) != 1 ||
+		len(parsed.BGP.Redistribute) != 2 {
+		t.Fatalf("bgp round trip = %+v", parsed.BGP)
+	}
+	var passive int
+	for _, ic := range parsed.Interfaces {
+		if ic.Passive {
+			passive++
+			if ic.Name != "eth2" {
+				t.Fatalf("wrong passive interface %q", ic.Name)
+			}
+		}
+	}
+	if passive != 1 {
+		t.Fatalf("%d passive interfaces round-tripped, want 1", passive)
 	}
 }
 

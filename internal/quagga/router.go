@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"routeflow/internal/bgp"
 	"routeflow/internal/clock"
 	"routeflow/internal/ospf"
 	"routeflow/internal/rib"
@@ -18,20 +19,35 @@ type Timers struct {
 	Hello    time.Duration
 	Dead     time.Duration
 	SPFDelay time.Duration
+	// BGP session timers (zero = RFC 4271 defaults): the hold time bounds
+	// session liveness (keepalives go out every hold/3) and connect-retry
+	// paces session (re)establishment. BGPDampHalfLife is the flap-damping
+	// penalty half-life (zero = 2× hold).
+	BGPHold         time.Duration
+	BGPConnectRetry time.Duration
+	BGPDampHalfLife time.Duration
 }
 
+// LoopbackIface is the conventional name of the loopback a BGP-enabled VM
+// carries: the router ID as a /32, advertised into OSPF as a stub so iBGP
+// sessions can peer on loopbacks like real deployments do.
+const LoopbackIface = "lo"
+
 // Router is the assembled routing control platform of one VM: a RIB shared
-// by a zebra-like connected-route manager and an ospfd instance built from
-// the parsed configuration files.
+// by a zebra-like connected-route manager, an ospfd instance and (when the
+// configuration carries a `router bgp` stanza) a bgpd speaker, all built
+// from the parsed configuration files.
 type Router struct {
 	cfg  *Config
 	clk  clock.Clock
 	rib  *rib.RIB
 	ospf *ospf.Instance
+	bgp  *bgp.Speaker
 
 	mu       sync.Mutex
 	attached map[string]InterfaceConfig
 	ospfIfcs map[string]*ospf.Interface
+	bgpSend  bgp.SendFunc
 }
 
 // NewRouter builds a router from configuration (parse + validate first).
@@ -54,9 +70,95 @@ func NewRouter(cfg *Config, clk clock.Clock, timers Timers) (*Router, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Router{cfg: cfg, clk: clk, rib: r, ospf: inst,
+	rt := &Router{cfg: cfg, clk: clk, rib: r, ospf: inst,
 		attached: make(map[string]InterfaceConfig),
-		ospfIfcs: make(map[string]*ospf.Interface)}, nil
+		ospfIfcs: make(map[string]*ospf.Interface)}
+	if cfg.BGP != nil {
+		speaker, err := bgp.New(bgp.Config{
+			ASN:          cfg.BGP.ASN,
+			RouterID:     cfg.RouterID,
+			RIB:          r,
+			Clock:        clk,
+			Send:         rt.sendBGP,
+			LocalAddr:    rt.bgpLocalAddr,
+			HoldTime:     timers.BGPHold,
+			ConnectRetry: timers.BGPConnectRetry,
+			DampHalfLife: timers.BGPDampHalfLife,
+			Redistribute: redistributeSources(cfg.BGP.Redistribute),
+			Networks:     cfg.BGP.Networks,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rt.bgp = speaker
+		for _, n := range cfg.BGP.Neighbors {
+			speaker.AddNeighbor(n.Addr, n.ASN)
+		}
+		// The loopback: connected /32 on the router ID plus an OSPF stub
+		// advertisement, so iBGP peers can reach us by router ID through the
+		// IGP. The interface has no port; its OSPF side never forms an
+		// adjacency (send is a no-op).
+		loop := netip.PrefixFrom(cfg.RouterID, 32)
+		if err := r.Add(rib.Route{Prefix: loop, Iface: LoopbackIface,
+			Source: rib.SourceConnected}); err != nil {
+			return nil, err
+		}
+		if _, err := inst.AddInterface(LoopbackIface, loop, 1,
+			func(netip.Addr, []byte) {}); err != nil {
+			return nil, err
+		}
+	}
+	return rt, nil
+}
+
+// redistributeSources maps bgpd.conf redistribute statements to RIB sources.
+func redistributeSources(protos []string) []rib.Source {
+	var out []rib.Source
+	for _, p := range protos {
+		switch p {
+		case "connected":
+			out = append(out, rib.SourceConnected)
+		case "static":
+			out = append(out, rib.SourceStatic)
+		case "ospf":
+			out = append(out, rib.SourceOSPF)
+		}
+	}
+	return out
+}
+
+// sendBGP forwards a speaker message through the transport installed by the
+// VM (SetBGPTransport). Messages before the transport exists are dropped —
+// the FSM retries.
+func (r *Router) sendBGP(src, dst netip.Addr, payload []byte) {
+	r.mu.Lock()
+	send := r.bgpSend
+	r.mu.Unlock()
+	if send != nil {
+		send(src, dst, payload)
+	}
+}
+
+// SetBGPTransport installs the function that carries BGP messages onto the
+// network (the VM's TCP-like channel originate path).
+func (r *Router) SetBGPTransport(send bgp.SendFunc) {
+	r.mu.Lock()
+	r.bgpSend = send
+	r.mu.Unlock()
+}
+
+// bgpLocalAddr picks the session-local address for a peer: the interface
+// address sharing a subnet with the peer (directly connected eBGP), else the
+// router ID (loopback iBGP peering).
+func (r *Router) bgpLocalAddr(peer netip.Addr) netip.Addr {
+	r.cfg.mu.RLock()
+	defer r.cfg.mu.RUnlock()
+	for _, ic := range r.cfg.Interfaces {
+		if ic.Address.IsValid() && ic.Address.Masked().Contains(peer) {
+			return ic.Address.Addr()
+		}
+	}
+	return r.cfg.RouterID
 }
 
 // RIB returns the router's RIB (the VM's FIB view).
@@ -64,6 +166,73 @@ func (r *Router) RIB() *rib.RIB { return r.rib }
 
 // OSPF returns the ospfd instance.
 func (r *Router) OSPF() *ospf.Instance { return r.ospf }
+
+// BGP returns the bgpd speaker, or nil when the configuration has no
+// `router bgp` stanza.
+func (r *Router) BGP() *bgp.Speaker { return r.bgp }
+
+// DeliverBGP hands a received BGP message (port-179 TCP payload) to bgpd.
+func (r *Router) DeliverBGP(src netip.Addr, payload []byte) {
+	if r.bgp != nil {
+		r.bgp.Deliver(src, payload)
+	}
+}
+
+// AddBGPNeighbor upserts a neighbor into the running configuration and the
+// live speaker (the RPC server reconfigures border VMs as eBGP links are
+// discovered and iBGP meshes grow). No-op on a BGP-less router.
+func (r *Router) AddBGPNeighbor(addr netip.Addr, remoteASN uint32) {
+	if r.bgp == nil {
+		return
+	}
+	r.cfg.mu.Lock()
+	found := false
+	for i, n := range r.cfg.BGP.Neighbors {
+		if n.Addr == addr {
+			r.cfg.BGP.Neighbors[i].ASN = remoteASN
+			found = true
+			break
+		}
+	}
+	if !found {
+		r.cfg.BGP.Neighbors = append(r.cfg.BGP.Neighbors, BGPNeighbor{Addr: addr, ASN: remoteASN})
+	}
+	r.cfg.mu.Unlock()
+	r.bgp.AddNeighbor(addr, remoteASN)
+}
+
+// RemoveBGPNeighbor removes a neighbor from configuration and speaker.
+func (r *Router) RemoveBGPNeighbor(addr netip.Addr) {
+	if r.bgp == nil {
+		return
+	}
+	r.cfg.mu.Lock()
+	nbs := r.cfg.BGP.Neighbors[:0]
+	for _, n := range r.cfg.BGP.Neighbors {
+		if n.Addr != addr {
+			nbs = append(nbs, n)
+		}
+	}
+	r.cfg.BGP.Neighbors = nbs
+	r.cfg.mu.Unlock()
+	r.bgp.RemoveNeighbor(addr)
+}
+
+// IsLocalAddr reports whether addr is one of the router's own addresses
+// (any configured interface or the loopback of a BGP-enabled router).
+func (r *Router) IsLocalAddr(addr netip.Addr) bool {
+	if r.bgp != nil && addr == r.cfg.RouterID {
+		return true
+	}
+	r.cfg.mu.RLock()
+	defer r.cfg.mu.RUnlock()
+	for _, ic := range r.cfg.Interfaces {
+		if ic.Address.IsValid() && ic.Address.Addr() == addr {
+			return true
+		}
+	}
+	return false
+}
 
 // Config returns the router's configuration.
 func (r *Router) Config() *Config { return r.cfg }
@@ -118,7 +287,7 @@ func (r *Router) Attach(name string, send ospf.SendFunc) (*ospf.Interface, error
 	}); err != nil {
 		return nil, err
 	}
-	if !r.ospfEnabled(ic.Address.Addr()) {
+	if ic.Passive || !r.ospfEnabled(ic.Address.Addr()) {
 		return nil, nil
 	}
 	ifc, err := r.ospf.AddInterface(name, ic.Address, ic.Cost, send)
@@ -203,10 +372,20 @@ func (r *Router) InterfaceAddr(name string) (netip.Prefix, bool) {
 }
 
 // Start launches the daemons.
-func (r *Router) Start() { r.ospf.Start() }
+func (r *Router) Start() {
+	r.ospf.Start()
+	if r.bgp != nil {
+		r.bgp.Start()
+	}
+}
 
 // Stop halts the daemons.
-func (r *Router) Stop() { r.ospf.Stop() }
+func (r *Router) Stop() {
+	r.ospf.Stop()
+	if r.bgp != nil {
+		r.bgp.Stop()
+	}
+}
 
 // ShowIPRoute renders the RIB in vtysh `show ip route` style.
 func (r *Router) ShowIPRoute() string {
@@ -216,6 +395,8 @@ func (r *Router) ShowIPRoute() string {
 		rib.SourceConnected: "C",
 		rib.SourceStatic:    "S",
 		rib.SourceOSPF:      "O",
+		rib.SourceEBGP:      "B",
+		rib.SourceIBGP:      "B",
 	}
 	for _, rt := range r.rib.Best() {
 		code := codes[rt.Source]

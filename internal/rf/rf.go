@@ -73,9 +73,9 @@ type Platform struct {
 
 	mu        sync.Mutex
 	vms       map[uint64]*vnet.VM
+	asns      map[uint64]uint32 // AS per switch (0 = flat domain)
 	addrIndex map[netip.Addr]addrOwner
 	flows     map[uint64]map[netip.Prefix]*openflow.FlowMod // desired state
-	files     map[uint64]map[string]string                  // generated config files
 	// dirty marks switches whose flow state may have diverged from desired
 	// (a non-blocking send was dropped); the repair loop resyncs them.
 	dirty map[uint64]bool
@@ -107,9 +107,9 @@ func New(cfg Config) (*Platform, error) {
 		clk:       cfg.Clock,
 		rids:      ipam.NewRouterIDs(cfg.RouterIDStart),
 		vms:       make(map[uint64]*vnet.VM),
+		asns:      make(map[uint64]uint32),
 		addrIndex: make(map[netip.Addr]addrOwner),
 		flows:     make(map[uint64]map[netip.Prefix]*openflow.FlowMod),
-		files:     make(map[uint64]map[string]string),
 		dirty:     make(map[uint64]bool),
 		flowGen:   make(map[uint64]uint64),
 		stop:      make(chan struct{}),
@@ -166,19 +166,19 @@ func (p *Platform) Configured(dpid uint64) bool {
 }
 
 // ConfigFiles returns the generated routing configuration files of a VM
-// (zebra.conf, ospfd.conf, bgpd.conf), as written by the RPC server.
+// (zebra.conf, ospfd.conf, bgpd.conf) — the files the paper's RPC server
+// writes. They are rendered from the VM's running configuration, so
+// everything applied since creation (boot-deferred interfaces, BGP
+// neighbors learned as border links came up) is always reflected. ok is
+// false once the VM is gone.
 func (p *Platform) ConfigFiles(dpid uint64) (map[string]string, bool) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	f, ok := p.files[dpid]
-	if !ok {
+	vm := p.vms[dpid]
+	p.mu.Unlock()
+	if vm == nil {
 		return nil, false
 	}
-	out := make(map[string]string, len(f))
-	for k, v := range f {
-		out[k] = v
-	}
-	return out, true
+	return vm.Router().Config().Files(), true
 }
 
 // RPCHandler returns the configuration-message handler for rpcconf.Server —
@@ -221,6 +221,7 @@ func (p *Platform) handleSwitchUp(m *rpcconf.Message) error {
 		Clock:     p.clk,
 		BootDelay: p.cfg.BootDelay,
 		Timers:    p.cfg.Timers,
+		ASN:       m.ASN,
 	})
 	if err != nil {
 		return fmt.Errorf("rf: creating VM for %016x: %w", m.DPID, err)
@@ -239,28 +240,59 @@ func (p *Platform) handleSwitchUp(m *rpcconf.Message) error {
 
 	p.mu.Lock()
 	p.vms[dpid] = vm
+	p.asns[dpid] = m.ASN
+	var ibgpPeers []*vnet.VM
+	if m.ASN != 0 {
+		// Full-mesh iBGP inside the AS: peer the new VM with every existing
+		// same-AS VM on loopbacks (router IDs), both directions. Route
+		// reflection is the road-mapped follow-on once meshes grow.
+		for peerDPID, peerASN := range p.asns {
+			if peerDPID != dpid && peerASN == m.ASN {
+				ibgpPeers = append(ibgpPeers, p.vms[peerDPID])
+			}
+		}
+	}
 	if p.flows[dpid] == nil {
 		p.flows[dpid] = make(map[netip.Prefix]*openflow.FlowMod)
 	}
-	p.regenFilesLocked(dpid, vm)
 	p.mu.Unlock()
+	rid := vm.Router().Config().RouterID
+	for _, peer := range ibgpPeers {
+		peerRID := peer.Router().Config().RouterID
+		vm.Router().AddBGPNeighbor(peerRID, m.ASN)
+		peer.Router().AddBGPNeighbor(rid, m.ASN)
+	}
 	return nil
 }
 
 func (p *Platform) handleSwitchDown(m *rpcconf.Message) error {
 	p.mu.Lock()
 	vm, ok := p.vms[m.DPID]
+	asn := p.asns[m.DPID]
 	delete(p.vms, m.DPID)
+	delete(p.asns, m.DPID)
 	delete(p.flows, m.DPID)
 	p.flowGen[m.DPID]++
-	delete(p.files, m.DPID)
 	for a, o := range p.addrIndex {
 		if o.dpid == m.DPID {
 			delete(p.addrIndex, a)
 		}
 	}
+	var ibgpPeers []*vnet.VM
+	if ok && asn != 0 {
+		for peerDPID, peerASN := range p.asns {
+			if peerASN == asn {
+				ibgpPeers = append(ibgpPeers, p.vms[peerDPID])
+			}
+		}
+	}
 	p.mu.Unlock()
 	if ok {
+		// Unpeer the departed VM from the AS's iBGP mesh.
+		rid := vm.Router().Config().RouterID
+		for _, peer := range ibgpPeers {
+			peer.Router().RemoveBGPNeighbor(rid)
+		}
 		vm.Destroy()
 		if cb := p.cfg.OnStatus; cb != nil {
 			cb(m.DPID, vnet.StateDestroyed)
@@ -285,17 +317,29 @@ func (p *Platform) handleLinkUp(m *rpcconf.Message) error {
 	if !okA || !okB {
 		return fmt.Errorf("rf: link-up %016x-%016x references unknown VM", m.ADPID, m.BDPID)
 	}
-	if err := vmA.ConfigureInterface(m.APort, aAddr, DefaultLinkCost, p.cfg.Pool); err != nil {
-		return err
-	}
-	if err := vmB.ConfigureInterface(m.BPort, bAddr, DefaultLinkCost, p.cfg.Pool); err != nil {
-		return err
+	if m.AASN != 0 && m.BASN != 0 && m.AASN != m.BASN {
+		// eBGP border link: OSPF stays inside each domain (passive
+		// interfaces), and each VM gains the far end as an eBGP neighbor —
+		// the multi-AS analogue of the paper's link configuration message.
+		if err := vmA.ConfigureBorderInterface(m.APort, aAddr, DefaultLinkCost); err != nil {
+			return err
+		}
+		if err := vmB.ConfigureBorderInterface(m.BPort, bAddr, DefaultLinkCost); err != nil {
+			return err
+		}
+		vmA.Router().AddBGPNeighbor(bAddr.Addr(), m.BASN)
+		vmB.Router().AddBGPNeighbor(aAddr.Addr(), m.AASN)
+	} else {
+		if err := vmA.ConfigureInterface(m.APort, aAddr, DefaultLinkCost, p.cfg.Pool); err != nil {
+			return err
+		}
+		if err := vmB.ConfigureInterface(m.BPort, bAddr, DefaultLinkCost, p.cfg.Pool); err != nil {
+			return err
+		}
 	}
 	p.mu.Lock()
 	p.addrIndex[aAddr.Addr()] = addrOwner{m.ADPID, m.APort}
 	p.addrIndex[bAddr.Addr()] = addrOwner{m.BDPID, m.BPort}
-	p.regenFilesLocked(m.ADPID, vmA)
-	p.regenFilesLocked(m.BDPID, vmB)
 	p.mu.Unlock()
 	return nil
 }
@@ -305,6 +349,16 @@ func (p *Platform) handleLinkDown(m *rpcconf.Message) error {
 	vmA := p.vms[m.ADPID]
 	vmB := p.vms[m.BDPID]
 	p.mu.Unlock()
+	// Unpeer any eBGP session that ran over the link before the addresses
+	// go away (no-op on intra-AS links and BGP-less VMs).
+	if vmA != nil && vmB != nil {
+		if addr, ok := vmA.InterfaceAddr(m.APort); ok {
+			vmB.Router().RemoveBGPNeighbor(addr.Addr())
+		}
+		if addr, ok := vmB.InterfaceAddr(m.BPort); ok {
+			vmA.Router().RemoveBGPNeighbor(addr.Addr())
+		}
+	}
 	if vmA != nil {
 		if addr, ok := vmA.InterfaceAddr(m.APort); ok {
 			p.unindexAddr(addr.Addr(), m.ADPID, m.APort)
@@ -350,7 +404,6 @@ func (p *Platform) handleHostUp(m *rpcconf.Message) error {
 	}
 	p.mu.Lock()
 	p.addrIndex[gw.Addr()] = addrOwner{m.ADPID, m.APort}
-	p.regenFilesLocked(m.ADPID, vm)
 	p.mu.Unlock()
 	return nil
 }
@@ -367,13 +420,6 @@ func (p *Platform) handleHostDown(m *rpcconf.Message) error {
 	}
 	vm.DeconfigureInterface(m.APort)
 	return nil
-}
-
-// regenFilesLocked refreshes the VM's generated configuration files (the
-// paper's "writes routing configuration files (e.g. ospf.conf, zebra.conf,
-// bgp.conf)"). Callers hold p.mu.
-func (p *Platform) regenFilesLocked(dpid uint64, vm *vnet.VM) {
-	p.files[dpid] = vm.Router().Config().Files()
 }
 
 // onSwitchUp raises the miss send length so punted frames arrive whole, and

@@ -18,11 +18,15 @@ import (
 // administrative distance (lower wins), mirroring Quagga's defaults.
 type Source int
 
-// Route sources.
+// Route sources. The values are Quagga's default administrative distances,
+// which pins the cross-source preference order:
+// Connected < Static < eBGP < OSPF < iBGP.
 const (
 	SourceConnected Source = 0
 	SourceStatic    Source = 1
+	SourceEBGP      Source = 20
 	SourceOSPF      Source = 110
+	SourceIBGP      Source = 200
 )
 
 // String names the source.
@@ -32,8 +36,12 @@ func (s Source) String() string {
 		return "connected"
 	case SourceStatic:
 		return "static"
+	case SourceEBGP:
+		return "ebgp"
 	case SourceOSPF:
 		return "ospf"
+	case SourceIBGP:
+		return "ibgp"
 	default:
 		return fmt.Sprintf("proto-%d", int(s))
 	}

@@ -59,6 +59,69 @@ func TestAdminDistancePreference(t *testing.T) {
 	}
 }
 
+// TestCrossSourcePreferenceTable pins the full cross-source preference
+// order — Connected < Static < eBGP < OSPF < iBGP — before any protocol
+// engine depends on it. Every ordered pair of distinct sources is exercised
+// in both insertion orders.
+func TestCrossSourcePreferenceTable(t *testing.T) {
+	order := []Source{SourceConnected, SourceStatic, SourceEBGP, SourceOSPF, SourceIBGP}
+	names := []string{"connected", "static", "ebgp", "ospf", "ibgp"}
+	for i, s := range order {
+		if got := s.String(); got != names[i] {
+			t.Errorf("Source(%d).String() = %q, want %q", int(s), got, names[i])
+		}
+	}
+	for i, hi := range order {
+		for j, lo := range order {
+			if i == j {
+				continue
+			}
+			a := Route{Prefix: pfx("10.0.0.0/24"), NextHop: ip("1.1.1.1"), Source: hi}
+			b := Route{Prefix: pfx("10.0.0.0/24"), NextHop: ip("2.2.2.2"), Source: lo}
+			wantWin := hi
+			if j < i {
+				wantWin = lo
+			}
+			if got := better(a, b); got != (wantWin == hi) {
+				t.Errorf("better(%v, %v) = %v, want winner %v", hi, lo, got, wantWin)
+			}
+			// End-to-end through reselection, both insertion orders.
+			for _, routes := range [][]Route{{a, b}, {b, a}} {
+				r := New()
+				for _, rt := range routes {
+					if err := r.Add(rt); err != nil {
+						t.Fatal(err)
+					}
+				}
+				best, ok := r.Lookup(ip("10.0.0.9"))
+				if !ok || best.Source != wantWin {
+					t.Errorf("sources (%v, %v): best = %v, want %v", hi, lo, best.Source, wantWin)
+				}
+			}
+		}
+	}
+}
+
+// TestBGPSourceWithdrawal exercises the engine's withdraw-on-session-loss RIB
+// operation: purging one BGP source falls back to the next-best candidate.
+func TestBGPSourceWithdrawal(t *testing.T) {
+	r := New()
+	r.Add(Route{Prefix: pfx("10.7.0.0/24"), NextHop: ip("1.1.1.1"), Source: SourceEBGP})
+	r.Add(Route{Prefix: pfx("10.7.0.0/24"), NextHop: ip("2.2.2.2"), Source: SourceIBGP})
+	r.Add(Route{Prefix: pfx("10.7.0.0/24"), NextHop: ip("3.3.3.3"), Source: SourceOSPF, Metric: 5})
+	if rt, _ := r.Lookup(ip("10.7.0.1")); rt.Source != SourceEBGP {
+		t.Fatalf("best = %v, want ebgp", rt)
+	}
+	r.PurgeSource(SourceEBGP)
+	if rt, _ := r.Lookup(ip("10.7.0.1")); rt.Source != SourceOSPF {
+		t.Fatalf("best after eBGP purge = %v, want ospf", rt)
+	}
+	r.PurgeSource(SourceOSPF)
+	if rt, _ := r.Lookup(ip("10.7.0.1")); rt.Source != SourceIBGP {
+		t.Fatalf("best after ospf purge = %v, want ibgp", rt)
+	}
+}
+
 func TestMetricTiebreak(t *testing.T) {
 	r := New()
 	r.Add(Route{Prefix: pfx("10.2.0.0/16"), NextHop: ip("8.8.8.8"), Source: SourceOSPF, Metric: 30})

@@ -67,6 +67,15 @@ type Message struct {
 	BPort uint16 `json:"bPort,omitempty"`
 	AAddr string `json:"aAddr,omitempty"` // CIDR, e.g. "172.16.0.1/30"
 	BAddr string `json:"bAddr,omitempty"`
+
+	// AS annotations of the inter-domain pipeline. A switch message carries
+	// the switch's AS (its VM runs bgpd next to ospfd); a link message
+	// carries both endpoint ASes, and when they differ the link is an eBGP
+	// border: the interfaces go OSPF-passive and each VM gains the other as
+	// an eBGP neighbor. Zero means the flat single-domain default.
+	ASN  uint32 `json:"asn,omitempty"`
+	AASN uint32 `json:"aAsn,omitempty"`
+	BASN uint32 `json:"bAsn,omitempty"`
 }
 
 // AAddrPrefix parses AAddr.
@@ -376,6 +385,11 @@ func SwitchUp(dpid uint64, ports int) *Message {
 	return &Message{Kind: KindSwitchUp, DPID: dpid, Ports: ports}
 }
 
+// SwitchUpAS is SwitchUp with the switch's autonomous system annotated.
+func SwitchUpAS(dpid uint64, ports int, asn uint32) *Message {
+	return &Message{Kind: KindSwitchUp, DPID: dpid, Ports: ports, ASN: asn}
+}
+
 // SwitchDown builds the switch-removal message.
 func SwitchDown(dpid uint64) *Message {
 	return &Message{Kind: KindSwitchDown, DPID: dpid}
@@ -387,6 +401,14 @@ func LinkUp(aDPID uint64, aPort uint16, bDPID uint64, bPort uint16, aAddr, bAddr
 	return &Message{Kind: KindLinkUp,
 		ADPID: aDPID, APort: aPort, BDPID: bDPID, BPort: bPort,
 		AAddr: aAddr.String(), BAddr: bAddr.String()}
+}
+
+// LinkUpAS is LinkUp with both endpoint autonomous systems annotated.
+func LinkUpAS(aDPID uint64, aPort uint16, bDPID uint64, bPort uint16,
+	aAddr, bAddr netip.Prefix, aASN, bASN uint32) *Message {
+	m := LinkUp(aDPID, aPort, bDPID, bPort, aAddr, bAddr)
+	m.AASN, m.BASN = aASN, bASN
+	return m
 }
 
 // LinkDown builds the link-removal message.

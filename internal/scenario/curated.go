@@ -17,9 +17,46 @@ func gentle(s Spec) Spec {
 		Hello:    60 * time.Millisecond,
 		Dead:     300 * time.Millisecond,
 		SPFDelay: 10 * time.Millisecond,
+		// BGP hold is the same order as discovery's link-loss detection
+		// (LinkTTL), so a cut border session dies by whichever fires first —
+		// hold expiry or the administrative neighbor teardown. Flap damping
+		// charges both paths, and its state survives the teardown.
+		BGPHold:         300 * time.Millisecond,
+		BGPConnectRetry: 75 * time.Millisecond,
 	}
 	s.ConvergeTimeout = 120 * time.Second
 	return s
+}
+
+// slowDetect widens discovery's link TTL past the BGP hold time, so a cut
+// border link deterministically expires its session (hold timer) before the
+// control plane can deconfigure the neighbor.
+func slowDetect(s Spec) Spec {
+	s.LinkTTL = 3 * s.Timers.BGPHold
+	return s
+}
+
+// damped slows the flap-damping penalty decay so a scripted flap storm
+// reliably drives an eBGP peer over the suppress threshold.
+func damped(s Spec) Spec {
+	s.Timers.BGPDampHalfLife = 8 * time.Second
+	return s
+}
+
+// multiASMixed stitches a ring AS and a grid AS with two redundant border
+// links — the mixed-generator composite of the inter-domain family.
+func multiASMixed() *topo.Graph {
+	g, err := topo.MultiAS("multias-ring+grid", []topo.ASMember{
+		{ASN: 64512, Graph: topo.Ring(4)},
+		{ASN: 64513, Graph: topo.Grid(2, 2)},
+	}, []topo.BorderLink{
+		{AIndex: 0, ANode: 0, BIndex: 1, BNode: 0},
+		{AIndex: 0, ANode: 2, BIndex: 1, BNode: 3},
+	})
+	if err != nil {
+		panic(err) // unreachable: the composite is statically valid
+	}
+	return g
 }
 
 // Curated returns the named scenario suite CI gates on: ≥10 scenarios
@@ -32,8 +69,9 @@ func Curated() []Spec {
 		{
 			// The plain failover: one ring link dies, traffic reroutes the
 			// long way, the link returns, the network re-optimizes.
-			Name:     "ring4-link-down-up",
-			Topology: topo.Ring(4), HostNodes: []int{0, 2}, Seed: 1,
+			Name:        "ring4-link-down-up",
+			Description: "single ring link fails and returns; reroute then re-optimize",
+			Topology:    topo.Ring(4), HostNodes: []int{0, 2}, Seed: 1,
 			Faults: []Fault{
 				{Kind: FaultLinkDown, Link: 0},
 				{Kind: FaultLinkUp, Link: 0},
@@ -43,8 +81,9 @@ func Curated() []Spec {
 			// A flap storm: five down/up cycles paced past LinkTTL, settling
 			// once at the end — the declarative pipeline must converge to the
 			// final state no matter how the churn interleaved.
-			Name:     "ring4-link-flap-storm",
-			Topology: topo.Ring(4), HostNodes: []int{0, 2}, Seed: 2,
+			Name:        "ring4-link-flap-storm",
+			Description: "five down/up cycles on one link; converge to the final state",
+			Topology:    topo.Ring(4), HostNodes: []int{0, 2}, Seed: 2,
 			Faults: []Fault{
 				{Kind: FaultLinkFlap, Link: 0, Count: 5},
 			},
@@ -53,8 +92,9 @@ func Curated() []Spec {
 			// The last path between the host pair dies: the network must
 			// converge *as a partition* (quiesced, honestly unreachable
 			// across the cut — the PR's bugfix regression), then heal.
-			Name:     "ring4-partition-heal",
-			Topology: topo.Ring(4), HostNodes: []int{0, 2}, Seed: 3,
+			Name:        "ring4-partition-heal",
+			Description: "last path dies: honest partition, then heal",
+			Topology:    topo.Ring(4), HostNodes: []int{0, 2}, Seed: 3,
 			Faults: []Fault{
 				{Kind: FaultLinkDown, Link: 0, NoSettle: true},
 				{Kind: FaultLinkDown, Link: 2},
@@ -66,8 +106,9 @@ func Curated() []Spec {
 			// A transit switch crashes: flow table gone, control session cut.
 			// The dialer reconnects, discovery re-learns it, the reconciler
 			// rebuilds its VM and flows.
-			Name:     "ring5-switch-crash",
-			Topology: topo.Ring(5), HostNodes: []int{0, 3}, Seed: 4,
+			Name:        "ring5-switch-crash",
+			Description: "transit switch reboots; VM and flows are rebuilt",
+			Topology:    topo.Ring(5), HostNodes: []int{0, 3}, Seed: 4,
 			Faults: []Fault{
 				{Kind: FaultSwitchCrash, Node: 2},
 			},
@@ -75,8 +116,9 @@ func Curated() []Spec {
 		{
 			// rf-server restart at steady state: only the idle epoch probe
 			// can notice; the full desired state must be re-synced.
-			Name:     "ring6-server-restart",
-			Topology: topo.Ring(6), HostNodes: []int{0, 3}, Seed: 5,
+			Name:        "ring6-server-restart",
+			Description: "rf-server restart at steady state; epoch probe triggers re-sync",
+			Topology:    topo.Ring(6), HostNodes: []int{0, 3}, Seed: 5,
 			Faults: []Fault{
 				{Kind: FaultServerRestart},
 			},
@@ -85,8 +127,9 @@ func Curated() []Spec {
 			// rf-server restart *mid-convergence*: the restart races the
 			// initial configuration push; acked-then-lost state must be
 			// replayed before the first quiesce.
-			Name:     "ring6-server-restart-midconverge",
-			Topology: topo.Ring(6), HostNodes: []int{0, 3}, Seed: 6,
+			Name:        "ring6-server-restart-midconverge",
+			Description: "rf-server restart races the initial configuration push",
+			Topology:    topo.Ring(6), HostNodes: []int{0, 3}, Seed: 6,
 			Faults: []Fault{
 				{Kind: FaultServerRestart, PreConverge: true},
 				{Kind: FaultLinkFlap, Link: 1, Count: 1},
@@ -97,8 +140,9 @@ func Curated() []Spec {
 			// while a link flaps, then the burst clears: the reconciler
 			// carries convergence through the loss and the clean settle
 			// confirms nothing stayed wedged.
-			Name:     "ring4-rpc-loss-burst",
-			Topology: topo.Ring(4), HostNodes: []int{0, 2}, Seed: 7,
+			Name:        "ring4-rpc-loss-burst",
+			Description: "25% control-channel loss burst under a link flap",
+			Topology:    topo.Ring(4), HostNodes: []int{0, 2}, Seed: 7,
 			Faults: []Fault{
 				{Kind: FaultRPCLoss, Rate: 0.25, NoSettle: true},
 				{Kind: FaultLinkFlap, Link: 1, Count: 2},
@@ -109,15 +153,17 @@ func Curated() []Spec {
 			// A seed-derived random storm on a 3×3 grid: the schedule is a
 			// pure function of the seed, so this leg is as reproducible as
 			// the scripted ones.
-			Name:     "grid9-random-storm",
-			Topology: topo.Grid(3, 3), HostNodes: []int{0, 8}, Seed: 1007,
+			Name:        "grid9-random-storm",
+			Description: "seed-derived random fault storm on a 3x3 grid",
+			Topology:    topo.Grid(3, 3), HostNodes: []int{0, 8}, Seed: 1007,
 			RandomFaults: 3,
 		}),
 		gentle(Spec{
 			// Crash the grid's center switch — the highest-degree node —
 			// and require full recovery.
-			Name:     "grid9-switch-crash",
-			Topology: topo.Grid(3, 3), HostNodes: []int{0, 8}, Seed: 9,
+			Name:        "grid9-switch-crash",
+			Description: "highest-degree grid switch crashes and recovers",
+			Topology:    topo.Grid(3, 3), HostNodes: []int{0, 8}, Seed: 9,
 			Faults: []Fault{
 				{Kind: FaultSwitchCrash, Node: 4},
 			},
@@ -127,8 +173,9 @@ func Curated() []Spec {
 			// k=4 fat-tree. The fabric is single-link redundant, so the
 			// settle must report *no* partition and cross-pod hosts stay
 			// reachable throughout.
-			Name:     "fattree4-core-link-down",
-			Topology: topo.FatTree(4), HostNodes: []int{6, 18}, Seed: 10,
+			Name:        "fattree4-core-link-down",
+			Description: "fat-tree uplink dies; no partition, cross-pod hosts stay reachable",
+			Topology:    topo.FatTree(4), HostNodes: []int{6, 18}, Seed: 10,
 			Faults: []Fault{
 				{Kind: FaultLinkDown, Link: 0},
 				{Kind: FaultLinkUp, Link: 0},
@@ -138,13 +185,70 @@ func Curated() []Spec {
 			// The paper's workload under churn: a video stream crosses the
 			// ring from cold start while an off-path-or-not link flaps twice;
 			// the client's sequence gaps must stay inside the budget.
-			Name:     "ring4-video-continuity",
-			Topology: topo.Ring(4), HostNodes: []int{0, 2}, Seed: 11,
+			Name:        "ring4-video-continuity",
+			Description: "video stream survives a double link flap within the gap budget",
+			Topology:    topo.Ring(4), HostNodes: []int{0, 2}, Seed: 11,
 			Streams: [][2]int{{0, 2}}, GapBudget: 400,
 			Faults: []Fault{
 				{Kind: FaultLinkFlap, Link: 1, Count: 2},
 			},
 		},
+
+		// ——— Inter-domain family: ring of three ring-shaped ASes (nodes
+		// 0-2 = AS 64512, 3-5 = AS 64513, 6-8 = AS 64514; links 9/10/11 are
+		// the eBGP borders). Routing inside each AS is OSPF; across borders
+		// it is eBGP with full-mesh iBGP over loopbacks inside each domain.
+		slowDetect(gentle(Spec{
+			// Cut the AS0–AS1 border: discovery's detection is slowed past
+			// the hold time, so the eBGP session deterministically dies by
+			// hold-timer expiry, its routes are withdrawn, and traffic
+			// re-selects the longer AS path through the backup domain; the
+			// heal re-optimizes.
+			Name:        "multias3-border-down-up",
+			Description: "eBGP hold expiry on a cut border; path re-selects through the backup AS",
+			Topology:    topo.ASRing(3, 3), HostNodes: []int{1, 4}, Seed: 21,
+			Faults: []Fault{
+				{Kind: FaultLinkDown, Link: 9},
+				{Kind: FaultLinkUp, Link: 9},
+			},
+		})),
+		gentle(Spec{
+			// Cut both of AS0's borders: the domain is honestly partitioned
+			// from the rest of the internetwork — cross-AS pings must fail,
+			// the sessions must drop, and the heal restores everything.
+			Name:        "multias3-as-partition-honesty",
+			Description: "double border cut isolates one AS; partition is honest, heal recovers",
+			Topology:    topo.ASRing(3, 3), HostNodes: []int{1, 4}, Seed: 22,
+			Faults: []Fault{
+				{Kind: FaultLinkDown, Link: 9, NoSettle: true},
+				{Kind: FaultLinkDown, Link: 11},
+				{Kind: FaultLinkUp, Link: 9, NoSettle: true},
+				{Kind: FaultLinkUp, Link: 11},
+			},
+		}),
+		damped(gentle(Spec{
+			// A flapping eBGP peer: three losses of Established charge the
+			// damping penalty past suppression, so the flapped border's
+			// routes stay excluded while traffic holds the backup-AS path;
+			// the network still converges (and later reuses the peer).
+			Name:        "multias3-ebgp-flap-damping",
+			Description: "flapping eBGP border is damped; traffic rides the backup AS meanwhile",
+			Topology:    topo.ASRing(3, 3), HostNodes: []int{1, 4}, Seed: 23,
+			Faults: []Fault{
+				{Kind: FaultLinkFlap, Link: 9, Count: 3},
+			},
+		})),
+		gentle(Spec{
+			// Mixed-generator composite (ring AS + grid AS, two redundant
+			// borders): crash a border router; its VM, eBGP session and
+			// flows are rebuilt while the second border carries traffic.
+			Name:        "multias-mixed-border-crash",
+			Description: "border router crash in a ring+grid composite; redundant border carries on",
+			Topology:    multiASMixed(), HostNodes: []int{1, 6}, Seed: 24,
+			Faults: []Fault{
+				{Kind: FaultSwitchCrash, Node: 0},
+			},
+		}),
 	}
 }
 

@@ -81,9 +81,11 @@ func (f Fault) flapCount() int {
 // Spec describes one scenario. The zero durations and timers default to the
 // compressed test-grade values the curated suite runs at.
 type Spec struct {
-	Name      string
-	Topology  *topo.Graph
-	HostNodes []int
+	Name string
+	// Description is a one-line operator summary (rfchaos -list).
+	Description string
+	Topology    *topo.Graph
+	HostNodes   []int
 	// Seed drives every random choice: the fault schedule (when RandomFaults
 	// is used) and injected RPC loss decisions.
 	Seed int64
@@ -140,6 +142,12 @@ func (s Spec) withDefaults() (Spec, error) {
 			Dead:     100 * time.Millisecond,
 			SPFDelay: 5 * time.Millisecond,
 		}
+	}
+	if s.Timers.BGPHold == 0 {
+		// Only meaningful on AS-annotated topologies; compressed to the same
+		// scale as the OSPF timers.
+		s.Timers.BGPHold = 300 * time.Millisecond
+		s.Timers.BGPConnectRetry = 50 * time.Millisecond
 	}
 	if s.ResyncProbe <= 0 {
 		s.ResyncProbe = 150 * time.Millisecond

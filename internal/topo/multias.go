@@ -1,0 +1,120 @@
+package topo
+
+import (
+	"fmt"
+)
+
+// ASMember is one autonomous system of a MultiAS composite: a member graph
+// (ring, grid, fat-tree, anything) and the AS number annotated onto every
+// one of its nodes.
+type ASMember struct {
+	ASN   uint32
+	Graph *Graph
+}
+
+// BorderLink joins two member ASes of a MultiAS composite by index: node
+// ANode of member AIndex to node BNode of member BIndex. The link becomes an
+// eBGP border link; its endpoints become border routers.
+type BorderLink struct {
+	AIndex, ANode int
+	BIndex, BNode int
+	Weight        float64
+}
+
+// MultiAS stitches member graphs into one inter-domain topology: every
+// member keeps its internal structure (links, weights, layout) under fresh
+// node IDs, every node is annotated with its member's ASN, and the border
+// links join the domains. Node names are prefixed "as<asn>-" so operators
+// can read the composite. The construction is purely deterministic: the same
+// members and borders produce an identical graph.
+func MultiAS(name string, members []ASMember, borders []BorderLink) (*Graph, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("topo: MultiAS needs at least one member")
+	}
+	seen := map[uint32]bool{}
+	for i, m := range members {
+		if m.ASN == 0 {
+			return nil, fmt.Errorf("topo: member %d has AS 0 (reserved for the flat default)", i)
+		}
+		if m.ASN > 0xffff {
+			return nil, fmt.Errorf("topo: member AS %d exceeds 16 bits (the BGP engine speaks classic 2-byte ASNs)", m.ASN)
+		}
+		if seen[m.ASN] {
+			return nil, fmt.Errorf("topo: duplicate AS %d", m.ASN)
+		}
+		seen[m.ASN] = true
+		if m.Graph == nil || m.Graph.NumNodes() == 0 {
+			return nil, fmt.Errorf("topo: member AS %d has no graph", m.ASN)
+		}
+	}
+	g := New(name)
+	// offsets[i] is the composite ID of member i's node 0.
+	offsets := make([]int, len(members))
+	for i, m := range members {
+		offsets[i] = g.NumNodes()
+		for _, n := range m.Graph.Nodes() {
+			id := g.AddNode(fmt.Sprintf("as%d-%s", m.ASN, n.Name))
+			g.nodes[id].X, g.nodes[id].Y = n.X, n.Y
+			g.nodes[id].AS = m.ASN
+		}
+		for _, l := range m.Graph.Links() {
+			if _, err := g.AddLink(offsets[i]+l.A, offsets[i]+l.B, l.Weight); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, b := range borders {
+		if b.AIndex < 0 || b.AIndex >= len(members) || b.BIndex < 0 || b.BIndex >= len(members) {
+			return nil, fmt.Errorf("topo: border link references unknown member (%d, %d)", b.AIndex, b.BIndex)
+		}
+		if b.AIndex == b.BIndex {
+			return nil, fmt.Errorf("topo: border link stays inside member %d", b.AIndex)
+		}
+		if b.ANode < 0 || b.ANode >= members[b.AIndex].Graph.NumNodes() ||
+			b.BNode < 0 || b.BNode >= members[b.BIndex].Graph.NumNodes() {
+			return nil, fmt.Errorf("topo: border link references unknown node (%d:%d, %d:%d)",
+				b.AIndex, b.ANode, b.BIndex, b.BNode)
+		}
+		if _, err := g.AddLink(offsets[b.AIndex]+b.ANode, offsets[b.BIndex]+b.BNode, b.Weight); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// ASRing joins asCount ring-shaped ASes (Ring(asSize) each, AS numbers
+// 64512, 64513, …) into a ring of domains: AS i's node 0 connects to AS
+// i+1's node asSize/2, so consecutive domains attach at different border
+// routers and every AS pair keeps a backup path through the other side of
+// the domain ring. With asCount == 2 a single border link joins the two
+// domains. This is the multi-AS analogue of the paper's Fig. 3 rings — the
+// convergence-vs-AS-count experiment sweeps asCount.
+func ASRing(asCount, asSize int) *Graph {
+	if asCount < 2 {
+		asCount = 2
+	}
+	if asSize < 1 {
+		asSize = 1
+	}
+	members := make([]ASMember, asCount)
+	for i := range members {
+		members[i] = ASMember{ASN: uint32(64512 + i), Graph: Ring(asSize)}
+	}
+	var borders []BorderLink
+	for i := 0; i < asCount; i++ {
+		next := (i + 1) % asCount
+		if asCount == 2 && i == 1 {
+			break // avoid a parallel second border on the 2-AS ring
+		}
+		borders = append(borders, BorderLink{
+			AIndex: i, ANode: 0,
+			BIndex: next, BNode: (asSize / 2) % asSize,
+			Weight: 1,
+		})
+	}
+	g, err := MultiAS(fmt.Sprintf("asring-%dx%d", asCount, asSize), members, borders)
+	if err != nil {
+		panic(err) // unreachable: inputs are clamped valid by construction
+	}
+	return g
+}

@@ -24,6 +24,10 @@ type Node struct {
 	X    float64 `json:"x,omitempty"`    // optional layout hint
 	Y    float64 `json:"y,omitempty"`    // optional layout hint
 	Host bool    `json:"host,omitempty"` // true if an end host should attach here
+	// AS is the autonomous system the switch belongs to; 0 means the flat
+	// single-domain default. Links between nodes of different non-zero ASes
+	// are eBGP border links.
+	AS uint32 `json:"as,omitempty"`
 }
 
 // Link is an undirected edge between two nodes. APort and BPort are the
@@ -136,6 +140,47 @@ func (g *Graph) HostPort(id int) (port int, ok bool) {
 		return 0, false
 	}
 	return g.hostPorts[id], true
+}
+
+// SetAS places a node in an autonomous system (0 = flat default).
+func (g *Graph) SetAS(id int, asn uint32) {
+	if id >= 0 && id < len(g.nodes) {
+		g.nodes[id].AS = asn
+	}
+}
+
+// AS returns the autonomous system of a node (0 for unknown nodes or the
+// flat default).
+func (g *Graph) AS(id int) uint32 {
+	if id < 0 || id >= len(g.nodes) {
+		return 0
+	}
+	return g.nodes[id].AS
+}
+
+// ASNs returns the distinct non-zero AS numbers present, ascending.
+func (g *Graph) ASNs() []uint32 {
+	seen := map[uint32]bool{}
+	var out []uint32
+	for _, n := range g.nodes {
+		if n.AS != 0 && !seen[n.AS] {
+			seen[n.AS] = true
+			out = append(out, n.AS)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// IsBorderLink reports whether link i joins two different non-zero ASes —
+// an eBGP border link.
+func (g *Graph) IsBorderLink(i int) bool {
+	if i < 0 || i >= len(g.links) {
+		return false
+	}
+	l := g.links[i]
+	a, b := g.nodes[l.A].AS, g.nodes[l.B].AS
+	return a != 0 && b != 0 && a != b
 }
 
 // SetXY places a node for GUI layout.
@@ -433,7 +478,7 @@ func (g *Graph) UnmarshalJSON(data []byte) error {
 	ng := New(gj.Name)
 	for _, n := range gj.Nodes {
 		id := ng.AddNode(n.Name)
-		ng.nodes[id].X, ng.nodes[id].Y, ng.nodes[id].Host = n.X, n.Y, n.Host
+		ng.nodes[id].X, ng.nodes[id].Y, ng.nodes[id].Host, ng.nodes[id].AS = n.X, n.Y, n.Host, n.AS
 	}
 	for _, l := range gj.Links {
 		if l.A < 0 || l.A >= len(ng.nodes) || l.B < 0 || l.B >= len(ng.nodes) {

@@ -3,6 +3,7 @@ package vnet
 import (
 	"net/netip"
 
+	"routeflow/internal/bgp"
 	"routeflow/internal/pkt"
 )
 
@@ -94,6 +95,12 @@ func (vm *VM) handleIPv4(ifc *vmIface, f *pkt.Frame, frame []byte) {
 		vm.deliverOSPF(ifc, ip)
 		return
 	}
+	// BGP sessions terminate on any local address — border interfaces for
+	// eBGP, the loopback for iBGP — not just the ingress interface.
+	if ip.Proto == pkt.ProtoTCP && vm.router.IsLocalAddr(ip.Dst) {
+		vm.deliverTCP(ip)
+		return
+	}
 	if addr.IsValid() && ip.Dst == addr.Addr() {
 		// For us: ICMP echo is the only local service.
 		if ip.Proto == pkt.ProtoICMP {
@@ -104,6 +111,19 @@ func (vm *VM) handleIPv4(ifc *vmIface, f *pkt.Frame, frame []byte) {
 	// Transit: the VM routes it (the punted slow path a Quagga VM's kernel
 	// would take).
 	vm.route(f, ip, frame)
+}
+
+// deliverTCP terminates a locally addressed TCP segment: port 179 goes to
+// bgpd; anything else is dropped (no other local TCP service exists).
+func (vm *VM) deliverTCP(ip *pkt.IPv4) {
+	var seg pkt.TCP
+	if err := pkt.DecodeTCPInto(&seg, ip.Payload, ip.Src, ip.Dst); err != nil {
+		return
+	}
+	if seg.DstPort != bgp.Port {
+		return
+	}
+	vm.router.DeliverBGP(ip.Src, seg.Payload)
 }
 
 func (vm *VM) deliverOSPF(ifc *vmIface, ip *pkt.IPv4) {
@@ -159,27 +179,15 @@ func (vm *VM) route(f *pkt.Frame, ip *pkt.IPv4, frame []byte) {
 	if rt.NextHop.IsValid() {
 		hop = rt.NextHop
 	}
-	vm.mu.Lock()
-	mac, resolved := egress.arp[hop]
-	if !resolved {
-		q := egress.pending[hop]
-		if len(q) < maxPendingPerHop {
-			// The queued copy outlives this call; its dst is patched by
-			// forwardResolved when ARP answers.
-			egress.pending[hop] = append(q, append([]byte(nil), frame...))
-		}
-		srcAddr := egress.addr
-		srcMAC := egress.mac
-		vm.mu.Unlock()
-		if srcAddr.IsValid() {
-			req := pkt.NewARPRequest(srcMAC, srcAddr.Addr(), hop)
-			out := &pkt.Frame{Dst: pkt.BroadcastMAC, Src: srcMAC,
-				Type: pkt.EtherTypeARP, Payload: req.Marshal()}
-			vm.transmit(egress.port, out.Marshal())
-		}
+	// Queue a copy on ARP miss: the punted frame may alias a buffer the
+	// control channel reuses, so only a copy is safe to retain until ARP
+	// answers.
+	mac, ok := vm.resolveNextHop(egress, hop, func() []byte {
+		return append([]byte(nil), frame...)
+	})
+	if !ok {
 		return
 	}
-	vm.mu.Unlock()
 	copy(frame[0:6], mac[:])
 	vm.transmit(egress.port, frame)
 }

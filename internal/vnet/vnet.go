@@ -17,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"routeflow/internal/bgp"
 	"routeflow/internal/clock"
 	"routeflow/internal/pkt"
 	"routeflow/internal/quagga"
@@ -70,6 +71,11 @@ type Config struct {
 	BootDelay time.Duration
 	// Timers are passed to the routing daemons.
 	Timers quagga.Timers
+	// ASN, when non-zero, places the VM's switch in that autonomous system:
+	// the router runs a bgpd speaker next to ospfd (redistributing connected
+	// and OSPF routes) and carries a loopback on its router ID for iBGP
+	// peering. Zero keeps the flat single-domain behaviour.
+	ASN uint32
 }
 
 // HostLearned reports a (IP, MAC) binding learned by the VM's ARP on a
@@ -106,14 +112,16 @@ type VM struct {
 	onHost     func(HostLearned)
 	onReady    func()
 
-	ipID uint16
+	ipID   uint16
+	bgpSeq uint32
 }
 
 type vmIface struct {
-	port uint16
-	name string
-	mac  pkt.MAC
-	addr netip.Prefix // zero until configured
+	port    uint16
+	name    string
+	mac     pkt.MAC
+	addr    netip.Prefix // zero until configured
+	passive bool         // OSPF-passive (eBGP border interface)
 
 	arp     map[netip.Addr]pkt.MAC
 	pending map[netip.Addr][][]byte // frames awaiting ARP, keyed by next hop
@@ -131,10 +139,20 @@ func New(cfg Config) (*VM, error) {
 		cfg.Clock = clock.System()
 	}
 	name := fmt.Sprintf("vm-%016x", cfg.DPID)
-	router, err := quagga.NewRouter(&quagga.Config{
+	qc := &quagga.Config{
 		Hostname: name,
 		RouterID: cfg.RouterID,
-	}, cfg.Clock, cfg.Timers)
+	}
+	if cfg.ASN != 0 {
+		// The BGP stanza mirrors what the paper's RPC server would write to
+		// bgpd.conf: the AS plus IGP redistribution; neighbors are added as
+		// border links and same-AS VMs are discovered.
+		qc.BGP = &quagga.BGPConfig{
+			ASN:          cfg.ASN,
+			Redistribute: []string{"connected", "ospf"},
+		}
+	}
+	router, err := quagga.NewRouter(qc, cfg.Clock, cfg.Timers)
 	if err != nil {
 		return nil, err
 	}
@@ -157,6 +175,7 @@ func New(cfg Config) (*VM, error) {
 		vm.ifaces[port] = ifc
 		vm.byName[ifc.name] = ifc
 	}
+	router.SetBGPTransport(vm.sendBGPMessage)
 	vm.bootTimer = cfg.Clock.NewTimer(cfg.BootDelay)
 	go vm.bootWait()
 	return vm, nil
@@ -269,6 +288,19 @@ func (vm *VM) Destroy() {
 // have yet grows a fresh interface on demand (the announced port count is a
 // hint, not a bound on port numbers).
 func (vm *VM) ConfigureInterface(port uint16, addr netip.Prefix, cost uint16, ospfNetwork netip.Prefix) error {
+	return vm.configureInterface(port, addr, cost, ospfNetwork, false)
+}
+
+// ConfigureBorderInterface is ConfigureInterface for an eBGP border link:
+// the interface is addressed but OSPF-passive — no adjacency forms across
+// the domain boundary, no network statement is added, and routing across
+// the link is bgpd's job (add the neighbor with the Router's
+// AddBGPNeighbor). Idempotent and convergent like ConfigureInterface.
+func (vm *VM) ConfigureBorderInterface(port uint16, addr netip.Prefix, cost uint16) error {
+	return vm.configureInterface(port, addr, cost, netip.Prefix{}, true)
+}
+
+func (vm *VM) configureInterface(port uint16, addr netip.Prefix, cost uint16, ospfNetwork netip.Prefix, passive bool) error {
 	if port == 0 {
 		return fmt.Errorf("vnet: %s: port numbers are 1-based", vm.name)
 	}
@@ -287,7 +319,8 @@ func (vm *VM) ConfigureInterface(port uint16, addr netip.Prefix, cost uint16, os
 		vm.ifaces[port] = ifc
 		vm.byName[ifc.name] = ifc
 	}
-	if ifc.addr == addr && (vm.state == StateBooting || vm.router.Attached(ifc.name)) {
+	if ifc.addr == addr && ifc.passive == passive &&
+		(vm.state == StateBooting || vm.router.Attached(ifc.name)) {
 		vm.mu.Unlock()
 		return nil // level-triggered re-apply: already converged (or queued)
 	}
@@ -297,35 +330,38 @@ func (vm *VM) ConfigureInterface(port uint16, addr netip.Prefix, cost uint16, os
 		ifc.pending = make(map[netip.Addr][][]byte)
 	}
 	ifc.addr = addr
+	ifc.passive = passive
 	if vm.state == StateBooting {
 		vm.pendingOps = append(vm.pendingOps, func() {
 			// Self-cancel if a later declaration superseded this one while
 			// the VM was still booting: only the current address applies.
 			vm.mu.Lock()
-			cur := ifc.addr
+			cur, curPassive := ifc.addr, ifc.passive
 			vm.mu.Unlock()
-			if cur == addr {
-				vm.applyInterface(ifc, addr, cost, ospfNetwork)
+			if cur == addr && curPassive == passive {
+				vm.applyInterface(ifc, addr, cost, ospfNetwork, passive)
 			}
 		})
 		vm.mu.Unlock()
 		return nil
 	}
 	vm.mu.Unlock()
-	vm.applyInterface(ifc, addr, cost, ospfNetwork)
+	vm.applyInterface(ifc, addr, cost, ospfNetwork, passive)
 	return nil
 }
 
-func (vm *VM) applyInterface(ifc *vmIface, addr netip.Prefix, cost uint16, ospfNetwork netip.Prefix) {
+func (vm *VM) applyInterface(ifc *vmIface, addr netip.Prefix, cost uint16, ospfNetwork netip.Prefix, passive bool) {
 	vm.cfgMu.Lock()
 	defer vm.cfgMu.Unlock()
 	// Detach any previous incarnation so a re-apply converges to the new
 	// address instead of erroring on the old attachment (no-op when the
 	// interface was never attached).
 	vm.router.Detach(ifc.name)
-	vm.router.AddNetwork(ospfNetwork)
+	if ospfNetwork.IsValid() {
+		vm.router.AddNetwork(ospfNetwork)
+	}
 	if err := vm.router.AddInterfaceConfig(quagga.InterfaceConfig{
-		Name: ifc.name, Address: addr, Cost: cost,
+		Name: ifc.name, Address: addr, Cost: cost, Passive: passive,
 	}); err != nil {
 		return
 	}
@@ -345,6 +381,7 @@ func (vm *VM) DeconfigureInterface(port uint16) {
 	}
 	name := ifc.name
 	ifc.addr = netip.Prefix{}
+	ifc.passive = false
 	ifc.arp = make(map[netip.Addr]pkt.MAC)
 	ifc.pending = make(map[netip.Addr][][]byte)
 	vm.mu.Unlock()
@@ -433,4 +470,80 @@ func (vm *VM) sendOSPF(port uint16, dst netip.Addr, payload []byte) {
 		Payload: ip.Marshal(),
 	}
 	vm.transmit(port, frame.Marshal())
+}
+
+// sendBGPMessage carries one bgpd message onto the TCP-like channel: the
+// payload rides a single port-179 segment inside a unicast IP packet, which
+// the VM originates through its own RIB — eBGP messages cross the border
+// link directly, iBGP messages are routed hop by hop toward the peer's
+// loopback like any other traffic.
+func (vm *VM) sendBGPMessage(src, dst netip.Addr, payload []byte) {
+	vm.mu.Lock()
+	if vm.state != StateUp {
+		vm.mu.Unlock()
+		return
+	}
+	vm.ipID++
+	id := vm.ipID
+	vm.bgpSeq++
+	seq := vm.bgpSeq
+	vm.mu.Unlock()
+	seg := &pkt.TCP{SrcPort: bgp.Port, DstPort: bgp.Port, Seq: seq,
+		Flags: pkt.TCPPsh | pkt.TCPAck, Window: 0xffff, Payload: payload}
+	vm.originate(&pkt.IPv4{ID: id, TTL: 64, Proto: pkt.ProtoTCP,
+		Src: src, Dst: dst, Payload: seg.Marshal(src, dst)})
+}
+
+// originate routes a self-generated IP packet out of the VM: RIB lookup for
+// the egress interface, ARP resolution (queueing behind an ARP request like
+// the transit path) and transmission.
+func (vm *VM) originate(p *pkt.IPv4) {
+	rt, ok := vm.RIB().Lookup(p.Dst)
+	if !ok {
+		return
+	}
+	egress, ok := vm.ifaceByName(rt.Iface)
+	if !ok {
+		return
+	}
+	hop := p.Dst
+	if rt.NextHop.IsValid() {
+		hop = rt.NextHop
+	}
+	frame := (&pkt.Frame{Src: egress.mac, Type: pkt.EtherTypeIPv4,
+		Payload: p.Marshal()}).Marshal()
+	// The frame is freshly marshalled and owned here, so queueing behind ARP
+	// retains it as-is.
+	mac, ok := vm.resolveNextHop(egress, hop, func() []byte { return frame })
+	if !ok {
+		return
+	}
+	copy(frame[0:6], mac[:])
+	vm.transmit(egress.port, frame)
+}
+
+// resolveNextHop returns the MAC for hop on egress. On an ARP miss it queues
+// queued() — which must return a frame safe to retain until ARP answers
+// (forwardResolved patches its destination MAC and flushes it) — behind a
+// broadcast ARP request and reports ok=false. Shared by the transit path
+// (route) and the self-originated path (originate).
+func (vm *VM) resolveNextHop(egress *vmIface, hop netip.Addr, queued func() []byte) (pkt.MAC, bool) {
+	vm.mu.Lock()
+	if mac, ok := egress.arp[hop]; ok {
+		vm.mu.Unlock()
+		return mac, true
+	}
+	if q := egress.pending[hop]; len(q) < maxPendingPerHop {
+		egress.pending[hop] = append(q, queued())
+	}
+	srcAddr := egress.addr
+	srcMAC := egress.mac
+	vm.mu.Unlock()
+	if srcAddr.IsValid() {
+		req := pkt.NewARPRequest(srcMAC, srcAddr.Addr(), hop)
+		out := &pkt.Frame{Dst: pkt.BroadcastMAC, Src: srcMAC,
+			Type: pkt.EtherTypeARP, Payload: req.Marshal()}
+		vm.transmit(egress.port, out.Marshal())
+	}
+	return pkt.MAC{}, false
 }

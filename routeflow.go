@@ -110,6 +110,27 @@ func FatTreeEdges(k int) []int { return topo.FatTreeEdges(k) }
 // Random returns a connected random topology (deterministic per seed).
 func Random(n, m int, seed int64) *Topology { return topo.Random(n, m, seed) }
 
+// Inter-domain topologies.
+
+type (
+	// ASMember is one autonomous system of a MultiAS composite.
+	ASMember = topo.ASMember
+	// ASBorderLink joins two member ASes of a MultiAS composite.
+	ASBorderLink = topo.BorderLink
+)
+
+// MultiAS stitches member graphs into one inter-domain topology: every node
+// is annotated with its member's AS and the border links become eBGP
+// boundaries the auto-configuration pipeline configures without manual
+// input.
+func MultiAS(name string, members []ASMember, borders []ASBorderLink) (*Topology, error) {
+	return topo.MultiAS(name, members, borders)
+}
+
+// ASRing joins asCount ring-shaped ASes of asSize switches into a ring of
+// domains — the inter-domain analogue of the paper's Fig. 3 rings.
+func ASRing(asCount, asSize int) *Topology { return topo.ASRing(asCount, asSize) }
+
 // NewDashboard creates the red/green GUI for a deployment's topology; wire
 // its Update method to Options.OnStatus.
 func NewDashboard(g *Topology) *Dashboard { return gui.New(g, core.DPIDForNode) }

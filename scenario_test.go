@@ -101,6 +101,30 @@ func TestScenarioPartitionIsHonest(t *testing.T) {
 	}
 }
 
+// TestInterDomainScenarioDeterministicEventLog pins the acceptance bar for
+// the inter-domain chaos family: the same curated multi-AS scenario run
+// twice produces a byte-identical event log — BGP session churn, damping and
+// best-path re-selection must never leak timing into the log.
+func TestInterDomainScenarioDeterministicEventLog(t *testing.T) {
+	run := func() *ScenarioResult {
+		spec, ok := ScenarioByName("multias3-border-down-up")
+		if !ok {
+			t.Fatal("multias3-border-down-up missing from curated suite")
+		}
+		res, err := RunScenario(spec)
+		if err != nil {
+			t.Fatalf("harness error: %v", err)
+		}
+		if failed := res.FailedChecks(); len(failed) > 0 {
+			t.Fatalf("invariants failed: %v\n%s", failed, res.EventLog())
+		}
+		return res
+	}
+	if a, b := run().EventLog(), run().EventLog(); a != b {
+		t.Fatalf("same spec, different event logs:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a, b)
+	}
+}
+
 // TestScenarioDeterministicEventLog is the seed-sweep determinism gate: the
 // same spec (same seed, seed-derived schedule) run twice produces a
 // byte-identical event log.

@@ -16,8 +16,8 @@ benchtime="${2:-10000x}"
 cd "$(dirname "$0")/.."
 
 raw="$(go test -run='^$' \
-	-bench='BenchmarkOpenFlow|BenchmarkMatch|BenchmarkRIB|BenchmarkLLDP|BenchmarkSwitchForward' \
-	-benchmem -benchtime="$benchtime" . ./internal/ofswitch/)"
+	-bench='BenchmarkOpenFlow|BenchmarkMatch|BenchmarkRIB|BenchmarkLLDP|BenchmarkSwitchForward|BenchmarkBGP' \
+	-benchmem -benchtime="$benchtime" . ./internal/ofswitch/ ./internal/bgp/)"
 
 printf '%s\n' "$raw" >&2
 
