@@ -1,0 +1,177 @@
+package routeflow
+
+// Tests of the PR 6 public-API redesign: functional options build the same
+// Options the deprecated struct-literal form does, New and the shim both
+// deploy, the Run dispatcher routes every spec variant, and
+// ScenarioExitCode never lets an invariant violation exit 0.
+
+import (
+	"bytes"
+	"errors"
+	"net/netip"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestFunctionalOptionsMatchStructLiteral(t *testing.T) {
+	g := Ring(4)
+	want := Options{
+		Topology:          g,
+		Pool:              netip.MustParsePrefix("172.20.0.0/16"),
+		HostNodes:         []int{0, 2},
+		BootDelay:         time.Second,
+		Timers:            DefaultExperimentTimers(),
+		ProbeInterval:     100 * time.Millisecond,
+		LinkTTL:           300 * time.Millisecond,
+		NoFlowVisor:       true,
+		RPCDropRate:       0.25,
+		RPCDropSeed:       7,
+		RPCAttempts:       2,
+		ReconcilerBackoff: 40 * time.Millisecond,
+		ResyncProbe:       150 * time.Millisecond,
+		Cluster:           ClusterSpec{Replicas: 3, LeaseTTL: time.Second, LeaseRenew: 200 * time.Millisecond},
+		RPCApplyDelay:     10 * time.Millisecond,
+	}
+	opts := []Option{
+		WithPool(netip.MustParsePrefix("172.20.0.0/16")),
+		WithHosts(0, 2),
+		WithBootDelay(time.Second),
+		WithTimers(DefaultExperimentTimers()),
+		WithProbeInterval(100 * time.Millisecond),
+		WithLinkTTL(300 * time.Millisecond),
+		WithoutFlowVisor(),
+		WithRPCDropRate(0.25, 7),
+		WithRPCAttempts(2),
+		WithReconcilerBackoff(40 * time.Millisecond),
+		WithResyncProbe(150 * time.Millisecond),
+		WithCluster(ClusterSpec{Replicas: 3, LeaseTTL: time.Second, LeaseRenew: 200 * time.Millisecond}),
+		WithRPCApplyDelay(10 * time.Millisecond),
+	}
+	got := Options{Topology: g}
+	for _, o := range opts {
+		o(&got)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("functional options diverge from the struct literal:\ngot  %+v\nwant %+v", got, want)
+	}
+
+	// Later options override earlier ones, and the shorthands expand as
+	// documented.
+	var o Options
+	WithReplicas(2)(&o)
+	WithReplicas(4)(&o)
+	if o.Cluster != (ClusterSpec{Replicas: 4}) {
+		t.Fatalf("WithReplicas override = %+v", o.Cluster)
+	}
+	var scaled Options
+	WithTimeScale(50)(&scaled)
+	if scaled.Clock == nil {
+		t.Fatal("WithTimeScale installed no clock")
+	}
+}
+
+func TestNewAndDeprecatedShimBothDeploy(t *testing.T) {
+	// The same tiny ring through both constructors; each must reach full
+	// configuration. The struct-literal path is the compatibility shim the
+	// redesign promises to keep working.
+	build := map[string]func() (*Deployment, error){
+		"functional-options": func() (*Deployment, error) {
+			return New(Ring(3), WithTimeScale(400), WithHosts(0))
+		},
+		"struct-literal-shim": func() (*Deployment, error) {
+			return NewDeployment(Options{
+				Topology:  Ring(3),
+				Clock:     ScaledClock(400),
+				HostNodes: []int{0},
+			})
+		},
+	}
+	for name, mk := range build {
+		t.Run(name, func(t *testing.T) {
+			d, err := mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer d.Close()
+			if err := d.Start(); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := d.AwaitConfigured(10 * time.Minute); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestRunDispatcherFig3(t *testing.T) {
+	report, err := Run(Fig3Run{Sizes: []int{4}}, RunTimeScale(400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Fig3) != 1 || report.Fig3[0].Switches != 4 {
+		t.Fatalf("report = %+v", report)
+	}
+	var buf bytes.Buffer
+	report.Print(&buf)
+	if !bytes.Contains(buf.Bytes(), []byte("switches")) {
+		t.Fatalf("print:\n%s", buf.String())
+	}
+}
+
+func TestRunDispatcherScenario(t *testing.T) {
+	report, err := Run(ScenarioRun{Spec: ScenarioSpec{
+		Name:      "api-dispatch",
+		Topology:  Ring(4),
+		HostNodes: []int{0, 2},
+		Seed:      1,
+		Faults:    []ScenarioFault{{Kind: FaultLinkDown, Link: 0}, {Kind: FaultLinkUp, Link: 0}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Scenario == nil || !report.Scenario.AllOK() {
+		t.Fatalf("scenario report = %+v", report.Scenario)
+	}
+	if code := ScenarioExitCode(report.Scenario, nil); code != 0 {
+		t.Fatalf("exit code %d for a clean run", code)
+	}
+}
+
+func TestRunDispatcherRejectsNilSpec(t *testing.T) {
+	if _, err := Run(nil); err == nil {
+		t.Fatal("nil spec accepted")
+	}
+}
+
+// Regression for the rfchaos bug: a scenario whose invariants fail inside a
+// settle retry completes without a harness error, and the old CLI path
+// exited 0 on it. ScenarioExitCode must report 1 for every failure shape.
+func TestScenarioExitCode(t *testing.T) {
+	clean := &ScenarioResult{Phases: []ScenarioPhase{
+		{Fault: "initial", Checks: []ScenarioCheck{{Name: "no-blackhole", OK: true}}},
+	}}
+	violated := &ScenarioResult{Phases: []ScenarioPhase{
+		{Fault: "initial", Checks: []ScenarioCheck{{Name: "no-blackhole", OK: true}}},
+		{Fault: "link-down 0", Checks: []ScenarioCheck{
+			{Name: "no-loop", OK: true},
+			{Name: "flow-consistency", OK: false, Detail: "node 2: stale flow"},
+		}},
+	}}
+	for _, tc := range []struct {
+		name string
+		res  *ScenarioResult
+		err  error
+		want int
+	}{
+		{"all-ok", clean, nil, 0},
+		{"invariant-violated", violated, nil, 1},
+		{"harness-error", nil, errors.New("deploy failed"), 1},
+		{"error-with-result", clean, errors.New("teardown failed"), 1},
+		{"no-result-no-error", nil, nil, 1},
+	} {
+		if got := ScenarioExitCode(tc.res, tc.err); got != tc.want {
+			t.Errorf("%s: exit code = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}

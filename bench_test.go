@@ -337,6 +337,47 @@ func BenchmarkLLDPRoundTrip(b *testing.B) {
 	}
 }
 
+// BenchmarkAutoConfigureSharded measures the horizontal-scaling dimension
+// of the distributed RF-controller: cold boot of an ASRing(4, 3) — 12
+// switches in 4 shard groups — to every switch configured, with the
+// controller run as 1, 2 and 4 replicas. RPCApplyDelay models the paper's
+// per-message RPC server work (VM cloning, config-file writes); it is held
+// inside each replica's apply lock, so one controller serializes it across
+// all 12 switches while 4 replicas each serve only their own shard.
+// scripts/bench.sh records the series and benchcheck gates the
+// replicas=1 / replicas=4 ratio at ≥1.5×.
+func BenchmarkAutoConfigureSharded(b *testing.B) {
+	// Protocol-time apply cost per configuration message: large enough to
+	// dominate boot and discovery, so the measurement isolates the
+	// serialized work sharding divides.
+	const applyDelay = 400 * time.Millisecond
+	for _, replicas := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("replicas=%d", replicas), func(b *testing.B) {
+			var cfgTotal time.Duration
+			for i := 0; i < b.N; i++ {
+				cfg := benchExperiment().withDefaults()
+				cfg.Cluster = ClusterSpec{Replicas: replicas}
+				cfg.RPCApplyDelay = applyDelay
+				d, err := cfg.deploy(ASRing(4, 3), nil, ScaledClock(cfg.TimeScale))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := d.Start(); err != nil {
+					d.Close()
+					b.Fatal(err)
+				}
+				t, err := d.AwaitConfigured(30 * time.Minute)
+				d.Close()
+				if err != nil {
+					b.Fatal(err)
+				}
+				cfgTotal += t
+			}
+			b.ReportMetric(cfgTotal.Seconds()/float64(b.N), "proto-s/config")
+		})
+	}
+}
+
 // BenchmarkManualModelEval measures the (trivial) manual-model evaluation,
 // for completeness of the Fig. 3 pair.
 func BenchmarkManualModelEval(b *testing.B) {

@@ -29,6 +29,7 @@ func main() {
 	m := flag.Int("m", 0, "link count for random (default n+n/2)")
 	faults := flag.Int("faults", 3, "random fault count for the ad-hoc storm")
 	seed := flag.Int64("seed", 1, "seed for the ad-hoc storm")
+	replicas := flag.Int("replicas", 1, "rf-controller replicas for the ad-hoc storm")
 	flag.Parse()
 
 	switch {
@@ -56,11 +57,11 @@ func main() {
 		}
 		os.Exit(status)
 	default:
-		os.Exit(runOne(adhocSpec(*kind, *n, *h, *m, *faults, *seed)))
+		os.Exit(runOne(adhocSpec(*kind, *n, *h, *m, *faults, *replicas, *seed)))
 	}
 }
 
-func adhocSpec(kind string, n, h, m, faults int, seed int64) routeflow.ScenarioSpec {
+func adhocSpec(kind string, n, h, m, faults, replicas int, seed int64) routeflow.ScenarioSpec {
 	var g *routeflow.Topology
 	hosts := []int{}
 	switch kind {
@@ -100,24 +101,28 @@ func adhocSpec(kind string, n, h, m, faults int, seed int64) routeflow.ScenarioS
 		fmt.Fprintf(os.Stderr, "rfchaos: unknown topology %q\n", kind)
 		os.Exit(1)
 	}
-	return routeflow.ScenarioSpec{
+	spec := routeflow.ScenarioSpec{
 		Name:         fmt.Sprintf("adhoc-%s", g.Name()),
 		Topology:     g,
 		HostNodes:    hosts,
 		Seed:         seed,
 		RandomFaults: faults,
 	}
+	if replicas > 1 {
+		spec.Cluster = routeflow.ClusterSpec{Replicas: replicas}
+	}
+	return spec
 }
 
 func runOne(spec routeflow.ScenarioSpec) int {
 	res, err := routeflow.RunScenario(spec)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rfchaos: %s: %v\n", spec.Name, err)
-		return 1
 	}
-	routeflow.PrintScenario(os.Stdout, res)
-	if !res.AllOK() {
-		return 1
+	if res != nil {
+		routeflow.PrintScenario(os.Stdout, res)
 	}
-	return 0
+	// The verdict is the exit status: any failed invariant — including one
+	// caught inside a settle retry — must surface as non-zero.
+	return routeflow.ScenarioExitCode(res, err)
 }

@@ -6,6 +6,7 @@
 //
 //	rfdemo                       # terminal dashboard, 50x compressed time
 //	rfdemo -scale 1              # real protocol time (~the paper's 4 min)
+//	rfdemo -replicas 3           # distributed RF-controller, 3 replicas
 //	rfdemo -http :8080           # also serve the GUI on http://localhost:8080
 package main
 
@@ -17,15 +18,13 @@ import (
 	"time"
 
 	"routeflow"
-	"routeflow/internal/core"
-	"routeflow/internal/stream"
-	"routeflow/internal/vnet"
 )
 
 func main() {
 	scale := flag.Float64("scale", 50, "time compression factor (1 = real time)")
 	server := flag.String("server", "Lisbon", "video server city")
 	client := flag.String("client", "Stockholm", "video client city")
+	replicas := flag.Int("replicas", 1, "rf-controller replicas (>1 = distributed control)")
 	httpAddr := flag.String("http", "", "also serve the dashboard on this address")
 	flag.Parse()
 
@@ -50,15 +49,15 @@ func main() {
 	}
 
 	clk := routeflow.ScaledClock(*scale)
-	d, err := core.NewDeployment(core.Options{
-		Topology:      g,
-		Clock:         clk,
-		HostNodes:     []int{srv.ID, cli.ID},
-		BootDelay:     2 * time.Second,
-		Timers:        routeflow.DefaultExperimentTimers(),
-		ProbeInterval: time.Second,
-		OnStatus:      func(dpid uint64, st vnet.State) { dash.Update(dpid, st) },
-	})
+	d, err := routeflow.New(g,
+		routeflow.WithClock(clk),
+		routeflow.WithHosts(srv.ID, cli.ID),
+		routeflow.WithBootDelay(2*time.Second),
+		routeflow.WithTimers(routeflow.DefaultExperimentTimers()),
+		routeflow.WithProbeInterval(time.Second),
+		routeflow.WithReplicas(*replicas),
+		routeflow.WithOnStatus(func(dpid uint64, st routeflow.VMState) { dash.Update(dpid, st) }),
+	)
 	if err != nil {
 		fatalf("deployment: %v", err)
 	}
@@ -66,11 +65,11 @@ func main() {
 
 	srvHost, _ := d.Host(srv.ID)
 	cliHost, _ := d.Host(cli.ID)
-	vClient, err := stream.NewClient(cliHost, 0, clk)
+	vClient, err := routeflow.NewVideoClient(cliHost, 0, clk)
 	if err != nil {
 		fatalf("client: %v", err)
 	}
-	vServer, err := stream.NewServer(stream.ServerConfig{
+	vServer, err := routeflow.NewVideoServer(routeflow.VideoServerConfig{
 		Host: srvHost, Dst: cliHost.Addr(), Clock: clk})
 	if err != nil {
 		fatalf("server: %v", err)

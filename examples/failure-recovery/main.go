@@ -39,8 +39,8 @@ func main() {
 		log.Fatal(err)
 	}
 	routeflow.PrintScenario(os.Stdout, res)
-	if !res.AllOK() {
-		os.Exit(1)
+	if code := routeflow.ScenarioExitCode(res, err); code != 0 {
+		os.Exit(code)
 	}
 	fmt.Println("failure, partition and recovery all handled — control plane stayed honest")
 }

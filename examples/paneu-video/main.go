@@ -21,10 +21,11 @@ func main() {
 		g.NumNodes(), g.NumLinks(), g.Diameter())
 	fmt.Println("starting cold; streaming Lisbon -> Stockholm...")
 
-	res, err := routeflow.RunDemo(routeflow.ExperimentConfig{TimeScale: 100},
-		lisbon.ID, stockholm.ID)
+	report, err := routeflow.Run(
+		routeflow.DemoRun{Streams: [][2]int{{lisbon.ID, stockholm.ID}}},
+		routeflow.RunTimeScale(100))
 	if err != nil {
 		log.Fatal(err)
 	}
-	routeflow.PrintDemo(os.Stdout, res)
+	report.Print(os.Stdout)
 }

@@ -16,13 +16,12 @@ func main() {
 	// compresses the protocol timers (OSPF hellos, VM boot) so the example
 	// finishes in well under a second of wall time; all printed durations
 	// are protocol time.
-	d, err := routeflow.NewDeployment(routeflow.Options{
-		Topology:  routeflow.Ring(4),
-		Clock:     routeflow.ScaledClock(200),
-		HostNodes: []int{0, 2},
-		Timers:    routeflow.DefaultExperimentTimers(),
-		BootDelay: 2 * time.Second,
-	})
+	d, err := routeflow.New(routeflow.Ring(4),
+		routeflow.WithTimeScale(200),
+		routeflow.WithHosts(0, 2),
+		routeflow.WithTimers(routeflow.DefaultExperimentTimers()),
+		routeflow.WithBootDelay(2*time.Second),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -11,10 +11,10 @@ import (
 )
 
 func main() {
-	rows, err := routeflow.RunFig3([]int{4, 8, 12},
-		routeflow.ExperimentConfig{TimeScale: 200})
+	report, err := routeflow.Run(routeflow.Fig3Run{Sizes: []int{4, 8, 12}},
+		routeflow.RunTimeScale(200))
 	if err != nil {
 		log.Fatal(err)
 	}
-	routeflow.PrintFig3(os.Stdout, rows)
+	report.Print(os.Stdout)
 }

@@ -5,6 +5,7 @@ import (
 	"io"
 	"time"
 
+	"routeflow/internal/clock"
 	"routeflow/internal/core"
 	"routeflow/internal/scenario"
 	"routeflow/internal/stream"
@@ -25,6 +26,12 @@ type ExperimentConfig struct {
 	ProbeInterval time.Duration
 	// NoFlowVisor runs the merged-controller ablation.
 	NoFlowVisor bool
+	// Cluster sizes the distributed RF-controller replica set (zero = the
+	// paper's single rf-server).
+	Cluster ClusterSpec
+	// RPCApplyDelay models serialized per-switch work in each replica's
+	// RPC apply path — the cost sharding the switch population divides.
+	RPCApplyDelay time.Duration
 }
 
 func (c ExperimentConfig) withDefaults() ExperimentConfig {
@@ -43,6 +50,24 @@ func (c ExperimentConfig) withDefaults() ExperimentConfig {
 	return c
 }
 
+// deploy assembles the deployment every experiment entry point shares —
+// the config's knobs (timers, discovery, ablation, cluster) threaded into
+// core.Options once instead of per entry point.
+func (c ExperimentConfig) deploy(g *Topology, hosts []int, clk clock.Clock) (*Deployment, error) {
+	return core.NewDeployment(core.Options{
+		Topology:      g,
+		Clock:         clk,
+		HostNodes:     hosts,
+		BootDelay:     c.BootDelay,
+		Timers:        c.Timers,
+		ProbeInterval: c.ProbeInterval,
+		LinkTTL:       3 * c.ProbeInterval,
+		NoFlowVisor:   c.NoFlowVisor,
+		Cluster:       c.Cluster,
+		RPCApplyDelay: c.RPCApplyDelay,
+	})
+}
+
 // Fig3Row is one point of the paper's Fig. 3: the time to configure
 // RouteFlow on a ring of Switches switches, automatically (measured on this
 // implementation, protocol time) and manually (the paper's administrator
@@ -57,15 +82,7 @@ type Fig3Row struct {
 // RunFig3Point measures one ring size.
 func RunFig3Point(n int, cfg ExperimentConfig) (Fig3Row, error) {
 	cfg = cfg.withDefaults()
-	d, err := core.NewDeployment(core.Options{
-		Topology:      Ring(n),
-		Clock:         ScaledClock(cfg.TimeScale),
-		BootDelay:     cfg.BootDelay,
-		Timers:        cfg.Timers,
-		ProbeInterval: cfg.ProbeInterval,
-		LinkTTL:       3 * cfg.ProbeInterval,
-		NoFlowVisor:   cfg.NoFlowVisor,
-	})
+	d, err := cfg.deploy(Ring(n), nil, ScaledClock(cfg.TimeScale))
 	if err != nil {
 		return Fig3Row{}, err
 	}
@@ -142,16 +159,7 @@ func RunMultiASPoint(asCount, asSize int, cfg ExperimentConfig) (MultiASRow, err
 		// whenever the AS has three or more switches.
 		hosts = append(hosts, i*asSize+asSize-1)
 	}
-	d, err := core.NewDeployment(core.Options{
-		Topology:      g,
-		Clock:         ScaledClock(cfg.TimeScale),
-		HostNodes:     hosts,
-		BootDelay:     cfg.BootDelay,
-		Timers:        cfg.Timers,
-		ProbeInterval: cfg.ProbeInterval,
-		LinkTTL:       3 * cfg.ProbeInterval,
-		NoFlowVisor:   cfg.NoFlowVisor,
-	})
+	d, err := cfg.deploy(g, hosts, ScaledClock(cfg.TimeScale))
 	if err != nil {
 		return MultiASRow{}, err
 	}
@@ -271,16 +279,7 @@ func RunDemoMultiStream(cfg ExperimentConfig, pairs [][2]int) (MultiStreamResult
 			}
 		}
 	}
-	d, err := core.NewDeployment(core.Options{
-		Topology:      g,
-		Clock:         clk,
-		HostNodes:     hostNodes,
-		BootDelay:     cfg.BootDelay,
-		Timers:        cfg.Timers,
-		ProbeInterval: cfg.ProbeInterval,
-		LinkTTL:       3 * cfg.ProbeInterval,
-		NoFlowVisor:   cfg.NoFlowVisor,
-	})
+	d, err := cfg.deploy(g, hostNodes, clk)
 	if err != nil {
 		return MultiStreamResult{}, err
 	}
@@ -363,14 +362,18 @@ type (
 	ScenarioCheck = scenario.Check
 )
 
-// Scenario fault kinds.
+// Scenario fault kinds. The replica kinds need a clustered spec
+// (Spec.Cluster.Replicas > 1).
 const (
-	FaultLinkDown      = scenario.FaultLinkDown
-	FaultLinkUp        = scenario.FaultLinkUp
-	FaultLinkFlap      = scenario.FaultLinkFlap
-	FaultSwitchCrash   = scenario.FaultSwitchCrash
-	FaultServerRestart = scenario.FaultServerRestart
-	FaultRPCLoss       = scenario.FaultRPCLoss
+	FaultLinkDown         = scenario.FaultLinkDown
+	FaultLinkUp           = scenario.FaultLinkUp
+	FaultLinkFlap         = scenario.FaultLinkFlap
+	FaultSwitchCrash      = scenario.FaultSwitchCrash
+	FaultServerRestart    = scenario.FaultServerRestart
+	FaultRPCLoss          = scenario.FaultRPCLoss
+	FaultReplicaKill      = scenario.FaultReplicaKill
+	FaultReplicaPartition = scenario.FaultReplicaPartition
+	FaultReplicaHeal      = scenario.FaultReplicaHeal
 )
 
 // RunScenario executes one chaos scenario: build the deployment, inject the

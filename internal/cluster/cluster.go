@@ -1,0 +1,301 @@
+// Package cluster implements deterministic lease-based mastership for a
+// sharded rf-controller: N replicas divide the switch population into shard
+// groups, each shard is owned by exactly one replica at a time, and
+// ownership is protected by a clock-driven lease. A live replica renews the
+// leases of every shard it owns; when a replica dies (or is partitioned
+// from the coordination service) its heartbeats stop, its leases lapse
+// after the TTL, and the coordinator re-homes the orphaned shards to the
+// surviving replicas. Every transfer carries a monotonically increasing
+// epoch — the fencing token that lets the configuration pipeline discard
+// work issued under a stale mastership.
+//
+// The coordinator stands in for the consensus service (etcd, ZooKeeper) a
+// production deployment would use, with one deliberate property the
+// reproduction needs everywhere else too: determinism. Renewal and expiry
+// are evaluated by a single loop on an injected clock, shards are scanned
+// in index order, and the preferred owner of a shard is a pure function of
+// the live-replica set — so a scenario that kills replica 1 of 2 always
+// ends with replica 0 owning everything, in the same assignment order, on
+// every run.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"routeflow/internal/clock"
+)
+
+// Policy names a shard→replica assignment policy.
+type Policy string
+
+// PolicyModulo assigns shard s to the (s mod n)-th live replica — the
+// default static-partitioning policy. Load-aware rebalancing is the
+// road-mapped follow-on.
+const PolicyModulo Policy = "modulo"
+
+// Lease timing defaults (protocol time).
+const (
+	DefaultLeaseTTL   = 3 * time.Second
+	defaultRenewRatio = 3 // renew at TTL/3
+)
+
+// Config sizes a coordinator.
+type Config struct {
+	// Shards is the number of shard groups (required, ≥ 1).
+	Shards int
+	// Replicas is the number of rf-controller replicas (required, ≥ 1).
+	Replicas int
+	// Policy selects the assignment rule (default PolicyModulo).
+	Policy Policy
+	// LeaseTTL is how long a shard stays owned after its owner's last
+	// heartbeat (default DefaultLeaseTTL).
+	LeaseTTL time.Duration
+	// Renew is the heartbeat/evaluation period (default LeaseTTL/3).
+	Renew time.Duration
+	// Clock drives leases; protocol time under a scaled clock.
+	Clock clock.Clock
+	// OnChange observes each batch of ownership transfers, in shard order,
+	// synchronously from the coordination loop (and once from Run for the
+	// initial assignment). It must not call back into SetLive.
+	OnChange func([]Assignment)
+}
+
+// Assignment is one ownership decision.
+type Assignment struct {
+	Shard   int
+	Replica int    // new owner; -1 when no live replica remains
+	Prev    int    // previous owner; -1 on the initial assignment
+	Epoch   uint64 // fencing token, strictly increasing across transfers
+}
+
+// Lease is the published ownership record of one shard.
+type Lease struct {
+	Owner   int // -1 = unowned
+	Epoch   uint64
+	Expires time.Time
+}
+
+// Coordinator arbitrates shard mastership across replicas.
+type Coordinator struct {
+	cfg Config
+	clk clock.Clock
+
+	mu      sync.Mutex
+	owner   []int       // per shard; -1 = unowned
+	epoch   []uint64    // per shard fencing token
+	fence   uint64      // global epoch counter
+	live    []bool      // per replica: heartbeating (process up, not partitioned)
+	beat    []time.Time // per replica: last heartbeat
+	booted  bool
+	running bool // Run has started the loop (Stop waits for it only then)
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// New validates cfg and builds a coordinator; call Run to start it.
+func New(cfg Config) (*Coordinator, error) {
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("cluster: Shards must be >= 1 (got %d)", cfg.Shards)
+	}
+	if cfg.Replicas < 1 {
+		return nil, fmt.Errorf("cluster: Replicas must be >= 1 (got %d)", cfg.Replicas)
+	}
+	if cfg.Policy == "" {
+		cfg.Policy = PolicyModulo
+	}
+	if cfg.Policy != PolicyModulo {
+		return nil, fmt.Errorf("cluster: unknown shard policy %q", cfg.Policy)
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.System()
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = DefaultLeaseTTL
+	}
+	if cfg.Renew <= 0 {
+		cfg.Renew = cfg.LeaseTTL / defaultRenewRatio
+	}
+	if cfg.Renew > cfg.LeaseTTL {
+		return nil, fmt.Errorf("cluster: renew period %v exceeds lease TTL %v", cfg.Renew, cfg.LeaseTTL)
+	}
+	c := &Coordinator{
+		cfg:   cfg,
+		clk:   cfg.Clock,
+		owner: make([]int, cfg.Shards),
+		epoch: make([]uint64, cfg.Shards),
+		live:  make([]bool, cfg.Replicas),
+		beat:  make([]time.Time, cfg.Replicas),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	for s := range c.owner {
+		c.owner[s] = -1
+	}
+	for r := range c.live {
+		c.live[r] = true
+	}
+	return c, nil
+}
+
+// Run performs the initial assignment synchronously (every shard gets an
+// owner before Run returns, so callers can wire ownership-dependent state
+// deterministically) and then starts the coordination loop. The renewal
+// ticker is armed before Run returns, so a fake clock advanced immediately
+// afterwards drives the loop.
+func (c *Coordinator) Run() {
+	c.tick()
+	t := c.clk.NewTicker(c.cfg.Renew)
+	c.mu.Lock()
+	c.running = true
+	c.mu.Unlock()
+	go c.loop(t)
+}
+
+// Stop halts the coordination loop. Leases freeze in their current state.
+// Safe to call before Run (a build that fails mid-assembly still tears down).
+func (c *Coordinator) Stop() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	c.mu.Lock()
+	running := c.running
+	c.mu.Unlock()
+	if running {
+		<-c.done
+	}
+}
+
+func (c *Coordinator) loop(t clock.Ticker) {
+	defer close(c.done)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C():
+			c.tick()
+		}
+	}
+}
+
+// tick is one coordination round: heartbeat every live replica, expire
+// lapsed leases, and (re)assign shards to their preferred live owner. All
+// decisions are made under the lock; callbacks fire after it is released,
+// so OnChange handlers may query Owner/Lease freely.
+func (c *Coordinator) tick() {
+	now := c.clk.Now()
+	c.mu.Lock()
+	for r, l := range c.live {
+		if l {
+			c.beat[r] = now
+		}
+	}
+	if !c.booted {
+		c.booted = true
+	}
+	// A replica is "held" (its leases respected) while its last heartbeat is
+	// within the TTL — a replica that just stopped beating keeps its shards
+	// until the lease lapses, exactly like a real lease service.
+	held := func(r int) bool {
+		return r >= 0 && now.Sub(c.beat[r]) < c.cfg.LeaseTTL
+	}
+	var alive []int
+	for r := range c.live {
+		if held(r) && c.live[r] {
+			alive = append(alive, r)
+		}
+	}
+	var batch []Assignment
+	for s := 0; s < c.cfg.Shards; s++ {
+		pref := -1
+		if len(alive) > 0 {
+			pref = alive[s%len(alive)]
+		}
+		cur := c.owner[s]
+		switch {
+		case cur == pref:
+			continue
+		case held(cur) && c.live[cur] && pref >= 0:
+			// The current owner is alive and renewing, but the preferred
+			// owner changed (a replica joined back): cooperative rebalance —
+			// the owner cedes the shard at its next renewal.
+		case held(cur):
+			// Lease still valid and the owner may merely be slow; do not
+			// steal it before expiry.
+			continue
+		}
+		if pref == cur {
+			continue
+		}
+		c.fence++
+		c.epoch[s] = c.fence
+		batch = append(batch, Assignment{Shard: s, Replica: pref, Prev: cur, Epoch: c.fence})
+		c.owner[s] = pref
+	}
+	cb := c.cfg.OnChange
+	c.mu.Unlock()
+	if len(batch) > 0 && cb != nil {
+		cb(batch)
+	}
+}
+
+// SetLive marks a replica as heartbeating (true) or silent (false). A crash
+// sets it false forever; a partition sets it false until the heal. Shards
+// owned by a silent replica re-home once their lease lapses.
+func (c *Coordinator) SetLive(replica int, live bool) {
+	c.mu.Lock()
+	if replica >= 0 && replica < len(c.live) {
+		c.live[replica] = live
+	}
+	c.mu.Unlock()
+}
+
+// Owner returns the replica currently mastering a shard; ok is false when
+// no live replica holds it.
+func (c *Coordinator) Owner(shard int) (int, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if shard < 0 || shard >= len(c.owner) || c.owner[shard] < 0 {
+		return -1, false
+	}
+	return c.owner[shard], true
+}
+
+// Epoch returns a shard's current fencing token.
+func (c *Coordinator) Epoch(shard int) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if shard < 0 || shard >= len(c.epoch) {
+		return 0
+	}
+	return c.epoch[shard]
+}
+
+// LeaseOf returns the full lease record of a shard.
+func (c *Coordinator) LeaseOf(shard int) Lease {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if shard < 0 || shard >= len(c.owner) {
+		return Lease{Owner: -1}
+	}
+	l := Lease{Owner: c.owner[shard], Epoch: c.epoch[shard]}
+	if l.Owner >= 0 {
+		l.Expires = c.beat[l.Owner].Add(c.cfg.LeaseTTL)
+	}
+	return l
+}
+
+// LiveReplicas lists the replicas currently heartbeating, ascending.
+func (c *Coordinator) LiveReplicas() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []int
+	for r, l := range c.live {
+		if l {
+			out = append(out, r)
+		}
+	}
+	return out
+}

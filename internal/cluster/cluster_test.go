@@ -1,0 +1,227 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"routeflow/internal/clock"
+)
+
+// recorder collects assignment batches thread-safely.
+type recorder struct {
+	mu      sync.Mutex
+	batches [][]Assignment
+}
+
+func (r *recorder) onChange(batch []Assignment) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cp := make([]Assignment, len(batch))
+	copy(cp, batch)
+	r.batches = append(r.batches, cp)
+}
+
+func (r *recorder) all() []Assignment {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Assignment
+	for _, b := range r.batches {
+		out = append(out, b...)
+	}
+	return out
+}
+
+// eventually polls a condition against the wall clock — the coordinator's
+// loop goroutine consumes fake-clock ticks asynchronously.
+func eventually(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func newTestCoordinator(t *testing.T, shards, replicas int, rec *recorder) (*Coordinator, *clock.Fake) {
+	t.Helper()
+	fc := clock.NewFake()
+	cfg := Config{
+		Shards:   shards,
+		Replicas: replicas,
+		LeaseTTL: time.Second,
+		Renew:    250 * time.Millisecond,
+		Clock:    fc,
+	}
+	if rec != nil {
+		cfg.OnChange = rec.onChange
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return c, fc
+}
+
+func TestInitialAssignmentIsModuloAndSynchronous(t *testing.T) {
+	rec := &recorder{}
+	c, _ := newTestCoordinator(t, 5, 2, rec)
+	c.Run()
+	defer c.Stop()
+	// Run returns only after the initial assignment: every shard owned.
+	for s := 0; s < 5; s++ {
+		owner, ok := c.Owner(s)
+		if !ok {
+			t.Fatalf("shard %d unowned after Run", s)
+		}
+		if want := s % 2; owner != want {
+			t.Fatalf("shard %d owned by %d, want %d", s, owner, want)
+		}
+	}
+	got := rec.all()
+	if len(got) != 5 {
+		t.Fatalf("initial batch has %d assignments, want 5", len(got))
+	}
+	for i, a := range got {
+		if a.Shard != i || a.Prev != -1 || a.Replica != i%2 {
+			t.Fatalf("assignment %d = %+v, want shard=%d prev=-1 replica=%d", i, a, i, i%2)
+		}
+		if a.Epoch != uint64(i+1) {
+			t.Fatalf("assignment %d epoch = %d, want %d (strictly increasing)", i, a.Epoch, i+1)
+		}
+	}
+}
+
+func TestLeaseLapsesAfterDeathAndShardsRehome(t *testing.T) {
+	rec := &recorder{}
+	c, fc := newTestCoordinator(t, 4, 2, rec)
+	c.Run()
+	defer c.Stop()
+
+	epochBefore := c.Epoch(1)
+	c.SetLive(1, false)
+
+	// Within the TTL the dead replica's leases are respected.
+	fc.Advance(500 * time.Millisecond)
+	if owner, _ := c.Owner(1); owner != 1 {
+		t.Fatalf("shard 1 stolen before lease expiry (owner=%d)", owner)
+	}
+
+	// After the TTL every shard re-homes to the survivor.
+	fc.Advance(time.Second)
+	eventually(t, "rehome to replica 0", func() bool {
+		for s := 0; s < 4; s++ {
+			if owner, ok := c.Owner(s); !ok || owner != 0 {
+				return false
+			}
+		}
+		return true
+	})
+	if e := c.Epoch(1); e <= epochBefore {
+		t.Fatalf("shard 1 epoch did not advance on transfer (%d -> %d)", epochBefore, e)
+	}
+}
+
+func TestHealRebalancesCooperatively(t *testing.T) {
+	c, fc := newTestCoordinator(t, 4, 2, nil)
+	c.Run()
+	defer c.Stop()
+
+	c.SetLive(1, false)
+	fc.Advance(2 * time.Second)
+	eventually(t, "failover", func() bool {
+		o, ok := c.Owner(1)
+		return ok && o == 0
+	})
+
+	c.SetLive(1, true)
+	fc.Advance(2 * time.Second)
+	eventually(t, "rebalance back", func() bool {
+		o1, ok1 := c.Owner(1)
+		o3, ok3 := c.Owner(3)
+		return ok1 && ok3 && o1 == 1 && o3 == 1
+	})
+	// Even shards never left replica 0.
+	if o, _ := c.Owner(0); o != 0 {
+		t.Fatalf("shard 0 moved to %d during rebalance", o)
+	}
+}
+
+func TestAllReplicasDeadLeavesShardsUnowned(t *testing.T) {
+	c, fc := newTestCoordinator(t, 2, 2, nil)
+	c.Run()
+	defer c.Stop()
+	c.SetLive(0, false)
+	c.SetLive(1, false)
+	fc.Advance(3 * time.Second)
+	eventually(t, "shards orphaned", func() bool {
+		_, ok0 := c.Owner(0)
+		_, ok1 := c.Owner(1)
+		return !ok0 && !ok1
+	})
+	if l := c.LeaseOf(0); l.Owner != -1 {
+		t.Fatalf("lease of orphaned shard reports owner %d", l.Owner)
+	}
+}
+
+func TestDeterministicFailoverSequence(t *testing.T) {
+	run := func() []Assignment {
+		rec := &recorder{}
+		c, fc := newTestCoordinator(t, 6, 3, rec)
+		c.Run()
+		c.SetLive(2, false)
+		fc.Advance(2 * time.Second)
+		eventually(t, "rehome", func() bool {
+			for s := 0; s < 6; s++ {
+				if o, ok := c.Owner(s); !ok || o == 2 {
+					return false
+				}
+			}
+			return true
+		})
+		c.Stop()
+		return rec.all()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("runs produced %d vs %d assignments", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("assignment %d differs across runs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Shards: 0, Replicas: 1}); err == nil {
+		t.Error("Shards=0 accepted")
+	}
+	if _, err := New(Config{Shards: 1, Replicas: 0}); err == nil {
+		t.Error("Replicas=0 accepted")
+	}
+	if _, err := New(Config{Shards: 1, Replicas: 1, Policy: "spread"}); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if _, err := New(Config{Shards: 1, Replicas: 1, LeaseTTL: time.Second, Renew: 2 * time.Second}); err == nil {
+		t.Error("renew > TTL accepted")
+	}
+}
+
+func TestSingleReplicaOwnsEverythingForever(t *testing.T) {
+	rec := &recorder{}
+	c, fc := newTestCoordinator(t, 3, 1, rec)
+	c.Run()
+	defer c.Stop()
+	fc.Advance(10 * time.Second)
+	for s := 0; s < 3; s++ {
+		if o, ok := c.Owner(s); !ok || o != 0 {
+			t.Fatalf("shard %d owner = %d, ok=%v; want 0", s, o, ok)
+		}
+	}
+	if got := rec.all(); len(got) != 3 {
+		t.Fatalf("single-replica coordinator produced %d assignments, want exactly the 3 initial ones", len(got))
+	}
+}

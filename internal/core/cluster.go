@@ -1,0 +1,362 @@
+package core
+
+// The distributed RF-controller: a Deployment can run N rf-controller
+// replicas, each mastering a shard of the switch population under a
+// lease-based coordinator (internal/cluster). The shard unit is the AS
+// group — every switch of one autonomous system shares a replica, so the
+// iBGP full mesh stays co-located — and flat (AS-less) switches shard
+// individually. Replicas: 1 (the default) degenerates to the paper's single
+// rf-server with none of the cluster machinery instantiated.
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"routeflow/internal/cluster"
+	"routeflow/internal/ctlkit"
+	"routeflow/internal/rf"
+	"routeflow/internal/rpcconf"
+	"routeflow/internal/vnet"
+)
+
+// ClusterSpec sizes the distributed RF-controller.
+type ClusterSpec struct {
+	// Replicas is the number of rf-controller instances (0 or 1 = the
+	// single-controller deployment).
+	Replicas int
+	// Policy selects the shard→replica assignment rule (default modulo).
+	Policy cluster.Policy
+	// LeaseTTL is how long a silent replica keeps its shards
+	// (default cluster.DefaultLeaseTTL, protocol time).
+	LeaseTTL time.Duration
+	// LeaseRenew is the heartbeat/evaluation period (default LeaseTTL/3).
+	LeaseRenew time.Duration
+}
+
+// replica is one rf-controller instance: its platform, its RPC server
+// incarnation, and the client the topology controller reaches it through.
+type replica struct {
+	id       int
+	platform *rf.Platform
+	cli      *rpcconf.Client
+	loss     *rpcconf.LossInjector
+	rfLn     *ctlkit.MemListener // switch-facing listener (cluster mode)
+
+	// The RPC server can be crash-restarted mid-run: rpcMu guards the
+	// current incarnation, rpcLn the listener the client's dialer reads on
+	// every dial.
+	rpcMu  sync.Mutex
+	rpcSrv *rpcconf.Server
+	rpcLn  atomic.Pointer[ctlkit.MemListener]
+
+	alive       atomic.Bool
+	partitioned atomic.Bool
+}
+
+// restartServer crash-restarts this replica's RPC endpoint (fresh epoch,
+// dedup horizon lost).
+func (r *replica) restartServer() {
+	r.rpcMu.Lock()
+	defer r.rpcMu.Unlock()
+	if old := r.rpcLn.Load(); old != nil {
+		old.Close()
+	}
+	if r.rpcSrv != nil {
+		r.rpcSrv.Stop()
+	}
+	nl := ctlkit.NewMemListener(fmt.Sprintf("rpc-server-%d", r.id))
+	r.rpcSrv = rpcconf.NewServer(r.platform.RPCHandler())
+	r.rpcLn.Store(nl)
+	go r.rpcSrv.Serve(nl)
+}
+
+func (r *replica) applied() uint64 {
+	r.rpcMu.Lock()
+	defer r.rpcMu.Unlock()
+	if r.rpcSrv == nil {
+		return 0
+	}
+	return r.rpcSrv.Applied()
+}
+
+func (r *replica) closeServer() {
+	r.rpcMu.Lock()
+	if ln := r.rpcLn.Load(); ln != nil {
+		ln.Close()
+	}
+	if r.rpcSrv != nil {
+		r.rpcSrv.Stop()
+	}
+	r.rpcMu.Unlock()
+}
+
+// clustered reports whether the deployment runs more than one replica.
+func (d *Deployment) clustered() bool { return d.coord != nil }
+
+// computeShards derives the shard map from the topology: AS groups first
+// (ascending by ASN), then flat nodes (ascending by node ID) — a
+// deterministic order so shard indexes, and therefore the modulo
+// assignment, are reproducible.
+func (d *Deployment) computeShards() {
+	byAS := make(map[uint32][]uint64)
+	var flat []uint64
+	for _, n := range d.graph.Nodes() {
+		dpid := DPIDForNode(n.ID)
+		if n.AS != 0 {
+			byAS[n.AS] = append(byAS[n.AS], dpid)
+		} else {
+			flat = append(flat, dpid)
+		}
+	}
+	asns := make([]uint32, 0, len(byAS))
+	for asn := range byAS {
+		asns = append(asns, asn)
+	}
+	sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+	sort.Slice(flat, func(i, j int) bool { return flat[i] < flat[j] })
+	d.shardOf = make(map[uint64]int)
+	d.shardDPIDs = nil
+	add := func(dpids []uint64) {
+		s := len(d.shardDPIDs)
+		sort.Slice(dpids, func(i, j int) bool { return dpids[i] < dpids[j] })
+		d.shardDPIDs = append(d.shardDPIDs, dpids)
+		for _, dpid := range dpids {
+			d.shardOf[dpid] = s
+		}
+	}
+	for _, asn := range asns {
+		add(byAS[asn])
+	}
+	for _, dpid := range flat {
+		add([]uint64{dpid})
+	}
+}
+
+// ownerOfDPID resolves a switch's current master replica. In a
+// single-controller deployment replica 0 masters everything.
+func (d *Deployment) ownerOfDPID(dpid uint64) (int, bool) {
+	if !d.clustered() {
+		return 0, true
+	}
+	shard, ok := d.shardOf[dpid]
+	if !ok {
+		return -1, false
+	}
+	return d.coord.Owner(shard)
+}
+
+// ownerPlatform resolves the platform currently mastering a switch; ok is
+// false when the switch's shard is orphaned (owner dead with no successor
+// yet) or the owner is killed or partitioned — a master that cannot reach
+// its switches is no master, even while its lease is still ticking down.
+func (d *Deployment) ownerPlatform(dpid uint64) (*rf.Platform, int, bool) {
+	r, ok := d.ownerOfDPID(dpid)
+	if !ok {
+		return nil, -1, false
+	}
+	rep := d.reps[r]
+	if !rep.alive.Load() || rep.partitioned.Load() {
+		return nil, r, false
+	}
+	return rep.platform, r, true
+}
+
+// vmOf resolves the VM mirroring a switch on its current master.
+func (d *Deployment) vmOf(dpid uint64) (*vnet.VM, bool) {
+	p, _, ok := d.ownerPlatform(dpid)
+	if !ok {
+		return nil, false
+	}
+	return p.VM(dpid)
+}
+
+// OwnerPlatform returns the RF platform mastering a switch — the platform
+// whose desired flows the switch's table must mirror. In a
+// single-controller deployment this is always the one platform; in a
+// cluster it follows mastership, and ok is false while a shard is orphaned
+// between its master's death and the lease-lapse rehome.
+func (d *Deployment) OwnerPlatform(dpid uint64) (*rf.Platform, bool) {
+	p, _, ok := d.ownerPlatform(dpid)
+	return p, ok
+}
+
+// MasterOf returns the replica index currently mastering a graph node's
+// switch (-1 while orphaned).
+func (d *Deployment) MasterOf(node int) int {
+	r, ok := d.ownerOfDPID(DPIDForNode(node))
+	if !ok {
+		return -1
+	}
+	return r
+}
+
+// NumReplicas returns how many rf-controller replicas the deployment runs.
+func (d *Deployment) NumReplicas() int { return len(d.reps) }
+
+// Replica is the public handle of one rf-controller replica.
+type Replica struct {
+	d  *Deployment
+	id int
+}
+
+// Replicas returns a handle per rf-controller replica.
+func (d *Deployment) Replicas() []Replica {
+	out := make([]Replica, len(d.reps))
+	for i := range d.reps {
+		out[i] = Replica{d: d, id: i}
+	}
+	return out
+}
+
+// Replica returns the handle of one replica.
+func (d *Deployment) Replica(i int) (Replica, bool) {
+	if i < 0 || i >= len(d.reps) {
+		return Replica{}, false
+	}
+	return Replica{d: d, id: i}, true
+}
+
+// ID returns the replica index.
+func (r Replica) ID() int { return r.id }
+
+// Platform returns the replica's RF platform.
+func (r Replica) Platform() *rf.Platform { return r.d.reps[r.id].platform }
+
+// Alive reports whether the replica process is running (false after
+// KillReplica).
+func (r Replica) Alive() bool { return r.d.reps[r.id].alive.Load() }
+
+// Partitioned reports whether the replica is currently cut off from its
+// switches and the coordination service.
+func (r Replica) Partitioned() bool { return r.d.reps[r.id].partitioned.Load() }
+
+// Owned returns the graph nodes whose switches this replica currently
+// masters, ascending.
+func (r Replica) Owned() []int {
+	var out []int
+	for _, n := range r.d.graph.Nodes() {
+		if m, ok := r.d.ownerOfDPID(DPIDForNode(n.ID)); ok && m == r.id {
+			out = append(out, n.ID)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// onAssignments reacts to a batch of ownership transfers from the
+// coordinator: released switches are torn down on their previous master
+// (which also cuts their control sessions, forcing a re-dial to the new
+// master), adopted switches are fenced in on the new one, and the topology
+// controller re-scopes desired state.
+func (d *Deployment) onAssignments(batch []cluster.Assignment) {
+	for _, a := range batch {
+		for _, dpid := range d.shardDPIDs[a.Shard] {
+			if a.Prev >= 0 && a.Prev != a.Replica && d.reps[a.Prev].alive.Load() {
+				d.reps[a.Prev].platform.Release(dpid)
+			}
+			if a.Replica >= 0 {
+				d.reps[a.Replica].platform.Adopt(dpid)
+			}
+		}
+	}
+	if d.tc != nil {
+		d.tc.Rehome()
+	}
+}
+
+// dialRFMaster connects a switch's rf slice to its current master replica.
+// While a shard is orphaned (or its master dead/partitioned) the dial
+// fails; the switch's session supervisor keeps re-dialing with backoff and
+// lands on the new master after the rehome.
+func (d *Deployment) dialRFMaster(dpid uint64) (net.Conn, error) {
+	r, ok := d.ownerOfDPID(dpid)
+	if !ok {
+		return nil, fmt.Errorf("core: switch %016x has no live master", dpid)
+	}
+	rep := d.reps[r]
+	if !rep.alive.Load() || rep.partitioned.Load() {
+		return nil, fmt.Errorf("core: replica %d is unavailable", r)
+	}
+	ln := rep.rfLn
+	if ln == nil {
+		return nil, fmt.Errorf("core: replica %d has no switch listener", r)
+	}
+	return ln.Dial()
+}
+
+// KillReplica crash-stops one rf-controller replica: its reconciler and RPC
+// server die, its VMs are destroyed, and every control session it held is
+// cut. Its shards stay ostensibly owned until the lease lapses, then
+// re-home to the survivors — the master-death failure the cluster exists to
+// absorb. The last live replica cannot be killed.
+func (d *Deployment) KillReplica(i int) error {
+	if !d.clustered() {
+		return fmt.Errorf("core: KillReplica requires a clustered deployment")
+	}
+	if i < 0 || i >= len(d.reps) {
+		return fmt.Errorf("core: no replica %d", i)
+	}
+	live := 0
+	for _, rep := range d.reps {
+		if rep.alive.Load() {
+			live++
+		}
+	}
+	rep := d.reps[i]
+	if !rep.alive.Load() {
+		return fmt.Errorf("core: replica %d is already dead", i)
+	}
+	if live <= 1 {
+		return fmt.Errorf("core: refusing to kill the last live replica")
+	}
+	if !rep.alive.CompareAndSwap(true, false) {
+		return fmt.Errorf("core: replica %d is already dead", i)
+	}
+	d.coord.SetLive(i, false)
+	d.tc.StopReconciler(i)
+	rep.closeServer()
+	rep.cli.Close()
+	rep.platform.Stop()
+	if rep.rfLn != nil {
+		rep.rfLn.Close()
+	}
+	return nil
+}
+
+// SetReplicaPartitioned cuts (or heals) a replica's connectivity: to its
+// switches, to the RPC channel from the topology controller, and to the
+// coordination service — so its heartbeats stop and its leases lapse. On
+// lease expiry the replica steps down (its in-process platform releases the
+// shards, modeling lease-based self-fencing) and the survivors take over;
+// on heal it rejoins and the cooperative rebalance hands its shards back.
+func (d *Deployment) SetReplicaPartitioned(i int, partitioned bool) error {
+	if !d.clustered() {
+		return fmt.Errorf("core: SetReplicaPartitioned requires a clustered deployment")
+	}
+	if i < 0 || i >= len(d.reps) {
+		return fmt.Errorf("core: no replica %d", i)
+	}
+	rep := d.reps[i]
+	if !rep.alive.Load() {
+		return fmt.Errorf("core: replica %d is dead", i)
+	}
+	if rep.partitioned.Swap(partitioned) == partitioned {
+		return nil
+	}
+	d.coord.SetLive(i, !partitioned)
+	if partitioned {
+		// Cut every control session the replica holds; redials fail at the
+		// dialer gate until the heal.
+		for dpid := range d.switches {
+			if sc, ok := rep.platform.Controller().Switch(dpid); ok {
+				sc.Close()
+			}
+		}
+		rep.cli.Close()
+	}
+	return nil
+}

@@ -595,7 +595,7 @@ func TestMultiASInterDomainColdBoot(t *testing.T) {
 	// Every VM in an AS runs a bgpd speaker; border routers hold an
 	// Established eBGP session and the generated bgpd.conf names it.
 	for _, n := range g.Nodes() {
-		vm, ok := d.platform.VM(DPIDForNode(n.ID))
+		vm, ok := d.Platform().VM(DPIDForNode(n.ID))
 		if !ok || vm.Router().BGP() == nil {
 			t.Fatalf("node %d: no bgpd", n.ID)
 		}
@@ -635,7 +635,7 @@ func TestMultiASInterDomainColdBoot(t *testing.T) {
 	// The learned inter-domain routes carry the BGP administrative
 	// distances: an interior VM (node 2, AS 64512) reaches a remote AS's
 	// host subnet via iBGP.
-	vm2, _ := d.platform.VM(DPIDForNode(2))
+	vm2, _ := d.Platform().VM(DPIDForNode(2))
 	rt, ok := vm2.RIB().Lookup(netip.MustParseAddr("10.5.0.100"))
 	if !ok {
 		t.Fatal("interior VM has no route to the remote AS host subnet")
@@ -704,7 +704,7 @@ func TestMultiASBorderFailureReroutesViaBackupAS(t *testing.T) {
 	// The border session loss must have charged flap damping, and that
 	// state must have survived the discovery pipeline's neighbor
 	// remove/re-add cycle (the Downs counter is restored with the peer).
-	vm0, _ := d.platform.VM(DPIDForNode(0))
+	vm0, _ := d.Platform().VM(DPIDForNode(0))
 	sawDown := false
 	for _, sess := range vm0.Router().BGP().Sessions() {
 		if !sess.IBGP && sess.Downs >= 1 {

@@ -6,14 +6,15 @@ import (
 	"net"
 	"net/netip"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"routeflow/internal/clock"
+	"routeflow/internal/cluster"
 	"routeflow/internal/ctlkit"
 	"routeflow/internal/discovery"
 	"routeflow/internal/flowvisor"
 	"routeflow/internal/intent"
+	"routeflow/internal/ipam"
 	"routeflow/internal/netemu"
 	"routeflow/internal/ofswitch"
 	"routeflow/internal/pkt"
@@ -67,6 +68,14 @@ type Options struct {
 	// quickly an rf-server restart is detected when no configuration is in
 	// flight (0 = intent.DefaultResyncProbe).
 	ResyncProbe time.Duration
+	// Cluster sizes the distributed RF-controller. The zero value (or
+	// Replicas ≤ 1) runs the paper's single rf-server with none of the
+	// cluster machinery instantiated.
+	Cluster ClusterSpec
+	// RPCApplyDelay models the per-message work of the paper's RPC server
+	// (VM cloning, config-file writes) inside each replica's apply lock —
+	// the serialized cost that sharding the switch population divides.
+	RPCApplyDelay time.Duration
 }
 
 // Deployment is a fully wired automatic-configuration system under test: the
@@ -83,20 +92,19 @@ type Deployment struct {
 	hostEPs  map[int]*netemu.Endpoint
 	cables   map[int][2]*netemu.Endpoint // link index → endpoints
 
-	fv       *flowvisor.FlowVisor
-	topoCtl  *ctlkit.Controller
-	disc     *discovery.Discovery
-	tc       *TopologyController
-	platform *rf.Platform
-	rpcCli   *rpcconf.Client
-	loss     *rpcconf.LossInjector
+	fv      *flowvisor.FlowVisor // shared proxy (single-controller mode)
+	fvs     []*flowvisor.FlowVisor
+	topoCtl *ctlkit.Controller
+	disc    *discovery.Discovery
+	tc      *TopologyController
 
-	// The RPC server can be crash-restarted mid-run (the rf-server failure
-	// scenario): rpcMu guards the current incarnation, rpcLn the listener the
-	// client's dialer reads on every dial.
-	rpcMu  sync.Mutex
-	rpcSrv *rpcconf.Server
-	rpcLn  atomic.Pointer[ctlkit.MemListener]
+	// reps holds one rf-controller instance per replica; single-controller
+	// deployments have exactly one. The cluster fields stay nil/empty unless
+	// Cluster.Replicas > 1.
+	reps       []*replica
+	coord      *cluster.Coordinator
+	shardOf    map[uint64]int // dpid → shard index
+	shardDPIDs [][]uint64     // shard index → member dpids, ascending
 
 	listeners []*ctlkit.MemListener
 
@@ -212,34 +220,85 @@ func (d *Deployment) build() error {
 		})
 	}
 
-	// RF-controller platform + embedded RPC server.
-	platform, err := rf.New(rf.Config{
-		Clock:     d.clk,
-		Pool:      d.opts.Pool,
-		BootDelay: d.opts.BootDelay,
-		Timers:    d.opts.Timers,
-		OnStatus:  d.opts.OnStatus,
-	})
-	if err != nil {
-		return err
+	// RF-controller replicas, each with its own embedded RPC server. One
+	// replica is the paper's single rf-server; more than one is the
+	// distributed controller: every platform is sharded, router IDs derive
+	// from datapath IDs (VM creation order varies by replica), and a lease
+	// coordinator arbitrates shard ownership.
+	nrep := d.opts.Cluster.Replicas
+	if nrep <= 0 {
+		nrep = 1
 	}
-	d.platform = platform
-	d.rpcSrv = rpcconf.NewServer(platform.RPCHandler())
-	rpcL := ctlkit.NewMemListener("rpc-server")
-	d.rpcLn.Store(rpcL)
-	go d.rpcSrv.Serve(rpcL)
-	// The dialer reads the listener through the atomic pointer so an
-	// rf-server restart (RestartRFServer) transparently redirects redials to
-	// the new incarnation. Loss is always injected through a LossInjector so
-	// scenarios can raise and clear the drop rate mid-run; rate zero costs
-	// one atomic load per write.
-	d.loss = rpcconf.NewLossInjector(d.opts.RPCDropRate, d.opts.RPCDropSeed)
-	rpcDial := d.loss.Dialer(func() (net.Conn, error) { return d.rpcLn.Load().Dial() })
+	if nrep > 1 && d.opts.NoFlowVisor {
+		return fmt.Errorf("core: NoFlowVisor is incompatible with Cluster.Replicas > 1 (mastership routes each switch to its master through its own proxy)")
+	}
+	var ridFor func(uint64) netip.Addr
+	if nrep > 1 {
+		rids := ipam.NewRouterIDs(netip.MustParseAddr("10.255.0.1"))
+		ridFor = func(dpid uint64) netip.Addr { return rids.At(dpid - 1) }
+	}
 	var cliOpts []rpcconf.ClientOption
 	if d.opts.RPCAttempts > 0 {
 		cliOpts = append(cliOpts, rpcconf.WithRetry(100*time.Millisecond, d.opts.RPCAttempts))
 	}
-	d.rpcCli = rpcconf.NewClient(rpcDial, d.clk, cliOpts...)
+	senders := make([]intent.Sender, nrep)
+	for i := 0; i < nrep; i++ {
+		platform, err := rf.New(rf.Config{
+			Clock:       d.clk,
+			Pool:        d.opts.Pool,
+			BootDelay:   d.opts.BootDelay,
+			Timers:      d.opts.Timers,
+			OnStatus:    d.opts.OnStatus,
+			Sharded:     nrep > 1,
+			RouterIDFor: ridFor,
+			ApplyDelay:  d.opts.RPCApplyDelay,
+		})
+		if err != nil {
+			return err
+		}
+		rep := &replica{id: i, platform: platform}
+		rep.alive.Store(true)
+		rep.rpcSrv = rpcconf.NewServer(platform.RPCHandler())
+		rpcL := ctlkit.NewMemListener(fmt.Sprintf("rpc-server-%d", i))
+		rep.rpcLn.Store(rpcL)
+		go rep.rpcSrv.Serve(rpcL)
+		// The dialer reads the listener through the atomic pointer so an
+		// rf-server restart (RestartRFServer) transparently redirects redials
+		// to the new incarnation, and gates on liveness so a dead or
+		// partitioned replica is unreachable mid-dial. Loss is always injected
+		// through a LossInjector so scenarios can raise and clear the drop
+		// rate mid-run; the seed is offset per replica to keep multi-replica
+		// loss runs reproducible (replica 0 keeps the historical stream).
+		rep.loss = rpcconf.NewLossInjector(d.opts.RPCDropRate, d.opts.RPCDropSeed+int64(i))
+		rpcDial := rep.loss.Dialer(func() (net.Conn, error) {
+			if !rep.alive.Load() {
+				return nil, fmt.Errorf("core: replica %d is dead", rep.id)
+			}
+			if rep.partitioned.Load() {
+				return nil, fmt.Errorf("core: replica %d is partitioned", rep.id)
+			}
+			return rep.rpcLn.Load().Dial()
+		})
+		rep.cli = rpcconf.NewClient(rpcDial, d.clk, cliOpts...)
+		senders[i] = rep.cli
+		d.reps = append(d.reps, rep)
+	}
+	if nrep > 1 {
+		d.computeShards()
+		coord, err := cluster.New(cluster.Config{
+			Shards:   len(d.shardDPIDs),
+			Replicas: nrep,
+			Policy:   d.opts.Cluster.Policy,
+			LeaseTTL: d.opts.Cluster.LeaseTTL,
+			Renew:    d.opts.Cluster.LeaseRenew,
+			Clock:    d.clk,
+			OnChange: d.onAssignments,
+		})
+		if err != nil {
+			return err
+		}
+		d.coord = coord
+	}
 
 	// Topology controller: discovery + RPC client.
 	var discOpts []discovery.Option
@@ -253,9 +312,9 @@ func (d *Deployment) build() error {
 
 	if d.opts.NoFlowVisor {
 		// Merged ablation: one controller process hosts both applications.
-		merged := mergeCallbacks(d.disc.Callbacks(), platformCallbacks(platform))
+		merged := mergeCallbacks(d.disc.Callbacks(), platformCallbacks(d.reps[0].platform))
 		d.topoCtl = ctlkit.New("merged-controller", d.clk, merged)
-		platform.UseController(d.topoCtl)
+		d.reps[0].platform.UseController(d.topoCtl)
 	} else {
 		d.topoCtl = ctlkit.New("topology-controller", d.clk, d.disc.Callbacks())
 	}
@@ -267,8 +326,13 @@ func (d *Deployment) build() error {
 	if d.opts.ResyncProbe > 0 {
 		recOpts = append(recOpts, intent.WithResyncProbe(d.opts.ResyncProbe))
 	}
-	d.tc, err = NewTopologyController(d.clk, d.disc, d.topoCtl, d.rpcCli,
-		d.opts.Pool, 30, admin, recOpts...)
+	var ownerOf func(uint64) (int, bool)
+	if d.clustered() {
+		ownerOf = d.ownerOfDPID
+	}
+	var err error
+	d.tc, err = NewTopologyController(d.clk, d.disc, d.topoCtl, senders,
+		d.opts.Pool, 30, admin, ownerOf, recOpts...)
 	if err != nil {
 		return err
 	}
@@ -302,33 +366,68 @@ func (d *Deployment) Start() error {
 	d.startedAt = d.clk.Now()
 	d.mu.Unlock()
 
-	var swDial func() (net.Conn, error)
-	if d.opts.NoFlowVisor {
+	dialFor := make(map[uint64]func() (net.Conn, error), len(d.switches))
+	switch {
+	case d.opts.NoFlowVisor:
 		ctlL := ctlkit.NewMemListener("merged")
 		d.listeners = append(d.listeners, ctlL)
 		go d.topoCtl.Serve(ctlL)
-		swDial = ctlL.Dial
-	} else {
+		for dpid := range d.switches {
+			dialFor[dpid] = ctlL.Dial
+		}
+	case !d.clustered():
 		topoL := ctlkit.NewMemListener("topology-controller")
 		rfL := ctlkit.NewMemListener("rf-controller")
 		fvL := ctlkit.NewMemListener("flowvisor")
 		d.listeners = append(d.listeners, topoL, rfL, fvL)
 		go d.topoCtl.Serve(topoL)
-		go d.platform.Controller().Serve(rfL)
+		go d.reps[0].platform.Controller().Serve(rfL)
 		d.fv = flowvisor.New("fv", []flowvisor.Slice{
 			flowvisor.LLDPSlice("topology", topoL.Dial),
 			flowvisor.DefaultSlice("rf", rfL.Dial),
 		})
 		go d.fv.Serve(fvL)
-		swDial = fvL.Dial
+		for dpid := range d.switches {
+			dialFor[dpid] = fvL.Dial
+		}
+	default:
+		// Distributed controller: one topology controller sees every switch,
+		// but each switch's rf slice must follow mastership. Every replica
+		// serves its own switch-facing listener, and every switch gets its
+		// own proxy whose rf slice dials the switch's *current* master — so a
+		// failover is just the old session dying and the redial landing on
+		// the successor.
+		topoL := ctlkit.NewMemListener("topology-controller")
+		d.listeners = append(d.listeners, topoL)
+		go d.topoCtl.Serve(topoL)
+		for _, rep := range d.reps {
+			rep.rfLn = ctlkit.NewMemListener(fmt.Sprintf("rf-controller-%d", rep.id))
+			go rep.platform.Controller().Serve(rep.rfLn)
+		}
+		// Initial shard assignment happens synchronously inside Run: every
+		// platform has adopted its shards before any switch connects.
+		d.coord.Run()
+		for dpid := range d.switches {
+			fv := flowvisor.New(fmt.Sprintf("fv-%x", dpid), []flowvisor.Slice{
+				flowvisor.LLDPSlice("topology", topoL.Dial),
+				flowvisor.DefaultSlice("rf", func() (net.Conn, error) { return d.dialRFMaster(dpid) }),
+			})
+			d.fvs = append(d.fvs, fv)
+			fvL := ctlkit.NewMemListener(fmt.Sprintf("flowvisor-%x", dpid))
+			d.listeners = append(d.listeners, fvL)
+			go fv.Serve(fvL)
+			dialFor[dpid] = fvL.Dial
+		}
 	}
 	d.tc.Run()
 
-	for _, sw := range d.switches {
+	for dpid, sw := range d.switches {
 		// StartDialer, not Start: a switch whose control session dies (echo
-		// keepalive cut under load, proxy restart) redials instead of
-		// leaving the node dark forever — the discovery/intent pipeline
-		// then re-declares it and the reconciler re-configures it.
+		// keepalive cut under load, proxy restart, mastership transfer)
+		// redials instead of leaving the node dark forever — the
+		// discovery/intent pipeline then re-declares it and the reconciler
+		// re-configures it on its current master.
+		swDial := dialFor[dpid]
 		if err := sw.StartDialer(func() (io.ReadWriteCloser, error) { return swDial() }); err != nil {
 			return err
 		}

@@ -14,7 +14,6 @@ import (
 	"routeflow/internal/netemu"
 	"routeflow/internal/ofswitch"
 	"routeflow/internal/rf"
-	"routeflow/internal/rpcconf"
 	"routeflow/internal/topo"
 )
 
@@ -78,8 +77,10 @@ func platformCallbacks(p *rf.Platform) ctlkit.Callbacks { return p.Callbacks() }
 // Graph returns the deployment's topology.
 func (d *Deployment) Graph() *topo.Graph { return d.graph }
 
-// Platform returns the RF-controller platform.
-func (d *Deployment) Platform() *rf.Platform { return d.platform }
+// Platform returns the RF-controller platform — the one platform of a
+// single-controller deployment, replica 0 of a cluster. Cluster-aware
+// callers should resolve a switch's master with OwnerPlatform instead.
+func (d *Deployment) Platform() *rf.Platform { return d.reps[0].platform }
 
 // Discovery returns the topology controller's discovery module.
 func (d *Deployment) Discovery() *discovery.Discovery { return d.disc }
@@ -223,32 +224,34 @@ func (d *Deployment) CrashSwitch(node int) error {
 // ack or idle probe and re-syncs the full desired state; the rf apply paths
 // are idempotent, so the system reconverges.
 func (d *Deployment) RestartRFServer() {
-	d.rpcMu.Lock()
-	defer d.rpcMu.Unlock()
-	if old := d.rpcLn.Load(); old != nil {
-		old.Close()
+	for _, rep := range d.reps {
+		if rep.alive.Load() && !rep.partitioned.Load() {
+			rep.restartServer()
+		}
 	}
-	if d.rpcSrv != nil {
-		d.rpcSrv.Stop()
-	}
-	nl := ctlkit.NewMemListener("rpc-server")
-	d.rpcSrv = rpcconf.NewServer(d.platform.RPCHandler())
-	d.rpcLn.Store(nl)
-	go d.rpcSrv.Serve(nl)
 }
 
 // SetRPCLossRate changes the control-channel frame-drop probability while
 // the system runs — the RPC loss *burst* fault. The drop decisions stay
 // seeded by Options.RPCDropSeed.
-func (d *Deployment) SetRPCLossRate(rate float64) { d.loss.SetRate(rate) }
+func (d *Deployment) SetRPCLossRate(rate float64) {
+	for _, rep := range d.reps {
+		rep.loss.SetRate(rate)
+	}
+}
 
 // RPCServerApplied returns how many configuration messages the *current*
-// rf-server incarnation has applied (a RestartRFServer resets it) — the
-// observable that proves a post-restart re-sync actually replayed state.
+// rf-server incarnations have applied, summed across live replicas (a
+// RestartRFServer resets it) — the observable that proves a post-restart
+// re-sync actually replayed state.
 func (d *Deployment) RPCServerApplied() uint64 {
-	d.rpcMu.Lock()
-	defer d.rpcMu.Unlock()
-	return d.rpcSrv.Applied()
+	var total uint64
+	for _, rep := range d.reps {
+		if rep.alive.Load() {
+			total += rep.applied()
+		}
+	}
+	return total
 }
 
 // Elapsed returns protocol time since Start (on a scaled clock this is
@@ -277,7 +280,8 @@ func (d *Deployment) pollUntil(timeout time.Duration, what string, cond func() b
 func (d *Deployment) AwaitConfigured(timeout time.Duration) (time.Duration, error) {
 	return d.pollUntil(timeout, "all switches configured", func() bool {
 		for dpid := range d.switches {
-			if !d.platform.Configured(dpid) {
+			p, _, ok := d.ownerPlatform(dpid)
+			if !ok || !p.Configured(dpid) {
 				return false
 			}
 		}
@@ -323,9 +327,11 @@ func (d *Deployment) AwaitConverged(timeout time.Duration) (time.Duration, error
 func (d *Deployment) ConvergenceGap() string { return d.convergenceGap() }
 
 func (d *Deployment) convergenceGap() string {
-	if !d.tc.Store().Converged() {
-		return fmt.Sprintf("intent store not drained: %+v pending=%v lastErrs=%v",
-			d.tc.Store().Statistics(), d.tc.Store().PendingItems(), d.tc.LastErrors())
+	for i, st := range d.tc.Stores() {
+		if !st.Converged() {
+			return fmt.Sprintf("intent store %d not drained: %+v pending=%v lastErrs=%v",
+				i, st.Statistics(), st.PendingItems(), d.tc.LastErrors())
+		}
 	}
 	// Discovery must have caught up with the administrative link state:
 	// otherwise a just-cut link still has its intent acked and its routes
@@ -361,9 +367,9 @@ func (d *Deployment) convergenceGap() string {
 	}
 	comp := d.liveComponentIDs()
 	for _, n := range d.graph.Nodes() {
-		vm, ok := d.platform.VM(DPIDForNode(n.ID))
+		vm, ok := d.vmOf(DPIDForNode(n.ID))
 		if !ok {
-			return fmt.Sprintf("node %d has no VM", n.ID)
+			return fmt.Sprintf("node %d has no VM on its master (master=%d)", n.ID, d.MasterOf(n.ID))
 		}
 		if full := vm.Router().OSPF().FullNeighbors(); full != liveIntra[n.ID] {
 			return fmt.Sprintf("node %d OSPF %d/%d live adjacencies Full; ports=%v neighbors=%q",
@@ -392,9 +398,9 @@ func (d *Deployment) convergenceGap() string {
 		}
 	}
 	for node, gw := range d.hostGWs {
-		vm, ok := d.platform.VM(DPIDForNode(node))
+		vm, ok := d.vmOf(DPIDForNode(node))
 		if !ok {
-			return fmt.Sprintf("host node %d has no VM", node)
+			return fmt.Sprintf("host node %d has no VM on its master", node)
 		}
 		hostPort, ok := d.graph.HostPort(node)
 		if !ok {
@@ -408,9 +414,9 @@ func (d *Deployment) convergenceGap() string {
 			if comp[n.ID] != comp[node] {
 				continue // honestly unreachable across the partition
 			}
-			peer, ok := d.platform.VM(DPIDForNode(n.ID))
+			peer, ok := d.vmOf(DPIDForNode(n.ID))
 			if !ok {
-				return fmt.Sprintf("node %d has no VM", n.ID)
+				return fmt.Sprintf("node %d has no VM on its master", n.ID)
 			}
 			if _, ok := peer.RIB().Lookup(gw); !ok {
 				return fmt.Sprintf("node %d has no route to host gateway %v", n.ID, gw)
@@ -425,26 +431,26 @@ func (d *Deployment) Close() {
 	if d.tc != nil {
 		d.tc.Stop()
 	}
+	if d.coord != nil {
+		d.coord.Stop()
+	}
 	if d.fv != nil {
 		d.fv.Stop()
+	}
+	for _, fv := range d.fvs {
+		fv.Stop()
 	}
 	if d.topoCtl != nil {
 		d.topoCtl.Stop()
 	}
-	if d.platform != nil {
-		d.platform.Stop()
+	for _, rep := range d.reps {
+		rep.platform.Stop()
+		rep.cli.Close()
+		rep.closeServer()
+		if rep.rfLn != nil {
+			rep.rfLn.Close()
+		}
 	}
-	if d.rpcCli != nil {
-		d.rpcCli.Close()
-	}
-	d.rpcMu.Lock()
-	if ln := d.rpcLn.Load(); ln != nil {
-		ln.Close()
-	}
-	if d.rpcSrv != nil {
-		d.rpcSrv.Stop()
-	}
-	d.rpcMu.Unlock()
 	for _, l := range d.listeners {
 		l.Close()
 	}

@@ -39,21 +39,34 @@ type HostAttachment struct {
 	Gateway netip.Prefix
 }
 
+// declared is the registry record of one desired-state item — the raw
+// material an ownership transfer re-declares into the new owner's store.
+type declared struct {
+	up, down *rpcconf.Message
+}
+
 // TopologyController is the paper's topology controller, refactored from
 // fire-and-forget RPCs to declarative configuration: discovery + IP
-// computation feed a desired-state store, and the embedded reconciler
-// drives the RF-controller to it.
+// computation feed desired-state stores, and the embedded reconcilers
+// drive the RF-controller replicas to them. With one replica (the paper's
+// deployment) there is exactly one store and one reconciler; with N the
+// controller scopes each item to the store(s) of the replica(s) mastering
+// its switches and re-homes items on ownership transfer.
 type TopologyController struct {
-	clk   clock.Clock
-	disc  *discovery.Discovery
-	ctl   *ctlkit.Controller
-	alloc *ipam.Allocator
-	store *intent.Store
-	rec   *intent.Reconciler
+	clk     clock.Clock
+	disc    *discovery.Discovery
+	ctl     *ctlkit.Controller
+	alloc   *ipam.Allocator
+	stores  []*intent.Store
+	recs    []*intent.Reconciler
+	ownerOf func(dpid uint64) (int, bool)
 
 	mu       sync.Mutex
 	linkNets map[discovery.Link][2]netip.Prefix // allocated link endpoint addrs
 	hosts    map[uint64][]HostAttachment
+	// registry holds every currently declared item, independent of which
+	// store carries it right now: the source of truth Rehome re-scopes from.
+	registry map[intent.Key]declared
 	// asns annotates datapaths with their autonomous system (empty = flat
 	// single-domain). Declared switch and link messages carry it so the
 	// RF-controller can derive per-VM BGP configuration.
@@ -75,15 +88,24 @@ type TopologyController struct {
 // NewTopologyController builds the controller application. disc supplies
 // events (its Callbacks must be wired into ctl by the caller — Deployment
 // does this — so the same Discovery instance can also serve a merged
-// controller); client carries configuration messages to the RPC server.
+// controller); senders carry configuration messages to the RPC server of
+// each RF-controller replica (one store + reconciler per sender). ownerOf
+// maps a datapath to the replica currently mastering it; nil sends
+// everything to replica 0 (the single-controller deployment).
 func NewTopologyController(clk clock.Clock, disc *discovery.Discovery, ctl *ctlkit.Controller,
-	client *rpcconf.Client, pool netip.Prefix, subnetBits int, hosts []HostAttachment,
-	recOpts ...intent.Option) (*TopologyController, error) {
+	senders []intent.Sender, pool netip.Prefix, subnetBits int, hosts []HostAttachment,
+	ownerOf func(dpid uint64) (int, bool), recOpts ...intent.Option) (*TopologyController, error) {
 	if clk == nil {
 		clk = clock.System()
 	}
 	if subnetBits == 0 {
 		subnetBits = 30
+	}
+	if len(senders) == 0 {
+		return nil, fmt.Errorf("core: topology controller needs at least one RPC sender")
+	}
+	if ownerOf == nil {
+		ownerOf = func(uint64) (int, bool) { return 0, true }
 	}
 	alloc, err := ipam.New(pool, subnetBits)
 	if err != nil {
@@ -94,9 +116,10 @@ func NewTopologyController(clk clock.Clock, disc *discovery.Discovery, ctl *ctlk
 		disc:     disc,
 		ctl:      ctl,
 		alloc:    alloc,
-		store:    intent.NewStore(),
+		ownerOf:  ownerOf,
 		linkNets: make(map[discovery.Link][2]netip.Prefix),
 		hosts:    make(map[uint64][]HostAttachment),
+		registry: make(map[intent.Key]declared),
 		asns:     make(map[uint64]uint32),
 		stop:     make(chan struct{}),
 		Errs:     make(chan error, 64),
@@ -104,9 +127,78 @@ func NewTopologyController(clk clock.Clock, disc *discovery.Discovery, ctl *ctlk
 	for _, h := range hosts {
 		tc.hosts[h.DPID] = append(tc.hosts[h.DPID], h)
 	}
-	opts := append([]intent.Option{intent.WithOnError(tc.report)}, recOpts...)
-	tc.rec = intent.NewReconciler(clk, tc.store, client, opts...)
+	for _, snd := range senders {
+		store := intent.NewStore()
+		opts := append([]intent.Option{intent.WithOnError(tc.report)}, recOpts...)
+		tc.stores = append(tc.stores, store)
+		tc.recs = append(tc.recs, intent.NewReconciler(clk, store, snd, opts...))
+	}
 	return tc, nil
+}
+
+// keyOwnedBy reports whether replica r is (one of) the master(s) of a key's
+// switches: a link item belongs to the store of each endpoint's master.
+func (tc *TopologyController) keyOwnedBy(k intent.Key, r int) bool {
+	if k.Kind == intent.KindLink {
+		if o, ok := tc.ownerOf(k.ADPID); ok && o == r {
+			return true
+		}
+		if o, ok := tc.ownerOf(k.BDPID); ok && o == r {
+			return true
+		}
+		return false
+	}
+	o, ok := tc.ownerOf(k.DPID)
+	return ok && o == r
+}
+
+// declare records an item in the registry and declares it into the store of
+// every replica mastering it. An item whose switches currently have no live
+// master stays registry-only until Rehome places it.
+func (tc *TopologyController) declare(k intent.Key, up, down *rpcconf.Message) {
+	tc.mu.Lock()
+	tc.registry[k] = declared{up, down}
+	tc.mu.Unlock()
+	for r, s := range tc.stores {
+		if tc.keyOwnedBy(k, r) {
+			s.Declare(k, up, down)
+		}
+	}
+}
+
+// remove drops an item from the registry and removes it from every store.
+func (tc *TopologyController) remove(k intent.Key) {
+	tc.mu.Lock()
+	delete(tc.registry, k)
+	tc.mu.Unlock()
+	for _, s := range tc.stores {
+		s.Remove(k)
+	}
+}
+
+// Rehome re-scopes desired state after an ownership change: every store
+// drops the items it no longer masters (outright, no teardowns — including
+// wedged deletions a dead replica could never deliver) and every registry
+// item is re-declared into its current master's store. Declares are
+// idempotent, so items that did not move are untouched.
+func (tc *TopologyController) Rehome() {
+	tc.mu.Lock()
+	reg := make(map[intent.Key]declared, len(tc.registry))
+	for k, d := range tc.registry {
+		reg[k] = d
+	}
+	tc.mu.Unlock()
+	for r, s := range tc.stores {
+		r := r
+		s.Retain(func(k intent.Key) bool { return tc.keyOwnedBy(k, r) })
+	}
+	for k, d := range reg {
+		for r, s := range tc.stores {
+			if tc.keyOwnedBy(k, r) {
+				s.Declare(k, d.up, d.down)
+			}
+		}
+	}
 }
 
 // SetASNs installs the administrator's AS annotation (dpid → AS number).
@@ -127,11 +219,13 @@ func (tc *TopologyController) asnOf(dpid uint64) uint32 {
 	return tc.asns[dpid]
 }
 
-// Run consumes discovery events and starts the reconciler until Stop. It
+// Run consumes discovery events and starts the reconcilers until Stop. It
 // returns immediately.
 func (tc *TopologyController) Run() {
 	tc.disc.Run()
-	tc.rec.Run()
+	for _, rec := range tc.recs {
+		rec.Run()
+	}
 	tc.wg.Add(1)
 	go func() {
 		defer tc.wg.Done()
@@ -146,12 +240,23 @@ func (tc *TopologyController) Run() {
 	}()
 }
 
-// Stop halts event processing and the reconciler.
+// Stop halts event processing and the reconcilers.
 func (tc *TopologyController) Stop() {
 	tc.stopOnce.Do(func() { close(tc.stop) })
 	tc.disc.Stop()
 	tc.wg.Wait()
-	tc.rec.Stop()
+	for _, rec := range tc.recs {
+		rec.Stop()
+	}
+}
+
+// StopReconciler halts one replica's reconciler — the controller-death path:
+// a dead replica must stop writing immediately, while its store lingers
+// until the lease lapses and Rehome drains it.
+func (tc *TopologyController) StopReconciler(i int) {
+	if i >= 0 && i < len(tc.recs) {
+		tc.recs[i].Stop()
+	}
 }
 
 func (tc *TopologyController) report(err error) {
@@ -185,13 +290,13 @@ func (tc *TopologyController) handle(ev discovery.Event) {
 	case discovery.SwitchUp:
 		dpid := ev.DPID
 		// The paper's switch configuration message: dpid + port count.
-		tc.store.Declare(intent.SwitchKey(dpid),
+		tc.declare(intent.SwitchKey(dpid),
 			rpcconf.SwitchUpAS(dpid, len(ev.Ports), tc.asnOf(dpid)), rpcconf.SwitchDown(dpid))
 		tc.mu.Lock()
 		hosts := tc.hosts[dpid]
 		tc.mu.Unlock()
 		for _, h := range hosts {
-			tc.store.Declare(intent.HostKey(h.DPID, h.Port),
+			tc.declare(intent.HostKey(h.DPID, h.Port),
 				rpcconf.HostUp(h.DPID, h.Port, h.Gateway),
 				rpcconf.HostDown(h.DPID, h.Port))
 		}
@@ -200,9 +305,9 @@ func (tc *TopologyController) handle(ev discovery.Event) {
 		hosts := tc.hosts[ev.DPID]
 		tc.mu.Unlock()
 		for _, h := range hosts {
-			tc.store.Remove(intent.HostKey(h.DPID, h.Port))
+			tc.remove(intent.HostKey(h.DPID, h.Port))
 		}
-		tc.store.Remove(intent.SwitchKey(ev.DPID))
+		tc.remove(intent.SwitchKey(ev.DPID))
 	case discovery.LinkUp:
 		l := ev.Link
 		tc.mu.Lock()
@@ -218,7 +323,7 @@ func (tc *TopologyController) handle(ev discovery.Event) {
 			tc.linkNets[l] = ends
 		}
 		tc.mu.Unlock()
-		tc.store.Declare(intent.LinkKey(l.ADPID, l.APort, l.BDPID, l.BPort),
+		tc.declare(intent.LinkKey(l.ADPID, l.APort, l.BDPID, l.BPort),
 			rpcconf.LinkUpAS(l.ADPID, l.APort, l.BDPID, l.BPort, ends[0], ends[1],
 				tc.asnOf(l.ADPID), tc.asnOf(l.BDPID)),
 			rpcconf.LinkDown(l.ADPID, l.APort, l.BDPID, l.BPort))
@@ -231,15 +336,19 @@ func (tc *TopologyController) handle(ev discovery.Event) {
 		if ok {
 			tc.report(tc.alloc.Release(ends[0].Masked()))
 		}
-		tc.store.Remove(intent.LinkKey(l.ADPID, l.APort, l.BDPID, l.BPort))
+		tc.remove(intent.LinkKey(l.ADPID, l.APort, l.BDPID, l.BPort))
 	}
 }
 
 // Allocator exposes the IP allocator (tests, GUI).
 func (tc *TopologyController) Allocator() *ipam.Allocator { return tc.alloc }
 
-// Store exposes the desired-state store (convergence checks, tests, GUI).
-func (tc *TopologyController) Store() *intent.Store { return tc.store }
+// Store exposes replica 0's desired-state store (convergence checks, tests,
+// GUI) — the whole store in a single-controller deployment.
+func (tc *TopologyController) Store() *intent.Store { return tc.stores[0] }
 
-// Reconciler exposes the reconciliation engine.
-func (tc *TopologyController) Reconciler() *intent.Reconciler { return tc.rec }
+// Stores exposes every replica's desired-state store.
+func (tc *TopologyController) Stores() []*intent.Store { return tc.stores }
+
+// Reconciler exposes replica 0's reconciliation engine.
+func (tc *TopologyController) Reconciler() *intent.Reconciler { return tc.recs[0] }

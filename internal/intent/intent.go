@@ -170,6 +170,29 @@ func (s *Store) Remove(k Key) {
 	s.signalLocked()
 }
 
+// Retain drops every entry whose key fails pred, without issuing teardowns —
+// including entries mid-deletion. This is the ownership-transfer primitive:
+// when a shard re-homes to another replica, the old owner's store must stop
+// tracking the shard's items outright (the new master's store re-declares
+// them; sending teardowns would fight it, and a partitioned replica's
+// pending items would otherwise wedge Converged forever). Returns the number
+// of entries dropped.
+func (s *Store) Retain(pred func(Key) bool) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dropped := 0
+	for k := range s.entries {
+		if !pred(k) {
+			delete(s.entries, k)
+			dropped++
+		}
+	}
+	if dropped > 0 {
+		s.signalLocked()
+	}
+	return dropped
+}
+
 // Converged reports whether acknowledged state matches desired state: every
 // declared item acked and no teardown pending.
 func (s *Store) Converged() bool {

@@ -162,6 +162,16 @@ func (r *RouterIDs) Next() netip.Addr {
 	return u32ToAddr(id)
 }
 
+// At returns the i-th router ID of the sequence without consuming it.
+// Sharded deployments derive a switch's router ID from its datapath ID this
+// way, so the ID is stable no matter which controller replica creates the
+// VM or in what order.
+func (r *RouterIDs) At(i uint64) netip.Addr {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return u32ToAddr(r.base + uint32(i))
+}
+
 func addrToU32(a netip.Addr) uint32 {
 	b := a.As4()
 	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])

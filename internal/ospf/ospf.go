@@ -252,6 +252,12 @@ func (i *Instance) timerLoop() {
 	defer agingTick.Stop()
 	spfTick := i.clk.NewTicker(i.cfg.SPFDelay)
 	defer spfTick.Stop()
+	// Anti-entropy runs at a multiple of the aging period: frequent enough
+	// to repair one-shot flood loss well inside any convergence budget,
+	// rare enough that the full-LSDB resends stay a rounding error in the
+	// steady-state packet load of a large fabric.
+	const resendEvery = 4
+	agingTicks := 0
 	for {
 		select {
 		case <-tick.C():
@@ -261,6 +267,9 @@ func (i *Instance) timerLoop() {
 			i.maybeRunSPF()
 		case <-agingTick.C():
 			i.ageLSDB()
+			if agingTicks++; agingTicks%resendEvery == 0 {
+				i.resendLSDB()
+			}
 		case <-i.stop:
 			return
 		}
@@ -321,7 +330,12 @@ func (ifc *Interface) handleHello(h header, src netip.Addr, body []byte) {
 	wasFull := nb.state == NeighborFull
 	if seesMe {
 		nb.state = NeighborFull
-	} else if nb.state != NeighborFull {
+	} else {
+		// 1-Way received (RFC 2328 §10.5): the neighbor no longer lists us,
+		// so it restarted and lost its adjacency — and its database. Demote
+		// to Init; the next two-way hello re-runs the becameFull database
+		// exchange. Without the demotion a restarted neighbor whose outage
+		// was shorter than the dead interval would never be sent our LSDB.
 		nb.state = NeighborInit
 	}
 	becameFull := !wasFull && nb.state == NeighborFull
@@ -334,15 +348,8 @@ func (ifc *Interface) handleHello(h header, src netip.Addr, body []byte) {
 		// waiting a full hello interval.
 		inst.mu.Lock()
 		inst.originateLocked()
-		all := make([]*lsa, 0, len(inst.lsdb))
-		for _, l := range inst.lsdb {
-			// Copy: the stored LSA's Age is mutated under inst.mu by
-			// ageLSDB, but marshalling happens outside the lock.
-			cp := *l
-			all = append(all, &cp)
-		}
 		inst.mu.Unlock()
-		if len(all) > 0 {
+		if all := inst.snapshotLSDB(); len(all) > 0 {
 			ifc.send(src, marshalPacket(header{Type: typeLSUpdate, RouterID: me},
 				marshalLSUpdate(all)))
 		}
@@ -395,6 +402,55 @@ func (ifc *Interface) handleLSUpdate(h header, body []byte) {
 	inst.mu.Unlock()
 	if len(flood) > 0 {
 		inst.floodExcept(ifc, flood)
+	}
+}
+
+// snapshotLSDB copies the LSDB in AdvRouter order: the stored LSAs' ages
+// are mutated in place under i.mu by ageLSDB, but marshalling happens
+// outside the lock.
+func (i *Instance) snapshotLSDB() []*lsa {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	all := make([]*lsa, 0, len(i.lsdb))
+	for _, l := range i.lsdb {
+		cp := *l
+		all = append(all, &cp)
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].AdvRouter < all[b].AdvRouter })
+	return all
+}
+
+// resendLSDB is the level-triggered repair under the event-triggered
+// flooding: periodically re-send the full LSDB to every Full neighbor.
+// Flooding is otherwise one-shot — a database dump or relayed update that
+// dies on a down control session (a switch mid-failover re-dialing its new
+// master, a congested punt queue) would never be retransmitted, wedging
+// convergence forever. Receivers drop what they already hold (sequence
+// dedup), install what the lost packet carried, and relay fresh installs
+// onward, so any loss heals within a few dead intervals.
+func (i *Instance) resendLSDB() {
+	all := i.snapshotLSDB()
+	if len(all) == 0 {
+		return
+	}
+	pktBytes := marshalPacket(header{Type: typeLSUpdate, RouterID: u32(i.cfg.RouterID)},
+		marshalLSUpdate(all))
+	type target struct {
+		ifc *Interface
+		to  netip.Addr
+	}
+	i.mu.Lock()
+	targets := make([]target, 0, len(i.ifaces))
+	for _, ifc := range i.ifaces {
+		ifc.mu.Lock()
+		if nb := ifc.neighbor; nb != nil && nb.state == NeighborFull {
+			targets = append(targets, target{ifc, nb.addr})
+		}
+		ifc.mu.Unlock()
+	}
+	i.mu.Unlock()
+	for _, t := range targets {
+		t.ifc.send(t.to, pktBytes)
 	}
 }
 

@@ -56,6 +56,22 @@ type Config struct {
 	// OnStatus, if set, observes per-switch configuration state changes
 	// (the red/green GUI signal). May be called concurrently.
 	OnStatus func(dpid uint64, state vnet.State)
+	// Sharded marks this platform as one replica of a distributed
+	// RF-controller: it only materialises state for switches it has been
+	// told to Adopt, and fences configuration messages for everything else.
+	// Off (the default), the platform owns every switch — the paper's
+	// single rf-server.
+	Sharded bool
+	// RouterIDFor, if set, derives a switch's router ID from its datapath
+	// ID instead of consuming the sequential RouterIDStart allocator.
+	// Sharded deployments need this: the ID must not depend on which
+	// replica creates the VM or in what order.
+	RouterIDFor func(dpid uint64) netip.Addr
+	// ApplyDelay models the per-message work of the paper's RPC server (VM
+	// cloning, config-file writes). It is served inside the RPC server's
+	// apply lock, so it serialises within one replica but parallelises
+	// across replicas — the quantity sharding exists to divide.
+	ApplyDelay time.Duration
 }
 
 type addrOwner struct {
@@ -75,6 +91,17 @@ type Platform struct {
 	vms       map[uint64]*vnet.VM
 	asns      map[uint64]uint32 // AS per switch (0 = flat domain)
 	addrIndex map[netip.Addr]addrOwner
+	// portAddr records the address assigned to every link/host endpoint the
+	// platform has been told about — including endpoints mastered by another
+	// replica, whose VM does not exist here but whose address the teardown
+	// path still needs for eBGP unpeering.
+	portAddr map[addrOwner]netip.Prefix
+	// owned is the set of adopted switches (Sharded mode only).
+	owned map[uint64]bool
+	// needsWipe marks freshly adopted switches whose physical flow table may
+	// hold a previous master's entries; the first resync wipes before
+	// replaying.
+	needsWipe map[uint64]bool
 	flows     map[uint64]map[netip.Prefix]*openflow.FlowMod // desired state
 	// dirty marks switches whose flow state may have diverged from desired
 	// (a non-blocking send was dropped); the repair loop resyncs them.
@@ -109,6 +136,9 @@ func New(cfg Config) (*Platform, error) {
 		vms:       make(map[uint64]*vnet.VM),
 		asns:      make(map[uint64]uint32),
 		addrIndex: make(map[netip.Addr]addrOwner),
+		portAddr:  make(map[addrOwner]netip.Prefix),
+		owned:     make(map[uint64]bool),
+		needsWipe: make(map[uint64]bool),
 		flows:     make(map[uint64]map[netip.Prefix]*openflow.FlowMod),
 		dirty:     make(map[uint64]bool),
 		flowGen:   make(map[uint64]uint64),
@@ -181,10 +211,69 @@ func (p *Platform) ConfigFiles(dpid uint64) (map[string]string, bool) {
 	return vm.Router().Config().Files(), true
 }
 
+// Owns reports whether this platform masters dpid. A non-sharded platform
+// masters everything.
+func (p *Platform) Owns(dpid uint64) bool {
+	if !p.cfg.Sharded {
+		return true
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.owned[dpid]
+}
+
+// Adopt grants this replica mastership of a switch. The switch's first
+// resync wipes the physical flow table before replaying desired state — a
+// previous master may have left entries behind. No-op unless Sharded.
+func (p *Platform) Adopt(dpid uint64) {
+	if !p.cfg.Sharded {
+		return
+	}
+	p.mu.Lock()
+	p.owned[dpid] = true
+	p.needsWipe[dpid] = true
+	// If the switch's session already landed here (re-adoption after a
+	// brief loss), the repair loop must run the wipe now, not on reconnect.
+	p.dirty[dpid] = true
+	p.mu.Unlock()
+}
+
+// Release revokes mastership: the switch's VM and flow state are torn down
+// locally (no RPC teardown — the new master owns the switch's fate) and any
+// live control session is cut so the switch re-dials, landing on its new
+// master. No-op unless Sharded.
+func (p *Platform) Release(dpid uint64) {
+	if !p.cfg.Sharded {
+		return
+	}
+	p.mu.Lock()
+	delete(p.owned, dpid)
+	delete(p.needsWipe, dpid)
+	p.mu.Unlock()
+	p.teardownSwitch(dpid)
+	if sc, ok := p.ctl.Switch(dpid); ok {
+		sc.Close()
+	}
+}
+
+// owns is the handler-side fence.
+func (p *Platform) owns(dpid uint64) bool {
+	if !p.cfg.Sharded {
+		return true
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.owned[dpid]
+}
+
 // RPCHandler returns the configuration-message handler for rpcconf.Server —
 // the paper's RPC server embedded in the RF-controller.
 func (p *Platform) RPCHandler() rpcconf.Handler {
 	return func(m *rpcconf.Message) error {
+		if d := p.cfg.ApplyDelay; d > 0 && m.Kind != rpcconf.KindProbe {
+			// Modeled apply cost, held inside the server's apply lock.
+			p.clk.Sleep(d)
+		}
 		switch m.Kind {
 		case rpcconf.KindSwitchUp:
 			return p.handleSwitchUp(m)
@@ -207,6 +296,13 @@ func (p *Platform) RPCHandler() rpcconf.Handler {
 }
 
 func (p *Platform) handleSwitchUp(m *rpcconf.Message) error {
+	if !p.owns(m.DPID) {
+		// Mastership fence: a stale reconciler (or one racing a rehome)
+		// must not materialise a VM on the wrong replica. The error makes
+		// the sender retry; the ownership transfer drops the item from the
+		// non-owner's store.
+		return fmt.Errorf("rf: switch-up %016x: not the master of this switch", m.DPID)
+	}
 	p.mu.Lock()
 	if _, dup := p.vms[m.DPID]; dup {
 		p.mu.Unlock()
@@ -217,7 +313,7 @@ func (p *Platform) handleSwitchUp(m *rpcconf.Message) error {
 	vm, err := vnet.New(vnet.Config{
 		DPID:      m.DPID,
 		Ports:     m.Ports,
-		RouterID:  p.rids.Next(),
+		RouterID:  p.routerID(m.DPID),
 		Clock:     p.clk,
 		BootDelay: p.cfg.BootDelay,
 		Timers:    p.cfg.Timers,
@@ -266,16 +362,38 @@ func (p *Platform) handleSwitchUp(m *rpcconf.Message) error {
 }
 
 func (p *Platform) handleSwitchDown(m *rpcconf.Message) error {
+	p.teardownSwitch(m.DPID)
+	return nil
+}
+
+// routerID derives a VM's router ID: dpid-keyed when RouterIDFor is set
+// (sharded determinism), sequential otherwise.
+func (p *Platform) routerID(dpid uint64) netip.Addr {
+	if f := p.cfg.RouterIDFor; f != nil {
+		return f(dpid)
+	}
+	return p.rids.Next()
+}
+
+// teardownSwitch removes every trace of a switch from this platform: its VM
+// (destroyed), desired flows, address and endpoint indexes, and its seat in
+// the AS's iBGP mesh. Shared by the RPC switch-down path and Release.
+func (p *Platform) teardownSwitch(dpid uint64) {
 	p.mu.Lock()
-	vm, ok := p.vms[m.DPID]
-	asn := p.asns[m.DPID]
-	delete(p.vms, m.DPID)
-	delete(p.asns, m.DPID)
-	delete(p.flows, m.DPID)
-	p.flowGen[m.DPID]++
+	vm, ok := p.vms[dpid]
+	asn := p.asns[dpid]
+	delete(p.vms, dpid)
+	delete(p.asns, dpid)
+	delete(p.flows, dpid)
+	p.flowGen[dpid]++
 	for a, o := range p.addrIndex {
-		if o.dpid == m.DPID {
+		if o.dpid == dpid {
 			delete(p.addrIndex, a)
+		}
+	}
+	for o := range p.portAddr {
+		if o.dpid == dpid {
+			delete(p.portAddr, o)
 		}
 	}
 	var ibgpPeers []*vnet.VM
@@ -295,10 +413,9 @@ func (p *Platform) handleSwitchDown(m *rpcconf.Message) error {
 		}
 		vm.Destroy()
 		if cb := p.cfg.OnStatus; cb != nil {
-			cb(m.DPID, vnet.StateDestroyed)
+			cb(dpid, vnet.StateDestroyed)
 		}
 	}
-	return nil
 }
 
 func (p *Platform) handleLinkUp(m *rpcconf.Message) error {
@@ -310,36 +427,60 @@ func (p *Platform) handleLinkUp(m *rpcconf.Message) error {
 	if err != nil {
 		return fmt.Errorf("rf: link-up bAddr: %w", err)
 	}
+	ownA, ownB := p.owns(m.ADPID), p.owns(m.BDPID)
+	if !ownA && !ownB {
+		return fmt.Errorf("rf: link-up %016x-%016x: neither endpoint mastered by this replica",
+			m.ADPID, m.BDPID)
+	}
 	p.mu.Lock()
 	vmA, okA := p.vms[m.ADPID]
 	vmB, okB := p.vms[m.BDPID]
 	p.mu.Unlock()
-	if !okA || !okB {
+	// Every mastered endpoint must have its VM (switch-up sorts first); an
+	// endpoint mastered elsewhere is that replica's business.
+	if (ownA && !okA) || (ownB && !okB) {
 		return fmt.Errorf("rf: link-up %016x-%016x references unknown VM", m.ADPID, m.BDPID)
 	}
 	if m.AASN != 0 && m.BASN != 0 && m.AASN != m.BASN {
 		// eBGP border link: OSPF stays inside each domain (passive
 		// interfaces), and each VM gains the far end as an eBGP neighbor —
 		// the multi-AS analogue of the paper's link configuration message.
-		if err := vmA.ConfigureBorderInterface(m.APort, aAddr, DefaultLinkCost); err != nil {
-			return err
+		if ownA {
+			if err := vmA.ConfigureBorderInterface(m.APort, aAddr, DefaultLinkCost); err != nil {
+				return err
+			}
 		}
-		if err := vmB.ConfigureBorderInterface(m.BPort, bAddr, DefaultLinkCost); err != nil {
-			return err
+		if ownB {
+			if err := vmB.ConfigureBorderInterface(m.BPort, bAddr, DefaultLinkCost); err != nil {
+				return err
+			}
 		}
-		vmA.Router().AddBGPNeighbor(bAddr.Addr(), m.BASN)
-		vmB.Router().AddBGPNeighbor(aAddr.Addr(), m.AASN)
+		if ownA {
+			vmA.Router().AddBGPNeighbor(bAddr.Addr(), m.BASN)
+		}
+		if ownB {
+			vmB.Router().AddBGPNeighbor(aAddr.Addr(), m.AASN)
+		}
 	} else {
-		if err := vmA.ConfigureInterface(m.APort, aAddr, DefaultLinkCost, p.cfg.Pool); err != nil {
-			return err
+		if ownA {
+			if err := vmA.ConfigureInterface(m.APort, aAddr, DefaultLinkCost, p.cfg.Pool); err != nil {
+				return err
+			}
 		}
-		if err := vmB.ConfigureInterface(m.BPort, bAddr, DefaultLinkCost, p.cfg.Pool); err != nil {
-			return err
+		if ownB {
+			if err := vmB.ConfigureInterface(m.BPort, bAddr, DefaultLinkCost, p.cfg.Pool); err != nil {
+				return err
+			}
 		}
 	}
+	// Index BOTH endpoint addresses regardless of mastership: routeToFlow
+	// resolves next hops that may live on a remote replica's switch, and
+	// the teardown path unpeers eBGP using the far side's address.
 	p.mu.Lock()
 	p.addrIndex[aAddr.Addr()] = addrOwner{m.ADPID, m.APort}
 	p.addrIndex[bAddr.Addr()] = addrOwner{m.BDPID, m.BPort}
+	p.portAddr[addrOwner{m.ADPID, m.APort}] = aAddr
+	p.portAddr[addrOwner{m.BDPID, m.BPort}] = bAddr
 	p.mu.Unlock()
 	return nil
 }
@@ -348,16 +489,18 @@ func (p *Platform) handleLinkDown(m *rpcconf.Message) error {
 	p.mu.Lock()
 	vmA := p.vms[m.ADPID]
 	vmB := p.vms[m.BDPID]
+	aAddr, aOK := p.portAddr[addrOwner{m.ADPID, m.APort}]
+	bAddr, bOK := p.portAddr[addrOwner{m.BDPID, m.BPort}]
 	p.mu.Unlock()
 	// Unpeer any eBGP session that ran over the link before the addresses
-	// go away (no-op on intra-AS links and BGP-less VMs).
-	if vmA != nil && vmB != nil {
-		if addr, ok := vmA.InterfaceAddr(m.APort); ok {
-			vmB.Router().RemoveBGPNeighbor(addr.Addr())
-		}
-		if addr, ok := vmB.InterfaceAddr(m.BPort); ok {
-			vmA.Router().RemoveBGPNeighbor(addr.Addr())
-		}
+	// go away (no-op on intra-AS links and BGP-less VMs). The far side's
+	// address comes from the platform's endpoint records, not its VM — on a
+	// sharded replica the far VM may be mastered elsewhere.
+	if vmB != nil && aOK {
+		vmB.Router().RemoveBGPNeighbor(aAddr.Addr())
+	}
+	if vmA != nil && bOK {
+		vmA.Router().RemoveBGPNeighbor(bAddr.Addr())
 	}
 	if vmA != nil {
 		if addr, ok := vmA.InterfaceAddr(m.APort); ok {
@@ -371,6 +514,10 @@ func (p *Platform) handleLinkDown(m *rpcconf.Message) error {
 		}
 		vmB.DeconfigureInterface(m.BPort)
 	}
+	p.mu.Lock()
+	delete(p.portAddr, addrOwner{m.ADPID, m.APort})
+	delete(p.portAddr, addrOwner{m.BDPID, m.BPort})
+	p.mu.Unlock()
 	return nil
 }
 
@@ -391,6 +538,9 @@ func (p *Platform) handleHostUp(m *rpcconf.Message) error {
 	if err != nil {
 		return fmt.Errorf("rf: host-up gateway: %w", err)
 	}
+	if !p.owns(m.ADPID) {
+		return fmt.Errorf("rf: host-up %016x: not the master of this switch", m.ADPID)
+	}
 	p.mu.Lock()
 	vm, ok := p.vms[m.ADPID]
 	p.mu.Unlock()
@@ -404,6 +554,7 @@ func (p *Platform) handleHostUp(m *rpcconf.Message) error {
 	}
 	p.mu.Lock()
 	p.addrIndex[gw.Addr()] = addrOwner{m.ADPID, m.APort}
+	p.portAddr[addrOwner{m.ADPID, m.APort}] = gw
 	p.mu.Unlock()
 	return nil
 }
@@ -419,6 +570,9 @@ func (p *Platform) handleHostDown(m *rpcconf.Message) error {
 		p.unindexAddr(addr.Addr(), m.ADPID, m.APort)
 	}
 	vm.DeconfigureInterface(m.APort)
+	p.mu.Lock()
+	delete(p.portAddr, addrOwner{m.ADPID, m.APort})
+	p.mu.Unlock()
 	return nil
 }
 
@@ -427,8 +581,22 @@ func (p *Platform) handleHostDown(m *rpcconf.Message) error {
 // (a congested connection must not wedge the controller); anything dropped
 // is repaired by the flow-repair loop.
 func (p *Platform) onSwitchUp(sc *ctlkit.SwitchConn) {
+	// Raise the miss send length before anything else, even on the wipe
+	// path: hellos punt whole at the 128-byte default, but multi-LSA
+	// LSUpdates do not, and a truncated one-shot database dump at boot
+	// wedges OSPF until the next adjacency event.
 	if err := sc.TrySend(&openflow.SetConfig{MissSendLen: 0xffff}); err != nil {
 		p.markDirty(sc.DPID())
+	}
+	p.mu.Lock()
+	wipe := p.needsWipe[sc.DPID()]
+	p.mu.Unlock()
+	if wipe {
+		// Freshly adopted switch: its table may hold the previous master's
+		// flows, so the repair loop must delete-all before replaying. A
+		// plain replay here would leave stale entries live.
+		p.markDirty(sc.DPID())
+		return
 	}
 	p.mu.Lock()
 	pending := make([]*openflow.FlowMod, 0, len(p.flows[sc.DPID()]))
@@ -488,13 +656,19 @@ func (p *Platform) flowRepairLoop() {
 func (p *Platform) resyncFlows(dpid uint64) bool {
 	sc, ok := p.ctl.Switch(dpid)
 	if !ok {
-		return true // reconnect replay will resync
+		// A pending adoption wipe must survive until the switch connects;
+		// an ordinary drop is covered by the reconnect replay.
+		p.mu.Lock()
+		wipe := p.needsWipe[dpid]
+		p.mu.Unlock()
+		return !wipe
 	}
 	if err := sc.TrySend(&openflow.SetConfig{MissSendLen: 0xffff}); err != nil {
 		return false
 	}
 	// Delete everything, then replay desired state: stale entries from
-	// dropped removeFlow deletions cannot survive a resync.
+	// dropped removeFlow deletions (or a previous master) cannot survive a
+	// resync.
 	if err := sc.TrySend(&openflow.FlowMod{
 		Match:    openflow.MatchAll(),
 		Command:  openflow.FlowModDelete,
@@ -504,6 +678,7 @@ func (p *Platform) resyncFlows(dpid uint64) bool {
 		return false
 	}
 	p.mu.Lock()
+	delete(p.needsWipe, dpid) // the wipe reached the switch
 	gen := p.flowGen[dpid]
 	pending := make([]*openflow.FlowMod, 0, len(p.flows[dpid]))
 	for _, fm := range p.flows[dpid] {

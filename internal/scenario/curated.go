@@ -3,6 +3,7 @@ package scenario
 import (
 	"time"
 
+	"routeflow/internal/core"
 	"routeflow/internal/quagga"
 	"routeflow/internal/topo"
 )
@@ -179,6 +180,46 @@ func Curated() []Spec {
 			Faults: []Fault{
 				{Kind: FaultLinkDown, Link: 0},
 				{Kind: FaultLinkUp, Link: 0},
+			},
+		}),
+		{
+			// Distributed-controller family: two replicas split the ring and
+			// replica 1 is crash-killed *mid-convergence* — before the initial
+			// configuration finishes. Its leases lapse, the survivor adopts
+			// the orphaned switches (delete-all + replay, fenced by the
+			// transfer epoch), and the network must still reach the exact
+			// converged state, then absorb a link failure on top.
+			Name:        "ring6-master-kill-midconverge",
+			Description: "replica killed mid-convergence; survivor adopts its switches and converges",
+			Topology:    topo.Ring(6), HostNodes: []int{0, 3}, Seed: 31,
+			Cluster: core.ClusterSpec{
+				Replicas:   2,
+				LeaseTTL:   500 * time.Millisecond,
+				LeaseRenew: 100 * time.Millisecond,
+			},
+			Faults: []Fault{
+				{Kind: FaultReplicaKill, Replica: 1, PreConverge: true},
+				{Kind: FaultLinkDown, Link: 2},
+				{Kind: FaultLinkUp, Link: 2},
+			},
+		},
+		gentle(Spec{
+			// Three replicas shard a 3×3 grid; replica 2 is partitioned from
+			// its switches and the coordination service. Its leases lapse, it
+			// self-fences (releases its VMs), the survivors take over; the
+			// heal triggers the cooperative rebalance that hands its shards
+			// back — each handoff a full wipe-and-replay under a fresh epoch.
+			Name:        "grid9-replica-partition-heal",
+			Description: "partitioned replica self-fences and re-adopts its shards on heal",
+			Topology:    topo.Grid(3, 3), HostNodes: []int{0, 8}, Seed: 32,
+			Cluster: core.ClusterSpec{
+				Replicas:   3,
+				LeaseTTL:   500 * time.Millisecond,
+				LeaseRenew: 100 * time.Millisecond,
+			},
+			Faults: []Fault{
+				{Kind: FaultReplicaPartition, Replica: 2},
+				{Kind: FaultReplicaHeal, Replica: 2},
 			},
 		}),
 		{

@@ -195,7 +195,14 @@ func (r *runner) flowConsistencyGap() string {
 		if !ok {
 			continue
 		}
-		desired := r.d.Platform().DesiredFlows(core.DPIDForNode(n.ID))
+		// In a cluster the switch's table must mirror its *master's* desired
+		// state; an orphaned shard (master dead, lease not yet lapsed) is by
+		// definition not converged.
+		platform, ok := r.d.OwnerPlatform(core.DPIDForNode(n.ID))
+		if !ok {
+			return fmt.Sprintf("node %d: no live master for its shard", n.ID)
+		}
+		desired := platform.DesiredFlows(core.DPIDForNode(n.ID))
 		installed := sw.FlowTable()
 		if len(installed) != len(desired) {
 			return fmt.Sprintf("node %d: %d flows installed, %d desired", n.ID, len(installed), len(desired))

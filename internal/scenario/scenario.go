@@ -38,15 +38,21 @@ const (
 	FaultSwitchCrash   FaultKind = "switch-crash"   // reboot a switch: table + control session lost
 	FaultServerRestart FaultKind = "server-restart" // crash-restart the rf-server RPC endpoint
 	FaultRPCLoss       FaultKind = "rpc-loss"       // set the control-channel drop rate to Rate
+
+	// The replica fault classes require a clustered spec (Cluster.Replicas > 1).
+	FaultReplicaKill      FaultKind = "replica-kill"      // crash one rf-controller replica for good
+	FaultReplicaPartition FaultKind = "replica-partition" // cut a replica from switches + coordination
+	FaultReplicaHeal      FaultKind = "replica-heal"      // heal a partitioned replica
 )
 
 // Fault is one scheduled fault.
 type Fault struct {
-	Kind  FaultKind
-	Link  int     // link index in Topology.Links() (link faults)
-	Node  int     // graph node (switch-crash)
-	Count int     // flap cycles (link-flap; 0 = 3)
-	Rate  float64 // drop probability (rpc-loss)
+	Kind    FaultKind
+	Link    int     // link index in Topology.Links() (link faults)
+	Node    int     // graph node (switch-crash)
+	Replica int     // rf-controller replica (replica faults)
+	Count   int     // flap cycles (link-flap; 0 = 3)
+	Rate    float64 // drop probability (rpc-loss)
 	// PreConverge injects the fault right after Start, before the initial
 	// convergence — e.g. an rf-server restart mid-configuration.
 	PreConverge bool
@@ -66,6 +72,8 @@ func (f Fault) String() string {
 		return fmt.Sprintf("%s node=%d", f.Kind, f.Node)
 	case FaultRPCLoss:
 		return fmt.Sprintf("%s rate=%.2f", f.Kind, f.Rate)
+	case FaultReplicaKill, FaultReplicaPartition, FaultReplicaHeal:
+		return fmt.Sprintf("%s replica=%d", f.Kind, f.Replica)
 	default:
 		return string(f.Kind)
 	}
@@ -93,6 +101,10 @@ type Spec struct {
 	// schedule is derived deterministically from Seed.
 	Faults       []Fault
 	RandomFaults int
+
+	// Cluster sizes the distributed rf-controller (zero value = the single
+	// controller). Replica faults require Replicas > 1.
+	Cluster core.ClusterSpec
 
 	// TimeScale > 1 runs the deployment on a scaled clock (protocol time
 	// compressed); the default 1 uses the system clock with the compressed
@@ -176,6 +188,13 @@ func (s Spec) withDefaults() (Spec, error) {
 				return s, fmt.Errorf("scenario %s: fault %v references unknown node", s.Name, f)
 			}
 		case FaultServerRestart, FaultRPCLoss:
+		case FaultReplicaKill, FaultReplicaPartition, FaultReplicaHeal:
+			if s.Cluster.Replicas <= 1 {
+				return s, fmt.Errorf("scenario %s: fault %v requires Cluster.Replicas > 1", s.Name, f)
+			}
+			if f.Replica < 0 || f.Replica >= s.Cluster.Replicas {
+				return s, fmt.Errorf("scenario %s: fault %v references unknown replica", s.Name, f)
+			}
 		default:
 			return s, fmt.Errorf("scenario %s: unknown fault kind %q", s.Name, f.Kind)
 		}
@@ -309,6 +328,7 @@ func Run(spec Spec) (*Result, error) {
 		RPCDropRate:   spec.RPCDropRate,
 		RPCDropSeed:   spec.Seed,
 		ResyncProbe:   spec.ResyncProbe,
+		Cluster:       spec.Cluster,
 	})
 	if err != nil {
 		return nil, err
@@ -486,6 +506,12 @@ func (r *runner) inject(f Fault) error {
 	case FaultRPCLoss:
 		r.d.SetRPCLossRate(f.Rate)
 		return nil
+	case FaultReplicaKill:
+		return r.d.KillReplica(f.Replica)
+	case FaultReplicaPartition:
+		return r.d.SetReplicaPartitioned(f.Replica, true)
+	case FaultReplicaHeal:
+		return r.d.SetReplicaPartitioned(f.Replica, false)
 	default:
 		return fmt.Errorf("scenario: unknown fault kind %q", f.Kind)
 	}

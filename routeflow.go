@@ -10,15 +10,20 @@
 //
 // Quick start:
 //
-//	d, err := routeflow.NewDeployment(routeflow.Options{
-//	        Topology:  routeflow.Ring(4),
-//	        Clock:     routeflow.ScaledClock(50), // compress protocol time 50×
-//	        HostNodes: []int{0, 2},
-//	})
+//	d, err := routeflow.New(routeflow.Ring(4),
+//	        routeflow.WithTimeScale(50), // compress protocol time 50×
+//	        routeflow.WithHosts(0, 2),
+//	)
 //	if err != nil { ... }
 //	defer d.Close()
 //	d.Start()
 //	t, _ := d.AwaitConfigured(5 * time.Minute) // protocol time
+//
+// Since PR 6 the RF-controller can be run as a replicated cluster with
+// sharded per-switch ownership and lease-based failover: add
+// routeflow.WithReplicas(n) (or WithCluster for full control over shard
+// policy and lease timings). The default remains the paper's single
+// rf-server.
 package routeflow
 
 import (
@@ -55,13 +60,21 @@ type (
 	VMState = vnet.State
 	// VideoServer streams the demo's video clip.
 	VideoServer = stream.Server
+	// VideoServerConfig configures a VideoServer.
+	VideoServerConfig = stream.ServerConfig
 	// VideoClient receives it and records first-frame time.
 	VideoClient = stream.Client
 	// VideoStats summarize reception.
 	VideoStats = stream.ClientStats
 )
 
-// NewDeployment assembles a system from options; call Start to run it.
+// NewDeployment assembles a system from an Options struct literal; call
+// Start to run it.
+//
+// Deprecated: use New with functional options (WithTimeScale, WithHosts,
+// WithCluster, …). The struct form keeps compiling and behaving
+// identically — it is the same Options value the options build — but new
+// knobs are only documented on their With* constructors.
 func NewDeployment(opts Options) (*Deployment, error) { return core.NewDeployment(opts) }
 
 // DefaultManualModel returns the paper's 5+2+8 minute per-switch figures.

@@ -1,0 +1,195 @@
+package routeflow
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// RunSpec selects one experiment for Run. The interface is sealed: the
+// variants are Fig3Run, MultiASRun, DemoRun and ScenarioRun.
+type RunSpec interface{ runSpec() }
+
+// Fig3Run regenerates the paper's Fig. 3 series: automatic vs. manual
+// configuration time over a sweep of ring sizes.
+type Fig3Run struct {
+	// Sizes are the ring sizes to sweep (default the paper's 4..28 step 4).
+	Sizes []int
+}
+
+// MultiASRun runs the inter-domain scaling experiment: cold-boot time to
+// full eBGP/iBGP convergence over a ring of ring-shaped ASes.
+type MultiASRun struct {
+	// ASCounts are the AS counts to sweep (default 2, 3, 4).
+	ASCounts []int
+	// ASSize is the per-AS switch count (default 3).
+	ASSize int
+}
+
+// DemoRun reproduces the paper's §3 demonstration: the pan-European
+// topology boots cold while video streams across it.
+type DemoRun struct {
+	// Streams lists (server node, client node) pairs, all started at t=0.
+	// Empty runs the paper's single Lisbon → Stockholm stream.
+	Streams [][2]int
+}
+
+// ScenarioRun executes one chaos scenario. The spec is self-contained
+// (topology, fault schedule, timing, cluster), so Run options that tune
+// the experiment config do not apply to it.
+type ScenarioRun struct {
+	Spec ScenarioSpec
+}
+
+func (Fig3Run) runSpec()     {}
+func (MultiASRun) runSpec()  {}
+func (DemoRun) runSpec()     {}
+func (ScenarioRun) runSpec() {}
+
+// RunOption adjusts the experiment configuration a Run executes under.
+type RunOption func(*ExperimentConfig)
+
+// RunConfig replaces the whole experiment config — the migration path for
+// callers that already build an ExperimentConfig literal.
+func RunConfig(cfg ExperimentConfig) RunOption {
+	return func(c *ExperimentConfig) { *c = cfg }
+}
+
+// RunTimeScale compresses protocol time factor× (default 50).
+func RunTimeScale(factor float64) RunOption {
+	return func(c *ExperimentConfig) { c.TimeScale = factor }
+}
+
+// RunBootDelay models VM creation time (default 2s).
+func RunBootDelay(d time.Duration) RunOption {
+	return func(c *ExperimentConfig) { c.BootDelay = d }
+}
+
+// RunTimers sets the routing daemons' protocol timers.
+func RunTimers(t Timers) RunOption {
+	return func(c *ExperimentConfig) { c.Timers = t }
+}
+
+// RunProbeInterval sets the LLDP probe period (default 1s).
+func RunProbeInterval(d time.Duration) RunOption {
+	return func(c *ExperimentConfig) { c.ProbeInterval = d }
+}
+
+// RunMerged runs the merged-controller ablation (no FlowVisor).
+func RunMerged() RunOption {
+	return func(c *ExperimentConfig) { c.NoFlowVisor = true }
+}
+
+// RunCluster runs the experiment on a distributed RF-controller.
+func RunCluster(spec ClusterSpec) RunOption {
+	return func(c *ExperimentConfig) { c.Cluster = spec }
+}
+
+// RunReplicas is the RunCluster shorthand for "n replicas, defaults".
+func RunReplicas(n int) RunOption {
+	return func(c *ExperimentConfig) { c.Cluster = ClusterSpec{Replicas: n} }
+}
+
+// RunRPCApplyDelay models serialized per-switch work in each replica's RPC
+// apply path (what sharding divides).
+func RunRPCApplyDelay(d time.Duration) RunOption {
+	return func(c *ExperimentConfig) { c.RPCApplyDelay = d }
+}
+
+// RunReport is the outcome of Run: exactly one section is populated,
+// matching the spec variant that was executed.
+type RunReport struct {
+	Fig3     []Fig3Row
+	MultiAS  []MultiASRow
+	Demo     *MultiStreamResult
+	Scenario *ScenarioResult
+}
+
+// Print renders whichever section the executed spec produced.
+func (r *RunReport) Print(w io.Writer) {
+	switch {
+	case r == nil:
+	case r.Fig3 != nil:
+		PrintFig3(w, r.Fig3)
+	case r.MultiAS != nil:
+		PrintMultiAS(w, r.MultiAS)
+	case r.Demo != nil:
+		printMultiStream(w, r.Demo)
+	case r.Scenario != nil:
+		PrintScenario(w, r.Scenario)
+	}
+}
+
+func printMultiStream(w io.Writer, ms *MultiStreamResult) {
+	fmt.Fprintf(w, "pan-European demo: %d switches, %d links, %d stream(s)\n",
+		ms.Switches, ms.Links, len(ms.Streams))
+	fmt.Fprintf(w, "  all switches configured (green):  %v\n", round(ms.Configured))
+	fmt.Fprintf(w, "  OSPF fully converged:             %v\n", round(ms.Converged))
+	fmt.Fprintf(w, "  every stream delivering:          %v (paper: ~4 min)\n", round(ms.AllVideo))
+	for _, st := range ms.Streams {
+		fmt.Fprintf(w, "  stream %d→%d: first frame %v, frames %d (gaps %d)\n",
+			st.ServerNode, st.ClientNode, round(st.FirstVideo),
+			st.VideoStats.Frames, st.VideoStats.Gaps)
+	}
+	fmt.Fprintf(w, "  manual configuration equivalent:  %v (paper: ~7 h)\n",
+		DefaultManualModel().Total(ms.Switches))
+}
+
+// Run executes one experiment through the single dispatcher the CLIs and
+// examples share: build the deployment, run the spec variant, tear down.
+// It replaces direct calls to RunFig3, RunMultiASScaling,
+// RunDemoMultiStream and RunScenario (all still exported).
+func Run(spec RunSpec, opts ...RunOption) (*RunReport, error) {
+	var cfg ExperimentConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	switch s := spec.(type) {
+	case Fig3Run:
+		sizes := s.Sizes
+		if len(sizes) == 0 {
+			sizes = []int{4, 8, 12, 16, 20, 24, 28}
+		}
+		rows, err := RunFig3(sizes, cfg)
+		return &RunReport{Fig3: rows}, err
+	case MultiASRun:
+		counts := s.ASCounts
+		if len(counts) == 0 {
+			counts = []int{2, 3, 4}
+		}
+		size := s.ASSize
+		if size <= 0 {
+			size = 3
+		}
+		rows, err := RunMultiASScaling(counts, size, cfg)
+		return &RunReport{MultiAS: rows}, err
+	case DemoRun:
+		pairs := s.Streams
+		if len(pairs) == 0 {
+			g := PanEuropean()
+			lisbon, _ := g.NodeByName("Lisbon")
+			stockholm, _ := g.NodeByName("Stockholm")
+			pairs = [][2]int{{lisbon.ID, stockholm.ID}}
+		}
+		ms, err := RunDemoMultiStream(cfg, pairs)
+		return &RunReport{Demo: &ms}, err
+	case ScenarioRun:
+		res, err := RunScenario(s.Spec)
+		return &RunReport{Scenario: res}, err
+	case nil:
+		return nil, fmt.Errorf("routeflow: Run needs a spec (Fig3Run, MultiASRun, DemoRun or ScenarioRun)")
+	default:
+		return nil, fmt.Errorf("routeflow: unknown run spec %T", spec)
+	}
+}
+
+// ScenarioExitCode maps a scenario outcome to a process exit status: 1 on a
+// harness error or any failed invariant check, 0 only when the run
+// completed and every check held. rfchaos routes every verdict through it
+// so an invariant violation can never exit 0.
+func ScenarioExitCode(res *ScenarioResult, err error) int {
+	if err != nil || res == nil || !res.AllOK() {
+		return 1
+	}
+	return 0
+}

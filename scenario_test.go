@@ -163,3 +163,28 @@ func TestScenarioDeterministicEventLog(t *testing.T) {
 		t.Fatal("different seeds produced identical event logs — the schedule ignores the seed")
 	}
 }
+
+// TestMasterKillScenarioDeterministicEventLog pins the acceptance bar for
+// the distributed-controller chaos family: the curated master-kill scenario
+// — a replica crash racing the initial convergence, lease lapse, shard
+// adoption by the survivor — must hold every invariant and produce a
+// byte-identical event log across runs of the same seed.
+func TestMasterKillScenarioDeterministicEventLog(t *testing.T) {
+	run := func() *ScenarioResult {
+		spec, ok := ScenarioByName("ring6-master-kill-midconverge")
+		if !ok {
+			t.Fatal("ring6-master-kill-midconverge missing from curated suite")
+		}
+		res, err := RunScenario(spec)
+		if err != nil {
+			t.Fatalf("harness error: %v", err)
+		}
+		if failed := res.FailedChecks(); len(failed) > 0 {
+			t.Fatalf("invariants failed: %v\n%s", failed, res.EventLog())
+		}
+		return res
+	}
+	if a, b := run().EventLog(), run().EventLog(); a != b {
+		t.Fatalf("same spec, different event logs:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a, b)
+	}
+}

@@ -19,6 +19,13 @@ raw="$(go test -run='^$' \
 	-bench='BenchmarkOpenFlow|BenchmarkMatch|BenchmarkRIB|BenchmarkLLDP|BenchmarkSwitchForward|BenchmarkBGP' \
 	-benchmem -benchtime="$benchtime" . ./internal/ofswitch/ ./internal/bgp/)"
 
+# Shard-scaling series (distributed RF-controller, 1/2/4 replicas): a macro
+# benchmark at seconds per iteration, so it runs at a fixed small iteration
+# count instead of $benchtime. benchcheck gates the replicas=1/replicas=4
+# ratio, which is machine-independent.
+raw="$raw
+$(go test -run='^$' -bench='BenchmarkAutoConfigureSharded' -benchmem -benchtime=2x .)"
+
 printf '%s\n' "$raw" >&2
 
 printf '%s\n' "$raw" | awk '

@@ -12,7 +12,10 @@
 //     threshold (-threshold, default 20%) against the baseline, which was
 //     recorded on the same runner class CI uses;
 //   - a gated benchmark missing from the current snapshot fails (a renamed
-//     or deleted benchmark must update the baseline deliberately).
+//     or deleted benchmark must update the baseline deliberately);
+//   - shard scaling: BenchmarkAutoConfigureSharded/replicas=4 must beat
+//     replicas=1 by at least -shard-speedup (default 1.5×). The gate is a
+//     ratio within the current snapshot, so it is machine-independent.
 //
 // The comparison table goes to stdout; CI uploads it as an artifact.
 package main
@@ -54,6 +57,7 @@ func load(path string) (snapshot, error) {
 func main() {
 	threshold := flag.Float64("threshold", 0.20, "allowed ns/op regression for gated benchmarks (fraction)")
 	nsGate := flag.String("ns-gate", "BenchmarkSwitchForwardCached", "substring selecting ns/op-gated benchmarks")
+	shardSpeedup := flag.Float64("shard-speedup", 1.5, "minimum replicas=1/replicas=4 speedup for the sharded controller")
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: benchcheck [-threshold 0.20] [-ns-gate substr] baseline.json current.json")
@@ -124,6 +128,23 @@ func main() {
 		fmt.Printf("%-50s %12.1f %12.1f %+7.1f%%  %s\n",
 			name, b.NsOp, c.NsOp, delta*100, strings.Join(verdicts, ", "))
 	}
+	const shardName = "BenchmarkAutoConfigureSharded/replicas="
+	if c1, ok1 := cur.Benchmarks[shardName+"1"]; ok1 {
+		c4, ok4 := cur.Benchmarks[shardName+"4"]
+		if !ok4 || c4.NsOp <= 0 {
+			failures = append(failures, fmt.Sprintf("%s4: missing from current run, cannot gate shard scaling", shardName))
+		} else {
+			speedup := c1.NsOp / c4.NsOp
+			fmt.Printf("\nshard scaling: replicas=1 vs replicas=4 speedup %.2fx (minimum %.2fx)\n",
+				speedup, *shardSpeedup)
+			if speedup < *shardSpeedup {
+				failures = append(failures, fmt.Sprintf(
+					"shard scaling: 4 replicas only %.2fx faster than 1 (minimum %.2fx)",
+					speedup, *shardSpeedup))
+			}
+		}
+	}
+
 	if len(failures) > 0 {
 		fmt.Printf("\nFAIL: %d regression(s):\n", len(failures))
 		for _, f := range failures {
