@@ -76,6 +76,12 @@ type Options struct {
 	// (VM cloning, config-file writes) inside each replica's apply lock —
 	// the serialized cost that sharding the switch population divides.
 	RPCApplyDelay time.Duration
+	// StatefulOffload enables the switches' XFSM-style local state machines
+	// (MAC learning + microflow pinning): steady traffic is handled inside
+	// the datapath without consulting the flow table, and learned flows are
+	// never punted. Off by default — offloaded packets bypass per-flow
+	// counters, a deliberate hardware-offload-style semantic trade.
+	StatefulOffload bool
 }
 
 // Deployment is a fully wired automatic-configuration system under test: the
@@ -158,6 +164,7 @@ func (d *Deployment) build() error {
 		dpid := DPIDForNode(n.ID)
 		d.switches[dpid] = ofswitch.New(ofswitch.Config{
 			DPID: dpid, Name: fmt.Sprintf("s%d", n.ID), Clock: d.clk,
+			StatefulOffload: d.opts.StatefulOffload,
 		})
 	}
 	// Inter-switch cables.

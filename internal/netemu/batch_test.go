@@ -1,0 +1,259 @@
+package netemu
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"routeflow/internal/clock"
+	"routeflow/internal/pkt"
+)
+
+func TestSendBatchDelivers(t *testing.T) {
+	_, a, b := newPair(t)
+	var mu sync.Mutex
+	var got [][]byte
+	done := make(chan struct{})
+	b.SetBatchReceiver(func(frames [][]byte) {
+		mu.Lock()
+		for _, f := range frames {
+			got = append(got, append([]byte(nil), f...))
+		}
+		if len(got) == 100 {
+			close(done)
+		}
+		mu.Unlock()
+	})
+	var batch [][]byte
+	for i := 0; i < 100; i++ {
+		batch = append(batch, []byte{byte(i), byte(i >> 1)})
+	}
+	if n := a.SendBatch(batch); n != 100 {
+		t.Fatalf("SendBatch accepted %d/100", n)
+	}
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("not all frames arrived")
+	}
+	for i, f := range got {
+		if !bytes.Equal(f, []byte{byte(i), byte(i >> 1)}) {
+			t.Fatalf("frame %d = %v, out of order or corrupted", i, f)
+		}
+	}
+	if st := a.Stats(); st.TxPackets != 100 || st.Drops != 0 {
+		t.Fatalf("sender stats = %+v", st)
+	}
+	if st := b.Stats(); st.RxPackets != 100 {
+		t.Fatalf("receiver stats = %+v", st)
+	}
+}
+
+// TestBatchReceiverCoalesces pins the vectoring behaviour: frames that
+// accumulate while the receiver is busy arrive as one burst, not as one
+// callback each.
+func TestBatchReceiverCoalesces(t *testing.T) {
+	_, a, b := newPair(t)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var first atomic.Bool
+	first.Store(true)
+	bursts := make(chan int, 16)
+	b.SetBatchReceiver(func(frames [][]byte) {
+		if first.CompareAndSwap(true, false) {
+			entered <- struct{}{}
+			<-release // hold the delivery goroutine while the inbox fills
+		}
+		bursts <- len(frames)
+	})
+	a.Send([]byte{0})
+	<-entered
+	for i := 1; i < 48; i++ {
+		if !a.Send([]byte{byte(i)}) {
+			t.Fatalf("send %d failed", i)
+		}
+	}
+	close(release)
+	if n := <-bursts; n != 1 {
+		t.Fatalf("first burst had %d frames, want 1", n)
+	}
+	total, calls := 0, 0
+	deadline := time.After(2 * time.Second)
+	for total < 47 {
+		select {
+		case n := <-bursts:
+			total += n
+			calls++
+		case <-deadline:
+			t.Fatalf("only %d/47 held-back frames arrived", total)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("held-back frames arrived in %d bursts, want 1 coalesced burst", calls)
+	}
+}
+
+// TestLatencyOverlap pins the head-of-line fix: a burst through a
+// latency-modelled cable arrives ~one latency after it was sent, because
+// every frame carries its own send-time deadline. Under the old per-frame
+// sleep the 8th frame arrived 8×latency late.
+func TestLatencyOverlap(t *testing.T) {
+	n := NewNetwork(clock.System())
+	defer n.Close()
+	const lat = 50 * time.Millisecond
+	a, b := n.NewCable(CableOpts{NameA: "a", NameB: "b", Latency: lat})
+	const frames = 8
+	arrived := make(chan time.Time, frames)
+	b.SetReceiver(func([]byte) { arrived <- time.Now() })
+	start := time.Now()
+	for i := 0; i < frames; i++ {
+		if !a.Send([]byte{byte(i)}) {
+			t.Fatalf("send %d failed", i)
+		}
+	}
+	var last time.Time
+	for i := 0; i < frames; i++ {
+		select {
+		case at := <-arrived:
+			last = at
+		case <-time.After(2 * time.Second):
+			t.Fatalf("frame %d never arrived", i)
+		}
+	}
+	elapsed := last.Sub(start)
+	if elapsed < lat-5*time.Millisecond {
+		t.Fatalf("burst arrived after %v, before the %v latency", elapsed, lat)
+	}
+	if elapsed > 3*lat {
+		t.Fatalf("burst took %v, frames are serializing behind each other (old head-of-line behaviour would take %v)",
+			elapsed, frames*lat)
+	}
+}
+
+func TestSendBatchLossAndStats(t *testing.T) {
+	n := NewNetwork(clock.System())
+	defer n.Close()
+	a, b := n.NewCable(CableOpts{NameA: "a", NameB: "b", LossRate: 0.5, Seed: 7})
+	var rx atomic.Int32
+	b.SetBatchReceiver(func(frames [][]byte) { rx.Add(int32(len(frames))) })
+	batch := make([][]byte, 100)
+	for i := range batch {
+		batch[i] = []byte{byte(i)}
+	}
+	sent := 0
+	for i := 0; i < 10; i++ {
+		sent += a.SendBatch(batch)
+	}
+	if sent < 350 || sent > 650 {
+		t.Fatalf("with 50%% loss, %d/1000 batched sends succeeded", sent)
+	}
+	st := a.Stats()
+	if st.TxPackets != uint64(sent) || st.Drops != uint64(1000-sent) {
+		t.Fatalf("stats = %+v, sent=%d", st, sent)
+	}
+}
+
+func TestSendBatchLinkDown(t *testing.T) {
+	_, a, b := newPair(t)
+	b.SetBatchReceiver(func([][]byte) { t.Error("delivery on down link") })
+	a.SetLinkUp(false)
+	if n := a.SendBatch([][]byte{{1}, {2}}); n != 0 {
+		t.Fatalf("down link accepted %d frames", n)
+	}
+	if st := a.Stats(); st.Drops != 2 {
+		t.Fatalf("drops = %d, want 2", st.Drops)
+	}
+}
+
+// TestLossSequenceDeterministic pins the lock-free RNG contract: the same
+// seed produces the same accept/drop sequence.
+func TestLossSequenceDeterministic(t *testing.T) {
+	pattern := func() string {
+		n := NewNetwork(clock.System())
+		defer n.Close()
+		a, _ := n.NewCable(CableOpts{NameA: "a", NameB: "b", LossRate: 0.3, Seed: 99})
+		var s []byte
+		for i := 0; i < 64; i++ {
+			if a.Send([]byte{1}) {
+				s = append(s, '1')
+			} else {
+				s = append(s, '0')
+			}
+		}
+		return string(s)
+	}
+	if p1, p2 := pattern(), pattern(); p1 != p2 {
+		t.Fatalf("same seed produced different loss sequences:\n%s\n%s", p1, p2)
+	}
+}
+
+// TestConcurrentSendersRace exercises the lock-free loss path and batched
+// inbox from many goroutines at once (meaningful under -race).
+func TestConcurrentSendersRace(t *testing.T) {
+	n := NewNetwork(clock.System())
+	defer n.Close()
+	a, b := n.NewCable(CableOpts{NameA: "a", NameB: "b", LossRate: 0.1, Seed: 3})
+	var rx atomic.Int64
+	b.SetBatchReceiver(func(frames [][]byte) { rx.Add(int64(len(frames))) })
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			batch := [][]byte{{byte(g)}, {byte(g), 1}, {byte(g), 2}}
+			for i := 0; i < 200; i++ {
+				if i%2 == 0 {
+					a.SendBatch(batch)
+				} else {
+					a.Send(batch[0])
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		st := a.Stats()
+		if rx.Load() == int64(st.TxPackets) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rx=%d never matched tx=%d", rx.Load(), st.TxPackets)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// BenchmarkCableSend / BenchmarkCableSendBatch measure per-frame cost of the
+// two transmit paths; the batch path amortizes link checks, deadline stamps
+// and counter updates over the burst.
+func BenchmarkCableSend(b *testing.B) {
+	n := NewNetwork(clock.System())
+	defer n.Close()
+	a, bb := n.NewCable(CableOpts{NameA: "a", NameB: "b", MACA: pkt.LocalMAC(1), MACB: pkt.LocalMAC(2)})
+	bb.SetBatchReceiver(func([][]byte) {})
+	frame := make([]byte, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Send(frame)
+	}
+}
+
+func BenchmarkCableSendBatch(b *testing.B) {
+	n := NewNetwork(clock.System())
+	defer n.Close()
+	a, bb := n.NewCable(CableOpts{NameA: "a", NameB: "b", MACA: pkt.LocalMAC(1), MACB: pkt.LocalMAC(2)})
+	bb.SetBatchReceiver(func([][]byte) {})
+	batch := make([][]byte, 32)
+	for i := range batch {
+		batch[i] = make([]byte, 128)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += len(batch) {
+		a.SendBatch(batch)
+	}
+}

@@ -8,12 +8,14 @@
 // Delivery model: each endpoint has a bounded inbox drained by one goroutine,
 // so receivers run concurrently with senders and frames on one cable arrive
 // in order. A full inbox drops frames (like a real NIC ring), which keeps the
-// system deadlock-free by construction.
+// system deadlock-free by construction. The drain is vectored: the delivery
+// goroutine pulls whatever has accumulated (up to MaxBurst) and hands the
+// whole burst to a batch receiver in one callback, so receiver-side lock,
+// pool and trace overhead is paid per burst instead of per frame.
 package netemu
 
 import (
 	"fmt"
-	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -24,6 +26,11 @@ import (
 
 // DefaultInboxDepth is the per-endpoint receive queue length.
 const DefaultInboxDepth = 512
+
+// MaxBurst bounds how many frames one delivery callback can carry; it also
+// bounds how long a batch receiver can hold the delivery goroutine before
+// later frames get their latency deadlines re-checked.
+const MaxBurst = 64
 
 // TraceEvent describes one frame movement for debugging and tests.
 type TraceEvent struct {
@@ -77,8 +84,14 @@ type CableOpts struct {
 // frameBuf is a pooled in-flight frame copy. Send fills one from the pool,
 // the peer's deliverLoop hands its bytes to the receiver and recycles it —
 // steady-state frame delivery allocates nothing (the emulated analogue of a
-// NIC ring reusing descriptors).
-type frameBuf struct{ b []byte }
+// NIC ring reusing descriptors). due is the frame's delivery deadline on a
+// latency-modelled cable (zero when the cable has no latency): deadlines are
+// stamped at send time, so frames in flight overlap like bits on a real pipe
+// instead of queueing one full latency behind each other.
+type frameBuf struct {
+	b   []byte
+	due time.Time
+}
 
 var framePool = sync.Pool{New: func() any { return new(frameBuf) }}
 
@@ -95,12 +108,18 @@ type Endpoint struct {
 
 	latency time.Duration
 	loss    float64
-	rngMu   sync.Mutex
-	rng     *rand.Rand
+	// Loss decisions draw from an atomic-stepped splitmix64 sequence: each
+	// draw is one atomic add plus pure arithmetic, so loss-injected cables
+	// never serialize concurrent senders behind a shared RNG lock. The
+	// sequence is deterministic per seed; only the interleaving of draws
+	// across racing senders varies (exactly as it did under the old mutex).
+	lossSeed uint64
+	lossSeq  atomic.Uint64
 
-	recvMu  sync.RWMutex
-	recv    func([]byte)
-	onState func(bool)
+	recvMu    sync.RWMutex
+	recv      func([]byte)
+	recvBatch func([][]byte)
+	onState   func(bool)
 
 	up atomic.Bool // shared link state is the AND of both halves; we keep one flag per cable, see link
 
@@ -126,15 +145,15 @@ func (n *Network) NewCable(opts CableOpts) (*Endpoint, *Endpoint) {
 	ls.up.Store(true)
 	mk := func(name string, mac pkt.MAC, seedSalt int64) *Endpoint {
 		e := &Endpoint{
-			net:     n,
-			name:    name,
-			mac:     mac,
-			inbox:   make(chan *frameBuf, depth),
-			stop:    make(chan struct{}),
-			latency: opts.Latency,
-			loss:    opts.LossRate,
-			rng:     rand.New(rand.NewSource(opts.Seed ^ seedSalt)),
-			link:    ls,
+			net:      n,
+			name:     name,
+			mac:      mac,
+			inbox:    make(chan *frameBuf, depth),
+			stop:     make(chan struct{}),
+			latency:  opts.Latency,
+			loss:     opts.LossRate,
+			lossSeed: splitmix64(uint64(opts.Seed ^ seedSalt)),
+			link:     ls,
 		}
 		go e.deliverLoop()
 		return e
@@ -162,8 +181,8 @@ func (e *Endpoint) MAC() pkt.MAC { return e.mac }
 // LinkUp reports whether the cable is administratively up.
 func (e *Endpoint) LinkUp() bool { return e.link.up.Load() }
 
-// SetReceiver installs the inbound frame handler. Frames arriving with no
-// receiver installed are dropped.
+// SetReceiver installs the inbound frame handler (clearing any batch
+// receiver). Frames arriving with no receiver installed are dropped.
 //
 // Ownership contract (like a kernel packet ring): the frame slice is valid
 // only for the duration of the callback and may be mutated by it; it is
@@ -172,6 +191,25 @@ func (e *Endpoint) LinkUp() bool { return e.link.up.Load() }
 func (e *Endpoint) SetReceiver(f func(frame []byte)) {
 	e.recvMu.Lock()
 	e.recv = f
+	e.recvBatch = nil
+	e.recvMu.Unlock()
+}
+
+// SetBatchReceiver installs a vectored inbound handler (clearing any
+// single-frame receiver): the delivery goroutine drains the inbox in bursts
+// of up to MaxBurst frames and hands each burst to f in one callback,
+// amortizing receiver-side locking and dispatch per burst instead of per
+// frame.
+//
+// Ownership contract, burst form: both the frames slice and every frame in
+// it are valid only for the duration of the callback; each frame may be
+// mutated in place, and all of them (and the slice itself) are recycled as
+// soon as the callback returns. Receivers that retain any frame — or the
+// slice — past the callback must copy it.
+func (e *Endpoint) SetBatchReceiver(f func(frames [][]byte)) {
+	e.recvMu.Lock()
+	e.recvBatch = f
+	e.recv = nil
 	e.recvMu.Unlock()
 }
 
@@ -198,6 +236,23 @@ func (e *Endpoint) SetLinkUp(up bool) {
 	}
 }
 
+// splitmix64 is the mixing function of the SplitMix64 generator; one round
+// turns a sequence counter into a uniform 64-bit value, so loss draws need
+// no shared generator state beyond an atomic counter.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// lossDrop draws the next loss decision. Lock-free: one atomic add and pure
+// arithmetic per draw.
+func (e *Endpoint) lossDrop() bool {
+	x := splitmix64(e.lossSeed + e.lossSeq.Add(1))
+	return float64(x>>11)/(1<<53) < e.loss
+}
+
 // Send transmits one frame toward the peer. It never blocks; it reports
 // false when the frame was dropped (link down, loss model, or full peer
 // inbox). The frame is copied into a pooled buffer, so callers may reuse
@@ -208,18 +263,18 @@ func (e *Endpoint) Send(frame []byte) bool {
 		e.net.trace(TraceEvent{From: e.name, To: e.peer.name, Len: len(frame), Dropped: true})
 		return false
 	}
-	if e.loss > 0 {
-		e.rngMu.Lock()
-		lost := e.rng.Float64() < e.loss
-		e.rngMu.Unlock()
-		if lost {
-			e.drops.Add(1)
-			e.net.trace(TraceEvent{From: e.name, To: e.peer.name, Len: len(frame), Dropped: true})
-			return false
-		}
+	if e.loss > 0 && e.lossDrop() {
+		e.drops.Add(1)
+		e.net.trace(TraceEvent{From: e.name, To: e.peer.name, Len: len(frame), Dropped: true})
+		return false
 	}
 	fb := framePool.Get().(*frameBuf)
 	fb.b = append(fb.b[:0], frame...)
+	if e.latency > 0 {
+		fb.due = e.net.clk.Now().Add(e.latency)
+	} else {
+		fb.due = time.Time{}
+	}
 	select {
 	case e.peer.inbox <- fb:
 		e.txPackets.Add(1)
@@ -234,27 +289,141 @@ func (e *Endpoint) Send(frame []byte) bool {
 	}
 }
 
+// SendBatch transmits a burst of frames toward the peer in one call,
+// paying the link-state check, counter updates and deadline stamp once per
+// burst instead of once per frame. Loss decisions remain per frame, so the
+// loss model is unchanged. Every frame is copied like Send; the return
+// value is the number of frames accepted (link down accepts none, a full
+// peer inbox or a loss draw drops individual frames).
+func (e *Endpoint) SendBatch(frames [][]byte) int {
+	if len(frames) == 0 {
+		return 0
+	}
+	if !e.link.up.Load() {
+		e.drops.Add(uint64(len(frames)))
+		for _, frame := range frames {
+			e.net.trace(TraceEvent{From: e.name, To: e.peer.name, Len: len(frame), Dropped: true})
+		}
+		return 0
+	}
+	var due time.Time
+	if e.latency > 0 {
+		due = e.net.clk.Now().Add(e.latency)
+	}
+	sent, dropped := 0, 0
+	var sentBytes uint64
+	for _, frame := range frames {
+		if e.loss > 0 && e.lossDrop() {
+			dropped++
+			e.net.trace(TraceEvent{From: e.name, To: e.peer.name, Len: len(frame), Dropped: true})
+			continue
+		}
+		fb := framePool.Get().(*frameBuf)
+		fb.b = append(fb.b[:0], frame...)
+		fb.due = due
+		select {
+		case e.peer.inbox <- fb:
+			sent++
+			sentBytes += uint64(len(frame))
+			e.net.trace(TraceEvent{From: e.name, To: e.peer.name, Len: len(frame)})
+		default:
+			framePool.Put(fb)
+			dropped++
+			e.net.trace(TraceEvent{From: e.name, To: e.peer.name, Len: len(frame), Dropped: true})
+		}
+	}
+	if sent > 0 {
+		e.txPackets.Add(uint64(sent))
+		e.txBytes.Add(sentBytes)
+	}
+	if dropped > 0 {
+		e.drops.Add(uint64(dropped))
+	}
+	return sent
+}
+
+// deliverLoop drains the inbox in bursts: one blocking receive, then
+// whatever else has accumulated (up to MaxBurst), delivered together. On a
+// latency-modelled cable each frame carries its own send-time deadline, so
+// the loop waits only for the head frame's deadline and then delivers every
+// frame already due — a burst of N frames arrives ~Latency after it was
+// sent, not N×Latency later the way a per-frame sleep serialized it.
 func (e *Endpoint) deliverLoop() {
+	burst := make([]*frameBuf, 0, MaxBurst)
+	frames := make([][]byte, 0, MaxBurst)
 	for {
 		select {
 		case fb := <-e.inbox:
-			if e.latency > 0 {
-				e.net.clk.Sleep(e.latency)
+			burst = append(burst[:0], fb)
+		drain:
+			for len(burst) < MaxBurst {
+				select {
+				case fb2 := <-e.inbox:
+					burst = append(burst, fb2)
+				default:
+					break drain
+				}
 			}
-			e.recvMu.RLock()
-			recv := e.recv
-			e.recvMu.RUnlock()
-			if recv != nil && e.link.up.Load() {
-				e.rxPackets.Add(1)
-				e.rxBytes.Add(uint64(len(fb.b)))
-				recv(fb.b)
-			} else {
-				e.drops.Add(1)
+			for i := 0; i < len(burst); {
+				n := len(burst) - i
+				if !burst[i].due.IsZero() {
+					if d := burst[i].due.Sub(e.net.clk.Now()); d > 0 {
+						e.net.clk.Sleep(d)
+					}
+					// Deliver the prefix already due; frames sent later keep
+					// their own deadlines and wait their remaining time on
+					// the next pass.
+					now := e.net.clk.Now()
+					n = 1
+					for i+n < len(burst) && !burst[i+n].due.After(now) {
+						n++
+					}
+				}
+				e.deliverFrames(burst[i:i+n], &frames)
+				i += n
 			}
-			framePool.Put(fb)
 		case <-e.stop:
 			return
 		}
+	}
+}
+
+// deliverFrames hands one due burst to the receiver — a single callback for
+// batch receivers, per-frame calls otherwise — and recycles the buffers.
+func (e *Endpoint) deliverFrames(bufs []*frameBuf, scratch *[][]byte) {
+	e.recvMu.RLock()
+	recvBatch := e.recvBatch
+	recv := e.recv
+	e.recvMu.RUnlock()
+	if (recvBatch == nil && recv == nil) || !e.link.up.Load() {
+		e.drops.Add(uint64(len(bufs)))
+	} else {
+		var bytes uint64
+		for _, fb := range bufs {
+			bytes += uint64(len(fb.b))
+		}
+		e.rxPackets.Add(uint64(len(bufs)))
+		e.rxBytes.Add(bytes)
+		if recvBatch != nil {
+			fs := (*scratch)[:0]
+			for _, fb := range bufs {
+				fs = append(fs, fb.b)
+			}
+			*scratch = fs
+			recvBatch(fs)
+			// Frames must not outlive the callback: drop the aliases before
+			// the buffers go back to the pool.
+			for i := range fs {
+				fs[i] = nil
+			}
+		} else {
+			for _, fb := range bufs {
+				recv(fb.b)
+			}
+		}
+	}
+	for _, fb := range bufs {
+		framePool.Put(fb)
 	}
 }
 

@@ -151,6 +151,60 @@ func BenchmarkSwitchForwardParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkSwitchForwardBatch measures the burst dataplane: a MaxBurst-long
+// same-flow burst costs one cache probe, one batched counter update and one
+// rewrite plan, against the per-frame costs of the single path.
+func BenchmarkSwitchForwardBatch(b *testing.B) {
+	for _, flows := range []int{1, 128} {
+		b.Run(fmt.Sprintf("flows=%d", flows), func(b *testing.B) {
+			sw := benchSwitch(b, 2, flows)
+			burst := make([][]byte, netemu.MaxBurst)
+			for i := range burst {
+				burst[i] = benchFrameFor(1, 0)
+			}
+			for i := 0; i < 64; i++ { // warm cache, pool and inbox
+				sw.handleBatch(1, burst)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			n := 0
+			for n < b.N {
+				sw.handleBatch(1, burst)
+				n += len(burst)
+			}
+			b.ReportMetric(float64(n)/b.Elapsed().Seconds(), "pkts/s")
+		})
+	}
+}
+
+// BenchmarkSwitchForwardOffload measures the stateful-offload fast path: a
+// pinned microflow forwards without consulting the flow table or touching
+// its counters.
+func BenchmarkSwitchForwardOffload(b *testing.B) {
+	sw := benchSwitch(b, 2, 64)
+	sw.SetStatefulOffload(true)
+	burst := make([][]byte, netemu.MaxBurst)
+	for i := range burst {
+		// 172.16/12 entries are plain single-output flows → pinnable.
+		burst[i] = udpFrame(pkt.LocalMAC(0xA1), pkt.LocalMAC(0xD1),
+			"10.1.0.1", "172.16.0.9", 1000, 5004, "benchpayload-benchpayload")
+	}
+	for i := 0; i < 64; i++ { // warm the pin machine
+		sw.handleBatch(1, burst)
+	}
+	if st := sw.OffloadStats(); st.PinHits == 0 {
+		b.Fatalf("warmup never hit the pin machine: %+v", st)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	n := 0
+	for n < b.N {
+		sw.handleBatch(1, burst)
+		n += len(burst)
+	}
+	b.ReportMetric(float64(n)/b.Elapsed().Seconds(), "pkts/s")
+}
+
 // TestSwitchForwardAllocBudget is the alloc gate for the steady-state
 // forwarding path: classify, cached lookup, counter update, in-place
 // rewrite, pooled emit — zero heap allocations per packet.

@@ -46,7 +46,7 @@ func outPortOf(t testing.TB, actions []openflow.Action) uint16 {
 // cache hit resolving to the same actions, with counters accumulating on
 // the shared flow entry.
 func TestMicroflowCacheHitPath(t *testing.T) {
-	tb := &flowTable{}
+	tb := newFlowTable()
 	key := exactKeyFor(t, 1)
 	if err := tb.add(tableEntry(openflow.MatchAll(), 10, 2), false); err != nil {
 		t.Fatal(err)
@@ -94,7 +94,7 @@ func TestMicroflowCacheInvalidation(t *testing.T) {
 	}
 
 	t.Run("add", func(t *testing.T) {
-		tb := &flowTable{}
+		tb := newFlowTable()
 		if err := tb.add(tableEntry(openflow.MatchAll(), 10, 2), false); err != nil {
 			t.Fatal(err)
 		}
@@ -114,7 +114,7 @@ func TestMicroflowCacheInvalidation(t *testing.T) {
 	})
 
 	t.Run("modify", func(t *testing.T) {
-		tb := &flowTable{}
+		tb := newFlowTable()
 		if err := tb.add(tableEntry(openflow.MatchAll(), 10, 2), false); err != nil {
 			t.Fatal(err)
 		}
@@ -133,7 +133,7 @@ func TestMicroflowCacheInvalidation(t *testing.T) {
 	})
 
 	t.Run("delete", func(t *testing.T) {
-		tb := &flowTable{}
+		tb := newFlowTable()
 		if err := tb.add(tableEntry(openflow.MatchAll(), 10, 2), false); err != nil {
 			t.Fatal(err)
 		}
@@ -151,7 +151,7 @@ func TestMicroflowCacheInvalidation(t *testing.T) {
 	})
 
 	t.Run("expire", func(t *testing.T) {
-		tb := &flowTable{}
+		tb := newFlowTable()
 		e := tableEntry(openflow.MatchAll(), 10, 2)
 		e.hardTimeout = 1
 		if err := tb.add(e, false); err != nil {
@@ -174,12 +174,12 @@ func TestMicroflowCacheInvalidation(t *testing.T) {
 // must not leave a cache line, so a subsequently installed flow takes
 // effect on the very next packet.
 func TestTableMissNotCached(t *testing.T) {
-	tb := &flowTable{}
+	tb := newFlowTable()
 	key := exactKeyFor(t, 1)
 	if _, ok := tb.lookup(&key, 10, time.Now().UnixNano()); ok {
 		t.Fatal("lookup matched an empty table")
 	}
-	if tb.cache[uint32(key.KeyHash())&mfCacheMask].Load() != nil {
+	if tb.shardFor(key.InPort).slots[uint32(key.KeyHash())&mfCacheMask].Load() != nil {
 		t.Fatal("miss left a cache line")
 	}
 	if err := tb.add(tableEntry(openflow.MatchAll(), 1, 2), false); err != nil {
@@ -232,7 +232,7 @@ func TestIdleTimeoutFedByCachedHits(t *testing.T) {
 // before a loose modify must keep showing the pre-modify actions, and
 // mutating a snapshot must never write through to the live table.
 func TestSnapshotActionsAreDeepCopies(t *testing.T) {
-	tb := &flowTable{}
+	tb := newFlowTable()
 	if err := tb.add(tableEntry(openflow.MatchAll(), 10, 2), false); err != nil {
 		t.Fatal(err)
 	}

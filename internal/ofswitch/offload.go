@@ -1,0 +1,239 @@
+package ofswitch
+
+// Stateful offload: XFSM-style local state machines in the switch, after
+// the OpenState idea ("Towards Wire-speed Platform-agnostic Control of
+// OpenFlow Switches") — steady traffic whose behaviour the switch has
+// already learned is handled entirely inside the datapath, without
+// consulting the flow table and without punting to the controller.
+//
+// Two machines are implemented:
+//
+//   - MAC learning: every frame's source MAC is learned against its ingress
+//     port (one atomic word per binding). A frame whose unicast destination
+//     is a learned MAC forwards straight to the learned port — a learned
+//     flow is NEVER punted, even when the flow table has no matching entry.
+//   - Port-pair pinning: when a frame's microflow resolves to a plain
+//     single-output decision — from the MAC machine, or from a flow-table
+//     entry with exactly one output action and no rewrites — the (exact
+//     key → output port) pair is pinned. Subsequent frames of that
+//     microflow short-circuit everything: no flow-table consult, no
+//     per-flow counter updates (like hardware offload, offloaded packets
+//     are invisible to software flow stats; port counters still advance).
+//
+// Offload is a deliberate semantic trade and is OFF by default: enabling it
+// gives the switch learning-switch behaviour for unicast traffic the
+// controller never programmed, and flow-table packet/byte counters stop
+// advancing for pinned traffic. Flows with rewrite actions are never
+// pinned, so routed (MAC-rewriting) paths keep their exact OpenFlow
+// semantics even with offload enabled. Pins are generation-checked against
+// the microflow cache shard of the delivering port, so any flow-mod
+// invalidates them wholesale and the next packet re-learns under the new
+// table; the MAC table survives flow-mods (pure L2 state) but is wiped by
+// Reboot and by disabling offload.
+
+import (
+	"sync/atomic"
+
+	"routeflow/internal/openflow"
+	"routeflow/internal/pkt"
+)
+
+// MAC-table and pin-table geometry: direct-mapped power-of-two arrays, like
+// the microflow cache. Collisions simply overwrite — both tables are
+// caches, not authorities.
+const (
+	olMACBits = 10
+	olMACSize = 1 << olMACBits
+	olMACMask = olMACSize - 1
+
+	olPinBits = 10
+	olPinSize = 1 << olPinBits
+	olPinMask = olPinSize - 1
+)
+
+// olPin is one pinned microflow: an exact key resolved to its output port,
+// valid for one generation of the delivering port's cache shard.
+type olPin struct {
+	key openflow.Match
+	gen uint64
+	out uint16
+}
+
+// olShard is the per-core slice of the pin table plus its hit counters,
+// padded so shards never share a cache line through their counters.
+type olShard struct {
+	pinHits atomic.Uint64
+	macHits atomic.Uint64
+	_       [48]byte
+	pins    [olPinSize]atomic.Pointer[olPin]
+}
+
+// offloadState is the per-switch offload layer. It is allocated on first
+// enable; the dataplane reaches it through an atomic pointer so the default
+// (offload never enabled) path pays one nil-check per frame.
+type offloadState struct {
+	enabled atomic.Bool
+	// macs packs each learned binding into one word: macBits(mac)<<16|port.
+	// Zero means empty (ports are 1-based and the zero MAC is never
+	// learned), so learning, lookup and wipe are single atomic word ops.
+	macs   [olMACSize]atomic.Uint64
+	shards []olShard
+	mask   uint32
+}
+
+func newOffloadState(nShards int) *offloadState {
+	return &offloadState{shards: make([]olShard, nShards), mask: uint32(nShards - 1)}
+}
+
+// macHash indexes the MAC table; fmix64 avalanches so adjacent
+// locally-administered MACs (which differ only in low octets) spread.
+func macHash(mac pkt.MAC) uint32 {
+	h := uint64(mac[0])<<40 | uint64(mac[1])<<32 | uint64(mac[2])<<24 |
+		uint64(mac[3])<<16 | uint64(mac[4])<<8 | uint64(mac[5])
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return uint32(h)
+}
+
+func macWord(mac pkt.MAC) uint64 {
+	return (uint64(mac[0])<<40 | uint64(mac[1])<<32 | uint64(mac[2])<<24 |
+		uint64(mac[3])<<16 | uint64(mac[4])<<8 | uint64(mac[5])) << 16
+}
+
+// learn records srcMAC→port. The common steady-state case (binding already
+// correct) is a single atomic load.
+func (o *offloadState) learn(src pkt.MAC, port uint16) {
+	if src.IsZero() || src.IsMulticast() {
+		return
+	}
+	w := macWord(src) | uint64(port)
+	slot := &o.macs[macHash(src)&olMACMask]
+	if slot.Load() != w {
+		slot.Store(w)
+	}
+}
+
+// learnedPort reports the port a MAC was learned on.
+func (o *offloadState) learnedPort(mac pkt.MAC) (uint16, bool) {
+	w := o.macs[macHash(mac)&olMACMask].Load()
+	if w == 0 || w&^0xffff != macWord(mac) {
+		return 0, false
+	}
+	return uint16(w & 0xffff), true
+}
+
+func (o *offloadState) shardFor(port uint16) *olShard {
+	return &o.shards[uint32(port)&o.mask]
+}
+
+// pin records key→out under the current generation of the delivering
+// port's cache shard; a later flow-mod bumps that generation and the pin
+// dies with every cache line.
+func (o *offloadState) pin(t *flowTable, key *openflow.Match, out uint16) {
+	gen := t.shardFor(key.InPort).gen.Load()
+	sh := o.shardFor(key.InPort)
+	sh.pins[uint32(key.KeyHash())&olPinMask].Store(&olPin{key: *key, gen: gen, out: out})
+}
+
+// steer runs the offload machines for a run of n frames sharing one
+// microflow key: source learning, then the pin machine, then the L2 machine
+// (which installs a pin of its own so the next packet of the flow takes the
+// shortest path). One steer decides the whole run — that is the batch-path
+// amortization. ok=false falls through to the flow table.
+func (o *offloadState) steer(t *flowTable, key *openflow.Match, n uint64) (uint16, bool) {
+	o.learn(key.DlSrc, key.InPort)
+	sh := o.shardFor(key.InPort)
+	if p := sh.pins[uint32(key.KeyHash())&olPinMask].Load(); p != nil &&
+		p.gen == t.shardFor(key.InPort).gen.Load() && p.key == *key {
+		sh.pinHits.Add(n)
+		return p.out, true
+	}
+	dst := key.DlDst
+	if dst.IsBroadcast() || dst.IsMulticast() {
+		return 0, false
+	}
+	out, ok := o.learnedPort(dst)
+	if !ok || out == key.InPort {
+		return 0, false
+	}
+	sh.macHits.Add(n)
+	o.pin(t, key, out)
+	return out, true
+}
+
+// observe watches a flow-table decision for pinnability: exactly one
+// output action to a physical port and nothing else. Rewriting flows are
+// deliberately never pinned — their per-packet mutations and counters must
+// keep flowing through the table pipeline.
+func (o *offloadState) observe(t *flowTable, key *openflow.Match, actions []openflow.Action) {
+	if len(actions) != 1 {
+		return
+	}
+	out, ok := actions[0].(*openflow.ActionOutput)
+	if !ok || out.Port == 0 || out.Port >= openflow.PortMax {
+		return
+	}
+	o.pin(t, key, out.Port)
+}
+
+// reset wipes both machines (switch reboot, offload disable).
+func (o *offloadState) reset() {
+	for i := range o.macs {
+		o.macs[i].Store(0)
+	}
+	for s := range o.shards {
+		for i := range o.shards[s].pins {
+			o.shards[s].pins[i].Store(nil)
+		}
+	}
+}
+
+// OffloadStats reports the offload machines' hit counters.
+type OffloadStats struct {
+	PinHits uint64 // frames forwarded by a pinned microflow
+	MACHits uint64 // frames forwarded by the MAC learning machine
+}
+
+// SetStatefulOffload enables or disables the stateful offload layer. The
+// layer starts disabled — the paper-faithful pipeline — and disabling it
+// again wipes all learned state, so re-enabling starts cold.
+func (s *Switch) SetStatefulOffload(on bool) {
+	ol := s.offload.Load()
+	if on {
+		if ol == nil {
+			ol = newOffloadState(len(s.table.shards))
+			if !s.offload.CompareAndSwap(nil, ol) {
+				ol = s.offload.Load()
+			}
+		}
+		ol.enabled.Store(true)
+		return
+	}
+	if ol != nil {
+		ol.enabled.Store(false)
+		ol.reset()
+	}
+}
+
+// StatefulOffloadEnabled reports whether the offload layer is active.
+func (s *Switch) StatefulOffloadEnabled() bool {
+	ol := s.offload.Load()
+	return ol != nil && ol.enabled.Load()
+}
+
+// OffloadStats returns the offload hit counters (zero when never enabled).
+func (s *Switch) OffloadStats() OffloadStats {
+	ol := s.offload.Load()
+	if ol == nil {
+		return OffloadStats{}
+	}
+	var st OffloadStats
+	for i := range ol.shards {
+		st.PinHits += ol.shards[i].pinHits.Load()
+		st.MACHits += ol.shards[i].macHits.Load()
+	}
+	return st
+}

@@ -30,6 +30,10 @@ type Config struct {
 	NumBuffers  int
 	MissSendLen uint16
 	Clock       clock.Clock
+	// StatefulOffload enables the XFSM-style local state machines (see
+	// offload.go) at construction. Off by default; can also be toggled at
+	// runtime with SetStatefulOffload.
+	StatefulOffload bool
 }
 
 // Switch is a software OpenFlow 1.0 datapath.
@@ -43,6 +47,10 @@ type Switch struct {
 	missSendLen atomic.Uint32
 
 	table *flowTable
+
+	// offload is the stateful offload layer (offload.go); nil until the
+	// first enable so the default pipeline pays one pointer load per burst.
+	offload atomic.Pointer[offloadState]
 
 	portMu sync.RWMutex
 	ports  map[uint16]*swPort
@@ -100,12 +108,15 @@ func New(cfg Config) *Switch {
 		name:       cfg.Name,
 		clk:        cfg.Clock,
 		numBuffers: cfg.NumBuffers,
-		table:      &flowTable{},
+		table:      newFlowTable(),
 		ports:      make(map[uint16]*swPort),
 		buffers:    make(map[uint32]bufferedPacket),
 		stop:       make(chan struct{}),
 	}
 	s.missSendLen.Store(uint32(cfg.MissSendLen))
+	if cfg.StatefulOffload {
+		s.SetStatefulOffload(true)
+	}
 	return s
 }
 
@@ -129,7 +140,10 @@ func (s *Switch) AttachPort(portNo uint16, ep *netemu.Endpoint) error {
 	}
 	p := &swPort{no: portNo, ep: ep}
 	s.ports[portNo] = p
-	ep.SetReceiver(func(frame []byte) { s.handleFrame(portNo, frame) })
+	// Batch delivery: the cable hands over its whole inbox burst in one
+	// callback, letting the dataplane amortize classification, cache probes
+	// and counter updates over runs of same-flow frames.
+	ep.SetBatchReceiver(func(frames [][]byte) { s.handleBatch(portNo, frames) })
 	ep.OnLinkState(func(up bool) { s.portStateChanged(p, up) })
 	return nil
 }
@@ -290,6 +304,9 @@ func (s *Switch) writeLoop(conn io.ReadWriteCloser) {
 func (s *Switch) Reboot() {
 	all := openflow.MatchAll()
 	s.table.deleteFlows(&all, 0, openflow.PortNone, false)
+	if ol := s.offload.Load(); ol != nil {
+		ol.reset() // learned L2/pin state does not survive a power cycle
+	}
 	s.bufMu.Lock()
 	s.buffers = make(map[uint32]bufferedPacket)
 	s.bufOrder = nil
@@ -585,19 +602,100 @@ func (s *Switch) handleStats(m *openflow.StatsRequest) {
 	_ = s.send(rep)
 }
 
-// handleFrame is the dataplane: classify, look up, forward or punt. It runs
-// on the delivering port's goroutine; ports of one switch forward
-// concurrently, serialized only by a cache-miss's read lock.
+// handleFrame is the single-frame dataplane: classify, steer through the
+// offload machines if enabled, look up, forward or punt. It runs on the
+// delivering port's goroutine (and re-entrantly for OFPP_TABLE packet-outs);
+// ports of one switch forward concurrently, serialized only by a
+// cache-miss's read lock.
 func (s *Switch) handleFrame(inPort uint16, frame []byte) {
 	key, err := openflow.ExtractKey(inPort, frame)
 	if err != nil {
 		return // unparseable runt frame
 	}
+	ol := s.offload.Load()
+	if ol != nil && ol.enabled.Load() {
+		if out, ok := ol.steer(s.table, &key, 1); ok {
+			s.emit(out, frame)
+			return
+		}
+	} else {
+		ol = nil
+	}
 	if actions, ok := s.table.lookup(&key, len(frame), s.clk.Now().UnixNano()); ok {
+		if ol != nil {
+			ol.observe(s.table, &key, actions)
+		}
 		s.forward(inPort, frame, actions)
 		return
 	}
 	s.punt(inPort, frame)
+}
+
+// handleBatch is the burst dataplane. Consecutive frames with an identical
+// microflow key form a run; each run costs one offload steer or one cache
+// probe plus one batched counter update, and its rewrite actions are
+// planned once (see planRewrites) instead of re-scanned per frame. Frames
+// and the slice are owned by the cable and valid only for this call; every
+// egress path copies (Send into the pool, punt into the buffer pool).
+func (s *Switch) handleBatch(inPort uint16, frames [][]byte) {
+	for len(frames) > netemu.MaxBurst {
+		s.handleBatch(inPort, frames[:netemu.MaxBurst])
+		frames = frames[netemu.MaxBurst:]
+	}
+	n := len(frames)
+	if n == 0 {
+		return
+	}
+	var keys [netemu.MaxBurst]openflow.Match
+	var valid [netemu.MaxBurst]bool
+	for i := 0; i < n; i++ {
+		k, err := openflow.ExtractKey(inPort, frames[i])
+		if err == nil {
+			keys[i], valid[i] = k, true
+		}
+	}
+	ol := s.offload.Load()
+	if ol != nil && !ol.enabled.Load() {
+		ol = nil
+	}
+	now := s.clk.Now().UnixNano()
+	for i := 0; i < n; {
+		if !valid[i] {
+			i++ // unparseable runt frame
+			continue
+		}
+		j := i + 1
+		nBytes := uint64(len(frames[i]))
+		for j < n && valid[j] && keys[j] == keys[i] {
+			nBytes += uint64(len(frames[j]))
+			j++
+		}
+		s.processRun(inPort, frames[i:j], &keys[i], nBytes, now, ol)
+		i = j
+	}
+}
+
+// processRun forwards one same-key run: the classification decision is made
+// once and applied to every frame of the run.
+func (s *Switch) processRun(inPort uint16, run [][]byte, key *openflow.Match, nBytes uint64, now int64, ol *offloadState) {
+	if ol != nil {
+		if out, ok := ol.steer(s.table, key, uint64(len(run))); ok {
+			for _, f := range run {
+				s.emit(out, f)
+			}
+			return
+		}
+	}
+	if actions, ok := s.table.lookupN(key, uint64(len(run)), nBytes, now); ok {
+		if ol != nil {
+			ol.observe(s.table, key, actions)
+		}
+		s.forwardRun(inPort, run, actions)
+		return
+	}
+	for _, f := range run {
+		s.punt(inPort, f)
+	}
 }
 
 // punt buffers the frame and sends a packet-in to the controller.
@@ -675,6 +773,45 @@ func (s *Switch) forward(inPort uint16, frame []byte, actions []openflow.Action)
 			// Unsupported targets drop silently.
 		default:
 			s.emit(o.Port, out)
+		}
+	}
+}
+
+// forwardRun is forward for a same-key run: the action list is scanned and
+// the rewrite shape planned once, then applied to each frame.
+func (s *Switch) forwardRun(inPort uint16, run [][]byte, actions []openflow.Action) {
+	plan := planRewrites(actions)
+	for _, frame := range run {
+		out := applyRewritesPlanned(frame, actions, plan)
+		for _, a := range actions {
+			o, ok := a.(*openflow.ActionOutput)
+			if !ok {
+				continue
+			}
+			switch o.Port {
+			case openflow.PortInPort:
+				s.emit(inPort, out)
+			case openflow.PortFlood, openflow.PortAll:
+				s.flood(inPort, out)
+			case openflow.PortController:
+				data := out
+				if o.MaxLen > 0 && len(data) > int(o.MaxLen) {
+					data = data[:o.MaxLen]
+				}
+				_ = s.send(&openflow.PacketIn{
+					BufferID: openflow.NoBuffer,
+					TotalLen: uint16(len(out)),
+					InPort:   inPort,
+					Reason:   openflow.PacketInReasonAction,
+					Data:     append([]byte(nil), data...),
+				})
+			case openflow.PortTable:
+				s.handleFrame(inPort, out)
+			case openflow.PortNormal, openflow.PortLocal, openflow.PortNone:
+				// Unsupported targets drop silently.
+			default:
+				s.emit(o.Port, out)
+			}
 		}
 	}
 }

@@ -1,0 +1,5 @@
+//go:build !race
+
+package ofswitch
+
+const raceEnabled = false

@@ -7,6 +7,34 @@ import (
 	"routeflow/internal/pkt"
 )
 
+// rewritePlan classifies an action list's rewrite shape so burst
+// forwarding can scan the actions once per run instead of once per frame.
+type rewritePlan uint8
+
+const (
+	rwNone rewritePlan = iota // no rewrite actions: frame passes through
+	rwL2                      // only MAC rewrites: patch the header in place
+	rwFull                    // VLAN/L3/L4 rewrites: decode and re-marshal
+)
+
+// planRewrites scans the action list and classifies its rewrite shape.
+func planRewrites(actions []openflow.Action) rewritePlan {
+	plan := rwNone
+	for _, a := range actions {
+		switch a.(type) {
+		case *openflow.ActionSetDlSrc, *openflow.ActionSetDlDst:
+			if plan == rwNone {
+				plan = rwL2
+			}
+		case *openflow.ActionOutput, *openflow.ActionEnqueue, *openflow.ActionVendor:
+			// Not rewrites; handled (or ignored) by the caller.
+		default:
+			plan = rwFull
+		}
+	}
+	return plan
+}
+
 // applyRewrites returns frame with all non-output actions applied: L2
 // address and VLAN rewrites, and L3/L4 rewrites with checksum repair. Output
 // actions are collected separately by the caller. The caller must own frame:
@@ -15,22 +43,16 @@ import (
 // re-marshalling the whole packet; only VLAN/L3/L4 rewrites take the
 // rebuild path.
 func applyRewrites(frame []byte, actions []openflow.Action) []byte {
-	l2Only := true
-	rewrites := false
-	for _, a := range actions {
-		switch a.(type) {
-		case *openflow.ActionSetDlSrc, *openflow.ActionSetDlDst:
-			rewrites = true
-		case *openflow.ActionOutput, *openflow.ActionEnqueue, *openflow.ActionVendor:
-			// Not rewrites; handled (or ignored) by the caller.
-		default:
-			rewrites, l2Only = true, false
-		}
-	}
-	if !rewrites {
+	return applyRewritesPlanned(frame, actions, planRewrites(actions))
+}
+
+// applyRewritesPlanned is applyRewrites with the action scan hoisted out,
+// for callers that apply one action list to a whole run of frames.
+func applyRewritesPlanned(frame []byte, actions []openflow.Action, plan rewritePlan) []byte {
+	if plan == rwNone {
 		return frame
 	}
-	if l2Only && len(frame) >= pkt.EthernetHeaderLen {
+	if plan == rwL2 && len(frame) >= pkt.EthernetHeaderLen {
 		for _, a := range actions {
 			switch act := a.(type) {
 			case *openflow.ActionSetDlSrc:

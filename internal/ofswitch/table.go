@@ -11,6 +11,7 @@ package ofswitch
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -44,8 +45,14 @@ type flowEntry struct {
 // hit records one matched packet. Lock-free: it runs on the dataplane for
 // every forwarded frame, concurrently across all ports of the switch.
 func (e *flowEntry) hit(frameLen int, nowNanos int64) {
-	e.packets.Add(1)
-	e.bytes.Add(uint64(frameLen))
+	e.hitN(1, uint64(frameLen), nowNanos)
+}
+
+// hitN records a run of n matched packets totalling nBytes in one set of
+// atomic updates — the batch path charges a whole same-key run at once.
+func (e *flowEntry) hitN(n, nBytes uint64, nowNanos int64) {
+	e.packets.Add(n)
+	e.bytes.Add(nBytes)
 	e.lastUsed.Store(nowNanos)
 }
 
@@ -64,12 +71,21 @@ type FlowInfo struct {
 	Age         time.Duration
 }
 
-// Microflow cache geometry: a fixed, power-of-two direct-mapped array so the
-// fast path is one masked hash and one atomic pointer load.
+// Microflow cache geometry: per shard, a fixed, power-of-two direct-mapped
+// array so the fast path is one masked hash and one atomic pointer load.
+// The cache is sharded by the delivering port (one shard per core, see
+// newFlowTable) so parallel forwarding on different ports fills and probes
+// disjoint slot arrays instead of bouncing one array's cache lines — and,
+// because each shard has its own generation counter, disjoint generation
+// words too.
 const (
 	mfCacheBits = 10
 	mfCacheSize = 1 << mfCacheBits
 	mfCacheMask = mfCacheSize - 1
+
+	// mfMaxShards caps the shard count; beyond this the slot arrays stop
+	// paying for themselves in memory per switch.
+	mfMaxShards = 16
 )
 
 // mfEntry is one microflow cache line: an exact packet key resolved to its
@@ -82,6 +98,15 @@ type mfEntry struct {
 	gen     uint64
 	flow    *flowEntry
 	actions []openflow.Action
+}
+
+// mfShard is one per-core slice of the microflow cache: its own generation
+// counter (padded onto a private cache line so invalidation and hit checks
+// on different shards never contend) and its own direct-mapped slot array.
+type mfShard struct {
+	gen   atomic.Uint64
+	_     [56]byte
+	slots [mfCacheSize]atomic.Pointer[mfEntry]
 }
 
 // tableCounters is one shard of the table-level counters, padded to a cache
@@ -109,22 +134,42 @@ const counterShards = 8
 //
 // Tier 2 is the priority-ordered linear classifier, demoted to a cache-fill
 // slow path behind the read half of an RWMutex. Flow-mods, expiry and other
-// mutations take the write lock and bump gen, which atomically invalidates
-// every cache line; the next packet of each microflow re-classifies and
-// refills. This keeps OF 1.0 semantics exact: a barrier'd flow-mod is
-// observed by the very next lookup.
+// mutations take the write lock and bump every shard's generation, which
+// atomically invalidates every cache line; the next packet of each
+// microflow re-classifies and refills. This keeps OF 1.0 semantics exact: a
+// barrier'd flow-mod is observed by the very next lookup.
 type flowTable struct {
 	mu      sync.RWMutex
 	entries []*flowEntry
 	seq     uint64
 
-	gen      atomic.Uint64 // bumped by add/modify/delete/expire
-	cache    [mfCacheSize]atomic.Pointer[mfEntry]
-	counters [counterShards]tableCounters
+	// shards is the microflow cache, one shard per core (sized at
+	// construction from GOMAXPROCS, rounded up to a power of two), selected
+	// by the delivering port's shard ID so each port goroutine works a
+	// private slot array.
+	shards    []mfShard
+	shardMask uint32
+	counters  [counterShards]tableCounters
 
 	// disableCache forces every lookup through the tier-2 classifier; a
 	// benchmark/test knob to measure the cache against its slow path.
 	disableCache bool
+}
+
+// newFlowTable sizes the microflow cache shards to the core count: one
+// shard per GOMAXPROCS, rounded up to a power of two (so shard selection is
+// a mask), capped at mfMaxShards.
+func newFlowTable() *flowTable {
+	n := 1
+	for n < runtime.GOMAXPROCS(0) && n < mfMaxShards {
+		n <<= 1
+	}
+	return &flowTable{shards: make([]mfShard, n), shardMask: uint32(n - 1)}
+}
+
+// shardFor returns the microflow cache shard owned by the delivering port.
+func (t *flowTable) shardFor(port uint16) *mfShard {
+	return &t.shards[uint32(port)&t.shardMask]
 }
 
 // sortLocked restores the priority ordering after insertion.
@@ -137,51 +182,68 @@ func (t *flowTable) sortLocked() {
 	})
 }
 
-// invalidateLocked marks every microflow cache line stale. Callers hold the
-// write lock; the bump publishes after the mutation it covers because gen is
-// re-read under the read lock (or re-checked against a line's recorded
-// generation) by every consumer.
-func (t *flowTable) invalidateLocked() { t.gen.Add(1) }
+// invalidateLocked marks every microflow cache line stale by bumping every
+// shard's generation. Callers hold the write lock; each bump publishes
+// after the mutation it covers because the shard generation is re-read
+// under the read lock (or re-checked against a line's recorded generation)
+// by every consumer.
+func (t *flowTable) invalidateLocked() {
+	for i := range t.shards {
+		t.shards[i].gen.Add(1)
+	}
+}
 
 // lookup resolves key to the action list of the highest-priority covering
 // flow, updating that flow's counters, or reports ok=false for a table miss
 // (the punt path — misses are never cached, so a controller installing a
 // flow takes effect on the next packet). The returned slice must not be
-// mutated.
+// mutated. lookup is lookupN for a single frame.
 func (t *flowTable) lookup(key *openflow.Match, frameLen int, nowNanos int64) ([]openflow.Action, bool) {
+	return t.lookupN(key, 1, uint64(frameLen), nowNanos)
+}
+
+// lookupN is lookup for a run of n same-key frames totalling nBytes: one
+// cache probe (or one classifier scan) and one set of counter updates cover
+// the whole run — the batch path's per-unique-key amortization.
+func (t *flowTable) lookupN(key *openflow.Match, n, nBytes uint64, nowNanos int64) ([]openflow.Action, bool) {
 	c := &t.counters[key.InPort&(counterShards-1)]
-	c.lookups.Add(1)
+	c.lookups.Add(n)
+	var shard *mfShard
 	var slot *atomic.Pointer[mfEntry]
 	if !t.disableCache {
-		slot = &t.cache[uint32(key.KeyHash())&mfCacheMask]
-		if ce := slot.Load(); ce != nil && ce.gen == t.gen.Load() && ce.key == *key {
-			c.matched.Add(1)
-			c.cacheHits.Add(1)
-			ce.flow.hit(frameLen, nowNanos)
+		shard = t.shardFor(key.InPort)
+		slot = &shard.slots[uint32(key.KeyHash())&mfCacheMask]
+		if ce := slot.Load(); ce != nil && ce.gen == shard.gen.Load() && ce.key == *key {
+			c.matched.Add(n)
+			c.cacheHits.Add(n)
+			ce.flow.hitN(n, nBytes, nowNanos)
 			return ce.actions, true
 		}
 	}
-	return t.classify(key, frameLen, nowNanos, slot, c)
+	return t.classify(key, n, nBytes, nowNanos, shard, slot, c)
 }
 
 // classify is the tier-2 slow path: scan the priority-ordered entries under
 // the read lock, then publish the resolution into the caller's cache slot.
-// The generation is captured under the read lock, so a mutation racing the
-// publication leaves a line that is already stale — never a wrong hit. The
-// counter update also happens under the read lock, so on this path a
-// concurrent delete/expiry cannot snapshot flow-removed totals until the
-// packet is counted. (The tier-1 hit path counts lock-free after its
-// generation check; a packet racing the removal there may miss the
+// The shard generation is captured under the read lock, so a mutation
+// racing the publication leaves a line that is already stale — never a
+// wrong hit. The counter update also happens under the read lock, so on
+// this path a concurrent delete/expiry cannot snapshot flow-removed totals
+// until the packet is counted. (The tier-1 hit path counts lock-free after
+// its generation check; a packet racing the removal there may miss the
 // notification totals — indistinguishable from the packet arriving just
 // after removal, which OpenFlow permits.)
-func (t *flowTable) classify(key *openflow.Match, frameLen int, nowNanos int64, slot *atomic.Pointer[mfEntry], c *tableCounters) ([]openflow.Action, bool) {
+func (t *flowTable) classify(key *openflow.Match, n, nBytes uint64, nowNanos int64, shard *mfShard, slot *atomic.Pointer[mfEntry], c *tableCounters) ([]openflow.Action, bool) {
 	t.mu.RLock()
-	gen := t.gen.Load()
+	var gen uint64
+	if shard != nil {
+		gen = shard.gen.Load()
+	}
 	for _, e := range t.entries {
 		if e.match.Covers(key) {
 			actions := e.actions
-			c.matched.Add(1)
-			e.hit(frameLen, nowNanos)
+			c.matched.Add(n)
+			e.hitN(n, nBytes, nowNanos)
 			if slot != nil {
 				slot.Store(&mfEntry{key: *key, gen: gen, flow: e, actions: actions})
 			}
@@ -202,10 +264,12 @@ func (t *flowTable) cacheHitCount() uint64 {
 	return n
 }
 
-// cachedEntry reports the live cache line for key, if any (tests).
+// cachedEntry reports the live cache line for key, if any (tests). The
+// probe uses the same shard the delivering port (key.InPort) would.
 func (t *flowTable) cachedEntry(key *openflow.Match) *mfEntry {
-	ce := t.cache[uint32(key.KeyHash())&mfCacheMask].Load()
-	if ce == nil || ce.gen != t.gen.Load() || ce.key != *key {
+	shard := t.shardFor(key.InPort)
+	ce := shard.slots[uint32(key.KeyHash())&mfCacheMask].Load()
+	if ce == nil || ce.gen != shard.gen.Load() || ce.key != *key {
 		return nil
 	}
 	return ce

@@ -118,3 +118,11 @@ func WithReplicas(n int) Option {
 // (VM cloning, config-file writes) inside each replica's apply lock — the
 // serialized cost that sharding the switch population divides.
 func WithRPCApplyDelay(d time.Duration) Option { return func(o *Options) { o.RPCApplyDelay = d } }
+
+// WithStatefulOffload enables each switch's XFSM-style local state machines
+// (MAC learning + microflow pinning): steady traffic forwards inside the
+// datapath without consulting the flow table, and a learned flow is never
+// punted to the controller. Off by default, because offloaded packets
+// bypass per-flow counters — the same visibility trade real hardware
+// offload makes.
+func WithStatefulOffload() Option { return func(o *Options) { o.StatefulOffload = true } }

@@ -15,7 +15,15 @@
 //     or deleted benchmark must update the baseline deliberately);
 //   - shard scaling: BenchmarkAutoConfigureSharded/replicas=4 must beat
 //     replicas=1 by at least -shard-speedup (default 1.5×). The gate is a
-//     ratio within the current snapshot, so it is machine-independent.
+//     ratio within the current snapshot, so it is machine-independent;
+//   - parallel scaling: every benchmark recorded at both @gomaxprocs=1 and
+//     @gomaxprocs=4 (the bench.sh GOMAXPROCS matrix) must run at least
+//     -parallel-speedup (default 1.5×) faster on 4 procs. Also a
+//     within-snapshot ratio; it only binds when the snapshot's recorded CPU
+//     count is >= 4 (a 1-core machine cannot scale and is reported
+//     informationally);
+//   - the headline pps_macro number (batch dataplane packets per second)
+//     may not regress more than -threshold against the baseline.
 //
 // The comparison table goes to stdout; CI uploads it as an artifact.
 package main
@@ -33,9 +41,12 @@ type entry struct {
 	NsOp     float64  `json:"ns_op"`
 	BOp      *float64 `json:"b_op"`
 	AllocsOp *float64 `json:"allocs_op"`
+	PktsS    *float64 `json:"pkts_s"`
 }
 
 type snapshot struct {
+	Cpus       int              `json:"cpus"`
+	PpsMacro   *float64         `json:"pps_macro"`
 	Benchmarks map[string]entry `json:"benchmarks"`
 }
 
@@ -58,6 +69,7 @@ func main() {
 	threshold := flag.Float64("threshold", 0.20, "allowed ns/op regression for gated benchmarks (fraction)")
 	nsGate := flag.String("ns-gate", "BenchmarkSwitchForwardCached", "substring selecting ns/op-gated benchmarks")
 	shardSpeedup := flag.Float64("shard-speedup", 1.5, "minimum replicas=1/replicas=4 speedup for the sharded controller")
+	parallelSpeedup := flag.Float64("parallel-speedup", 1.5, "minimum @gomaxprocs=1 vs @gomaxprocs=4 speedup for the parallel dataplane (binds on >=4 CPUs)")
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: benchcheck [-threshold 0.20] [-ns-gate substr] baseline.json current.json")
@@ -141,6 +153,59 @@ func main() {
 				failures = append(failures, fmt.Sprintf(
 					"shard scaling: 4 replicas only %.2fx faster than 1 (minimum %.2fx)",
 					speedup, *shardSpeedup))
+			}
+		}
+	}
+
+	// Parallel-scaling gate: pair up the @gomaxprocs=1/@gomaxprocs=4 legs of
+	// the bench.sh GOMAXPROCS matrix and require the 4-proc leg to be at
+	// least -parallel-speedup faster. A within-snapshot ratio — but only a
+	// machine with >= 4 CPUs can express it, so on smaller machines (or old
+	// snapshots with no recorded CPU count) it is informational.
+	const g1, g4 = "@gomaxprocs=1", "@gomaxprocs=4"
+	var parallelNames []string
+	for name := range cur.Benchmarks {
+		if strings.HasSuffix(name, g1) {
+			parallelNames = append(parallelNames, strings.TrimSuffix(name, g1))
+		}
+	}
+	sort.Strings(parallelNames)
+	for _, stem := range parallelNames {
+		c1 := cur.Benchmarks[stem+g1]
+		c4, ok4 := cur.Benchmarks[stem+g4]
+		if !ok4 || c4.NsOp <= 0 {
+			failures = append(failures, fmt.Sprintf("%s%s: missing from current run, cannot gate parallel scaling", stem, g4))
+			continue
+		}
+		speedup := c1.NsOp / c4.NsOp
+		binding := cur.Cpus >= 4
+		note := ""
+		if !binding {
+			note = fmt.Sprintf(" [informational: snapshot ran on %d CPU(s)]", cur.Cpus)
+		}
+		fmt.Printf("\nparallel scaling: %s 1 vs 4 procs speedup %.2fx (minimum %.2fx)%s\n",
+			stem, speedup, *parallelSpeedup, note)
+		if binding && speedup < *parallelSpeedup {
+			failures = append(failures, fmt.Sprintf(
+				"parallel scaling: %s only %.2fx faster at GOMAXPROCS=4 than 1 (minimum %.2fx)",
+				stem, speedup, *parallelSpeedup))
+		}
+	}
+
+	// Headline pps gate: the batch dataplane's packets-per-second macro
+	// number may not regress against the baseline beyond -threshold.
+	if base.PpsMacro != nil && *base.PpsMacro > 0 {
+		switch {
+		case cur.PpsMacro == nil || *cur.PpsMacro <= 0:
+			failures = append(failures, "pps_macro: missing from current run")
+		default:
+			delta := (*cur.PpsMacro - *base.PpsMacro) / *base.PpsMacro
+			fmt.Printf("\npps macro: %.0f -> %.0f pkts/s (%+.1f%%, limit -%.0f%%)\n",
+				*base.PpsMacro, *cur.PpsMacro, delta*100, *threshold*100)
+			if delta < -*threshold {
+				failures = append(failures, fmt.Sprintf(
+					"pps_macro regressed %.1f%% (%.0f -> %.0f pkts/s, limit %.0f%%)",
+					-delta*100, *base.PpsMacro, *cur.PpsMacro, *threshold*100))
 			}
 		}
 	}
