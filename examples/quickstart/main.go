@@ -21,6 +21,7 @@ func main() {
 		routeflow.WithHosts(0, 2),
 		routeflow.WithTimers(routeflow.DefaultExperimentTimers()),
 		routeflow.WithBootDelay(2*time.Second),
+		routeflow.WithTelemetry(), // streaming per-flow/per-link stats
 	)
 	if err != nil {
 		log.Fatal(err)
@@ -57,6 +58,24 @@ func main() {
 		if time.Now().After(deadline) {
 			log.Fatalf("ping never succeeded: %v", err)
 		}
+	}
+
+	// The ping traffic was monitored: telemetry places each host-pair flow
+	// on exactly one switch along its path and aggregates the exported
+	// counters into rolling views (see `go run ./cmd/rfstats` for a live
+	// version of this dump). Exports are periodic, so poll briefly until
+	// the ping's packets have flowed through the pipeline.
+	snap := d.TelemetrySnapshot()
+	for end := time.Now().Add(5 * time.Second); time.Now().Before(end); {
+		if len(snap.Flows) > 0 && snap.Flows[0].Packets > 0 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+		snap = d.TelemetrySnapshot()
+	}
+	for _, f := range snap.Flows {
+		fmt.Printf("telemetry: flow %d→%d observed at switch %d: %d packets, %d bytes\n",
+			f.SrcNode, f.DstNode, f.Monitor, f.Packets, f.Bytes)
 	}
 
 	fmt.Printf("manual configuration of the same network: %v (paper's model)\n",

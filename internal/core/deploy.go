@@ -21,6 +21,7 @@ import (
 	"routeflow/internal/quagga"
 	"routeflow/internal/rf"
 	"routeflow/internal/rpcconf"
+	"routeflow/internal/telemetry"
 	"routeflow/internal/topo"
 	"routeflow/internal/vnet"
 )
@@ -76,6 +77,18 @@ type Options struct {
 	// (VM cloning, config-file writes) inside each replica's apply lock —
 	// the serialized cost that sharding the switch population divides.
 	RPCApplyDelay time.Duration
+	// Telemetry enables the streaming-stats pipeline: every directed host
+	// pair becomes a monitored flow, observed at exactly one switch on its
+	// live path (Floware-balanced placement), with per-flow counter deltas
+	// streamed to the flow's master replica and rolled into per-flow and
+	// per-link utilization views (TelemetrySnapshot).
+	Telemetry bool
+	// TelemetryInterval is the switches' export period
+	// (0 = ofswitch.DefaultTelemetryInterval).
+	TelemetryInterval time.Duration
+	// TelemetrySpan is the rolling-window length of the utilization views
+	// (0 = 5s).
+	TelemetrySpan time.Duration
 	// StatefulOffload enables the switches' XFSM-style local state machines
 	// (MAC learning + microflow pinning): steady traffic is handled inside
 	// the datapath without consulting the flow table, and learned flows are
@@ -114,6 +127,15 @@ type Deployment struct {
 
 	listeners []*ctlkit.MemListener
 
+	// Telemetry placement-manager state (telemetry.go).
+	telStop     chan struct{}
+	telStopOnce sync.Once
+	telWG       sync.WaitGroup
+	telMu       sync.Mutex
+	telEpoch    uint64
+	telSig      string
+	telPlaced   []telemetry.Placement
+
 	startedAt time.Time
 	mu        sync.Mutex
 	started   bool
@@ -149,6 +171,7 @@ func NewDeployment(opts Options) (*Deployment, error) {
 		hostGWs:  make(map[int]netip.Addr),
 		hostEPs:  make(map[int]*netemu.Endpoint),
 		cables:   make(map[int][2]*netemu.Endpoint),
+		telStop:  make(chan struct{}),
 	}
 	if err := d.build(); err != nil {
 		d.Close()
@@ -427,6 +450,14 @@ func (d *Deployment) Start() error {
 		}
 	}
 	d.tc.Run()
+	if d.opts.Telemetry {
+		// Seed the monitoring program before any switch connects (in cluster
+		// mode shard ownership is already settled by coord.Run above), then
+		// keep re-evaluating it against link state and mastership.
+		d.refreshTelemetry()
+		d.telWG.Add(1)
+		go d.telemetryLoop()
+	}
 
 	for dpid, sw := range d.switches {
 		// StartDialer, not Start: a switch whose control session dies (echo

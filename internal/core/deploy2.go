@@ -68,6 +68,14 @@ func mergeCallbacks(a, b ctlkit.Callbacks) ctlkit.Callbacks {
 				b.Error(sc, em)
 			}
 		},
+		Telemetry: func(sc *ctlkit.SwitchConn, ex *openflow.TelemetryExport) {
+			if a.Telemetry != nil {
+				a.Telemetry(sc, ex)
+			}
+			if b.Telemetry != nil {
+				b.Telemetry(sc, ex)
+			}
+		},
 	}
 }
 
@@ -428,6 +436,8 @@ func (d *Deployment) convergenceGap() string {
 
 // Close tears the whole system down.
 func (d *Deployment) Close() {
+	d.telStopOnce.Do(func() { close(d.telStop) })
+	d.telWG.Wait()
 	if d.tc != nil {
 		d.tc.Stop()
 	}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"routeflow/internal/telemetry"
+	"routeflow/internal/topo"
+)
+
+// TestTelemetryEndToEnd drives real host traffic through a deployment with
+// the streaming-telemetry pipeline on and checks the controller-side views:
+// every directed host pair is placed on its path, the monitor switch's
+// exports reach the aggregator, and both the flow view and every on-path
+// link view account for the traffic.
+func TestTelemetryEndToEnd(t *testing.T) {
+	g := topo.Line(3) // 0 - 1 - 2: a single path, so charging is exact
+	opts := fastOptions(g, 0, 2)
+	opts.Telemetry = true
+	opts.TelemetryInterval = 20 * time.Millisecond
+	opts.TelemetrySpan = 2 * time.Second
+	d, err := NewDeployment(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AwaitConverged(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Both directed pairs are placed, each monitored on its own path.
+	pls := d.TelemetryPlacements()
+	if len(pls) != 2 {
+		t.Fatalf("placements = %+v", pls)
+	}
+	for _, pl := range pls {
+		if pl.Path == nil || pl.Monitor < 0 {
+			t.Fatalf("flow %d unplaced: %+v", pl.ID, pl)
+		}
+	}
+
+	h0, _ := d.Host(0)
+	h2, _ := d.Host(2)
+	deadline := time.Now().Add(15 * time.Second)
+	var lastErr error
+	for time.Now().Before(deadline) {
+		if _, lastErr = h0.Ping(h2.Addr(), 2*time.Second); lastErr == nil {
+			break
+		}
+	}
+	if lastErr != nil {
+		t.Fatalf("host0 could not reach host2: %v", lastErr)
+	}
+	const n = 25
+	for i := 0; i < n; i++ {
+		if err := h0.SendUDP(h2.Addr(), 1234, 9000, []byte("telemetry-load")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The 0→2 flow view (ID 1: host pairs in sorted order) and the views of
+	// both links on its path must catch up with the exports.
+	for {
+		snap := d.TelemetrySnapshot()
+		var pkts uint64
+		for _, f := range snap.Flows {
+			if f.SrcNode == 0 && f.DstNode == 2 {
+				pkts = f.Packets
+				if f.ID != 1 {
+					t.Fatalf("0→2 flow has ID %d, want 1", f.ID)
+				}
+			}
+		}
+		if pkts >= n {
+			var l01, l12 uint64
+			for _, ls := range snap.Links {
+				switch ls.Link {
+				case telemetry.MakeLinkKey(0, 1):
+					l01 = ls.Packets
+				case telemetry.MakeLinkKey(1, 2):
+					l12 = ls.Packets
+				}
+			}
+			if l01 < n || l12 < n {
+				t.Fatalf("link views lag the flow view: 0-1=%d 1-2=%d flow=%d", l01, l12, pkts)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("flow view stuck at %d/%d packets; snapshot=%+v", pkts, n, snap)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -29,6 +29,10 @@ type Callbacks struct {
 	PortStatus  func(sw *SwitchConn, ps *openflow.PortStatus)
 	FlowRemoved func(sw *SwitchConn, fr *openflow.FlowRemoved)
 	Error       func(sw *SwitchConn, em *openflow.ErrorMsg)
+	// Telemetry receives the switch's streaming counter exports
+	// (TELEMETRY_EXPORT). The handler is expected to answer with a
+	// TelemetryAck so the switch can advance its delta baseline.
+	Telemetry func(sw *SwitchConn, ex *openflow.TelemetryExport)
 }
 
 // Controller manages switch connections for a controller application.
@@ -406,6 +410,10 @@ func (sc *SwitchConn) dispatch(m openflow.Message) {
 	case *openflow.ErrorMsg:
 		if cb.Error != nil {
 			cb.Error(sc, msg)
+		}
+	case *openflow.TelemetryExport:
+		if cb.Telemetry != nil {
+			cb.Telemetry(sc, msg)
 		}
 	default:
 		// Unsolicited replies and unknown types are dropped, per spec

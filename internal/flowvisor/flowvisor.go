@@ -362,7 +362,10 @@ func (s *session) switchReadLoop() {
 			s.enqueue(s.swOut, rep)
 		case *openflow.PacketIn:
 			s.routePacketIn(msg)
-		case *openflow.PortStatus, *openflow.FlowRemoved:
+		case *openflow.PortStatus, *openflow.FlowRemoved, *openflow.TelemetryExport:
+			// Asynchronous switch events (including unsolicited telemetry
+			// exports) fan out to every slice; each controller's aggregator
+			// filters by epoch, so foreign streams are ignored downstream.
 			for i, sc := range s.ctls {
 				s.fv.counters[i].toController.Add(1)
 				s.enqueue(sc.out, m)

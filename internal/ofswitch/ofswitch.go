@@ -48,6 +48,9 @@ type Switch struct {
 
 	table *flowTable
 
+	// tel is the telemetry exporter state (telemetry.go).
+	tel telState
+
 	// offload is the stateful offload layer (offload.go); nil until the
 	// first enable so the default pipeline pays one pointer load per burst.
 	offload atomic.Pointer[offloadState]
@@ -109,6 +112,7 @@ func New(cfg Config) *Switch {
 		clk:        cfg.Clock,
 		numBuffers: cfg.NumBuffers,
 		table:      newFlowTable(),
+		tel:        telState{poke: make(chan struct{}, 1)},
 		ports:      make(map[uint16]*swPort),
 		buffers:    make(map[uint32]bufferedPacket),
 		stop:       make(chan struct{}),
@@ -182,10 +186,11 @@ func (s *Switch) Start(conn io.ReadWriteCloser) error {
 	if err := s.send(&openflow.Hello{}); err != nil {
 		return fmt.Errorf("ofswitch %s: hello: %w", s.name, err)
 	}
-	s.wg.Add(3)
+	s.wg.Add(4)
 	go s.writeLoop(conn)
 	go s.controlLoop(conn)
 	go s.expireLoop()
+	go s.telemetryLoop()
 	return nil
 }
 
@@ -202,8 +207,9 @@ func (s *Switch) StartDialer(dial func() (io.ReadWriteCloser, error)) error {
 	}
 	s.running = true
 	s.connMu.Unlock()
-	s.wg.Add(2)
+	s.wg.Add(3)
 	go s.expireLoop()
+	go s.telemetryLoop()
 	go s.supervise(dial)
 	return nil
 }
@@ -285,6 +291,9 @@ func (s *Switch) runSession(conn io.ReadWriteCloser) {
 		s.conn, s.out = nil, nil
 	}
 	s.connMu.Unlock()
+	// Exports in flight on the dead session are lost; re-baseline on the
+	// next one.
+	s.telSessionDown()
 }
 
 // writeLoop batches queued replies and packet-ins into single writes; a
@@ -304,6 +313,13 @@ func (s *Switch) writeLoop(conn io.ReadWriteCloser) {
 func (s *Switch) Reboot() {
 	all := openflow.MatchAll()
 	s.table.deleteFlows(&all, 0, openflow.PortNone, false)
+	// Monitor rules and their counters die with the crash; the controller
+	// replays its TELEMETRY_MOD on reconnect and re-baselines from zero.
+	s.table.setMonitors(nil)
+	s.tel.mu.Lock()
+	s.tel.rules = nil
+	s.tel.pending = nil
+	s.tel.mu.Unlock()
 	if ol := s.offload.Load(); ol != nil {
 		ol.reset() // learned L2/pin state does not survive a power cycle
 	}
@@ -349,6 +365,7 @@ func (s *Switch) send(m openflow.Message) error {
 
 func (s *Switch) controlLoop(conn io.ReadWriteCloser) {
 	defer s.wg.Done()
+	defer s.telSessionDown()
 	dec := openflow.NewDecoder(conn)
 	for {
 		m, err := dec.Decode()
@@ -424,6 +441,10 @@ func (s *Switch) handleControl(m openflow.Message) {
 		rep := &openflow.BarrierReply{}
 		rep.SetXID(msg.XID())
 		_ = s.send(rep)
+	case *openflow.TelemetryMod:
+		s.handleTelemetryMod(msg)
+	case *openflow.TelemetryAck:
+		s.handleTelemetryAck(msg)
 	case *openflow.Vendor:
 		s.sendError(msg, openflow.ErrTypeBadRequest, openflow.ErrCodeBadRequestBadType, msg)
 	case *openflow.Raw:

@@ -98,6 +98,11 @@ type mfEntry struct {
 	gen     uint64
 	flow    *flowEntry
 	actions []openflow.Action
+	// mon is the telemetry counter of the monitor rule covering this
+	// microflow, resolved once at cache fill (nil when unmonitored). The
+	// cache-hit path charges it with two atomic adds — monitoring rides the
+	// existing zero-alloc fast path instead of adding a second classifier.
+	mon *telCounter
 }
 
 // mfShard is one per-core slice of the microflow cache: its own generation
@@ -150,6 +155,12 @@ type flowTable struct {
 	shards    []mfShard
 	shardMask uint32
 	counters  [counterShards]tableCounters
+
+	// mon is the installed monitor rule set (telemetry.go), replaced
+	// wholesale under the write lock; nil when nothing is monitored so the
+	// unmonitored pipeline pays one pointer load per cache fill and nothing
+	// on cache hits.
+	mon atomic.Pointer[monitorSet]
 
 	// disableCache forces every lookup through the tier-2 classifier; a
 	// benchmark/test knob to measure the cache against its slow path.
@@ -217,6 +228,9 @@ func (t *flowTable) lookupN(key *openflow.Match, n, nBytes uint64, nowNanos int6
 			c.matched.Add(n)
 			c.cacheHits.Add(n)
 			ce.flow.hitN(n, nBytes, nowNanos)
+			if ce.mon != nil {
+				ce.mon.add(n, nBytes)
+			}
 			return ce.actions, true
 		}
 	}
@@ -244,8 +258,14 @@ func (t *flowTable) classify(key *openflow.Match, n, nBytes uint64, nowNanos int
 			actions := e.actions
 			c.matched.Add(n)
 			e.hitN(n, nBytes, nowNanos)
+			var mc *telCounter
+			if ms := t.mon.Load(); ms != nil {
+				if mc = ms.match(key); mc != nil {
+					mc.add(n, nBytes)
+				}
+			}
 			if slot != nil {
-				slot.Store(&mfEntry{key: *key, gen: gen, flow: e, actions: actions})
+				slot.Store(&mfEntry{key: *key, gen: gen, flow: e, actions: actions, mon: mc})
 			}
 			t.mu.RUnlock()
 			return actions, true

@@ -43,6 +43,11 @@ func FuzzUnmarshal(f *testing.F) {
 		&BarrierRequest{},
 		&BarrierReply{},
 		&Raw{T: TypeQueueGetConfigReq, Body: []byte{0, 5, 0, 0}},
+		&TelemetryMod{Epoch: 7, IntervalMS: 250, Rules: []MonitorRule{
+			{ID: 1, Src: [4]byte{10, 1, 0, 0}, SrcBits: 24, Dst: [4]byte{10, 2, 0, 0}, DstBits: 24}}},
+		&TelemetryExport{Epoch: 7, Seq: 3, Flags: TelemetryFull,
+			Entries: []TelemetryEntry{{ID: 1, Packets: 12, Bytes: 18000}}},
+		&TelemetryAck{Epoch: 7, Seq: 3},
 	}
 	for i, m := range seeds {
 		m.SetXID(uint32(i + 1))

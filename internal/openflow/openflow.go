@@ -67,6 +67,7 @@ const (
 	TypeBarrierReply       Type = 19
 	TypeQueueGetConfigReq  Type = 20
 	TypeQueueGetConfigRepl Type = 21
+	// Types 22-24 are the telemetry extension; see telemetry.go.
 )
 
 var typeNames = map[Type]string{
@@ -80,6 +81,8 @@ var typeNames = map[Type]string{
 	TypeStatsRequest: "STATS_REQUEST", TypeStatsReply: "STATS_REPLY",
 	TypeBarrierRequest: "BARRIER_REQUEST", TypeBarrierReply: "BARRIER_REPLY",
 	TypeQueueGetConfigReq: "QUEUE_GET_CONFIG_REQUEST", TypeQueueGetConfigRepl: "QUEUE_GET_CONFIG_REPLY",
+	TypeTelemetryMod: "TELEMETRY_MOD", TypeTelemetryExport: "TELEMETRY_EXPORT",
+	TypeTelemetryAck: "TELEMETRY_ACK",
 }
 
 // String names the message type.
@@ -225,6 +228,12 @@ func newMessage(t Type) Message {
 		return &BarrierRequest{}
 	case TypeBarrierReply:
 		return &BarrierReply{}
+	case TypeTelemetryMod:
+		return &TelemetryMod{}
+	case TypeTelemetryExport:
+		return &TelemetryExport{}
+	case TypeTelemetryAck:
+		return &TelemetryAck{}
 	default:
 		return nil
 	}

@@ -1,0 +1,232 @@
+package openflow
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Telemetry message types. These extend the OpenFlow 1.0 type space past the
+// standard 0..21 range with the streaming-telemetry protocol the RouteFlow
+// controller and the emulated switches speak on the existing control channel:
+// the controller installs monitor rules with a TELEMETRY_MOD, the switch
+// streams counter deltas in TELEMETRY_EXPORT batches, and the controller
+// confirms each batch with a TELEMETRY_ACK so the switch can advance its
+// delta baseline. A FlowVisor in the path forwards all three (unknown types
+// decode to *Raw and re-encode byte for byte), and the substrate broadcasts
+// exports to its slices like any other asynchronous switch event.
+const (
+	TypeTelemetryMod    Type = 22
+	TypeTelemetryExport Type = 23
+	TypeTelemetryAck    Type = 24
+)
+
+// TelemetryExport flags.
+const (
+	// TelemetryFull marks an export whose entries carry absolute counter
+	// values rather than deltas: the switch sends it to (re)establish the
+	// controller's baseline — after a new TelemetryMod epoch, a reconnect,
+	// or a controller failover — and the receiver must replace, not add.
+	TelemetryFull uint8 = 1 << 0
+)
+
+// MonitorRule is one flow-monitoring assignment carried by TelemetryMod: the
+// switch counts IPv4 packets whose source and destination addresses fall
+// inside the two prefixes. Rules installed together are disjoint by
+// construction (the placement layer monitors each host pair at exactly one
+// switch), so at most one rule matches a packet.
+type MonitorRule struct {
+	// ID names the monitored flow; it is stable across switches and
+	// re-placements so the controller can aggregate by it.
+	ID uint32
+	// Src/SrcBits and Dst/DstBits are the IPv4 source and destination
+	// prefixes (address plus prefix length) the rule matches.
+	Src     [4]byte
+	SrcBits uint8
+	Dst     [4]byte
+	DstBits uint8
+}
+
+// monitorRuleWireLen is the fixed on-wire size of one MonitorRule.
+const monitorRuleWireLen = 14
+
+// TelemetryMod (controller → switch) replaces the switch's whole monitor
+// rule set. It is idempotent and level-triggered: the switch keeps counters
+// for rules whose (ID, prefixes) survive the replacement and starts fresh
+// ones for new rules. Epoch identifies the controller instance that issued
+// the rules; when it changes the switch re-baselines every rule with a full
+// export so a failed-over controller never double-counts. IntervalMS sets
+// the export cadence (0 keeps the switch's current interval).
+type TelemetryMod struct {
+	MsgXID
+	Epoch      uint64
+	IntervalMS uint32
+	Rules      []MonitorRule
+}
+
+// MsgType implements Message.
+func (m *TelemetryMod) MsgType() Type { return TypeTelemetryMod }
+
+// AppendTo implements Message.
+func (m *TelemetryMod) AppendTo(b []byte) []byte { return appendMessage(b, m) }
+
+func (m *TelemetryMod) appendBody(b []byte) []byte {
+	b = binary.BigEndian.AppendUint64(b, m.Epoch)
+	b = binary.BigEndian.AppendUint32(b, m.IntervalMS)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(m.Rules)))
+	for i := range m.Rules {
+		r := &m.Rules[i]
+		b = binary.BigEndian.AppendUint32(b, r.ID)
+		b = append(b, r.Src[:]...)
+		b = append(b, r.SrcBits)
+		b = append(b, r.Dst[:]...)
+		b = append(b, r.DstBits)
+	}
+	return b
+}
+
+func (m *TelemetryMod) decodeBody(r *rbuf) error {
+	m.Epoch = r.u64()
+	m.IntervalMS = r.u32()
+	n := int(r.u16())
+	if r.err != nil {
+		return nil
+	}
+	if n*monitorRuleWireLen > r.remaining() {
+		return fmt.Errorf("rule count %d exceeds body (%d bytes left)", n, r.remaining())
+	}
+	m.Rules = nil
+	if n == 0 {
+		return nil
+	}
+	m.Rules = make([]MonitorRule, n)
+	for i := range m.Rules {
+		ru := &m.Rules[i]
+		ru.ID = r.u32()
+		copy(ru.Src[:], r.take(4))
+		ru.SrcBits = r.u8()
+		copy(ru.Dst[:], r.take(4))
+		ru.DstBits = r.u8()
+	}
+	return nil
+}
+
+// TelemetryEntry is one monitored flow's counters inside a TelemetryExport:
+// deltas since the last acknowledged export, or absolute values when the
+// export carries TelemetryFull.
+type TelemetryEntry struct {
+	ID      uint32
+	Packets uint64
+	Bytes   uint64
+}
+
+// TelemetryExport (switch → controller) is one batch of per-flow counter
+// readings. Entries are varint-encoded so a steady state of small deltas
+// costs a few bytes per flow. Seq numbers exports within an epoch; the
+// controller acknowledges (Epoch, Seq) and the switch then folds the
+// exported deltas into its acknowledged baseline. Unacknowledged deltas are
+// simply re-sent grown — the counters are cumulative, so the protocol is
+// loss-tolerant without retransmission state.
+type TelemetryExport struct {
+	MsgXID
+	Epoch   uint64
+	Seq     uint32
+	Flags   uint8
+	Entries []TelemetryEntry
+}
+
+// Full reports whether the entries carry absolute counter values.
+func (m *TelemetryExport) Full() bool { return m.Flags&TelemetryFull != 0 }
+
+// MsgType implements Message.
+func (m *TelemetryExport) MsgType() Type { return TypeTelemetryExport }
+
+// AppendTo implements Message.
+func (m *TelemetryExport) AppendTo(b []byte) []byte { return appendMessage(b, m) }
+
+func (m *TelemetryExport) appendBody(b []byte) []byte {
+	b = binary.BigEndian.AppendUint64(b, m.Epoch)
+	b = binary.BigEndian.AppendUint32(b, m.Seq)
+	b = append(b, m.Flags)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(m.Entries)))
+	for i := range m.Entries {
+		e := &m.Entries[i]
+		b = binary.AppendUvarint(b, uint64(e.ID))
+		b = binary.AppendUvarint(b, e.Packets)
+		b = binary.AppendUvarint(b, e.Bytes)
+	}
+	return b
+}
+
+func (m *TelemetryExport) decodeBody(r *rbuf) error {
+	m.Epoch = r.u64()
+	m.Seq = r.u32()
+	m.Flags = r.u8()
+	n := int(r.u16())
+	if r.err != nil {
+		return nil
+	}
+	// Each entry is at least three one-byte varints.
+	if n*3 > r.remaining() {
+		return fmt.Errorf("entry count %d exceeds body (%d bytes left)", n, r.remaining())
+	}
+	m.Entries = nil
+	if n == 0 {
+		return nil
+	}
+	m.Entries = make([]TelemetryEntry, n)
+	for i := range m.Entries {
+		e := &m.Entries[i]
+		id := r.uvarint()
+		if id > 0xffffffff {
+			if r.err == nil {
+				r.err = fmt.Errorf("entry %d: flow id %d overflows uint32", i, id)
+			}
+			return nil
+		}
+		e.ID = uint32(id)
+		e.Packets = r.uvarint()
+		e.Bytes = r.uvarint()
+	}
+	return nil
+}
+
+// TelemetryAck (controller → switch) acknowledges the export numbered Seq in
+// Epoch; the switch advances its delta baseline past it. Acks are cheap and
+// cumulative in effect — a lost ack only means the next export repeats a
+// delta the controller's max-merge absorbs.
+type TelemetryAck struct {
+	MsgXID
+	Epoch uint64
+	Seq   uint32
+}
+
+// MsgType implements Message.
+func (m *TelemetryAck) MsgType() Type { return TypeTelemetryAck }
+
+// AppendTo implements Message.
+func (m *TelemetryAck) AppendTo(b []byte) []byte { return appendMessage(b, m) }
+
+func (m *TelemetryAck) appendBody(b []byte) []byte {
+	b = binary.BigEndian.AppendUint64(b, m.Epoch)
+	return binary.BigEndian.AppendUint32(b, m.Seq)
+}
+
+func (m *TelemetryAck) decodeBody(r *rbuf) error {
+	m.Epoch = r.u64()
+	m.Seq = r.u32()
+	return nil
+}
+
+// uvarint reads one unsigned LEB128 varint.
+func (r *rbuf) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.err = fmt.Errorf("bad varint at offset %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}

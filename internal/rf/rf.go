@@ -27,6 +27,7 @@ import (
 	"routeflow/internal/quagga"
 	"routeflow/internal/rib"
 	"routeflow/internal/rpcconf"
+	"routeflow/internal/telemetry"
 	"routeflow/internal/vnet"
 )
 
@@ -110,6 +111,13 @@ type Platform struct {
 	// detect a concurrent install/remove racing its snapshot.
 	flowGen map[uint64]uint64
 
+	// telMu guards the telemetry program and aggregator (see telemetry.go);
+	// it is separate from mu so export handling never contends with the RPC
+	// apply path.
+	telMu   sync.Mutex
+	telProg TelemetryProgram
+	telAgg  *telemetry.Aggregator
+
 	stopOnce sync.Once
 	stop     chan struct{}
 	wg       sync.WaitGroup
@@ -145,8 +153,9 @@ func New(cfg Config) (*Platform, error) {
 		stop:      make(chan struct{}),
 	}
 	p.ctl = ctlkit.New("rf-controller", cfg.Clock, ctlkit.Callbacks{
-		SwitchUp: p.onSwitchUp,
-		PacketIn: p.onPacketIn,
+		SwitchUp:  p.onSwitchUp,
+		PacketIn:  p.onPacketIn,
+		Telemetry: p.onTelemetry,
 	})
 	p.wg.Add(1)
 	go p.flowRepairLoop()
@@ -250,6 +259,7 @@ func (p *Platform) Release(dpid uint64) {
 	delete(p.owned, dpid)
 	delete(p.needsWipe, dpid)
 	p.mu.Unlock()
+	p.dropTelemetryRules(dpid)
 	p.teardownSwitch(dpid)
 	if sc, ok := p.ctl.Switch(dpid); ok {
 		sc.Close()
@@ -611,6 +621,13 @@ func (p *Platform) onSwitchUp(sc *ctlkit.SwitchConn) {
 			p.markDirty(sc.DPID())
 		}
 	}
+	// Re-push the monitoring program: a (re)connected switch has no stream
+	// state, and its counters only flow once it holds the current rules.
+	if tm := p.telemetryMod(sc.DPID()); tm != nil {
+		if err := sc.TrySend(tm); err != nil {
+			p.markDirty(sc.DPID())
+		}
+	}
 }
 
 // markDirty schedules a flow-table resync for dpid.
@@ -690,6 +707,14 @@ func (p *Platform) resyncFlows(dpid uint64) bool {
 	for _, fm := range pending {
 		fm.SetXID(0)
 		if err := sc.TrySend(fm); err != nil {
+			ok = false
+		}
+	}
+	// The monitoring program rides the same repair discipline as flows: a
+	// TELEMETRY_MOD dropped anywhere (initial push, reconnect replay) is
+	// re-pushed here until one lands.
+	if tm := p.telemetryMod(dpid); tm != nil {
+		if err := sc.TrySend(tm); err != nil {
 			ok = false
 		}
 	}
@@ -870,7 +895,7 @@ func (p *Platform) DesiredFlows(dpid uint64) []*openflow.FlowMod {
 // Callbacks exposes the platform's controller event handlers so a merged
 // deployment (no FlowVisor) can host them on a shared controller runtime.
 func (p *Platform) Callbacks() ctlkit.Callbacks {
-	return ctlkit.Callbacks{SwitchUp: p.onSwitchUp, PacketIn: p.onPacketIn}
+	return ctlkit.Callbacks{SwitchUp: p.onSwitchUp, PacketIn: p.onPacketIn, Telemetry: p.onTelemetry}
 }
 
 // UseController substitutes the controller runtime the platform sends

@@ -1,0 +1,138 @@
+package rf
+
+// The platform's half of the streaming-telemetry pipeline: it carries the
+// monitoring program (which switch observes which flows, at what epoch) down
+// to the switches as TELEMETRY_MOD, feeds the switches' TELEMETRY_EXPORT
+// streams into a telemetry.Aggregator, and answers each export with the ack
+// that lets the switch advance its delta baseline. Program pushes ride the
+// same non-blocking-send + repair-loop discipline as flow state: a dropped
+// TELEMETRY_MOD marks the switch dirty and the next resync re-pushes it, so
+// the program is level-triggered end to end.
+
+import (
+	"time"
+
+	"routeflow/internal/ctlkit"
+	"routeflow/internal/openflow"
+	"routeflow/internal/telemetry"
+)
+
+// TelemetryProgram is one platform's monitoring workload: the flows whose
+// monitor switch this platform masters, and the compiled per-switch rules.
+type TelemetryProgram struct {
+	// Epoch fences export streams. Every program push carries it to the
+	// switches; a switch seeing a new epoch resets its stream state and
+	// re-baselines with a FULL export. Epoch 0 means "no program" — the
+	// platform sends nothing and ignores exports.
+	Epoch uint64
+	// Interval is the switches' export period (0 = switch default).
+	Interval time.Duration
+	// Span is the aggregator's rolling-window length (0 = 5s).
+	Span time.Duration
+	// Flows are the placements whose monitor switch this platform owns.
+	Flows []telemetry.Placement
+	// MonitorDPID maps a placement's monitor node to its switch DPID.
+	MonitorDPID func(node int) uint64
+	// Rules holds the compiled match rules per switch DPID. A switch that
+	// had rules in the previous program and none here receives an empty
+	// TELEMETRY_MOD retiring them (full-replace semantics).
+	Rules map[uint64][]openflow.MonitorRule
+}
+
+// SetTelemetry installs a monitoring program, pushing TELEMETRY_MOD to every
+// affected connected switch. The aggregator survives program changes: flows
+// whose monitor switch is unchanged keep their views and totals, and the
+// epoch advances in place so the re-baselining FULLs charge only gains.
+func (p *Platform) SetTelemetry(prog TelemetryProgram) {
+	p.telMu.Lock()
+	if p.telAgg == nil {
+		p.telAgg = telemetry.NewAggregator(p.clk, prog.Epoch, prog.Span)
+	} else {
+		p.telAgg.SetEpoch(prog.Epoch)
+	}
+	p.telAgg.SetFlows(prog.Flows, prog.MonitorDPID)
+	// Push to the union of old and new rule-bearing switches: one that
+	// dropped out of the program must see the (empty) replacement.
+	dpids := make(map[uint64]bool, len(prog.Rules))
+	for dpid := range prog.Rules {
+		dpids[dpid] = true
+	}
+	for dpid := range p.telProg.Rules {
+		dpids[dpid] = true
+	}
+	p.telProg = prog
+	mods := make(map[uint64]*openflow.TelemetryMod, len(dpids))
+	for dpid := range dpids {
+		mods[dpid] = p.telemetryModLocked(dpid)
+	}
+	p.telMu.Unlock()
+	for dpid, tm := range mods {
+		if tm == nil {
+			continue
+		}
+		sc, ok := p.ctl.Switch(dpid)
+		if !ok {
+			continue // the reconnect replay in onSwitchUp covers it
+		}
+		if err := sc.TrySend(tm); err != nil {
+			p.markDirty(dpid)
+		}
+	}
+}
+
+// telemetryModLocked builds the program-push message for one switch, or nil
+// when no program is active. Callers hold telMu.
+func (p *Platform) telemetryModLocked(dpid uint64) *openflow.TelemetryMod {
+	if p.telProg.Epoch == 0 {
+		return nil
+	}
+	return &openflow.TelemetryMod{
+		Epoch:      p.telProg.Epoch,
+		IntervalMS: uint32(p.telProg.Interval / time.Millisecond),
+		Rules:      append([]openflow.MonitorRule(nil), p.telProg.Rules[dpid]...),
+	}
+}
+
+// telemetryMod is telemetryModLocked for callers not holding telMu.
+func (p *Platform) telemetryMod(dpid uint64) *openflow.TelemetryMod {
+	p.telMu.Lock()
+	defer p.telMu.Unlock()
+	return p.telemetryModLocked(dpid)
+}
+
+// onTelemetry consumes one export and answers with the ack that advances the
+// switch's delta baseline. A dropped ack is safe: the switch times the rule
+// out of sync and re-baselines with an idempotent FULL.
+func (p *Platform) onTelemetry(sc *ctlkit.SwitchConn, ex *openflow.TelemetryExport) {
+	p.telMu.Lock()
+	agg := p.telAgg
+	p.telMu.Unlock()
+	if agg == nil {
+		return
+	}
+	if ack := agg.HandleExport(sc.DPID(), ex); ack != nil {
+		_ = sc.TrySend(ack)
+	}
+}
+
+// TelemetrySnapshot returns this platform's current flow and link views
+// (empty before any program is set). In a cluster each replica covers only
+// the flows it owns; merge replica snapshots with telemetry.Merge.
+func (p *Platform) TelemetrySnapshot() telemetry.Snapshot {
+	p.telMu.Lock()
+	agg := p.telAgg
+	p.telMu.Unlock()
+	if agg == nil {
+		return telemetry.Snapshot{}
+	}
+	return agg.Snapshot()
+}
+
+// dropTelemetryRules forgets a released switch's rules so repair-loop
+// resyncs on this (former master) replica stop re-pushing them. The new
+// master's program, under its own epoch, supersedes them on the switch.
+func (p *Platform) dropTelemetryRules(dpid uint64) {
+	p.telMu.Lock()
+	delete(p.telProg.Rules, dpid)
+	p.telMu.Unlock()
+}

@@ -69,10 +69,13 @@ func Curated() []Spec {
 	return []Spec{
 		{
 			// The plain failover: one ring link dies, traffic reroutes the
-			// long way, the link returns, the network re-optimizes.
+			// long way, the link returns, the network re-optimizes. Telemetry
+			// rides along: the monitoring program must follow the reroute and
+			// the flow views must conserve counters across the move.
 			Name:        "ring4-link-down-up",
 			Description: "single ring link fails and returns; reroute then re-optimize",
 			Topology:    topo.Ring(4), HostNodes: []int{0, 2}, Seed: 1,
+			Telemetry: true,
 			Faults: []Fault{
 				{Kind: FaultLinkDown, Link: 0},
 				{Kind: FaultLinkUp, Link: 0},
@@ -107,9 +110,13 @@ func Curated() []Spec {
 			// A transit switch crashes: flow table gone, control session cut.
 			// The dialer reconnects, discovery re-learns it, the reconciler
 			// rebuilds its VM and flows.
+			// Telemetry rides along: the reboot zeroes the monitor's absolute
+			// counters, so the stream must re-baseline (FULL below the applied
+			// level) without the view ever double counting or running backward.
 			Name:        "ring5-switch-crash",
 			Description: "transit switch reboots; VM and flows are rebuilt",
 			Topology:    topo.Ring(5), HostNodes: []int{0, 3}, Seed: 4,
+			Telemetry: true,
 			Faults: []Fault{
 				{Kind: FaultSwitchCrash, Node: 2},
 			},
@@ -189,9 +196,13 @@ func Curated() []Spec {
 			// the orphaned switches (delete-all + replay, fenced by the
 			// transfer epoch), and the network must still reach the exact
 			// converged state, then absorb a link failure on top.
+			// Telemetry rides along: the killed replica's aggregator views die
+			// with it, so the survivor must re-own the orphaned flows and
+			// rebuild views from FULL re-baselines — counted exactly once.
 			Name:        "ring6-master-kill-midconverge",
 			Description: "replica killed mid-convergence; survivor adopts its switches and converges",
 			Topology:    topo.Ring(6), HostNodes: []int{0, 3}, Seed: 31,
+			Telemetry: true,
 			Cluster: core.ClusterSpec{
 				Replicas:   2,
 				LeaseTTL:   500 * time.Millisecond,
@@ -226,10 +237,14 @@ func Curated() []Spec {
 			// The paper's workload under churn: a video stream crosses the
 			// ring from cold start while an off-path-or-not link flaps twice;
 			// the client's sequence gaps must stay inside the budget.
+			// Telemetry rides along: conservation is checked while the stream
+			// keeps generating monitored traffic — the hardest case for the
+			// never-exceeds-absolute and pinned-catch-up pair.
 			Name:        "ring4-video-continuity",
 			Description: "video stream survives a double link flap within the gap budget",
 			Topology:    topo.Ring(4), HostNodes: []int{0, 2}, Seed: 11,
-			Streams: [][2]int{{0, 2}}, GapBudget: 400,
+			Telemetry: true,
+			Streams:   [][2]int{{0, 2}}, GapBudget: 400,
 			Faults: []Fault{
 				{Kind: FaultLinkFlap, Link: 1, Count: 2},
 			},

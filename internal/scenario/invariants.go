@@ -19,6 +19,9 @@ import (
 func (r *runner) runChecks() []Check {
 	checks := []Check{r.checkNoBlackhole()}
 	checks = append(checks, r.checkFlowConsistency(), r.checkNoLoop())
+	if r.spec.Telemetry {
+		checks = append(checks, r.checkTelemetryPlacement(), r.checkTelemetryConservation())
+	}
 	return checks
 }
 

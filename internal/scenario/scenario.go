@@ -123,6 +123,15 @@ type Spec struct {
 	Streams   [][2]int
 	GapBudget uint64
 
+	// Telemetry turns on the streaming-stats pipeline and its invariant pair
+	// at every quiesce point: balanced single-observer placement and
+	// exactly-once counter aggregation (conservation, no double counting —
+	// across flow repair, switch reboot and master failover).
+	Telemetry bool
+	// TelemetryInterval is the switches' export period (0 = 25ms, compressed
+	// like the protocol timers above).
+	TelemetryInterval time.Duration
+
 	ConvergeTimeout time.Duration // per quiesce point, wall time
 	PingTimeout     time.Duration // per ping attempt, wall time
 	PingBudget      time.Duration // total per host pair, wall time
@@ -175,6 +184,9 @@ func (s Spec) withDefaults() (Spec, error) {
 	}
 	if s.GapBudget == 0 {
 		s.GapBudget = DefaultGapBudget
+	}
+	if s.TelemetryInterval <= 0 {
+		s.TelemetryInterval = 25 * time.Millisecond
 	}
 	nLinks, nNodes := s.Topology.NumLinks(), s.Topology.NumNodes()
 	for _, f := range s.Faults {
@@ -318,17 +330,20 @@ func Run(spec Spec) (*Result, error) {
 		clk = clock.Scaled(spec.TimeScale)
 	}
 	d, err := core.NewDeployment(core.Options{
-		Topology:      spec.Topology,
-		Clock:         clk,
-		HostNodes:     spec.HostNodes,
-		BootDelay:     spec.BootDelay,
-		Timers:        spec.Timers,
-		ProbeInterval: spec.ProbeInterval,
-		LinkTTL:       spec.LinkTTL,
-		RPCDropRate:   spec.RPCDropRate,
-		RPCDropSeed:   spec.Seed,
-		ResyncProbe:   spec.ResyncProbe,
-		Cluster:       spec.Cluster,
+		Topology:          spec.Topology,
+		Clock:             clk,
+		HostNodes:         spec.HostNodes,
+		BootDelay:         spec.BootDelay,
+		Timers:            spec.Timers,
+		ProbeInterval:     spec.ProbeInterval,
+		LinkTTL:           spec.LinkTTL,
+		RPCDropRate:       spec.RPCDropRate,
+		RPCDropSeed:       spec.Seed,
+		ResyncProbe:       spec.ResyncProbe,
+		Cluster:           spec.Cluster,
+		Telemetry:         spec.Telemetry,
+		TelemetryInterval: spec.TelemetryInterval,
+		TelemetrySpan:     2 * time.Second,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,243 @@
+package telemetry
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"routeflow/internal/clock"
+	"routeflow/internal/openflow"
+	"routeflow/internal/topo"
+)
+
+// allPairs returns every ordered pair of distinct nodes from the list.
+func allPairs(nodes []int) [][2]int {
+	var out [][2]int
+	for _, s := range nodes {
+		for _, d := range nodes {
+			if s != d {
+				out = append(out, [2]int{s, d})
+			}
+		}
+	}
+	return out
+}
+
+// checkBalance verifies the Floware property: every flow observed at
+// exactly one on-path switch, with max per-switch load ≤ 2× the mean over
+// path-eligible switches.
+func checkBalance(t *testing.T, g *topo.Graph, pairs [][2]int) {
+	t.Helper()
+	pls := ComputePlacements(g, pairs, nil)
+	if len(pls) != len(pairs) {
+		t.Fatalf("%d placements for %d pairs", len(pls), len(pairs))
+	}
+	load := make(map[int]int)
+	eligible := make(map[int]bool)
+	for _, pl := range pls {
+		if pl.Path == nil || pl.Monitor < 0 {
+			t.Fatalf("flow %d (%d→%d) unplaced on a connected topology", pl.ID, pl.SrcNode, pl.DstNode)
+		}
+		onPath := false
+		for _, n := range pl.Path {
+			eligible[n] = true
+			if n == pl.Monitor {
+				onPath = true
+			}
+		}
+		if !onPath {
+			t.Fatalf("flow %d monitored off-path at %d (path %v)", pl.ID, pl.Monitor, pl.Path)
+		}
+		load[pl.Monitor]++
+	}
+	max, total := 0, 0
+	for _, l := range load {
+		total += l
+		if l > max {
+			max = l
+		}
+	}
+	mean := float64(total) / float64(len(eligible))
+	if float64(max) > 2*mean {
+		t.Fatalf("placement unbalanced: max load %d > 2×mean %.2f (loads %v)", max, mean, load)
+	}
+}
+
+func TestPlacementBalanceGrid9(t *testing.T) {
+	g := topo.Grid(3, 3)
+	nodes := make([]int, g.NumNodes())
+	for i := range nodes {
+		nodes[i] = i
+	}
+	checkBalance(t, g, allPairs(nodes))
+}
+
+func TestPlacementBalanceFatTree4(t *testing.T) {
+	checkBalance(t, topo.FatTree(4), allPairs(topo.FatTreeEdges(4)))
+}
+
+func TestPlacementDeterministic(t *testing.T) {
+	g := topo.Grid(3, 3)
+	pairs := allPairs([]int{0, 4, 8, 2, 6})
+	a := ComputePlacements(g, pairs, nil)
+	b := ComputePlacements(g, pairs, nil)
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatal("placement is not deterministic")
+	}
+}
+
+// TestPlacementRoutesAroundDeadLinks: a flow re-paths over live links only,
+// and an unreachable pair is reported unplaced instead of guessed.
+func TestPlacementRoutesAroundDeadLinks(t *testing.T) {
+	g := topo.Line(3) // 0 - 1 - 2
+	pls := ComputePlacements(g, [][2]int{{0, 2}}, nil)
+	if len(pls[0].Path) != 3 {
+		t.Fatalf("line path = %v", pls[0].Path)
+	}
+	down := func(l topo.Link) bool { return !(l.A == 0 && l.B == 1) && !(l.A == 1 && l.B == 0) }
+	pls = ComputePlacements(g, [][2]int{{0, 2}, {1, 2}}, down)
+	if pls[0].Path != nil || pls[0].Monitor != -1 {
+		t.Fatalf("partitioned pair got placed: %+v", pls[0])
+	}
+	if pls[1].Path == nil {
+		t.Fatalf("live pair unplaced: %+v", pls[1])
+	}
+}
+
+func mkExport(epoch uint64, seq uint32, full bool, entries ...openflow.TelemetryEntry) *openflow.TelemetryExport {
+	var flags uint8
+	if full {
+		flags = openflow.TelemetryFull
+	}
+	return &openflow.TelemetryExport{Epoch: epoch, Seq: seq, Flags: flags, Entries: entries}
+}
+
+func testAggregator(t *testing.T) *Aggregator {
+	t.Helper()
+	a := NewAggregator(clock.System(), 9, 5*time.Second)
+	a.SetFlows([]Placement{
+		{ID: 1, SrcNode: 0, DstNode: 2, Path: []int{0, 1, 2}, Monitor: 1},
+	}, func(node int) uint64 { return uint64(node + 1) })
+	return a
+}
+
+// TestAggregatorExactlyOnce exercises the stream discipline: baseline FULL
+// charges nothing, deltas add, an idempotent FULL repair neither loses nor
+// double-counts, and a below-baseline FULL (switch reboot) re-anchors.
+func TestAggregatorExactlyOnce(t *testing.T) {
+	a := testAggregator(t)
+	// Baseline with pre-existing counts: inherited, not charged.
+	ack := a.HandleExport(2, mkExport(9, 1, true, openflow.TelemetryEntry{ID: 1, Packets: 100, Bytes: 1000}))
+	if ack == nil || ack.Seq != 1 || ack.Epoch != 9 {
+		t.Fatalf("ack = %+v", ack)
+	}
+	if f := a.Snapshot().Flows[0]; f.Packets != 100 || f.RatePPS != 0 {
+		t.Fatalf("baseline charged the window: %+v", f)
+	}
+	// Delta applies once.
+	a.HandleExport(2, mkExport(9, 2, false, openflow.TelemetryEntry{ID: 1, Packets: 5, Bytes: 50}))
+	if f := a.Snapshot().Flows[0]; f.Packets != 105 {
+		t.Fatalf("after delta: %+v", f)
+	}
+	// FULL repair at the same absolute level: no change, no double count.
+	a.HandleExport(2, mkExport(9, 3, true, openflow.TelemetryEntry{ID: 1, Packets: 105, Bytes: 1050}))
+	if f := a.Snapshot().Flows[0]; f.Packets != 105 {
+		t.Fatalf("idempotent FULL moved the view: %+v", f)
+	}
+	// FULL above the applied level (missed deltas): charges only the gain.
+	a.HandleExport(2, mkExport(9, 4, true, openflow.TelemetryEntry{ID: 1, Packets: 110, Bytes: 1100}))
+	if f := a.Snapshot().Flows[0]; f.Packets != 110 {
+		t.Fatalf("repair FULL: %+v", f)
+	}
+	// Below-baseline FULL = rebooted switch: view follows the absolute.
+	a.HandleExport(2, mkExport(9, 5, true, openflow.TelemetryEntry{ID: 1, Packets: 3, Bytes: 30}))
+	if f := a.Snapshot().Flows[0]; f.Packets != 3 {
+		t.Fatalf("reboot FULL: %+v", f)
+	}
+	// Links along the path carried every charged gain: 5 + 5 = 10.
+	snap := a.Snapshot()
+	if len(snap.Links) != 2 {
+		t.Fatalf("links = %+v", snap.Links)
+	}
+	for _, ls := range snap.Links {
+		if ls.Packets != 10 {
+			t.Fatalf("link %v charged %d pkts, want 10", ls.Link, ls.Packets)
+		}
+	}
+}
+
+// TestAggregatorIgnoresForeignStreams: wrong epoch, wrong switch, unknown
+// flow — none may touch the views.
+func TestAggregatorIgnoresForeignStreams(t *testing.T) {
+	a := testAggregator(t)
+	a.HandleExport(2, mkExport(9, 1, true, openflow.TelemetryEntry{ID: 1, Packets: 7, Bytes: 70}))
+	if ack := a.HandleExport(2, mkExport(8, 2, false, openflow.TelemetryEntry{ID: 1, Packets: 99, Bytes: 1})); ack != nil {
+		t.Fatal("foreign epoch acked")
+	}
+	// Same flow reported by a switch that is not its monitor.
+	a.HandleExport(3, mkExport(9, 2, false, openflow.TelemetryEntry{ID: 1, Packets: 99, Bytes: 1}))
+	// Unknown flow ID.
+	a.HandleExport(2, mkExport(9, 3, false, openflow.TelemetryEntry{ID: 42, Packets: 99, Bytes: 1}))
+	// A delta before any baseline is unusable and skipped.
+	a2 := testAggregator(t)
+	a2.HandleExport(2, mkExport(9, 1, false, openflow.TelemetryEntry{ID: 1, Packets: 99, Bytes: 1}))
+	if f := a2.Snapshot().Flows[0]; f.Packets != 0 {
+		t.Fatalf("unbaselined delta applied: %+v", f)
+	}
+	if f := a.Snapshot().Flows[0]; f.Packets != 7 {
+		t.Fatalf("foreign stream leaked into the view: %+v", f)
+	}
+}
+
+// TestAggregatorSetFlowsKeepsViews: re-placement keeps a view whose monitor
+// stayed put and resets one whose monitor moved.
+func TestAggregatorSetFlowsKeepsViews(t *testing.T) {
+	a := testAggregator(t)
+	a.HandleExport(2, mkExport(9, 1, true, openflow.TelemetryEntry{ID: 1, Packets: 50, Bytes: 500}))
+	a.SetFlows([]Placement{
+		{ID: 1, SrcNode: 0, DstNode: 2, Path: []int{0, 1, 2}, Monitor: 1},
+	}, func(node int) uint64 { return uint64(node + 1) })
+	if f := a.Snapshot().Flows[0]; f.Packets != 50 {
+		t.Fatalf("unchanged monitor lost its view: %+v", f)
+	}
+	a.SetFlows([]Placement{
+		{ID: 1, SrcNode: 0, DstNode: 2, Path: []int{0, 1, 2}, Monitor: 2},
+	}, func(node int) uint64 { return uint64(node + 1) })
+	if f := a.Snapshot().Flows[0]; f.Packets != 0 {
+		t.Fatalf("moved monitor kept a stale baseline: %+v", f)
+	}
+}
+
+func TestWindowRates(t *testing.T) {
+	w := newWindow(4 * time.Second)
+	base := time.Unix(1000, 0)
+	w.add(base, 400, 4000)
+	pps, bps := w.rate(base)
+	if pps != 100 || bps != 1000 {
+		t.Fatalf("rate = %v pps %v bps", pps, bps)
+	}
+	// Far future: everything aged out.
+	if pps, _ = w.rate(base.Add(time.Minute)); pps != 0 {
+		t.Fatalf("stale samples survived: %v pps", pps)
+	}
+	// Partial aging: half the window later, the sample still counts.
+	w.add(base, 400, 4000)
+	if pps, _ = w.rate(base.Add(2 * time.Second)); pps != 100 {
+		t.Fatalf("mid-window rate = %v pps", pps)
+	}
+}
+
+func TestMergeDisjointSnapshots(t *testing.T) {
+	l := MakeLinkKey(1, 0)
+	s1 := Snapshot{Flows: []FlowStat{{ID: 2, Packets: 5}},
+		Links: []LinkStat{{Link: l, Packets: 5, RatePPS: 1}}}
+	s2 := Snapshot{Flows: []FlowStat{{ID: 1, Packets: 3}},
+		Links: []LinkStat{{Link: l, Packets: 3, RatePPS: 2}, {Link: MakeLinkKey(1, 2), Packets: 3}}}
+	m := Merge(s1, s2)
+	if len(m.Flows) != 2 || m.Flows[0].ID != 1 || m.Flows[1].ID != 2 {
+		t.Fatalf("flows = %+v", m.Flows)
+	}
+	if len(m.Links) != 2 || m.Links[0].Packets != 8 || m.Links[0].RatePPS != 3 {
+		t.Fatalf("links = %+v", m.Links)
+	}
+}

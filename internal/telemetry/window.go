@@ -1,0 +1,67 @@
+package telemetry
+
+import "time"
+
+// windowBuckets is the ring size of a rolling window; rates are averaged
+// over windowBuckets × bucket-duration of history.
+const windowBuckets = 8
+
+// window is a fixed-size ring of time buckets giving O(1) counter updates
+// and O(buckets) rate reads. A bucket covers span/windowBuckets; Add lands
+// the sample in the bucket owning now, zeroing any buckets skipped since
+// the last touch (bounded by the ring size, so updates stay O(1)).
+type window struct {
+	span    time.Duration
+	bucket  time.Duration
+	last    int64 // bucket index of the most recent Add/advance
+	packets [windowBuckets]uint64
+	bytes   [windowBuckets]uint64
+}
+
+func newWindow(span time.Duration) *window {
+	if span <= 0 {
+		span = 5 * time.Second
+	}
+	return &window{span: span, bucket: span / windowBuckets, last: -1}
+}
+
+func (w *window) idx(now time.Time) int64 {
+	return now.UnixNano() / int64(w.bucket)
+}
+
+// advance zeroes buckets between the last touch and now.
+func (w *window) advance(i int64) {
+	if w.last < 0 || i-w.last >= windowBuckets {
+		w.packets = [windowBuckets]uint64{}
+		w.bytes = [windowBuckets]uint64{}
+	} else {
+		for j := w.last + 1; j <= i; j++ {
+			w.packets[j%windowBuckets] = 0
+			w.bytes[j%windowBuckets] = 0
+		}
+	}
+	if i > w.last {
+		w.last = i
+	}
+}
+
+// add charges a sample into the current bucket.
+func (w *window) add(now time.Time, packets, bytes uint64) {
+	i := w.idx(now)
+	w.advance(i)
+	w.packets[i%windowBuckets] += packets
+	w.bytes[i%windowBuckets] += bytes
+}
+
+// rate returns the windowed average packet and byte rates per second.
+func (w *window) rate(now time.Time) (pps, bps float64) {
+	i := w.idx(now)
+	w.advance(i)
+	var p, b uint64
+	for j := 0; j < windowBuckets; j++ {
+		p += w.packets[j]
+		b += w.bytes[j]
+	}
+	secs := w.span.Seconds()
+	return float64(p) / secs, float64(b) / secs
+}

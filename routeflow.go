@@ -24,6 +24,12 @@
 // routeflow.WithReplicas(n) (or WithCluster for full control over shard
 // policy and lease timings). The default remains the paper's single
 // rf-server.
+//
+// Since PR 8 the deployment can stream per-flow and per-link statistics:
+// add routeflow.WithTelemetry() and read Deployment.TelemetrySnapshot —
+// balanced monitoring placement (one observer switch per flow), delta
+// exports over the control channel, exactly-once aggregation into rolling
+// views. See the telemetry types in this package for the details.
 package routeflow
 
 import (

@@ -1,0 +1,188 @@
+//go:build ignore
+
+// Command doccheck is the CI documentation gate. It enforces three
+// contracts the godoc-rendered API and the prose docs depend on:
+//
+//   - every package (root, internal/..., cmd/...) carries a package doc
+//     comment — the one-paragraph orientation a reader gets before any
+//     symbol (staticcheck ST1000 enforces the same rule in-editor; this
+//     gate also runs where staticcheck is not installed);
+//
+//   - every exported top-level symbol of the public routeflow package has
+//     a doc comment, so the API surface is never silently undocumented;
+//
+//   - every relative link in README.md and docs/*.md resolves to a file
+//     that exists (external http(s) links are not fetched).
+//
+//     go run scripts/doccheck.go
+//
+// Exit status is non-zero with one line per violation.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+func main() {
+	var fails []string
+	fails = append(fails, checkPackageDocs()...)
+	fails = append(fails, checkPublicGodoc()...)
+	fails = append(fails, checkLinks()...)
+	if len(fails) > 0 {
+		for _, f := range fails {
+			fmt.Fprintln(os.Stderr, f)
+		}
+		fmt.Fprintf(os.Stderr, "doccheck: %d violation(s)\n", len(fails))
+		os.Exit(1)
+	}
+	fmt.Println("doccheck: package docs, public godoc and doc links all ok")
+}
+
+// packageDirs lists every directory under the repo that holds a Go package
+// the gate covers: the module root, internal/* and cmd/*.
+func packageDirs() []string {
+	dirs := []string{"."}
+	for _, glob := range []string{"internal/*", "cmd/*"} {
+		matches, _ := filepath.Glob(glob)
+		for _, m := range matches {
+			if fi, err := os.Stat(m); err == nil && fi.IsDir() {
+				dirs = append(dirs, m)
+			}
+		}
+	}
+	return dirs
+}
+
+// parseDir parses every non-test Go file of one directory.
+func parseDir(dir string) (map[string]*ast.File, *token.FileSet, error) {
+	fset := token.NewFileSet()
+	files := make(map[string]*ast.File)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: %v", path, err)
+		}
+		files[path] = f
+	}
+	return files, fset, nil
+}
+
+// checkPackageDocs requires one package doc comment per package directory.
+func checkPackageDocs() []string {
+	var fails []string
+	for _, dir := range packageDirs() {
+		files, _, err := parseDir(dir)
+		if err != nil {
+			fails = append(fails, fmt.Sprintf("doccheck: %v", err))
+			continue
+		}
+		if len(files) == 0 {
+			continue
+		}
+		found := false
+		for _, f := range files {
+			if f.Doc != nil && len(strings.TrimSpace(f.Doc.Text())) > 0 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fails = append(fails, fmt.Sprintf("%s: package has no doc comment (ST1000)", dir))
+		}
+	}
+	return fails
+}
+
+// checkPublicGodoc requires a doc comment on every exported top-level
+// declaration of the root routeflow package — the godoc surface users read.
+func checkPublicGodoc() []string {
+	var fails []string
+	files, fset, err := parseDir(".")
+	if err != nil {
+		return []string{fmt.Sprintf("doccheck: %v", err)}
+	}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				// Methods document themselves off their receiver type; the
+				// gate covers package-level functions.
+				if d.Recv == nil && d.Name.IsExported() && d.Doc == nil {
+					fails = append(fails, fmt.Sprintf("%s: exported func %s has no doc comment",
+						fset.Position(d.Pos()), d.Name.Name))
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+							fails = append(fails, fmt.Sprintf("%s: exported type %s has no doc comment",
+								fset.Position(s.Pos()), s.Name.Name))
+						}
+					case *ast.ValueSpec:
+						for _, n := range s.Names {
+							if n.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+								fails = append(fails, fmt.Sprintf("%s: exported %s has no doc comment",
+									fset.Position(n.Pos()), n.Name))
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return fails
+}
+
+var linkRE = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// checkLinks resolves every relative markdown link in README.md and
+// docs/*.md against the working tree.
+func checkLinks() []string {
+	var fails []string
+	docs := []string{"README.md"}
+	if matches, _ := filepath.Glob("docs/*.md"); matches != nil {
+		docs = append(docs, matches...)
+	}
+	for _, doc := range docs {
+		data, err := os.ReadFile(doc)
+		if err != nil {
+			fails = append(fails, fmt.Sprintf("doccheck: %v", err))
+			continue
+		}
+		for _, m := range linkRE.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+				continue
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(doc), target)
+			if _, err := os.Stat(resolved); err != nil {
+				fails = append(fails, fmt.Sprintf("%s: broken link %q (%s does not exist)", doc, m[1], resolved))
+			}
+		}
+	}
+	return fails
+}
