@@ -5,6 +5,11 @@
 // the winning route set is queryable by longest-prefix match and every
 // best-route change is published to watchers, which is exactly the hook the
 // RF-server uses to translate VM routes into OpenFlow flow entries.
+//
+// Candidates tied on (source, metric) with the winner form the prefix's
+// equal-cost best set — the ECMP alternates exposed through LookupAll /
+// BestPaths and carried on every watcher event, which is what lets the
+// RF-server install multipath flow entries.
 package rib
 
 import (
@@ -75,14 +80,23 @@ const (
 	RouteReplaced
 )
 
-// Event is one best-route change.
+// Event is one best-route change. A Replaced event fires whenever the
+// equal-cost best *set* changes, even if the primary route is unchanged —
+// gaining or losing an alternate matters to a multipath consumer exactly as
+// much as a primary swap.
 type Event struct {
 	Type EventType
-	// Route is the new best route (Added/Replaced) or the departed one
+	// Route is the new primary route (Added/Replaced) or the departed one
 	// (Removed).
 	Route Route
-	// Old is the previous best for Replaced events.
+	// Old is the previous primary for Replaced events.
 	Old Route
+	// Paths is the full equal-cost best set for Added/Replaced events,
+	// primary first, alternates ordered by next-hop address. It is a copy:
+	// watchers may retain it. Carrying the set in the event lets watchers
+	// (which run under the RIB's lock) consume alternates without calling
+	// back into the RIB.
+	Paths []Route
 }
 
 // Watcher consumes best-route changes. Watchers run synchronously under the
@@ -93,16 +107,20 @@ type Watcher func(Event)
 type RIB struct {
 	mu         sync.RWMutex
 	candidates map[netip.Prefix][]Route
-	best       map[netip.Prefix]Route
-	trie       *trieNode
-	watchers   []Watcher
+	// best holds the equal-cost best set per prefix: every candidate tied on
+	// (source, metric) with the winner, primary first, alternates ordered by
+	// next-hop address. Slices are replaced wholesale on reselection, never
+	// mutated in place, so readers may hold them across the lock.
+	best     map[netip.Prefix][]Route
+	trie     *trieNode
+	watchers []Watcher
 }
 
 // New creates an empty RIB.
 func New() *RIB {
 	return &RIB{
 		candidates: make(map[netip.Prefix][]Route),
-		best:       make(map[netip.Prefix]Route),
+		best:       make(map[netip.Prefix][]Route),
 		trie:       &trieNode{},
 	}
 }
@@ -181,46 +199,52 @@ func (r *RIB) PurgeSource(src Source) {
 }
 
 // ReplaceSource atomically swaps the full route set of one source, emitting
-// only the net changes — the operation OSPF performs after each SPF run.
+// only the net changes — the operation OSPF performs after each SPF run. The
+// set may carry several routes for one prefix (distinct next hops): they all
+// become candidates, which is how an ECMP-aware SPF publishes equal-cost
+// paths.
 func (r *RIB) ReplaceSource(src Source, routes []Route) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	seen := map[netip.Prefix]bool{}
+	byPrefix := map[netip.Prefix][]Route{}
 	for _, rt := range routes {
 		rt.Prefix = rt.Prefix.Masked()
 		rt.Source = src
-		seen[rt.Prefix] = true
-		list := r.candidates[rt.Prefix]
-		replaced := false
+		list := byPrefix[rt.Prefix]
+		dup := false
 		for i := range list {
-			if list[i].Source == src {
+			if list[i].NextHop == rt.NextHop {
 				list[i] = rt
-				replaced = true
+				dup = true
 				break
 			}
 		}
-		if !replaced {
+		if !dup {
 			list = append(list, rt)
 		}
-		r.candidates[rt.Prefix] = list
-		r.reselectLocked(rt.Prefix)
+		byPrefix[rt.Prefix] = list
+	}
+	touched := map[netip.Prefix]bool{}
+	for prefix := range byPrefix {
+		touched[prefix] = true
 	}
 	for prefix, list := range r.candidates {
-		if seen[prefix] {
-			continue
-		}
-		out := list[:0]
-		changed := false
 		for _, c := range list {
 			if c.Source == src {
-				changed = true
-				continue
+				touched[prefix] = true
+				break
 			}
-			out = append(out, c)
 		}
-		if !changed {
-			continue
+	}
+	for prefix := range touched {
+		list := r.candidates[prefix]
+		out := list[:0]
+		for _, c := range list {
+			if c.Source != src {
+				out = append(out, c)
+			}
 		}
+		out = append(out, byPrefix[prefix]...)
 		if len(out) == 0 {
 			delete(r.candidates, prefix)
 		} else {
@@ -242,35 +266,65 @@ func better(a, b Route) bool {
 	return a.NextHop.String() < b.NextHop.String()
 }
 
-// reselectLocked recomputes the best route for prefix and notifies watchers.
-func (r *RIB) reselectLocked(prefix netip.Prefix) {
-	list := r.candidates[prefix]
-	old, hadOld := r.best[prefix]
+// selectBest reduces a candidate list to its equal-cost best set: every
+// route tied with the winner on (source, metric), sorted by next-hop address
+// so the primary (index 0) matches better()'s deterministic tiebreak.
+func selectBest(list []Route) []Route {
 	if len(list) == 0 {
-		if hadOld {
-			delete(r.best, prefix)
-			r.trie.remove(prefix)
-			r.notifyLocked(Event{Type: RouteRemoved, Route: old})
-		}
-		return
+		return nil
 	}
-	bestIdx := 0
-	for i := 1; i < len(list); i++ {
-		if better(list[i], list[bestIdx]) {
-			bestIdx = i
+	top := list[0]
+	for _, c := range list[1:] {
+		if better(c, top) {
+			top = c
 		}
 	}
-	nb := list[bestIdx]
-	if hadOld && old == nb {
+	sel := make([]Route, 0, len(list))
+	for _, c := range list {
+		if c.Source == top.Source && c.Metric == top.Metric {
+			sel = append(sel, c)
+		}
+	}
+	sort.Slice(sel, func(i, j int) bool {
+		return sel[i].NextHop.String() < sel[j].NextHop.String()
+	})
+	return sel
+}
+
+func pathsEqual(a, b []Route) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// reselectLocked recomputes the equal-cost best set for prefix and notifies
+// watchers when the set changed.
+func (r *RIB) reselectLocked(prefix netip.Prefix) {
+	old := r.best[prefix]
+	sel := selectBest(r.candidates[prefix])
+	if pathsEqual(old, sel) {
 		return
 	}
-	r.best[prefix] = nb
-	r.trie.insert(prefix, nb)
-	if hadOld {
-		r.notifyLocked(Event{Type: RouteReplaced, Route: nb, Old: old})
-	} else {
-		r.notifyLocked(Event{Type: RouteAdded, Route: nb})
+	if len(sel) == 0 {
+		delete(r.best, prefix)
+		r.trie.remove(prefix)
+		r.notifyLocked(Event{Type: RouteRemoved, Route: old[0]})
+		return
 	}
+	r.best[prefix] = sel
+	r.trie.insert(prefix, sel)
+	ev := Event{Type: RouteAdded, Route: sel[0], Paths: append([]Route(nil), sel...)}
+	if len(old) > 0 {
+		ev.Type = RouteReplaced
+		ev.Old = old[0]
+	}
+	r.notifyLocked(ev)
 }
 
 func (r *RIB) notifyLocked(ev Event) {
@@ -279,7 +333,7 @@ func (r *RIB) notifyLocked(ev Event) {
 	}
 }
 
-// Lookup returns the best route for ip by longest-prefix match.
+// Lookup returns the primary best route for ip by longest-prefix match.
 func (r *RIB) Lookup(ip netip.Addr) (Route, bool) {
 	if !ip.Is4() {
 		return Route{}, false
@@ -289,13 +343,41 @@ func (r *RIB) Lookup(ip netip.Addr) (Route, bool) {
 	return r.trie.lookup(ip)
 }
 
-// Best returns the current best routes sorted by prefix.
+// LookupAll returns the full equal-cost best set for ip by longest-prefix
+// match — primary first, alternates ordered by next-hop address — or nil if
+// no route covers ip. The returned slice is a copy.
+func (r *RIB) LookupAll(ip netip.Addr) []Route {
+	if !ip.Is4() {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	rts := r.trie.lookupAll(ip)
+	if len(rts) == 0 {
+		return nil
+	}
+	return append([]Route(nil), rts...)
+}
+
+// BestPaths returns the equal-cost best set for an exact prefix (primary
+// first), or nil if the prefix has no route. The returned slice is a copy.
+func (r *RIB) BestPaths(prefix netip.Prefix) []Route {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	rts := r.best[prefix.Masked()]
+	if len(rts) == 0 {
+		return nil
+	}
+	return append([]Route(nil), rts...)
+}
+
+// Best returns the current primary best routes sorted by prefix.
 func (r *RIB) Best() []Route {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	out := make([]Route, 0, len(r.best))
-	for _, rt := range r.best {
-		out = append(out, rt)
+	for _, rts := range r.best {
+		out = append(out, rts[0])
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Prefix.Addr() != out[j].Prefix.Addr() {
@@ -313,10 +395,13 @@ func (r *RIB) Len() int {
 	return len(r.best)
 }
 
-// trieNode is a binary LPM trie over IPv4 prefixes.
+// trieNode is a binary LPM trie over IPv4 prefixes. Each terminal node holds
+// the prefix's equal-cost best set (primary first), shared with RIB.best —
+// the slices are replaced on reselection, never mutated, so storing them
+// without copying is safe.
 type trieNode struct {
-	child [2]*trieNode
-	route *Route
+	child  [2]*trieNode
+	routes []Route
 }
 
 func addrBit(a netip.Addr, i int) int {
@@ -324,7 +409,7 @@ func addrBit(a netip.Addr, i int) int {
 	return int(b[i/8]>>(7-uint(i%8))) & 1
 }
 
-func (n *trieNode) insert(p netip.Prefix, rt Route) {
+func (n *trieNode) insert(p netip.Prefix, rts []Route) {
 	cur := n
 	for i := 0; i < p.Bits(); i++ {
 		bit := addrBit(p.Addr(), i)
@@ -333,7 +418,7 @@ func (n *trieNode) insert(p netip.Prefix, rt Route) {
 		}
 		cur = cur.child[bit]
 	}
-	cur.route = &rt
+	cur.routes = rts
 }
 
 func (n *trieNode) remove(p netip.Prefix) {
@@ -345,15 +430,23 @@ func (n *trieNode) remove(p netip.Prefix) {
 		}
 		cur = cur.child[bit]
 	}
-	cur.route = nil
+	cur.routes = nil
 }
 
 func (n *trieNode) lookup(ip netip.Addr) (Route, bool) {
-	var best *Route
+	rts := n.lookupAll(ip)
+	if len(rts) == 0 {
+		return Route{}, false
+	}
+	return rts[0], true
+}
+
+func (n *trieNode) lookupAll(ip netip.Addr) []Route {
+	var best []Route
 	cur := n
 	for i := 0; ; i++ {
-		if cur.route != nil {
-			best = cur.route
+		if cur.routes != nil {
+			best = cur.routes
 		}
 		if i >= 32 {
 			break
@@ -364,8 +457,5 @@ func (n *trieNode) lookup(ip netip.Addr) (Route, bool) {
 		}
 		cur = next
 	}
-	if best == nil {
-		return Route{}, false
-	}
-	return *best, true
+	return best
 }

@@ -240,6 +240,139 @@ func TestRouteStringer(t *testing.T) {
 	}
 }
 
+// TestLookupAllTieOrdering pins the equal-cost contract: candidates tied on
+// (source, metric) all surface through LookupAll/BestPaths, ordered by
+// next-hop address with the primary (better()'s winner) first, and lower
+// metric or admin distance still collapses the set to a single winner.
+func TestLookupAllTieOrdering(t *testing.T) {
+	r := New()
+	p := pfx("10.10.0.0/16")
+	r.Add(Route{Prefix: p, NextHop: ip("3.3.3.3"), Iface: "eth3", Source: SourceOSPF, Metric: 10})
+	r.Add(Route{Prefix: p, NextHop: ip("1.1.1.1"), Iface: "eth1", Source: SourceOSPF, Metric: 10})
+	r.Add(Route{Prefix: p, NextHop: ip("2.2.2.2"), Iface: "eth2", Source: SourceOSPF, Metric: 10})
+	// Higher metric: not part of the equal-cost set.
+	r.Add(Route{Prefix: p, NextHop: ip("0.0.0.9"), Iface: "eth9", Source: SourceOSPF, Metric: 20})
+
+	all := r.LookupAll(ip("10.10.3.4"))
+	if len(all) != 3 {
+		t.Fatalf("LookupAll = %v, want 3 equal-cost paths", all)
+	}
+	for i, want := range []string{"1.1.1.1", "2.2.2.2", "3.3.3.3"} {
+		if all[i].NextHop != ip(want) {
+			t.Fatalf("path %d = %v, want via %s", i, all[i], want)
+		}
+	}
+	// The primary must agree with Lookup.
+	if rt, ok := r.Lookup(ip("10.10.3.4")); !ok || rt != all[0] {
+		t.Fatalf("Lookup = %v, LookupAll[0] = %v", rt, all[0])
+	}
+	if bp := r.BestPaths(p); !pathsEqual(bp, all) {
+		t.Fatalf("BestPaths = %v, want %v", bp, all)
+	}
+	// A better admin distance collapses the set.
+	r.Add(Route{Prefix: p, NextHop: ip("7.7.7.7"), Iface: "eth7", Source: SourceStatic})
+	if all := r.LookupAll(ip("10.10.3.4")); len(all) != 1 || all[0].NextHop != ip("7.7.7.7") {
+		t.Fatalf("after static add LookupAll = %v, want only static", all)
+	}
+	// No covering route → nil.
+	if all := r.LookupAll(ip("192.0.2.1")); all != nil {
+		t.Fatalf("LookupAll outside table = %v", all)
+	}
+	if bp := r.BestPaths(pfx("192.0.2.0/24")); bp != nil {
+		t.Fatalf("BestPaths outside table = %v", bp)
+	}
+}
+
+// TestWithdrawOneAlternate proves withdrawing one member of an equal-cost
+// set falls back to the survivors (with an event), and withdrawing the last
+// removes the prefix.
+func TestWithdrawOneAlternate(t *testing.T) {
+	r := New()
+	p := pfx("10.11.0.0/16")
+	r.Add(Route{Prefix: p, NextHop: ip("1.1.1.1"), Source: SourceOSPF, Metric: 10})
+	r.Add(Route{Prefix: p, NextHop: ip("2.2.2.2"), Source: SourceOSPF, Metric: 10})
+
+	r.Remove(p, SourceOSPF, ip("1.1.1.1"))
+	all := r.LookupAll(ip("10.11.0.1"))
+	if len(all) != 1 || all[0].NextHop != ip("2.2.2.2") {
+		t.Fatalf("after withdrawing 1.1.1.1: %v", all)
+	}
+	r.Remove(p, SourceOSPF, ip("2.2.2.2"))
+	if all := r.LookupAll(ip("10.11.0.1")); all != nil {
+		t.Fatalf("after withdrawing all: %v", all)
+	}
+}
+
+// TestWatcherEventsCarryPaths pins the multipath watcher contract: every
+// Added/Replaced event carries the full equal-cost set (primary first), the
+// set changing fires Replaced even when the primary is unchanged, and
+// re-adding an existing member stays silent.
+func TestWatcherEventsCarryPaths(t *testing.T) {
+	r := New()
+	var events []Event
+	r.Watch(func(ev Event) { events = append(events, ev) })
+	p := pfx("10.12.0.0/16")
+
+	a := Route{Prefix: p, NextHop: ip("1.1.1.1"), Source: SourceOSPF, Metric: 10}
+	b := Route{Prefix: p, NextHop: ip("2.2.2.2"), Source: SourceOSPF, Metric: 10}
+	r.Add(a)
+	r.Add(b) // primary (1.1.1.1) unchanged, set grows → Replaced
+	r.Add(b) // identical re-add → no event
+	r.Remove(p, SourceOSPF, b.NextHop)
+	r.Remove(p, SourceOSPF, a.NextHop)
+
+	want := []EventType{RouteAdded, RouteReplaced, RouteReplaced, RouteRemoved}
+	if len(events) != len(want) {
+		t.Fatalf("events = %+v, want %d", events, len(want))
+	}
+	for i, ty := range want {
+		if events[i].Type != ty {
+			t.Fatalf("event %d = %v, want %v", i, events[i].Type, ty)
+		}
+	}
+	if len(events[0].Paths) != 1 || events[0].Paths[0] != a {
+		t.Fatalf("added paths = %v", events[0].Paths)
+	}
+	grown := events[1]
+	if grown.Route != a || grown.Old != a {
+		t.Fatalf("set-grow event primary = %v old = %v, want %v", grown.Route, grown.Old, a)
+	}
+	if len(grown.Paths) != 2 || grown.Paths[0] != a || grown.Paths[1] != b {
+		t.Fatalf("set-grow paths = %v", grown.Paths)
+	}
+	if shrunk := events[2]; len(shrunk.Paths) != 1 || shrunk.Paths[0] != a {
+		t.Fatalf("set-shrink paths = %v", shrunk.Paths)
+	}
+	if events[3].Paths != nil {
+		t.Fatalf("removed event has paths: %v", events[3].Paths)
+	}
+}
+
+// TestReplaceSourceMultipath proves an SPF publishing several next hops for
+// one prefix lands them all as one equal-cost set, and the next run shrinks
+// it.
+func TestReplaceSourceMultipath(t *testing.T) {
+	r := New()
+	p := pfx("10.13.0.0/16")
+	r.ReplaceSource(SourceOSPF, []Route{
+		{Prefix: p, NextHop: ip("1.1.1.1"), Metric: 10},
+		{Prefix: p, NextHop: ip("2.2.2.2"), Metric: 10},
+	})
+	if all := r.LookupAll(ip("10.13.0.1")); len(all) != 2 {
+		t.Fatalf("LookupAll = %v, want 2", all)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("len = %d, want 1 prefix", r.Len())
+	}
+	r.ReplaceSource(SourceOSPF, []Route{
+		{Prefix: p, NextHop: ip("2.2.2.2"), Metric: 10},
+	})
+	all := r.LookupAll(ip("10.13.0.1"))
+	if len(all) != 1 || all[0].NextHop != ip("2.2.2.2") {
+		t.Fatalf("after shrink LookupAll = %v", all)
+	}
+}
+
 // Property: the trie LPM result always equals a brute-force scan over the
 // best routes.
 func TestLPMMatchesBruteForceQuick(t *testing.T) {
