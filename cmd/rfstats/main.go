@@ -7,16 +7,21 @@
 //	rfstats -topo grid -n 3 -h 3     # 3×3 grid, corner-to-corner
 //	rfstats -for 30s -every 2s       # longer run, slower refresh
 //	rfstats -replicas 3              # distributed control; merged views
+//	rfstats -te -watch 500ms         # TE loop on; re-dump placements live
 //
 // Each refresh prints the monitoring placement (which switch observes which
 // flow) and every link's windowed rate — the controller's view, built only
-// from exported counters, never from direct datapath inspection.
+// from exported counters, never from direct datapath inspection. With -te
+// the online traffic-engineering loop runs too, and -watch re-dumps the
+// view at the given interval with the optimizer's current path assignments
+// and cumulative migration count appended.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
 	"routeflow"
@@ -30,7 +35,12 @@ func main() {
 	every := flag.Duration("every", time.Second, "refresh period (wall time)")
 	runFor := flag.Duration("for", 10*time.Second, "traffic duration (wall time)")
 	replicas := flag.Int("replicas", 1, "rf-controller replicas")
+	te := flag.Bool("te", false, "run the online traffic-engineering loop")
+	watch := flag.Duration("watch", 0, "watch mode: re-dump at this interval with TE placements (overrides -every)")
 	flag.Parse()
+	if *watch > 0 {
+		*every = *watch
+	}
 
 	var g *routeflow.Topology
 	var hosts [2]int
@@ -48,12 +58,16 @@ func main() {
 	}
 
 	clk := routeflow.ScaledClock(*scale)
-	d, err := routeflow.New(g,
+	opts := []routeflow.Option{
 		routeflow.WithClock(clk),
 		routeflow.WithHosts(hosts[0], hosts[1]),
 		routeflow.WithReplicas(*replicas),
 		routeflow.WithTelemetry(),
-	)
+	}
+	if *te {
+		opts = append(opts, routeflow.WithTrafficEngineering())
+	}
+	d, err := routeflow.New(g, opts...)
 	if err != nil {
 		fatalf("deployment: %v", err)
 	}
@@ -84,8 +98,9 @@ func main() {
 	deadline := time.Now().Add(*runFor)
 	ticker := time.NewTicker(*every)
 	defer ticker.Stop()
+	showTE := *te || *watch > 0
 	for range ticker.C {
-		dump(d)
+		dump(d, showTE)
 		if time.Now().After(deadline) {
 			break
 		}
@@ -94,8 +109,9 @@ func main() {
 	fmt.Printf("\nstream: %d frames, %d gaps\n", st.Frames, st.Gaps)
 }
 
-// dump prints one refresh of the controller's aggregated telemetry view.
-func dump(d *routeflow.Deployment) {
+// dump prints one refresh of the controller's aggregated telemetry view,
+// with the TE optimizer's placements appended in watch/TE mode.
+func dump(d *routeflow.Deployment, showTE bool) {
 	snap := d.TelemetrySnapshot()
 	fmt.Printf("\n=== telemetry @ %v protocol time ===\n", d.Elapsed().Round(time.Millisecond))
 	fmt.Println("flows (observer-elected, one switch per flow):")
@@ -107,6 +123,25 @@ func dump(d *routeflow.Deployment) {
 	for _, l := range snap.Links {
 		fmt.Printf("  %d—%-3d %8d pkts %10d B  %8.1f pps %12.0f bps\n",
 			l.Link.A, l.Link.B, l.Packets, l.Bytes, l.RatePPS, l.RateBPS)
+	}
+	if !showTE {
+		return
+	}
+	assigned := d.TEAssignments()
+	fmt.Printf("traffic engineering: %d migrations, %d active path overrides\n",
+		d.TEMoveCount(), len(assigned))
+	pairs := make([][2]int, 0, len(assigned))
+	for p := range assigned {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i][0] != pairs[j][0] {
+			return pairs[i][0] < pairs[j][0]
+		}
+		return pairs[i][1] < pairs[j][1]
+	})
+	for _, p := range pairs {
+		fmt.Printf("  pair %d→%-3d pinned to path %v\n", p[0], p[1], assigned[p])
 	}
 }
 

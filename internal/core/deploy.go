@@ -21,6 +21,7 @@ import (
 	"routeflow/internal/quagga"
 	"routeflow/internal/rf"
 	"routeflow/internal/rpcconf"
+	"routeflow/internal/te"
 	"routeflow/internal/telemetry"
 	"routeflow/internal/topo"
 	"routeflow/internal/vnet"
@@ -95,6 +96,18 @@ type Options struct {
 	// never punted. Off by default — offloaded packets bypass per-flow
 	// counters, a deliberate hardware-offload-style semantic trade.
 	StatefulOffload bool
+	// TE enables the online traffic-engineering loop: telemetry link
+	// utilization is re-optimized every TEInterval, migrating the largest
+	// movable flows off hot links onto colder equal-cost paths via pinned
+	// flow entries. Implies Telemetry.
+	TE bool
+	// TEInterval paces optimization rounds (0 = 1s).
+	TEInterval time.Duration
+	// TEConfig tunes the optimizer (zero fields take te defaults).
+	TEConfig te.Config
+	// TELinkCapacityBPS is the modeled capacity of every link in bytes/sec
+	// for utilization math (0 = 1 MiB/s).
+	TELinkCapacityBPS float64
 }
 
 // Deployment is a fully wired automatic-configuration system under test: the
@@ -135,6 +148,16 @@ type Deployment struct {
 	telEpoch    uint64
 	telSig      string
 	telPlaced   []telemetry.Placement
+	// telPushMu serializes whole refreshTelemetry runs: the placement loop
+	// and the TE loop both call it, and program pushes must reach the
+	// platforms in epoch order.
+	telPushMu sync.Mutex
+
+	// Traffic-engineering state (te.go).
+	teMu       sync.Mutex
+	teEngine   *te.Engine
+	teAssigned map[[2]int][]int
+	teMoves    uint64
 
 	startedAt time.Time
 	mu        sync.Mutex
@@ -161,6 +184,9 @@ func NewDeployment(opts Options) (*Deployment, error) {
 	if !opts.Pool.IsValid() {
 		opts.Pool = netip.MustParsePrefix("172.16.0.0/16")
 	}
+	if opts.TE {
+		opts.Telemetry = true // TE consumes the telemetry utilization view
+	}
 	d := &Deployment{
 		opts:     opts,
 		clk:      opts.Clock,
@@ -172,6 +198,10 @@ func NewDeployment(opts Options) (*Deployment, error) {
 		hostEPs:  make(map[int]*netemu.Endpoint),
 		cables:   make(map[int][2]*netemu.Endpoint),
 		telStop:  make(chan struct{}),
+	}
+	if opts.TE {
+		d.teEngine = te.New(opts.TEConfig)
+		d.teAssigned = make(map[[2]int][]int)
 	}
 	if err := d.build(); err != nil {
 		d.Close()
@@ -457,6 +487,10 @@ func (d *Deployment) Start() error {
 		d.refreshTelemetry()
 		d.telWG.Add(1)
 		go d.telemetryLoop()
+		if d.opts.TE {
+			d.telWG.Add(1)
+			go d.teLoop()
+		}
 	}
 
 	for dpid, sw := range d.switches {

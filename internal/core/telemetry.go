@@ -19,6 +19,7 @@ import (
 	"routeflow/internal/rf"
 	"routeflow/internal/telemetry"
 	"routeflow/internal/topo"
+	"routeflow/internal/vnet"
 )
 
 // telemetryRefreshInterval paces placement recomputation (protocol time).
@@ -53,25 +54,73 @@ func monitorRuleFor(pl telemetry.Placement) openflow.MonitorRule {
 	return r
 }
 
+// linkUpFunc returns the live-link predicate over the deployment's cables.
+func (d *Deployment) linkUpFunc() func(topo.Link) bool {
+	linkIdx := make(map[topo.Link]int, d.graph.NumLinks())
+	for i, l := range d.graph.Links() {
+		linkIdx[l] = i
+	}
+	return func(l topo.Link) bool { return d.LinkIsUp(linkIdx[l]) }
+}
+
 // refreshTelemetry recomputes the monitoring program and, when it changed,
-// pushes each live replica its share under a bumped epoch.
+// pushes each live replica its share under a bumped epoch. Path pins are
+// re-derived and diff-pushed every refresh — under ECMP the pins are what
+// hold each monitored pair to the path its counters are charged along, and
+// the unconditional push re-seeds a failover successor's empty pin program.
 func (d *Deployment) refreshTelemetry() {
 	pairs := d.telemetryPairs()
 	if len(pairs) == 0 {
 		return
 	}
-	linkIdx := make(map[topo.Link]int, d.graph.NumLinks())
-	for i, l := range d.graph.Links() {
-		linkIdx[l] = i
+	d.telPushMu.Lock()
+	defer d.telPushMu.Unlock()
+	linkUp := d.linkUpFunc()
+	pls := telemetry.ComputePlacementsAssigned(d.graph, pairs, linkUp, d.teAssignedPaths())
+
+	// Path pins, split by mastership of each transit switch: every placed
+	// pair is held to its charged path by an explicit flow entry per hop
+	// (the destination switch delivers through its host flow). SetPins
+	// diffs internally, so an unchanged program pushes nothing.
+	nrep := len(d.reps)
+	ports := make(map[[2]int][2]uint16, 2*d.graph.NumLinks())
+	for _, l := range d.graph.Links() {
+		ports[[2]int{l.A, l.B}] = [2]uint16{uint16(l.APort), uint16(l.BPort)}
+		ports[[2]int{l.B, l.A}] = [2]uint16{uint16(l.BPort), uint16(l.APort)}
 	}
-	linkUp := func(l topo.Link) bool { return d.LinkIsUp(linkIdx[l]) }
-	pls := telemetry.ComputePlacements(d.graph, pairs, linkUp)
+	pinsFor := make([][]rf.PinFlow, nrep)
+	for _, pl := range pls {
+		for i := 0; i+1 < len(pl.Path); i++ {
+			u, v := pl.Path[i], pl.Path[i+1]
+			pp, ok := ports[[2]int{u, v}]
+			if !ok {
+				continue
+			}
+			dpid := DPIDForNode(u)
+			r, owned := d.ownerOfDPID(dpid)
+			if !owned || !d.reps[r].alive.Load() || d.reps[r].partitioned.Load() {
+				continue
+			}
+			pinsFor[r] = append(pinsFor[r], rf.PinFlow{
+				DPID:    dpid,
+				Src:     HostSubnet(pl.SrcNode),
+				Dst:     HostSubnet(pl.DstNode),
+				DlSrc:   vnet.MAC(dpid, pp[0]),
+				DlDst:   vnet.MAC(DPIDForNode(v), pp[1]),
+				OutPort: pp[0],
+			})
+		}
+	}
+	for i, rep := range d.reps {
+		if rep.alive.Load() {
+			rep.platform.SetPins(pinsFor[i])
+		}
+	}
 
 	// Split by mastership of the monitor switch. A flow whose monitor is
 	// currently orphaned (master dead, lease not yet lapsed) is left out
 	// this round; the rehome changes the program and the next refresh
 	// re-places it on the successor.
-	nrep := len(d.reps)
 	flows := make([][]telemetry.Placement, nrep)
 	rules := make([]map[uint64][]openflow.MonitorRule, nrep)
 	var sig strings.Builder

@@ -221,3 +221,32 @@ func TestSwitchForwardAllocBudget(t *testing.T) {
 		t.Fatalf("steady-state forward allocates %.2f allocs/op, budget is 0", avg)
 	}
 }
+
+// TestSwitchForwardAllocBudgetECMP is the same zero-alloc gate with an
+// equal-cost multipath flow carrying the traffic: bucket selection happens
+// once at cache fill, so the steady-state path must stay allocation-free
+// with ECMP enabled.
+func TestSwitchForwardAllocBudgetECMP(t *testing.T) {
+	sw := benchSwitch(t, 3, 16)
+	m := openflow.MatchAll()
+	m.Wildcards &^= openflow.WildcardDlType
+	m.DlType = uint16(pkt.EtherTypeIPv4)
+	m.SetNwDstPrefix(netip.MustParsePrefix("10.0.0.0/8"))
+	mp := &openflow.ActionMultipath{Buckets: []openflow.MultipathBucket{
+		{DlSrc: pkt.LocalMAC(0x51), DlDst: pkt.LocalMAC(0xD1), Port: 2},
+		{DlSrc: pkt.LocalMAC(0x52), DlDst: pkt.LocalMAC(0xD2), Port: 3},
+	}}
+	if n := sw.table.modify(&m, 1, []openflow.Action{mp}, true); n != 1 {
+		t.Fatalf("modify rewired %d flows, want 1", n)
+	}
+	frame := benchFrameFor(1, 0)
+	for i := 0; i < 4096; i++ { // warm cache, buffer pool and peer inbox
+		sw.handleFrame(1, frame)
+	}
+	avg := testing.AllocsPerRun(1000, func() {
+		sw.handleFrame(1, frame)
+	})
+	if avg > 0 {
+		t.Fatalf("ECMP steady-state forward allocates %.2f allocs/op, budget is 0", avg)
+	}
+}

@@ -319,3 +319,102 @@ func TestDataplaneHammer(t *testing.T) {
 		t.Fatalf("lookups=%d matched=%d", lookups, matched)
 	}
 }
+
+// TestMultipathResolvedAtCacheFill proves ECMP select groups are resolved to
+// concrete OF 1.0 actions at classify time: the published cache line carries
+// no multipath action, a microflow's bucket choice is stable across lookups,
+// and distinct microflows spread over the equal-cost buckets.
+func TestMultipathResolvedAtCacheFill(t *testing.T) {
+	tb := newFlowTable()
+	mp := &openflow.ActionMultipath{Buckets: []openflow.MultipathBucket{
+		{DlSrc: pkt.LocalMAC(0x10), DlDst: pkt.LocalMAC(0x20), Port: 2},
+		{DlSrc: pkt.LocalMAC(0x11), DlDst: pkt.LocalMAC(0x21), Port: 3},
+	}}
+	if err := tb.add(&flowEntry{match: openflow.MatchAll(), priority: 10,
+		actions: []openflow.Action{mp}, created: time.Now()}, false); err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now().UnixNano()
+
+	key := exactKeyFor(t, 1)
+	want := mp.Bucket(key.KeyHash())
+	a1, ok := tb.lookup(&key, 100, now)
+	if !ok {
+		t.Fatal("lookup miss")
+	}
+	if got := outPortOf(t, a1); got != want.Port {
+		t.Fatalf("fill chose port %d, want bucket port %d", got, want.Port)
+	}
+	ce := tb.cachedEntry(&key)
+	if ce == nil {
+		t.Fatal("lookup did not fill the cache")
+	}
+	if hasMultipath(ce.actions) {
+		t.Fatal("cache line still carries an unresolved multipath action")
+	}
+	var src, dst *pkt.MAC
+	for _, a := range ce.actions {
+		switch act := a.(type) {
+		case *openflow.ActionSetDlSrc:
+			src = &act.Addr
+		case *openflow.ActionSetDlDst:
+			dst = &act.Addr
+		}
+	}
+	if src == nil || dst == nil || *src != want.DlSrc || *dst != want.DlDst {
+		t.Fatalf("resolved rewrites %v/%v, want %v/%v", src, dst, want.DlSrc, want.DlDst)
+	}
+	a2, ok := tb.lookup(&key, 50, now)
+	if !ok || tb.cacheHitCount() != 1 {
+		t.Fatalf("second lookup ok=%v cacheHits=%d, want hit", ok, tb.cacheHitCount())
+	}
+	if got := outPortOf(t, a2); got != want.Port {
+		t.Fatalf("cached hit chose port %d, want %d — flow reordered", got, want.Port)
+	}
+
+	// Distinct microflows must cover both buckets, each stably per its own
+	// key hash.
+	seen := map[uint16]bool{}
+	for sport := uint16(1000); sport < 1032; sport++ {
+		frame := udpFrame(pkt.LocalMAC(0xA1), pkt.LocalMAC(0xA2),
+			"10.0.0.1", "10.9.0.9", sport, 2000, "k")
+		k, err := openflow.ExtractKey(1, frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, ok := tb.lookup(&k, 10, now)
+		if !ok {
+			t.Fatal("lookup miss")
+		}
+		p := outPortOf(t, a)
+		if wantBk := mp.Bucket(k.KeyHash()); p != wantBk.Port {
+			t.Fatalf("sport %d: port %d, want bucket port %d", sport, p, wantBk.Port)
+		}
+		seen[p] = true
+	}
+	if !seen[2] || !seen[3] {
+		t.Fatalf("32 microflows used only ports %v; want both equal-cost buckets", seen)
+	}
+}
+
+// TestDeleteFlowsMatchesMultipathOutPort pins the OFPFF delete out_port
+// filter against select groups: a delete filtered to a port reachable only
+// through a multipath bucket must still remove the flow.
+func TestDeleteFlowsMatchesMultipathOutPort(t *testing.T) {
+	tb := newFlowTable()
+	mp := &openflow.ActionMultipath{Buckets: []openflow.MultipathBucket{
+		{DlSrc: pkt.LocalMAC(1), DlDst: pkt.LocalMAC(2), Port: 7},
+		{DlSrc: pkt.LocalMAC(1), DlDst: pkt.LocalMAC(3), Port: 8},
+	}}
+	if err := tb.add(&flowEntry{match: openflow.MatchAll(), priority: 10,
+		actions: []openflow.Action{mp}, created: time.Now()}, false); err != nil {
+		t.Fatal(err)
+	}
+	m := openflow.MatchAll()
+	if removed := tb.deleteFlows(&m, 0, 9, false); len(removed) != 0 {
+		t.Fatalf("delete filtered to port 9 removed %d flows", len(removed))
+	}
+	if removed := tb.deleteFlows(&m, 0, 8, false); len(removed) != 1 {
+		t.Fatalf("delete filtered to bucket port 8 removed %d flows, want 1", len(removed))
+	}
+}

@@ -764,6 +764,14 @@ func (s *Switch) takeBuffer(id uint32) (bufferedPacket, bool) {
 // are per-delivery copies owned until handleFrame returns; buffered and
 // packet-out frames are owned by the releasing message).
 func (s *Switch) forward(inPort uint16, frame []byte, actions []openflow.Action) {
+	if hasMultipath(actions) {
+		// Packet-outs and buffer releases can carry a multipath action
+		// verbatim from the controller; resolve it against the frame's own
+		// key so the bucket choice agrees with what the flow table would do.
+		if key, err := openflow.ExtractKey(inPort, frame); err == nil {
+			actions = resolveMultipath(actions, &key)
+		}
+	}
 	out := applyRewrites(frame, actions)
 	for _, a := range actions {
 		o, ok := a.(*openflow.ActionOutput)

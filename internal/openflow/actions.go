@@ -21,7 +21,13 @@ const (
 	ActionTypeSetTpSrc   uint16 = 9
 	ActionTypeSetTpDst   uint16 = 10
 	ActionTypeEnqueue    uint16 = 11
-	ActionTypeVendor     uint16 = 0xffff
+	// ActionTypeMultipath is a routeflow extension (like the telemetry
+	// message family): one action carrying the equal-cost bucket set of an
+	// ECMP route, selected per microflow by key hash. OpenFlow 1.0 has no
+	// group table; this is OF1.1 select-group semantics folded into a single
+	// action so ECMP flow entries still travel over the 1.0 codec.
+	ActionTypeMultipath uint16 = 12
+	ActionTypeVendor    uint16 = 0xffff
 )
 
 // Action is one entry of a flow-mod or packet-out action list.
@@ -185,6 +191,51 @@ func (a *ActionEnqueue) appendTo(b []byte) []byte {
 	return binary.BigEndian.AppendUint32(b, a.QueueID)
 }
 
+// MultipathBucket is one equal-cost way out of a switch: the L2 rewrites and
+// output port of a single next hop.
+type MultipathBucket struct {
+	DlSrc, DlDst pkt.MAC
+	Port         uint16
+}
+
+// ActionMultipath forwards the packet out one of several equal-cost buckets,
+// selected by hashing the packet's exact-match key — so every packet of one
+// microflow takes the same bucket (no reordering) while distinct flows spread
+// across all of them. The switch resolves the bucket at classify time and
+// caches the concrete rewrites+output, keeping the per-packet path exact.
+//
+// Buckets must be non-empty and is ordered (by next-hop address, as the RIB
+// orders equal-cost sets): selection is Buckets[hash % len], a pure function
+// of (key, bucket list) that is stable across cache invalidations and
+// identical on every replica.
+type ActionMultipath struct {
+	Buckets []MultipathBucket
+}
+
+// ActionType implements Action.
+func (a *ActionMultipath) ActionType() uint16 { return ActionTypeMultipath }
+
+// Bucket returns the bucket a key hash selects. It panics on an empty bucket
+// list, which encoding rejects anyway.
+func (a *ActionMultipath) Bucket(hash uint64) MultipathBucket {
+	return a.Buckets[hash%uint64(len(a.Buckets))]
+}
+
+func (a *ActionMultipath) appendTo(b []byte) []byte {
+	// Header (type, len, nbuckets, pad) then 16 bytes per bucket
+	// (port, dl_src, dl_dst, pad) — 8-byte aligned throughout.
+	b = appendActionHeader(b, ActionTypeMultipath, uint16(8+16*len(a.Buckets)))
+	b = binary.BigEndian.AppendUint16(b, uint16(len(a.Buckets)))
+	b = append(b, 0, 0)
+	for _, bk := range a.Buckets {
+		b = binary.BigEndian.AppendUint16(b, bk.Port)
+		b = append(b, bk.DlSrc[:]...)
+		b = append(b, bk.DlDst[:]...)
+		b = append(b, 0, 0)
+	}
+	return b
+}
+
 // ActionVendor is an opaque vendor action.
 type ActionVendor struct {
 	Vendor uint32
@@ -251,6 +302,10 @@ func CloneActions(actions []Action) []Action {
 			out[i] = &cp
 		case *ActionEnqueue:
 			cp := *act
+			out[i] = &cp
+		case *ActionMultipath:
+			cp := *act
+			cp.Buckets = append([]MultipathBucket(nil), act.Buckets...)
 			out[i] = &cp
 		case *ActionVendor:
 			cp := *act
@@ -334,6 +389,23 @@ func decodeOneAction(t uint16, r *rbuf) (Action, error) {
 		a := &ActionEnqueue{Port: r.u16()}
 		r.skip(6)
 		a.QueueID = r.u32()
+		return a, r.err
+	case ActionTypeMultipath:
+		n := int(r.u16())
+		r.skip(2)
+		if r.err != nil {
+			return nil, r.err
+		}
+		if n == 0 || r.remaining() != 16*n {
+			return nil, fmt.Errorf("multipath action: %d buckets in %d body bytes", n, r.remaining())
+		}
+		a := &ActionMultipath{Buckets: make([]MultipathBucket, n)}
+		for i := range a.Buckets {
+			a.Buckets[i].Port = r.u16()
+			copy(a.Buckets[i].DlSrc[:], r.take(6))
+			copy(a.Buckets[i].DlDst[:], r.take(6))
+			r.skip(2)
+		}
 		return a, r.err
 	case ActionTypeVendor:
 		a := &ActionVendor{Vendor: r.u32()}

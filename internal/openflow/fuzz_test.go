@@ -37,6 +37,13 @@ func FuzzUnmarshal(f *testing.F) {
 				&ActionSetDlSrc{Addr: pkt.LocalMAC(1)},
 				&ActionOutput{Port: 4},
 			}},
+		&FlowMod{Match: MatchAll(), Command: FlowModAdd, BufferID: NoBuffer,
+			OutPort: PortNone, Actions: []Action{
+				&ActionMultipath{Buckets: []MultipathBucket{
+					{DlSrc: pkt.LocalMAC(1), DlDst: pkt.LocalMAC(2), Port: 2},
+					{DlSrc: pkt.LocalMAC(1), DlDst: pkt.LocalMAC(3), Port: 3},
+				}},
+			}},
 		&StatsRequest{StatsType: StatsFlow,
 			Flow: &FlowStatsRequest{Match: MatchAll(), TableID: 0xff, OutPort: PortNone}},
 		&StatsReply{StatsType: StatsDesc, Desc: &DescStats{Manufacturer: "routeflow"}},

@@ -169,6 +169,10 @@ func TestAllActionsRoundTrip(t *testing.T) {
 		&ActionSetTpSrc{Port: 5004},
 		&ActionSetTpDst{Port: 5005},
 		&ActionEnqueue{Port: 1, QueueID: 3},
+		&ActionMultipath{Buckets: []MultipathBucket{
+			{DlSrc: pkt.LocalMAC(5), DlDst: pkt.LocalMAC(6), Port: 2},
+			{DlSrc: pkt.LocalMAC(5), DlDst: pkt.LocalMAC(7), Port: 3},
+		}},
 		&ActionVendor{Vendor: 0x1234, Data: []byte{1, 2, 3}}, // padded to 8n
 	}
 	m := &FlowMod{Match: MatchAll(), Command: FlowModAdd, BufferID: NoBuffer,
@@ -183,15 +187,52 @@ func TestAllActionsRoundTrip(t *testing.T) {
 	if len(got.Actions) != len(actions) {
 		t.Fatalf("decoded %d actions, want %d", len(got.Actions), len(actions))
 	}
-	for i := range actions[:12] {
+	for i := range actions[:13] {
 		if !reflect.DeepEqual(got.Actions[i], actions[i]) {
 			t.Fatalf("action %d: got %#v want %#v", i, got.Actions[i], actions[i])
 		}
 	}
-	v := got.Actions[12].(*ActionVendor)
+	v := got.Actions[13].(*ActionVendor)
 	// Vendor data is zero-padded to an 8-byte multiple on the wire.
 	if v.Vendor != 0x1234 || !bytes.Equal(v.Data[:3], []byte{1, 2, 3}) {
 		t.Fatalf("vendor action = %#v", v)
+	}
+}
+
+// TestActionMultipathWire pins the extension action's exact wire layout
+// (8-byte header with bucket count, 16 bytes per bucket) and its decode
+// robustness: a bucket count disagreeing with the action length is rejected,
+// as is an empty bucket list.
+func TestActionMultipathWire(t *testing.T) {
+	a := &ActionMultipath{Buckets: []MultipathBucket{
+		{DlSrc: pkt.MAC{1, 2, 3, 4, 5, 6}, DlDst: pkt.MAC{7, 8, 9, 10, 11, 12}, Port: 0x0203},
+	}}
+	wire := a.appendTo(nil)
+	want := []byte{
+		0, 12, 0, 24, // type=multipath, len=8+16
+		0, 1, 0, 0, // 1 bucket, pad
+		2, 3, // port
+		1, 2, 3, 4, 5, 6, // dl_src
+		7, 8, 9, 10, 11, 12, // dl_dst
+		0, 0, // pad
+	}
+	if !bytes.Equal(wire, want) {
+		t.Fatalf("wire = %x, want %x", wire, want)
+	}
+	// Per-flow stability: the same hash always picks the same bucket.
+	two := &ActionMultipath{Buckets: []MultipathBucket{{Port: 1}, {Port: 2}}}
+	if two.Bucket(4).Port != 1 || two.Bucket(5).Port != 2 {
+		t.Fatalf("bucket selection: %v %v", two.Bucket(4), two.Bucket(5))
+	}
+
+	bad := append([]byte(nil), wire...)
+	bad[5] = 2 // claims 2 buckets, body has 1
+	if _, err := decodeActions(&rbuf{b: bad}, len(bad)); err == nil {
+		t.Fatal("bucket-count mismatch accepted")
+	}
+	empty := []byte{0, 12, 0, 8, 0, 0, 0, 0}
+	if _, err := decodeActions(&rbuf{b: empty}, len(empty)); err == nil {
+		t.Fatal("empty bucket list accepted")
 	}
 }
 

@@ -43,10 +43,15 @@ func (i *Instance) runSPF() {
 	i.spfRun++
 	i.mu.Unlock()
 
-	// Dijkstra from me over bidirectional links.
+	// Dijkstra from me over bidirectional links, tracking ALL equal-cost
+	// first hops per destination (ECMP, §16.1's "multiple equal-cost paths"
+	// clause). firstHops[v] is final once v is extracted: every shortest-path
+	// predecessor of v sits at strictly smaller distance (positive costs), so
+	// it was extracted — and its own set finalized — before v, which makes
+	// the result independent of tie-breaking in the extraction order.
 	const inf = int(^uint(0) >> 1)
 	dist := map[uint32]int{me: 0}
-	firstHop := map[uint32]uint32{} // destination router → first-hop router
+	firstHops := map[uint32]map[uint32]bool{} // destination router → first-hop routers
 	visited := map[uint32]bool{}
 	for {
 		// Extract cheapest unvisited.
@@ -63,70 +68,83 @@ func (i *Instance) runSPF() {
 		}
 		visited[u] = true
 		for v, cost := range adj[u] {
-			back, ok := adj[v][u]
-			_ = back
-			if !ok {
+			if _, ok := adj[v][u]; !ok {
 				continue // unidirectional: not yet usable
 			}
+			via := firstHops[u]
+			if u == me {
+				via = map[uint32]bool{v: true}
+			}
 			nd := best + int(cost)
-			if old, seen := dist[v]; !seen || nd < old {
+			old, seen := dist[v]
+			switch {
+			case !seen || nd < old:
 				dist[v] = nd
-				if u == me {
-					firstHop[v] = v
-				} else {
-					firstHop[v] = firstHop[u]
+				fh := make(map[uint32]bool, len(via))
+				for id := range via {
+					fh[id] = true
+				}
+				firstHops[v] = fh
+			case nd == old:
+				for id := range via {
+					firstHops[v][id] = true
 				}
 			}
 		}
 	}
 
 	// Routes: for every reachable router's stub links, route the prefix via
-	// the first hop toward that router. Our own stubs are connected routes,
-	// not OSPF's business.
+	// every equal-cost first hop toward that router. Our own stubs are
+	// connected routes, not OSPF's business.
 	var routes []rib.Route
 	seen := map[netip.Prefix]int{}
 	for routerID, d := range dist {
 		if routerID == me {
 			continue
 		}
-		fh := firstHop[routerID]
-		ifc := nbIface[fh]
-		if ifc == nil {
-			continue
-		}
-		// Next hop address: the first-hop router's interface address on the
-		// link to us, from its LSA's p2p link data.
-		nhRaw, ok := linkData[[2]uint32{fh, me}]
-		if !ok {
-			continue
-		}
-		nh := addr(nhRaw)
 		for _, st := range stubs[routerID] {
 			bits := maskBits(st.Data)
 			prefix := netip.PrefixFrom(addr(st.ID), bits).Masked()
 			metric := uint32(d) + uint32(st.Metric)
-			if old, dup := seen[prefix]; dup && old <= int(metric) {
-				continue
+			if old, dup := seen[prefix]; !dup || int(metric) < old {
+				seen[prefix] = int(metric)
 			}
-			seen[prefix] = int(metric)
-			routes = append(routes, rib.Route{
-				Prefix:  prefix,
-				NextHop: nh,
-				Iface:   ifc.name,
-				Source:  rib.SourceOSPF,
-				Metric:  metric,
-			})
+			for fh := range firstHops[routerID] {
+				ifc := nbIface[fh]
+				if ifc == nil {
+					continue
+				}
+				// Next hop address: the first-hop router's interface address
+				// on the link to us, from its LSA's p2p link data.
+				nhRaw, ok := linkData[[2]uint32{fh, me}]
+				if !ok {
+					continue
+				}
+				routes = append(routes, rib.Route{
+					Prefix:  prefix,
+					NextHop: addr(nhRaw),
+					Iface:   ifc.name,
+					Source:  rib.SourceOSPF,
+					Metric:  metric,
+				})
+			}
 		}
 	}
-	// Dedup keeps the lowest metric per prefix: rebuild the final set.
+	// Keep only the lowest metric per prefix; several routers can advertise
+	// one stub prefix (both ends of a link), so dedup by next hop too.
 	final := make([]rib.Route, 0, len(routes))
-	chosen := map[netip.Prefix]bool{}
-	for k := len(routes) - 1; k >= 0; k-- { // later entries replaced earlier
-		r := routes[k]
-		if chosen[r.Prefix] || seen[r.Prefix] != int(r.Metric) {
+	chosen := map[netip.Prefix]map[netip.Addr]bool{}
+	for _, r := range routes {
+		if seen[r.Prefix] != int(r.Metric) {
 			continue
 		}
-		chosen[r.Prefix] = true
+		if chosen[r.Prefix] == nil {
+			chosen[r.Prefix] = map[netip.Addr]bool{}
+		}
+		if chosen[r.Prefix][r.NextHop] {
+			continue
+		}
+		chosen[r.Prefix][r.NextHop] = true
 		final = append(final, r)
 	}
 	i.cfg.RIB.ReplaceSource(rib.SourceOSPF, final)

@@ -1,0 +1,150 @@
+package rf
+
+// Traffic-engineering path pins: explicit per-pair flow entries the TE
+// optimizer lays over the RIB-derived routes. A pin matches one (source
+// subnet, destination subnet) pair at a priority above every prefix route
+// and below the host /32 fast path, and forwards along the TE-assigned
+// path hop with the usual MAC rewrite — so a pinned pair follows exactly
+// the path telemetry charges it to, while unpinned traffic keeps riding
+// the ECMP route flows. Pins are desired state: they ride the same
+// non-blocking-send + repair-loop + reconnect-replay discipline as route
+// flows, and die with the switch on Release/teardown.
+
+import (
+	"net/netip"
+
+	"routeflow/internal/openflow"
+	"routeflow/internal/pkt"
+)
+
+// PinFlowPriority sits above any prefix route (100+bits, at most 132 for a
+// /32) and below the host fast path (500): a pin steers transit hops while
+// delivery at the destination edge switch stays with the learned-host flow.
+const PinFlowPriority = 400
+
+// PinFlow is one TE path pin: on switch DPID, IPv4 traffic from Src to Dst
+// is rewritten to DlSrc/DlDst and forwarded out OutPort.
+type PinFlow struct {
+	DPID         uint64
+	Src, Dst     netip.Prefix
+	DlSrc, DlDst pkt.MAC
+	OutPort      uint16
+}
+
+type pinKey struct{ src, dst netip.Prefix }
+
+// SetPins replaces the whole pin program (full-replace semantics, like
+// SetTelemetry): pins that disappeared are deleted from their switches, new
+// or changed ones are (re)installed — an add with identical match and
+// priority replaces in place on the switch — and unchanged ones are left
+// alone. Dropped sends mark the switch dirty for repair.
+func (p *Platform) SetPins(pins []PinFlow) {
+	next := make(map[uint64]map[pinKey]PinFlow)
+	for _, pf := range pins {
+		if next[pf.DPID] == nil {
+			next[pf.DPID] = make(map[pinKey]PinFlow)
+		}
+		next[pf.DPID][pinKey{pf.Src, pf.Dst}] = pf
+	}
+	type change struct {
+		dpid uint64
+		mods []*openflow.FlowMod
+	}
+	var changes []change
+	p.mu.Lock()
+	dpids := make(map[uint64]bool, len(next)+len(p.pins))
+	for dpid := range next {
+		dpids[dpid] = true
+	}
+	for dpid := range p.pins {
+		dpids[dpid] = true
+	}
+	for dpid := range dpids {
+		old, nw := p.pins[dpid], next[dpid]
+		ch := change{dpid: dpid}
+		for k, pf := range old {
+			if _, keep := nw[k]; !keep {
+				ch.mods = append(ch.mods, pinDelete(pf))
+			}
+		}
+		for k, pf := range nw {
+			if old[k] != pf {
+				ch.mods = append(ch.mods, pinFlowMod(pf))
+			}
+		}
+		if len(ch.mods) > 0 {
+			p.flowGen[dpid]++
+			changes = append(changes, ch)
+		}
+	}
+	p.pins = next
+	p.mu.Unlock()
+	for _, ch := range changes {
+		sc, ok := p.ctl.Switch(ch.dpid)
+		if !ok {
+			continue // the reconnect replay in onSwitchUp covers it
+		}
+		for _, fm := range ch.mods {
+			if err := sc.TrySend(fm); err != nil {
+				p.markDirty(ch.dpid)
+			}
+		}
+	}
+}
+
+// Pins snapshots the active pin program in unspecified order (stats, tests).
+func (p *Platform) Pins() []PinFlow {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []PinFlow
+	for _, m := range p.pins {
+		for _, pf := range m {
+			out = append(out, pf)
+		}
+	}
+	return out
+}
+
+func pinMatch(pf PinFlow) openflow.Match {
+	m := openflow.MatchAll()
+	m.Wildcards &^= openflow.WildcardDlType
+	m.DlType = uint16(pkt.EtherTypeIPv4)
+	m.SetNwSrcPrefix(pf.Src)
+	m.SetNwDstPrefix(pf.Dst)
+	return m
+}
+
+func pinFlowMod(pf PinFlow) *openflow.FlowMod {
+	return &openflow.FlowMod{
+		Match:    pinMatch(pf),
+		Command:  openflow.FlowModAdd,
+		Priority: PinFlowPriority,
+		BufferID: openflow.NoBuffer,
+		OutPort:  openflow.PortNone,
+		Actions: []openflow.Action{
+			&openflow.ActionSetDlSrc{Addr: pf.DlSrc},
+			&openflow.ActionSetDlDst{Addr: pf.DlDst},
+			&openflow.ActionOutput{Port: pf.OutPort},
+		},
+	}
+}
+
+func pinDelete(pf PinFlow) *openflow.FlowMod {
+	return &openflow.FlowMod{
+		Match:    pinMatch(pf),
+		Command:  openflow.FlowModDeleteStrict,
+		Priority: PinFlowPriority,
+		BufferID: openflow.NoBuffer,
+		OutPort:  openflow.PortNone,
+	}
+}
+
+// pinModsLocked builds the install messages for one switch's pins (resync
+// and reconnect replay). Callers hold mu.
+func (p *Platform) pinModsLocked(dpid uint64) []*openflow.FlowMod {
+	out := make([]*openflow.FlowMod, 0, len(p.pins[dpid]))
+	for _, pf := range p.pins[dpid] {
+		out = append(out, pinFlowMod(pf))
+	}
+	return out
+}

@@ -104,6 +104,9 @@ type Platform struct {
 	// replaying.
 	needsWipe map[uint64]bool
 	flows     map[uint64]map[netip.Prefix]*openflow.FlowMod // desired state
+	// pins is the TE path-pin program (pins.go), desired state alongside
+	// flows: per switch, per (src,dst) pair, the pinned hop.
+	pins map[uint64]map[pinKey]PinFlow
 	// dirty marks switches whose flow state may have diverged from desired
 	// (a non-blocking send was dropped); the repair loop resyncs them.
 	dirty map[uint64]bool
@@ -148,6 +151,7 @@ func New(cfg Config) (*Platform, error) {
 		owned:     make(map[uint64]bool),
 		needsWipe: make(map[uint64]bool),
 		flows:     make(map[uint64]map[netip.Prefix]*openflow.FlowMod),
+		pins:      make(map[uint64]map[pinKey]PinFlow),
 		dirty:     make(map[uint64]bool),
 		flowGen:   make(map[uint64]uint64),
 		stop:      make(chan struct{}),
@@ -395,6 +399,7 @@ func (p *Platform) teardownSwitch(dpid uint64) {
 	delete(p.vms, dpid)
 	delete(p.asns, dpid)
 	delete(p.flows, dpid)
+	delete(p.pins, dpid)
 	p.flowGen[dpid]++
 	for a, o := range p.addrIndex {
 		if o.dpid == dpid {
@@ -614,6 +619,7 @@ func (p *Platform) onSwitchUp(sc *ctlkit.SwitchConn) {
 		cp := *fm
 		pending = append(pending, &cp)
 	}
+	pending = append(pending, p.pinModsLocked(sc.DPID())...)
 	p.mu.Unlock()
 	for _, fm := range pending {
 		fm.SetXID(0)
@@ -702,6 +708,7 @@ func (p *Platform) resyncFlows(dpid uint64) bool {
 		cp := *fm
 		pending = append(pending, &cp)
 	}
+	pending = append(pending, p.pinModsLocked(dpid)...)
 	p.mu.Unlock()
 	ok = true
 	for _, fm := range pending {
@@ -765,7 +772,7 @@ func (p *Platform) onFIBEvent(dpid uint64, ev rib.Event) {
 	}
 	switch ev.Type {
 	case rib.RouteAdded, rib.RouteReplaced:
-		fm, ok := p.routeToFlow(dpid, rt)
+		fm, ok := p.routeToFlow(dpid, rt, ev.Paths)
 		if !ok {
 			return
 		}
@@ -775,34 +782,58 @@ func (p *Platform) onFIBEvent(dpid uint64, ev rib.Event) {
 	}
 }
 
-// routeToFlow builds the flow entry for one VM route.
-func (p *Platform) routeToFlow(dpid uint64, rt rib.Route) (*openflow.FlowMod, bool) {
-	port, ok := portOfIface(rt.Iface)
-	if !ok || !rt.NextHop.IsValid() {
-		return nil, false
+// routeToFlow builds the flow entry for one VM route set. paths is the full
+// equal-cost set (primary first); when empty the single route rt stands
+// alone. One viable next hop yields the classic rewrite+output triple —
+// byte-identical to the pre-ECMP install — while several yield a multipath
+// action whose bucket the switch selects per microflow key hash, so equal-
+// cost alternates share load without ever reordering one flow.
+func (p *Platform) routeToFlow(dpid uint64, rt rib.Route, paths []rib.Route) (*openflow.FlowMod, bool) {
+	if len(paths) == 0 {
+		paths = []rib.Route{rt}
 	}
+	var buckets []openflow.MultipathBucket
 	p.mu.Lock()
-	owner, known := p.addrIndex[rt.NextHop]
+	for _, path := range paths {
+		port, ok := portOfIface(path.Iface)
+		if !ok || !path.NextHop.IsValid() {
+			continue
+		}
+		owner, known := p.addrIndex[path.NextHop]
+		if !known {
+			continue // next hop is not a VM interface we assigned
+		}
+		buckets = append(buckets, openflow.MultipathBucket{
+			DlSrc: vnet.MAC(dpid, port),
+			DlDst: vnet.MAC(owner.dpid, owner.port),
+			Port:  port,
+		})
+	}
 	p.mu.Unlock()
-	if !known {
-		return nil, false // next hop is not a VM interface we assigned
+	if len(buckets) == 0 {
+		return nil, false
 	}
 	match := openflow.MatchAll()
 	match.Wildcards &^= openflow.WildcardDlType
 	match.DlType = uint16(pkt.EtherTypeIPv4)
 	match.SetNwDstPrefix(rt.Prefix)
-	return &openflow.FlowMod{
+	fm := &openflow.FlowMod{
 		Match:    match,
 		Command:  openflow.FlowModAdd,
 		Priority: uint16(100 + rt.Prefix.Bits()),
 		BufferID: openflow.NoBuffer,
 		OutPort:  openflow.PortNone,
-		Actions: []openflow.Action{
-			&openflow.ActionSetDlSrc{Addr: vnet.MAC(dpid, port)},
-			&openflow.ActionSetDlDst{Addr: vnet.MAC(owner.dpid, owner.port)},
-			&openflow.ActionOutput{Port: port},
-		},
-	}, true
+	}
+	if len(buckets) == 1 {
+		fm.Actions = []openflow.Action{
+			&openflow.ActionSetDlSrc{Addr: buckets[0].DlSrc},
+			&openflow.ActionSetDlDst{Addr: buckets[0].DlDst},
+			&openflow.ActionOutput{Port: buckets[0].Port},
+		}
+	} else {
+		fm.Actions = []openflow.Action{&openflow.ActionMultipath{Buckets: buckets}}
+	}
+	return fm, true
 }
 
 func (p *Platform) installFlow(dpid uint64, prefix netip.Prefix, fm *openflow.FlowMod) {
@@ -883,12 +914,13 @@ func (p *Platform) FlowCount(dpid uint64) int {
 func (p *Platform) DesiredFlows(dpid uint64) []*openflow.FlowMod {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	out := make([]*openflow.FlowMod, 0, len(p.flows[dpid]))
+	out := make([]*openflow.FlowMod, 0, len(p.flows[dpid])+len(p.pins[dpid]))
 	for _, fm := range p.flows[dpid] {
 		cp := *fm
 		cp.Actions = openflow.CloneActions(fm.Actions)
 		out = append(out, &cp)
 	}
+	out = append(out, p.pinModsLocked(dpid)...)
 	return out
 }
 

@@ -305,6 +305,44 @@ func Curated() []Spec {
 				{Kind: FaultSwitchCrash, Node: 0},
 			},
 		}),
+
+		// ——— Traffic-engineering family: the online optimizer migrates
+		// Zipf-skewed, time-shifting load across equal-cost paths while the
+		// scheduled faults race it. Every invariant — no-loop, no-blackhole,
+		// flow/pin consistency, telemetry placement and conservation — must
+		// hold at every quiesce point with the optimizer live.
+		gentle(Spec{
+			// A k=4 fat-tree under a shifting hot spot: the fleet's heavy
+			// hitters walk across host pairs while a pod-0 uplink dies and
+			// returns — the TE loop races rerouting, and a TE pin whose path
+			// loses the link must fall back instead of blackholing.
+			Name:        "fattree4-te-hotlink-shift",
+			Description: "TE migrates shifting hot flows while a fat-tree uplink dies and returns",
+			Topology:    topo.FatTree(4), HostNodes: []int{6, 7, 18, 19}, Seed: 40,
+			TE: true, FleetStreams: 400,
+			Faults: []Fault{
+				{Kind: FaultLinkDown, Link: 0},
+				{Kind: FaultLinkUp, Link: 0},
+			},
+		}),
+		gentle(Spec{
+			// Two replicas shard a 3×3 grid with TE running; replica 1 is
+			// killed. The survivor adopts its switches, re-seeds their pins
+			// from the deployment's assignment state, and the optimizer keeps
+			// going — counters exactly-once across the failover.
+			Name:        "grid9-te-master-kill",
+			Description: "TE keeps optimizing through a master replica kill",
+			Topology:    topo.Grid(3, 3), HostNodes: []int{0, 2, 6, 8}, Seed: 41,
+			TE: true, FleetStreams: 300,
+			Cluster: core.ClusterSpec{
+				Replicas:   2,
+				LeaseTTL:   500 * time.Millisecond,
+				LeaseRenew: 100 * time.Millisecond,
+			},
+			Faults: []Fault{
+				{Kind: FaultReplicaKill, Replica: 1},
+			},
+		}),
 	}
 }
 

@@ -91,14 +91,57 @@ func firstOutput(actions []openflow.Action) (uint16, bool) {
 	return 0, false
 }
 
-// matchFlow resolves key against a priority-ordered flow-table snapshot.
-func matchFlow(flows []ofswitch.FlowInfo, key *openflow.Match) (outPort uint16, ok bool) {
-	for i := range flows {
-		if flows[i].Match.Covers(key) {
-			return firstOutput(flows[i].Actions)
+// resolveMultipath replaces each ECMP group with the bucket the key's hash
+// selects, mirroring the switch's classify-time resolution, so the walk
+// follows the same concrete path a real frame with this key would take.
+func resolveMultipath(actions []openflow.Action, key *openflow.Match) []openflow.Action {
+	resolved := false
+	for _, a := range actions {
+		if _, ok := a.(*openflow.ActionMultipath); ok {
+			resolved = true
 		}
 	}
-	return 0, false
+	if !resolved {
+		return actions
+	}
+	h := key.KeyHash()
+	out := make([]openflow.Action, 0, len(actions)+2)
+	for _, a := range actions {
+		mp, ok := a.(*openflow.ActionMultipath)
+		if !ok {
+			out = append(out, a)
+			continue
+		}
+		if len(mp.Buckets) == 0 {
+			continue // empty group drops
+		}
+		bk := mp.Bucket(h)
+		out = append(out,
+			&openflow.ActionSetDlSrc{Addr: bk.DlSrc},
+			&openflow.ActionSetDlDst{Addr: bk.DlDst},
+			&openflow.ActionOutput{Port: bk.Port})
+	}
+	return out
+}
+
+// matchActions resolves key against a priority-ordered flow-table snapshot,
+// returning the matched entry's actions with ECMP groups resolved.
+func matchActions(flows []ofswitch.FlowInfo, key *openflow.Match) ([]openflow.Action, bool) {
+	for i := range flows {
+		if flows[i].Match.Covers(key) {
+			return resolveMultipath(flows[i].Actions, key), true
+		}
+	}
+	return nil, false
+}
+
+// matchFlow resolves key against a priority-ordered flow-table snapshot.
+func matchFlow(flows []ofswitch.FlowInfo, key *openflow.Match) (outPort uint16, ok bool) {
+	acts, ok := matchActions(flows, key)
+	if !ok {
+		return 0, false
+	}
+	return firstOutput(acts)
 }
 
 // checkNoLoop walks the installed flow tables for every directed host pair:
@@ -149,9 +192,23 @@ func (r *runner) walkFlows(src, dst, ttl int) string {
 		if !ok {
 			return ""
 		}
-		out, ok := matchFlow(sw.FlowTable(), &key)
+		acts, ok := matchActions(sw.FlowTable(), &key)
 		if !ok {
-			return "" // table miss (punt path) or matched drop — not a loop
+			return "" // table miss (punt path) — not a loop
+		}
+		out, ok := firstOutput(acts)
+		if !ok {
+			return "" // matched drop — not a loop
+		}
+		// Apply the entry's MAC rewrites to the walked key: the next hop's
+		// ECMP hash sees the rewritten frame, and the walk must agree with it.
+		for _, a := range acts {
+			switch s := a.(type) {
+			case *openflow.ActionSetDlSrc:
+				key.DlSrc = s.Addr
+			case *openflow.ActionSetDlDst:
+				key.DlDst = s.Addr
+			}
 		}
 		li, isTransit := r.linkAt[[2]int{node, int(out)}]
 		if !isTransit {
@@ -210,24 +267,34 @@ func (r *runner) flowConsistencyGap() string {
 		if len(installed) != len(desired) {
 			return fmt.Sprintf("node %d: %d flows installed, %d desired", n.ID, len(installed), len(desired))
 		}
-		have := make(map[flowID]uint16, len(installed))
+		have := make(map[flowID]string, len(installed))
 		for _, fi := range installed {
-			out, _ := firstOutput(fi.Actions)
-			have[flowID{fi.Match, fi.Priority}] = out
+			have[flowID{fi.Match, fi.Priority}] = actionSig(fi.Actions)
 		}
 		for _, fm := range desired {
-			out, ok := have[flowID{fm.Match, fm.Priority}]
+			sig, ok := have[flowID{fm.Match, fm.Priority}]
 			if !ok {
 				return fmt.Sprintf("node %d: desired flow %v prio=%d not installed",
 					n.ID, fm.Match.NwDstPrefix(), fm.Priority)
 			}
-			if want, _ := firstOutput(fm.Actions); want != out {
-				return fmt.Sprintf("node %d: flow %v prio=%d outputs to %d, want %d",
-					n.ID, fm.Match.NwDstPrefix(), fm.Priority, out, want)
+			if want := actionSig(fm.Actions); want != sig {
+				return fmt.Sprintf("node %d: flow %v prio=%d actions %s, want %s",
+					n.ID, fm.Match.NwDstPrefix(), fm.Priority, sig, want)
 			}
 		}
 	}
 	return ""
+}
+
+// actionSig renders an action list to a comparable signature. ECMP groups
+// compare by their full bucket sets — two groups with the same first bucket
+// but different alternates are different flows.
+func actionSig(actions []openflow.Action) string {
+	var b strings.Builder
+	for _, a := range actions {
+		fmt.Fprintf(&b, "%v;", a)
+	}
+	return b.String()
 }
 
 // checkStreamStart requires every stream's first frame to have arrived.

@@ -132,6 +132,18 @@ type Spec struct {
 	// like the protocol timers above).
 	TelemetryInterval time.Duration
 
+	// TE turns on the online traffic-engineering loop (implies Telemetry):
+	// hot links shed their largest movable flows onto colder equal-cost
+	// paths, and every invariant must keep holding while the optimizer
+	// migrates pins under the scheduled faults.
+	TE bool
+	// TEInterval paces optimization rounds (0 = 100ms, compressed).
+	TEInterval time.Duration
+	// FleetStreams runs a Zipf-skewed fleet of this many UDP microflows
+	// across every ordered host pair for the whole run (0 = none), giving
+	// the TE loop genuinely uneven, time-shifting load to optimize.
+	FleetStreams int
+
 	ConvergeTimeout time.Duration // per quiesce point, wall time
 	PingTimeout     time.Duration // per ping attempt, wall time
 	PingBudget      time.Duration // total per host pair, wall time
@@ -187,6 +199,12 @@ func (s Spec) withDefaults() (Spec, error) {
 	}
 	if s.TelemetryInterval <= 0 {
 		s.TelemetryInterval = 25 * time.Millisecond
+	}
+	if s.TE {
+		s.Telemetry = true
+		if s.TEInterval <= 0 {
+			s.TEInterval = 100 * time.Millisecond
+		}
 	}
 	nLinks, nNodes := s.Topology.NumLinks(), s.Topology.NumNodes()
 	for _, f := range s.Faults {
@@ -344,6 +362,8 @@ func Run(spec Spec) (*Result, error) {
 		Telemetry:         spec.Telemetry,
 		TelemetryInterval: spec.TelemetryInterval,
 		TelemetrySpan:     2 * time.Second,
+		TE:                spec.TE,
+		TEInterval:        spec.TEInterval,
 	})
 	if err != nil {
 		return nil, err
@@ -388,6 +408,40 @@ func Run(spec Spec) (*Result, error) {
 		defer server.Stop()
 	}
 
+	// The fleet is built now but started only after initial convergence:
+	// thousands of microflows over an unconfigured network would all punt,
+	// and the packet-in flood would starve the very control plane that is
+	// trying to bring the network up. The faults still race it.
+	var fleet *stream.Fleet
+	if spec.FleetStreams > 0 {
+		var pairs [][2]int
+		for _, s := range spec.HostNodes {
+			for _, t := range spec.HostNodes {
+				if s != t {
+					pairs = append(pairs, [2]int{s, t})
+				}
+			}
+		}
+		fleet = stream.NewFleet(stream.FleetConfig{
+			Clock:          clk,
+			Pairs:          pairs,
+			Streams:        spec.FleetStreams,
+			Seed:           spec.Seed,
+			Tick:           10 * time.Millisecond,
+			PacketsPerTick: 16,
+			Shift:          time.Second, // hot spots migrate as the run progresses
+			Send: func(pair [2]int, srcPort, dstPort uint16, payload []byte) error {
+				src, okS := d.Host(pair[0])
+				dst, okD := d.Host(pair[1])
+				if !okS || !okD {
+					return fmt.Errorf("scenario: fleet pair %v has no hosts", pair)
+				}
+				return src.SendUDP(dst.Addr(), srcPort, dstPort, payload)
+			},
+		})
+		defer fleet.Stop()
+	}
+
 	if err := d.Start(); err != nil {
 		return nil, err
 	}
@@ -409,6 +463,9 @@ func Run(spec Spec) (*Result, error) {
 		return r.res, nil
 	}
 	r.logf("initial convergence ok partitioned=%v", d.Partitioned())
+	if fleet != nil {
+		fleet.Run()
+	}
 	initial := Phase{Fault: "initial", Converged: conv, Partitioned: d.Partitioned()}
 	initial.Checks = r.runChecks()
 	if len(r.clients) > 0 {

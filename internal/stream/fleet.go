@@ -1,0 +1,215 @@
+package stream
+
+// Fleet is the many-flow workload behind the traffic-engineering
+// experiments: thousands of concurrent UDP microflows whose demand follows
+// a Zipf law — a few heavy hitters over a long tail — and shifts over time,
+// so link hot spots form and then move. One pacer goroutine drives the
+// whole fleet (a thousand streams cost one timer, not a thousand), each
+// stream keeps a stable five-tuple (its own source port) so the ECMP hash
+// pins it to one path, and the schedule derives entirely from one seed.
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"routeflow/internal/clock"
+)
+
+// FleetConfig describes a fleet. Pairs and Send are required.
+type FleetConfig struct {
+	// Clock paces the fleet (protocol time). Default clock.System().
+	Clock clock.Clock
+	// Pairs are the directed host-node pairs traffic flows between; stream i
+	// belongs to pair i mod len(Pairs).
+	Pairs [][2]int
+	// Streams is the number of concurrent microflows (default 1000), each
+	// with its own source port — one ECMP-hashable five-tuple apiece.
+	Streams int
+	// Exponent is the Zipf skew s: stream demand ∝ 1/(rank+1)^s. Default 1.2.
+	Exponent float64
+	// Tick is the pacer period (default 10ms); PacketsPerTick datagrams are
+	// sent each tick (default 64), sampled by stream weight.
+	Tick           time.Duration
+	PacketsPerTick int
+	// PayloadBytes sizes each datagram's payload (default 256).
+	PayloadBytes int
+	// Shift rotates the demand ranking by one stream every Shift of protocol
+	// time (0 = static demand). Rotation walks the heavy hitters across
+	// pairs, shifting which links run hot.
+	Shift time.Duration
+	// Seed makes the packet schedule reproducible.
+	Seed int64
+	// Send delivers one datagram for a pair's stream. Errors are counted,
+	// not fatal: a stream racing a failover keeps trying next tick.
+	Send func(pair [2]int, srcPort, dstPort uint16, payload []byte) error
+}
+
+func (c FleetConfig) withDefaults() FleetConfig {
+	if c.Clock == nil {
+		c.Clock = clock.System()
+	}
+	if c.Streams <= 0 {
+		c.Streams = 1000
+	}
+	if c.Exponent <= 0 {
+		c.Exponent = 1.2
+	}
+	if c.Tick <= 0 {
+		c.Tick = 10 * time.Millisecond
+	}
+	if c.PacketsPerTick <= 0 {
+		c.PacketsPerTick = 64
+	}
+	if c.PayloadBytes <= 0 {
+		c.PayloadBytes = 256
+	}
+	return c
+}
+
+// FleetDstPort is the fixed destination port of every fleet stream.
+const FleetDstPort = 9000
+
+// Fleet is a running (or manually stepped) stream population.
+type Fleet struct {
+	cfg     FleetConfig
+	rng     *rand.Rand
+	payload []byte
+	weights []float64 // demand weight by rank
+	cum     []float64 // cumulative stream weight under the current rotation
+	offset  int       // rotation: stream i holds rank (i+offset) mod Streams
+	ticks   int
+	rotate  int // ticks per rotation step (0 = static demand)
+
+	mu      sync.Mutex
+	sent    uint64
+	errs    uint64
+	perPair map[[2]int]uint64
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewFleet builds a fleet; call Run to pace it, or Tick to step manually.
+func NewFleet(cfg FleetConfig) *Fleet {
+	cfg = cfg.withDefaults()
+	f := &Fleet{
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		payload: make([]byte, cfg.PayloadBytes),
+		perPair: make(map[[2]int]uint64),
+		stop:    make(chan struct{}),
+	}
+	f.weights = make([]float64, cfg.Streams)
+	for r := range f.weights {
+		f.weights[r] = 1 / math.Pow(float64(r+1), cfg.Exponent)
+	}
+	f.cum = make([]float64, cfg.Streams)
+	f.rebuildCum()
+	if cfg.Shift > 0 {
+		f.rotate = int(cfg.Shift / cfg.Tick)
+		if f.rotate < 1 {
+			f.rotate = 1
+		}
+	}
+	return f
+}
+
+func (f *Fleet) rebuildCum() {
+	total := 0.0
+	for i := range f.cum {
+		total += f.weights[(i+f.offset)%len(f.weights)]
+		f.cum[i] = total
+	}
+}
+
+// Run paces the fleet on its clock until Stop.
+func (f *Fleet) Run() {
+	f.wg.Add(1)
+	go func() {
+		defer f.wg.Done()
+		tick := f.cfg.Clock.NewTicker(f.cfg.Tick)
+		defer tick.Stop()
+		for {
+			select {
+			case <-f.stop:
+				return
+			case <-tick.C():
+			}
+			f.Tick()
+		}
+	}()
+}
+
+// Stop halts the pacer and waits for it to exit.
+func (f *Fleet) Stop() {
+	f.stopOnce.Do(func() { close(f.stop) })
+	f.wg.Wait()
+}
+
+// Tick sends one pacer round: PacketsPerTick datagrams sampled by stream
+// weight under the current demand rotation. Exported so benches can step
+// the schedule without a running clock. Not safe concurrently with Run.
+func (f *Fleet) Tick() {
+	if f.rotate > 0 && f.ticks > 0 && f.ticks%f.rotate == 0 {
+		f.offset++
+		f.rebuildCum()
+	}
+	f.ticks++
+	total := f.cum[len(f.cum)-1]
+	for p := 0; p < f.cfg.PacketsPerTick; p++ {
+		i := searchFloat(f.cum, f.rng.Float64()*total)
+		pair := f.cfg.Pairs[i%len(f.cfg.Pairs)]
+		srcPort := uint16(10000 + i%50000)
+		err := f.cfg.Send(pair, srcPort, FleetDstPort, f.payload)
+		f.mu.Lock()
+		if err != nil {
+			f.errs++
+		} else {
+			f.sent++
+			f.perPair[pair]++
+		}
+		f.mu.Unlock()
+	}
+}
+
+// Sent returns how many datagrams Send accepted.
+func (f *Fleet) Sent() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.sent
+}
+
+// Errors returns how many sends failed.
+func (f *Fleet) Errors() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.errs
+}
+
+// PairSent snapshots per-pair accepted counts.
+func (f *Fleet) PairSent() map[[2]int]uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[[2]int]uint64, len(f.perPair))
+	for k, v := range f.perPair {
+		out[k] = v
+	}
+	return out
+}
+
+// searchFloat returns the least index i with cum[i] >= x.
+func searchFloat(cum []float64, x float64) int {
+	lo, hi := 0, len(cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cum[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

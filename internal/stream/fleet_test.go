@@ -1,0 +1,130 @@
+package stream
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+type sendRec struct {
+	pair    [2]int
+	srcPort uint16
+}
+
+func collectTicks(t *testing.T, cfg FleetConfig, ticks int) ([]sendRec, *Fleet) {
+	t.Helper()
+	var recs []sendRec
+	cfg.Send = func(pair [2]int, srcPort, dstPort uint16, payload []byte) error {
+		if dstPort != FleetDstPort {
+			t.Fatalf("dstPort = %d", dstPort)
+		}
+		recs = append(recs, sendRec{pair, srcPort})
+		return nil
+	}
+	f := NewFleet(cfg)
+	for i := 0; i < ticks; i++ {
+		f.Tick()
+	}
+	return recs, f
+}
+
+// TestFleetZipfSkew checks the demand law: with a strong skew, the busiest
+// stream must carry many times the median stream's packets.
+func TestFleetZipfSkew(t *testing.T) {
+	recs, f := collectTicks(t, FleetConfig{
+		Pairs: [][2]int{{0, 1}, {1, 2}, {2, 0}}, Streams: 100,
+		Exponent: 1.3, PacketsPerTick: 100, Seed: 7,
+	}, 100)
+	byPort := make(map[uint16]int)
+	for _, r := range recs {
+		byPort[r.srcPort]++
+	}
+	max := 0
+	for _, n := range byPort {
+		if n > max {
+			max = n
+		}
+	}
+	if max < len(recs)/10 {
+		t.Fatalf("heaviest stream carried %d of %d packets — no skew", max, len(recs))
+	}
+	if f.Sent() != uint64(len(recs)) {
+		t.Fatalf("Sent = %d, recorded %d", f.Sent(), len(recs))
+	}
+}
+
+// TestFleetDeterministic runs two fleets off the same seed and demands the
+// identical packet schedule.
+func TestFleetDeterministic(t *testing.T) {
+	cfg := FleetConfig{Pairs: [][2]int{{0, 3}, {1, 2}}, Streams: 64,
+		PacketsPerTick: 32, Seed: 42, Shift: 50 * time.Millisecond,
+		Tick: 10 * time.Millisecond}
+	a, _ := collectTicks(t, cfg, 20)
+	b, _ := collectTicks(t, cfg, 20)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different schedules")
+	}
+}
+
+// TestFleetDemandShifts verifies rotation: with Shift set, the heavy
+// hitter's source port must change across rotations, moving load between
+// pairs over time.
+func TestFleetDemandShifts(t *testing.T) {
+	cfg := FleetConfig{Pairs: [][2]int{{0, 1}, {1, 0}}, Streams: 50,
+		Exponent: 1.5, PacketsPerTick: 200, Seed: 1,
+		Tick: 10 * time.Millisecond, Shift: 10 * time.Millisecond}
+	var heavies []uint16
+	var recs []sendRec
+	cfg.Send = func(pair [2]int, srcPort, dstPort uint16, payload []byte) error {
+		recs = append(recs, sendRec{pair, srcPort})
+		return nil
+	}
+	f := NewFleet(cfg)
+	for phase := 0; phase < 3; phase++ {
+		recs = recs[:0]
+		for i := 0; i < 10; i++ {
+			f.Tick()
+		}
+		byPort := make(map[uint16]int)
+		for _, r := range recs {
+			byPort[r.srcPort]++
+		}
+		heavy, max := uint16(0), 0
+		for p, n := range byPort {
+			if n > max || (n == max && p < heavy) {
+				heavy, max = p, n
+			}
+		}
+		heavies = append(heavies, heavy)
+	}
+	if heavies[0] == heavies[1] && heavies[1] == heavies[2] {
+		t.Fatalf("heavy hitter never moved: %v", heavies)
+	}
+}
+
+// TestFleetRunStop exercises the paced path end to end.
+func TestFleetRunStop(t *testing.T) {
+	done := make(chan struct{})
+	var n int
+	f := NewFleet(FleetConfig{
+		Pairs: [][2]int{{0, 1}}, Streams: 8, PacketsPerTick: 4,
+		Tick: time.Millisecond,
+		Send: func(pair [2]int, srcPort, dstPort uint16, payload []byte) error {
+			n++
+			if n == 20 {
+				close(done)
+			}
+			return nil
+		},
+	})
+	f.Run()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("fleet sent nothing")
+	}
+	f.Stop()
+	if f.Sent() == 0 {
+		t.Fatal("Sent = 0 after run")
+	}
+}

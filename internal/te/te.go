@@ -1,0 +1,335 @@
+// Package te is the online traffic-engineering optimizer: a pure,
+// deterministic decision engine that reads the telemetry pipeline's link
+// utilization view, finds links running above their headroom threshold, and
+// relieves them by migrating the fewest (largest-rate) movable flows onto
+// colder equal-cost paths. The engine only decides — it emits path moves;
+// the deployment layer turns moves into pinned flow entries through the
+// controller's desired-state discipline.
+//
+// Stability is a first-class output, not an afterthought: a link must
+// exceed Headroom to be worked on but is only relieved down to the lower
+// Relief watermark (hysteresis, so a link hovering at the threshold does
+// not flap), every accepted move must leave the destination path at or
+// below Relief (a move never creates the next hot link), a moved pair sits
+// out a per-flow cooldown before it may move again, and a pair that keeps
+// moving anyway is frozen as an oscillator for a damping period.
+package te
+
+import (
+	"math"
+	"sort"
+
+	"routeflow/internal/telemetry"
+)
+
+// Config tunes the optimizer. Zero values take the defaults; Relief must
+// stay below Headroom for the hysteresis band to exist.
+type Config struct {
+	// Headroom is the hot threshold: a link is overloaded when its
+	// utilization (rate/capacity) exceeds it. Default 0.8.
+	Headroom float64
+	// Relief is the hysteresis watermark: a hot link is worked until it
+	// drops to Relief, and a move must leave every link of the destination
+	// path at or below it. Default 0.7.
+	Relief float64
+	// Cooldown is how many planning rounds a moved pair sits out before it
+	// is movable again. Default 3.
+	Cooldown int
+	// FreezeAfter moves within FreezeWindow rounds mark a pair as an
+	// oscillator, freezing it for FreezeFor rounds. Defaults 3, 10, 20.
+	FreezeAfter  int
+	FreezeWindow int
+	FreezeFor    int
+	// MaxMovesPerRound bounds per-round churn. Default 4.
+	MaxMovesPerRound int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Headroom <= 0 {
+		c.Headroom = 0.8
+	}
+	if c.Relief <= 0 {
+		c.Relief = 0.7
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 3
+	}
+	if c.FreezeAfter <= 0 {
+		c.FreezeAfter = 3
+	}
+	if c.FreezeWindow <= 0 {
+		c.FreezeWindow = 10
+	}
+	if c.FreezeFor <= 0 {
+		c.FreezeFor = 20
+	}
+	if c.MaxMovesPerRound <= 0 {
+		c.MaxMovesPerRound = 4
+	}
+	return c
+}
+
+// Link is one link's measured load and capacity in bytes/sec.
+type Link struct {
+	Rate     float64
+	Capacity float64
+}
+
+// Flow is one movable unit: a directed host pair with its windowed rate,
+// the path it is currently assigned to, and the equal-cost candidate walks
+// it could be pinned to instead (including the current one).
+type Flow struct {
+	Pair       [2]int
+	Rate       float64
+	Path       []int
+	Candidates [][]int
+}
+
+// State is one planning round's input view.
+type State struct {
+	Links map[telemetry.LinkKey]Link
+	// DefaultCapacity applies to links that carry simulated traffic during
+	// planning but have no entry in Links (0 = infinite, never hot).
+	DefaultCapacity float64
+	Flows           []Flow
+}
+
+// Move is one decided migration: pin Pair to the To walk.
+type Move struct {
+	Pair     [2]int
+	From, To []int
+}
+
+type pairHist struct {
+	lastMove   int
+	moves      []int // rounds at which the pair moved, pruned to the window
+	frozenTill int
+}
+
+// Engine carries the per-flow stability state across planning rounds. Not
+// safe for concurrent use; the deployment's TE loop owns it.
+type Engine struct {
+	cfg   Config
+	round int
+	hist  map[[2]int]*pairHist
+}
+
+// New creates an engine.
+func New(cfg Config) *Engine {
+	return &Engine{cfg: cfg.withDefaults(), hist: make(map[[2]int]*pairHist)}
+}
+
+// Round returns the number of completed planning rounds.
+func (e *Engine) Round() int { return e.round }
+
+// Frozen reports whether pair is currently damped as an oscillator.
+func (e *Engine) Frozen(pair [2]int) bool {
+	h := e.hist[pair]
+	return h != nil && e.round < h.frozenTill
+}
+
+// Plan runs one planning round against the given view and returns the moves
+// to apply, deterministically for a given engine history and state.
+func (e *Engine) Plan(st State) []Move {
+	e.round++
+	rates := make(map[telemetry.LinkKey]float64, len(st.Links))
+	caps := make(map[telemetry.LinkKey]float64, len(st.Links))
+	for k, l := range st.Links {
+		rates[k], caps[k] = l.Rate, l.Capacity
+	}
+	util := func(k telemetry.LinkKey) float64 {
+		c, ok := caps[k]
+		if !ok {
+			c = st.DefaultCapacity
+		}
+		if c <= 0 {
+			return 0
+		}
+		return rates[k] / c
+	}
+
+	var hot []telemetry.LinkKey
+	for k := range st.Links {
+		if util(k) > e.cfg.Headroom {
+			hot = append(hot, k)
+		}
+	}
+	sort.Slice(hot, func(i, j int) bool {
+		ui, uj := util(hot[i]), util(hot[j])
+		if ui != uj {
+			return ui > uj
+		}
+		if hot[i].A != hot[j].A {
+			return hot[i].A < hot[j].A
+		}
+		return hot[i].B < hot[j].B
+	})
+
+	var moves []Move
+	movedNow := make(map[[2]int]bool)
+	for _, hk := range hot {
+		if len(moves) >= e.cfg.MaxMovesPerRound || util(hk) <= e.cfg.Headroom {
+			continue
+		}
+		cand := e.movableAcross(st.Flows, hk, movedNow)
+		for _, f := range cand {
+			if len(moves) >= e.cfg.MaxMovesPerRound {
+				break
+			}
+			to := e.bestAlternate(f, hk, rates, caps, st.DefaultCapacity)
+			if to == nil {
+				continue
+			}
+			for _, lk := range telemetry.PathLinks(f.Path) {
+				rates[lk] -= f.Rate
+			}
+			for _, lk := range telemetry.PathLinks(to) {
+				rates[lk] += f.Rate
+			}
+			moves = append(moves, Move{Pair: f.Pair, From: f.Path, To: to})
+			movedNow[f.Pair] = true
+			e.recordMove(f.Pair)
+			if util(hk) <= e.cfg.Relief {
+				break
+			}
+		}
+	}
+	return moves
+}
+
+// movableAcross lists the flows crossing hk that are allowed to move this
+// round, largest rate first (fewest moves relieve the most load), pair key
+// as the deterministic tiebreak.
+func (e *Engine) movableAcross(flows []Flow, hk telemetry.LinkKey, movedNow map[[2]int]bool) []Flow {
+	var out []Flow
+	for _, f := range flows {
+		if f.Rate <= 0 || len(f.Candidates) < 2 || movedNow[f.Pair] {
+			continue
+		}
+		if !pathCrosses(f.Path, hk) {
+			continue
+		}
+		if h := e.hist[f.Pair]; h != nil {
+			if e.round < h.frozenTill || e.round-h.lastMove <= e.cfg.Cooldown {
+				continue
+			}
+		}
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rate != out[j].Rate {
+			return out[i].Rate > out[j].Rate
+		}
+		if out[i].Pair[0] != out[j].Pair[0] {
+			return out[i].Pair[0] < out[j].Pair[0]
+		}
+		return out[i].Pair[1] < out[j].Pair[1]
+	})
+	return out
+}
+
+// bestAlternate picks the coldest candidate walk avoiding hk whose every
+// link stays at or below Relief once the flow lands on it, or nil when no
+// candidate qualifies — better to leave a link hot than to create the next
+// hot link.
+func (e *Engine) bestAlternate(f Flow, hk telemetry.LinkKey, rates, caps map[telemetry.LinkKey]float64, defCap float64) []int {
+	old := make(map[telemetry.LinkKey]bool)
+	for _, lk := range telemetry.PathLinks(f.Path) {
+		old[lk] = true
+	}
+	var best []int
+	bestU := math.Inf(1)
+	for _, c := range f.Candidates {
+		if pathEqual(c, f.Path) || pathCrosses(c, hk) {
+			continue
+		}
+		ok, maxU := true, 0.0
+		for _, lk := range telemetry.PathLinks(c) {
+			r := rates[lk] + f.Rate
+			if old[lk] {
+				r -= f.Rate // the flow already charges a shared hop
+			}
+			cp, has := caps[lk]
+			if !has {
+				cp = defCap
+			}
+			u := 0.0
+			if cp > 0 {
+				u = r / cp
+			}
+			if u > e.cfg.Relief {
+				ok = false
+				break
+			}
+			if u > maxU {
+				maxU = u
+			}
+		}
+		if !ok {
+			continue
+		}
+		if maxU < bestU || (maxU == bestU && pathLess(c, best)) {
+			best, bestU = c, maxU
+		}
+	}
+	return best
+}
+
+// recordMove stamps the pair's cooldown and freezes it when it has moved
+// FreezeAfter times within the window.
+func (e *Engine) recordMove(pair [2]int) {
+	h := e.hist[pair]
+	if h == nil {
+		h = &pairHist{}
+		e.hist[pair] = h
+	}
+	h.lastMove = e.round
+	kept := h.moves[:0]
+	for _, r := range h.moves {
+		if e.round-r < e.cfg.FreezeWindow {
+			kept = append(kept, r)
+		}
+	}
+	h.moves = append(kept, e.round)
+	if len(h.moves) >= e.cfg.FreezeAfter {
+		h.frozenTill = e.round + e.cfg.FreezeFor
+		h.moves = h.moves[:0]
+	}
+}
+
+func pathCrosses(path []int, k telemetry.LinkKey) bool {
+	for _, lk := range telemetry.PathLinks(path) {
+		if lk == k {
+			return true
+		}
+	}
+	return false
+}
+
+func pathEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// pathLess is a deterministic total order on walks (length, then lexical).
+func pathLess(a, b []int) bool {
+	if b == nil {
+		return true
+	}
+	if len(a) != len(b) {
+		return len(a) < len(b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}

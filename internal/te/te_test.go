@@ -1,0 +1,194 @@
+package te
+
+import (
+	"reflect"
+	"testing"
+
+	"routeflow/internal/telemetry"
+)
+
+// diamond builds a 0→3 state with two equal-cost walks (via 1, via 2) and
+// the via-1 path carrying the given flows; every link has capacity 100.
+func diamondState(flows []Flow) State {
+	links := map[telemetry.LinkKey]Link{}
+	for _, k := range append(telemetry.PathLinks([]int{0, 1, 3}), telemetry.PathLinks([]int{0, 2, 3})...) {
+		links[k] = Link{Capacity: 100}
+	}
+	for _, f := range flows {
+		for _, k := range telemetry.PathLinks(f.Path) {
+			l := links[k]
+			l.Rate += f.Rate
+			links[k] = l
+		}
+	}
+	return State{Links: links, DefaultCapacity: 100, Flows: flows}
+}
+
+func diamondFlow(pair [2]int, rate float64, via int) Flow {
+	path := []int{0, via, 3}
+	return Flow{Pair: pair, Rate: rate, Path: path,
+		Candidates: [][]int{{0, 1, 3}, {0, 2, 3}}}
+}
+
+// TestPlanRelievesHotLink drives a hot via-1 path with a cold via-2
+// alternate: the largest movable flow migrates, the relieved link drops
+// below threshold, and one move suffices (fewest-largest policy).
+func TestPlanRelievesHotLink(t *testing.T) {
+	e := New(Config{})
+	st := diamondState([]Flow{
+		diamondFlow([2]int{0, 3}, 50, 1),
+		diamondFlow([2]int{4, 3}, 40, 1), // (fake distinct pair, same walk)
+	})
+	moves := e.Plan(st)
+	if len(moves) != 1 {
+		t.Fatalf("moves = %+v, want exactly 1", moves)
+	}
+	if moves[0].Pair != [2]int{0, 3} {
+		t.Fatalf("moved pair %v, want the largest flow (0,3)", moves[0].Pair)
+	}
+	if !reflect.DeepEqual(moves[0].To, []int{0, 2, 3}) {
+		t.Fatalf("moved to %v, want the cold alternate [0 2 3]", moves[0].To)
+	}
+}
+
+// TestPlanHysteresis pins the hysteresis band: load between Relief and
+// Headroom is not hot, so nothing moves.
+func TestPlanHysteresis(t *testing.T) {
+	e := New(Config{Headroom: 0.8, Relief: 0.7})
+	st := diamondState([]Flow{diamondFlow([2]int{0, 3}, 75, 1)})
+	if moves := e.Plan(st); len(moves) != 0 {
+		t.Fatalf("0.75 utilization (below 0.8 headroom) produced moves: %+v", moves)
+	}
+}
+
+// TestPlanRefusesToCreateHotLink proves a move is rejected when the only
+// alternate would itself exceed the relief watermark — better one hot link
+// than two.
+func TestPlanRefusesToCreateHotLink(t *testing.T) {
+	e := New(Config{})
+	flows := []Flow{
+		diamondFlow([2]int{0, 3}, 90, 1),
+		diamondFlow([2]int{5, 3}, 60, 2), // alternate already warm
+	}
+	st := diamondState(flows)
+	if moves := e.Plan(st); len(moves) != 0 {
+		t.Fatalf("move onto a path that would exceed relief was accepted: %+v", moves)
+	}
+}
+
+// TestPlanCooldown moves a pair once, then re-presents the same hot view:
+// the pair must sit out the cooldown instead of moving again. The pinned
+// companion flow keeps the link hot but is itself unmovable.
+func TestPlanCooldown(t *testing.T) {
+	e := New(Config{Cooldown: 3})
+	pinned := diamondFlow([2]int{4, 3}, 45, 1)
+	pinned.Candidates = [][]int{{0, 1, 3}} // single path: never movable
+	st := diamondState([]Flow{diamondFlow([2]int{0, 3}, 45, 1), pinned})
+	if moves := e.Plan(st); len(moves) != 1 {
+		t.Fatalf("first round did not move: %+v", moves)
+	}
+	// Same (stale) view again: the flow looks movable but is cooling down.
+	for round := 0; round < 3; round++ {
+		if moves := e.Plan(st); len(moves) != 0 {
+			t.Fatalf("round %d moved a cooling-down pair: %+v", round+2, moves)
+		}
+	}
+	if moves := e.Plan(st); len(moves) != 1 {
+		t.Fatalf("pair still unmovable after cooldown expired: %+v", moves)
+	}
+}
+
+// TestPlanFreezesOscillator feeds a view where the hot side always follows
+// the flow (demand shifting under it), so the pair keeps moving; after
+// FreezeAfter moves within the window it must be frozen and stay put even
+// though a hot link still crosses it.
+func TestPlanFreezesOscillator(t *testing.T) {
+	e := New(Config{Cooldown: 1, FreezeAfter: 3, FreezeWindow: 10, FreezeFor: 20})
+	pair := [2]int{0, 3}
+	mkState := func(via int) State {
+		links := map[telemetry.LinkKey]Link{}
+		for _, k := range telemetry.PathLinks([]int{0, via, 3}) {
+			links[k] = Link{Rate: 85, Capacity: 100} // hot side, under the flow
+		}
+		for _, k := range telemetry.PathLinks([]int{0, 3 - via, 3}) {
+			links[k] = Link{Rate: 10, Capacity: 100}
+		}
+		f := Flow{Pair: pair, Rate: 30, Path: []int{0, via, 3},
+			Candidates: [][]int{{0, 1, 3}, {0, 2, 3}}}
+		return State{Links: links, DefaultCapacity: 100, Flows: []Flow{f}}
+	}
+	via, moved := 1, 0
+	for round := 0; round < 12 && moved < 3; round++ {
+		if moves := e.Plan(mkState(via)); len(moves) == 1 {
+			moved++
+			via = 3 - via // the hot background chases the flow
+		}
+	}
+	if moved != 3 {
+		t.Fatalf("oscillator only moved %d times, wanted 3 to trip the freeze", moved)
+	}
+	if !e.Frozen(pair) {
+		t.Fatal("pair moved FreezeAfter times but is not frozen")
+	}
+	for round := 0; round < 5; round++ {
+		if moves := e.Plan(mkState(via)); len(moves) != 0 {
+			t.Fatalf("frozen pair moved: %+v", moves)
+		}
+	}
+}
+
+// TestPlanMaxMovesPerRound bounds churn: six independently hot diamonds
+// each offer a move, the cap allows two.
+func TestPlanMaxMovesPerRound(t *testing.T) {
+	e := New(Config{MaxMovesPerRound: 2})
+	var flows []Flow
+	links := map[telemetry.LinkKey]Link{}
+	for i := 0; i < 6; i++ {
+		base := 10 * i
+		mover := Flow{Pair: [2]int{base, base + 3}, Rate: 45,
+			Path:       []int{base, base + 1, base + 3},
+			Candidates: [][]int{{base, base + 1, base + 3}, {base, base + 2, base + 3}}}
+		pinned := Flow{Pair: [2]int{base + 4, base + 3}, Rate: 45,
+			Path:       []int{base, base + 1, base + 3},
+			Candidates: [][]int{{base, base + 1, base + 3}}}
+		flows = append(flows, mover, pinned)
+		for _, cand := range mover.Candidates {
+			for _, k := range telemetry.PathLinks(cand) {
+				if _, ok := links[k]; !ok {
+					links[k] = Link{Capacity: 100}
+				}
+			}
+		}
+		for _, f := range []Flow{mover, pinned} {
+			for _, k := range telemetry.PathLinks(f.Path) {
+				l := links[k]
+				l.Rate += f.Rate
+				links[k] = l
+			}
+		}
+	}
+	st := State{Links: links, DefaultCapacity: 100, Flows: flows}
+	if moves := e.Plan(st); len(moves) != 2 {
+		t.Fatalf("round produced %d moves, capped at 2", len(moves))
+	}
+}
+
+// TestPlanDeterministic runs two fresh engines over the same view sequence
+// and demands identical decisions.
+func TestPlanDeterministic(t *testing.T) {
+	mkFlows := func() []Flow {
+		return []Flow{
+			diamondFlow([2]int{0, 3}, 50, 1),
+			diamondFlow([2]int{4, 3}, 50, 1), // exact rate tie: pair order breaks it
+			diamondFlow([2]int{5, 3}, 30, 1),
+		}
+	}
+	a, b := New(Config{}), New(Config{})
+	for round := 0; round < 5; round++ {
+		ma := a.Plan(diamondState(mkFlows()))
+		mb := b.Plan(diamondState(mkFlows()))
+		if !reflect.DeepEqual(ma, mb) {
+			t.Fatalf("round %d diverged:\n a: %+v\n b: %+v", round, ma, mb)
+		}
+	}
+}

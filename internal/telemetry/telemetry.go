@@ -71,11 +71,25 @@ func PathLinks(path []int) []LinkKey {
 // usable; nil means all links are up. The result is deterministic for a
 // given topology, pair list and link state.
 func ComputePlacements(g *topo.Graph, pairs [][2]int, linkUp func(topo.Link) bool) []Placement {
+	return ComputePlacementsAssigned(g, pairs, linkUp, nil)
+}
+
+// ComputePlacementsAssigned is ComputePlacements with traffic-engineering
+// path overrides: assigned maps a directed pair to the node walk the TE
+// optimizer pinned it to. An override is honored only while every hop is a
+// live link of the topology; a missing or dead override falls back to the
+// live shortest path, so the view keeps charging a path that can actually
+// carry the traffic.
+func ComputePlacementsAssigned(g *topo.Graph, pairs [][2]int, linkUp func(topo.Link) bool, assigned map[[2]int][]int) []Placement {
 	out := make([]Placement, 0, len(pairs))
 	load := make(map[int]int)
 	for i, p := range pairs {
 		pl := Placement{ID: FlowID(i + 1), SrcNode: p[0], DstNode: p[1], Monitor: -1}
-		pl.Path = livePath(g, p[0], p[1], linkUp)
+		if w := assigned[[2]int{p[0], p[1]}]; pathLive(g, p[0], p[1], w, linkUp) {
+			pl.Path = append([]int(nil), w...)
+		} else {
+			pl.Path = livePath(g, p[0], p[1], linkUp)
+		}
 		if pl.Path != nil {
 			best, bestLoad := -1, 0
 			for _, n := range pl.Path {
@@ -89,6 +103,26 @@ func ComputePlacements(g *topo.Graph, pairs [][2]int, linkUp func(topo.Link) boo
 		out = append(out, pl)
 	}
 	return out
+}
+
+// pathLive reports whether walk is a usable src..dst path: endpoints match
+// and every consecutive hop is a live link of the topology.
+func pathLive(g *topo.Graph, src, dst int, walk []int, linkUp func(topo.Link) bool) bool {
+	if len(walk) < 1 || walk[0] != src || walk[len(walk)-1] != dst {
+		return false
+	}
+	live := make(map[LinkKey]bool)
+	for _, l := range g.Links() {
+		if linkUp == nil || linkUp(l) {
+			live[MakeLinkKey(l.A, l.B)] = true
+		}
+	}
+	for i := 1; i < len(walk); i++ {
+		if !live[MakeLinkKey(walk[i-1], walk[i])] {
+			return false
+		}
+	}
+	return true
 }
 
 // livePath is a BFS shortest path over live links with deterministic

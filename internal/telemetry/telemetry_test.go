@@ -241,3 +241,57 @@ func TestMergeDisjointSnapshots(t *testing.T) {
 		t.Fatalf("links = %+v", m.Links)
 	}
 }
+
+// TestAggregatorSetEpochMidWindow pins the epoch-advance contract the TE
+// loop depends on: bumping the epoch mid rate-window (as every optimizer
+// migration does) keeps totals monotone and the window lossless. The old
+// epoch's in-flight export is rejected after the bump, the switch's FULL
+// re-baseline under the new epoch charges only the genuine gain, and the
+// rolling window still holds the pre-bump samples — no reset, no double
+// count, no rate dip fabricated by the control plane.
+func TestAggregatorSetEpochMidWindow(t *testing.T) {
+	clk := clock.NewFake()
+	a := NewAggregator(clk, 9, 4*time.Second)
+	a.SetFlows([]Placement{
+		{ID: 1, SrcNode: 0, DstNode: 2, Path: []int{0, 1, 2}, Monitor: 1},
+	}, func(node int) uint64 { return uint64(node + 1) })
+
+	// Baseline, then a charged delta in the first half of the window.
+	a.HandleExport(2, mkExport(9, 1, true, openflow.TelemetryEntry{ID: 1, Packets: 100, Bytes: 1000}))
+	a.HandleExport(2, mkExport(9, 2, false, openflow.TelemetryEntry{ID: 1, Packets: 40, Bytes: 400}))
+	if f := a.Snapshot().Flows[0]; f.Packets != 140 || f.RatePPS != 10 {
+		t.Fatalf("pre-bump view: %+v", f)
+	}
+
+	// The TE loop moves the flow: epoch bumps mid-window.
+	clk.Advance(time.Second)
+	a.SetEpoch(10)
+
+	// A straggler export from the old epoch must be refused, not applied.
+	if ack := a.HandleExport(2, mkExport(9, 3, false, openflow.TelemetryEntry{ID: 1, Packets: 99, Bytes: 990})); ack != nil {
+		t.Fatal("stale-epoch export acked after SetEpoch")
+	}
+	if f := a.Snapshot().Flows[0]; f.Packets != 140 {
+		t.Fatalf("stale-epoch export charged: %+v", f)
+	}
+
+	// The switch re-baselines with a FULL under the new epoch. Its absolute
+	// includes 20 packets forwarded since the last ack; only that gain may
+	// charge, and the total must stay monotone through the transition.
+	a.HandleExport(2, mkExport(10, 1, true, openflow.TelemetryEntry{ID: 1, Packets: 160, Bytes: 1600}))
+	f := a.Snapshot().Flows[0]
+	if f.Packets != 160 || f.Bytes != 1600 {
+		t.Fatalf("post-bump total not monotone/lossless: %+v", f)
+	}
+	// The window still holds both the pre-bump 40 and the post-bump 20:
+	// (40 + 20) / 4s = 15 pps. A reset window would read 5.
+	if f.RatePPS != 15 {
+		t.Fatalf("window lost samples across SetEpoch: %v pps, want 15", f.RatePPS)
+	}
+	// Links along the path carried the same charges exactly once.
+	for _, ls := range a.Snapshot().Links {
+		if ls.Packets != 60 {
+			t.Fatalf("link %v charged %d pkts across the bump, want 60", ls.Link, ls.Packets)
+		}
+	}
+}

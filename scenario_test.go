@@ -125,6 +125,32 @@ func TestInterDomainScenarioDeterministicEventLog(t *testing.T) {
 	}
 }
 
+// TestTEScenarioDeterministicEventLog pins the acceptance bar for the
+// traffic-engineering chaos family: a curated TE scenario — a Zipf fleet
+// hammering the dataplane, the optimizer migrating pins, a master kill mid
+// run — twice produces a byte-identical event log. TE decisions and fleet
+// traffic are wall-clock-dependent and must never leak into the log; only
+// the scheduled faults and invariant verdicts may appear.
+func TestTEScenarioDeterministicEventLog(t *testing.T) {
+	run := func() *ScenarioResult {
+		spec, ok := ScenarioByName("grid9-te-master-kill")
+		if !ok {
+			t.Fatal("grid9-te-master-kill missing from curated suite")
+		}
+		res, err := RunScenario(spec)
+		if err != nil {
+			t.Fatalf("harness error: %v", err)
+		}
+		if failed := res.FailedChecks(); len(failed) > 0 {
+			t.Fatalf("invariants failed: %v\n%s", failed, res.EventLog())
+		}
+		return res
+	}
+	if a, b := run().EventLog(), run().EventLog(); a != b {
+		t.Fatalf("same spec, different event logs:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a, b)
+	}
+}
+
 // TestScenarioDeterministicEventLog is the seed-sweep determinism gate: the
 // same spec (same seed, seed-derived schedule) run twice produces a
 // byte-identical event log.

@@ -46,6 +46,13 @@ done
 raw="$raw
 $(go test -run='^$' -bench='BenchmarkAutoConfigureSharded' -benchmem -benchtime=2x .)"
 
+# Traffic-engineering headline: max link utilization on a skewed fat-tree
+# demand, shortest-path vs the TE optimizer. The "maxutil" metric is a
+# deterministic model computation, so a fixed tiny iteration count is
+# enough; benchcheck gates the within-snapshot te/sp ratio.
+raw="$raw
+$(go test -run='^$' -bench='BenchmarkTEMaxLinkUtilization' -benchmem -benchtime=3x .)"
+
 printf '%s\n' "$raw" >&2
 
 printf '%s\n' "$raw" | awk '
@@ -53,18 +60,19 @@ BEGIN { n = 0 }
 /^Benchmark/ {
 	name = $1
 	sub(/-[0-9]+$/, "", name)   # strip GOMAXPROCS suffix
-	ns = ""; bytes = ""; allocs = ""; pkts = ""
+	ns = ""; bytes = ""; allocs = ""; pkts = ""; maxutil = ""
 	for (i = 2; i <= NF; i++) {
 		if ($i == "ns/op")     ns = $(i-1)
 		if ($i == "B/op")      bytes = $(i-1)
 		if ($i == "allocs/op") allocs = $(i-1)
 		if ($i == "pkts/s")    pkts = $(i-1)
+		if ($i == "maxutil")   maxutil = $(i-1)
 	}
 	if (ns != "") {
 		if (n++) printf ",\n"
-		printf "    \"%s\": {\"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s, \"pkts_s\": %s}", \
+		printf "    \"%s\": {\"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s, \"pkts_s\": %s, \"maxutil\": %s}", \
 			name, ns, (bytes == "" ? "null" : bytes), (allocs == "" ? "null" : allocs), \
-			(pkts == "" ? "null" : pkts)
+			(pkts == "" ? "null" : pkts), (maxutil == "" ? "null" : maxutil)
 	}
 }
 END { if (n == 0) exit 1 }

@@ -22,6 +22,11 @@
 //     within-snapshot ratio; it only binds when the snapshot's recorded CPU
 //     count is >= 4 (a 1-core machine cannot scale and is reported
 //     informationally);
+//   - traffic engineering: BenchmarkTEMaxLinkUtilization/mode=te's maxutil
+//     metric must be at most -te-ratio (default 0.75) of the mode=sp leg —
+//     the optimizer has to shed at least a quarter of the peak link load.
+//     Both legs are deterministic model computations, so this
+//     within-snapshot ratio is exact;
 //   - the headline pps_macro number (batch dataplane packets per second)
 //     may not regress more than -threshold against the baseline.
 //
@@ -42,6 +47,7 @@ type entry struct {
 	BOp      *float64 `json:"b_op"`
 	AllocsOp *float64 `json:"allocs_op"`
 	PktsS    *float64 `json:"pkts_s"`
+	MaxUtil  *float64 `json:"maxutil"`
 }
 
 type snapshot struct {
@@ -70,6 +76,7 @@ func main() {
 	nsGate := flag.String("ns-gate", "BenchmarkSwitchForwardCached", "substring selecting ns/op-gated benchmarks")
 	shardSpeedup := flag.Float64("shard-speedup", 1.5, "minimum replicas=1/replicas=4 speedup for the sharded controller")
 	parallelSpeedup := flag.Float64("parallel-speedup", 1.5, "minimum @gomaxprocs=1 vs @gomaxprocs=4 speedup for the parallel dataplane (binds on >=4 CPUs)")
+	teRatio := flag.Float64("te-ratio", 0.75, "maximum TE/shortest-path max-link-utilization ratio (TE must shed at least 1-ratio of the peak)")
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: benchcheck [-threshold 0.20] [-ns-gate substr] baseline.json current.json")
@@ -189,6 +196,28 @@ func main() {
 			failures = append(failures, fmt.Sprintf(
 				"parallel scaling: %s only %.2fx faster at GOMAXPROCS=4 than 1 (minimum %.2fx)",
 				stem, speedup, *parallelSpeedup))
+		}
+	}
+
+	// Traffic-engineering gate: the optimizer must cut the fat tree's max
+	// link utilization to at most -te-ratio of the shortest-path placement.
+	// Both legs are deterministic model computations within the current
+	// snapshot, so the ratio is machine-independent and exact.
+	const teBench = "BenchmarkTEMaxLinkUtilization/mode="
+	if sp, ok := cur.Benchmarks[teBench+"sp"]; ok {
+		teLeg, okTE := cur.Benchmarks[teBench+"te"]
+		switch {
+		case !okTE || teLeg.MaxUtil == nil || sp.MaxUtil == nil || *sp.MaxUtil <= 0:
+			failures = append(failures, fmt.Sprintf("%ste: maxutil missing from current run, cannot gate TE", teBench))
+		default:
+			ratio := *teLeg.MaxUtil / *sp.MaxUtil
+			fmt.Printf("\nTE max-link-utilization: sp %.3f -> te %.3f, ratio %.3f (maximum %.2f)\n",
+				*sp.MaxUtil, *teLeg.MaxUtil, ratio, *teRatio)
+			if ratio > *teRatio {
+				failures = append(failures, fmt.Sprintf(
+					"TE max-link-utilization only %.3fx of shortest-path (maximum %.2fx — TE must shed >=%.0f%%)",
+					ratio, *teRatio, (1-*teRatio)*100))
+			}
 		}
 	}
 

@@ -1,0 +1,47 @@
+package routeflow
+
+import (
+	"time"
+
+	"routeflow/internal/te"
+)
+
+// Traffic-engineering types (online re-optimization over telemetry).
+//
+// With WithTrafficEngineering enabled, the deployment runs an optimization
+// loop over the telemetry utilization view: links loaded above a headroom
+// threshold shed their largest movable host-pair flows onto colder
+// equal-cost paths. A move is realized as pinned flow entries pushed
+// through each master replica's desired-state discipline, so migrations
+// survive reconnects and failover like any other configured state, and the
+// telemetry program re-baselines under a bumped epoch so counters stay
+// exactly-once across the path change.
+type (
+	// TEConfig tunes the optimizer: hot threshold, relief watermark
+	// (hysteresis), per-pair move cooldown, oscillator freezing and the
+	// per-round move cap. The zero value takes the package defaults.
+	TEConfig = te.Config
+	// TEMove is one decided migration: the pair re-pinned from one walk to
+	// another.
+	TEMove = te.Move
+)
+
+// WithTrafficEngineering enables the online TE loop with default tuning.
+// Implies WithTelemetry — the optimizer's input is the telemetry view.
+func WithTrafficEngineering() Option { return func(o *Options) { o.TE = true } }
+
+// WithTEConfig enables TE with explicit optimizer tuning.
+func WithTEConfig(cfg TEConfig) Option {
+	return func(o *Options) { o.TE = true; o.TEConfig = cfg }
+}
+
+// WithTETimers enables TE and sets its cadence and link model: interval is
+// the optimization round period (0 keeps 1s), capacityBPS the modeled
+// capacity of every link in bytes/sec for utilization math (0 keeps 1 MiB/s).
+func WithTETimers(interval time.Duration, capacityBPS float64) Option {
+	return func(o *Options) {
+		o.TE = true
+		o.TEInterval = interval
+		o.TELinkCapacityBPS = capacityBPS
+	}
+}
